@@ -1,0 +1,51 @@
+// Command poseidon-bench regenerates the tables and figures from the
+// Poseidon paper's evaluation (USENIX ATC 2017, Section 5).
+//
+// Usage:
+//
+//	poseidon-bench -list
+//	poseidon-bench -exp fig5
+//	poseidon-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	exp := flag.String("exp", "all", "experiment to run (name or 'all')")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			runOne(e)
+		}
+		return
+	}
+	e, ok := experiments.Find(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", *exp, experiments.Names())
+		os.Exit(1)
+	}
+	runOne(e)
+}
+
+func runOne(e experiments.Experiment) {
+	fmt.Printf("=== %s: %s ===\n", e.Name, e.Title)
+	start := time.Now()
+	e.Run(os.Stdout)
+	fmt.Printf("(%s completed in %.1fs)\n\n", e.Name, time.Since(start).Seconds())
+}

@@ -1,0 +1,74 @@
+// Command poseidon-sim runs a single performance-plane simulation of
+// distributed training and prints its steady-state metrics — handy for
+// exploring configurations beyond the paper's figures.
+//
+// Usage:
+//
+//	poseidon-sim -model vgg19 -nodes 16 -strategy poseidon -bw 10
+//	poseidon-sim -model vgg19-22k -nodes 32 -strategy wfbp -engine caffe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/nn"
+)
+
+func main() {
+	model := flag.String("model", "vgg19", "model: cifar10-quick|googlenet|inception-v3|vgg19|vgg19-22k|resnet-152|alexnet")
+	nodes := flag.Int("nodes", 8, "number of worker nodes")
+	gpus := flag.Int("gpus", 1, "GPUs per node")
+	strategy := flag.String("strategy", "poseidon", "strategy: ps|wfbp|poseidon|tf|adam|1bit")
+	eng := flag.String("engine", "caffe", "engine calibration: caffe|tensorflow")
+	bw := flag.Float64("bw", 40, "per-node bandwidth in Gb/s")
+	batch := flag.Int("batch", 0, "per-GPU batch size (0 = Table 3 default)")
+	flag.Parse()
+
+	m := findModel(*model)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(1)
+	}
+	strat, ok := map[string]engine.Strategy{
+		"ps": engine.SeqPS, "wfbp": engine.WFBP, "poseidon": engine.HybComm,
+		"tf": engine.TFBaseline, "adam": engine.Adam, "1bit": engine.OneBit,
+	}[strings.ToLower(*strategy)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(1)
+	}
+
+	r := engine.Run(engine.Config{
+		Model: m, Workers: *nodes, GPUsPerNode: *gpus, Strategy: strat,
+		Engine: *eng, Bandwidth: netsim.Gbps(*bw), Batch: *batch,
+	})
+	fmt.Printf("model        %s (%d params)\n", m.Name, m.TotalParams())
+	fmt.Printf("deployment   %d nodes x %d GPUs, %g GbE, %s engine, strategy %v\n",
+		*nodes, *gpus, *bw, *eng, strat)
+	fmt.Printf("schemes      %s\n", r.SchemeSummary)
+	fmt.Printf("iter time    %.4f s\n", r.IterTime)
+	fmt.Printf("throughput   %.1f images/s\n", r.Throughput)
+	fmt.Printf("speedup      %.2fx vs single GPU\n", r.Speedup)
+	fmt.Printf("GPU busy     %.0f%%  (stall %.0f%%)\n", r.GPUBusyFrac*100, r.GPUStallFrac*100)
+	var maxTx float64
+	for _, g := range r.NodeTxGbit {
+		if g > maxTx {
+			maxTx = g
+		}
+	}
+	fmt.Printf("traffic      max %.2f Gbit egress per node per iteration\n", maxTx)
+}
+
+func findModel(name string) *nn.Model {
+	for _, m := range append(nn.Zoo(), nn.AlexNet()) {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+// Quickstart: train a real CNN data-parallel on an in-process 4-worker
+// Poseidon cluster (functional plane), then simulate the same model's
+// scaling on a 32-node GPU cluster (performance plane).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/engine"
+	"repro/internal/nn"
+	"repro/internal/nn/autodiff"
+	"repro/internal/train"
+)
+
+func main() {
+	fmt.Println("== Poseidon quickstart ==")
+	fmt.Println()
+	fmt.Println("-- functional plane: real 4-worker data-parallel training --")
+
+	full := data.Synthetic(1, 1280, 10, 3, 8, 8, 0.35)
+	trainSet, testSet := full.Split(1024)
+	res, err := train.Run(train.Config{
+		Workers: 4, Iters: 60, Batch: 8, LR: 0.1,
+		Mode: train.Hybrid, Seed: 7,
+		BuildNet: func(rng *rand.Rand) *autodiff.Network {
+			net, _, _, _ := autodiff.CIFARQuickNet(4, 10, rng)
+			return net
+		},
+		TrainSet: trainSet, TestSet: testSet, EvalEvery: 15,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range res.Curve {
+		if (p.Iter+1)%15 == 0 {
+			fmt.Printf("iter %3d  train loss %.4f", p.Iter+1, p.TrainLoss)
+			if p.TestErr >= 0 {
+				fmt.Printf("  test error %.3f", p.TestErr)
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("-- performance plane: VGG19 on a simulated 40GbE Titan X cluster --")
+	for _, p := range []int{1, 8, 32} {
+		r := engine.Run(engine.Config{
+			Model: nn.VGG19(), Workers: p, Strategy: engine.HybComm, Engine: "caffe",
+		})
+		fmt.Printf("%2d nodes: %7.1f images/s  speedup %5.2fx  schemes %s\n",
+			p, r.Throughput, r.Speedup, r.SchemeSummary)
+	}
+}

@@ -1,0 +1,92 @@
+// tcp_cluster runs a real distributed training cluster over TCP: it
+// forks N worker goroutines that each join a loopback TCP mesh (real
+// sockets, real length-prefixed frames, real tensors) and train a CNN
+// with the paper's full protocol — sharded BSP KV store for conv
+// layers, sufficient-factor broadcasting for FC layers. At the end it
+// verifies every replica holds byte-identical parameters (the BSP
+// guarantee).
+//
+//	go run ./examples/tcp_cluster
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/nn/autodiff"
+	"repro/internal/train"
+	"repro/internal/transport"
+)
+
+func main() {
+	const workers = 3
+	addrs := []string{"127.0.0.1:39801", "127.0.0.1:39802", "127.0.0.1:39803"}
+
+	full := data.Synthetic(99, 640, 10, 3, 8, 8, 0.35)
+	trainSet, testSet := full.Split(512)
+	cfg := train.Config{
+		Workers: workers, Iters: 30, Batch: 8, LR: 0.1,
+		Mode: train.Hybrid, Seed: 5,
+		BuildNet: func(rng *rand.Rand) *autodiff.Network {
+			net, _, _, _ := autodiff.CIFARQuickNet(4, 10, rng)
+			return net
+		},
+		TrainSet: trainSet, TestSet: testSet, EvalEvery: 10,
+	}
+
+	results := make([]*train.Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mesh, err := transport.NewTCPMesh(w, addrs)
+			if err != nil {
+				panic(fmt.Sprintf("worker %d mesh: %v", w, err))
+			}
+			defer mesh.Close()
+			res, err := train.RunWorker(cfg, mesh)
+			if err != nil {
+				panic(fmt.Sprintf("worker %d: %v", w, err))
+			}
+			results[w] = res
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("trained %d workers over real TCP (%v)\n\n", workers, addrs)
+	for _, p := range results[0].Curve {
+		if (p.Iter+1)%10 == 0 {
+			fmt.Printf("iter %2d  loss %.4f", p.Iter+1, p.TrainLoss)
+			if p.TestErr >= 0 {
+				fmt.Printf("  test error %.3f", p.TestErr)
+			}
+			fmt.Println()
+		}
+	}
+
+	// BSP invariant: all replicas identical after the final barrier.
+	worst := 0.0
+	p0 := results[0].Final.Params()
+	for w := 1; w < workers; w++ {
+		pw := results[w].Final.Params()
+		for i := range p0 {
+			for j := range p0[i].Data {
+				d := math.Abs(float64(p0[i].Data[j] - pw[i].Data[j]))
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	fmt.Printf("\nmax cross-replica parameter divergence: %g ", worst)
+	if worst < 1e-6 {
+		fmt.Println("(replicas agree: BSP held over TCP)")
+	} else {
+		fmt.Println("(REPLICAS DIVERGED — protocol bug!)")
+	}
+}

@@ -1,0 +1,51 @@
+// vgg_bandwidth sweeps VGG19 training across cluster sizes, bandwidths,
+// and communication strategies on the performance plane — the
+// experiment that motivates HybComm (paper Section 5.2): under
+// commodity 10GbE a parameter server saturates while Poseidon keeps
+// scaling by shipping FC layers as sufficient factors.
+//
+//	go run ./examples/vgg_bandwidth
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/nn"
+)
+
+func main() {
+	fig := metrics.NewFigure("VGG19 speedup vs nodes, by strategy and bandwidth",
+		"nodes", "speedup")
+	for _, bw := range []float64{10, 40} {
+		for _, st := range []engine.Strategy{engine.SeqPS, engine.WFBP, engine.HybComm} {
+			s := fig.SeriesNamed(fmt.Sprintf("%v@%gGbE", st, bw))
+			for _, p := range []int{1, 2, 4, 8, 16} {
+				r := engine.Run(engine.Config{
+					Model: nn.VGG19(), Workers: p, Strategy: st,
+					Engine: "caffe", Bandwidth: netsim.Gbps(bw),
+				})
+				s.Add(float64(p), r.Speedup)
+			}
+		}
+	}
+	fmt.Println(fig.Render())
+
+	fmt.Println("Where the bytes go at 16 nodes, 10GbE:")
+	for _, st := range []engine.Strategy{engine.WFBP, engine.HybComm} {
+		r := engine.Run(engine.Config{
+			Model: nn.VGG19(), Workers: 16, Strategy: st,
+			Engine: "caffe", Bandwidth: netsim.Gbps(10),
+		})
+		var maxTx float64
+		for _, g := range r.NodeTxGbit {
+			if g > maxTx {
+				maxTx = g
+			}
+		}
+		fmt.Printf("  %-9v egress %.2f Gbit/node/iter, iteration %.3fs, GPU stall %.0f%%\n",
+			st, maxTx, r.IterTime, r.GPUStallFrac*100)
+	}
+}

@@ -1,0 +1,61 @@
+// Package consistency implements the paper's bulk synchronous parallel
+// (BSP) bookkeeping for the functional plane: the client library's
+// binary syncer vector C (Section 4.1, "Managing Consistency") and a
+// reusable iteration barrier.
+package consistency
+
+import "sync"
+
+// SyncerVector is the client-side completion vector C: one bit per
+// syncer, reset at the start of each iteration; the client begins the
+// next iteration when all bits are set.
+type SyncerVector struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	bits []bool
+	left int
+}
+
+// NewSyncerVector creates a vector for n syncers, all unset.
+func NewSyncerVector(n int) *SyncerVector {
+	v := &SyncerVector{bits: make([]bool, n), left: n}
+	v.cond = sync.NewCond(&v.mu)
+	return v
+}
+
+// Done sets syncer i's bit. Setting an already-set bit panics: it would
+// mean a syncer completed twice in one iteration, which is a protocol
+// violation.
+func (v *SyncerVector) Done(i int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.bits[i] {
+		panic("consistency: syncer completed twice in one iteration")
+	}
+	v.bits[i] = true
+	v.left--
+	if v.left == 0 {
+		v.cond.Broadcast()
+	}
+}
+
+// Wait blocks until every bit is set, then resets the vector for the
+// next iteration.
+func (v *SyncerVector) Wait() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for v.left > 0 {
+		v.cond.Wait()
+	}
+	for i := range v.bits {
+		v.bits[i] = false
+	}
+	v.left = len(v.bits)
+}
+
+// Remaining returns the number of unset bits (for monitoring).
+func (v *SyncerVector) Remaining() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.left
+}

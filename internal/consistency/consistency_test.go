@@ -1,0 +1,81 @@
+package consistency
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWaitBlocksUntilAllDone(t *testing.T) {
+	v := NewSyncerVector(3)
+	released := make(chan struct{})
+	go func() {
+		v.Wait()
+		close(released)
+	}()
+	v.Done(0)
+	v.Done(1)
+	select {
+	case <-released:
+		t.Fatal("Wait returned with one syncer outstanding")
+	case <-time.After(10 * time.Millisecond):
+	}
+	v.Done(2)
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("Wait never returned")
+	}
+}
+
+func TestVectorResetsAfterWait(t *testing.T) {
+	v := NewSyncerVector(2)
+	v.Done(0)
+	v.Done(1)
+	v.Wait()
+	if v.Remaining() != 2 {
+		t.Fatalf("Remaining after reset = %d, want 2", v.Remaining())
+	}
+	// A second round works identically.
+	v.Done(0)
+	v.Done(1)
+	done := make(chan struct{})
+	go func() { v.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("second round Wait hung")
+	}
+}
+
+func TestDoubleDonePanics(t *testing.T) {
+	v := NewSyncerVector(2)
+	v.Done(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	v.Done(1)
+}
+
+func TestManyIterationsConcurrent(t *testing.T) {
+	const n, iters = 8, 50
+	v := NewSyncerVector(n)
+	for it := 0; it < iters; it++ {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v.Done(i)
+			}()
+		}
+		v.Wait()
+		wg.Wait()
+		if v.Remaining() != n {
+			t.Fatalf("iter %d: remaining = %d", it, v.Remaining())
+		}
+	}
+}

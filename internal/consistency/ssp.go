@@ -1,0 +1,74 @@
+package consistency
+
+import "sync"
+
+// StalenessClock implements bounded-asynchronous (stale synchronous
+// parallel, SSP) progress gating, the consistency relaxation the paper
+// notes Poseidon's design extends to (Section 1, citing Ho et al.).
+// Each tracked object (one per syncer) advances through iteration
+// numbers; a worker may start iteration t when every object has been
+// synchronized through iteration t−1−staleness.
+type StalenessClock struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	staleness int
+	synced    []int // per object: highest fully-synchronized iteration
+}
+
+// NewStalenessClock creates a clock for n objects with the given
+// staleness bound. Staleness 0 is BSP. All objects start at iteration
+// −1 (nothing synchronized).
+func NewStalenessClock(n, staleness int) *StalenessClock {
+	if staleness < 0 {
+		panic("consistency: negative staleness")
+	}
+	c := &StalenessClock{staleness: staleness, synced: make([]int, n)}
+	for i := range c.synced {
+		c.synced[i] = -1
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Advance records that object i finished synchronizing iteration iter.
+// Iterations may complete out of order across objects but must be
+// monotone per object.
+func (c *StalenessClock) Advance(i, iter int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if iter > c.synced[i] {
+		c.synced[i] = iter
+		c.cond.Broadcast()
+	}
+}
+
+// WaitFor blocks until every object is synchronized through iteration
+// iter−1−staleness, i.e. until iteration iter may begin.
+func (c *StalenessClock) WaitFor(iter int) {
+	need := iter - 1 - c.staleness
+	if need < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.min() < need {
+		c.cond.Wait()
+	}
+}
+
+// Min returns the slowest object's synchronized iteration.
+func (c *StalenessClock) Min() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.min()
+}
+
+func (c *StalenessClock) min() int {
+	m := c.synced[0]
+	for _, v := range c.synced[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

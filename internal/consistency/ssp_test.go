@@ -1,0 +1,104 @@
+package consistency
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStalenessZeroIsBSP(t *testing.T) {
+	c := NewStalenessClock(2, 0)
+	// Iteration 0 needs nothing.
+	done := make(chan struct{})
+	go func() { c.WaitFor(0); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("WaitFor(0) must not block")
+	}
+	// Iteration 1 needs both objects through 0.
+	released := make(chan struct{})
+	go func() { c.WaitFor(1); close(released) }()
+	c.Advance(0, 0)
+	select {
+	case <-released:
+		t.Fatal("released with one object behind")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.Advance(1, 0)
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("never released")
+	}
+}
+
+func TestStalenessAllowsRunahead(t *testing.T) {
+	c := NewStalenessClock(1, 2)
+	// With staleness 2, iterations 0..2 proceed with nothing synced.
+	for iter := 0; iter <= 2; iter++ {
+		done := make(chan struct{})
+		go func() { c.WaitFor(iter); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			t.Fatalf("iteration %d blocked under staleness 2", iter)
+		}
+	}
+	// Iteration 3 needs the object through 0.
+	released := make(chan struct{})
+	go func() { c.WaitFor(3); close(released) }()
+	select {
+	case <-released:
+		t.Fatal("iteration 3 must block until sync 0")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.Advance(0, 0)
+	<-released
+}
+
+func TestAdvanceMonotoneAndMin(t *testing.T) {
+	c := NewStalenessClock(2, 0)
+	c.Advance(0, 5)
+	c.Advance(0, 3) // stale report must not regress
+	if c.Min() != -1 {
+		t.Fatalf("Min = %d, want -1 (object 1 untouched)", c.Min())
+	}
+	c.Advance(1, 4)
+	if c.Min() != 4 {
+		t.Fatalf("Min = %d, want 4", c.Min())
+	}
+}
+
+func TestStalenessClockConcurrent(t *testing.T) {
+	const objs, iters = 8, 30
+	c := NewStalenessClock(objs, 1)
+	var wg sync.WaitGroup
+	for o := 0; o < objs; o++ {
+		o := o
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				c.Advance(o, it)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { c.WaitFor(iters); close(done) }()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("WaitFor(iters) never satisfied")
+	}
+}
+
+func TestNegativeStalenessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStalenessClock(1, -1)
+}

@@ -1,0 +1,337 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/nn"
+)
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	return Run(cfg)
+}
+
+// Single-node sanity: WFBP-family strategies add essentially no overhead
+// on a single GPU (paper: Poseidon-Caffe processes 257/35.5/34.2 img/s
+// vs unmodified Caffe's 257/35.5/34.6).
+func TestSingleNodeOverheadNegligible(t *testing.T) {
+	for _, m := range []*nn.Model{nn.GoogLeNet(), nn.VGG19()} {
+		r := run(t, Config{Model: m, Workers: 1, Strategy: HybComm, Engine: "caffe"})
+		if r.Speedup < 0.97 || r.Speedup > 1.03 {
+			t.Errorf("%s: single-node Poseidon speedup = %.3f, want ≈1", m.Name, r.Speedup)
+		}
+	}
+}
+
+// The paper's single-node Caffe+PS measurements: GoogLeNet drops from
+// 257 to 213.3 img/s (ratio 0.83) and VGG19 from 35.5 to 21.3 (0.60)
+// when the vanilla PS client is attached. Our staging calibration must
+// land near those ratios.
+func TestSeqPSSingleNodeCalibration(t *testing.T) {
+	cases := []struct {
+		model *nn.Model
+		ratio float64
+	}{
+		{nn.GoogLeNet(), 213.3 / 257.0},
+		{nn.VGG19(), 21.3 / 35.5},
+		{nn.VGG19_22K(), 18.5 / 34.6},
+	}
+	for _, c := range cases {
+		r := run(t, Config{Model: c.model, Workers: 1, Strategy: SeqPS, Engine: "caffe"})
+		if math.Abs(r.Speedup-c.ratio) > 0.12 {
+			t.Errorf("%s: Caffe+PS single-node ratio = %.2f, want ≈%.2f",
+				c.model.Name, r.Speedup, c.ratio)
+		}
+	}
+}
+
+// Poseidon scales near-linearly on every Table 3 ImageNet network at
+// 40GbE up to 32 nodes (Figures 5, 6, 9a).
+func TestPoseidonNearLinear32Nodes(t *testing.T) {
+	cases := []struct {
+		model  *nn.Model
+		engine string
+		min    float64
+	}{
+		{nn.GoogLeNet(), "caffe", 30},
+		{nn.VGG19(), "caffe", 29},
+		{nn.VGG19_22K(), "caffe", 28},
+		{nn.InceptionV3(), "tensorflow", 30},
+		{nn.VGG19(), "tensorflow", 28},
+		{nn.ResNet152(), "tensorflow", 29},
+	}
+	for _, c := range cases {
+		r := run(t, Config{Model: c.model, Workers: 32, Strategy: HybComm, Engine: c.engine})
+		if r.Speedup < c.min {
+			t.Errorf("%s/%s: Poseidon speedup @32 = %.1f, want ≥ %.1f",
+				c.engine, c.model.Name, r.Speedup, c.min)
+		}
+	}
+}
+
+// Strategy ordering on the FC-heavy VGG19-22K (Fig. 5 right panel):
+// Poseidon > WFBP > sequential PS, at every scale.
+func TestStrategyOrderingVGG22K(t *testing.T) {
+	for _, p := range []int{8, 16, 32} {
+		hyb := run(t, Config{Model: nn.VGG19_22K(), Workers: p, Strategy: HybComm, Engine: "caffe"})
+		wfbp := run(t, Config{Model: nn.VGG19_22K(), Workers: p, Strategy: WFBP, Engine: "caffe"})
+		seq := run(t, Config{Model: nn.VGG19_22K(), Workers: p, Strategy: SeqPS, Engine: "caffe"})
+		if !(hyb.Speedup > wfbp.Speedup && wfbp.Speedup > seq.Speedup) {
+			t.Errorf("P=%d: ordering violated: hyb=%.1f wfbp=%.1f seq=%.1f",
+				p, hyb.Speedup, wfbp.Speedup, seq.Speedup)
+		}
+	}
+	// At 32 nodes the paper reports ≈21.5x for Caffe+WFBP and ≈29.5x for
+	// Poseidon; require the reproduced gap to be substantial.
+	hyb := run(t, Config{Model: nn.VGG19_22K(), Workers: 32, Strategy: HybComm, Engine: "caffe"})
+	wfbp := run(t, Config{Model: nn.VGG19_22K(), Workers: 32, Strategy: WFBP, Engine: "caffe"})
+	if hyb.Speedup-wfbp.Speedup < 5 {
+		t.Errorf("HybComm gain @32 = %.1f (hyb %.1f, wfbp %.1f), want ≥ 5",
+			hyb.Speedup-wfbp.Speedup, hyb.Speedup, wfbp.Speedup)
+	}
+}
+
+// Fig. 8: under 10GbE, a PS-only system loses roughly half its
+// throughput on VGG19 at 16 nodes (paper: ~8x), while Poseidon keeps
+// scaling near-linearly (~15x).
+func TestBandwidthLimitedVGG19(t *testing.T) {
+	wfbp := run(t, Config{Model: nn.VGG19(), Workers: 16, Strategy: WFBP,
+		Engine: "caffe", Bandwidth: netsim.Gbps(10)})
+	hyb := run(t, Config{Model: nn.VGG19(), Workers: 16, Strategy: HybComm,
+		Engine: "caffe", Bandwidth: netsim.Gbps(10)})
+	if wfbp.Speedup > 10 {
+		t.Errorf("WFBP @10GbE should be bandwidth-bound: %.1f, want ≤ 10", wfbp.Speedup)
+	}
+	if hyb.Speedup < 14 {
+		t.Errorf("Poseidon @10GbE should stay near-linear: %.1f, want ≥ 14", hyb.Speedup)
+	}
+}
+
+// Section 5.2: GoogLeNet at 16 nodes reduces to pure PS (thin classifier
+// + large batch), so HybComm and WFBP must coincide exactly.
+func TestGoogLeNet16ReducesToPS(t *testing.T) {
+	hyb := run(t, Config{Model: nn.GoogLeNet(), Workers: 16, Strategy: HybComm,
+		Engine: "caffe", Bandwidth: netsim.Gbps(2)})
+	wfbp := run(t, Config{Model: nn.GoogLeNet(), Workers: 16, Strategy: WFBP,
+		Engine: "caffe", Bandwidth: netsim.Gbps(2)})
+	if hyb.SchemeSummary != "PS:58" {
+		t.Errorf("scheme summary = %q, want all-PS", hyb.SchemeSummary)
+	}
+	if math.Abs(hyb.Speedup-wfbp.Speedup) > 0.01*wfbp.Speedup {
+		t.Errorf("Poseidon (%.2f) should equal WFBP (%.2f) when reduced to PS",
+			hyb.Speedup, wfbp.Speedup)
+	}
+}
+
+// Poseidon never underperforms a PS-only deployment (Section 5.2's
+// guarantee: "Poseidon will never underperform a traditional PS scheme").
+func TestHybCommNeverWorseThanWFBP(t *testing.T) {
+	for _, m := range []*nn.Model{nn.GoogLeNet(), nn.VGG19(), nn.VGG19_22K()} {
+		for _, bw := range []float64{5, 10, 40} {
+			for _, p := range []int{4, 16} {
+				hyb := run(t, Config{Model: m, Workers: p, Strategy: HybComm,
+					Engine: "caffe", Bandwidth: netsim.Gbps(bw)})
+				wfbp := run(t, Config{Model: m, Workers: p, Strategy: WFBP,
+					Engine: "caffe", Bandwidth: netsim.Gbps(bw)})
+				if hyb.Speedup < wfbp.Speedup*0.99 {
+					t.Errorf("%s P=%d bw=%g: HybComm %.2f < WFBP %.2f",
+						m.Name, p, bw, hyb.Speedup, wfbp.Speedup)
+				}
+			}
+		}
+	}
+}
+
+// Distributed TensorFlow's documented pathologies (Section 5.1): it
+// scales poorly on Inception-V3 (paper: 10x @ 32 vs Poseidon's 31.5x
+// normalized differently; here: well below WFBP) and "fails to scale" on
+// the VGG variants because a whole FC tensor lands on one PS shard.
+func TestTFBaselinePathologies(t *testing.T) {
+	tf := run(t, Config{Model: nn.InceptionV3(), Workers: 32, Strategy: TFBaseline, Engine: "tensorflow"})
+	pos := run(t, Config{Model: nn.InceptionV3(), Workers: 32, Strategy: HybComm, Engine: "tensorflow"})
+	if tf.Speedup > 0.85*pos.Speedup {
+		t.Errorf("TF @32 on Inception-V3 = %.1f should trail Poseidon = %.1f by >15%%",
+			tf.Speedup, pos.Speedup)
+	}
+	tfv := run(t, Config{Model: nn.VGG19(), Workers: 32, Strategy: TFBaseline, Engine: "tensorflow"})
+	if tfv.Speedup > 10 {
+		t.Errorf("TF @32 on VGG19 = %.1f, want ≤ 10 (fails to scale)", tfv.Speedup)
+	}
+	// TF single node is the unmodified baseline: speedup exactly ~1.
+	tf1 := run(t, Config{Model: nn.InceptionV3(), Workers: 1, Strategy: TFBaseline, Engine: "tensorflow"})
+	if math.Abs(tf1.Speedup-1) > 0.02 {
+		t.Errorf("TF single-node speedup = %.3f, want 1", tf1.Speedup)
+	}
+}
+
+// Fig. 10: Adam's SF-push/matrix-pull concentrates VGG19 traffic on the
+// shard owning fc6, creating a hot spot several times the mean; Poseidon
+// stays balanced and far below TF-WFBP's dense traffic.
+func TestFig10TrafficPattern(t *testing.T) {
+	adam := run(t, Config{Model: nn.VGG19(), Workers: 8, Strategy: Adam, Engine: "tensorflow"})
+	wfbp := run(t, Config{Model: nn.VGG19(), Workers: 8, Strategy: WFBP, Engine: "tensorflow"})
+	pos := run(t, Config{Model: nn.VGG19(), Workers: 8, Strategy: HybComm, Engine: "tensorflow"})
+
+	maxAdam, sumAdam := 0.0, 0.0
+	for _, g := range adam.NodeTxGbit {
+		sumAdam += g
+		if g > maxAdam {
+			maxAdam = g
+		}
+	}
+	meanAdam := sumAdam / float64(len(adam.NodeTxGbit))
+	if maxAdam < 3*meanAdam {
+		t.Errorf("Adam hot spot %.1f Gb vs mean %.1f Gb: want ≥3x imbalance", maxAdam, meanAdam)
+	}
+
+	maxPos, minPos := 0.0, math.Inf(1)
+	for _, g := range pos.NodeTxGbit {
+		if g > maxPos {
+			maxPos = g
+		}
+		if g < minPos {
+			minPos = g
+		}
+	}
+	if maxPos > 1.3*minPos {
+		t.Errorf("Poseidon traffic imbalanced: max %.2f min %.2f", maxPos, minPos)
+	}
+	// Poseidon's per-node traffic is several times below TF-WFBP's.
+	if maxPos > 0.5*wfbp.NodeTxGbit[0] {
+		t.Errorf("Poseidon traffic %.1f Gb should be ≪ TF-WFBP %.1f Gb",
+			maxPos, wfbp.NodeTxGbit[0])
+	}
+	// Adam @8 nodes achieves only ≈5x (paper).
+	if adam.Speedup > 7 {
+		t.Errorf("Adam speedup @8 = %.1f, want ≤ 7 (paper: ~5x)", adam.Speedup)
+	}
+}
+
+// Section 5.3: CNTK-style 1-bit on VGG19 reaches about 5.8x/11x/20x on
+// 8/16/32 nodes — well below Poseidon at 40GbE.
+func TestOneBitSpeedups(t *testing.T) {
+	want := map[int]float64{8: 5.8, 16: 11, 32: 20}
+	for p, target := range want {
+		r := run(t, Config{Model: nn.VGG19(), Workers: p, Strategy: OneBit, Engine: "caffe"})
+		if math.Abs(r.Speedup-target) > 0.25*target {
+			t.Errorf("1-bit @%d = %.1f, want ≈%.1f ±25%%", p, r.Speedup, target)
+		}
+	}
+	// Under starved bandwidth 1-bit beats dense WFBP (its raison d'être).
+	ob := run(t, Config{Model: nn.VGG19(), Workers: 16, Strategy: OneBit,
+		Engine: "caffe", Bandwidth: netsim.Gbps(5)})
+	wf := run(t, Config{Model: nn.VGG19(), Workers: 16, Strategy: WFBP,
+		Engine: "caffe", Bandwidth: netsim.Gbps(5)})
+	if ob.Speedup < wf.Speedup {
+		t.Errorf("at 5GbE 1-bit (%.1f) should beat dense WFBP (%.1f)", ob.Speedup, wf.Speedup)
+	}
+}
+
+// Fig. 7: GPU stall fraction ordering at 8 nodes: TF > TF+WFBP > Poseidon.
+func TestFig7StallOrdering(t *testing.T) {
+	for _, m := range []*nn.Model{nn.InceptionV3(), nn.VGG19(), nn.VGG19_22K()} {
+		tf := run(t, Config{Model: m, Workers: 8, Strategy: TFBaseline, Engine: "tensorflow"})
+		wfbp := run(t, Config{Model: m, Workers: 8, Strategy: WFBP, Engine: "tensorflow"})
+		pos := run(t, Config{Model: m, Workers: 8, Strategy: HybComm, Engine: "tensorflow"})
+		if !(tf.GPUStallFrac >= wfbp.GPUStallFrac-0.01 && wfbp.GPUStallFrac >= pos.GPUStallFrac-0.01) {
+			t.Errorf("%s: stall ordering TF=%.2f WFBP=%.2f Poseidon=%.2f",
+				m.Name, tf.GPUStallFrac, wfbp.GPUStallFrac, pos.GPUStallFrac)
+		}
+	}
+}
+
+// Multi-GPU: Poseidon with 4 GPUs/node on one node scales ≈4x on
+// GoogLeNet (Section 5.1 reports linear scaling to 4 Titan X).
+func TestMultiGPUSingleNode(t *testing.T) {
+	r := run(t, Config{Model: nn.GoogLeNet(), Workers: 1, GPUsPerNode: 4, Strategy: HybComm, Engine: "caffe"})
+	if r.Speedup < 3.8 {
+		t.Errorf("4-GPU single node speedup = %.1f, want ≥ 3.8", r.Speedup)
+	}
+	// 4 nodes × 8 GPUs ≈ the paper's AWS p2.8xlarge test: ≈32x on
+	// GoogLeNet.
+	r = run(t, Config{Model: nn.GoogLeNet(), Workers: 4, GPUsPerNode: 8, Strategy: HybComm, Engine: "caffe"})
+	if r.Speedup < 28 {
+		t.Errorf("4×8-GPU speedup = %.1f, want ≥ 28", r.Speedup)
+	}
+}
+
+// Straggler ablation: dropping stragglers (the paper's BSP policy)
+// recovers throughput that waiting loses.
+func TestStragglerDropAblation(t *testing.T) {
+	wait := run(t, Config{Model: nn.VGG19(), Workers: 8, Strategy: WFBP, Engine: "caffe",
+		StragglerSlow: 1.5})
+	drop := run(t, Config{Model: nn.VGG19(), Workers: 8, Strategy: WFBP, Engine: "caffe",
+		StragglerSlow: 1.5, DropStragglers: true})
+	noStrag := run(t, Config{Model: nn.VGG19(), Workers: 8, Strategy: WFBP, Engine: "caffe"})
+	if wait.IterTime <= noStrag.IterTime*1.2 {
+		t.Errorf("a 1.5x straggler should slow BSP by ≥20%%: %.3f vs %.3f",
+			wait.IterTime, noStrag.IterTime)
+	}
+	if drop.IterTime >= wait.IterTime {
+		t.Errorf("dropping the straggler (%.3f) should beat waiting (%.3f)",
+			drop.IterTime, wait.IterTime)
+	}
+}
+
+// Chunking ablation: with fine-grained 2MB KV pairs the PS load is
+// balanced; forcing huge chunks degenerates toward per-tensor placement
+// and hurts FC-heavy models at limited bandwidth.
+func TestChunkSizeAblation(t *testing.T) {
+	fine := run(t, Config{Model: nn.VGG19(), Workers: 8, Strategy: WFBP, Engine: "caffe",
+		Bandwidth: netsim.Gbps(10)})
+	coarse := run(t, Config{Model: nn.VGG19(), Workers: 8, Strategy: WFBP, Engine: "caffe",
+		Bandwidth: netsim.Gbps(10), ChunkBytes: 1 << 30})
+	if fine.Speedup <= coarse.Speedup {
+		t.Errorf("fine chunks (%.2f) should beat 1GB chunks (%.2f) at 10GbE",
+			fine.Speedup, coarse.Speedup)
+	}
+}
+
+// The pipe fabric and the fluid max-min fabric must agree on iteration
+// time within modeling tolerance on a small deployment.
+func TestPipeVsFluidAgreement(t *testing.T) {
+	pipe := run(t, Config{Model: nn.GoogLeNet(), Workers: 4, Strategy: WFBP, Engine: "caffe",
+		Bandwidth: netsim.Gbps(10), Iterations: 3, Warmup: 1})
+	fluid := run(t, Config{Model: nn.GoogLeNet(), Workers: 4, Strategy: WFBP, Engine: "caffe",
+		Bandwidth: netsim.Gbps(10), Iterations: 3, Warmup: 1, FluidNet: true})
+	diff := math.Abs(pipe.IterTime-fluid.IterTime) / fluid.IterTime
+	if diff > 0.15 {
+		t.Errorf("pipe %.4f vs fluid %.4f: %.0f%% apart", pipe.IterTime, fluid.IterTime, diff*100)
+	}
+}
+
+// Determinism: identical configs produce identical results.
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Model: nn.VGG19(), Workers: 8, Strategy: HybComm, Engine: "caffe"}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.IterTime != b.IterTime || a.Speedup != b.Speedup {
+		t.Fatalf("nondeterministic: %.6f vs %.6f", a.IterTime, b.IterTime)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	names := map[Strategy]string{SeqPS: "Caffe+PS", WFBP: "WFBP", HybComm: "Poseidon",
+		TFBaseline: "TF", Adam: "Adam", OneBit: "1bit"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Strategy(99).String() == "" {
+		t.Error("unknown strategy must render")
+	}
+}
+
+func TestThroughputConsistency(t *testing.T) {
+	r := run(t, Config{Model: nn.VGG19(), Workers: 8, Strategy: HybComm, Engine: "caffe"})
+	want := float64(8*32) / r.IterTime
+	if math.Abs(r.Throughput-want) > 1e-9*want {
+		t.Errorf("Throughput %.2f != workers·batch/iterTime %.2f", r.Throughput, want)
+	}
+	if r.GPUBusyFrac+r.GPUStallFrac > 1.001 || r.GPUBusyFrac+r.GPUStallFrac < 0.999 {
+		t.Errorf("busy+stall = %v", r.GPUBusyFrac+r.GPUStallFrac)
+	}
+}

@@ -1,0 +1,394 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/poseidon"
+)
+
+// group is the unit of PS traffic: all KV pairs of one layer that live
+// on one shard, pushed and broadcast together (they become ready
+// simultaneously, so batching them loses no timing fidelity while
+// keeping the event count linear in servers rather than chunks).
+type group struct {
+	Layer  int
+	Server int
+	Bytes  int64
+}
+
+// buildGroups merges each layer's chunks by owning server.
+func buildGroups(plans map[int]poseidon.LayerPlan) map[int][]group {
+	out := make(map[int][]group)
+	for li, p := range plans {
+		byServer := make(map[int]int64)
+		var order []int
+		for _, c := range p.Chunks {
+			if _, ok := byServer[c.Server]; !ok {
+				order = append(order, c.Server)
+			}
+			byServer[c.Server] += c.Bytes
+		}
+		var gs []group
+		for _, srv := range order {
+			gs = append(gs, group{Layer: li, Server: srv, Bytes: byServer[srv]})
+		}
+		out[li] = gs
+	}
+	return out
+}
+
+// launchSync dispatches layer l's iteration-iter synchronization for
+// worker w along the route the coordinator planned.
+func (s *simulation) launchSync(w *workerSim, l, iter int) {
+	plan, ok := s.plans[l]
+	if !ok {
+		panic(fmt.Sprintf("engine: no plan for layer %d", l))
+	}
+	switch plan.Scheme {
+	case poseidon.SFB:
+		s.sendSFB(w, plan, iter)
+	case poseidon.AdamSF:
+		s.sendAdam(w, plan, iter)
+	default:
+		s.sendPS(w, plan, iter)
+	}
+}
+
+// stagingRate returns the host staging bandwidth for the configured
+// engine: Caffe's pinned-buffer copies sustain ~2 GB/s; TensorFlow's
+// feed/assign machinery about half that.
+func (s *simulation) stagingRate() float64 {
+	if s.cfg.Engine == "tensorflow" {
+		return stagingBpsTF
+	}
+	return stagingBpsCaffe
+}
+
+// singleThreadedHost reports whether the strategy's host path is a
+// monolithic loop (vanilla Caffe+PS client, TensorFlow runtime, CNTK's
+// quantizing sync), as opposed to Poseidon's thread/stream pools.
+func (s *simulation) singleThreadedHost() bool {
+	switch s.cfg.Strategy {
+	case SeqPS, TFBaseline, OneBit:
+		return true
+	}
+	return false
+}
+
+// stageCost returns the full host-side staging cost of moving bytes of
+// layer payload between DRAM and GPU memory: a fixed per-layer cost, a
+// bandwidth term at the engine's staging rate, and — for the 1-bit
+// baseline — the quantize/dequantize pass over the dense gradient.
+func (s *simulation) stageCost(plan poseidon.LayerPlan, bytes int64) float64 {
+	d := stagingFixed + float64(bytes)/s.stagingRate()
+	if s.cfg.Strategy == OneBit && plan.QuantBytes > 0 {
+		d += float64(plan.DenseBytes) / quantBps
+	}
+	return d
+}
+
+// stageUse runs one staging job on node; out selects the D2H (send) or
+// H2D (receive) direction, and remoteBytes says how much of the payload
+// crosses the network (serialization into wire messages applies only to
+// that part — chunks whose shard is colocated move by shared memory).
+//
+// Single-threaded hosts serialize the whole cost — both directions,
+// local or not — on one FIFO: this is what makes the vanilla Caffe+PS
+// client lose 17-40% at a single node, matching the paper's
+// measurements. Poseidon's client library instead pipelines the DMA
+// engine (full-duplex PCIe), a per-node serialization stage for remote
+// traffic, and a thread pool for per-layer fixed work, so single-node
+// deployments show no overhead while large clusters pay the
+// serialization cost on (P−1)/P of their bytes.
+func (s *simulation) stageUse(node int, plan poseidon.LayerPlan, bytes, remoteBytes int64, out bool, done func()) {
+	if s.singleThreadedHost() {
+		s.staging[node][0].Use(s.stageCost(plan, bytes), done)
+		return
+	}
+	dma := s.pcieIn[node]
+	if out {
+		dma = s.pcieOut[node]
+	}
+	dma.Use(float64(bytes)/pcieBps, func() {
+		s.serial[node].Use(float64(remoteBytes)/s.stagingRate(), func() {
+			pool := s.staging[node]
+			best := pool[0]
+			for _, r := range pool[1:] {
+				if r.FreeAt() < best.FreeAt() {
+					best = r
+				}
+			}
+			best.Use(stagingFixed, done)
+		})
+	})
+}
+
+// remoteGroupBytes sums the layer's PS traffic that does not stay on
+// this node.
+func (s *simulation) remoteGroupBytes(layer, node int) int64 {
+	var remote int64
+	for _, g := range s.groups[layer] {
+		if g.Server != node {
+			remote += g.Bytes
+		}
+	}
+	return remote
+}
+
+// localAggDelay returns the device-to-device copy time to gather one
+// layer's gradients from the node's extra GPUs onto the leader GPU
+// before communication (Section 5.1, multi-GPU settings).
+func (s *simulation) localAggDelay(bytes int64) float64 {
+	g := s.cfg.GPUsPerNode
+	if g <= 1 {
+		return 0
+	}
+	return float64(g-1) * float64(bytes) / d2dBps
+}
+
+// wireBytes returns the wire size of a PS transfer, accounting for
+// 1-bit quantization of FC layers (both directions, per CNTK).
+func (s *simulation) wireBytes(plan poseidon.LayerPlan, bytes int64) int64 {
+	if s.cfg.Strategy == OneBit && plan.QuantBytes > 0 {
+		q := float64(plan.QuantBytes) / float64(plan.DenseBytes)
+		b := int64(float64(bytes) * q)
+		if b < 1 {
+			b = 1
+		}
+		return b
+	}
+	return bytes
+}
+
+// ---- Parameter-server path -------------------------------------------
+
+// sendPS stages the layer's gradient to host memory, then pushes each
+// shard's slice of it.
+func (s *simulation) sendPS(w *workerSim, plan poseidon.LayerPlan, iter int) {
+	layerBytes := s.cfg.Model.Layers[plan.Layer].ParamBytes()
+	extra := int64(s.localAggDelay(layerBytes) * pcieBps)
+	s.stageUse(w.id, plan, layerBytes+extra, s.remoteGroupBytes(plan.Layer, w.id), true, func() {
+		for _, g := range s.groups[plan.Layer] {
+			g := g
+			s.net.Start(w.id, g.Server, s.wireBytes(plan, g.Bytes), func() {
+				s.serverRecvPush(g, plan, iter)
+			})
+		}
+	})
+}
+
+func groupKey(g group, iter int) string {
+	return fmt.Sprintf("L%d/S%d@%d", g.Layer, g.Server, iter)
+}
+
+// pushThreshold is how many pushes a KV group waits for before
+// broadcasting: all workers, or one fewer when dropping stragglers.
+func (s *simulation) pushThreshold() int {
+	if s.cfg.DropStragglers && s.cfg.StragglerSlow > 1 && s.cfg.Workers > 1 {
+		return s.cfg.Workers - 1
+	}
+	return s.cfg.Workers
+}
+
+// serverRecvPush counts arrivals of one shard-group's updates; on the
+// threshold it applies them and broadcasts the fresh parameters
+// (the paper's count-based bulk-synchronous KV store).
+func (s *simulation) serverRecvPush(g group, plan poseidon.LayerPlan, iter int) {
+	key := groupKey(g, iter)
+	st := s.groupSt[key]
+	if st == nil {
+		st = &groupState{}
+		s.groupSt[key] = st
+	}
+	st.pushes++
+	if st.pushes != s.pushThreshold() || st.applied {
+		return
+	}
+	applyTime := float64(g.Bytes) * float64(s.cfg.Workers) / applyBps
+	s.cpu[g.Server].Use(applyTime, func() {
+		st.applied = true
+		if s.cfg.Strategy == TFBaseline {
+			// TF workers pull explicitly at iteration start; serve the
+			// queued pulls and let later ones hit the applied state.
+			waiters := st.pullWaiters
+			st.pullWaiters = nil
+			for _, wid := range waiters {
+				s.sendPull(wid, g, plan, iter)
+			}
+			return
+		}
+		for wid := 0; wid < s.cfg.Workers; wid++ {
+			s.sendPull(wid, g, plan, iter)
+		}
+	})
+}
+
+// sendPull ships one fresh shard-group from its server to a worker.
+func (s *simulation) sendPull(wid int, g group, plan poseidon.LayerPlan, iter int) {
+	s.net.Start(g.Server, wid, s.wireBytes(plan, g.Bytes), func() {
+		s.workerRecvGroup(wid, plan, iter)
+	})
+}
+
+// registerPull records a TF-style pull request, served immediately if
+// the group is already applied.
+func (s *simulation) registerPull(w *workerSim, g group, iter int) {
+	key := groupKey(g, iter)
+	st := s.groupSt[key]
+	if st == nil {
+		st = &groupState{}
+		s.groupSt[key] = st
+	}
+	if st.applied {
+		s.sendPull(w.id, g, s.plans[g.Layer], iter)
+		return
+	}
+	st.pullWaiters = append(st.pullWaiters, w.id)
+}
+
+// workerRecvGroup counts shard-group arrivals for one layer; when the
+// layer is complete it stages the parameters back into GPU memory and
+// marks the layer synchronized.
+func (s *simulation) workerRecvGroup(wid int, plan poseidon.LayerPlan, iter int) {
+	key := fmt.Sprintf("w%d/L%d@%d", wid, plan.Layer, iter)
+	st := s.recvSt[key]
+	if st == nil {
+		st = &recvState{}
+		s.recvSt[key] = st
+	}
+	st.got++
+	if st.got != len(s.groups[plan.Layer]) {
+		return
+	}
+	delete(s.recvSt, key)
+	layerBytes := s.cfg.Model.Layers[plan.Layer].ParamBytes()
+	extra := int64(s.localAggDelay(layerBytes) * pcieBps)
+	s.stageUse(wid, plan, layerBytes+extra, s.remoteGroupBytes(plan.Layer, wid), false, func() {
+		s.syncDone(wid, plan.Layer, iter)
+	})
+}
+
+// ---- Sufficient-factor broadcasting path ------------------------------
+
+// sendSFB stages the layer's sufficient factors and broadcasts them to
+// every peer worker.
+func (s *simulation) sendSFB(w *workerSim, plan poseidon.LayerPlan, iter int) {
+	sfBytes := plan.SFBytes * int64(s.cfg.GPUsPerNode) // SFs are not additive
+	remote := sfBytes
+	if s.cfg.Workers == 1 {
+		remote = 0
+	}
+	s.stageUse(w.id, plan, sfBytes, remote, true, func() {
+		if s.cfg.Workers == 1 {
+			s.aux[w.id].Use(0, func() { s.syncDone(w.id, plan.Layer, iter) })
+			return
+		}
+		for p := 0; p < s.cfg.Workers; p++ {
+			if p == w.id {
+				continue
+			}
+			p := p
+			s.net.Start(w.id, p, sfBytes, func() {
+				s.peerRecvSF(p, plan, iter)
+			})
+		}
+	})
+}
+
+// peerRecvSF counts sufficient-factor arrivals; when SFs from all peers
+// are in, the worker reconstructs the dense gradients on a GPU stream
+// and applies them.
+func (s *simulation) peerRecvSF(wid int, plan poseidon.LayerPlan, iter int) {
+	key := fmt.Sprintf("sfb/w%d/L%d@%d", wid, plan.Layer, iter)
+	st := s.recvSt[key]
+	if st == nil {
+		st = &recvState{}
+		s.recvSt[key] = st
+	}
+	st.got++
+	if st.got != s.cfg.Workers-1 {
+		return
+	}
+	delete(s.recvSt, key)
+	l := &s.cfg.Model.Layers[plan.Layer]
+	m, n := l.GradMatrixShape()
+	peers := int64(s.cfg.Workers - 1)
+	k := int64(s.cfg.Batch * s.cfg.GPUsPerNode)
+	reconFLOPs := 2 * k * peers * m * n
+	dur := s.cfg.Device.ComputeTime(reconFLOPs) +
+		float64(plan.SFBytes*peers)/stagingBpsCaffe
+	s.aux[wid].Use(dur, func() {
+		s.syncDone(wid, plan.Layer, iter)
+	})
+}
+
+// ---- Project Adam path -------------------------------------------------
+
+// adamServer assigns one owning shard per layer (Adam cannot split an
+// SF-updated matrix across shards — the root of its imbalance).
+func (s *simulation) adamServer(layer int) int { return layer % s.cfg.Servers }
+
+// sendAdam pushes the layer's SFs to its single owning server.
+func (s *simulation) sendAdam(w *workerSim, plan poseidon.LayerPlan, iter int) {
+	sfBytes := plan.SFBytes * int64(s.cfg.GPUsPerNode)
+	server := s.adamServer(plan.Layer)
+	remote := sfBytes
+	if server == w.id {
+		remote = 0
+	}
+	s.stageUse(w.id, plan, sfBytes, remote, true, func() {
+		s.net.Start(w.id, server, sfBytes, func() {
+			s.adamServerRecv(server, plan, iter)
+		})
+	})
+}
+
+// adamServerRecv reconstructs after all workers' SFs arrive, then
+// broadcasts the full updated matrix to every worker.
+func (s *simulation) adamServerRecv(server int, plan poseidon.LayerPlan, iter int) {
+	key := fmt.Sprintf("adam/L%d@%d", plan.Layer, iter)
+	st := s.recvSt[key]
+	if st == nil {
+		st = &recvState{}
+		s.recvSt[key] = st
+	}
+	st.got++
+	if st.got != s.cfg.Workers {
+		return
+	}
+	delete(s.recvSt, key)
+	l := &s.cfg.Model.Layers[plan.Layer]
+	m, n := l.GradMatrixShape()
+	k := int64(s.cfg.Batch * s.cfg.GPUsPerNode)
+	reconBytes := 8 * k * (m + n) * int64(s.cfg.Workers) // CPU reconstruction pass
+	s.cpu[server].Use(float64(reconBytes)/applyBps+float64(plan.DenseBytes)/applyBps, func() {
+		for wid := 0; wid < s.cfg.Workers; wid++ {
+			wid := wid
+			s.net.Start(server, wid, plan.DenseBytes, func() {
+				s.adamWorkerRecv(wid, plan, iter)
+			})
+		}
+	})
+}
+
+func (s *simulation) adamWorkerRecv(wid int, plan poseidon.LayerPlan, iter int) {
+	remote := plan.DenseBytes
+	if s.adamServer(plan.Layer) == wid {
+		remote = 0
+	}
+	s.stageUse(wid, plan, plan.DenseBytes, remote, false, func() {
+		s.syncDone(wid, plan.Layer, iter)
+	})
+}
+
+// ---- Completion ---------------------------------------------------------
+
+// syncDone marks layer l synchronized for iteration iter on worker wid
+// and wakes the worker if its forward pass is waiting.
+func (s *simulation) syncDone(wid, l, iter int) {
+	w := s.workers[wid]
+	if iter > w.syncedIter[l] {
+		w.syncedIter[l] = iter
+	}
+	s.unblock(w)
+}

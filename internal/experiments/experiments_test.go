@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact must be registered.
+	want := []string{"table1", "table3", "alexnet", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "multigpu", "bestscheme", "ablations"}
+	for _, name := range want {
+		if _, ok := Find(name); !ok {
+			t.Errorf("experiment %q not registered", name)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	if len(Names()) != len(want) {
+		t.Errorf("Names() returned %d", len(Names()))
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) should miss")
+	}
+}
+
+func runExp(t *testing.T, name string) string {
+	t.Helper()
+	e, ok := Find(name)
+	if !ok {
+		t.Fatalf("experiment %q missing", name)
+	}
+	var buf bytes.Buffer
+	e.Run(&buf)
+	out := buf.String()
+	if out == "" {
+		t.Fatalf("%s produced no output", name)
+	}
+	return out
+}
+
+func TestTable1Output(t *testing.T) {
+	out := runExp(t, "table1")
+	// The worked example's numbers (Section 3.2): SFB ≈ 3.7M, colocated
+	// PS ≈ 58.7M.
+	for _, want := range []string{"3.7M", "58.7M", "33.6M"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	out := runExp(t, "table3")
+	for _, want := range []string{"cifar10-quick", "googlenet", "inception-v3",
+		"vgg19", "vgg19-22k", "resnet-152", "ImageNet22K"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "0.1M") { // cifar quick ≈ 145.6K
+		t.Errorf("table3 param formatting wrong:\n%s", out)
+	}
+}
+
+func TestAlexNetOutput(t *testing.T) {
+	out := runExp(t, "alexnet")
+	if !strings.Contains(out, "Gbps") {
+		t.Errorf("alexnet missing bandwidth demand:\n%s", out)
+	}
+}
+
+func TestFig7Output(t *testing.T) {
+	out := runExp(t, "fig7")
+	for _, want := range []string{"Inception-V3", "VGG19-22K", "TF+WFBP", "Poseidon"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 missing %q", want)
+		}
+	}
+}
+
+func TestFig10Output(t *testing.T) {
+	out := runExp(t, "fig10")
+	for _, want := range []string{"TF-WFBP", "Adam", "Poseidon", "Gb/iter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig10 missing %q", want)
+		}
+	}
+}
+
+func TestBestSchemeOutput(t *testing.T) {
+	out := runExp(t, "bestscheme")
+	if !strings.Contains(out, "SFB") || !strings.Contains(out, "fc6") {
+		t.Errorf("bestscheme missing decisions:\n%s", out)
+	}
+}
+
+func TestMultiGPUOutput(t *testing.T) {
+	out := runExp(t, "multigpu")
+	if !strings.Contains(out, "1x4") || !strings.Contains(out, "4x8") {
+		t.Errorf("multigpu missing rows:\n%s", out)
+	}
+}
+
+// The full figure sweeps are exercised by bench_test.go; here we just
+// check fig9's convergence table renders (it is cheap).
+func TestFig9ConvergenceCurve(t *testing.T) {
+	if resnetTop1(0) <= resnetTop1(120) {
+		t.Fatal("error curve must decrease")
+	}
+	if resnetTop1(120) != 0.24 {
+		t.Fatalf("final error %v, want 0.24 (paper)", resnetTop1(120))
+	}
+	for e := 0; e < 119; e++ {
+		if resnetTop1(e) < resnetTop1(e+1)-1e-9 {
+			t.Fatalf("curve not monotone at epoch %d", e)
+		}
+	}
+}

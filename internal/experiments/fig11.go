@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/nn/autodiff"
+	"repro/internal/train"
+)
+
+// runFig11 regenerates the paper's statistical comparison on 4 workers:
+// exact synchronization (Poseidon) vs 1-bit quantization with residual
+// feedback (CNTK's strategy) on a CIFAR-10-quick-style CNN. This is real
+// training on the functional plane — actual float32 forward/backward
+// passes and actual protocol messages — on a synthetic CIFAR-like
+// dataset (see DESIGN.md for the substitution rationale). The network is
+// the paper's recipe at reduced scale (8×8 inputs) so the experiment
+// runs in seconds on a CPU.
+func runFig11(w io.Writer) {
+	const (
+		workers = 4
+		iters   = 120
+		batch   = 4
+		lr      = 0.1
+		classes = 10
+	)
+	full := data.Synthetic(911, 1280, classes, 3, 8, 8, 0.35)
+	trainSet, testSet := full.Split(1024)
+
+	build := func(rng *rand.Rand) *autodiff.Network {
+		net, _, _, _ := autodiff.CIFARQuickNet(4, classes, rng)
+		return net
+	}
+
+	lossFig := metrics.NewFigure("Figure 11a: train loss vs iteration (CIFAR-quick-style CNN, 4 workers)",
+		"iteration", "train loss")
+	errFig := metrics.NewFigure("Figure 11b: test error vs iteration",
+		"iteration", "test error")
+
+	for _, mode := range []struct {
+		label string
+		m     train.SyncMode
+	}{
+		{"Poseidon", train.Hybrid},
+		{"Poseidon-1bit", train.OneBit},
+	} {
+		res, err := train.Run(train.Config{
+			Workers: workers, Iters: iters, Batch: batch, LR: lr,
+			Mode: mode.m, Seed: 7, BuildNet: build,
+			TrainSet: trainSet, TestSet: testSet, EvalEvery: 20,
+		})
+		if err != nil {
+			fmt.Fprintf(w, "fig11 %s: %v\n", mode.label, err)
+			return
+		}
+		ls := lossFig.SeriesNamed(mode.label)
+		es := errFig.SeriesNamed(mode.label)
+		// Smooth the loss with a window of 10 for readability.
+		win := 10
+		for i := win; i <= len(res.Curve); i += win {
+			sum := 0.0
+			for _, p := range res.Curve[i-win : i] {
+				sum += p.TrainLoss
+			}
+			ls.Add(float64(i), sum/float64(win))
+		}
+		for _, p := range res.Curve {
+			if p.TestErr >= 0 {
+				es.Add(float64(p.Iter+1), p.TestErr)
+			}
+		}
+	}
+	fmt.Fprintln(w, lossFig.Render())
+	fmt.Fprintln(w, errFig.Render())
+	fmt.Fprintln(w, "(Real data-parallel training over the functional plane. The paper claims")
+	fmt.Fprintln(w, " 1-bit's quantization residual behaves like a delayed update and converges")
+	fmt.Fprintln(w, " worse per iteration; on this synthetic task error-feedback 1-bit instead")
+	fmt.Fprintln(w, " tracks or beats exact sync — see EXPERIMENTS.md for the discussion of")
+	fmt.Fprintln(w, " this deviation.)")
+}

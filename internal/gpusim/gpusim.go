@@ -1,0 +1,141 @@
+// Package gpusim models GPU compute for the performance plane of the
+// Poseidon reproduction.
+//
+// Poseidon never changes the math a GPU executes — it reorders and
+// overlaps compute with communication — so for every figure in the
+// paper's evaluation what matters is the *duration* of each layer's
+// forward/backward step and of DRAM↔GPU copies. We derive per-layer
+// durations from exact FLOP counts (internal/nn) and a device rating,
+// and we calibrate the device's sustained efficiency per model against
+// the single-node throughputs the paper itself reports (Section 5.1),
+// so the simulation is anchored to the authors' measurements.
+package gpusim
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// Device is one GPU plus its host link.
+type Device struct {
+	Name string
+	// PeakFLOPS is the peak fp32 rate in FLOP/s.
+	PeakFLOPS float64
+	// Efficiency is the sustained fraction of peak achieved by the
+	// model's kernel mix (cuDNN convolutions sustain 40–70% of peak
+	// depending on shape).
+	Efficiency float64
+	// CopyBps is the effective DRAM↔GPU copy bandwidth (bytes/s);
+	// PCIe 3.0 x16 sustains ~10–12 GB/s.
+	CopyBps float64
+}
+
+// TitanX returns the NVIDIA GeForce TITAN X (Maxwell) used in the
+// paper's cluster: 6.6 TFLOPS peak fp32.
+func TitanX() Device {
+	return Device{Name: "TITAN X", PeakFLOPS: 6.6e12, Efficiency: 0.55, CopyBps: 11e9}
+}
+
+// TeslaK80 returns one GK210 die of a Tesla K80, the GPU in the paper's
+// AWS p2.8xlarge multi-GPU experiment (less GFLOPS than Titan X).
+func TeslaK80() Device {
+	return Device{Name: "Tesla K80", PeakFLOPS: 2.8e12, Efficiency: 0.55, CopyBps: 9e9}
+}
+
+// ComputeTime returns the duration of a kernel of the given FLOP count.
+func (d Device) ComputeTime(flops int64) float64 {
+	if flops <= 0 {
+		return 0
+	}
+	return float64(flops) / (d.PeakFLOPS * d.Efficiency)
+}
+
+// CopyTime returns the duration of a DRAM↔GPU copy of the given size.
+func (d Device) CopyTime(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.CopyBps
+}
+
+// Calibrated returns a copy of d whose Efficiency is set so that one
+// full forward+backward iteration of model m at its Table 3 batch size
+// takes exactly 1/ips·batch seconds — i.e. the device sustains the
+// paper's reported single-node images/second for that model.
+func (d Device) Calibrated(m *nn.Model, imagesPerSec float64) Device {
+	if imagesPerSec <= 0 {
+		panic("gpusim: non-positive throughput")
+	}
+	b := m.BatchSize
+	iterFLOPs := m.FwdFLOPs(b) + m.BwdFLOPs(b)
+	iterTime := float64(b) / imagesPerSec
+	d.Efficiency = float64(iterFLOPs) / (iterTime * d.PeakFLOPS)
+	if d.Efficiency <= 0 {
+		panic("gpusim: calibration produced non-positive efficiency")
+	}
+	return d
+}
+
+// PaperSingleNodeIPS holds the single-node images/second the paper
+// reports in Section 5.1, keyed by engine then model name. These anchor
+// the calibrated simulations.
+var PaperSingleNodeIPS = map[string]map[string]float64{
+	"caffe": {
+		"googlenet":  257,
+		"vgg19":      35.5,
+		"vgg19-22k":  34.6,
+		"alexnet":    1024, // ≈0.25 s per 256-image batch (Section 2.2)
+		"resnet-152": 48,   // not reported; FLOPs-derived estimate
+	},
+	"tensorflow": {
+		"inception-v3": 43.2,
+		"vgg19":        38.5,
+		"vgg19-22k":    34.8,
+		"resnet-152":   48, // not reported; FLOPs-derived estimate
+	},
+}
+
+// CalibratedFor returns a Titan X calibrated to the paper's single-node
+// throughput for (engine, model) when reported, or the default
+// efficiency otherwise.
+func CalibratedFor(engine string, m *nn.Model) Device {
+	d := TitanX()
+	if eng, ok := PaperSingleNodeIPS[engine]; ok {
+		if ips, ok := eng[m.Name]; ok {
+			return d.Calibrated(m, ips)
+		}
+	}
+	return d
+}
+
+// LayerTimes precomputes per-layer forward and backward durations for a
+// model at batch size b on device d.
+type LayerTimes struct {
+	Device Device
+	Fwd    []float64 // per layer, seconds
+	Bwd    []float64
+	// FwdTotal and BwdTotal are the sums.
+	FwdTotal, BwdTotal float64
+}
+
+// NewLayerTimes computes durations for every layer of m at batch b.
+func NewLayerTimes(d Device, m *nn.Model, b int) *LayerTimes {
+	lt := &LayerTimes{Device: d, Fwd: make([]float64, len(m.Layers)), Bwd: make([]float64, len(m.Layers))}
+	for i := range m.Layers {
+		lt.Fwd[i] = d.ComputeTime(m.Layers[i].FwdFLOPs(b))
+		lt.Bwd[i] = d.ComputeTime(m.Layers[i].BwdFLOPs(b))
+		lt.FwdTotal += lt.Fwd[i]
+		lt.BwdTotal += lt.Bwd[i]
+	}
+	return lt
+}
+
+// IterTime returns the pure-compute duration of one iteration.
+func (lt *LayerTimes) IterTime() float64 { return lt.FwdTotal + lt.BwdTotal }
+
+// String summarizes the calibration.
+func (d Device) String() string {
+	return fmt.Sprintf("%s (%.1f TFLOPS × %.0f%% eff, %.1f GB/s copy)",
+		d.Name, d.PeakFLOPS/1e12, d.Efficiency*100, d.CopyBps/1e9)
+}

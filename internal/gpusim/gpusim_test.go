@@ -1,0 +1,123 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func TestComputeTimeBasics(t *testing.T) {
+	d := Device{PeakFLOPS: 1e12, Efficiency: 0.5, CopyBps: 1e9}
+	if got := d.ComputeTime(5e11); got != 1.0 {
+		t.Fatalf("ComputeTime = %v, want 1.0", got)
+	}
+	if got := d.ComputeTime(0); got != 0 {
+		t.Fatalf("zero FLOPs should take 0s, got %v", got)
+	}
+	if got := d.CopyTime(2e9); got != 2.0 {
+		t.Fatalf("CopyTime = %v, want 2.0", got)
+	}
+}
+
+// Calibration must reproduce the paper's single-node throughput exactly.
+func TestCalibrationMatchesPaperThroughput(t *testing.T) {
+	for engine, models := range PaperSingleNodeIPS {
+		for name, ips := range models {
+			var m *nn.Model
+			for _, z := range append(nn.Zoo(), nn.AlexNet()) {
+				if z.Name == name {
+					m = z
+				}
+			}
+			if m == nil {
+				t.Fatalf("model %q not in zoo", name)
+			}
+			d := CalibratedFor(engine, m)
+			lt := NewLayerTimes(d, m, m.BatchSize)
+			gotIPS := float64(m.BatchSize) / lt.IterTime()
+			if math.Abs(gotIPS-ips)/ips > 0.01 {
+				t.Errorf("%s/%s: calibrated throughput %.1f img/s, want %.1f",
+					engine, name, gotIPS, ips)
+			}
+		}
+	}
+}
+
+func TestCalibrationEfficiencyPlausible(t *testing.T) {
+	// The calibrated efficiencies should be physically plausible
+	// (between 2% and 100% of peak — inception-style small kernels
+	// sustain far less than VGG's big GEMMs).
+	for _, m := range nn.Zoo() {
+		for _, engine := range []string{"caffe", "tensorflow"} {
+			d := CalibratedFor(engine, m)
+			if d.Efficiency <= 0.02 || d.Efficiency > 1.0 {
+				t.Errorf("%s/%s: implausible efficiency %.3f", engine, m.Name, d.Efficiency)
+			}
+		}
+	}
+}
+
+func TestCalibratedForFallsBack(t *testing.T) {
+	m := nn.CIFARQuick()
+	d := CalibratedFor("caffe", m)
+	if d.Efficiency != TitanX().Efficiency {
+		t.Fatalf("expected default efficiency for uncalibrated model, got %v", d.Efficiency)
+	}
+}
+
+func TestLayerTimesSumsMatch(t *testing.T) {
+	m := nn.VGG19()
+	d := TitanX()
+	lt := NewLayerTimes(d, m, 32)
+	var fwd, bwd float64
+	for i := range lt.Fwd {
+		fwd += lt.Fwd[i]
+		bwd += lt.Bwd[i]
+	}
+	if math.Abs(fwd-lt.FwdTotal) > 1e-12 || math.Abs(bwd-lt.BwdTotal) > 1e-12 {
+		t.Fatal("totals don't match sums")
+	}
+	if lt.IterTime() != lt.FwdTotal+lt.BwdTotal {
+		t.Fatal("IterTime mismatch")
+	}
+	// VGG19 conv layers dominate compute: the three FC layers together
+	// must be well under half the backward time (this is the asymmetry
+	// WFBP exploits: params concentrate in FC, compute in CONV).
+	var fcBwd float64
+	for i := range m.Layers {
+		if m.Layers[i].Kind == nn.FC {
+			fcBwd += lt.Bwd[i]
+		}
+	}
+	if fcBwd > 0.2*lt.BwdTotal {
+		t.Fatalf("FC backward fraction %.2f, want < 0.2", fcBwd/lt.BwdTotal)
+	}
+}
+
+// The Section 2.2 AlexNet example: a 256-image batch in ~0.25s produces
+// 61.5M gradients per 0.25s ≈ 240M/s.
+func TestAlexNetGradientRate(t *testing.T) {
+	m := nn.AlexNet()
+	d := CalibratedFor("caffe", m)
+	lt := NewLayerTimes(d, m, 256)
+	gradPerSec := float64(m.TotalParams()) / lt.IterTime()
+	if gradPerSec < 200e6 || gradPerSec > 280e6 {
+		t.Fatalf("gradient rate = %.0fM/s, want ≈240M/s", gradPerSec/1e6)
+	}
+}
+
+func TestDeviceString(t *testing.T) {
+	if TitanX().String() == "" || TeslaK80().String() == "" {
+		t.Fatal("empty device description")
+	}
+}
+
+func TestCalibratePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TitanX().Calibrated(nn.VGG19(), 0)
+}

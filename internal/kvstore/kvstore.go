@@ -1,0 +1,197 @@
+// Package kvstore implements the functional bulk-synchronous parameter
+// server shard of the Poseidon reproduction: a set of KV pairs (2 MB
+// parameter chunks), per-pair update counting, apply-on-complete, and
+// broadcast-when-counted semantics, exactly as Section 4.1 describes.
+//
+// A Shard is a passive state machine — the trainer (or a server
+// goroutine) feeds it pushes and ships the broadcasts it emits — so the
+// same logic runs unmodified over the in-process and TCP meshes.
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Shard holds one server's slice of the globally shared parameters.
+type Shard struct {
+	mu      sync.Mutex
+	workers int
+	params  map[string][]float32
+	acc     map[string][]float32
+	counts  map[string]int
+	version map[string]int
+	// Per-round accumulation for bounded-staleness execution, where
+	// pushes from adjacent iterations may interleave on a key.
+	roundAcc   map[string]map[int][]float32
+	roundCount map[string]map[int]int
+}
+
+// NewShard creates a shard expecting pushes from the given number of
+// workers per iteration.
+func NewShard(workers int) *Shard {
+	if workers <= 0 {
+		panic("kvstore: need at least one worker")
+	}
+	return &Shard{
+		workers:    workers,
+		params:     make(map[string][]float32),
+		acc:        make(map[string][]float32),
+		counts:     make(map[string]int),
+		version:    make(map[string]int),
+		roundAcc:   make(map[string]map[int][]float32),
+		roundCount: make(map[string]map[int]int),
+	}
+}
+
+// Init installs the initial value of a KV pair. Every worker must use
+// identical initial values (the trainer seeds them identically).
+func (s *Shard) Init(key string, vals []float32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]float32, len(vals))
+	copy(cp, vals)
+	s.params[key] = cp
+	s.acc[key] = make([]float32, len(vals))
+}
+
+// Push applies one worker's additive update to the pair's accumulator.
+// When updates from all workers have arrived it folds the accumulator
+// into the parameters, bumps the version, and returns the fresh
+// parameter values (ready=true) for broadcasting; the caller owns the
+// returned slice.
+func (s *Shard) Push(key string, update []float32) (fresh []float32, ready bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.params[key]
+	if !ok {
+		return nil, false, fmt.Errorf("kvstore: unknown key %q", key)
+	}
+	if len(update) != len(p) {
+		return nil, false, fmt.Errorf("kvstore: key %q: update len %d != %d", key, len(update), len(p))
+	}
+	acc := s.acc[key]
+	for i, v := range update {
+		acc[i] += v
+	}
+	s.counts[key]++
+	if s.counts[key] < s.workers {
+		return nil, false, nil
+	}
+	// All workers reported: apply and reset for the next iteration.
+	for i := range p {
+		p[i] += acc[i]
+		acc[i] = 0
+	}
+	s.counts[key] = 0
+	s.version[key]++
+	out := make([]float32, len(p))
+	copy(out, p)
+	return out, true, nil
+}
+
+// PushRound is Push with an explicit iteration tag, for bounded
+// staleness (SSP) execution: updates from different iterations may
+// interleave on a key, and each round folds into the parameters when
+// its own count completes. Per-worker push order guarantees round r
+// completes before round r+1.
+func (s *Shard) PushRound(key string, round int, update []float32) (fresh []float32, ready bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.params[key]
+	if !ok {
+		return nil, false, fmt.Errorf("kvstore: unknown key %q", key)
+	}
+	if len(update) != len(p) {
+		return nil, false, fmt.Errorf("kvstore: key %q: update len %d != %d", key, len(update), len(p))
+	}
+	if s.roundAcc[key] == nil {
+		s.roundAcc[key] = make(map[int][]float32)
+		s.roundCount[key] = make(map[int]int)
+	}
+	acc := s.roundAcc[key][round]
+	if acc == nil {
+		acc = make([]float32, len(p))
+		s.roundAcc[key][round] = acc
+	}
+	for i, v := range update {
+		acc[i] += v
+	}
+	s.roundCount[key][round]++
+	if s.roundCount[key][round] < s.workers {
+		return nil, false, nil
+	}
+	for i := range p {
+		p[i] += acc[i]
+	}
+	delete(s.roundAcc[key], round)
+	delete(s.roundCount[key], round)
+	s.version[key]++
+	out := make([]float32, len(p))
+	copy(out, p)
+	return out, true, nil
+}
+
+// Get returns a copy of the current parameter values (for checkpointing
+// and tests).
+func (s *Shard) Get(key string) ([]float32, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.params[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]float32, len(p))
+	copy(out, p)
+	return out, true
+}
+
+// Version returns how many complete update rounds the pair has folded.
+func (s *Shard) Version(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version[key]
+}
+
+// Keys returns the shard's keys, sorted (for deterministic checkpoints).
+func (s *Shard) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ks []string
+	for k := range s.params {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Checkpoint snapshots every KV pair (Section 4.1: the KV store
+// "regularly checkpoints current parameter states for fault tolerance").
+func (s *Shard) Checkpoint() map[string][]float32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]float32, len(s.params))
+	for k, p := range s.params {
+		cp := make([]float32, len(p))
+		copy(cp, p)
+		out[k] = cp
+	}
+	return out
+}
+
+// Restore loads a checkpoint produced by Checkpoint, resetting all
+// pending accumulation.
+func (s *Shard) Restore(ck map[string][]float32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.params = make(map[string][]float32, len(ck))
+	s.acc = make(map[string][]float32, len(ck))
+	s.counts = make(map[string]int)
+	for k, p := range ck {
+		cp := make([]float32, len(p))
+		copy(cp, p)
+		s.params[k] = cp
+		s.acc[k] = make([]float32, len(p))
+	}
+}

@@ -1,0 +1,212 @@
+package kvstore
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushAggregatesAcrossWorkers(t *testing.T) {
+	s := NewShard(3)
+	s.Init("k", []float32{1, 2})
+	for w := 0; w < 2; w++ {
+		fresh, ready, err := s.Push("k", []float32{1, 1})
+		if err != nil || ready || fresh != nil {
+			t.Fatalf("push %d: %v %v %v", w, fresh, ready, err)
+		}
+	}
+	fresh, ready, err := s.Push("k", []float32{1, 1})
+	if err != nil || !ready {
+		t.Fatalf("final push: %v %v", ready, err)
+	}
+	if fresh[0] != 4 || fresh[1] != 5 {
+		t.Fatalf("fresh = %v, want [4 5]", fresh)
+	}
+	if v := s.Version("k"); v != 1 {
+		t.Fatalf("version = %d", v)
+	}
+}
+
+func TestPushResetsBetweenIterations(t *testing.T) {
+	s := NewShard(2)
+	s.Init("k", []float32{0})
+	s.Push("k", []float32{1})
+	s.Push("k", []float32{1}) // round 1 complete: params = 2
+	s.Push("k", []float32{1})
+	fresh, ready, _ := s.Push("k", []float32{1}) // round 2: params = 4
+	if !ready || fresh[0] != 4 {
+		t.Fatalf("fresh = %v ready=%v", fresh, ready)
+	}
+	if s.Version("k") != 2 {
+		t.Fatalf("version = %d", s.Version("k"))
+	}
+}
+
+func TestPushErrors(t *testing.T) {
+	s := NewShard(1)
+	if _, _, err := s.Push("missing", []float32{1}); err == nil {
+		t.Fatal("want unknown-key error")
+	}
+	s.Init("k", []float32{1, 2})
+	if _, _, err := s.Push("k", []float32{1}); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewShard(1)
+	s.Init("k", []float32{5})
+	got, ok := s.Get("k")
+	if !ok || got[0] != 5 {
+		t.Fatalf("Get = %v %v", got, ok)
+	}
+	got[0] = 99
+	again, _ := s.Get("k")
+	if again[0] != 5 {
+		t.Fatal("Get must return a copy")
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing key should report !ok")
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	s := NewShard(2)
+	s.Init("a", []float32{1})
+	s.Init("b", []float32{2, 3})
+	s.Push("a", []float32{1}) // leave a half-complete round pending
+	ck := s.Checkpoint()
+
+	s2 := NewShard(2)
+	s2.Restore(ck)
+	if got, _ := s2.Get("b"); got[1] != 3 {
+		t.Fatalf("restored b = %v", got)
+	}
+	// Restored shard starts a clean round.
+	s2.Push("a", []float32{10})
+	fresh, ready, _ := s2.Push("a", []float32{10})
+	if !ready || fresh[0] != 21 {
+		t.Fatalf("after restore: %v %v", fresh, ready)
+	}
+	if keys := s2.Keys(); len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+// Concurrent pushes from N goroutines must aggregate exactly once each.
+func TestConcurrentPushes(t *testing.T) {
+	const workers = 16
+	s := NewShard(workers)
+	s.Init("k", []float32{0})
+	var wg sync.WaitGroup
+	readyCount := 0
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, ready, err := s.Push("k", []float32{1})
+			if err != nil {
+				t.Error(err)
+			}
+			if ready {
+				mu.Lock()
+				readyCount++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if readyCount != 1 {
+		t.Fatalf("ready fired %d times, want exactly 1", readyCount)
+	}
+	got, _ := s.Get("k")
+	if got[0] != workers {
+		t.Fatalf("aggregate = %v, want %d", got[0], workers)
+	}
+}
+
+// Property: the shard computes params += Σ updates for any worker count
+// and update values.
+func TestAggregationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		workers := 1 + r.Intn(8)
+		dim := 1 + r.Intn(16)
+		s := NewShard(workers)
+		init := make([]float32, dim)
+		for i := range init {
+			init[i] = float32(r.NormFloat64())
+		}
+		s.Init("k", init)
+		want := make([]float64, dim)
+		for i, v := range init {
+			want[i] = float64(v)
+		}
+		for w := 0; w < workers; w++ {
+			up := make([]float32, dim)
+			for i := range up {
+				up[i] = float32(r.NormFloat64())
+				want[i] += float64(up[i])
+			}
+			s.Push("k", up)
+		}
+		got, _ := s.Get("k")
+		for i := range got {
+			diff := float64(got[i]) - want[i]
+			if diff > 1e-3 || diff < -1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewShardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewShard(0)
+}
+
+// PushRound must tolerate interleaved rounds on one key (the SSP case)
+// and fold each round exactly once, in round order.
+func TestPushRoundInterleaving(t *testing.T) {
+	s := NewShard(2)
+	s.Init("k", []float32{0})
+	// Worker A pushes rounds 0 and 1 before worker B pushes round 0.
+	if _, ready, _ := s.PushRound("k", 0, []float32{1}); ready {
+		t.Fatal("round 0 complete too early")
+	}
+	if _, ready, _ := s.PushRound("k", 1, []float32{10}); ready {
+		t.Fatal("round 1 complete too early")
+	}
+	fresh, ready, err := s.PushRound("k", 0, []float32{2})
+	if err != nil || !ready || fresh[0] != 3 {
+		t.Fatalf("round 0: fresh=%v ready=%v err=%v", fresh, ready, err)
+	}
+	fresh, ready, _ = s.PushRound("k", 1, []float32{20})
+	if !ready || fresh[0] != 33 {
+		t.Fatalf("round 1: fresh=%v ready=%v", fresh, ready)
+	}
+	if s.Version("k") != 2 {
+		t.Fatalf("version = %d", s.Version("k"))
+	}
+}
+
+func TestPushRoundErrors(t *testing.T) {
+	s := NewShard(1)
+	if _, _, err := s.PushRound("missing", 0, []float32{1}); err == nil {
+		t.Fatal("want unknown-key error")
+	}
+	s.Init("k", []float32{1, 2})
+	if _, _, err := s.PushRound("k", 0, []float32{1}); err == nil {
+		t.Fatal("want length error")
+	}
+}

@@ -1,0 +1,207 @@
+// Package metrics provides series containers and fixed-width text
+// rendering for the reproduction's tables and figures, so every
+// experiment prints the same rows/columns the paper reports.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is one labeled line of a figure: y-values indexed by x.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// At returns the y value for x, or NaN-like zero and false.
+func (s *Series) At(x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a set of series sharing an x-axis.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// SeriesNamed returns (creating if needed) the series with the label.
+func (f *Figure) SeriesNamed(label string) *Series {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	s := &Series{Label: label}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Render prints the figure as an aligned text table: one row per x, one
+// column per series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	// Collect the x-axis union.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%16s", s.Label)
+	}
+	fmt.Fprintln(&b)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-12g", x)
+		for _, s := range f.Series {
+			if y, ok := s.At(x); ok {
+				fmt.Fprintf(&b, "%16.2f", y)
+			} else {
+				fmt.Fprintf(&b, "%16s", "-")
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, ",%s", s.Label)
+	}
+	fmt.Fprintln(&b)
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			if y, ok := s.At(x); ok {
+				fmt.Fprintf(&b, ",%.4f", y)
+			} else {
+				fmt.Fprintf(&b, ",")
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Table is a titled fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render prints the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	for i, h := range t.Headers {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], h)
+	}
+	fmt.Fprintln(&b)
+	for i := range t.Headers {
+		fmt.Fprintf(&b, "%s  ", strings.Repeat("-", widths[i]))
+	}
+	fmt.Fprintln(&b)
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Bars renders a labeled bar chart (used for Fig. 10's per-node traffic).
+func Bars(title string, labels []string, values []float64, unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * 50)
+		}
+		fmt.Fprintf(&b, "%-10s %8.2f %s |%s\n", labels[i], v, unit, strings.Repeat("#", n))
+	}
+	return b.String()
+}

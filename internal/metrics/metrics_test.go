@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesAddAt(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if y, ok := s.At(2); !ok || y != 20 {
+		t.Fatalf("At(2) = %v, %v", y, ok)
+	}
+	if _, ok := s.At(3); ok {
+		t.Fatal("At(3) should miss")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := NewFigure("Fig X", "nodes", "speedup")
+	f.SeriesNamed("Poseidon").Add(1, 1)
+	f.SeriesNamed("Poseidon").Add(2, 2)
+	f.SeriesNamed("PS").Add(2, 1.5)
+	out := f.Render()
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "Poseidon") {
+		t.Fatalf("render missing pieces:\n%s", out)
+	}
+	// x=1 has no PS point → dash.
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing placeholder for absent point")
+	}
+	if f.SeriesNamed("Poseidon") != f.Series[0] {
+		t.Fatal("SeriesNamed must return the existing series")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := NewFigure("f", "x", "y")
+	f.SeriesNamed("a").Add(1, 0.5)
+	csv := f.CSV()
+	if !strings.HasPrefix(csv, "x,a\n") {
+		t.Fatalf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "1,0.5000") {
+		t.Fatalf("csv row wrong: %q", csv)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("T", "model", "params")
+	tb.AddRow("vgg19", 143.67)
+	tb.AddRow("googlenet", 5)
+	out := tb.Render()
+	if !strings.Contains(out, "vgg19") || !strings.Contains(out, "143.67") {
+		t.Fatalf("table render wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("traffic", []string{"n0", "n1"}, []float64{1, 4}, "Gb")
+	if !strings.Contains(out, "n0") || !strings.Contains(out, "####") {
+		t.Fatalf("bars wrong:\n%s", out)
+	}
+	// Zero max must not panic.
+	if Bars("z", []string{"a"}, []float64{0}, "Gb") == "" {
+		t.Fatal("empty bars output")
+	}
+}

@@ -1,0 +1,301 @@
+// Package netsim models a switched Ethernet cluster at flow level for
+// the performance plane of the Poseidon reproduction.
+//
+// Each node has a full-duplex NIC with independent egress and ingress
+// capacity (the switch fabric itself is assumed non-blocking, as is
+// standard for ToR-switched GPU clusters and implicit in the paper's
+// Table 1 cost model). Active flows share NIC capacity max-min fairly,
+// computed by progressive water-filling whenever the flow set changes.
+// This reproduces the phenomena the paper's evaluation measures:
+// saturation under large transfers, bursty hot spots on imbalanced
+// servers (Fig. 10), and the effect of `tc`-style bandwidth caps
+// (Fig. 8).
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Gbps converts gigabits/second to bytes/second.
+func Gbps(g float64) float64 { return g * 1e9 / 8 }
+
+// Node is one machine's NIC plus its traffic accounting.
+type Node struct {
+	ID         int
+	EgressBps  float64 // bytes/second
+	IngressBps float64 // bytes/second
+
+	// Cumulative traffic counters (bytes over the NIC; loopback flows
+	// are excluded).
+	BytesSent int64
+	BytesRecv int64
+}
+
+// Flow is an in-flight transfer between two nodes.
+type Flow struct {
+	Src, Dst  int
+	remaining float64 // bytes still to transmit
+	rate      float64 // current bytes/second
+	onDone    func()
+	net       *Network
+	done      bool
+}
+
+// Remaining returns the bytes not yet transmitted.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the current max-min fair rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Network is a set of nodes and the active flows among them.
+type Network struct {
+	Eng *sim.Engine
+
+	// LatencySec is the fixed one-way message latency added after the
+	// last byte is transmitted (propagation + switching + stack).
+	LatencySec float64
+
+	// LoopbackBps is the rate for src==dst flows (shared-memory moves on
+	// a colocated worker/server). They bypass the NIC and its counters.
+	LoopbackBps float64
+
+	nodes      []*Node
+	flows      map[*Flow]struct{}
+	lastUpdate float64
+	completion *sim.Event
+}
+
+// NewNetwork creates n nodes each with the given symmetric NIC
+// bandwidth (bytes/second).
+func NewNetwork(eng *sim.Engine, n int, nicBps float64) *Network {
+	nw := &Network{
+		Eng:         eng,
+		LatencySec:  40e-6,
+		LoopbackBps: 20e9, // ~20 GB/s memcpy for colocated shards
+		flows:       make(map[*Flow]struct{}),
+	}
+	for i := 0; i < n; i++ {
+		nw.nodes = append(nw.nodes, &Node{ID: i, EgressBps: nicBps, IngressBps: nicBps})
+	}
+	return nw
+}
+
+// Node returns node i.
+func (nw *Network) Node(i int) *Node { return nw.nodes[i] }
+
+// NumNodes returns the node count.
+func (nw *Network) NumNodes() int { return len(nw.nodes) }
+
+// ActiveFlows returns the number of in-flight flows.
+func (nw *Network) ActiveFlows() int { return len(nw.flows) }
+
+// Send starts a transfer of size bytes from src to dst; onDone fires
+// when the last byte has arrived (transmission + latency). Zero-byte
+// sends complete after the latency alone.
+func (nw *Network) Send(src, dst int, bytes int64, onDone func()) *Flow {
+	if src < 0 || src >= len(nw.nodes) || dst < 0 || dst >= len(nw.nodes) {
+		panic(fmt.Sprintf("netsim: bad endpoints %d->%d", src, dst))
+	}
+	if bytes < 0 {
+		panic("netsim: negative size")
+	}
+	f := &Flow{Src: src, Dst: dst, remaining: float64(bytes), onDone: onDone, net: nw}
+	if src == dst {
+		// Loopback: fixed-rate local copy, no NIC contention.
+		d := float64(bytes)/nw.LoopbackBps + nw.LatencySec
+		nw.Eng.After(d, func() {
+			f.done = true
+			if onDone != nil {
+				onDone()
+			}
+		})
+		return f
+	}
+	nw.advance()
+	nw.flows[f] = struct{}{}
+	nw.nodes[src].BytesSent += bytes
+	nw.nodes[dst].BytesRecv += bytes
+	nw.reshare()
+	return f
+}
+
+// advance progresses all flows' remaining bytes to the current time at
+// their last computed rates.
+func (nw *Network) advance() {
+	now := nw.Eng.Now()
+	dt := now - nw.lastUpdate
+	if dt > 0 {
+		for f := range nw.flows {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+	}
+	nw.lastUpdate = now
+}
+
+// reshare recomputes max-min fair rates by progressive filling and
+// schedules the next completion event.
+func (nw *Network) reshare() {
+	if nw.completion != nil {
+		nw.completion.Cancel()
+		nw.completion = nil
+	}
+	if len(nw.flows) == 0 {
+		return
+	}
+	// Links: egress[i] and ingress[i] for each node.
+	type link struct {
+		cap   float64
+		count int
+	}
+	eg := make([]link, len(nw.nodes))
+	ig := make([]link, len(nw.nodes))
+	for i, n := range nw.nodes {
+		eg[i].cap = n.EgressBps
+		ig[i].cap = n.IngressBps
+	}
+	unfixed := make(map[*Flow]struct{}, len(nw.flows))
+	for f := range nw.flows {
+		unfixed[f] = struct{}{}
+		eg[f.Src].count++
+		ig[f.Dst].count++
+	}
+	for len(unfixed) > 0 {
+		// Find the bottleneck link: minimum fair share among links with
+		// unfixed flows.
+		share := math.Inf(1)
+		for i := range eg {
+			if eg[i].count > 0 {
+				if s := eg[i].cap / float64(eg[i].count); s < share {
+					share = s
+				}
+			}
+			if ig[i].count > 0 {
+				if s := ig[i].cap / float64(ig[i].count); s < share {
+					share = s
+				}
+			}
+		}
+		if math.IsInf(share, 1) {
+			break
+		}
+		// Fix every unfixed flow crossing a link at that share.
+		progressed := false
+		for f := range unfixed {
+			egShare := eg[f.Src].cap / float64(eg[f.Src].count)
+			igShare := ig[f.Dst].cap / float64(ig[f.Dst].count)
+			if egShare <= share*(1+1e-12) || igShare <= share*(1+1e-12) {
+				f.rate = share
+				delete(unfixed, f)
+				eg[f.Src].cap -= share
+				eg[f.Src].count--
+				ig[f.Dst].cap -= share
+				ig[f.Dst].count--
+				if eg[f.Src].cap < 0 {
+					eg[f.Src].cap = 0
+				}
+				if ig[f.Dst].cap < 0 {
+					ig[f.Dst].cap = 0
+				}
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Numerical corner: force the strict minimum.
+			for f := range unfixed {
+				f.rate = share
+				delete(unfixed, f)
+			}
+		}
+	}
+	// Next completion.
+	first := math.Inf(1)
+	for f := range nw.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / f.rate
+		if t < first {
+			first = t
+		}
+	}
+	if math.IsInf(first, 1) {
+		return
+	}
+	nw.completion = nw.Eng.After(first, nw.complete)
+}
+
+// complete retires every flow that has finished and reshapes the rest.
+func (nw *Network) complete() {
+	nw.advance()
+	var finished []*Flow
+	for f := range nw.flows {
+		if f.remaining <= 1e-6 {
+			finished = append(finished, f)
+		}
+	}
+	if len(finished) == 0 {
+		// Floating-point underflow can leave the nearest flow with a
+		// vanishing but nonzero remainder; force-retire it so the
+		// simulation always progresses.
+		best := math.Inf(1)
+		var bestF *Flow
+		for f := range nw.flows {
+			if f.rate <= 0 {
+				continue
+			}
+			if t := f.remaining / f.rate; t < best {
+				best = t
+				bestF = f
+			}
+		}
+		if bestF != nil {
+			finished = append(finished, bestF)
+		}
+	}
+	for _, f := range finished {
+		delete(nw.flows, f)
+		f.done = true
+		f.remaining = 0
+	}
+	nw.reshare()
+	// Deliver after the fixed latency; ordering among equal-time
+	// deliveries follows scheduling order (deterministic).
+	for _, f := range finished {
+		cb := f.onDone
+		if cb != nil {
+			nw.Eng.After(nw.LatencySec, cb)
+		}
+	}
+}
+
+// SetBandwidth changes node i's NIC to the given symmetric bytes/second
+// rate (like `tc` in the paper's Section 5.2) and reshapes active flows.
+func (nw *Network) SetBandwidth(i int, bps float64) {
+	nw.advance()
+	nw.nodes[i].EgressBps = bps
+	nw.nodes[i].IngressBps = bps
+	nw.reshare()
+}
+
+// ResetCounters zeroes all traffic accounting (e.g., after warmup).
+func (nw *Network) ResetCounters() {
+	for _, n := range nw.nodes {
+		n.BytesSent = 0
+		n.BytesRecv = 0
+	}
+}
+
+// TotalBytes returns cluster-wide bytes sent over NICs.
+func (nw *Network) TotalBytes() int64 {
+	var sum int64
+	for _, n := range nw.nodes {
+		sum += n.BytesSent
+	}
+	return sum
+}

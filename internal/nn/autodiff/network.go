@@ -1,0 +1,177 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Network is an ordered stack of layers with a softmax cross-entropy
+// head.
+type Network struct {
+	Layers  []Layer
+	Classes int
+}
+
+// Forward runs the stack and returns the logits.
+func (n *Network) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// LossAndGrad runs forward + softmax cross-entropy + full backward for a
+// batch with integer labels, accumulating parameter gradients (mean over
+// the batch). It returns the mean loss and the error count.
+func (n *Network) LossAndGrad(x *tensor.Matrix, labels []int) (loss float64, errs int) {
+	logits := n.Forward(x)
+	probs, loss, errs := SoftmaxCrossEntropy(logits, labels)
+	// dL/dlogits = (probs - onehot)/K.
+	k := float32(x.Rows)
+	dout := probs
+	for i := 0; i < dout.Rows; i++ {
+		row := dout.Row(i)
+		row[labels[i]] -= 1
+		for j := range row {
+			row[j] /= k
+		}
+	}
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dout = n.Layers[i].Backward(dout)
+	}
+	return loss, errs
+}
+
+// Eval returns the mean loss and error rate on a batch without touching
+// gradients.
+func (n *Network) Eval(x *tensor.Matrix, labels []int) (loss float64, errRate float64) {
+	logits := n.Forward(x)
+	_, l, e := SoftmaxCrossEntropy(logits, labels)
+	return l, float64(e) / float64(x.Rows)
+}
+
+// ZeroGrads clears every layer's gradients.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.Layers {
+		l.ZeroGrads()
+	}
+}
+
+// Params returns all trainable tensors in layer order.
+func (n *Network) Params() []*tensor.Matrix {
+	var ps []*tensor.Matrix
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns all gradients in the same order as Params.
+func (n *Network) Grads() []*tensor.Matrix {
+	var gs []*tensor.Matrix
+	for _, l := range n.Layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// SGDStep applies θ -= lr·∇θ to every parameter.
+func (n *Network) SGDStep(lr float32) {
+	ps, gs := n.Params(), n.Grads()
+	for i := range ps {
+		ps[i].AXPY(-lr, gs[i])
+	}
+}
+
+// NumParams counts trainable scalars.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.NumParams()
+	}
+	return total
+}
+
+// SoftmaxCrossEntropy computes row-wise softmax probabilities, the mean
+// cross-entropy loss, and the argmax error count.
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (probs *tensor.Matrix, loss float64, errs int) {
+	probs = tensor.NewMatrix(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		max := row[0]
+		arg := 0
+		for j, v := range row {
+			if v > max {
+				max = v
+				arg = j
+			}
+		}
+		if arg != labels[i] {
+			errs++
+		}
+		var sum float64
+		out := probs.Row(i)
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			out[j] = float32(e)
+			sum += e
+		}
+		for j := range out {
+			out[j] = float32(float64(out[j]) / sum)
+		}
+		p := float64(out[labels[i]])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+	}
+	loss /= float64(logits.Rows)
+	return probs, loss, errs
+}
+
+// CIFARQuickNet builds a scaled replica of Caffe's CIFAR-10-quick CNN:
+// three 5×5 conv + pool stages followed by two FC layers. scale divides
+// the spatial resolution (scale=1 → 32×32 inputs, the real network;
+// scale=2 → 16×16; scale=4 → 8×8 for fast tests). The layer recipe and
+// the conv/FC split match the paper's Fig. 11 workload.
+func CIFARQuickNet(scale int, classes int, rng *rand.Rand) (*Network, int, int, int) {
+	if scale < 1 {
+		scale = 1
+	}
+	h := 32 / scale
+	const inC = 3
+	conv1 := NewConv2D("conv1", inC, h, h, 16, 5, 1, 2, rng)
+	pool1 := NewMaxPool2("pool1", 16, h, h)
+	conv2 := NewConv2D("conv2", 16, h/2, h/2, 16, 5, 1, 2, rng)
+	pool2 := NewMaxPool2("pool2", 16, h/2, h/2)
+	flat := 16 * (h / 4) * (h / 4)
+	ip1 := NewFC("ip1", flat, 32, rng)
+	ip2 := NewFC("ip2", 32, classes, rng)
+	net := &Network{
+		Layers: []Layer{
+			conv1, NewReLU("relu1"), pool1,
+			conv2, NewReLU("relu2"), pool2,
+			ip1, NewReLU("relu3"),
+			ip2,
+		},
+		Classes: classes,
+	}
+	return net, inC, h, h
+}
+
+// MLPNet builds a small all-FC network (every layer SF-capable), used by
+// the trainer's SFB correctness tests and the quickstart example.
+func MLPNet(in int, hidden []int, classes int, rng *rand.Rand) *Network {
+	var layers []Layer
+	prev := in
+	for i, hdim := range hidden {
+		layers = append(layers, NewFC(fcName(i), prev, hdim, rng), NewReLU("relu"))
+		prev = hdim
+	}
+	layers = append(layers, NewFC("out", prev, classes, rng))
+	return &Network{Layers: layers, Classes: classes}
+}
+
+func fcName(i int) string { return "fc" + string(rune('0'+i)) }

@@ -1,0 +1,179 @@
+// Package nn provides the neural-network substrate of the Poseidon
+// reproduction: layer descriptors with exact parameter and FLOP
+// accounting, and the model zoo evaluated in the paper (Table 3):
+// CIFAR-10-quick, GoogLeNet, Inception-V3, VGG19, VGG19-22K and
+// ResNet-152, plus AlexNet for the Section 2.2 worked example.
+//
+// The descriptors drive both planes of the reproduction: the
+// performance plane uses Params/FLOPs to derive communication sizes and
+// compute durations, and the functional plane instantiates real weight
+// matrices from the same shapes.
+package nn
+
+import "fmt"
+
+// Kind identifies the layer type.
+type Kind int
+
+// Layer kinds. Only FC layers have rank-1 (sufficient-factor)
+// decomposable gradients; CONV gradients are "indecomposable and
+// sparse" (paper, Section 3.2) and always go through the PS.
+const (
+	Input Kind = iota
+	Conv
+	Pool
+	FC
+	ReLU
+	LRN
+	BatchNorm
+	Concat // inception-style branch join
+	Add    // residual join
+	Dropout
+	Softmax
+)
+
+var kindNames = map[Kind]string{
+	Input: "input", Conv: "conv", Pool: "pool", FC: "fc", ReLU: "relu",
+	LRN: "lrn", BatchNorm: "bn", Concat: "concat", Add: "add",
+	Dropout: "dropout", Softmax: "softmax",
+}
+
+// String returns the lower-case layer-kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Shape is a C×H×W activation volume.
+type Shape struct {
+	C, H, W int
+}
+
+// Elems returns C·H·W.
+func (s Shape) Elems() int64 { return int64(s.C) * int64(s.H) * int64(s.W) }
+
+// String renders the shape as CxHxW.
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// Layer describes one layer of a network. Fields beyond Name/Kind/In/Out
+// are populated per kind: Conv uses KH/KW/Stride/Pad/OutC/Groups/Bias,
+// FC uses InDim/OutDim/Bias, Pool uses KH/Stride.
+type Layer struct {
+	Name string
+	Kind Kind
+	In   Shape
+	Out  Shape
+
+	// Conv / Pool geometry.
+	KH, KW      int
+	Stride, Pad int
+	OutC        int
+	Groups      int
+
+	// FC geometry.
+	InDim, OutDim int
+
+	Bias bool
+}
+
+// Params returns the number of trainable parameters in the layer.
+func (l *Layer) Params() int64 {
+	switch l.Kind {
+	case Conv:
+		g := l.Groups
+		if g == 0 {
+			g = 1
+		}
+		w := int64(l.KH) * int64(l.KW) * int64(l.In.C/g) * int64(l.OutC)
+		if l.Bias {
+			w += int64(l.OutC)
+		}
+		return w
+	case FC:
+		w := int64(l.InDim) * int64(l.OutDim)
+		if l.Bias {
+			w += int64(l.OutDim)
+		}
+		return w
+	case BatchNorm:
+		return 2 * int64(l.In.C) // scale + shift
+	default:
+		return 0
+	}
+}
+
+// ParamBytes returns the float32 byte size of the layer's parameters.
+func (l *Layer) ParamBytes() int64 { return 4 * l.Params() }
+
+// GradMatrixShape returns the (M, N) shape of the layer's gradient
+// matrix as used by the paper's cost model. For FC layers M is the
+// output dimension and N the input dimension, so the per-sample gradient
+// is the rank-1 outer product δ·xᵀ. Non-FC parameters are treated as an
+// M×1 "matrix" (indecomposable).
+func (l *Layer) GradMatrixShape() (m, n int64) {
+	if l.Kind == FC {
+		return int64(l.OutDim), int64(l.InDim)
+	}
+	return l.Params(), 1
+}
+
+// SFCapable reports whether the layer's gradients admit a sufficient
+// factor decomposition (FC layers only).
+func (l *Layer) SFCapable() bool { return l.Kind == FC && l.InDim > 0 && l.OutDim > 0 }
+
+// FwdFLOPs returns the forward-pass FLOP count for a batch of the given
+// size, counting a fused multiply-add as 2 FLOPs.
+func (l *Layer) FwdFLOPs(batch int) int64 {
+	b := int64(batch)
+	switch l.Kind {
+	case Conv:
+		g := l.Groups
+		if g == 0 {
+			g = 1
+		}
+		perOut := 2 * int64(l.KH) * int64(l.KW) * int64(l.In.C/g)
+		return b * perOut * int64(l.OutC) * int64(l.Out.H) * int64(l.Out.W)
+	case FC:
+		return b * 2 * int64(l.InDim) * int64(l.OutDim)
+	case Pool:
+		return b * l.Out.Elems() * int64(l.KH) * int64(l.KW)
+	case ReLU, Dropout, Add:
+		return b * l.Out.Elems()
+	case LRN, BatchNorm, Softmax:
+		return b * 5 * l.Out.Elems()
+	default:
+		return 0
+	}
+}
+
+// BwdFLOPs returns the backward-pass FLOP count for a batch. For
+// parameterized layers the backward pass computes both the input
+// gradient and the weight gradient, each roughly the cost of the
+// forward pass; elementwise layers only propagate the input gradient.
+func (l *Layer) BwdFLOPs(batch int) int64 {
+	switch l.Kind {
+	case Conv, FC:
+		return 2 * l.FwdFLOPs(batch)
+	default:
+		return l.FwdFLOPs(batch)
+	}
+}
+
+// HasParams reports whether the layer carries trainable parameters and
+// therefore requires synchronization.
+func (l *Layer) HasParams() bool { return l.Params() > 0 }
+
+// String renders a one-line layer summary.
+func (l *Layer) String() string {
+	switch l.Kind {
+	case Conv:
+		return fmt.Sprintf("%s[conv %dx%d/%d %s->%s %d params]",
+			l.Name, l.KH, l.KW, l.Stride, l.In, l.Out, l.Params())
+	case FC:
+		return fmt.Sprintf("%s[fc %dx%d %d params]", l.Name, l.OutDim, l.InDim, l.Params())
+	default:
+		return fmt.Sprintf("%s[%s %s->%s]", l.Name, l.Kind, l.In, l.Out)
+	}
+}

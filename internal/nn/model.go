@@ -1,0 +1,253 @@
+package nn
+
+import "fmt"
+
+// Model is an ordered stack of layers plus the training configuration
+// the paper reports for it (Table 3).
+type Model struct {
+	Name      string
+	Dataset   string
+	BatchSize int // per-GPU batch size from Table 3
+	Layers    []Layer
+}
+
+// TotalParams returns the total trainable parameter count.
+func (m *Model) TotalParams() int64 {
+	var sum int64
+	for i := range m.Layers {
+		sum += m.Layers[i].Params()
+	}
+	return sum
+}
+
+// ParamBytes returns the float32 byte size of all parameters.
+func (m *Model) ParamBytes() int64 { return 4 * m.TotalParams() }
+
+// FCParams returns the parameter count held in FC layers. The paper
+// notes VGG19-22K keeps 91% of its parameters in three FC layers, which
+// is what makes HybComm decisive for it.
+func (m *Model) FCParams() int64 {
+	var sum int64
+	for i := range m.Layers {
+		if m.Layers[i].Kind == FC {
+			sum += m.Layers[i].Params()
+		}
+	}
+	return sum
+}
+
+// FwdFLOPs returns total forward FLOPs for one batch of size b.
+func (m *Model) FwdFLOPs(b int) int64 {
+	var sum int64
+	for i := range m.Layers {
+		sum += m.Layers[i].FwdFLOPs(b)
+	}
+	return sum
+}
+
+// BwdFLOPs returns total backward FLOPs for one batch of size b.
+func (m *Model) BwdFLOPs(b int) int64 {
+	var sum int64
+	for i := range m.Layers {
+		sum += m.Layers[i].BwdFLOPs(b)
+	}
+	return sum
+}
+
+// SyncLayers returns the indices of layers that carry parameters, in
+// network order. These are the layers that get syncers in Poseidon.
+func (m *Model) SyncLayers() []int {
+	var idx []int
+	for i := range m.Layers {
+		if m.Layers[i].HasParams() {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Layer returns the layer with the given name, or nil.
+func (m *Model) Layer(name string) *Layer {
+	for i := range m.Layers {
+		if m.Layers[i].Name == name {
+			return &m.Layers[i]
+		}
+	}
+	return nil
+}
+
+// Summary renders a one-line description matching Table 3's columns.
+func (m *Model) Summary() string {
+	return fmt.Sprintf("%-14s %12d params  dataset=%-11s batch=%d",
+		m.Name, m.TotalParams(), m.Dataset, m.BatchSize)
+}
+
+// builder accumulates layers while tracking the current activation shape.
+type builder struct {
+	model Model
+	cur   Shape
+	n     int
+}
+
+func newBuilder(name, dataset string, batch int, input Shape) *builder {
+	b := &builder{model: Model{Name: name, Dataset: dataset, BatchSize: batch}, cur: input}
+	b.model.Layers = append(b.model.Layers, Layer{
+		Name: "data", Kind: Input, In: input, Out: input,
+	})
+	return b
+}
+
+func (b *builder) uniqueName(prefix string) string {
+	b.n++
+	return fmt.Sprintf("%s%d", prefix, b.n)
+}
+
+func convOut(in, k, stride, pad int) int {
+	if stride <= 0 {
+		stride = 1
+	}
+	return (in+2*pad-k)/stride + 1
+}
+
+// conv appends a convolution with square kernel k, given stride/pad and
+// outC output channels, followed by an implicit bias (bias=true).
+func (b *builder) conv(name string, k, stride, pad, outC int) *builder {
+	return b.convG(name, k, stride, pad, outC, 1)
+}
+
+func (b *builder) convG(name string, k, stride, pad, outC, groups int) *builder {
+	if name == "" {
+		name = b.uniqueName("conv")
+	}
+	out := Shape{C: outC, H: convOut(b.cur.H, k, stride, pad), W: convOut(b.cur.W, k, stride, pad)}
+	b.model.Layers = append(b.model.Layers, Layer{
+		Name: name, Kind: Conv, In: b.cur, Out: out,
+		KH: k, KW: k, Stride: stride, Pad: pad, OutC: outC, Groups: groups, Bias: true,
+	})
+	b.cur = out
+	return b
+}
+
+// convRect appends a non-square convolution (kh×kw), as used by
+// Inception-V3's factorized 1×7 / 7×1 convolutions.
+func (b *builder) convRect(name string, kh, kw, stride, padH, padW, outC int) *builder {
+	if name == "" {
+		name = b.uniqueName("conv")
+	}
+	out := Shape{C: outC, H: convOut(b.cur.H, kh, stride, padH), W: convOut(b.cur.W, kw, stride, padW)}
+	b.model.Layers = append(b.model.Layers, Layer{
+		Name: name, Kind: Conv, In: b.cur, Out: out,
+		KH: kh, KW: kw, Stride: stride, Pad: padH, OutC: outC, Groups: 1, Bias: true,
+	})
+	b.cur = out
+	return b
+}
+
+func (b *builder) relu() *builder {
+	b.model.Layers = append(b.model.Layers, Layer{
+		Name: b.uniqueName("relu"), Kind: ReLU, In: b.cur, Out: b.cur,
+	})
+	return b
+}
+
+func (b *builder) lrn() *builder {
+	b.model.Layers = append(b.model.Layers, Layer{
+		Name: b.uniqueName("lrn"), Kind: LRN, In: b.cur, Out: b.cur,
+	})
+	return b
+}
+
+func (b *builder) bn() *builder {
+	b.model.Layers = append(b.model.Layers, Layer{
+		Name: b.uniqueName("bn"), Kind: BatchNorm, In: b.cur, Out: b.cur,
+	})
+	return b
+}
+
+func (b *builder) pool(k, stride int) *builder {
+	out := Shape{C: b.cur.C, H: convOut(b.cur.H, k, stride, 0), W: convOut(b.cur.W, k, stride, 0)}
+	b.model.Layers = append(b.model.Layers, Layer{
+		Name: b.uniqueName("pool"), Kind: Pool, In: b.cur, Out: out, KH: k, KW: k, Stride: stride,
+	})
+	b.cur = out
+	return b
+}
+
+func (b *builder) poolPad(k, stride, pad int) *builder {
+	out := Shape{C: b.cur.C, H: convOut(b.cur.H, k, stride, pad), W: convOut(b.cur.W, k, stride, pad)}
+	b.model.Layers = append(b.model.Layers, Layer{
+		Name: b.uniqueName("pool"), Kind: Pool, In: b.cur, Out: out, KH: k, KW: k, Stride: stride,
+	})
+	b.cur = out
+	return b
+}
+
+// globalPool reduces H×W to 1×1.
+func (b *builder) globalPool() *builder {
+	out := Shape{C: b.cur.C, H: 1, W: 1}
+	b.model.Layers = append(b.model.Layers, Layer{
+		Name: b.uniqueName("pool"), Kind: Pool, In: b.cur, Out: out,
+		KH: b.cur.H, KW: b.cur.W, Stride: 1,
+	})
+	b.cur = out
+	return b
+}
+
+func (b *builder) fc(name string, outDim int) *builder {
+	if name == "" {
+		name = b.uniqueName("fc")
+	}
+	in := int(b.cur.Elems())
+	out := Shape{C: outDim, H: 1, W: 1}
+	b.model.Layers = append(b.model.Layers, Layer{
+		Name: name, Kind: FC, In: b.cur, Out: out,
+		InDim: in, OutDim: outDim, Bias: true,
+	})
+	b.cur = out
+	return b
+}
+
+func (b *builder) dropout() *builder {
+	b.model.Layers = append(b.model.Layers, Layer{
+		Name: b.uniqueName("drop"), Kind: Dropout, In: b.cur, Out: b.cur,
+	})
+	return b
+}
+
+func (b *builder) softmax() *builder {
+	b.model.Layers = append(b.model.Layers, Layer{
+		Name: "prob", Kind: Softmax, In: b.cur, Out: b.cur,
+	})
+	return b
+}
+
+// setChannels overrides the tracked channel count after a concat of
+// parallel branches (the builder models branch layers sequentially for
+// accounting purposes; the concat fixes up the resulting volume).
+func (b *builder) concatTo(c int) *builder {
+	out := Shape{C: c, H: b.cur.H, W: b.cur.W}
+	b.model.Layers = append(b.model.Layers, Layer{
+		Name: b.uniqueName("concat"), Kind: Concat, In: b.cur, Out: out,
+	})
+	b.cur = out
+	return b
+}
+
+// setShape forcibly sets the tracked shape (used when emitting parallel
+// branches whose inputs all come from the same volume).
+func (b *builder) setShape(s Shape) *builder {
+	b.cur = s
+	return b
+}
+
+func (b *builder) addJoin() *builder {
+	b.model.Layers = append(b.model.Layers, Layer{
+		Name: b.uniqueName("add"), Kind: Add, In: b.cur, Out: b.cur,
+	})
+	return b
+}
+
+func (b *builder) build() *Model {
+	m := b.model
+	return &m
+}

@@ -1,0 +1,271 @@
+package nn
+
+// Model zoo. Shapes follow the original publications; parameter totals
+// are asserted against Table 3 of the Poseidon paper in models_test.go.
+
+// CIFARQuick returns Caffe's "CIFAR-10 quick" toy CNN (145.6K params,
+// batch 100), the network used in the paper's Figure 11 convergence
+// comparison against 1-bit quantization.
+func CIFARQuick() *Model {
+	b := newBuilder("cifar10-quick", "CIFAR10", 100, Shape{C: 3, H: 32, W: 32})
+	b.conv("conv1", 5, 1, 2, 32).poolPad(3, 2, 1).relu()
+	b.conv("conv2", 5, 1, 2, 32).relu().poolPad(3, 2, 1)
+	b.conv("conv3", 5, 1, 2, 64).relu().poolPad(3, 2, 1)
+	b.fc("ip1", 64)
+	b.fc("ip2", 10)
+	b.softmax()
+	return b.build()
+}
+
+// AlexNet returns Krizhevsky's AlexNet (61.5M params, batch 256), used
+// in the paper's Section 2.2 bandwidth back-of-envelope (240M gradients
+// per 0.25s batch on a Titan X → >26 Gbps demanded on 8 nodes).
+func AlexNet() *Model {
+	b := newBuilder("alexnet", "ILSVRC12", 256, Shape{C: 3, H: 227, W: 227})
+	b.conv("conv1", 11, 4, 0, 96).relu().lrn().pool(3, 2)
+	b.convG("conv2", 5, 1, 2, 256, 2).relu().lrn().pool(3, 2)
+	b.conv("conv3", 3, 1, 1, 384).relu()
+	b.convG("conv4", 3, 1, 1, 384, 2).relu()
+	b.convG("conv5", 3, 1, 1, 256, 2).relu().pool(3, 2)
+	b.fc("fc6", 4096).relu().dropout()
+	b.fc("fc7", 4096).relu().dropout()
+	b.fc("fc8", 1000)
+	b.softmax()
+	return b.build()
+}
+
+// vgg19 builds VGG19 with an nClasses-way classifier.
+func vgg19(name string, nClasses int, dataset string) *Model {
+	b := newBuilder(name, dataset, 32, Shape{C: 3, H: 224, W: 224})
+	block := func(n, c int) {
+		for i := 0; i < n; i++ {
+			b.conv("", 3, 1, 1, c).relu()
+		}
+		b.pool(2, 2)
+	}
+	block(2, 64)
+	block(2, 128)
+	block(4, 256)
+	block(4, 512)
+	block(4, 512)
+	b.fc("fc6", 4096).relu().dropout()
+	b.fc("fc7", 4096).relu().dropout()
+	b.fc("fc8", nClasses)
+	b.softmax()
+	return b.build()
+}
+
+// VGG19 returns the 143M-parameter VGG19 network (batch 32).
+func VGG19() *Model { return vgg19("vgg19", 1000, "ILSVRC12") }
+
+// VGG19_22K returns VGG19 with its 1000-way classifier replaced by a
+// 21841-way classifier for ImageNet22K (229M params, batch 32) — the
+// paper's most communication-bound workload.
+func VGG19_22K() *Model { return vgg19("vgg19-22k", 21841, "ImageNet22K") }
+
+// inception emits a GoogLeNet inception module on the current volume:
+// four parallel branches (1×1; 1×1→3×3; 1×1→5×5; pool→1×1 proj)
+// concatenated along channels.
+func inception(b *builder, name string, c1, c3r, c3, c5r, c5, proj int) {
+	in := b.cur
+	b.conv(name+"/1x1", 1, 1, 0, c1)
+	b.setShape(in)
+	b.conv(name+"/3x3_reduce", 1, 1, 0, c3r).conv(name+"/3x3", 3, 1, 1, c3)
+	b.setShape(in)
+	b.conv(name+"/5x5_reduce", 1, 1, 0, c5r).conv(name+"/5x5", 5, 1, 2, c5)
+	b.setShape(in)
+	b.poolPad(3, 1, 1).conv(name+"/pool_proj", 1, 1, 0, proj)
+	b.concatTo(c1 + c3 + c5 + proj)
+}
+
+// GoogLeNet returns the 22-layer GoogLeNet (≈6M params with its single
+// 1000×1024 classifier; the paper rounds to 5M; batch 128). Its thin FC
+// layer and large batch are why HybComm reduces to pure PS on it at 16
+// nodes (Section 5.2).
+func GoogLeNet() *Model {
+	b := newBuilder("googlenet", "ILSVRC12", 128, Shape{C: 3, H: 224, W: 224})
+	b.conv("conv1/7x7_s2", 7, 2, 3, 64).relu().poolPad(3, 2, 1).lrn()
+	b.conv("conv2/3x3_reduce", 1, 1, 0, 64).relu()
+	b.conv("conv2/3x3", 3, 1, 1, 192).relu().lrn().poolPad(3, 2, 1)
+	inception(b, "inception_3a", 64, 96, 128, 16, 32, 32)
+	inception(b, "inception_3b", 128, 128, 192, 32, 96, 64)
+	b.poolPad(3, 2, 1)
+	inception(b, "inception_4a", 192, 96, 208, 16, 48, 64)
+	inception(b, "inception_4b", 160, 112, 224, 24, 64, 64)
+	inception(b, "inception_4c", 128, 128, 256, 24, 64, 64)
+	inception(b, "inception_4d", 112, 144, 288, 32, 64, 64)
+	inception(b, "inception_4e", 256, 160, 320, 32, 128, 128)
+	b.poolPad(3, 2, 1)
+	inception(b, "inception_5a", 256, 160, 320, 32, 128, 128)
+	inception(b, "inception_5b", 384, 192, 384, 48, 128, 128)
+	b.globalPool().dropout()
+	b.fc("loss3/classifier", 1000)
+	b.softmax()
+	return b.build()
+}
+
+// inceptionA emits an Inception-V3 "A" module (35×35 grid) with the
+// given pool-projection width.
+func inceptionA(b *builder, name string, pool int) {
+	in := b.cur
+	b.conv(name+"/1x1", 1, 1, 0, 64)
+	b.setShape(in)
+	b.conv(name+"/5x5_r", 1, 1, 0, 48).conv(name+"/5x5", 5, 1, 2, 64)
+	b.setShape(in)
+	b.conv(name+"/3x3dbl_r", 1, 1, 0, 64).conv(name+"/3x3dbl_1", 3, 1, 1, 96).conv(name+"/3x3dbl_2", 3, 1, 1, 96)
+	b.setShape(in)
+	b.poolPad(3, 1, 1).conv(name+"/pool_proj", 1, 1, 0, pool)
+	b.concatTo(64 + 64 + 96 + pool)
+}
+
+// inceptionB emits an Inception-V3 "B" module (17×17 grid) with 1×7/7×1
+// factorized convolutions of intermediate width c7.
+func inceptionB(b *builder, name string, c7 int) {
+	in := b.cur
+	b.conv(name+"/1x1", 1, 1, 0, 192)
+	b.setShape(in)
+	b.conv(name+"/7x7_r", 1, 1, 0, c7).
+		convRect(name+"/1x7", 1, 7, 1, 0, 3, c7).
+		convRect(name+"/7x1", 7, 1, 1, 3, 0, 192)
+	b.setShape(in)
+	b.conv(name+"/7x7dbl_r", 1, 1, 0, c7).
+		convRect(name+"/7x1_a", 7, 1, 1, 3, 0, c7).
+		convRect(name+"/1x7_a", 1, 7, 1, 0, 3, c7).
+		convRect(name+"/7x1_b", 7, 1, 1, 3, 0, c7).
+		convRect(name+"/1x7_b", 1, 7, 1, 0, 3, 192)
+	b.setShape(in)
+	b.poolPad(3, 1, 1).conv(name+"/pool_proj", 1, 1, 0, 192)
+	b.concatTo(192 * 4)
+}
+
+// inceptionC emits an Inception-V3 "C" module (8×8 grid).
+func inceptionC(b *builder, name string) {
+	in := b.cur
+	b.conv(name+"/1x1", 1, 1, 0, 320)
+	b.setShape(in)
+	b.conv(name+"/3x3_r", 1, 1, 0, 384).convRect(name+"/1x3", 1, 3, 1, 0, 1, 384)
+	b.setShape(Shape{C: 384, H: in.H, W: in.W})
+	b.convRect(name+"/3x1", 3, 1, 1, 1, 0, 384)
+	b.setShape(in)
+	b.conv(name+"/3x3dbl_r", 1, 1, 0, 448).conv(name+"/3x3dbl", 3, 1, 1, 384).
+		convRect(name+"/1x3_b", 1, 3, 1, 0, 1, 384)
+	b.setShape(Shape{C: 384, H: in.H, W: in.W})
+	b.convRect(name+"/3x1_b", 3, 1, 1, 1, 0, 384)
+	b.setShape(in)
+	b.poolPad(3, 1, 1).conv(name+"/pool_proj", 1, 1, 0, 192)
+	b.concatTo(320 + 768 + 768 + 192)
+}
+
+// InceptionV3 returns Inception-V3 (≈27M params including the auxiliary
+// classifier, batch 32), the network on which Poseidon-TensorFlow
+// reports 31.5x speedup on 32 nodes.
+func InceptionV3() *Model {
+	b := newBuilder("inception-v3", "ILSVRC12", 32, Shape{C: 3, H: 299, W: 299})
+	// Stem.
+	b.conv("conv0", 3, 2, 0, 32).bn().relu()
+	b.conv("conv1", 3, 1, 0, 32).bn().relu()
+	b.conv("conv2", 3, 1, 1, 64).bn().relu().pool(3, 2)
+	b.conv("conv3", 1, 1, 0, 80).bn().relu()
+	b.conv("conv4", 3, 1, 0, 192).bn().relu().pool(3, 2)
+	// 35×35.
+	inceptionA(b, "mixed0", 32)
+	inceptionA(b, "mixed1", 64)
+	inceptionA(b, "mixed2", 64)
+	// Reduction A → 17×17.
+	in := b.cur
+	b.conv("mixed3/3x3", 3, 2, 0, 384)
+	red := b.cur
+	b.setShape(in)
+	b.conv("mixed3/3x3dbl_r", 1, 1, 0, 64).conv("mixed3/3x3dbl_1", 3, 1, 1, 96).conv("mixed3/3x3dbl_2", 3, 2, 0, 96)
+	b.setShape(in)
+	b.pool(3, 2)
+	b.setShape(Shape{C: 288 + 384 + 96, H: red.H, W: red.W})
+	// 17×17.
+	inceptionB(b, "mixed4", 128)
+	inceptionB(b, "mixed5", 160)
+	inceptionB(b, "mixed6", 160)
+	inceptionB(b, "mixed7", 192)
+	// Auxiliary classifier (trained, so its parameters synchronize too).
+	auxIn := b.cur
+	b.poolPad(5, 3, 0).conv("aux/conv0", 1, 1, 0, 128).conv("aux/conv1", 5, 1, 0, 768)
+	b.fc("aux/fc", 1000)
+	b.setShape(auxIn)
+	// Reduction B → 8×8.
+	in = b.cur
+	b.conv("mixed8/3x3_r", 1, 1, 0, 192).conv("mixed8/3x3", 3, 2, 0, 320)
+	red = b.cur
+	b.setShape(in)
+	b.conv("mixed8/7x7x3_r", 1, 1, 0, 192).
+		convRect("mixed8/1x7", 1, 7, 1, 0, 3, 192).
+		convRect("mixed8/7x1", 7, 1, 1, 3, 0, 192).
+		conv("mixed8/3x3b", 3, 2, 0, 192)
+	b.setShape(in)
+	b.pool(3, 2)
+	b.setShape(Shape{C: 768 + 320 + 192, H: red.H, W: red.W})
+	// 8×8.
+	inceptionC(b, "mixed9")
+	inceptionC(b, "mixed10")
+	b.globalPool().dropout()
+	b.fc("logits", 1000)
+	b.softmax()
+	return b.build()
+}
+
+// bottleneck emits one ResNet bottleneck (1×1 reduce, 3×3, 1×1 expand),
+// with a projection shortcut when downsampling or widening.
+func bottleneck(b *builder, name string, mid, out, stride int, project bool) {
+	in := b.cur
+	b.conv(name+"/conv1", 1, stride, 0, mid).bn().relu()
+	b.conv(name+"/conv2", 3, 1, 1, mid).bn().relu()
+	b.conv(name+"/conv3", 1, 1, 0, out).bn()
+	main := b.cur
+	if project {
+		b.setShape(in)
+		b.conv(name+"/proj", 1, stride, 0, out).bn()
+	}
+	b.setShape(main)
+	b.addJoin().relu()
+}
+
+// ResNet152 returns the 152-layer residual network (60.2M params, batch
+// 32) used in the paper's statistical-performance experiment (Fig. 9).
+func ResNet152() *Model {
+	b := newBuilder("resnet-152", "ILSVRC12", 32, Shape{C: 3, H: 224, W: 224})
+	b.conv("conv1", 7, 2, 3, 64).bn().relu().poolPad(3, 2, 1)
+	stages := []struct {
+		name   string
+		blocks int
+		mid    int
+		out    int
+		stride int
+	}{
+		{"res2", 3, 64, 256, 1},
+		{"res3", 8, 128, 512, 2},
+		{"res4", 36, 256, 1024, 2},
+		{"res5", 3, 512, 2048, 2},
+	}
+	for _, st := range stages {
+		for i := 0; i < st.blocks; i++ {
+			stride := 1
+			if i == 0 {
+				stride = st.stride
+			}
+			name := st.name + string(rune('a'+i%26))
+			if i >= 26 {
+				name = st.name + "a" + string(rune('a'+(i-26)))
+			}
+			bottleneck(b, name, st.mid, st.out, stride, i == 0)
+		}
+	}
+	b.globalPool()
+	b.fc("fc1000", 1000)
+	b.softmax()
+	return b.build()
+}
+
+// Zoo returns every Table 3 network, in the paper's row order.
+func Zoo() []*Model {
+	return []*Model{
+		CIFARQuick(), GoogLeNet(), InceptionV3(), VGG19(), VGG19_22K(), ResNet152(),
+	}
+}

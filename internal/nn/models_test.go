@@ -1,0 +1,221 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+// within checks got is within frac of want.
+func within(t *testing.T, name string, got, want int64, frac float64) {
+	t.Helper()
+	diff := math.Abs(float64(got-want)) / float64(want)
+	if diff > frac {
+		t.Errorf("%s params = %d, want %d ±%.0f%% (off by %.1f%%)",
+			name, got, want, frac*100, diff*100)
+	}
+}
+
+// Table 3 of the paper. CIFAR-quick and the VGG variants have exactly
+// known counts; the inception-family networks are matched within a
+// tolerance (the paper itself rounds GoogLeNet's ~6M to "5M").
+func TestTable3ParamCounts(t *testing.T) {
+	within(t, "cifar10-quick", CIFARQuick().TotalParams(), 145578, 0.001)
+	within(t, "googlenet", GoogLeNet().TotalParams(), 6000000, 0.20)
+	within(t, "inception-v3", InceptionV3().TotalParams(), 27000000, 0.15)
+	within(t, "vgg19", VGG19().TotalParams(), 143667240, 0.001)
+	within(t, "vgg19-22k", VGG19_22K().TotalParams(), 229000000, 0.01)
+	within(t, "resnet-152", ResNet152().TotalParams(), 60200000, 0.10)
+	within(t, "alexnet", AlexNet().TotalParams(), 61000000, 0.05)
+}
+
+func TestVGG19ExactStructure(t *testing.T) {
+	m := VGG19()
+	// 16 conv + 3 fc.
+	var conv, fc int
+	for i := range m.Layers {
+		switch m.Layers[i].Kind {
+		case Conv:
+			conv++
+		case FC:
+			fc++
+		}
+	}
+	if conv != 16 || fc != 3 {
+		t.Fatalf("VGG19 has %d conv + %d fc, want 16 + 3", conv, fc)
+	}
+	// fc6: 25088→4096.
+	fc6 := m.Layer("fc6")
+	if fc6 == nil || fc6.InDim != 25088 || fc6.OutDim != 4096 {
+		t.Fatalf("fc6 = %+v, want 25088→4096", fc6)
+	}
+	if p := fc6.Params(); p != 25088*4096+4096 {
+		t.Fatalf("fc6 params = %d", p)
+	}
+}
+
+// Paper, Section 5.1: VGG19-22K's three FC layers hold 91% of its
+// parameters.
+func TestVGG22KFCFraction(t *testing.T) {
+	m := VGG19_22K()
+	frac := float64(m.FCParams()) / float64(m.TotalParams())
+	if frac < 0.89 || frac > 0.93 {
+		t.Fatalf("FC fraction = %.3f, want ≈0.91", frac)
+	}
+	fc8 := m.Layer("fc8")
+	if fc8.OutDim != 21841 {
+		t.Fatalf("fc8 OutDim = %d, want 21841", fc8.OutDim)
+	}
+}
+
+// GoogLeNet has exactly one thin FC layer (1000×1024), the reason
+// HybComm reduces to PS for it at batch 128 (Section 5.2).
+func TestGoogLeNetClassifier(t *testing.T) {
+	m := GoogLeNet()
+	var fcs []*Layer
+	for i := range m.Layers {
+		if m.Layers[i].Kind == FC {
+			fcs = append(fcs, &m.Layers[i])
+		}
+	}
+	if len(fcs) != 1 {
+		t.Fatalf("GoogLeNet has %d FC layers, want 1", len(fcs))
+	}
+	if fcs[0].InDim != 1024 || fcs[0].OutDim != 1000 {
+		t.Fatalf("classifier is %d→%d, want 1024→1000", fcs[0].InDim, fcs[0].OutDim)
+	}
+	if m.BatchSize != 128 {
+		t.Fatalf("batch = %d, want 128", m.BatchSize)
+	}
+}
+
+func TestCIFARQuickExact(t *testing.T) {
+	m := CIFARQuick()
+	if got := m.TotalParams(); got != 145578 {
+		t.Fatalf("params = %d, want 145578", got)
+	}
+	// conv1: 5·5·3·32 + 32; ip1: 1024·64 + 64; ip2: 64·10 + 10.
+	if p := m.Layer("conv1").Params(); p != 5*5*3*32+32 {
+		t.Fatalf("conv1 params = %d", p)
+	}
+	if p := m.Layer("ip1").Params(); p != 1024*64+64 {
+		t.Fatalf("ip1 params = %d (in=%d)", p, m.Layer("ip1").InDim)
+	}
+	if p := m.Layer("ip2").Params(); p != 64*10+10 {
+		t.Fatalf("ip2 params = %d", p)
+	}
+}
+
+// Section 2.2 worked example: AlexNet has 61.5M params; on a Titan X a
+// 256-image batch takes ~0.25s, producing ~240M gradients/s.
+func TestAlexNetSection22Example(t *testing.T) {
+	m := AlexNet()
+	p := m.TotalParams()
+	if p < 58_000_000 || p > 64_000_000 {
+		t.Fatalf("AlexNet params = %d, want ≈61.5M", p)
+	}
+	// fc6 dominates: 9216×4096.
+	fc6 := m.Layer("fc6")
+	if fc6.InDim != 9216 {
+		t.Fatalf("fc6 InDim = %d, want 9216", fc6.InDim)
+	}
+}
+
+func TestOutputShapes(t *testing.T) {
+	for _, m := range Zoo() {
+		last := m.Layers[len(m.Layers)-1]
+		if last.Kind != Softmax {
+			t.Errorf("%s: last layer is %v, want softmax", m.Name, last.Kind)
+		}
+		for i := range m.Layers {
+			l := &m.Layers[i]
+			if l.Out.C <= 0 || l.Out.H <= 0 || l.Out.W <= 0 {
+				t.Errorf("%s/%s: non-positive output shape %v", m.Name, l.Name, l.Out)
+			}
+		}
+	}
+}
+
+func TestFLOPsSanity(t *testing.T) {
+	// VGG19 forward ≈ 39 GFLOPs per image (19.6 GMACs).
+	v := VGG19()
+	flops := v.FwdFLOPs(1)
+	if flops < 30e9 || flops > 50e9 {
+		t.Fatalf("VGG19 fwd FLOPs per image = %.1fG, want ≈39G", float64(flops)/1e9)
+	}
+	// Backward ≈ 2× forward for conv/fc dominated nets.
+	ratio := float64(v.BwdFLOPs(1)) / float64(flops)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("bwd/fwd ratio = %.2f, want ≈2", ratio)
+	}
+	// ResNet-152 ≈ 23 GFLOPs per image (11.5 GMACs).
+	r := ResNet152().FwdFLOPs(1)
+	if r < 15e9 || r > 32e9 {
+		t.Fatalf("ResNet-152 fwd FLOPs = %.1fG, want ≈23G", float64(r)/1e9)
+	}
+	// GoogLeNet ≈ 3 GFLOPs per image.
+	g := GoogLeNet().FwdFLOPs(1)
+	if g < 2e9 || g > 5e9 {
+		t.Fatalf("GoogLeNet fwd FLOPs = %.1fG, want ≈3G", float64(g)/1e9)
+	}
+	// FLOPs scale linearly with batch.
+	if v.FwdFLOPs(8) != 8*flops {
+		t.Fatal("FLOPs not linear in batch")
+	}
+}
+
+func TestSyncLayersOnlyParameterized(t *testing.T) {
+	m := VGG19()
+	idx := m.SyncLayers()
+	if len(idx) != 19 {
+		t.Fatalf("VGG19 has %d sync layers, want 19", len(idx))
+	}
+	for _, i := range idx {
+		if !m.Layers[i].HasParams() {
+			t.Fatalf("layer %d has no params", i)
+		}
+	}
+}
+
+func TestGradMatrixShape(t *testing.T) {
+	m := VGG19()
+	fc7 := m.Layer("fc7")
+	r, c := fc7.GradMatrixShape()
+	if r != 4096 || c != 4096 {
+		t.Fatalf("fc7 grad shape %dx%d, want 4096x4096", r, c)
+	}
+	if !fc7.SFCapable() {
+		t.Fatal("fc7 must be SF-capable")
+	}
+	conv := m.Layers[1] // first conv
+	if conv.SFCapable() {
+		t.Fatal("conv layers must not be SF-capable")
+	}
+	r, c = conv.GradMatrixShape()
+	if r != conv.Params() || c != 1 {
+		t.Fatalf("conv grad shape %dx%d", r, c)
+	}
+}
+
+func TestLayerStringAndKindString(t *testing.T) {
+	m := VGG19()
+	if s := m.Layer("fc6").String(); s == "" {
+		t.Fatal("empty layer string")
+	}
+	if Conv.String() != "conv" || FC.String() != "fc" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
+
+func TestModelSummary(t *testing.T) {
+	for _, m := range Zoo() {
+		if m.Summary() == "" {
+			t.Fatalf("%s: empty summary", m.Name)
+		}
+		if m.ParamBytes() != 4*m.TotalParams() {
+			t.Fatalf("%s: ParamBytes mismatch", m.Name)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package poseidon
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/nn"
+)
+
+// Coordinator maintains the model and cluster configuration — the
+// paper's "information book" — and answers BestScheme/Query requests
+// from syncers (Table 2 APIs). It is safe for concurrent use by the
+// functional plane's worker goroutines.
+type Coordinator struct {
+	mu      sync.RWMutex
+	model   *nn.Model
+	cluster ClusterShape
+	place   *Placement
+	// overrides pins specific layers to a scheme (used by the Adam and
+	// 1-bit baselines and by ablations).
+	overrides map[int]Scheme
+	forced    *Scheme
+}
+
+// NewCoordinator builds a coordinator for model m on cluster c using
+// Poseidon's fine-grained placement with the default 2MB KV pairs.
+func NewCoordinator(m *nn.Model, c ClusterShape) *Coordinator {
+	return NewCoordinatorWithPlacement(m, c, FineGrained, DefaultChunkBytes)
+}
+
+// NewCoordinatorWithPlacement builds a coordinator with an explicit
+// placement policy and chunk size.
+func NewCoordinatorWithPlacement(m *nn.Model, c ClusterShape, policy PlacementPolicy, chunkBytes int64) *Coordinator {
+	if c.Workers <= 0 || c.Servers <= 0 {
+		panic(fmt.Sprintf("poseidon: bad cluster shape %+v", c))
+	}
+	if c.Batch <= 0 {
+		c.Batch = m.BatchSize
+	}
+	return &Coordinator{
+		model:     m,
+		cluster:   c,
+		place:     NewPlacement(m, c.Servers, policy, chunkBytes),
+		overrides: make(map[int]Scheme),
+	}
+}
+
+// Model returns the network being trained.
+func (co *Coordinator) Model() *nn.Model { return co.model }
+
+// Cluster returns the cluster shape.
+func (co *Coordinator) Cluster() ClusterShape { return co.cluster }
+
+// Placement returns the KV placement.
+func (co *Coordinator) Placement() *Placement { return co.place }
+
+// ForceScheme pins every layer to scheme s (nil clears). Used to model
+// the Caffe+PS / TF+WFBP baselines where HybComm is disabled.
+func (co *Coordinator) ForceScheme(s *Scheme) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.forced = s
+}
+
+// OverrideLayer pins one layer to a scheme (used by the Adam and 1-bit
+// baselines, which special-case FC layers only).
+func (co *Coordinator) OverrideLayer(layer int, s Scheme) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.overrides[layer] = s
+}
+
+// BestScheme returns the communication scheme for layer index l
+// (Algorithm 1, plus any baseline overrides).
+func (co *Coordinator) BestScheme(l int) Scheme {
+	co.mu.RLock()
+	defer co.mu.RUnlock()
+	if s, ok := co.overrides[l]; ok {
+		return s
+	}
+	if co.forced != nil {
+		return *co.forced
+	}
+	return BestScheme(&co.model.Layers[l], co.cluster)
+}
+
+// Query answers named lookups from the information book, mirroring the
+// paper's string-keyed Query API.
+func (co *Coordinator) Query(prop string) (int, error) {
+	co.mu.RLock()
+	defer co.mu.RUnlock()
+	switch prop {
+	case "n_worker":
+		return co.cluster.Workers, nil
+	case "n_server":
+		return co.cluster.Servers, nil
+	case "batchsize":
+		return co.cluster.Batch, nil
+	case "n_layer":
+		return len(co.model.Layers), nil
+	case "n_sync_layer":
+		return len(co.model.SyncLayers()), nil
+	case "n_chunk":
+		return co.place.NumChunks(), nil
+	default:
+		return 0, fmt.Errorf("poseidon: unknown property %q", prop)
+	}
+}
+
+// LayerPlan describes how one layer will be synchronized this iteration.
+type LayerPlan struct {
+	Layer  int
+	Scheme Scheme
+	Chunks []Chunk // PS path (nil for SFB)
+	// SFBytes is the wire size of one sufficient-factor message
+	// (SFB/Adam paths).
+	SFBytes int64
+	// DenseBytes is the wire size of the full gradient/parameter matrix.
+	DenseBytes int64
+	// QuantBytes is the wire size of the 1-bit encoding.
+	QuantBytes int64
+}
+
+// Plan returns the synchronization plan for every parameterized layer,
+// in network order. The engine and the functional trainer both execute
+// from this plan, so scheme decisions cannot diverge between planes.
+func (co *Coordinator) Plan() []LayerPlan {
+	var plans []LayerPlan
+	for _, li := range co.model.SyncLayers() {
+		l := &co.model.Layers[li]
+		m, n := l.GradMatrixShape()
+		p := LayerPlan{
+			Layer:      li,
+			Scheme:     co.BestScheme(li),
+			Chunks:     co.place.ByLayer[li],
+			DenseBytes: 4 * m * n,
+		}
+		if l.SFCapable() {
+			p.SFBytes = 4 * int64(co.cluster.Batch) * (m + n)
+			words := (m*n + 63) / 64
+			p.QuantBytes = 8*words + 16
+		}
+		plans = append(plans, p)
+	}
+	return plans
+}
+
+// SchemeSummary reports, for logging, which layers picked which scheme.
+func (co *Coordinator) SchemeSummary() string {
+	counts := make(map[Scheme]int)
+	for _, p := range co.Plan() {
+		counts[p.Scheme]++
+	}
+	var keys []int
+	for s := range counts {
+		keys = append(keys, int(s))
+	}
+	sort.Ints(keys)
+	out := ""
+	for _, k := range keys {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%v:%d", Scheme(k), counts[Scheme(k)])
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package poseidon
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func vggCoordinator(workers int) *Coordinator {
+	m := nn.VGG19()
+	return NewCoordinator(m, ClusterShape{Workers: workers, Servers: workers, Batch: 32})
+}
+
+func TestCoordinatorQueries(t *testing.T) {
+	co := vggCoordinator(8)
+	for prop, want := range map[string]int{
+		"n_worker": 8, "n_server": 8, "batchsize": 32,
+		"n_layer": len(co.Model().Layers), "n_sync_layer": 19,
+	} {
+		got, err := co.Query(prop)
+		if err != nil {
+			t.Fatalf("Query(%q): %v", prop, err)
+		}
+		if got != want {
+			t.Errorf("Query(%q) = %d, want %d", prop, got, want)
+		}
+	}
+	if _, err := co.Query("bogus"); err == nil {
+		t.Error("Query(bogus) should error")
+	}
+	if n, _ := co.Query("n_chunk"); n != co.Placement().NumChunks() {
+		t.Error("n_chunk mismatch")
+	}
+}
+
+func TestCoordinatorDefaultsBatchFromModel(t *testing.T) {
+	m := nn.GoogLeNet()
+	co := NewCoordinator(m, ClusterShape{Workers: 4, Servers: 4})
+	if co.Cluster().Batch != 128 {
+		t.Fatalf("batch = %d, want model default 128", co.Cluster().Batch)
+	}
+}
+
+// On 8 nodes VGG19's three FC layers should pick SFB; all conv layers PS.
+func TestPlanHybridOnVGG19(t *testing.T) {
+	co := vggCoordinator(8)
+	plan := co.Plan()
+	if len(plan) != 19 {
+		t.Fatalf("plan has %d entries, want 19", len(plan))
+	}
+	var sfb, ps int
+	for _, p := range plan {
+		l := &co.Model().Layers[p.Layer]
+		switch p.Scheme {
+		case SFB:
+			sfb++
+			if l.Kind != nn.FC {
+				t.Errorf("non-FC layer %s picked SFB", l.Name)
+			}
+			if p.SFBytes == 0 {
+				t.Error("SFB layer missing SFBytes")
+			}
+		case PS:
+			ps++
+			if len(p.Chunks) == 0 {
+				t.Errorf("PS layer %s has no chunks", l.Name)
+			}
+		}
+	}
+	if sfb != 3 {
+		t.Errorf("%d SFB layers, want 3 (fc6, fc7, fc8)", sfb)
+	}
+	if ps != 16 {
+		t.Errorf("%d PS layers, want 16 conv", ps)
+	}
+}
+
+func TestForceSchemeDisablesHybComm(t *testing.T) {
+	co := vggCoordinator(8)
+	ps := PS
+	co.ForceScheme(&ps)
+	for _, p := range co.Plan() {
+		if p.Scheme != PS {
+			t.Fatalf("forced PS but layer %d picked %v", p.Layer, p.Scheme)
+		}
+	}
+	co.ForceScheme(nil)
+	summary := co.SchemeSummary()
+	if !strings.Contains(summary, "SFB") {
+		t.Fatalf("after clearing force, summary %q should mention SFB", summary)
+	}
+}
+
+func TestOverrideLayer(t *testing.T) {
+	co := vggCoordinator(8)
+	fc6 := co.Model().Layer("fc6")
+	var fc6Idx int
+	for i := range co.Model().Layers {
+		if &co.Model().Layers[i] == fc6 {
+			fc6Idx = i
+		}
+	}
+	co.OverrideLayer(fc6Idx, AdamSF)
+	if got := co.BestScheme(fc6Idx); got != AdamSF {
+		t.Fatalf("override ignored: %v", got)
+	}
+}
+
+// GoogLeNet at 16 nodes, batch 128: the plan must be all-PS
+// ("Poseidon reduces to PS when training GoogLeNet on 16 nodes").
+func TestPlanGoogLeNet16NodesAllPS(t *testing.T) {
+	m := nn.GoogLeNet()
+	co := NewCoordinator(m, ClusterShape{Workers: 16, Servers: 16, Batch: 128})
+	for _, p := range co.Plan() {
+		if p.Scheme != PS {
+			t.Fatalf("layer %d picked %v, want PS", p.Layer, p.Scheme)
+		}
+	}
+}
+
+func TestCoordinatorPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCoordinator(nn.VGG19(), ClusterShape{Workers: 0, Servers: 1})
+}

@@ -1,0 +1,138 @@
+// Package poseidon implements the paper's core contribution: the
+// coordinator with its per-layer communication cost model (Table 1 and
+// Algorithm 1), the hybrid PS/SFB scheme selection (HybComm), and the
+// fine-grained KV-pair parameter placement that load-balances the
+// parameter server.
+//
+// The package is shared by both planes of the reproduction: the
+// discrete-event performance engine (internal/engine) consults it to
+// size and route simulated messages, and the functional trainer
+// (internal/train) uses the same decisions to route real tensors.
+package poseidon
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// Scheme is a per-layer communication method.
+type Scheme int
+
+const (
+	// PS synchronizes dense gradients through sharded parameter servers.
+	PS Scheme = iota
+	// SFB broadcasts sufficient factors peer-to-peer (FC layers only).
+	SFB
+	// AdamSF pushes sufficient factors to a single server, which pulls
+	// back full matrices (Project Adam's strategy; modeled as a baseline,
+	// never chosen by BestScheme).
+	AdamSF
+	// OneBitPS pushes 1-bit quantized gradients through the PS (CNTK's
+	// strategy; modeled as a baseline, never chosen by BestScheme).
+	OneBitPS
+)
+
+// String names the scheme as in the paper.
+func (s Scheme) String() string {
+	switch s {
+	case PS:
+		return "PS"
+	case SFB:
+		return "SFB"
+	case AdamSF:
+		return "Adam"
+	case OneBitPS:
+		return "1bit"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// ClusterShape is the cluster configuration the cost model depends on.
+type ClusterShape struct {
+	Workers int // P1
+	Servers int // P2 (PS shards; colocated with workers in the paper's runs)
+	Batch   int // K, per-worker batch size
+}
+
+// Table 1 of the paper: estimated number of parameters communicated to
+// synchronize an M×N FC layer. All counts are per node per iteration.
+
+// PSServerParams returns the PS cost borne by a pure server node:
+// 2·P1·M·N/P2.
+func PSServerParams(m, n int64, c ClusterShape) int64 {
+	return 2 * int64(c.Workers) * m * n / int64(c.Servers)
+}
+
+// PSWorkerParams returns the PS cost borne by a pure worker node: 2·M·N.
+func PSWorkerParams(m, n int64) int64 { return 2 * m * n }
+
+// PSColocatedParams returns the PS cost borne by a node that is both
+// server and worker: 2·M·N·(P1+P2−2)/P2.
+func PSColocatedParams(m, n int64, c ClusterShape) int64 {
+	return 2 * m * n * int64(c.Workers+c.Servers-2) / int64(c.Servers)
+}
+
+// SFBWorkerParams returns the SFB cost per worker: 2·K·(P1−1)·(M+N).
+func SFBWorkerParams(m, n int64, c ClusterShape) int64 {
+	return 2 * int64(c.Batch) * int64(c.Workers-1) * (m + n)
+}
+
+// AdamServerParams returns Project Adam's worst-case server cost:
+// P1·M·N + P1·K·(M+N) (receive SFs from every worker, then broadcast the
+// full matrix to every worker).
+func AdamServerParams(m, n int64, c ClusterShape) int64 {
+	p1 := int64(c.Workers)
+	k := int64(c.Batch)
+	return p1*m*n + p1*k*(m+n)
+}
+
+// AdamWorkerParams returns Project Adam's per-worker cost:
+// K·(M+N) + M·N (send one SF, pull one full matrix).
+func AdamWorkerParams(m, n int64, c ClusterShape) int64 {
+	return int64(c.Batch)*(m+n) + m*n
+}
+
+// AdamColocatedParams returns Project Adam's cost for a node that is
+// both the owning server and a worker: (P1−1)·(M·N + K·M + K·N).
+func AdamColocatedParams(m, n int64, c ClusterShape) int64 {
+	k := int64(c.Batch)
+	return int64(c.Workers-1) * (m*n + k*m + k*n)
+}
+
+// BestScheme implements Algorithm 1: for an FC layer, SFB wins when its
+// per-worker cost does not exceed the colocated PS cost; all other
+// layers (indecomposable gradients) go through the PS.
+func BestScheme(l *nn.Layer, c ClusterShape) Scheme {
+	if !l.SFCapable() || c.Workers <= 1 {
+		return PS
+	}
+	m, n := l.GradMatrixShape()
+	if SFBWorkerParams(m, n, c) <= PSColocatedParams(m, n, c) {
+		return SFB
+	}
+	return PS
+}
+
+// SchemeBytes returns the bytes a single worker sends per iteration to
+// synchronize layer l under scheme s (float32 payloads; quantized
+// payloads for OneBitPS on FC layers).
+func SchemeBytes(l *nn.Layer, s Scheme, c ClusterShape) int64 {
+	m, n := l.GradMatrixShape()
+	switch s {
+	case SFB:
+		// (P1−1) peers × one SF each way is counted once as egress.
+		return 4 * int64(c.Batch) * int64(c.Workers-1) * (m + n)
+	case AdamSF:
+		return 4 * int64(c.Batch) * (m + n)
+	case OneBitPS:
+		if l.SFCapable() {
+			words := (m*n + 63) / 64
+			return 8*words + 16
+		}
+		return 4 * m * n
+	default:
+		return 4 * m * n
+	}
+}

@@ -1,0 +1,164 @@
+package poseidon
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+)
+
+// Table 1 worked example from Section 3.2: VGG19's 4096×4096 FC layer,
+// K=32, P1=P2=8. PS worker ≈ 34M params, PS server ≈ 34M, colocated
+// ≈ 58.7M, SFB ≈ 3.7M.
+func TestTable1WorkedExample(t *testing.T) {
+	c := ClusterShape{Workers: 8, Servers: 8, Batch: 32}
+	const m, n = 4096, 4096
+	if got := PSWorkerParams(m, n); got != 33554432 {
+		t.Errorf("PS worker = %d, want 33554432 (≈34M)", got)
+	}
+	if got := PSServerParams(m, n, c); got != 33554432 {
+		t.Errorf("PS server = %d, want 33554432 (≈34M)", got)
+	}
+	if got := PSColocatedParams(m, n, c); got != 58720256 {
+		t.Errorf("PS colocated = %d, want 58720256 (≈58.7M)", got)
+	}
+	if got := SFBWorkerParams(m, n, c); got != 3670016 {
+		t.Errorf("SFB worker = %d, want 3670016 (≈3.7M)", got)
+	}
+}
+
+func TestAdamCosts(t *testing.T) {
+	c := ClusterShape{Workers: 8, Servers: 8, Batch: 32}
+	const m, n = 4096, 4096
+	wantServer := int64(8)*m*n + int64(8)*32*(m+n)
+	if got := AdamServerParams(m, n, c); got != wantServer {
+		t.Errorf("Adam server = %d, want %d", got, wantServer)
+	}
+	wantWorker := int64(32)*(m+n) + int64(m)*n
+	if got := AdamWorkerParams(m, n, c); got != wantWorker {
+		t.Errorf("Adam worker = %d, want %d", got, wantWorker)
+	}
+	wantColoc := int64(7) * (m*n + 32*m + 32*n)
+	if got := AdamColocatedParams(m, n, c); got != wantColoc {
+		t.Errorf("Adam colocated = %d, want %d", got, wantColoc)
+	}
+	// Adam's server cost dwarfs a balanced PS shard's cost — the
+	// imbalance the paper shows in Fig. 10.
+	if AdamServerParams(m, n, c) < 4*PSServerParams(m, n, c) {
+		t.Error("Adam server cost should far exceed a balanced PS shard")
+	}
+}
+
+func TestBestSchemePicksSFBForBigFC(t *testing.T) {
+	c := ClusterShape{Workers: 8, Servers: 8, Batch: 32}
+	fc := &nn.Layer{Kind: nn.FC, InDim: 4096, OutDim: 4096}
+	if got := BestScheme(fc, c); got != SFB {
+		t.Fatalf("4096×4096 FC @ K=32, 8 nodes: got %v, want SFB", got)
+	}
+}
+
+// Section 5.2: GoogLeNet's single thin FC (1000×1024) at batch 128 on 16
+// nodes reduces to PS.
+func TestBestSchemeGoogLeNetReducesToPS(t *testing.T) {
+	c := ClusterShape{Workers: 16, Servers: 16, Batch: 128}
+	fc := &nn.Layer{Kind: nn.FC, InDim: 1024, OutDim: 1000}
+	if got := BestScheme(fc, c); got != PS {
+		t.Fatalf("GoogLeNet classifier: got %v, want PS", got)
+	}
+}
+
+func TestBestSchemeConvAlwaysPS(t *testing.T) {
+	c := ClusterShape{Workers: 8, Servers: 8, Batch: 32}
+	conv := &nn.Layer{Kind: nn.Conv, KH: 3, KW: 3, OutC: 64, In: nn.Shape{C: 3, H: 224, W: 224}, Bias: true}
+	if got := BestScheme(conv, c); got != PS {
+		t.Fatalf("conv: got %v, want PS", got)
+	}
+}
+
+func TestBestSchemeSingleWorkerPS(t *testing.T) {
+	c := ClusterShape{Workers: 1, Servers: 1, Batch: 32}
+	fc := &nn.Layer{Kind: nn.FC, InDim: 4096, OutDim: 4096}
+	if got := BestScheme(fc, c); got != PS {
+		t.Fatalf("single worker: got %v, want PS (no peers to broadcast to)", got)
+	}
+}
+
+// Property: BestScheme always picks the cheaper side of Algorithm 1's
+// inequality for SF-capable layers.
+func TestBestSchemeMatchesCostsProperty(t *testing.T) {
+	f := func(mRaw, nRaw, pRaw, kRaw uint16) bool {
+		m := 16 + int(mRaw)%8192
+		n := 16 + int(nRaw)%8192
+		p := 2 + int(pRaw)%31
+		k := 1 + int(kRaw)%256
+		c := ClusterShape{Workers: p, Servers: p, Batch: k}
+		fc := &nn.Layer{Kind: nn.FC, InDim: n, OutDim: m}
+		got := BestScheme(fc, c)
+		sfb := SFBWorkerParams(int64(m), int64(n), c)
+		ps := PSColocatedParams(int64(m), int64(n), c)
+		if sfb <= ps {
+			return got == SFB
+		}
+		return got == PS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SFB cost grows quadratically with workers (paper Section 2.1, point
+// 3), so for any FC layer there is a worker count beyond which PS wins.
+func TestSFBLosesAtScale(t *testing.T) {
+	fc := &nn.Layer{Kind: nn.FC, InDim: 4096, OutDim: 4096}
+	sawSFB, sawPS := false, false
+	prev := SFB
+	for p := 2; p <= 4096; p *= 2 {
+		c := ClusterShape{Workers: p, Servers: p, Batch: 32}
+		s := BestScheme(fc, c)
+		if s == SFB {
+			sawSFB = true
+			if prev == PS {
+				t.Fatal("scheme flipped back to SFB at larger scale")
+			}
+		} else {
+			sawPS = true
+		}
+		prev = s
+	}
+	if !sawSFB || !sawPS {
+		t.Fatalf("expected a crossover: sawSFB=%v sawPS=%v", sawSFB, sawPS)
+	}
+}
+
+func TestSchemeBytes(t *testing.T) {
+	c := ClusterShape{Workers: 8, Servers: 8, Batch: 32}
+	fc := &nn.Layer{Kind: nn.FC, InDim: 4096, OutDim: 4096}
+	if got := SchemeBytes(fc, PS, c); got != 4*4096*4096 {
+		t.Errorf("PS bytes = %d", got)
+	}
+	if got := SchemeBytes(fc, SFB, c); got != 4*32*7*(4096+4096) {
+		t.Errorf("SFB bytes = %d", got)
+	}
+	if got := SchemeBytes(fc, AdamSF, c); got != 4*32*(4096+4096) {
+		t.Errorf("Adam bytes = %d", got)
+	}
+	qb := SchemeBytes(fc, OneBitPS, c)
+	if qb >= 4*4096*4096/30 {
+		t.Errorf("1-bit bytes = %d, want ≈1/32 of dense", qb)
+	}
+	conv := &nn.Layer{Kind: nn.Conv, KH: 3, KW: 3, OutC: 8, In: nn.Shape{C: 4, H: 8, W: 8}, Bias: true}
+	if got := SchemeBytes(conv, OneBitPS, c); got != 4*conv.Params() {
+		t.Errorf("conv under 1-bit should stay dense: %d", got)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for s, want := range map[Scheme]string{PS: "PS", SFB: "SFB", AdamSF: "Adam", OneBitPS: "1bit"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	if Scheme(42).String() == "" {
+		t.Error("unknown scheme must render")
+	}
+}

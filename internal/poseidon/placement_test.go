@@ -1,0 +1,111 @@
+package poseidon
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+)
+
+func TestFineGrainedChunkSizes(t *testing.T) {
+	m := nn.VGG19()
+	p := NewPlacement(m, 8, FineGrained, DefaultChunkBytes)
+	var total int64
+	for li, cs := range p.ByLayer {
+		var layerBytes int64
+		for _, c := range cs {
+			if c.Bytes <= 0 || c.Bytes > DefaultChunkBytes {
+				t.Fatalf("layer %d chunk %d has bad size %d", li, c.Index, c.Bytes)
+			}
+			if c.Server < 0 || c.Server >= 8 {
+				t.Fatalf("chunk on bad server %d", c.Server)
+			}
+			layerBytes += c.Bytes
+		}
+		if layerBytes != m.Layers[li].ParamBytes() {
+			t.Fatalf("layer %d chunks sum to %d, want %d", li, layerBytes, m.Layers[li].ParamBytes())
+		}
+		total += layerBytes
+	}
+	if total != m.ParamBytes() {
+		t.Fatalf("placement covers %d bytes, want %d", total, m.ParamBytes())
+	}
+}
+
+// Poseidon's placement must be near-balanced on VGG19; TF's coarse
+// per-tensor placement must be badly imbalanced (fc6 alone is 392 MB).
+func TestImbalanceFineVsCoarse(t *testing.T) {
+	m := nn.VGG19()
+	fine := NewPlacement(m, 8, FineGrained, DefaultChunkBytes)
+	coarse := NewPlacement(m, 8, CoarsePerTensor, DefaultChunkBytes)
+	if fi := fine.Imbalance(); fi > 1.10 {
+		t.Errorf("fine-grained imbalance = %.3f, want ≤1.10", fi)
+	}
+	if ci := coarse.Imbalance(); ci < 2.0 {
+		t.Errorf("coarse imbalance = %.3f, want ≥2 (fc6 hot spot)", ci)
+	}
+}
+
+func TestCoarseOneChunkPerLayer(t *testing.T) {
+	m := nn.VGG19()
+	p := NewPlacement(m, 4, CoarsePerTensor, DefaultChunkBytes)
+	for li, cs := range p.ByLayer {
+		if m.Layers[li].HasParams() && len(cs) != 1 {
+			t.Fatalf("layer %d has %d chunks under coarse placement", li, len(cs))
+		}
+	}
+}
+
+// Property: every placement covers all parameter bytes exactly once and
+// ServerBytes sums to the model size, for any server count/chunk size.
+func TestPlacementCoverageProperty(t *testing.T) {
+	m := nn.CIFARQuick()
+	f := func(serversRaw, chunkRaw uint8) bool {
+		servers := 1 + int(serversRaw)%32
+		chunk := int64(1+int(chunkRaw)) * 512
+		p := NewPlacement(m, servers, FineGrained, chunk)
+		var sum int64
+		for _, b := range p.ServerBytes {
+			sum += b
+		}
+		if sum != m.ParamBytes() {
+			return false
+		}
+		var chunkSum int64
+		for _, cs := range p.ByLayer {
+			for _, c := range cs {
+				chunkSum += c.Bytes
+			}
+		}
+		return chunkSum == m.ParamBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkKeyUnique(t *testing.T) {
+	m := nn.VGG19()
+	p := NewPlacement(m, 8, FineGrained, DefaultChunkBytes)
+	seen := make(map[string]bool)
+	for _, cs := range p.ByLayer {
+		for _, c := range cs {
+			if seen[c.Key()] {
+				t.Fatalf("duplicate chunk key %s", c.Key())
+			}
+			seen[c.Key()] = true
+		}
+	}
+	if len(seen) != p.NumChunks() {
+		t.Fatalf("NumChunks=%d, keys=%d", p.NumChunks(), len(seen))
+	}
+}
+
+func TestPlacementPanicsOnZeroServers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPlacement(nn.CIFARQuick(), 0, FineGrained, DefaultChunkBytes)
+}

@@ -1,0 +1,82 @@
+// Package sfb implements functional sufficient factor broadcasting
+// (Xie et al.; Poseidon Section 2.1): extraction of rank-1 gradient
+// factors from FC-layer backward passes, peer-to-peer broadcast
+// bookkeeping, and dense gradient reconstruction on receipt.
+package sfb
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Extract builds the sufficient factor of an FC layer's weight gradient
+// from the backward pass: dout is the K×M matrix of per-sample output
+// deltas, x the K×N matrix of per-sample inputs, so that
+// ∇W = doutᵀ·x = Σ_k u_k v_kᵀ. The factors are referenced, not copied;
+// callers that reuse their buffers must Clone.
+func Extract(dout, x *tensor.Matrix) *tensor.SufficientFactor {
+	if dout.Rows != x.Rows {
+		panic(fmt.Sprintf("sfb: batch mismatch %d vs %d", dout.Rows, x.Rows))
+	}
+	return &tensor.SufficientFactor{U: dout, V: x}
+}
+
+// Aggregator collects sufficient factors from peers for one layer and
+// one iteration, and reconstructs the summed dense gradient once all
+// expected contributions have arrived. It is safe for concurrent use.
+type Aggregator struct {
+	mu       sync.Mutex
+	expected int
+	rows     int
+	cols     int
+	pending  map[int64][]*tensor.SufficientFactor // iter → factors
+}
+
+// NewAggregator creates an aggregator for an rows×cols gradient
+// expecting `expected` contributions per iteration (typically P: one
+// local + P−1 remote).
+func NewAggregator(expected, rows, cols int) *Aggregator {
+	if expected <= 0 {
+		panic("sfb: need at least one expected contribution")
+	}
+	return &Aggregator{
+		expected: expected,
+		rows:     rows,
+		cols:     cols,
+		pending:  make(map[int64][]*tensor.SufficientFactor),
+	}
+}
+
+// Offer adds one contribution for the iteration. When the last expected
+// factor arrives it returns the reconstructed dense gradient
+// Σ_contributions Σ_k u_k v_kᵀ and true; otherwise (nil, false).
+func (a *Aggregator) Offer(iter int64, sf *tensor.SufficientFactor) (*tensor.Matrix, bool) {
+	if sf.M() != a.rows || sf.N() != a.cols {
+		panic(fmt.Sprintf("sfb: factor shape %dx%d, want %dx%d", sf.M(), sf.N(), a.rows, a.cols))
+	}
+	a.mu.Lock()
+	a.pending[iter] = append(a.pending[iter], sf)
+	if len(a.pending[iter]) < a.expected {
+		a.mu.Unlock()
+		return nil, false
+	}
+	factors := a.pending[iter]
+	delete(a.pending, iter)
+	a.mu.Unlock()
+
+	grad := tensor.NewMatrix(a.rows, a.cols)
+	for _, f := range factors {
+		f.ReconstructInto(grad)
+	}
+	return grad, true
+}
+
+// PendingIters returns how many iterations have incomplete factor sets
+// (for tests and monitoring).
+func (a *Aggregator) PendingIters() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending)
+}

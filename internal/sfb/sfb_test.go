@@ -1,0 +1,124 @@
+package sfb
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func randM(rng *rand.Rand, r, c int) *tensor.Matrix {
+	m := tensor.NewMatrix(r, c)
+	m.Randn(rng, 1)
+	return m
+}
+
+// Extract + Reconstruct must equal the dense gradient doutᵀ·x.
+func TestExtractReconstructMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const k, m, n = 6, 5, 7
+	dout := randM(rng, k, m)
+	x := randM(rng, k, n)
+	sf := Extract(dout, x)
+	got := sf.Reconstruct()
+	want := tensor.NewMatrix(m, n)
+	tensor.MulTransAInto(want, dout, x)
+	if !got.ApproxEqual(want, 1e-4) {
+		t.Fatal("SF reconstruction != dense gradient")
+	}
+}
+
+func TestExtractPanicsOnBatchMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Extract(randM(rng, 3, 4), randM(rng, 2, 4))
+}
+
+func TestAggregatorCompletesOnExpected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const peers, m, n = 3, 4, 5
+	a := NewAggregator(peers, m, n)
+	want := tensor.NewMatrix(m, n)
+	for p := 0; p < peers; p++ {
+		sf := &tensor.SufficientFactor{U: randM(rng, 2, m), V: randM(rng, 2, n)}
+		sf.ReconstructInto(want)
+		grad, done := a.Offer(7, sf)
+		if p < peers-1 {
+			if done {
+				t.Fatalf("completed early at peer %d", p)
+			}
+		} else {
+			if !done {
+				t.Fatal("never completed")
+			}
+			if !grad.ApproxEqual(want, 1e-4) {
+				t.Fatal("aggregated gradient wrong")
+			}
+		}
+	}
+	if a.PendingIters() != 0 {
+		t.Fatal("iteration state leaked")
+	}
+}
+
+// Factors for different iterations must not mix.
+func TestAggregatorSeparatesIterations(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewAggregator(2, 3, 3)
+	a.Offer(1, &tensor.SufficientFactor{U: randM(rng, 1, 3), V: randM(rng, 1, 3)})
+	a.Offer(2, &tensor.SufficientFactor{U: randM(rng, 1, 3), V: randM(rng, 1, 3)})
+	if a.PendingIters() != 2 {
+		t.Fatalf("pending = %d, want 2", a.PendingIters())
+	}
+	if _, done := a.Offer(1, &tensor.SufficientFactor{U: randM(rng, 1, 3), V: randM(rng, 1, 3)}); !done {
+		t.Fatal("iteration 1 should complete")
+	}
+	if a.PendingIters() != 1 {
+		t.Fatalf("pending = %d, want 1", a.PendingIters())
+	}
+}
+
+func TestAggregatorConcurrentOffers(t *testing.T) {
+	const peers = 16
+	a := NewAggregator(peers, 2, 2)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	completions := 0
+	for p := 0; p < peers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			u := tensor.NewMatrix(1, 2)
+			v := tensor.NewMatrix(1, 2)
+			u.Fill(1)
+			v.Fill(1)
+			if grad, done := a.Offer(0, &tensor.SufficientFactor{U: u, V: v}); done {
+				mu.Lock()
+				completions++
+				mu.Unlock()
+				if grad.At(0, 0) != peers {
+					t.Errorf("grad[0][0] = %v, want %d", grad.At(0, 0), peers)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if completions != 1 {
+		t.Fatalf("completed %d times", completions)
+	}
+}
+
+func TestAggregatorShapePanic(t *testing.T) {
+	a := NewAggregator(1, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Offer(0, tensor.NewSufficientFactor(1, 3, 3))
+}

@@ -1,0 +1,162 @@
+// Package sim provides the discrete-event simulation kernel underlying
+// the performance plane of the Poseidon reproduction: a virtual clock, a
+// deterministic event queue, and simple serially-reusable resources
+// (used to model PCIe copy engines and CPU apply threads).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events at equal times fire in
+// scheduling order, which keeps runs deterministic.
+type Event struct {
+	time float64
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// Cancel prevents a pending event from firing. Canceling an already
+// fired or canceled event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// call NewEngine.
+type Engine struct {
+	now  float64
+	seq  uint64
+	pq   eventHeap
+	runs uint64
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute time t (t ≥ Now).
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling in the past: %g < %g", t, e.now))
+	}
+	e.seq++
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// After schedules fn after a delay d ≥ 0.
+func (e *Engine) After(d float64, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Run executes events until the queue is empty, returning the number of
+// events fired.
+func (e *Engine) Run() uint64 {
+	for len(e.pq) > 0 {
+		e.step()
+	}
+	return e.runs
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.pq) > 0 && e.pq[0].time <= t {
+		e.step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.pq).(*Event)
+	if ev.dead {
+		return
+	}
+	if ev.time < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.time
+	e.runs++
+	ev.fn()
+}
+
+// Pending returns the number of events in the queue (including canceled
+// ones not yet discarded).
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Resource is a serially-reusable FIFO resource bound to an engine: jobs
+// acquire it in request order and each holds it for a fixed duration.
+// It models PCIe copy engines and single-threaded apply loops.
+type Resource struct {
+	eng      *Engine
+	busyTill float64
+	// Busy accumulates total occupied time for utilization accounting.
+	Busy float64
+}
+
+// NewResource creates a resource on eng.
+func NewResource(eng *Engine) *Resource { return &Resource{eng: eng} }
+
+// Use enqueues a job of the given duration; done (optional) fires when
+// the job completes. Returns the completion time.
+func (r *Resource) Use(duration float64, done func()) float64 {
+	if duration < 0 {
+		panic("sim: negative duration")
+	}
+	start := r.eng.Now()
+	if r.busyTill > start {
+		start = r.busyTill
+	}
+	end := start + duration
+	r.busyTill = end
+	r.Busy += duration
+	if done != nil {
+		r.eng.At(end, done)
+	}
+	return end
+}
+
+// FreeAt returns the time at which the resource next becomes free.
+func (r *Resource) FreeAt() float64 {
+	if r.busyTill > r.eng.Now() {
+		return r.busyTill
+	}
+	return r.eng.Now()
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(1, func() { order = append(order, "a") })
+	e.At(1, func() { order = append(order, "b") })
+	e.Run()
+	if order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var ts []float64
+	e.After(1, func() {
+		ts = append(ts, e.Now())
+		e.After(2, func() { ts = append(ts, e.Now()) })
+	})
+	e.Run()
+	if len(ts) != 2 || ts[0] != 1 || ts[1] != 3 {
+		t.Fatalf("ts = %v", ts)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, tt := range []float64{1, 2, 5} {
+		tt := tt
+		e.At(tt, func() { fired = append(fired, tt) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+	e.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	var done []float64
+	r.Use(2, func() { done = append(done, e.Now()) })
+	r.Use(3, func() { done = append(done, e.Now()) })
+	e.Run()
+	if len(done) != 2 || done[0] != 2 || done[1] != 5 {
+		t.Fatalf("done = %v", done)
+	}
+	if r.Busy != 5 {
+		t.Fatalf("Busy = %v", r.Busy)
+	}
+}
+
+func TestResourceUseFromFuture(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	var end float64
+	e.At(10, func() {
+		end = r.Use(1, nil)
+	})
+	e.Run()
+	if end != 11 {
+		t.Fatalf("end = %v", end)
+	}
+	if r.FreeAt() != 11 {
+		t.Fatalf("FreeAt = %v", r.FreeAt())
+	}
+}
+
+// Property: N randomly scheduled events fire in nondecreasing time order.
+func TestMonotoneFiringProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var fired []float64
+		n := 1 + r.Intn(50)
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = r.Float64() * 100
+			tt := times[i]
+			e.At(tt, func() { fired = append(fired, tt) })
+		}
+		e.Run()
+		if len(fired) != n {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		sort.Float64s(times)
+		for i := range times {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a FIFO resource's total makespan equals the sum of durations
+// when all jobs are enqueued at time 0.
+func TestResourceMakespanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		res := NewResource(e)
+		n := 1 + r.Intn(20)
+		var sum, last float64
+		for i := 0; i < n; i++ {
+			d := r.Float64()
+			sum += d
+			last = res.Use(d, nil)
+		}
+		e.Run()
+		return last == res.Busy && (sum-last) < 1e-9 && (last-sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary wire encoding for matrices, sufficient factors, and quantized
+// gradients. All integers are little-endian. The encoding is manual (no
+// reflection) because the functional plane moves multi-megabyte payloads
+// per layer per iteration.
+
+// AppendMatrix appends the encoding of m to buf and returns it:
+// rows(u32) cols(u32) data(rows*cols × f32).
+func AppendMatrix(buf []byte, m *Matrix) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Rows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Cols))
+	for _, v := range m.Data {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+// DecodeMatrix decodes a matrix from buf, returning it and the number of
+// bytes consumed.
+func DecodeMatrix(buf []byte) (*Matrix, int, error) {
+	if len(buf) < 8 {
+		return nil, 0, fmt.Errorf("tensor: short matrix header: %d bytes", len(buf))
+	}
+	rows := int(binary.LittleEndian.Uint32(buf[0:4]))
+	cols := int(binary.LittleEndian.Uint32(buf[4:8]))
+	need := 8 + 4*rows*cols
+	if len(buf) < need {
+		return nil, 0, fmt.Errorf("tensor: short matrix body: have %d, need %d", len(buf), need)
+	}
+	m := NewMatrix(rows, cols)
+	off := 8
+	for i := range m.Data {
+		m.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off : off+4]))
+		off += 4
+	}
+	return m, need, nil
+}
+
+// AppendSF appends the encoding of sf (U then V) to buf.
+func AppendSF(buf []byte, sf *SufficientFactor) []byte {
+	buf = AppendMatrix(buf, sf.U)
+	return AppendMatrix(buf, sf.V)
+}
+
+// DecodeSF decodes a sufficient factor from buf, returning it and the
+// number of bytes consumed.
+func DecodeSF(buf []byte) (*SufficientFactor, int, error) {
+	u, n1, err := DecodeMatrix(buf)
+	if err != nil {
+		return nil, 0, fmt.Errorf("tensor: SF U: %w", err)
+	}
+	v, n2, err := DecodeMatrix(buf[n1:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("tensor: SF V: %w", err)
+	}
+	if u.Rows != v.Rows {
+		return nil, 0, fmt.Errorf("tensor: SF K mismatch: U has %d rows, V has %d", u.Rows, v.Rows)
+	}
+	return &SufficientFactor{U: u, V: v}, n1 + n2, nil
+}
+
+// AppendQuantized appends the encoding of q to buf:
+// rows(u32) cols(u32) lo(f32) hi(f32) bits(words × u64).
+func AppendQuantized(buf []byte, q *QuantizedGrad) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.Rows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.Cols))
+	buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(q.LoLevel))
+	buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(q.HiLevel))
+	for _, w := range q.Bits {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// DecodeQuantized decodes a quantized gradient from buf, returning it and
+// the number of bytes consumed.
+func DecodeQuantized(buf []byte) (*QuantizedGrad, int, error) {
+	if len(buf) < 16 {
+		return nil, 0, fmt.Errorf("tensor: short quantized header: %d bytes", len(buf))
+	}
+	rows := int(binary.LittleEndian.Uint32(buf[0:4]))
+	cols := int(binary.LittleEndian.Uint32(buf[4:8]))
+	lo := math.Float32frombits(binary.LittleEndian.Uint32(buf[8:12]))
+	hi := math.Float32frombits(binary.LittleEndian.Uint32(buf[12:16]))
+	words := (rows*cols + 63) / 64
+	need := 16 + 8*words
+	if len(buf) < need {
+		return nil, 0, fmt.Errorf("tensor: short quantized body: have %d, need %d", len(buf), need)
+	}
+	q := &QuantizedGrad{Rows: rows, Cols: cols, LoLevel: lo, HiLevel: hi, Bits: make([]uint64, words)}
+	off := 16
+	for i := range q.Bits {
+		q.Bits[i] = binary.LittleEndian.Uint64(buf[off : off+8])
+		off += 8
+	}
+	return q, need, nil
+}
+
+// AppendFloat32s appends a length-prefixed float32 slice to buf.
+func AppendFloat32s(buf []byte, vs []float32) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vs)))
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+// DecodeFloat32s decodes a length-prefixed float32 slice from buf,
+// returning the slice and the number of bytes consumed.
+func DecodeFloat32s(buf []byte) ([]float32, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("tensor: short float32s header")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[0:4]))
+	need := 4 + 4*n
+	if len(buf) < need {
+		return nil, 0, fmt.Errorf("tensor: short float32s body: have %d, need %d", len(buf), need)
+	}
+	vs := make([]float32, n)
+	off := 4
+	for i := range vs {
+		vs[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off : off+4]))
+		off += 4
+	}
+	return vs, need, nil
+}

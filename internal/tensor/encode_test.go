@@ -1,0 +1,105 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixEncodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	m := randMatrix(rng, 7, 11)
+	buf := AppendMatrix(nil, m)
+	got, n, err := DecodeMatrix(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !got.ApproxEqual(m, 0) {
+		t.Fatal("round trip changed values")
+	}
+}
+
+func TestMatrixEncodeRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randMatrix(r, 1+r.Intn(6), 1+r.Intn(6))
+		got, n, err := DecodeMatrix(AppendMatrix(nil, m))
+		return err == nil && n == 8+4*m.Rows*m.Cols && got.ApproxEqual(m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSFEncodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sf := randSF(rng, 4, 5, 6)
+	buf := AppendSF(nil, sf)
+	got, n, err := DecodeSF(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d", n, len(buf))
+	}
+	if !got.U.ApproxEqual(sf.U, 0) || !got.V.ApproxEqual(sf.V, 0) {
+		t.Fatal("SF round trip changed values")
+	}
+}
+
+func TestQuantizedEncodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g := randMatrix(rng, 9, 13)
+	z := NewOneBitQuantizer(9, 13)
+	q := z.Quantize(g)
+	buf := AppendQuantized(nil, q)
+	got, n, err := DecodeQuantized(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d", n, len(buf))
+	}
+	if !got.Dequantize().ApproxEqual(q.Dequantize(), 0) {
+		t.Fatal("quantized round trip changed reconstruction")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeMatrix([]byte{1, 2}); err == nil {
+		t.Fatal("want error on short header")
+	}
+	m := NewMatrix(4, 4)
+	buf := AppendMatrix(nil, m)
+	if _, _, err := DecodeMatrix(buf[:len(buf)-1]); err == nil {
+		t.Fatal("want error on short body")
+	}
+	if _, _, err := DecodeSF(buf); err == nil {
+		t.Fatal("want error decoding SF from a single matrix")
+	}
+	if _, _, err := DecodeQuantized([]byte{0}); err == nil {
+		t.Fatal("want error on short quantized header")
+	}
+	if _, _, err := DecodeFloat32s([]byte{9, 0, 0, 0}); err == nil {
+		t.Fatal("want error on short float32s body")
+	}
+}
+
+func TestFloat32sRoundTrip(t *testing.T) {
+	vs := []float32{1.5, -2.25, 0, 1e20}
+	got, n, err := DecodeFloat32s(AppendFloat32s(nil, vs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4+4*len(vs) {
+		t.Fatalf("consumed %d", n)
+	}
+	for i := range vs {
+		if got[i] != vs[i] {
+			t.Fatalf("element %d: %v != %v", i, got[i], vs[i])
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package tensor provides the dense float32 linear-algebra substrate used
+// throughout the Poseidon reproduction: matrices, vectors, sufficient
+// factors (rank-1 gradient decompositions), 1-bit quantization with
+// residual carry, and compact binary serialization.
+//
+// Everything is deterministic and allocation-conscious; there is no
+// external BLAS. Matrices are row-major.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols) as a matrix without copying.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (no copy).
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets all elements to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Randn fills the matrix with N(0, std²) samples from rng.
+func (m *Matrix) Randn(rng *rand.Rand, std float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	m.mustSameShape(src)
+	copy(m.Data, src.Data)
+}
+
+// Add accumulates src into m element-wise.
+func (m *Matrix) Add(src *Matrix) {
+	m.mustSameShape(src)
+	for i, v := range src.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub subtracts src from m element-wise.
+func (m *Matrix) Sub(src *Matrix) {
+	m.mustSameShape(src)
+	for i, v := range src.Data {
+		m.Data[i] -= v
+	}
+}
+
+// AXPY computes m += alpha * src.
+func (m *Matrix) AXPY(alpha float32, src *Matrix) {
+	m.mustSameShape(src)
+	for i, v := range src.Data {
+		m.Data[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element by alpha.
+func (m *Matrix) Scale(alpha float32) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// MulInto computes dst = a·b. dst must be a.Rows×b.Cols and distinct from
+// a and b.
+func MulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MulInto inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MulInto dst shape mismatch")
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range drow {
+				drow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// MulTransAInto computes dst = aᵀ·b (a is k×m, b is k×n, dst is m×n).
+func MulTransAInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MulTransAInto inner dims %d != %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("tensor: MulTransAInto dst shape mismatch")
+	}
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, aki := range arow {
+			if aki == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bkj := range brow {
+				drow[j] += aki * bkj
+			}
+		}
+	}
+}
+
+// MulTransBInto computes dst = a·bᵀ (a is m×k, b is n×k, dst is m×n).
+func MulTransBInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MulTransBInto inner dims %d != %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("tensor: MulTransBInto dst shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var sum float32
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
+}
+
+// AddOuter accumulates the outer product u·vᵀ into m.
+// len(u) must equal m.Rows and len(v) must equal m.Cols.
+func (m *Matrix) AddOuter(u, v []float32) {
+	if len(u) != m.Rows || len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddOuter shapes %dx%d vs %dx%d", len(u), len(v), m.Rows, m.Cols))
+	}
+	for i, ui := range u {
+		if ui == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, vj := range v {
+			row[j] += ui * vj
+		}
+	}
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var sum float64
+	for _, v := range m.Data {
+		sum += float64(v) * float64(v)
+	}
+	return math.Sqrt(sum)
+}
+
+// MaxAbs returns the largest absolute element value.
+func (m *Matrix) MaxAbs() float32 {
+	var max float32
+	for _, v := range m.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// ApproxEqual reports whether m and o are element-wise within tol.
+func (m *Matrix) ApproxEqual(o *Matrix, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(float64(v)-float64(o.Data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// NumParams returns the number of elements.
+func (m *Matrix) NumParams() int { return m.Rows * m.Cols }
+
+// SizeBytes returns the dense float32 wire size of the matrix payload.
+func (m *Matrix) SizeBytes() int { return 4 * m.Rows * m.Cols }
+
+// String renders a compact shape description.
+func (m *Matrix) String() string { return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols) }
+
+func (m *Matrix) mustSameShape(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var sum float32
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}
+
+// AxpyVec computes dst += alpha*src for vectors.
+func AxpyVec(dst []float32, alpha float32, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: AxpyVec length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+}
+
+// ScaleVec multiplies every element of v by alpha.
+func ScaleVec(v []float32, alpha float32) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}

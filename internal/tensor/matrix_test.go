@@ -1,0 +1,234 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	m.Randn(rng, 1.0)
+	return m
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d not zero: %v", i, v)
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2)=%v, want 7", m.At(1, 2))
+	}
+	if m.Row(1)[2] != 7 {
+		t.Fatalf("Row(1)[2]=%v, want 7", m.Row(1)[2])
+	}
+	// Row is a view: mutating it mutates the matrix.
+	m.Row(0)[0] = 3
+	if m.At(0, 0) != 3 {
+		t.Fatal("Row must be a view, not a copy")
+	}
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float32{1, 2, 3})
+}
+
+func TestAddSubAXPYScale(t *testing.T) {
+	a := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float32{10, 20, 30, 40})
+	a.Add(b)
+	want := []float32{11, 22, 33, 44}
+	for i, v := range a.Data {
+		if v != want[i] {
+			t.Fatalf("Add[%d]=%v, want %v", i, v, want[i])
+		}
+	}
+	a.Sub(b)
+	for i, v := range a.Data {
+		if v != float32(i+1) {
+			t.Fatalf("Sub[%d]=%v, want %v", i, v, i+1)
+		}
+	}
+	a.AXPY(0.5, b)
+	wantAXPY := []float32{6, 12, 18, 24}
+	for i, v := range a.Data {
+		if v != wantAXPY[i] {
+			t.Fatalf("AXPY[%d]=%v, want %v", i, v, wantAXPY[i])
+		}
+	}
+	a.Scale(2)
+	for i, v := range a.Data {
+		if v != wantAXPY[i]*2 {
+			t.Fatalf("Scale[%d]=%v, want %v", i, v, wantAXPY[i]*2)
+		}
+	}
+}
+
+func TestMulInto(t *testing.T) {
+	a := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	c := NewMatrix(2, 2)
+	MulInto(c, a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, v := range c.Data {
+		if v != want[i] {
+			t.Fatalf("MulInto[%d]=%v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestMulTransA(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMatrix(rng, 5, 3) // k×m
+	b := randMatrix(rng, 5, 4) // k×n
+	got := NewMatrix(3, 4)
+	MulTransAInto(got, a, b)
+	// Reference: explicit transpose then MulInto.
+	at := NewMatrix(3, 5)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := NewMatrix(3, 4)
+	MulInto(want, at, b)
+	if !got.ApproxEqual(want, 1e-5) {
+		t.Fatal("MulTransAInto != transpose+MulInto")
+	}
+}
+
+func TestMulTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMatrix(rng, 4, 6) // m×k
+	b := randMatrix(rng, 3, 6) // n×k
+	got := NewMatrix(4, 3)
+	MulTransBInto(got, a, b)
+	bt := NewMatrix(6, 3)
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	want := NewMatrix(4, 3)
+	MulInto(want, a, bt)
+	if !got.ApproxEqual(want, 1e-5) {
+		t.Fatal("MulTransBInto != MulInto with transposed B")
+	}
+}
+
+func TestAddOuterMatchesMulTransA(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const k, m, n = 7, 5, 6
+	u := randMatrix(rng, k, m)
+	v := randMatrix(rng, k, n)
+	got := NewMatrix(m, n)
+	for i := 0; i < k; i++ {
+		got.AddOuter(u.Row(i), v.Row(i))
+	}
+	want := NewMatrix(m, n)
+	MulTransAInto(want, u, v)
+	if !got.ApproxEqual(want, 1e-4) {
+		t.Fatal("sum of outer products != UᵀV")
+	}
+}
+
+func TestFrobeniusNormAndMaxAbs(t *testing.T) {
+	m := FromSlice(1, 3, []float32{3, -4, 0})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("FrobeniusNorm=%v, want 5", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs=%v, want 4", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice(1, 2, []float32{1, 2})
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot=%v, want 32", got)
+	}
+	dst := []float32{1, 1, 1}
+	AxpyVec(dst, 2, a)
+	want := []float32{3, 5, 7}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("AxpyVec[%d]=%v, want %v", i, dst[i], want[i])
+		}
+	}
+	ScaleVec(dst, 0.5)
+	for i := range dst {
+		if dst[i] != want[i]/2 {
+			t.Fatalf("ScaleVec[%d]=%v", i, dst[i])
+		}
+	}
+}
+
+// Property: (A·B)·C == A·(B·C) within float tolerance.
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n, p := 2+r.Intn(5), 2+r.Intn(5), 2+r.Intn(5), 2+r.Intn(5)
+		a := randMatrix(r, m, k)
+		b := randMatrix(r, k, n)
+		c := randMatrix(r, n, p)
+		ab := NewMatrix(m, n)
+		MulInto(ab, a, b)
+		abc1 := NewMatrix(m, p)
+		MulInto(abc1, ab, c)
+		bc := NewMatrix(k, p)
+		MulInto(bc, b, c)
+		abc2 := NewMatrix(m, p)
+		MulInto(abc2, a, bc)
+		return abc1.ApproxEqual(abc2, 1e-3)
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AXPY is linear — AXPY(a+b, X) == AXPY(a, X) then AXPY(b, X).
+func TestAXPYLinearityProperty(t *testing.T) {
+	f := func(seed int64, a8, b8 int8) bool {
+		r := rand.New(rand.NewSource(seed))
+		alpha, beta := float32(a8)/16, float32(b8)/16
+		x := randMatrix(r, 4, 4)
+		m1 := NewMatrix(4, 4)
+		m1.AXPY(alpha+beta, x)
+		m2 := NewMatrix(4, 4)
+		m2.AXPY(alpha, x)
+		m2.AXPY(beta, x)
+		return m1.ApproxEqual(m2, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package tensor
+
+// OneBitQuantizer implements the 1-bit stochastic-gradient quantization
+// used by CNTK (Seide et al., INTERSPEECH 2014) and evaluated as a
+// baseline in the Poseidon paper (Section 5.3): each gradient element is
+// transmitted as a single sign bit plus two per-matrix reconstruction
+// levels, and the quantization error is carried over as a residual that
+// is added to the next iteration's gradient before quantization.
+//
+// A quantizer is stateful (it owns the residual buffer) and must be used
+// for exactly one gradient matrix shape.
+type OneBitQuantizer struct {
+	residual *Matrix
+}
+
+// NewOneBitQuantizer creates a quantizer with a zero residual for an
+// rows×cols gradient.
+func NewOneBitQuantizer(rows, cols int) *OneBitQuantizer {
+	return &OneBitQuantizer{residual: NewMatrix(rows, cols)}
+}
+
+// QuantizedGrad is the wire form of a 1-bit quantized gradient: one bit
+// per element selecting between two reconstruction levels. The levels
+// are the means of the positive and non-positive partitions, which
+// minimizes the L2 reconstruction error for a fixed sign partition.
+type QuantizedGrad struct {
+	Rows, Cols int
+	Bits       []uint64 // ceil(Rows*Cols/64) packed sign bits, row-major
+	LoLevel    float32  // reconstruction value for 0-bits
+	HiLevel    float32  // reconstruction value for 1-bits
+}
+
+// SizeBytes returns the wire size: packed bits plus the two levels and
+// the shape header.
+func (q *QuantizedGrad) SizeBytes() int { return 8*len(q.Bits) + 4*2 + 8 }
+
+// QuantizedWireBytes returns the wire size of a 1-bit quantized m×n
+// gradient without materializing it.
+func QuantizedWireBytes(m, n int) int64 {
+	words := (int64(m)*int64(n) + 63) / 64
+	return 8*words + 16
+}
+
+// Quantize adds the carried residual to grad, emits the 1-bit encoding,
+// and stores the new residual (input − reconstruction). grad is not
+// modified.
+func (z *OneBitQuantizer) Quantize(grad *Matrix) *QuantizedGrad {
+	if grad.Rows != z.residual.Rows || grad.Cols != z.residual.Cols {
+		panic("tensor: Quantize shape mismatch with residual")
+	}
+	n := len(grad.Data)
+	q := &QuantizedGrad{
+		Rows: grad.Rows,
+		Cols: grad.Cols,
+		Bits: make([]uint64, (n+63)/64),
+	}
+	// Effective gradient = grad + residual.
+	var hiSum, loSum float64
+	var hiCount, loCount int
+	eff := make([]float32, n)
+	for i, g := range grad.Data {
+		e := g + z.residual.Data[i]
+		eff[i] = e
+		if e > 0 {
+			hiSum += float64(e)
+			hiCount++
+		} else {
+			loSum += float64(e)
+			loCount++
+		}
+	}
+	if hiCount > 0 {
+		q.HiLevel = float32(hiSum / float64(hiCount))
+	}
+	if loCount > 0 {
+		q.LoLevel = float32(loSum / float64(loCount))
+	}
+	for i, e := range eff {
+		var rec float32
+		if e > 0 {
+			q.Bits[i/64] |= 1 << (uint(i) % 64)
+			rec = q.HiLevel
+		} else {
+			rec = q.LoLevel
+		}
+		z.residual.Data[i] = e - rec
+	}
+	return q
+}
+
+// Residual exposes the residual buffer (for tests and checkpointing).
+func (z *OneBitQuantizer) Residual() *Matrix { return z.residual }
+
+// Dequantize reconstructs the dense gradient from the 1-bit encoding.
+func (q *QuantizedGrad) Dequantize() *Matrix {
+	m := NewMatrix(q.Rows, q.Cols)
+	q.DequantizeInto(m)
+	return m
+}
+
+// DequantizeInto writes the reconstruction into dst (must match shape).
+func (q *QuantizedGrad) DequantizeInto(dst *Matrix) {
+	if dst.Rows != q.Rows || dst.Cols != q.Cols {
+		panic("tensor: DequantizeInto shape mismatch")
+	}
+	for i := range dst.Data {
+		if q.Bits[i/64]&(1<<(uint(i)%64)) != 0 {
+			dst.Data[i] = q.HiLevel
+		} else {
+			dst.Data[i] = q.LoLevel
+		}
+	}
+}
+
+// AddDequantizedInto accumulates the reconstruction into dst.
+func (q *QuantizedGrad) AddDequantizedInto(dst *Matrix) {
+	if dst.Rows != q.Rows || dst.Cols != q.Cols {
+		panic("tensor: AddDequantizedInto shape mismatch")
+	}
+	for i := range dst.Data {
+		if q.Bits[i/64]&(1<<(uint(i)%64)) != 0 {
+			dst.Data[i] += q.HiLevel
+		} else {
+			dst.Data[i] += q.LoLevel
+		}
+	}
+}

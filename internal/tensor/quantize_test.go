@@ -1,0 +1,98 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeRoundTripShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	g := randMatrix(rng, 5, 9)
+	z := NewOneBitQuantizer(5, 9)
+	q := z.Quantize(g)
+	d := q.Dequantize()
+	if d.Rows != 5 || d.Cols != 9 {
+		t.Fatalf("dequantized shape %dx%d", d.Rows, d.Cols)
+	}
+}
+
+// The residual must make quantization lossless over time: the sum of all
+// dequantized gradients plus the final residual equals the sum of the
+// inputs. This is the error-feedback invariant 1-bit SGD relies on.
+func TestResidualErrorFeedbackInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const rows, cols, iters = 6, 7, 25
+	z := NewOneBitQuantizer(rows, cols)
+	sumIn := NewMatrix(rows, cols)
+	sumOut := NewMatrix(rows, cols)
+	for i := 0; i < iters; i++ {
+		g := randMatrix(rng, rows, cols)
+		sumIn.Add(g)
+		q := z.Quantize(g)
+		q.AddDequantizedInto(sumOut)
+	}
+	sumOut.Add(z.Residual())
+	if !sumIn.ApproxEqual(sumOut, 1e-2) {
+		t.Fatal("Σ inputs != Σ reconstructions + residual")
+	}
+}
+
+// The two reconstruction levels are the partition means, so the
+// reconstruction error is orthogonal to the partition indicator; in
+// particular reconstruction preserves the matrix sum exactly (up to
+// float error).
+func TestQuantizePreservesSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		g := randMatrix(r, rows, cols)
+		z := NewOneBitQuantizer(rows, cols)
+		q := z.Quantize(g)
+		d := q.Dequantize()
+		var sumG, sumD float64
+		for i := range g.Data {
+			sumG += float64(g.Data[i])
+			sumD += float64(d.Data[i])
+		}
+		return math.Abs(sumG-sumD) < 1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizedWireBytesMuchSmaller(t *testing.T) {
+	// 4096×4096 FC layer: dense = 64 MiB, 1-bit ≈ 2 MiB.
+	dense := DenseWireBytes(4096, 4096)
+	qb := QuantizedWireBytes(4096, 4096)
+	if qb*31 > dense {
+		t.Fatalf("1-bit (%d) should be ~32x smaller than dense (%d)", qb, dense)
+	}
+	q := NewOneBitQuantizer(64, 64)
+	got := q.Quantize(NewMatrix(64, 64))
+	if int64(got.SizeBytes()) != QuantizedWireBytes(64, 64) {
+		t.Fatalf("SizeBytes=%d, QuantizedWireBytes=%d", got.SizeBytes(), QuantizedWireBytes(64, 64))
+	}
+}
+
+func TestQuantizeAllZeros(t *testing.T) {
+	z := NewOneBitQuantizer(3, 3)
+	q := z.Quantize(NewMatrix(3, 3))
+	d := q.Dequantize()
+	for _, v := range d.Data {
+		if v != 0 {
+			t.Fatalf("zero input should reconstruct to zero, got %v", v)
+		}
+	}
+}
+
+func TestQuantizeShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewOneBitQuantizer(2, 2).Quantize(NewMatrix(3, 3))
+}

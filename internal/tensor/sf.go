@@ -1,0 +1,70 @@
+package tensor
+
+import "fmt"
+
+// SufficientFactor is a rank-1 decomposition of a gradient matrix:
+// ∇θ = U·Vᵀ summed over the K samples of a batch, where U holds one
+// column-vector u_k per sample (length M) and V one v_k per sample
+// (length N). For an FC layer trained with SGD, u_k is the backprop
+// error at the layer output and v_k the layer input activation
+// (Xie et al., "Distributed Machine Learning via Sufficient Factor
+// Broadcasting").
+//
+// U is K×M and V is K×N (each row is one sample's factor), so the wire
+// size is 4·K·(M+N) bytes versus 4·M·N for the dense gradient.
+type SufficientFactor struct {
+	U *Matrix // K×M: per-sample output-side factors
+	V *Matrix // K×N: per-sample input-side factors
+}
+
+// NewSufficientFactor allocates a zeroed SF for k samples of an M×N layer.
+func NewSufficientFactor(k, m, n int) *SufficientFactor {
+	return &SufficientFactor{U: NewMatrix(k, m), V: NewMatrix(k, n)}
+}
+
+// K returns the number of rank-1 components (batch size).
+func (sf *SufficientFactor) K() int { return sf.U.Rows }
+
+// M returns the row dimension of the reconstructed gradient.
+func (sf *SufficientFactor) M() int { return sf.U.Cols }
+
+// N returns the column dimension of the reconstructed gradient.
+func (sf *SufficientFactor) N() int { return sf.V.Cols }
+
+// SizeBytes returns the wire size of the SF payload: 4·K·(M+N).
+func (sf *SufficientFactor) SizeBytes() int {
+	return sf.U.SizeBytes() + sf.V.SizeBytes()
+}
+
+// ReconstructInto accumulates the dense gradient Σ_k u_k·v_kᵀ into dst,
+// which must be M×N. dst is not zeroed first, so callers can accumulate
+// SFs from several peers into one gradient buffer.
+func (sf *SufficientFactor) ReconstructInto(dst *Matrix) {
+	if dst.Rows != sf.M() || dst.Cols != sf.N() {
+		panic(fmt.Sprintf("tensor: ReconstructInto dst %dx%d, want %dx%d",
+			dst.Rows, dst.Cols, sf.M(), sf.N()))
+	}
+	// dst += Uᵀ·V, accumulated (MulTransAInto zeroes dst, so do it by hand).
+	for k := 0; k < sf.K(); k++ {
+		dst.AddOuter(sf.U.Row(k), sf.V.Row(k))
+	}
+}
+
+// Reconstruct allocates and returns the dense gradient Σ_k u_k·v_kᵀ.
+func (sf *SufficientFactor) Reconstruct() *Matrix {
+	dst := NewMatrix(sf.M(), sf.N())
+	sf.ReconstructInto(dst)
+	return dst
+}
+
+// Clone returns a deep copy of the sufficient factor.
+func (sf *SufficientFactor) Clone() *SufficientFactor {
+	return &SufficientFactor{U: sf.U.Clone(), V: sf.V.Clone()}
+}
+
+// SFWireBytes returns the wire size of an SF for batch size k on an m×n
+// layer without materializing it: 4·k·(m+n).
+func SFWireBytes(k, m, n int) int64 { return 4 * int64(k) * (int64(m) + int64(n)) }
+
+// DenseWireBytes returns the wire size of a dense m×n float32 matrix.
+func DenseWireBytes(m, n int) int64 { return 4 * int64(m) * int64(n) }

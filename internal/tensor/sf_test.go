@@ -1,0 +1,105 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSF(rng *rand.Rand, k, m, n int) *SufficientFactor {
+	sf := NewSufficientFactor(k, m, n)
+	sf.U.Randn(rng, 1)
+	sf.V.Randn(rng, 1)
+	return sf
+}
+
+func TestSFShapeAccessors(t *testing.T) {
+	sf := NewSufficientFactor(3, 5, 7)
+	if sf.K() != 3 || sf.M() != 5 || sf.N() != 7 {
+		t.Fatalf("K/M/N = %d/%d/%d, want 3/5/7", sf.K(), sf.M(), sf.N())
+	}
+	if got, want := sf.SizeBytes(), 4*3*(5+7); got != want {
+		t.Fatalf("SizeBytes=%d, want %d", got, want)
+	}
+}
+
+// The defining property of SFs: reconstructing U,V gives exactly UᵀV.
+func TestReconstructEqualsMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	sf := randSF(rng, 8, 6, 9)
+	got := sf.Reconstruct()
+	want := NewMatrix(6, 9)
+	MulTransAInto(want, sf.U, sf.V)
+	if !got.ApproxEqual(want, 1e-4) {
+		t.Fatal("Reconstruct != UᵀV")
+	}
+}
+
+// Reconstruction is additive: reconstructing two SFs into one buffer
+// equals the sum of their dense gradients. This is exactly the property
+// SFB relies on when accumulating factors from many peers.
+func TestReconstructAdditivityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k1, k2 := 1+r.Intn(6), 1+r.Intn(6)
+		m, n := 2+r.Intn(8), 2+r.Intn(8)
+		a := randSF(r, k1, m, n)
+		b := randSF(r, k2, m, n)
+		acc := NewMatrix(m, n)
+		a.ReconstructInto(acc)
+		b.ReconstructInto(acc)
+		want := a.Reconstruct()
+		want.Add(b.Reconstruct())
+		return acc.ApproxEqual(want, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSFWireBytes(t *testing.T) {
+	if got := SFWireBytes(32, 4096, 4096); got != 4*32*(4096+4096) {
+		t.Fatalf("SFWireBytes=%d", got)
+	}
+	if got := DenseWireBytes(4096, 4096); got != 4*4096*4096 {
+		t.Fatalf("DenseWireBytes=%d", got)
+	}
+}
+
+// The paper's VGG19 FC example (Section 3.2): with K=32, P1=P2=8,
+// M=N=4096, SFB moves ~3.7M parameters per node while PS moves ~34M for
+// a worker. Check the ratio our wire-size helpers produce matches.
+func TestPaperFCExampleSizes(t *testing.T) {
+	const k, m, n, p1 = 32, 4096, 4096, 8
+	sfbParams := 2 * k * (p1 - 1) * (m + n) // per-node SFB parameter count
+	psWorkerParams := 2 * m * n             // per-worker PS parameter count
+	if sfbParams != 3670016 {
+		t.Fatalf("SFB params = %d, want 3670016 (~3.7M)", sfbParams)
+	}
+	if psWorkerParams != 33554432 {
+		t.Fatalf("PS worker params = %d, want 33554432 (~34M)", psWorkerParams)
+	}
+	if !(sfbParams < psWorkerParams/5) {
+		t.Fatal("SFB should be ≥5x cheaper in the paper's example")
+	}
+}
+
+func TestCloneSFIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randSF(rng, 2, 3, 4)
+	b := a.Clone()
+	b.U.Data[0] += 42
+	if a.U.Data[0] == b.U.Data[0] {
+		t.Fatal("Clone shares U storage")
+	}
+}
+
+func TestReconstructIntoPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sf := NewSufficientFactor(1, 2, 3)
+	sf.ReconstructInto(NewMatrix(3, 2))
+}

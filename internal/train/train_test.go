@@ -1,0 +1,293 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn/autodiff"
+	"repro/internal/sfb"
+	"repro/internal/tensor"
+)
+
+func mlpBuilder(in int, hidden []int, classes int) func(rng *rand.Rand) *autodiff.Network {
+	return func(rng *rand.Rand) *autodiff.Network {
+		return autodiff.MLPNet(in, hidden, classes, rng)
+	}
+}
+
+func smallData(seed int64, n int) *data.Dataset {
+	return data.Synthetic(seed, n, 4, 1, 4, 4, 0.3) // 16-dim inputs, 4 classes
+}
+
+// singleWorkerReference trains one replica on the union of all workers'
+// batches (same order), which synchronous data parallelism must equal.
+func singleWorkerReference(t *testing.T, cfg Config) *autodiff.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := cfg.BuildNet(rng)
+	shards := make([]*data.Dataset, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		shards[w] = cfg.TrainSet.Shard(w, cfg.Workers)
+	}
+	for iter := 0; iter < cfg.Iters; iter++ {
+		bigX := tensor.NewMatrix(cfg.Workers*cfg.Batch, cfg.TrainSet.X.Cols)
+		bigL := make([]int, cfg.Workers*cfg.Batch)
+		for w := 0; w < cfg.Workers; w++ {
+			x, labels := shards[w].Batch(iter*cfg.Batch, cfg.Batch)
+			for i := 0; i < cfg.Batch; i++ {
+				copy(bigX.Row(w*cfg.Batch+i), x.Row(i))
+				bigL[w*cfg.Batch+i] = labels[i]
+			}
+		}
+		net.ZeroGrads()
+		net.LossAndGrad(bigX, bigL)
+		net.SGDStep(cfg.LR)
+	}
+	return net
+}
+
+func maxParamDiff(a, b *autodiff.Network) float64 {
+	pa, pb := a.Params(), b.Params()
+	worst := 0.0
+	for i := range pa {
+		for j := range pa[i].Data {
+			d := math.Abs(float64(pa[i].Data[j] - pb[i].Data[j]))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// THE equivalence theorem of synchronous data parallelism: P workers
+// with per-worker batch K synchronized through the PS must produce the
+// same parameters as one worker with batch P·K. This validates the whole
+// push/aggregate/broadcast protocol end to end with real gradients.
+func TestPSEquivalentToLargeBatchSGD(t *testing.T) {
+	cfg := Config{
+		Workers: 4, Iters: 10, Batch: 8, LR: 0.05, Mode: PSOnly, Seed: 11,
+		BuildNet: mlpBuilder(16, []int{12}, 4),
+		TrainSet: smallData(100, 256),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := singleWorkerReference(t, cfg)
+	if d := maxParamDiff(res.Final, ref); d > 1e-3 {
+		t.Fatalf("PS-distributed differs from large-batch SGD by %g", d)
+	}
+}
+
+// The same equivalence must hold when FC weights travel as sufficient
+// factors: SFB is mathematically exact, not approximate.
+func TestSFBEquivalentToLargeBatchSGD(t *testing.T) {
+	// Batch 2 with a 32-wide hidden layer makes Algorithm 1 pick SFB for
+	// the hidden FC weights (2K(P-1)(M+N)=576 < 2MN(2P-2)/P=1536).
+	cfg := Config{
+		Workers: 4, Iters: 10, Batch: 2, LR: 0.05, Mode: Hybrid, Seed: 13,
+		BuildNet: mlpBuilder(16, []int{32}, 4),
+		TrainSet: smallData(101, 256),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := singleWorkerReference(t, cfg)
+	if d := maxParamDiff(res.Final, ref); d > 1e-3 {
+		t.Fatalf("SFB-distributed differs from large-batch SGD by %g", d)
+	}
+}
+
+// With a small batch and a 12×16-ish FC layer, Algorithm 1 must actually
+// route the FC weights through SFB in Hybrid mode (otherwise the
+// previous test proves nothing about SFB).
+func TestHybridActuallyUsesSFB(t *testing.T) {
+	meshless := &worker{
+		cfg: Config{Workers: 4, Batch: 2, Mode: Hybrid, BuildNet: mlpBuilder(16, []int{32}, 4)},
+		n:   4,
+	}
+	rng := rand.New(rand.NewSource(1))
+	meshless.net = meshless.cfg.BuildNet(rng)
+	meshless.params = meshless.net.Params()
+	meshless.aggs = make(map[int]*sfb.Aggregator)
+	meshless.quant = make(map[int]*tensor.OneBitQuantizer)
+	meshless.buildInfos()
+	sfbCount := 0
+	for _, info := range meshless.infos {
+		if info.useSFB {
+			sfbCount++
+		}
+	}
+	if sfbCount < 1 {
+		t.Fatalf("%d FC weight tensors on SFB, want ≥1", sfbCount)
+	}
+}
+
+// All replicas must agree bitwise at every barrier (BSP invariant) — we
+// check final agreement across worker count and modes.
+func TestReplicasConverge(t *testing.T) {
+	for _, mode := range []SyncMode{PSOnly, Hybrid} {
+		for _, workers := range []int{2, 3, 5} {
+			cfg := Config{
+				Workers: workers, Iters: 6, Batch: 4, LR: 0.05, Mode: mode, Seed: 17,
+				BuildNet: mlpBuilder(16, []int{8}, 4),
+				TrainSet: smallData(102, 120),
+			}
+			if _, err := Run(cfg); err != nil {
+				t.Fatalf("mode=%v workers=%d: %v", mode, workers, err)
+			}
+		}
+	}
+}
+
+// Distributed training must actually learn: loss decreases and test
+// error beats chance by a wide margin.
+func TestDistributedTrainingLearns(t *testing.T) {
+	train, test := smallData(103, 640).Split(512)
+	cfg := Config{
+		Workers: 4, Iters: 60, Batch: 8, LR: 0.1, Mode: Hybrid, Seed: 19,
+		BuildNet: mlpBuilder(16, []int{24}, 4),
+		TrainSet: train, TestSet: test, EvalEvery: 20,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Curve[0].TrainLoss
+	last := res.Curve[len(res.Curve)-1].TrainLoss
+	if last > first*0.5 {
+		t.Fatalf("loss %0.3f → %0.3f: distributed training failed to learn", first, last)
+	}
+	var finalErr float64 = 1
+	for _, p := range res.Curve {
+		if p.TestErr >= 0 {
+			finalErr = p.TestErr
+		}
+	}
+	if finalErr > 0.4 { // chance = 0.75
+		t.Fatalf("test error %.2f after training", finalErr)
+	}
+}
+
+// 1-bit training runs end-to-end and converges more slowly (or at best
+// equally) per iteration than exact sync on the same data — the Fig. 11
+// contrast.
+func TestOneBitConvergesSlower(t *testing.T) {
+	train := smallData(105, 512)
+	mk := func(mode SyncMode, seed int64) float64 {
+		cfg := Config{
+			Workers: 4, Iters: 40, Batch: 8, LR: 0.1, Mode: mode, Seed: seed,
+			BuildNet: mlpBuilder(16, []int{24}, 4),
+			TrainSet: train,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mean loss of the last 10 iterations.
+		sum := 0.0
+		for _, p := range res.Curve[len(res.Curve)-10:] {
+			sum += p.TrainLoss
+		}
+		return sum / 10
+	}
+	exact := mk(Hybrid, 23)
+	onebit := mk(OneBit, 23)
+	if onebit < exact*0.8 {
+		t.Fatalf("1-bit (%.4f) should not out-converge exact sync (%.4f)", onebit, exact)
+	}
+}
+
+// Convolutional path: the full CIFAR-quick-style CNN trains
+// data-parallel without protocol errors.
+func TestConvNetDistributed(t *testing.T) {
+	train := data.Synthetic(200, 128, 4, 3, 8, 8, 0.3)
+	cfg := Config{
+		Workers: 2, Iters: 4, Batch: 4, LR: 0.05, Mode: Hybrid, Seed: 29,
+		BuildNet: func(rng *rand.Rand) *autodiff.Network {
+			net, _, _, _ := autodiff.CIFARQuickNet(4, 4, rng)
+			return net
+		},
+		TrainSet: train,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := singleWorkerReference(t, cfg)
+	if d := maxParamDiff(res.Final, ref); d > 5e-3 {
+		t.Fatalf("conv distributed differs from reference by %g", d)
+	}
+}
+
+func TestSyncModeString(t *testing.T) {
+	if PSOnly.String() != "PS" || Hybrid.String() != "Hybrid" || OneBit.String() != "1bit" {
+		t.Fatal("mode names wrong")
+	}
+	if SyncMode(9).String() == "" {
+		t.Fatal("unknown mode must render")
+	}
+}
+
+// Bounded staleness (the paper's stated consistency extension): SSP
+// training completes without protocol errors and still learns; round
+// interleaving on the KV store is handled by iteration-tagged rounds.
+func TestSSPTrainingLearns(t *testing.T) {
+	for _, staleness := range []int{1, 3} {
+		train := smallData(300, 512)
+		cfg := Config{
+			Workers: 4, Iters: 50, Batch: 8, LR: 0.1, Mode: PSOnly, Seed: 31,
+			Staleness: staleness,
+			BuildNet:  mlpBuilder(16, []int{24}, 4),
+			TrainSet:  train,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("staleness=%d: %v", staleness, err)
+		}
+		first := res.Curve[0].TrainLoss
+		sum := 0.0
+		for _, p := range res.Curve[len(res.Curve)-10:] {
+			sum += p.TrainLoss
+		}
+		last := sum / 10
+		if last > first*0.6 {
+			t.Fatalf("staleness=%d: loss %0.3f → %0.3f, did not learn", staleness, first, last)
+		}
+	}
+}
+
+// SSP with hybrid routing (SFB layers) also drains cleanly.
+func TestSSPWithSFB(t *testing.T) {
+	cfg := Config{
+		Workers: 3, Iters: 12, Batch: 2, LR: 0.05, Mode: Hybrid, Seed: 33,
+		Staleness: 2,
+		BuildNet:  mlpBuilder(16, []int{32}, 4),
+		TrainSet:  smallData(301, 120),
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Staleness 0 must preserve the BSP equivalence theorem exactly.
+func TestSSPZeroEqualsBSP(t *testing.T) {
+	cfg := Config{
+		Workers: 4, Iters: 8, Batch: 8, LR: 0.05, Mode: PSOnly, Seed: 35,
+		Staleness: 0,
+		BuildNet:  mlpBuilder(16, []int{12}, 4),
+		TrainSet:  smallData(302, 256),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := singleWorkerReference(t, cfg)
+	if d := maxParamDiff(res.Final, ref); d > 1e-3 {
+		t.Fatalf("SSP(0) differs from large-batch SGD by %g", d)
+	}
+}

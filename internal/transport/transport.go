@@ -1,0 +1,344 @@
+// Package transport provides the messaging layer of the functional
+// plane: a typed message format with compact manual framing, an
+// in-process channel mesh for single-binary clusters, and a real TCP
+// mesh (full peer mesh over length-prefixed frames) for multi-process
+// deployments. Both satisfy Mesh, so the trainer is transport-agnostic.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MsgType tags the protocol role of a message.
+type MsgType uint8
+
+// Protocol message types used by the data-parallel trainer.
+const (
+	// MsgPush carries a gradient update (dense, chunk of a layer) to a
+	// PS shard.
+	MsgPush MsgType = iota + 1
+	// MsgBcast carries fresh parameters from a PS shard to a worker.
+	MsgBcast
+	// MsgSF carries sufficient factors to a peer worker.
+	MsgSF
+	// MsgQuantPush carries a 1-bit quantized gradient to a PS shard.
+	MsgQuantPush
+	// MsgQuantBcast carries 1-bit quantized parameter deltas from a PS
+	// shard to a worker (CNTK's double-sided quantization).
+	MsgQuantBcast
+	// MsgBarrier implements the end-of-iteration BSP handshake.
+	MsgBarrier
+	// MsgControl carries trainer control information (stop, config).
+	MsgControl
+)
+
+// Message is one protocol frame.
+type Message struct {
+	Type    MsgType
+	From    int32 // sender node id
+	Layer   int32 // model layer index (or -1)
+	Iter    int32 // training iteration
+	Payload []byte
+}
+
+// ErrClosed is returned by Recv after the mesh is closed.
+var ErrClosed = errors.New("transport: mesh closed")
+
+// Mesh is a full mesh of N nodes with per-node inboxes.
+type Mesh interface {
+	// Self returns this endpoint's node id.
+	Self() int
+	// N returns the number of nodes in the mesh.
+	N() int
+	// Send delivers msg to node `to` (may be Self; loopback is legal).
+	Send(to int, msg Message) error
+	// Recv blocks for the next inbound message.
+	Recv() (Message, error)
+	// Close tears the endpoint down; pending Recv calls return ErrClosed.
+	Close() error
+}
+
+// encode renders the frame body (everything after the length prefix).
+func encode(msg Message) []byte {
+	buf := make([]byte, 0, 13+len(msg.Payload))
+	buf = append(buf, byte(msg.Type))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.From))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Layer))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Iter))
+	buf = append(buf, msg.Payload...)
+	return buf
+}
+
+// decode parses a frame body.
+func decode(buf []byte) (Message, error) {
+	if len(buf) < 13 {
+		return Message{}, fmt.Errorf("transport: short frame: %d bytes", len(buf))
+	}
+	return Message{
+		Type:    MsgType(buf[0]),
+		From:    int32(binary.LittleEndian.Uint32(buf[1:5])),
+		Layer:   int32(binary.LittleEndian.Uint32(buf[5:9])),
+		Iter:    int32(binary.LittleEndian.Uint32(buf[9:13])),
+		Payload: buf[13:],
+	}, nil
+}
+
+// ---- In-process mesh -----------------------------------------------------
+
+// ChanMesh is a single-process mesh backed by buffered channels. Create
+// one cluster with NewChanCluster and hand each goroutine its endpoint.
+type ChanMesh struct {
+	self    int
+	cluster *chanCluster
+}
+
+type chanCluster struct {
+	inboxes []chan Message
+	once    sync.Once
+	closed  chan struct{}
+}
+
+// NewChanCluster builds an n-node in-process cluster and returns the n
+// endpoints.
+func NewChanCluster(n int) []*ChanMesh {
+	c := &chanCluster{closed: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		c.inboxes = append(c.inboxes, make(chan Message, 1024))
+	}
+	var ms []*ChanMesh
+	for i := 0; i < n; i++ {
+		ms = append(ms, &ChanMesh{self: i, cluster: c})
+	}
+	return ms
+}
+
+// Self returns this endpoint's node id.
+func (m *ChanMesh) Self() int { return m.self }
+
+// N returns the cluster size.
+func (m *ChanMesh) N() int { return len(m.cluster.inboxes) }
+
+// Send delivers msg to node to.
+func (m *ChanMesh) Send(to int, msg Message) error {
+	if to < 0 || to >= m.N() {
+		return fmt.Errorf("transport: bad destination %d", to)
+	}
+	msg.From = int32(m.self)
+	select {
+	case m.cluster.inboxes[to] <- msg:
+		return nil
+	case <-m.cluster.closed:
+		return ErrClosed
+	}
+}
+
+// Recv blocks for the next message to this endpoint.
+func (m *ChanMesh) Recv() (Message, error) {
+	select {
+	case msg := <-m.cluster.inboxes[m.self]:
+		return msg, nil
+	case <-m.cluster.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case msg := <-m.cluster.inboxes[m.self]:
+			return msg, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+// Close shuts the whole cluster down (idempotent).
+func (m *ChanMesh) Close() error {
+	m.cluster.once.Do(func() { close(m.cluster.closed) })
+	return nil
+}
+
+// ---- TCP mesh --------------------------------------------------------------
+
+// TCPMesh is a real network mesh: every node listens on its address and
+// dials every higher-numbered peer, yielding one duplex TCP connection
+// per pair. Frames are length-prefixed (u32 little-endian).
+type TCPMesh struct {
+	self   int
+	addrs  []string
+	conns  []net.Conn // indexed by peer id; nil at self
+	inbox  chan Message
+	lis    net.Listener
+	once   sync.Once
+	wg     sync.WaitGroup
+	sendMu []sync.Mutex
+}
+
+// NewTCPMesh joins a mesh of len(addrs) nodes as node self. It blocks
+// until connections to all peers are established, so all nodes must
+// start within the dial retry window.
+func NewTCPMesh(self int, addrs []string) (*TCPMesh, error) {
+	m := &TCPMesh{
+		self:   self,
+		addrs:  addrs,
+		conns:  make([]net.Conn, len(addrs)),
+		inbox:  make(chan Message, 1024),
+		sendMu: make([]sync.Mutex, len(addrs)),
+	}
+	lis, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[self], err)
+	}
+	m.lis = lis
+
+	errc := make(chan error, len(addrs))
+	var wg sync.WaitGroup
+	// Accept connections from lower-numbered peers.
+	for i := 0; i < self; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := lis.Accept()
+			if err != nil {
+				errc <- err
+				return
+			}
+			// Peer announces its id in the first frame.
+			var hdr [4]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				errc <- err
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hdr[:]))
+			if peer < 0 || peer >= len(addrs) {
+				errc <- fmt.Errorf("transport: bad peer id %d", peer)
+				return
+			}
+			m.conns[peer] = conn
+		}()
+	}
+	// Dial higher-numbered peers.
+	for i := self + 1; i < len(addrs); i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := dialRetry(addrs[i])
+			if err != nil {
+				errc <- err
+				return
+			}
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(self))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				errc <- err
+				return
+			}
+			m.conns[i] = conn
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		lis.Close()
+		return nil, err
+	default:
+	}
+	// Reader loop per peer.
+	for i, c := range m.conns {
+		if c == nil {
+			continue
+		}
+		m.wg.Add(1)
+		go m.readLoop(i, c)
+	}
+	return m, nil
+}
+
+func dialRetry(addr string) (net.Conn, error) {
+	var err error
+	for attempt := 0; attempt < 100; attempt++ {
+		var c net.Conn
+		c, err = net.Dial("tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		// Peer may not be listening yet; spin briefly.
+		for i := 0; i < 1<<16; i++ {
+			_ = i
+		}
+	}
+	return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+}
+
+func (m *TCPMesh) readLoop(peer int, c net.Conn) {
+	defer m.wg.Done()
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		body := make([]byte, n)
+		if _, err := io.ReadFull(c, body); err != nil {
+			return
+		}
+		msg, err := decode(body)
+		if err != nil {
+			return
+		}
+		m.inbox <- msg
+	}
+}
+
+// Self returns this endpoint's node id.
+func (m *TCPMesh) Self() int { return m.self }
+
+// N returns the mesh size.
+func (m *TCPMesh) N() int { return len(m.addrs) }
+
+// Send delivers msg to node to (loopback messages short-circuit the
+// network).
+func (m *TCPMesh) Send(to int, msg Message) error {
+	msg.From = int32(m.self)
+	if to == m.self {
+		m.inbox <- msg
+		return nil
+	}
+	if to < 0 || to >= len(m.addrs) || m.conns[to] == nil {
+		return fmt.Errorf("transport: no connection to %d", to)
+	}
+	body := encode(msg)
+	frame := make([]byte, 4, 4+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
+	frame = append(frame, body...)
+	m.sendMu[to].Lock()
+	defer m.sendMu[to].Unlock()
+	_, err := m.conns[to].Write(frame)
+	return err
+}
+
+// Recv blocks for the next inbound message.
+func (m *TCPMesh) Recv() (Message, error) {
+	msg, ok := <-m.inbox
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	return msg, nil
+}
+
+// Close tears down all connections.
+func (m *TCPMesh) Close() error {
+	m.once.Do(func() {
+		m.lis.Close()
+		for _, c := range m.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		m.wg.Wait()
+		close(m.inbox)
+	})
+	return nil
+}

@@ -9,6 +9,7 @@ package repro
 import (
 	"io"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -60,6 +61,10 @@ func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
 // BenchmarkMultiGPU regenerates the multi-GPU local-aggregation table.
 func BenchmarkMultiGPU(b *testing.B) { benchExperiment(b, "multigpu") }
 
+// BenchmarkFuncScale regenerates the functional-plane overlap
+// comparison (real training over bandwidth-modeled links).
+func BenchmarkFuncScale(b *testing.B) { benchExperiment(b, "funcscale") }
+
 // BenchmarkAblations regenerates the design-choice ablations.
 func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }
 
@@ -92,6 +97,30 @@ func BenchmarkHeadlineVGG22K_10GbE(b *testing.B) {
 	}
 	b.ReportMetric(pos, "poseidon-x")
 	b.ReportMetric(ps, "ps-x")
+}
+
+// BenchmarkHeadlineFuncOverlap reports the functional-plane headline:
+// wall-clock ms/iter for serialized vs overlapped chunked pushes on the
+// FC-heavy model over 20 MB/s links (real SGD, real bytes, modeled
+// wire time). The overlapped number must come out lower — that is the
+// paper's WFBP claim reproduced with actual training.
+func BenchmarkHeadlineFuncOverlap(b *testing.B) {
+	arms := experiments.FuncScaleArms()
+	var serial, overlapped float64
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.RunFuncScaleArm(arms[0], 20e6, 100*time.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o, err := experiments.RunFuncScaleArm(arms[2], 20e6, 100*time.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial, overlapped = s.IterMillis, o.IterMillis
+	}
+	b.ReportMetric(serial, "serial-ms/iter")
+	b.ReportMetric(overlapped, "overlap-ms/iter")
+	b.ReportMetric(serial/overlapped, "overlap-x")
 }
 
 // BenchmarkEngineIteration measures the simulator itself: one full

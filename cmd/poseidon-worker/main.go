@@ -30,6 +30,8 @@ func main() {
 	lr := flag.Float64("lr", 0.1, "learning rate")
 	mode := flag.String("mode", "hybrid", "sync mode: ps|hybrid|1bit")
 	seed := flag.Int64("seed", 42, "shared model/data seed")
+	overlap := flag.Bool("overlap", false, "stream pushes through the comm send pool (WFBP)")
+	chunk := flag.Int("chunk", 0, "max float32s per KV chunk (0 = whole tensors)")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -57,6 +59,7 @@ func main() {
 	cfg := train.Config{
 		Workers: len(addrs), Iters: *iters, Batch: *batch, LR: float32(*lr),
 		Mode: m, Seed: *seed,
+		Overlap: *overlap, ChunkElems: *chunk,
 		BuildNet: func(rng *rand.Rand) *autodiff.Network {
 			net, _, _, _ := autodiff.CIFARQuickNet(4, 10, rng)
 			return net

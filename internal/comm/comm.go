@@ -1,0 +1,137 @@
+// Package comm is the synchronization runtime of the functional plane:
+// it owns everything between "the backward pass produced gradients" and
+// "every replica adopted the synchronized update". The paper's three
+// wire strategies — parameter-server rounds over a sharded KV store,
+// sufficient-factor broadcasting, and CNTK-style 1-bit quantization —
+// are Syncer implementations selected per parameter by the cost-model
+// rule (Algorithm 1), and a Router multiplexes the mesh between them.
+//
+// Large tensors are chunked across KV shards and pushed through a
+// fixed-worker send pool (queue depth bounded by the consistency
+// protocol itself), so chunk c+1 of a layer (and every later layer)
+// streams while chunk c is still on the wire — wait-free
+// backpropagation realized with real bytes rather than the simulated
+// timeline of internal/engine.
+//
+// Adding a strategy (ring all-reduce, top-k sparsification, ...) means
+// implementing Syncer and teaching routeFor to construct it; the
+// trainer never changes.
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Route names a wire strategy for one parameter.
+type Route int
+
+// Supported routes.
+const (
+	// RoutePS synchronizes through parameter-server rounds on the
+	// sharded KV store (chunked when the tensor exceeds the chunk size).
+	RoutePS Route = iota
+	// RouteSFB broadcasts rank-K sufficient factors peer-to-peer and
+	// reconstructs the dense gradient on receipt.
+	RouteSFB
+	// RouteOneBit pushes 1-bit quantized updates with residual feedback
+	// and double-sided quantized broadcasts (the CNTK baseline).
+	RouteOneBit
+)
+
+// String names the route.
+func (r Route) String() string {
+	switch r {
+	case RoutePS:
+		return "PS"
+	case RouteSFB:
+		return "SFB"
+	case RouteOneBit:
+		return "1bit"
+	default:
+		return fmt.Sprintf("route(%d)", int(r))
+	}
+}
+
+// ParamPlan describes how one parameter tensor is synchronized — the
+// functional-plane analogue of the coordinator's LayerPlan.
+type ParamPlan struct {
+	// Index is the global parameter index; Plans[i].Index must equal i.
+	Index int
+	// Rows, Cols give the tensor shape (vectors are 1×n).
+	Rows, Cols int
+	// Route picks the wire strategy.
+	Route Route
+	// SF extracts the parameter's sufficient factor after a backward
+	// pass. Required for RouteSFB; the factor must be owned by the
+	// caller (cloned from layer buffers).
+	SF func() *tensor.SufficientFactor
+}
+
+// Syncer synchronizes one parameter tensor across the mesh. Launch runs
+// on the compute goroutine; Handle runs on the router's receive
+// goroutine. Implementations share the router's staged replica and
+// consistency clock, and report completed iterations by advancing the
+// clock.
+type Syncer interface {
+	// Launch ships this worker's contribution for iteration iter.
+	// update is the scaled dense update (ownership transfers to the
+	// syncer; it may be retained by in-flight sends). Routes that
+	// derive their own payload (SFB) receive nil.
+	Launch(iter int, update *tensor.Matrix) error
+	// Handle processes one inbound wire message addressed to this
+	// parameter, in either the worker or the server role.
+	Handle(msg transport.Message) error
+}
+
+// Decide reports whether SFB beats the PS route for a rows×cols FC
+// weight gradient: Algorithm 1's rule compares the sufficient-factor
+// traffic 2K(P−1)(M+N) against the PS traffic 2MN(2P−2)/P (Table 1)
+// per worker and iteration.
+func Decide(rows, cols, batch, workers int) bool {
+	if workers <= 1 {
+		return false
+	}
+	m, n := int64(rows), int64(cols)
+	k, p := int64(batch), int64(workers)
+	sfbCost := 2 * k * (p - 1) * (m + n)
+	psCost := 2 * m * n * (p + p - 2) / p
+	return sfbCost <= psCost
+}
+
+// chunkSpec is one KV pair of a chunked parameter: a contiguous slice
+// of the flattened tensor owned by one shard.
+type chunkSpec struct {
+	key    string
+	server int
+	off, n int
+}
+
+// chunkKey names chunk c of parameter index on the KV store.
+func chunkKey(index, c int) string { return fmt.Sprintf("p%d.%d", index, c) }
+
+// splitChunks slices an elems-long tensor into chunks of at most
+// chunkElems values (one chunk when chunkElems <= 0), assigning chunk c
+// of parameter index to server (index+c) mod servers — the fine-grained
+// round-robin placement that spreads one hot layer across every shard.
+func splitChunks(index, elems, chunkElems, servers int) []chunkSpec {
+	if chunkElems <= 0 || chunkElems >= elems {
+		return []chunkSpec{{key: chunkKey(index, 0), server: index % servers, off: 0, n: elems}}
+	}
+	var specs []chunkSpec
+	for c, off := 0, 0; off < elems; c, off = c+1, off+chunkElems {
+		n := chunkElems
+		if off+n > elems {
+			n = elems - off
+		}
+		specs = append(specs, chunkSpec{
+			key:    chunkKey(index, c),
+			server: (index + c) % servers,
+			off:    off,
+			n:      n,
+		})
+	}
+	return specs
+}

@@ -1,0 +1,371 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Decide must reproduce Algorithm 1's threshold: the seed trainer's
+// worked example (K=2, P=4, 32×16 weights) picks SFB, while a huge
+// batch flips the same layer back to PS.
+func TestDecideMatchesCostModel(t *testing.T) {
+	if !Decide(32, 16, 2, 4) {
+		t.Fatal("32x16, K=2, P=4 must pick SFB (2K(P-1)(M+N)=576 <= 2MN(2P-2)/P=1536)")
+	}
+	if Decide(32, 16, 64, 4) {
+		t.Fatal("huge batches must fall back to PS")
+	}
+	if Decide(32, 16, 2, 1) {
+		t.Fatal("single worker has nothing to broadcast")
+	}
+}
+
+func TestSplitChunksCoversTensor(t *testing.T) {
+	for _, tc := range []struct {
+		elems, chunkElems, servers, wantChunks int
+	}{
+		{100, 0, 4, 1},   // unchunked
+		{100, 100, 4, 1}, // exactly one chunk
+		{100, 7, 4, 15},  // misaligned tail
+		{100, 33, 3, 4},  // tail chunk of 1
+		{5, 1000, 2, 1},  // chunk bigger than tensor
+	} {
+		specs := splitChunks(3, tc.elems, tc.chunkElems, tc.servers)
+		if len(specs) != tc.wantChunks {
+			t.Fatalf("%+v: got %d chunks", tc, len(specs))
+		}
+		covered := 0
+		for c, spec := range specs {
+			if spec.off != covered {
+				t.Fatalf("%+v: chunk %d starts at %d, want %d", tc, c, spec.off, covered)
+			}
+			if spec.server < 0 || spec.server >= tc.servers {
+				t.Fatalf("%+v: chunk %d on bad server %d", tc, c, spec.server)
+			}
+			if spec.key != chunkKey(3, c) {
+				t.Fatalf("%+v: chunk %d key %q", tc, c, spec.key)
+			}
+			covered += spec.n
+		}
+		if covered != tc.elems {
+			t.Fatalf("%+v: chunks cover %d of %d elems", tc, covered, tc.elems)
+		}
+	}
+}
+
+// Same-stripe tasks must execute in submission order (the protocol's
+// per-chunk FIFO requirement); the pool must also drain everything on
+// close and surface the first error.
+func TestSendPoolStripeOrderAndDrain(t *testing.T) {
+	var cbErrs int
+	p := newSendPool(4, func(error) { cbErrs++ })
+	var mu sync.Mutex
+	got := make(map[uint32][]int)
+	for i := 0; i < 100; i++ {
+		i := i
+		stripe := uint32(i % 7)
+		p.submit(stripe, func() error {
+			mu.Lock()
+			got[stripe] = append(got[stripe], i)
+			mu.Unlock()
+			if i == 41 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+	}
+	p.close()
+	total := 0
+	for stripe, seq := range got {
+		total += len(seq)
+		for j := 1; j < len(seq); j++ {
+			if seq[j] < seq[j-1] {
+				t.Fatalf("stripe %d executed out of order: %v", stripe, seq)
+			}
+		}
+	}
+	if total != 100 {
+		t.Fatalf("executed %d of 100 tasks", total)
+	}
+	if err := p.firstErr(); err == nil || err.Error() != "boom" {
+		t.Fatalf("firstErr = %v", err)
+	}
+	if cbErrs != 1 {
+		t.Fatalf("onErr fired %d times, want 1", cbErrs)
+	}
+	// Post-close submissions run inline instead of panicking.
+	ran := false
+	p.submit(0, func() error { ran = true; return nil })
+	if !ran {
+		t.Fatal("post-close submit did not run inline")
+	}
+}
+
+// submit must never block, even with every worker wedged and far more
+// tasks in flight than any fixed queue depth — the receive goroutine
+// dispatches broadcasts through the pool, and a blocking submit there
+// deadlocks the cluster (receive loop ↔ pool workers ↔ peer inboxes).
+func TestSendPoolSubmitNeverBlocks(t *testing.T) {
+	gate := make(chan struct{})
+	p := newSendPool(2, nil)
+	var mu sync.Mutex
+	ran := 0
+	for i := 0; i < 10000; i++ {
+		done := make(chan struct{})
+		go func() {
+			p.submit(uint32(i), func() error {
+				<-gate
+				mu.Lock()
+				ran++
+				mu.Unlock()
+				return nil
+			})
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("submit %d blocked with workers wedged", i)
+		}
+	}
+	close(gate)
+	p.close()
+	mu.Lock()
+	defer mu.Unlock()
+	if ran != 10000 {
+		t.Fatalf("ran %d of 10000 tasks", ran)
+	}
+}
+
+// newTestCluster builds an n-node router cluster over an in-process
+// mesh, one router per node, with every node holding identical params.
+func newTestCluster(t *testing.T, n int, mk func(node int, mesh transport.Mesh) *Router) []*Router {
+	t.Helper()
+	meshes := transport.NewChanCluster(n)
+	routers := make([]*Router, n)
+	for i := 0; i < n; i++ {
+		routers[i] = mk(i, meshes[i])
+		routers[i].Start()
+	}
+	t.Cleanup(func() {
+		meshes[0].Close()
+		for _, r := range routers {
+			r.Stop()
+		}
+	})
+	return routers
+}
+
+func identicalParams(seed int64, shapes [][2]int) [][]*tensor.Matrix {
+	mk := func() []*tensor.Matrix {
+		rng := rand.New(rand.NewSource(seed))
+		var ps []*tensor.Matrix
+		for _, s := range shapes {
+			m := tensor.NewMatrix(s[0], s[1])
+			m.Randn(rng, 0.5)
+			ps = append(ps, m)
+		}
+		return ps
+	}
+	return [][]*tensor.Matrix{mk(), mk(), mk()}
+}
+
+// A 3-node PS round over the router must equal the sum of all scaled
+// updates on every replica — chunked and overlapped.
+func TestRouterPSRound(t *testing.T) {
+	for _, chunkElems := range []int{0, 5} {
+		for _, overlap := range []bool{false, true} {
+			shapes := [][2]int{{4, 6}, {1, 6}}
+			allParams := identicalParams(7, shapes)
+			const n = 3
+			routers := newTestCluster(t, n, func(node int, mesh transport.Mesh) *Router {
+				r, err := NewRouter(Config{
+					Mesh: mesh,
+					Plans: []ParamPlan{
+						{Index: 0, Rows: 4, Cols: 6, Route: RoutePS},
+						{Index: 1, Rows: 1, Cols: 6, Route: RoutePS},
+					},
+					Params:     allParams[node],
+					Scale:      1, // updates pass through unscaled for easy checking
+					Overlap:    overlap,
+					ChunkElems: chunkElems,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			})
+
+			// Every node pushes grad = node+1 on all elements; the folded
+			// round adds sum(1..n) everywhere.
+			var wg sync.WaitGroup
+			for node, r := range routers {
+				node, r := node, r
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					grads := []*tensor.Matrix{tensor.NewMatrix(4, 6), tensor.NewMatrix(1, 6)}
+					for _, g := range grads {
+						g.Fill(float32(node + 1))
+					}
+					if err := r.LaunchAll(0, grads); err != nil {
+						t.Error(err)
+						return
+					}
+					r.WaitFor(1)
+				}()
+			}
+			wg.Wait()
+
+			want := float32(1 + 2 + 3)
+			for node, r := range routers {
+				params := []*tensor.Matrix{tensor.NewMatrix(4, 6), tensor.NewMatrix(1, 6)}
+				r.Adopt(params)
+				for pi, p := range params {
+					for j, v := range p.Data {
+						if exp := allParams[0][pi].Data[j] + want; absDiff(v, exp) > 1e-5 {
+							t.Fatalf("chunk=%d overlap=%v node %d param %d[%d]: %g, want %g",
+								chunkElems, overlap, node, pi, j, v, exp)
+						}
+					}
+				}
+				if err := r.Err(); err != nil {
+					t.Fatalf("node %d: %v", node, err)
+				}
+			}
+		}
+	}
+}
+
+func absDiff(a, b float32) float32 {
+	d := a - b
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// Malformed plans must be rejected up front, not at iteration time.
+func TestRouterRejectsBadPlans(t *testing.T) {
+	meshes := transport.NewChanCluster(1)
+	defer meshes[0].Close()
+	p := tensor.NewMatrix(2, 2)
+	cases := []Config{
+		{Plans: []ParamPlan{{Index: 0, Rows: 2, Cols: 2}}, Params: []*tensor.Matrix{p}},                                    // nil mesh
+		{Mesh: meshes[0], Plans: []ParamPlan{{Index: 1, Rows: 2, Cols: 2}}, Params: []*tensor.Matrix{p}},                   // index mismatch
+		{Mesh: meshes[0], Plans: []ParamPlan{{Index: 0, Rows: 3, Cols: 3}}, Params: []*tensor.Matrix{p}},                   // shape mismatch
+		{Mesh: meshes[0], Plans: []ParamPlan{{Index: 0, Rows: 2, Cols: 2, Route: RouteSFB}}, Params: []*tensor.Matrix{p}},  // SFB without SF
+		{Mesh: meshes[0], Plans: []ParamPlan{{Index: 0, Rows: 2, Cols: 2, Route: Route(99)}}, Params: []*tensor.Matrix{p}}, // unknown route
+		{Mesh: meshes[0], Plans: nil, Params: []*tensor.Matrix{p}},                                                         // plan/param count
+	}
+	for i, cfg := range cases {
+		if _, err := NewRouter(cfg); err == nil {
+			t.Fatalf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+// An inbound message for an out-of-range parameter index must surface
+// through Err, not crash the receive loop silently.
+func TestRouterSurfacesProtocolErrors(t *testing.T) {
+	meshes := transport.NewChanCluster(1)
+	defer meshes[0].Close()
+	p := tensor.NewMatrix(1, 4)
+	r, err := NewRouter(Config{
+		Mesh:   meshes[0],
+		Plans:  []ParamPlan{{Index: 0, Rows: 1, Cols: 4, Route: RoutePS}},
+		Params: []*tensor.Matrix{p},
+		Scale:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	defer r.Stop()
+	if err := meshes[0].Send(0, transport.Message{Type: transport.MsgPush, Layer: 99}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200 && r.Err() == nil; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.Err() == nil {
+		t.Fatal("unknown-param message did not surface through Err")
+	}
+	// The failure must also poison the clock: a compute loop blocked in
+	// WaitFor has to wake up and observe the error, not hang forever.
+	done := make(chan struct{})
+	go func() {
+		r.WaitFor(5)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitFor still blocked after receive-loop failure")
+	}
+}
+
+// One node's failure must unblock every peer: the abort broadcast
+// reaches their receive loops, poisons their clocks, and surfaces
+// through Err — no distributed deadlock when a worker dies mid-run.
+func TestRouterAbortPropagatesToPeers(t *testing.T) {
+	const n = 3
+	meshes := transport.NewChanCluster(n)
+	routers := make([]*Router, n)
+	for node := 0; node < n; node++ {
+		r, err := NewRouter(Config{
+			Mesh:   meshes[node],
+			Plans:  []ParamPlan{{Index: 0, Rows: 2, Cols: 2, Route: RoutePS}},
+			Params: []*tensor.Matrix{tensor.NewMatrix(2, 2)},
+			Scale:  1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		routers[node] = r
+		r.Start()
+	}
+	t.Cleanup(func() {
+		meshes[0].Close()
+		for _, r := range routers {
+			r.Stop()
+		}
+	})
+	// Poison node 1 with a malformed frame; its failure must fan out.
+	if err := meshes[0].Send(1, transport.Message{Type: transport.MsgPush, Layer: 99}); err != nil {
+		t.Fatal(err)
+	}
+	for node, r := range routers {
+		done := make(chan struct{})
+		go func() {
+			r.WaitFor(5) // unsatisfiable: nobody is pushing
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("node %d still blocked after peer failure", node)
+		}
+		if r.Err() == nil {
+			t.Fatalf("node %d observed no error after peer failure", node)
+		}
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	for r, want := range map[Route]string{RoutePS: "PS", RouteSFB: "SFB", RouteOneBit: "1bit"} {
+		if r.String() != want {
+			t.Fatalf("%d → %q, want %q", int(r), r.String(), want)
+		}
+	}
+	if Route(42).String() != fmt.Sprintf("route(%d)", 42) {
+		t.Fatal("unknown route must render")
+	}
+}

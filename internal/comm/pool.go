@@ -1,0 +1,150 @@
+package comm
+
+import "sync"
+
+// sendPool is the dispatcher behind overlapped pushes: a fixed set of
+// workers, each draining its own FIFO queue. Tasks with the same stripe
+// land on the same queue and therefore execute in submission order —
+// the property the KV protocol needs (pushes and broadcasts for one
+// chunk must stay FIFO per link under bounded staleness) — while tasks
+// on different stripes run concurrently and overlap their wire time
+// across shards.
+//
+// submit never blocks: the receive goroutine dispatches server-side
+// broadcasts through the pool, and a blocking submit there would close
+// a deadlock cycle (receive loop stuck on a full queue → pool workers
+// stuck sending into a peer's full inbox → the peer's receive loop
+// symmetrically stuck). Queue depth is instead bounded by the protocol
+// itself: the consistency clock admits at most 1+staleness rounds in
+// flight per parameter.
+type sendPool struct {
+	queues []*stripeQueue
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	err     error
+	closing bool
+	// onErr, when set, is invoked for every task error (outside mu) so
+	// the owner can react — e.g. the Router poisons its clock so waiters
+	// observe the failure instead of hanging.
+	onErr func(error)
+}
+
+// stripeQueue is one worker's unbounded FIFO task queue.
+type stripeQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	tasks  []func() error
+	closed bool
+}
+
+func newStripeQueue() *stripeQueue {
+	q := &stripeQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends fn; reports false after close (caller runs it inline).
+func (q *stripeQueue) push(fn func() error) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.tasks = append(q.tasks, fn)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks for the next task; reports false when the queue is closed
+// and drained.
+func (q *stripeQueue) pop() (func() error, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.tasks) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.tasks) == 0 {
+		return nil, false
+	}
+	fn := q.tasks[0]
+	q.tasks[0] = nil
+	q.tasks = q.tasks[1:]
+	return fn, true
+}
+
+func (q *stripeQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// newSendPool starts `workers` drainers.
+func newSendPool(workers int, onErr func(error)) *sendPool {
+	if workers <= 0 {
+		workers = 1
+	}
+	p := &sendPool{queues: make([]*stripeQueue, workers), onErr: onErr}
+	for i := range p.queues {
+		q := newStripeQueue()
+		p.queues[i] = q
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				fn, ok := q.pop()
+				if !ok {
+					return
+				}
+				p.record(fn())
+			}
+		}()
+	}
+	return p
+}
+
+func (p *sendPool) record(err error) {
+	if err == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+	if p.onErr != nil {
+		p.onErr(err)
+	}
+}
+
+// submit enqueues fn on stripe's queue without ever blocking. After
+// close it degrades to inline execution so late stragglers still run.
+func (p *sendPool) submit(stripe uint32, fn func() error) {
+	if !p.queues[int(stripe)%len(p.queues)].push(fn) {
+		p.record(fn())
+	}
+}
+
+// close drains every queue and stops the workers. Queued tasks still
+// run; later submissions run inline.
+func (p *sendPool) close() {
+	p.mu.Lock()
+	if p.closing {
+		p.mu.Unlock()
+		return
+	}
+	p.closing = true
+	p.mu.Unlock()
+	for _, q := range p.queues {
+		q.close()
+	}
+	p.wg.Wait()
+}
+
+// firstErr returns the first task error, if any.
+func (p *sendPool) firstErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}

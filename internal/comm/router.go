@@ -1,0 +1,266 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/consistency"
+	"repro/internal/kvstore"
+	"repro/internal/sfb"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	Mesh transport.Mesh
+	// Plans describes every synchronized parameter, in index order.
+	Plans []ParamPlan
+	// Params are the initial parameter values (identical on every
+	// node); the router clones them into its staged replica and seeds
+	// the KV shards it owns.
+	Params []*tensor.Matrix
+	// Scale is folded into every update before it hits the wire
+	// (typically −LR/P, making reconstructions additive).
+	Scale float32
+	// Staleness bounds how far the compute loop may run ahead of
+	// synchronization (0 = BSP).
+	Staleness int
+
+	// Overlap dispatches sends through the send pool so pushes for
+	// later parameters (and later chunks) stream while earlier ones are
+	// still in flight. Off, every send completes before Launch returns —
+	// the serialized baseline.
+	Overlap bool
+	// PoolWorkers fixes the send pool's worker count (default 8).
+	PoolWorkers int
+	// ChunkElems caps the number of float32 values per KV chunk on the
+	// PS route; 0 keeps each tensor whole.
+	ChunkElems int
+}
+
+// Router multiplexes the mesh between per-parameter syncers: outbound,
+// it fans each iteration's gradients out to the planned strategies;
+// inbound, it drives every syncer's protocol from a single receive
+// loop. It owns the staged replica (the authoritative synchronized
+// state) and the consistency clock that gates the compute loop.
+type Router struct {
+	mesh  transport.Mesh
+	id, n int
+	scale float32
+
+	plans      []ParamPlan
+	syncers    []Syncer
+	shard      *kvstore.Shard
+	clock      *consistency.StalenessClock
+	pool       *sendPool
+	chunkElems int
+
+	// staged is the replica the receive goroutine synchronizes into;
+	// the compute loop copies it out at iteration boundaries via Adopt,
+	// so inbound traffic never races a forward/backward pass.
+	staged  []*tensor.Matrix
+	stageMu sync.Mutex
+
+	errMu     sync.Mutex
+	asyncEr   error
+	abortSent atomic.Bool
+	started   atomic.Bool
+}
+
+// fail records the first asynchronous error, poisons the clock so
+// compute loops blocked in WaitFor wake up and observe it instead of
+// hanging on synchronization that will never complete, and tells every
+// peer to do the same — a failed worker stops pushing, so without the
+// abort broadcast the healthy peers would deadlock waiting for rounds
+// that can never complete.
+func (r *Router) fail(err error) { r.failWith(err, true) }
+
+func (r *Router) failWith(err error, broadcast bool) {
+	r.errMu.Lock()
+	if r.asyncEr == nil {
+		r.asyncEr = err
+	}
+	r.errMu.Unlock()
+	r.clock.Abort()
+	if broadcast && !r.abortSent.Swap(true) {
+		// Best-effort, off the failing goroutine: peers' receive loops
+		// are still draining, but a dead peer must not block the rest.
+		go func() {
+			for p := 0; p < r.n; p++ {
+				if p == r.id {
+					continue
+				}
+				_ = r.mesh.Send(p, transport.Message{Type: transport.MsgControl, Layer: -1})
+			}
+		}()
+	}
+}
+
+// NewRouter validates the plan set, builds one syncer per parameter,
+// seeds the local KV shard, and clones the staged replica.
+func NewRouter(cfg Config) (*Router, error) {
+	if cfg.Mesh == nil {
+		return nil, fmt.Errorf("comm: nil mesh")
+	}
+	if len(cfg.Plans) != len(cfg.Params) {
+		return nil, fmt.Errorf("comm: %d plans for %d params", len(cfg.Plans), len(cfg.Params))
+	}
+	r := &Router{
+		mesh:       cfg.Mesh,
+		id:         cfg.Mesh.Self(),
+		n:          cfg.Mesh.N(),
+		scale:      cfg.Scale,
+		plans:      cfg.Plans,
+		shard:      kvstore.NewShard(cfg.Mesh.N()),
+		clock:      consistency.NewStalenessClock(len(cfg.Plans), cfg.Staleness),
+		chunkElems: cfg.ChunkElems,
+	}
+	if cfg.Overlap {
+		workers := cfg.PoolWorkers
+		if workers <= 0 {
+			workers = 8
+		}
+		r.pool = newSendPool(workers, r.fail)
+	}
+	bank := sfb.NewBank()
+	for i, plan := range cfg.Plans {
+		if plan.Index != i {
+			return nil, fmt.Errorf("comm: plan %d has index %d", i, plan.Index)
+		}
+		if got, want := len(cfg.Params[i].Data), plan.Rows*plan.Cols; got != want {
+			return nil, fmt.Errorf("comm: param %d has %d values, plan says %d", i, got, want)
+		}
+		switch plan.Route {
+		case RoutePS:
+			s := newPSSyncer(r, plan)
+			s.initShard(cfg.Params[i])
+			r.syncers = append(r.syncers, s)
+		case RouteSFB:
+			s, err := newSFBSyncer(r, plan, bank)
+			if err != nil {
+				return nil, err
+			}
+			r.syncers = append(r.syncers, s)
+		case RouteOneBit:
+			r.syncers = append(r.syncers, newOneBitSyncer(r, plan, cfg.Params[i]))
+		default:
+			return nil, fmt.Errorf("comm: param %d: unknown route %v", i, plan.Route)
+		}
+		r.staged = append(r.staged, cfg.Params[i].Clone())
+	}
+	return r, nil
+}
+
+// dispatch runs fn through the send pool when overlap is on, inline
+// otherwise. Inline errors surface like pool errors, through Err.
+func (r *Router) dispatch(stripe uint32, fn func() error) {
+	if r.pool == nil {
+		if err := fn(); err != nil {
+			r.fail(err)
+		}
+		return
+	}
+	r.pool.submit(stripe, fn)
+}
+
+// Start spawns the receive loop. Call exactly once, before the first
+// Launch.
+func (r *Router) Start() {
+	if r.started.Swap(true) {
+		panic("comm: Router started twice")
+	}
+	go r.receiveLoop()
+}
+
+func (r *Router) receiveLoop() {
+	for {
+		msg, err := r.mesh.Recv()
+		if err != nil {
+			return // mesh closed
+		}
+		if msg.Type == transport.MsgControl {
+			// A peer aborted; don't re-broadcast (the originator already
+			// told everyone), just wake our own waiters.
+			r.failWith(fmt.Errorf("comm: peer %d aborted", msg.From), false)
+			return
+		}
+		index := int(msg.Layer)
+		if index < 0 || index >= len(r.syncers) {
+			r.fail(fmt.Errorf("comm: message for unknown param %d", index))
+			return
+		}
+		if err := r.syncers[index].Handle(msg); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+}
+
+// LaunchAll starts synchronization of every parameter for this
+// iteration — the per-layer sync() calls of the paper's Algorithm 2.
+// Dense routes receive a freshly scaled clone of their gradient, so the
+// caller's grad buffers are free for the next backward pass immediately.
+func (r *Router) LaunchAll(iter int, grads []*tensor.Matrix) error {
+	if len(grads) != len(r.syncers) {
+		return fmt.Errorf("comm: %d grads for %d syncers", len(grads), len(r.syncers))
+	}
+	for i, s := range r.syncers {
+		var update *tensor.Matrix
+		if r.plans[i].Route != RouteSFB {
+			update = grads[i].Clone()
+			update.Scale(r.scale)
+		}
+		if err := s.Launch(iter, update); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// WaitFor blocks until iteration iter may begin under the staleness
+// bound (every parameter synchronized through iter−1−staleness).
+func (r *Router) WaitFor(iter int) { r.clock.WaitFor(iter) }
+
+// Adopt copies the staged replica into the live parameters.
+func (r *Router) Adopt(params []*tensor.Matrix) {
+	r.stageMu.Lock()
+	defer r.stageMu.Unlock()
+	for i, p := range params {
+		p.CopyFrom(r.staged[i])
+	}
+}
+
+// Err reports the first asynchronous failure (receive loop or pooled
+// send), if any.
+func (r *Router) Err() error {
+	r.errMu.Lock()
+	err := r.asyncEr
+	r.errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if r.pool != nil {
+		return r.pool.firstErr()
+	}
+	return nil
+}
+
+// Stop drains the send pool. Call after the final WaitFor, when the
+// protocol has quiesced; the receive loop exits when the mesh closes.
+func (r *Router) Stop() {
+	if r.pool != nil {
+		r.pool.close()
+	}
+}
+
+// Routes summarizes the planned route of every parameter (for logging
+// and tests).
+func (r *Router) Routes() []Route {
+	routes := make([]Route, len(r.plans))
+	for i, p := range r.plans {
+		routes[i] = p.Route
+	}
+	return routes
+}

@@ -1,0 +1,349 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/sfb"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// stripeFor maps a (parameter, lane) pair onto a send-pool stripe. All
+// traffic for one chunk travels on one stripe (FIFO per link); distinct
+// chunks, servers, and broadcast destinations spread across stripes so
+// their wire time overlaps.
+func stripeFor(index, lane int) uint32 { return uint32(index*131 + lane*31) }
+
+// ---- Parameter-server syncer ----------------------------------------------
+
+// psSyncer runs the KV-store protocol for one dense parameter: the
+// scaled update is split into chunks, each pushed to its owning shard;
+// the shard folds a round when all workers reported and broadcasts the
+// fresh chunk; the worker copies broadcast chunks into the staged
+// replica and advances the clock when the last chunk of an iteration
+// lands.
+type psSyncer struct {
+	r      *Router
+	plan   ParamPlan
+	chunks []chunkSpec
+	// groups lists (server, chunk indices) in ascending server order so
+	// one Launch emits one batched send per server, deterministically.
+	groups []serverGroup
+	// got counts broadcast chunks received per iteration (guarded by
+	// the router's stage mutex — broadcast handling already holds it).
+	got map[int]int
+	// fresh is server-side scratch for completed rounds, reused across
+	// rounds (the receive goroutine is the only writer).
+	fresh []float32
+}
+
+type serverGroup struct {
+	server int
+	cs     []int
+}
+
+func newPSSyncer(r *Router, plan ParamPlan) *psSyncer {
+	s := &psSyncer{
+		r:      r,
+		plan:   plan,
+		chunks: splitChunks(plan.Index, plan.Rows*plan.Cols, r.chunkElems, r.n),
+		got:    make(map[int]int),
+	}
+	for server := 0; server < r.n; server++ {
+		var cs []int
+		for c, spec := range s.chunks {
+			if spec.server == server {
+				cs = append(cs, c)
+			}
+		}
+		if len(cs) > 0 {
+			s.groups = append(s.groups, serverGroup{server: server, cs: cs})
+		}
+	}
+	return s
+}
+
+// initShard seeds the local shard with the chunks it owns.
+func (s *psSyncer) initShard(initial *tensor.Matrix) {
+	for _, spec := range s.chunks {
+		if spec.server == s.r.id {
+			s.r.shard.Init(spec.key, initial.Data[spec.off:spec.off+spec.n])
+		}
+	}
+}
+
+// Launch pushes every chunk of the scaled update to its shard, one
+// batched send per server. Encoding happens inside the dispatched task,
+// so with overlap enabled the compute goroutine moves on to the next
+// layer while this one is still being serialized.
+func (s *psSyncer) Launch(iter int, update *tensor.Matrix) error {
+	for _, g := range s.groups {
+		server, cs := g.server, g.cs
+		s.r.dispatch(stripeFor(s.plan.Index, server), func() error {
+			msgs := make([]transport.Message, 0, len(cs))
+			for _, c := range cs {
+				spec := s.chunks[c]
+				msgs = append(msgs, transport.Message{
+					Type:    transport.MsgPush,
+					Layer:   int32(s.plan.Index),
+					Chunk:   int32(c),
+					Iter:    int32(iter),
+					Payload: tensor.AppendFloat32s(nil, update.Data[spec.off:spec.off+spec.n]),
+				})
+			}
+			return s.r.mesh.SendBatch(server, msgs)
+		})
+	}
+	return nil
+}
+
+// Handle covers both roles: MsgPush at the owning shard, MsgBcast at
+// every worker.
+func (s *psSyncer) Handle(msg transport.Message) error {
+	c := int(msg.Chunk)
+	if c < 0 || c >= len(s.chunks) {
+		return fmt.Errorf("comm: param %d: bad chunk %d", s.plan.Index, c)
+	}
+	spec := s.chunks[c]
+	switch msg.Type {
+	case transport.MsgPush:
+		vals, _, err := tensor.DecodeFloat32s(msg.Payload)
+		if err != nil {
+			return err
+		}
+		return s.serverPush(c, int(msg.Iter), vals)
+	case transport.MsgBcast:
+		vals, _, err := tensor.DecodeFloat32s(msg.Payload)
+		if err != nil {
+			return err
+		}
+		if len(vals) != spec.n {
+			return fmt.Errorf("comm: param %d chunk %d: bcast len %d != %d", s.plan.Index, c, len(vals), spec.n)
+		}
+		iter := int(msg.Iter)
+		s.r.stageMu.Lock()
+		copy(s.r.staged[s.plan.Index].Data[spec.off:spec.off+spec.n], vals)
+		s.got[iter]++
+		done := s.got[iter] == len(s.chunks)
+		if done {
+			delete(s.got, iter)
+		}
+		s.r.stageMu.Unlock()
+		if done {
+			s.r.clock.Advance(s.plan.Index, iter)
+		}
+		return nil
+	default:
+		return fmt.Errorf("comm: param %d: unexpected message type %d on PS route", s.plan.Index, msg.Type)
+	}
+}
+
+// serverPush feeds one chunk update into the local shard; on round
+// completion the fresh chunk is encoded once and broadcast to every
+// node (including self, via loopback).
+func (s *psSyncer) serverPush(c, iter int, vals []float32) error {
+	spec := s.chunks[c]
+	fresh, ready, err := s.r.shard.PushRoundInto(spec.key, iter, vals, s.fresh[:0])
+	s.fresh = fresh
+	if err != nil || !ready {
+		return err
+	}
+	payload := tensor.AppendFloat32s(nil, fresh)
+	msg := transport.Message{
+		Type:    transport.MsgBcast,
+		Layer:   int32(s.plan.Index),
+		Chunk:   int32(c),
+		Iter:    int32(iter),
+		Payload: payload,
+	}
+	for p := 0; p < s.r.n; p++ {
+		p := p
+		s.r.dispatch(stripeFor(s.plan.Index, len(s.chunks)+c*s.r.n+p), func() error {
+			return s.r.mesh.Send(p, msg)
+		})
+	}
+	return nil
+}
+
+// ---- Sufficient-factor syncer ----------------------------------------------
+
+// sfbSyncer broadcasts rank-K sufficient factors peer-to-peer; each
+// node reconstructs the summed dense gradient locally once all P
+// contributions (one local, P−1 remote) have arrived.
+type sfbSyncer struct {
+	r    *Router
+	plan ParamPlan
+	agg  *sfb.Aggregator
+}
+
+func newSFBSyncer(r *Router, plan ParamPlan, bank *sfb.Bank) (*sfbSyncer, error) {
+	if plan.SF == nil {
+		return nil, fmt.Errorf("comm: param %d: RouteSFB needs an SF extractor", plan.Index)
+	}
+	return &sfbSyncer{
+		r:    r,
+		plan: plan,
+		agg:  bank.Ensure(plan.Index, r.n, plan.Rows, plan.Cols),
+	}, nil
+}
+
+// Launch extracts the factor, folds the −LR/P scaling into U so
+// reconstructions are additive, fans the encoding out to all peers, and
+// offers the local copy.
+func (s *sfbSyncer) Launch(iter int, _ *tensor.Matrix) error {
+	sf := s.plan.SF()
+	sf.U.Scale(s.r.scale)
+	payload := tensor.AppendSF(nil, sf)
+	for p := 0; p < s.r.n; p++ {
+		if p == s.r.id {
+			continue
+		}
+		p := p
+		msg := transport.Message{
+			Type:    transport.MsgSF,
+			Layer:   int32(s.plan.Index),
+			Iter:    int32(iter),
+			Payload: payload,
+		}
+		s.r.dispatch(stripeFor(s.plan.Index, p), func() error {
+			return s.r.mesh.Send(p, msg)
+		})
+	}
+	s.offer(int64(iter), sf)
+	return nil
+}
+
+// Handle decodes a peer's factor and offers it to the aggregator.
+func (s *sfbSyncer) Handle(msg transport.Message) error {
+	if msg.Type != transport.MsgSF {
+		return fmt.Errorf("comm: param %d: unexpected message type %d on SFB route", s.plan.Index, msg.Type)
+	}
+	sf, _, err := tensor.DecodeSF(msg.Payload)
+	if err != nil {
+		return err
+	}
+	s.offer(int64(msg.Iter), sf)
+	return nil
+}
+
+// offer adds a factor; on completion the summed gradient lands in the
+// staged replica and the clock advances.
+func (s *sfbSyncer) offer(iter int64, sf *tensor.SufficientFactor) {
+	grad, done := s.agg.Offer(iter, sf)
+	if !done {
+		return
+	}
+	s.r.stageMu.Lock()
+	s.r.staged[s.plan.Index].Add(grad)
+	s.r.stageMu.Unlock()
+	s.r.clock.Advance(s.plan.Index, int(iter))
+}
+
+// ---- 1-bit syncer -----------------------------------------------------------
+
+// oneBitSyncer implements the CNTK baseline: pushes are 1-bit quantized
+// with residual feedback, and the owning shard's broadcasts are
+// quantized a second time against the replica view the workers hold
+// (double-sided quantization), with the server carrying that residual.
+type oneBitSyncer struct {
+	r      *Router
+	plan   ParamPlan
+	key    string
+	server int
+	push   *tensor.OneBitQuantizer
+	// Server-side state (nil elsewhere).
+	bcast *tensor.OneBitQuantizer
+	view  []float32
+	fresh []float32 // round scratch, receive goroutine only
+}
+
+func newOneBitSyncer(r *Router, plan ParamPlan, initial *tensor.Matrix) *oneBitSyncer {
+	s := &oneBitSyncer{
+		r:      r,
+		plan:   plan,
+		key:    chunkKey(plan.Index, 0),
+		server: plan.Index % r.n,
+		push:   tensor.NewOneBitQuantizer(plan.Rows, plan.Cols),
+	}
+	if s.server == r.id {
+		s.bcast = tensor.NewOneBitQuantizer(plan.Rows, plan.Cols)
+		s.view = make([]float32, len(initial.Data))
+		copy(s.view, initial.Data)
+		r.shard.Init(s.key, initial.Data)
+	}
+	return s
+}
+
+// Launch quantizes the scaled update (mutating the local residual, so
+// this must stay on the compute goroutine) and ships the compact
+// encoding; only the send itself is dispatched.
+func (s *oneBitSyncer) Launch(iter int, update *tensor.Matrix) error {
+	q := s.push.Quantize(update)
+	msg := transport.Message{
+		Type:    transport.MsgQuantPush,
+		Layer:   int32(s.plan.Index),
+		Iter:    int32(iter),
+		Payload: tensor.AppendQuantized(nil, q),
+	}
+	s.r.dispatch(stripeFor(s.plan.Index, s.server), func() error {
+		return s.r.mesh.Send(s.server, msg)
+	})
+	return nil
+}
+
+// Handle covers the shard role (quantized pushes) and the worker role
+// (quantized broadcast deltas).
+func (s *oneBitSyncer) Handle(msg transport.Message) error {
+	switch msg.Type {
+	case transport.MsgQuantPush:
+		q, _, err := tensor.DecodeQuantized(msg.Payload)
+		if err != nil {
+			return err
+		}
+		return s.serverPush(int(msg.Iter), q.Dequantize().Data)
+	case transport.MsgQuantBcast:
+		q, _, err := tensor.DecodeQuantized(msg.Payload)
+		if err != nil {
+			return err
+		}
+		s.r.stageMu.Lock()
+		q.AddDequantizedInto(s.r.staged[s.plan.Index])
+		s.r.stageMu.Unlock()
+		s.r.clock.Advance(s.plan.Index, int(msg.Iter))
+		return nil
+	default:
+		return fmt.Errorf("comm: param %d: unexpected message type %d on 1-bit route", s.plan.Index, msg.Type)
+	}
+}
+
+func (s *oneBitSyncer) serverPush(iter int, vals []float32) error {
+	fresh, ready, err := s.r.shard.PushRoundInto(s.key, iter, vals, s.fresh[:0])
+	s.fresh = fresh
+	if err != nil || !ready {
+		return err
+	}
+	// Quantize the broadcast against the workers' view and advance the
+	// view by what the quantization actually transmitted.
+	delta := make([]float32, len(fresh))
+	for i, v := range fresh {
+		delta[i] = v - s.view[i]
+	}
+	q := s.bcast.Quantize(tensor.FromSlice(s.plan.Rows, s.plan.Cols, delta))
+	rec := q.Dequantize()
+	for i := range s.view {
+		s.view[i] += rec.Data[i]
+	}
+	msg := transport.Message{
+		Type:    transport.MsgQuantBcast,
+		Layer:   int32(s.plan.Index),
+		Iter:    int32(iter),
+		Payload: tensor.AppendQuantized(nil, q),
+	}
+	for p := 0; p < s.r.n; p++ {
+		p := p
+		s.r.dispatch(stripeFor(s.plan.Index, 1+p), func() error {
+			return s.r.mesh.Send(p, msg)
+		})
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ type StalenessClock struct {
 	cond      *sync.Cond
 	staleness int
 	synced    []int // per object: highest fully-synchronized iteration
+	aborted   bool
 }
 
 // NewStalenessClock creates a clock for n objects with the given
@@ -43,7 +44,8 @@ func (c *StalenessClock) Advance(i, iter int) {
 }
 
 // WaitFor blocks until every object is synchronized through iteration
-// iter−1−staleness, i.e. until iteration iter may begin.
+// iter−1−staleness, i.e. until iteration iter may begin — or until the
+// clock is aborted, whichever comes first.
 func (c *StalenessClock) WaitFor(iter int) {
 	need := iter - 1 - c.staleness
 	if need < 0 {
@@ -51,9 +53,20 @@ func (c *StalenessClock) WaitFor(iter int) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for c.min() < need {
+	for c.min() < need && !c.aborted {
 		c.cond.Wait()
 	}
+}
+
+// Abort poisons the clock: every pending and future WaitFor returns
+// immediately. Progress gating cannot be trusted afterwards — callers
+// use it to unblock compute loops when synchronization has failed, and
+// must check their error channel after any WaitFor returns.
+func (c *StalenessClock) Abort() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.aborted = true
+	c.cond.Broadcast()
 }
 
 // Min returns the slowest object's synchronized iteration.

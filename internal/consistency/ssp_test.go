@@ -102,3 +102,22 @@ func TestNegativeStalenessPanics(t *testing.T) {
 	}()
 	NewStalenessClock(1, -1)
 }
+
+// Abort must wake blocked waiters and make future waits non-blocking
+// (the failure path: synchronization died, compute loops must observe
+// the error instead of hanging).
+func TestStalenessClockAbort(t *testing.T) {
+	c := NewStalenessClock(2, 0)
+	done := make(chan struct{})
+	go func() {
+		c.WaitFor(3) // cannot be satisfied: nothing ever advances
+		close(done)
+	}()
+	c.Abort()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Abort did not wake WaitFor")
+	}
+	c.WaitFor(100) // must return immediately after abort
+}

@@ -9,7 +9,8 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	// Every paper artifact must be registered.
 	want := []string{"table1", "table3", "alexnet", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "fig10", "fig11", "multigpu", "bestscheme", "ablations"}
+		"fig8", "fig9", "fig10", "fig11", "multigpu", "bestscheme", "ablations",
+		"funcscale"}
 	for _, name := range want {
 		if _, ok := Find(name); !ok {
 			t.Errorf("experiment %q not registered", name)

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/nn/autodiff"
+	"repro/internal/train"
+	"repro/internal/transport"
+)
+
+// The funcscale experiment measures what internal/engine only
+// simulates: functional-plane iteration time with synchronization
+// overlap on and off, over a bandwidth-modeled mesh. The model is a
+// VGG-style FC-heavy MLP (fat fully-connected layers dominate the
+// parameter count, the regime where Poseidon's chunked overlapped
+// pushes matter most); links are constrained the way Fig. 8 constrains
+// them, so serialized pushes pay their wire time end to end while the
+// comm runtime's send pool overlaps chunks across every shard's link.
+
+func init() {
+	register("funcscale",
+		"Functional-plane scaling: overlapped chunked pushes vs serialized (real training, modeled links)",
+		runFuncScale)
+}
+
+// FuncScaleArm is one measured configuration.
+type FuncScaleArm struct {
+	Label      string
+	Overlap    bool
+	ChunkElems int
+}
+
+// FuncScaleResult is the wall-clock outcome of one arm.
+type FuncScaleResult struct {
+	Arm        FuncScaleArm
+	IterMillis float64
+	FinalLoss  float64
+}
+
+// FuncScaleArms are the standard three arms: the seed behavior
+// (serialized, whole tensors), chunking alone, and the full overlapped
+// chunked runtime.
+func FuncScaleArms() []FuncScaleArm {
+	return []FuncScaleArm{
+		{Label: "serialized, whole tensors", Overlap: false, ChunkElems: 0},
+		{Label: "serialized, chunked", Overlap: false, ChunkElems: 8192},
+		{Label: "overlapped, chunked", Overlap: true, ChunkElems: 8192},
+	}
+}
+
+// funcScaleConfig is the shared workload: 4 workers, an FC-heavy MLP
+// (64→256→256→10, ≈84k params ≈ 338 KB of float32 per replica), BSP.
+func funcScaleConfig() train.Config {
+	return train.Config{
+		Workers: 4, Iters: 6, Batch: 16, LR: 0.05, Mode: train.PSOnly, Seed: 42,
+		BuildNet: func(rng *rand.Rand) *autodiff.Network {
+			return autodiff.MLPNet(64, []int{256, 256}, 10, rng)
+		},
+		TrainSet: data.Synthetic(420, 512, 10, 1, 8, 8, 0.3),
+	}
+}
+
+// RunFuncScaleArm trains the shared workload once under the arm's
+// synchronization settings over links of the given bandwidth, returning
+// wall-clock per iteration.
+func RunFuncScaleArm(arm FuncScaleArm, bytesPerS float64, latency time.Duration) (FuncScaleResult, error) {
+	cfg := funcScaleConfig()
+	cfg.Overlap = arm.Overlap
+	cfg.ChunkElems = arm.ChunkElems
+	meshes := transport.NewChanCluster(cfg.Workers)
+	endpoints := make([]transport.Mesh, cfg.Workers)
+	for i, m := range meshes {
+		endpoints[i] = transport.NewDelayMesh(m, bytesPerS, latency)
+	}
+	start := time.Now()
+	res, err := train.RunOver(cfg, endpoints)
+	if err != nil {
+		return FuncScaleResult{}, err
+	}
+	return FuncScaleResult{
+		Arm:        arm,
+		IterMillis: time.Since(start).Seconds() * 1000 / float64(cfg.Iters),
+		FinalLoss:  res.Curve[len(res.Curve)-1].TrainLoss,
+	}, nil
+}
+
+func runFuncScale(w io.Writer) {
+	// 20 MB/s links make one replica's pushes ≈17 ms of serialized wire
+	// time per iteration — comparable to compute, the interesting regime.
+	const bytesPerS = 20e6
+	const latency = 100 * time.Microsecond
+	t := metrics.NewTable(
+		"funcscale: functional-plane iteration time, 4 workers, FC-heavy MLP, 20MB/s links",
+		"sync runtime", "ms/iter", "speedup", "final loss")
+	base := 0.0
+	for i, arm := range FuncScaleArms() {
+		r, err := RunFuncScaleArm(arm, bytesPerS, latency)
+		if err != nil {
+			fmt.Fprintf(w, "funcscale %q: %v\n", arm.Label, err)
+			return
+		}
+		if i == 0 {
+			base = r.IterMillis
+		}
+		t.AddRow(arm.Label,
+			fmt.Sprintf("%.1f", r.IterMillis),
+			fmt.Sprintf("%.2fx", base/r.IterMillis),
+			fmt.Sprintf("%.4f", r.FinalLoss))
+	}
+	fmt.Fprintln(w, t.Render())
+}

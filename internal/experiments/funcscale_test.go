@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// The acceptance bar for the comm runtime: on the FC-heavy workload
+// over constrained links, overlapped chunked pushes must beat
+// serialized whole-tensor pushes on wall-clock, without changing what
+// the model learns. Wire time here is sleep-modeled (DelayMesh), so the
+// comparison is stable even on a loaded single-core machine; the 0.85
+// margin still leaves room for scheduler noise.
+func TestFuncScaleOverlapBeatsSerialized(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock comparison is meaningless under the race detector's slowdown")
+	}
+	arms := FuncScaleArms()
+	serial, err := RunFuncScaleArm(arms[0], 20e6, 100*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlapped, err := RunFuncScaleArm(arms[2], 20e6, 100*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlapped.IterMillis >= serial.IterMillis*0.85 {
+		t.Fatalf("overlapped chunked pushes (%.1f ms/iter) do not beat serialized (%.1f ms/iter)",
+			overlapped.IterMillis, serial.IterMillis)
+	}
+	if d := overlapped.FinalLoss - serial.FinalLoss; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("overlap changed the training outcome: final loss %.9f vs %.9f",
+			overlapped.FinalLoss, serial.FinalLoss)
+	}
+}
+
+func TestFuncScaleRegistered(t *testing.T) {
+	if _, ok := Find("funcscale"); !ok {
+		t.Fatal("funcscale experiment not registered")
+	}
+}

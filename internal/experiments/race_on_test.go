@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose ~10x slowdown makes compute swamp the modeled wire
+// time and invalidates wall-clock comparisons.
+const raceEnabled = true

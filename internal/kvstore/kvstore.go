@@ -97,6 +97,15 @@ func (s *Shard) Push(key string, update []float32) (fresh []float32, ready bool,
 // its own count completes. Per-worker push order guarantees round r
 // completes before round r+1.
 func (s *Shard) PushRound(key string, round int, update []float32) (fresh []float32, ready bool, err error) {
+	return s.PushRoundInto(key, round, update, nil)
+}
+
+// PushRoundInto is PushRound appending the fresh values into dst
+// instead of allocating — the hot path for chunked synchronization,
+// where a round completes on some chunk nearly every inbound message
+// and the caller re-encodes (and is then done with) the result
+// immediately.
+func (s *Shard) PushRoundInto(key string, round int, update, dst []float32) (fresh []float32, ready bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.params[key]
@@ -120,7 +129,9 @@ func (s *Shard) PushRound(key string, round int, update []float32) (fresh []floa
 	}
 	s.roundCount[key][round]++
 	if s.roundCount[key][round] < s.workers {
-		return nil, false, nil
+		// Hand dst back so the caller's scratch buffer survives the
+		// not-ready pushes between round completions.
+		return dst, false, nil
 	}
 	for i := range p {
 		p[i] += acc[i]
@@ -128,9 +139,7 @@ func (s *Shard) PushRound(key string, round int, update []float32) (fresh []floa
 	delete(s.roundAcc[key], round)
 	delete(s.roundCount[key], round)
 	s.version[key]++
-	out := make([]float32, len(p))
-	copy(out, p)
-	return out, true, nil
+	return append(dst, p...), true, nil
 }
 
 // Get returns a copy of the current parameter values (for checkpointing

@@ -210,3 +210,27 @@ func TestPushRoundErrors(t *testing.T) {
 		t.Fatal("want length error")
 	}
 }
+
+// PushRoundInto must reuse the caller's buffer for the fresh values and
+// match PushRound's math exactly.
+func TestPushRoundIntoReusesBuffer(t *testing.T) {
+	s := NewShard(2)
+	s.Init("k", []float32{1, 2})
+	scratch := make([]float32, 0, 2)
+	if _, ready, err := s.PushRoundInto("k", 0, []float32{1, 1}, scratch); ready || err != nil {
+		t.Fatalf("first push: ready=%v err=%v", ready, err)
+	}
+	fresh, ready, err := s.PushRoundInto("k", 0, []float32{1, 1}, scratch)
+	if err != nil || !ready {
+		t.Fatalf("second push: ready=%v err=%v", ready, err)
+	}
+	if fresh[0] != 3 || fresh[1] != 4 {
+		t.Fatalf("fresh = %v, want [3 4]", fresh)
+	}
+	if cap(scratch) >= 2 && &fresh[0] != &scratch[:1][0] {
+		t.Fatal("fresh did not reuse the caller's buffer")
+	}
+	if _, _, err := s.PushRoundInto("missing", 0, []float32{1}, nil); err == nil {
+		t.Fatal("unknown key must error")
+	}
+}

@@ -1,0 +1,54 @@
+package sfb
+
+import "sync"
+
+// Bank is a registry of per-parameter aggregators, the SFB-side state a
+// synchronization router needs: one Aggregator per sufficient-factor
+// routed parameter, created on first use and shared between the launch
+// and receive paths.
+type Bank struct {
+	mu   sync.Mutex
+	aggs map[int]*Aggregator
+}
+
+// NewBank creates an empty registry.
+func NewBank() *Bank {
+	return &Bank{aggs: make(map[int]*Aggregator)}
+}
+
+// Ensure returns the aggregator for parameter index, creating it with
+// the given expectations on first use. Shape and expectation changes
+// across calls for one index are a programming error and panic.
+func (b *Bank) Ensure(index, expected, rows, cols int) *Aggregator {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if a, ok := b.aggs[index]; ok {
+		if a.expected != expected || a.rows != rows || a.cols != cols {
+			panic("sfb: Bank.Ensure with conflicting aggregator shape")
+		}
+		return a
+	}
+	a := NewAggregator(expected, rows, cols)
+	b.aggs[index] = a
+	return a
+}
+
+// Get returns the aggregator for parameter index, if registered.
+func (b *Bank) Get(index int) (*Aggregator, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a, ok := b.aggs[index]
+	return a, ok
+}
+
+// PendingIters sums incomplete factor sets across all aggregators (for
+// drain checks and monitoring).
+func (b *Bank) PendingIters() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := 0
+	for _, a := range b.aggs {
+		total += a.PendingIters()
+	}
+	return total
+}

@@ -122,3 +122,34 @@ func TestAggregatorShapePanic(t *testing.T) {
 	}()
 	a.Offer(0, tensor.NewSufficientFactor(1, 3, 3))
 }
+
+// Bank hands out one shared aggregator per parameter and rejects
+// conflicting re-registrations.
+func TestBank(t *testing.T) {
+	b := NewBank()
+	a1 := b.Ensure(3, 2, 4, 4)
+	a2 := b.Ensure(3, 2, 4, 4)
+	if a1 != a2 {
+		t.Fatal("Ensure must return the same aggregator for one index")
+	}
+	if _, ok := b.Get(3); !ok {
+		t.Fatal("Get lost the aggregator")
+	}
+	if _, ok := b.Get(9); ok {
+		t.Fatal("Get invented an aggregator")
+	}
+	u := tensor.NewMatrix(1, 4)
+	v := tensor.NewMatrix(1, 4)
+	if _, done := a1.Offer(0, &tensor.SufficientFactor{U: u, V: v}); done {
+		t.Fatal("one of two contributions cannot complete the iteration")
+	}
+	if b.PendingIters() != 1 {
+		t.Fatalf("PendingIters = %d, want 1", b.PendingIters())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting Ensure must panic")
+		}
+	}()
+	b.Ensure(3, 5, 4, 4)
+}

@@ -11,14 +11,35 @@ import (
 // reflection) because the functional plane moves multi-megabyte payloads
 // per layer per iteration.
 
+// grow extends buf by n bytes in one allocation (at most), returning
+// the extended slice and the offset of the new region. The encoders
+// below move multi-megabyte tensors every iteration, so growing once
+// and filling with PutUint32 beats per-value appends.
+func grow(buf []byte, n int) ([]byte, int) {
+	off := len(buf)
+	if cap(buf)-off < n {
+		nbuf := make([]byte, off, off+n)
+		copy(nbuf, buf)
+		buf = nbuf
+	}
+	return buf[:off+n], off
+}
+
+// putFloat32s writes vs as little-endian f32 starting at buf[off].
+func putFloat32s(buf []byte, off int, vs []float32) {
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(buf[off:off+4], math.Float32bits(v))
+		off += 4
+	}
+}
+
 // AppendMatrix appends the encoding of m to buf and returns it:
 // rows(u32) cols(u32) data(rows*cols × f32).
 func AppendMatrix(buf []byte, m *Matrix) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Rows))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Cols))
-	for _, v := range m.Data {
-		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
-	}
+	buf, off := grow(buf, 8+4*len(m.Data))
+	binary.LittleEndian.PutUint32(buf[off:off+4], uint32(m.Rows))
+	binary.LittleEndian.PutUint32(buf[off+4:off+8], uint32(m.Cols))
+	putFloat32s(buf, off+8, m.Data)
 	return buf
 }
 
@@ -69,12 +90,15 @@ func DecodeSF(buf []byte) (*SufficientFactor, int, error) {
 // AppendQuantized appends the encoding of q to buf:
 // rows(u32) cols(u32) lo(f32) hi(f32) bits(words × u64).
 func AppendQuantized(buf []byte, q *QuantizedGrad) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.Rows))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.Cols))
-	buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(q.LoLevel))
-	buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(q.HiLevel))
+	buf, off := grow(buf, 16+8*len(q.Bits))
+	binary.LittleEndian.PutUint32(buf[off:off+4], uint32(q.Rows))
+	binary.LittleEndian.PutUint32(buf[off+4:off+8], uint32(q.Cols))
+	binary.LittleEndian.PutUint32(buf[off+8:off+12], math.Float32bits(q.LoLevel))
+	binary.LittleEndian.PutUint32(buf[off+12:off+16], math.Float32bits(q.HiLevel))
+	off += 16
 	for _, w := range q.Bits {
-		buf = binary.LittleEndian.AppendUint64(buf, w)
+		binary.LittleEndian.PutUint64(buf[off:off+8], w)
+		off += 8
 	}
 	return buf
 }
@@ -105,10 +129,9 @@ func DecodeQuantized(buf []byte) (*QuantizedGrad, int, error) {
 
 // AppendFloat32s appends a length-prefixed float32 slice to buf.
 func AppendFloat32s(buf []byte, vs []float32) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vs)))
-	for _, v := range vs {
-		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
-	}
+	buf, off := grow(buf, 4+4*len(vs))
+	binary.LittleEndian.PutUint32(buf[off:off+4], uint32(len(vs)))
+	putFloat32s(buf, off+4, vs)
 	return buf
 }
 

@@ -1,0 +1,137 @@
+package train
+
+import (
+	"math"
+	"testing"
+)
+
+// seedGoldenLosses are the per-iteration worker-0 training losses of
+// the pre-comm.Router trainer (the strategy methods formerly inlined on
+// train.worker) for the exact config in goldenConfig, recorded from the
+// seed code path (bit-identical across 5 runs). The refactored runtime
+// must reproduce them: the wire protocol moved, the math must not.
+var seedGoldenLosses = []float64{
+	0.68236235875889195,
+	0.57934840495492312,
+	0.57600886197666257,
+	0.68516428137665719,
+	0.55046955908859407,
+	0.65806254364408145,
+	0.56772462287965519,
+	0.70695736401464293,
+	0.75612182025004415,
+	0.63116949986336246,
+}
+
+func goldenConfig() Config {
+	return Config{
+		Workers: 4, Iters: 10, Batch: 8, LR: 0.05, Mode: PSOnly, Seed: 11,
+		BuildNet: mlpBuilder(16, []int{12}, 4),
+		TrainSet: smallData(100, 256),
+	}
+}
+
+func assertGoldenLosses(t *testing.T, cfg Config, tol float64) {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != len(seedGoldenLosses) {
+		t.Fatalf("curve has %d points, want %d", len(res.Curve), len(seedGoldenLosses))
+	}
+	for i, p := range res.Curve {
+		if d := math.Abs(p.TrainLoss - seedGoldenLosses[i]); d > tol {
+			t.Fatalf("iter %d: loss %.17g differs from seed golden %.17g by %g (tol %g)",
+				i, p.TrainLoss, seedGoldenLosses[i], d, tol)
+		}
+	}
+}
+
+// The headline parity guarantee of the comm extraction: PS mode with
+// overlap disabled reproduces the old code path's per-iteration losses
+// within 1e-6.
+func TestRouterParityWithSeedPSPath(t *testing.T) {
+	assertGoldenLosses(t, goldenConfig(), 1e-6)
+}
+
+// Chunking must not change the math at all — each element is
+// accumulated and folded identically whichever chunk carries it — so
+// chunked serialized runs hold the same parity bound.
+func TestRouterParityChunked(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.ChunkElems = 7 // deliberately misaligned with the 12×16 tensors
+	assertGoldenLosses(t, cfg, 1e-6)
+}
+
+// Overlapped chunked pushes reorder wire traffic but never the
+// per-element arithmetic of a BSP round, so the parity bound survives
+// the send pool too.
+func TestRouterParityOverlapped(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Overlap = true
+	cfg.ChunkElems = 16
+	assertGoldenLosses(t, cfg, 1e-6)
+}
+
+// Overlap and chunking must preserve the large-batch equivalence
+// theorem across modes (the end-to-end correctness check for the
+// overlapped runtime, not just the loss curve).
+func TestOverlapEquivalentToLargeBatchSGD(t *testing.T) {
+	for _, mode := range []SyncMode{PSOnly, Hybrid} {
+		cfg := Config{
+			Workers: 4, Iters: 10, Batch: 8, LR: 0.05, Mode: mode, Seed: 11,
+			Overlap: true, ChunkElems: 8,
+			BuildNet: mlpBuilder(16, []int{12}, 4),
+			TrainSet: smallData(100, 256),
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("mode=%v: %v", mode, err)
+		}
+		ref := singleWorkerReference(t, cfg)
+		if d := maxParamDiff(res.Final, ref); d > 1e-3 {
+			t.Fatalf("mode=%v: overlapped distributed differs from large-batch SGD by %g", mode, d)
+		}
+	}
+}
+
+// Overlapped SSP training (pool + bounded staleness) still drains
+// cleanly and learns — the round-interleaving case the striped pool's
+// per-chunk FIFO ordering exists for.
+func TestOverlapSSPLearns(t *testing.T) {
+	train := smallData(300, 512)
+	cfg := Config{
+		Workers: 4, Iters: 50, Batch: 8, LR: 0.1, Mode: PSOnly, Seed: 31,
+		Staleness: 2, Overlap: true, ChunkElems: 16,
+		BuildNet: mlpBuilder(16, []int{24}, 4),
+		TrainSet: train,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Curve[0].TrainLoss
+	sum := 0.0
+	for _, p := range res.Curve[len(res.Curve)-10:] {
+		sum += p.TrainLoss
+	}
+	if last := sum / 10; last > first*0.6 {
+		t.Fatalf("loss %0.3f → %0.3f under overlapped SSP, did not learn", first, last)
+	}
+}
+
+// OneBit mode through the router matches its seed behavior closely
+// enough to train (route construction, double-sided quantization, and
+// residual bookkeeping all moved to comm intact).
+func TestOverlapOneBitRuns(t *testing.T) {
+	cfg := Config{
+		Workers: 4, Iters: 8, Batch: 8, LR: 0.05, Mode: OneBit, Seed: 23,
+		Overlap:  true,
+		BuildNet: mlpBuilder(16, []int{24}, 4),
+		TrainSet: smallData(105, 256),
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,9 +1,11 @@
 // Package train is the functional plane of the Poseidon reproduction:
 // real data-parallel SGD over real tensors, synchronized through the
-// paper's protocol — per-layer syncers, a sharded bulk-synchronous KV
-// store, sufficient-factor broadcasting for FC layers chosen by the
-// coordinator's cost model, and an optional CNTK-style 1-bit path for
-// the Fig. 11 statistical comparison.
+// paper's protocol. The communication itself — per-parameter syncers
+// (PS / SFB / 1-bit), the sharded bulk-synchronous KV store, chunked
+// overlapped pushes — lives in internal/comm; this package only builds
+// the model, shards the data, derives the per-parameter routing plan
+// from the cost model, and drives the compute loop against the
+// synchronization runtime.
 //
 // The trainer is transport-agnostic: hand each worker a
 // transport.Mesh endpoint (in-process channels or real TCP) and it
@@ -15,11 +17,9 @@ import (
 	"math/rand"
 	"sync"
 
-	"repro/internal/consistency"
+	"repro/internal/comm"
 	"repro/internal/data"
-	"repro/internal/kvstore"
 	"repro/internal/nn/autodiff"
-	"repro/internal/sfb"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 )
@@ -68,6 +68,18 @@ type Config struct {
 	// Poseidon's design extends to). 0 is BSP.
 	Staleness int
 
+	// Overlap streams pushes through the comm runtime's bounded send
+	// pool, so a layer's chunks are on the wire while later layers are
+	// still being launched (wait-free backpropagation). Off, every send
+	// completes before the next launch — the serialized baseline.
+	Overlap bool
+	// ChunkElems caps the float32 count per KV chunk on the PS route
+	// (0 = whole tensors). Chunking spreads one large layer across all
+	// shards so its pushes overlap each other.
+	ChunkElems int
+	// PoolWorkers sizes the send pool when Overlap is on (0 = default).
+	PoolWorkers int
+
 	// BuildNet constructs the model; it is called once per worker with
 	// an identically seeded RNG so all replicas start identical.
 	BuildNet func(rng *rand.Rand) *autodiff.Network
@@ -93,20 +105,27 @@ type Result struct {
 	Mode  SyncMode
 }
 
-// paramInfo describes one synchronized tensor.
-type paramInfo struct {
-	index    int // global parameter index
-	key      string
-	server   int
-	useSFB   bool
-	useQuant bool
-}
-
 // Run executes a full data-parallel training run over an in-process
 // channel mesh and returns worker 0's result. All replicas are verified
 // to agree at the end (BSP invariant).
 func Run(cfg Config) (*Result, error) {
 	meshes := transport.NewChanCluster(cfg.Workers)
+	endpoints := make([]transport.Mesh, cfg.Workers)
+	for i, m := range meshes {
+		endpoints[i] = m
+	}
+	return RunOver(cfg, endpoints)
+}
+
+// RunOver executes one worker per provided mesh endpoint and returns
+// endpoint 0's result — the injection point for custom transports
+// (bandwidth-modeled DelayMesh wrappers, instrumented meshes). Endpoint
+// 0 is closed when all workers finish, which for clustered transports
+// (ChanCluster) tears the whole mesh down.
+func RunOver(cfg Config, meshes []transport.Mesh) (*Result, error) {
+	if len(meshes) != cfg.Workers {
+		return nil, fmt.Errorf("train: %d mesh endpoints for %d workers", len(meshes), cfg.Workers)
+	}
 	results := make([]*Result, cfg.Workers)
 	errs := make([]error, cfg.Workers)
 	var wg sync.WaitGroup
@@ -143,86 +162,51 @@ type worker struct {
 	n    int
 
 	net    *autodiff.Network
-	params []*tensor.Matrix
-	grads  []*tensor.Matrix
-	infos  []paramInfo
-
-	shard *kvstore.Shard
-	aggs  map[int]*sfb.Aggregator         // param index → aggregator
-	quant map[int]*tensor.OneBitQuantizer // param index → push residual state
-	// bcastQuant and workerView implement CNTK's second quantization:
-	// the owning server also 1-bit-quantizes its broadcasts, carrying
-	// its own residual; workerView tracks the replica state the workers
-	// hold so the broadcast delta is computed against it.
-	bcastQuant map[int]*tensor.OneBitQuantizer
-	workerView map[int][]float32
-	// staged is the authoritative replica the receiver goroutine writes
-	// into (under stageMu); the compute thread copies staged → live
-	// params at each iteration boundary, so inbound synchronization
-	// never races an in-flight forward/backward pass.
-	staged  []*tensor.Matrix
-	stageMu sync.Mutex
-	clock   *consistency.StalenessClock
-	local   *data.Dataset
+	router *comm.Router
+	local  *data.Dataset
 }
 
 func (w *worker) run() (*Result, error) {
 	cfg := w.cfg
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w.net = cfg.BuildNet(rng)
-	w.params = w.net.Params()
-	w.grads = w.net.Grads()
-	w.shard = kvstore.NewShard(w.n)
-	w.aggs = make(map[int]*sfb.Aggregator)
-	w.quant = make(map[int]*tensor.OneBitQuantizer)
-	w.bcastQuant = make(map[int]*tensor.OneBitQuantizer)
-	w.workerView = make(map[int][]float32)
 	w.local = cfg.TrainSet.Shard(w.id, w.n)
 
-	// Build per-parameter sync plans. FC weight matrices are the
-	// SF-capable tensors (rows>1 and cols>1 with a matching grad shape);
-	// we locate them through the layer structure to avoid guessing.
-	w.buildInfos()
-
-	// Seed the KV store: every worker initializes its own shard's keys
-	// from the (identical) initial replica.
-	for _, info := range w.infos {
-		if info.server == w.id && !info.useSFB {
-			w.shard.Init(info.key, w.params[info.index].Data)
-		}
+	params := w.net.Params()
+	grads := w.net.Grads()
+	router, err := comm.NewRouter(comm.Config{
+		Mesh:   w.mesh,
+		Plans:  buildPlans(cfg, w.net, w.n),
+		Params: params,
+		// The cluster-wide update is −LR · mean over all P·K samples, so
+		// each worker contributes −LR/P of its local mean gradient.
+		Scale:       -cfg.LR / float32(w.n),
+		Staleness:   cfg.Staleness,
+		Overlap:     cfg.Overlap,
+		ChunkElems:  cfg.ChunkElems,
+		PoolWorkers: cfg.PoolWorkers,
+	})
+	if err != nil {
+		return nil, err
 	}
-	w.clock = consistency.NewStalenessClock(len(w.infos), cfg.Staleness)
-	for _, p := range w.params {
-		w.staged = append(w.staged, p.Clone())
-	}
-
-	// Receiver goroutine: drives shard, aggregators, and the syncer
-	// vector from inbound messages.
-	recvErr := make(chan error, 1)
-	go w.receiveLoop(recvErr)
+	w.router = router
+	router.Start()
+	defer router.Stop()
 
 	res := &Result{Mode: cfg.Mode}
 	for iter := 0; iter < cfg.Iters; iter++ {
 		// Gate on the consistency model (BSP when Staleness is 0), then
 		// adopt the freshest synchronized replica.
-		w.clock.WaitFor(iter)
-		w.adoptStaged()
+		router.WaitFor(iter)
+		router.Adopt(params)
 
 		x, labels := w.local.Batch(iter*cfg.Batch, cfg.Batch)
 		w.net.ZeroGrads()
 		loss, _ := w.net.LossAndGrad(x, labels)
 
 		// Launch every syncer (the paper's Algorithm 2 sync() calls).
-		for _, info := range w.infos {
-			if err := w.launch(info, iter); err != nil {
-				return nil, err
-			}
-		}
-
-		select {
-		case err := <-recvErr:
+		if err := router.LaunchAll(iter, grads); err != nil {
 			return nil, err
-		default:
 		}
 
 		p := Point{Iter: iter, TrainLoss: loss, TestErr: -1}
@@ -234,274 +218,41 @@ func (w *worker) run() (*Result, error) {
 	}
 	// Drain: wait until the final iteration is fully synchronized
 	// everywhere, then adopt it.
-	w.clock.WaitFor(cfg.Iters + cfg.Staleness)
-	w.adoptStaged()
+	router.WaitFor(cfg.Iters + cfg.Staleness)
+	router.Adopt(params)
+	if err := router.Err(); err != nil {
+		return nil, err
+	}
 	res.Final = w.net
 	return res, nil
 }
 
-// adoptStaged copies the receiver-maintained replica into the live
-// parameters.
-func (w *worker) adoptStaged() {
-	w.stageMu.Lock()
-	defer w.stageMu.Unlock()
-	for i, p := range w.params {
-		p.CopyFrom(w.staged[i])
-	}
-}
-
-// buildInfos assigns each parameter tensor a key, an owning shard, and a
-// route (PS / SFB / 1-bit) using the paper's decision rule: SFB pays off
-// for FC weight matrices when 2K(P−1)(M+N) ≤ 2MN(P+P−2)/P.
-func (w *worker) buildInfos() {
+// buildPlans assigns each parameter tensor a route using the paper's
+// decision rule (Algorithm 1 / comm.Decide): FC weight matrices are the
+// SF-capable tensors, located through the layer structure to avoid
+// guessing; everything else rides the KV store.
+func buildPlans(cfg Config, net *autodiff.Network, workers int) []comm.ParamPlan {
+	var plans []comm.ParamPlan
 	idx := 0
-	for _, layer := range w.net.Layers {
-		ps := layer.Params()
+	for _, layer := range net.Layers {
 		fc, isFC := layer.(*autodiff.FC)
-		for pi, p := range ps {
-			info := paramInfo{
-				index:  idx,
-				key:    fmt.Sprintf("p%d", idx),
-				server: idx % w.n,
-			}
-			isWeight := isFC && pi == 0 && fc.W == p
-			if isWeight && w.n > 1 {
-				m, n := int64(p.Rows), int64(p.Cols)
-				k := int64(w.cfg.Batch)
-				p1 := int64(w.n)
-				sfbCost := 2 * k * (p1 - 1) * (m + n)
-				psCost := 2 * m * n * (p1 + p1 - 2) / p1
-				switch w.cfg.Mode {
+		for pi, p := range layer.Params() {
+			plan := comm.ParamPlan{Index: idx, Rows: p.Rows, Cols: p.Cols, Route: comm.RoutePS}
+			if isFC && pi == 0 && fc.W == p && workers > 1 {
+				switch cfg.Mode {
 				case Hybrid:
-					if sfbCost <= psCost {
-						info.useSFB = true
-						w.aggs[idx] = sfb.NewAggregator(w.n, p.Rows, p.Cols)
+					if comm.Decide(p.Rows, p.Cols, cfg.Batch, workers) {
+						plan.Route = comm.RouteSFB
+						fc := fc
+						plan.SF = func() *tensor.SufficientFactor { return fc.SufficientFactor() }
 					}
 				case OneBit:
-					info.useQuant = true
-					w.quant[idx] = tensor.NewOneBitQuantizer(p.Rows, p.Cols)
-					if info.server == w.id {
-						w.bcastQuant[idx] = tensor.NewOneBitQuantizer(p.Rows, p.Cols)
-						view := make([]float32, len(p.Data))
-						copy(view, p.Data)
-						w.workerView[idx] = view
-					}
+					plan.Route = comm.RouteOneBit
 				}
 			}
-			w.infos = append(w.infos, info)
+			plans = append(plans, plan)
 			idx++
 		}
 	}
-}
-
-// scale is the per-worker update scaling: the cluster-wide update is
-// −LR · mean over all P·K samples, so each worker contributes −LR/P of
-// its local mean gradient.
-func (w *worker) scale() float32 { return -w.cfg.LR / float32(w.n) }
-
-// launch starts one parameter's synchronization for this iteration.
-func (w *worker) launch(info paramInfo, iter int) error {
-	g := w.grads[info.index]
-	switch {
-	case info.useSFB:
-		return w.launchSFB(info, iter)
-	case info.useQuant:
-		return w.launchQuant(info, iter)
-	default:
-		update := g.Clone()
-		update.Scale(w.scale())
-		return w.mesh.Send(info.server, transport.Message{
-			Type:    transport.MsgPush,
-			Layer:   int32(info.index),
-			Iter:    int32(iter),
-			Payload: tensor.AppendFloat32s(nil, update.Data),
-		})
-	}
-}
-
-// launchSFB extracts the layer's sufficient factor, scales it, offers
-// the local copy, and broadcasts to all peers.
-func (w *worker) launchSFB(info paramInfo, iter int) error {
-	fc := w.fcForParam(info.index)
-	sf := fc.SufficientFactor()
-	sf.U.Scale(w.scale()) // fold −LR/P into U so ∇ reconstructions are additive
-	payload := tensor.AppendSF(nil, sf)
-	for p := 0; p < w.n; p++ {
-		if p == w.id {
-			continue
-		}
-		if err := w.mesh.Send(p, transport.Message{
-			Type:    transport.MsgSF,
-			Layer:   int32(info.index),
-			Iter:    int32(iter),
-			Payload: payload,
-		}); err != nil {
-			return err
-		}
-	}
-	w.offerSF(info.index, int64(iter), sf)
-	return nil
-}
-
-// launchQuant 1-bit-quantizes the scaled update (residual carried
-// locally) and pushes the compact encoding.
-func (w *worker) launchQuant(info paramInfo, iter int) error {
-	update := w.grads[info.index].Clone()
-	update.Scale(w.scale())
-	q := w.quant[info.index].Quantize(update)
-	return w.mesh.Send(info.server, transport.Message{
-		Type:    transport.MsgQuantPush,
-		Layer:   int32(info.index),
-		Iter:    int32(iter),
-		Payload: tensor.AppendQuantized(nil, q),
-	})
-}
-
-// fcForParam returns the FC layer owning global parameter index.
-func (w *worker) fcForParam(index int) *autodiff.FC {
-	idx := 0
-	for _, layer := range w.net.Layers {
-		for range layer.Params() {
-			if idx == index {
-				return layer.(*autodiff.FC)
-			}
-			idx++
-		}
-	}
-	panic("train: parameter index out of range")
-}
-
-// offerSF adds a factor to the parameter's aggregator; on completion it
-// applies the summed update to the staged replica and advances the
-// consistency clock.
-func (w *worker) offerSF(index int, iter int64, sf *tensor.SufficientFactor) {
-	grad, done := w.aggs[index].Offer(iter, sf)
-	if !done {
-		return
-	}
-	w.stageMu.Lock()
-	w.staged[index].Add(grad)
-	w.stageMu.Unlock()
-	w.clock.Advance(index, int(iter))
-}
-
-// receiveLoop drives all inbound protocol messages until the mesh
-// closes.
-func (w *worker) receiveLoop(errc chan<- error) {
-	for {
-		msg, err := w.mesh.Recv()
-		if err != nil {
-			return // mesh closed
-		}
-		if err := w.handle(msg); err != nil {
-			select {
-			case errc <- err:
-			default:
-			}
-			return
-		}
-	}
-}
-
-func (w *worker) handle(msg transport.Message) error {
-	index := int(msg.Layer)
-	switch msg.Type {
-	case transport.MsgPush:
-		vals, _, err := tensor.DecodeFloat32s(msg.Payload)
-		if err != nil {
-			return err
-		}
-		return w.serverPush(index, int(msg.Iter), vals)
-	case transport.MsgQuantPush:
-		q, _, err := tensor.DecodeQuantized(msg.Payload)
-		if err != nil {
-			return err
-		}
-		return w.serverPush(index, int(msg.Iter), q.Dequantize().Data)
-	case transport.MsgBcast:
-		vals, _, err := tensor.DecodeFloat32s(msg.Payload)
-		if err != nil {
-			return err
-		}
-		w.stageMu.Lock()
-		copy(w.staged[index].Data, vals)
-		w.stageMu.Unlock()
-		w.clock.Advance(index, int(msg.Iter))
-		return nil
-	case transport.MsgQuantBcast:
-		q, _, err := tensor.DecodeQuantized(msg.Payload)
-		if err != nil {
-			return err
-		}
-		w.stageMu.Lock()
-		q.AddDequantizedInto(w.staged[index])
-		w.stageMu.Unlock()
-		w.clock.Advance(index, int(msg.Iter))
-		return nil
-	case transport.MsgSF:
-		sf, _, err := tensor.DecodeSF(msg.Payload)
-		if err != nil {
-			return err
-		}
-		w.offerSF(index, int64(msg.Iter), sf)
-		return nil
-	default:
-		return fmt.Errorf("train: unexpected message type %d", msg.Type)
-	}
-}
-
-// serverPush feeds one update into the local shard; when the round
-// completes, the fresh parameters broadcast to every worker (the KV
-// store's count-based Send). For 1-bit keys the broadcast itself is
-// quantized against the workers' view, with the server carrying the
-// second residual (CNTK's double-sided quantization).
-func (w *worker) serverPush(index, iter int, vals []float32) error {
-	key := fmt.Sprintf("p%d", index)
-	fresh, ready, err := w.shard.PushRound(key, iter, vals)
-	if err != nil {
-		return err
-	}
-	if !ready {
-		return nil
-	}
-	if bq, ok := w.bcastQuant[index]; ok {
-		view := w.workerView[index]
-		delta := tensor.NewMatrix(1, len(fresh))
-		for i, v := range fresh {
-			delta.Data[i] = v - view[i]
-		}
-		// Reshape the residual state: the quantizer was created with the
-		// parameter's true shape, so wrap delta accordingly.
-		rows := bq.Residual().Rows
-		cols := bq.Residual().Cols
-		q := bq.Quantize(tensor.FromSlice(rows, cols, delta.Data))
-		rec := q.Dequantize()
-		for i := range view {
-			view[i] += rec.Data[i]
-		}
-		payload := tensor.AppendQuantized(nil, q)
-		for p := 0; p < w.n; p++ {
-			if err := w.mesh.Send(p, transport.Message{
-				Type:    transport.MsgQuantBcast,
-				Layer:   int32(index),
-				Iter:    int32(iter),
-				Payload: payload,
-			}); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	payload := tensor.AppendFloat32s(nil, fresh)
-	for p := 0; p < w.n; p++ {
-		if err := w.mesh.Send(p, transport.Message{
-			Type:    transport.MsgBcast,
-			Layer:   int32(index),
-			Iter:    int32(iter),
-			Payload: payload,
-		}); err != nil {
-			return err
-		}
-	}
-	return nil
+	return plans
 }

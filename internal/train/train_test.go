@@ -5,9 +5,9 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/nn/autodiff"
-	"repro/internal/sfb"
 	"repro/internal/tensor"
 )
 
@@ -106,19 +106,15 @@ func TestSFBEquivalentToLargeBatchSGD(t *testing.T) {
 // route the FC weights through SFB in Hybrid mode (otherwise the
 // previous test proves nothing about SFB).
 func TestHybridActuallyUsesSFB(t *testing.T) {
-	meshless := &worker{
-		cfg: Config{Workers: 4, Batch: 2, Mode: Hybrid, BuildNet: mlpBuilder(16, []int{32}, 4)},
-		n:   4,
-	}
+	cfg := Config{Workers: 4, Batch: 2, Mode: Hybrid, BuildNet: mlpBuilder(16, []int{32}, 4)}
 	rng := rand.New(rand.NewSource(1))
-	meshless.net = meshless.cfg.BuildNet(rng)
-	meshless.params = meshless.net.Params()
-	meshless.aggs = make(map[int]*sfb.Aggregator)
-	meshless.quant = make(map[int]*tensor.OneBitQuantizer)
-	meshless.buildInfos()
+	net := cfg.BuildNet(rng)
 	sfbCount := 0
-	for _, info := range meshless.infos {
-		if info.useSFB {
+	for _, plan := range buildPlans(cfg, net, cfg.Workers) {
+		if plan.Route == comm.RouteSFB {
+			if plan.SF == nil {
+				t.Fatalf("param %d: SFB route without SF extractor", plan.Index)
+			}
 			sfbCount++
 		}
 	}

@@ -1,8 +1,10 @@
 // Package transport provides the messaging layer of the functional
 // plane: a typed message format with compact manual framing, an
-// in-process channel mesh for single-binary clusters, and a real TCP
+// in-process channel mesh for single-binary clusters, a real TCP
 // mesh (full peer mesh over length-prefixed frames) for multi-process
-// deployments. Both satisfy Mesh, so the trainer is transport-agnostic.
+// deployments, and a bandwidth/latency-modeling wrapper for emulating
+// constrained links. All satisfy Mesh, so the trainer is
+// transport-agnostic.
 package transport
 
 import (
@@ -12,6 +14,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // MsgType tags the protocol role of a message.
@@ -42,6 +45,7 @@ type Message struct {
 	Type    MsgType
 	From    int32 // sender node id
 	Layer   int32 // model layer index (or -1)
+	Chunk   int32 // KV chunk index within the layer (0 when unchunked)
 	Iter    int32 // training iteration
 	Payload []byte
 }
@@ -57,36 +61,71 @@ type Mesh interface {
 	N() int
 	// Send delivers msg to node `to` (may be Self; loopback is legal).
 	Send(to int, msg Message) error
+	// SendBatch delivers several messages to the same destination,
+	// amortizing framing and lock/syscall overhead where the transport
+	// supports it. Messages arrive in order.
+	SendBatch(to int, msgs []Message) error
 	// Recv blocks for the next inbound message.
 	Recv() (Message, error)
 	// Close tears the endpoint down; pending Recv calls return ErrClosed.
 	Close() error
 }
 
-// encode renders the frame body (everything after the length prefix).
-func encode(msg Message) []byte {
-	buf := make([]byte, 0, 13+len(msg.Payload))
+// headerLen is the size of the frame body header (everything between
+// the length prefix and the payload).
+const headerLen = 17
+
+// appendFrame appends the frame body (everything after the length
+// prefix) to buf and returns the extended slice.
+func appendFrame(buf []byte, msg Message) []byte {
 	buf = append(buf, byte(msg.Type))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.From))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Layer))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Chunk))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Iter))
-	buf = append(buf, msg.Payload...)
-	return buf
+	return append(buf, msg.Payload...)
+}
+
+// encode renders the frame body.
+func encode(msg Message) []byte {
+	return appendFrame(make([]byte, 0, headerLen+len(msg.Payload)), msg)
 }
 
 // decode parses a frame body.
 func decode(buf []byte) (Message, error) {
-	if len(buf) < 13 {
+	if len(buf) < headerLen {
 		return Message{}, fmt.Errorf("transport: short frame: %d bytes", len(buf))
 	}
 	return Message{
 		Type:    MsgType(buf[0]),
 		From:    int32(binary.LittleEndian.Uint32(buf[1:5])),
 		Layer:   int32(binary.LittleEndian.Uint32(buf[5:9])),
-		Iter:    int32(binary.LittleEndian.Uint32(buf[9:13])),
-		Payload: buf[13:],
+		Chunk:   int32(binary.LittleEndian.Uint32(buf[9:13])),
+		Iter:    int32(binary.LittleEndian.Uint32(buf[13:17])),
+		Payload: buf[17:],
 	}, nil
 }
+
+// WireBytes returns the on-wire size of msg (length prefix included),
+// used by bandwidth models and traffic accounting.
+func WireBytes(msg Message) int { return 4 + headerLen + len(msg.Payload) }
+
+// frameBufs pools TCP frame encode buffers: the functional plane sends
+// multi-megabyte tensors every iteration and per-send allocation would
+// dominate the profile. Buffers are returned to the pool after the
+// socket write completes, so pooling is invisible to callers.
+var frameBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+func getFrameBuf(capacity int) *[]byte {
+	bp := frameBufs.Get().(*[]byte)
+	if cap(*bp) < capacity {
+		*bp = make([]byte, 0, capacity)
+	}
+	*bp = (*bp)[:0]
+	return bp
+}
+
+func putFrameBuf(bp *[]byte) { frameBufs.Put(bp) }
 
 // ---- In-process mesh -----------------------------------------------------
 
@@ -135,6 +174,17 @@ func (m *ChanMesh) Send(to int, msg Message) error {
 	case <-m.cluster.closed:
 		return ErrClosed
 	}
+}
+
+// SendBatch delivers msgs to node to, in order. Channels have no
+// framing overhead to amortize, so this is a plain loop.
+func (m *ChanMesh) SendBatch(to int, msgs []Message) error {
+	for _, msg := range msgs {
+		if err := m.Send(to, msg); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Recv blocks for the next message to this endpoint.
@@ -298,8 +348,15 @@ func (m *TCPMesh) Self() int { return m.self }
 // N returns the mesh size.
 func (m *TCPMesh) N() int { return len(m.addrs) }
 
+// appendLengthPrefixed appends `u32 length + frame body` for msg.
+func appendLengthPrefixed(buf []byte, msg Message) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(headerLen+len(msg.Payload)))
+	return appendFrame(buf, msg)
+}
+
 // Send delivers msg to node to (loopback messages short-circuit the
-// network).
+// network). The frame is built in a pooled buffer and written with one
+// syscall.
 func (m *TCPMesh) Send(to int, msg Message) error {
 	msg.From = int32(m.self)
 	if to == m.self {
@@ -309,13 +366,45 @@ func (m *TCPMesh) Send(to int, msg Message) error {
 	if to < 0 || to >= len(m.addrs) || m.conns[to] == nil {
 		return fmt.Errorf("transport: no connection to %d", to)
 	}
-	body := encode(msg)
-	frame := make([]byte, 4, 4+len(body))
-	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
-	frame = append(frame, body...)
+	bp := getFrameBuf(4 + headerLen + len(msg.Payload))
+	*bp = appendLengthPrefixed(*bp, msg)
 	m.sendMu[to].Lock()
-	defer m.sendMu[to].Unlock()
-	_, err := m.conns[to].Write(frame)
+	_, err := m.conns[to].Write(*bp)
+	m.sendMu[to].Unlock()
+	putFrameBuf(bp)
+	return err
+}
+
+// SendBatch writes all frames to node `to` as a single buffer under one
+// lock acquisition and (typically) one syscall — the fast path for
+// chunked tensor pushes, which produce many frames per destination.
+func (m *TCPMesh) SendBatch(to int, msgs []Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	if to == m.self {
+		for _, msg := range msgs {
+			msg.From = int32(m.self)
+			m.inbox <- msg
+		}
+		return nil
+	}
+	if to < 0 || to >= len(m.addrs) || m.conns[to] == nil {
+		return fmt.Errorf("transport: no connection to %d", to)
+	}
+	total := 0
+	for _, msg := range msgs {
+		total += 4 + headerLen + len(msg.Payload)
+	}
+	bp := getFrameBuf(total)
+	for _, msg := range msgs {
+		msg.From = int32(m.self)
+		*bp = appendLengthPrefixed(*bp, msg)
+	}
+	m.sendMu[to].Lock()
+	_, err := m.conns[to].Write(*bp)
+	m.sendMu[to].Unlock()
+	putFrameBuf(bp)
 	return err
 }
 
@@ -342,3 +431,77 @@ func (m *TCPMesh) Close() error {
 	})
 	return nil
 }
+
+// ---- Bandwidth-modeled mesh ------------------------------------------------
+
+// DelayMesh wraps a Mesh and models per-link wire time: each message
+// occupies its (sender,destination) link for WireBytes/bandwidth plus a
+// fixed latency before delivery, with distinct links independent — the
+// behavior of a full-mesh network fabric. Senders block for the wire
+// time (NIC serialization), so serialized pushes pay the sum of their
+// transfer times while concurrent pushes to different destinations
+// overlap. This is how the functional plane reproduces the paper's
+// limited-bandwidth conditions (Fig. 8) on loopback hardware.
+type DelayMesh struct {
+	inner     Mesh
+	bytesPerS float64
+	latency   time.Duration
+	links     []sync.Mutex // per destination
+}
+
+// NewDelayMesh models links of the given bandwidth (bytes/second) and
+// one-way latency on top of inner. bytesPerS <= 0 disables the
+// bandwidth term.
+func NewDelayMesh(inner Mesh, bytesPerS float64, latency time.Duration) *DelayMesh {
+	return &DelayMesh{
+		inner:     inner,
+		bytesPerS: bytesPerS,
+		latency:   latency,
+		links:     make([]sync.Mutex, inner.N()),
+	}
+}
+
+// Self returns the wrapped endpoint's node id.
+func (m *DelayMesh) Self() int { return m.inner.Self() }
+
+// N returns the mesh size.
+func (m *DelayMesh) N() int { return m.inner.N() }
+
+func (m *DelayMesh) wireTime(bytes int) time.Duration {
+	d := m.latency
+	if m.bytesPerS > 0 {
+		d += time.Duration(float64(bytes) / m.bytesPerS * float64(time.Second))
+	}
+	return d
+}
+
+// Send occupies the link to `to` for the message's wire time, then
+// delivers through the wrapped mesh. Loopback is free.
+func (m *DelayMesh) Send(to int, msg Message) error {
+	if to != m.Self() && to >= 0 && to < len(m.links) {
+		m.links[to].Lock()
+		time.Sleep(m.wireTime(WireBytes(msg)))
+		m.links[to].Unlock()
+	}
+	return m.inner.Send(to, msg)
+}
+
+// SendBatch occupies the link once for the batch's combined wire time.
+func (m *DelayMesh) SendBatch(to int, msgs []Message) error {
+	if to != m.Self() && to >= 0 && to < len(m.links) && len(msgs) > 0 {
+		total := 0
+		for _, msg := range msgs {
+			total += WireBytes(msg)
+		}
+		m.links[to].Lock()
+		time.Sleep(m.wireTime(total))
+		m.links[to].Unlock()
+	}
+	return m.inner.SendBatch(to, msgs)
+}
+
+// Recv blocks for the next inbound message.
+func (m *DelayMesh) Recv() (Message, error) { return m.inner.Recv() }
+
+// Close tears down the wrapped mesh.
+func (m *DelayMesh) Close() error { return m.inner.Close() }

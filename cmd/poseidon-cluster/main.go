@@ -1,0 +1,215 @@
+// Command poseidon-cluster launches a real multi-process training
+// cluster on the local machine: it reserves N loopback TCP ports, forks
+// N poseidon-worker processes wired into one full mesh, streams their
+// output with a per-worker prefix, and fails loudly — killing the
+// survivors — if any worker exits non-zero or the deadline passes.
+//
+//	poseidon-cluster -n 3 -iters 50 -mode hybrid
+//
+// The worker binary is located automatically: an explicit -worker path,
+// a poseidon-worker sitting next to this binary, $PATH, and finally a
+// one-off `go build` of ./cmd/poseidon-worker into a temp file (for
+// `go run ./cmd/poseidon-cluster` from the repo root). The launcher
+// always execs a real worker binary — never a `go run` wrapper, whose
+// grandchild would survive the kill-on-failure path as an orphan.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	n := flag.Int("n", 3, "number of worker processes")
+	workerBin := flag.String("worker", "", "path to the poseidon-worker binary (default: auto-detect)")
+	basePort := flag.Int("base-port", 0, "first TCP port; workers use base-port..base-port+n-1 (0 = pick free ports)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "kill the cluster if it runs longer than this")
+	iters := flag.Int("iters", 50, "training iterations")
+	batch := flag.Int("batch", 8, "per-worker batch size")
+	lr := flag.Float64("lr", 0.1, "learning rate")
+	mode := flag.String("mode", "hybrid", "sync mode: ps|hybrid|1bit")
+	seed := flag.Int64("seed", 42, "shared model/data seed")
+	overlap := flag.Bool("overlap", false, "stream pushes through the comm send pool (WFBP)")
+	chunk := flag.Int("chunk", 0, "max float32s per KV chunk (0 = whole tensors)")
+	printEvery := flag.Int("print-every", 10, "per-worker progress line interval")
+	dumpLosses := flag.Bool("dump-losses", false, "have each worker dump machine-readable LOSS lines")
+	maxFrame := flag.Int("max-frame", 0, "cap on a single frame body in bytes (0 = transport default)")
+	flag.Parse()
+
+	if *n < 1 {
+		fmt.Fprintln(os.Stderr, "cluster: need -n >= 1")
+		return 1
+	}
+	addrs, err := pickAddrs(*n, *basePort)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluster: reserve ports: %v\n", err)
+		return 1
+	}
+	peerList := strings.Join(addrs, ",")
+	name, cleanup, err := resolveWorker(*workerBin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluster: locate worker: %v\n", err)
+		return 1
+	}
+	defer cleanup()
+	fmt.Printf("cluster: launching %d workers (%s) over %s\n", *n, name, peerList)
+
+	type exit struct {
+		id  int
+		err error
+	}
+	exits := make(chan exit, *n)
+	procs := make([]*exec.Cmd, *n)
+	for i := 0; i < *n; i++ {
+		args := []string{
+			"-id", fmt.Sprint(i), "-peers", peerList,
+			"-iters", fmt.Sprint(*iters), "-batch", fmt.Sprint(*batch),
+			"-lr", fmt.Sprint(*lr), "-mode", *mode, "-seed", fmt.Sprint(*seed),
+			"-chunk", fmt.Sprint(*chunk), "-print-every", fmt.Sprint(*printEvery),
+			"-max-frame", fmt.Sprint(*maxFrame),
+		}
+		if *overlap {
+			args = append(args, "-overlap")
+		}
+		if *dumpLosses {
+			args = append(args, "-dump-losses")
+		}
+		cmd := exec.Command(name, args...)
+		stdout, err := cmd.StdoutPipe()
+		if err == nil {
+			var stderr io.ReadCloser
+			if stderr, err = cmd.StderrPipe(); err == nil {
+				if err = cmd.Start(); err == nil {
+					procs[i] = cmd
+					var rd sync.WaitGroup
+					rd.Add(2)
+					go prefixLines(&rd, os.Stdout, stdout, i)
+					go prefixLines(&rd, os.Stderr, stderr, i)
+					go func(i int, cmd *exec.Cmd, rd *sync.WaitGroup) {
+						rd.Wait() // pipes must drain before Wait closes them
+						exits <- exit{i, cmd.Wait()}
+					}(i, cmd, &rd)
+					continue
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "cluster: start worker %d: %v\n", i, err)
+		killAll(procs)
+		return 1
+	}
+
+	code := 0
+	failed := false
+	deadline := time.After(*timeout)
+	for done := 0; done < *n; {
+		select {
+		case e := <-exits:
+			done++
+			if e.err != nil {
+				fmt.Fprintf(os.Stderr, "cluster: worker %d failed: %v\n", e.id, e.err)
+				code = 1
+				if !failed {
+					failed = true
+					killAll(procs) // first failure: take the survivors down too
+				}
+			}
+		case <-deadline:
+			fmt.Fprintf(os.Stderr, "cluster: deadline %v passed, killing %d workers\n", *timeout, *n-done)
+			code = 1
+			killAll(procs)
+			deadline = nil // fire once; keep draining exits
+		}
+	}
+	if code == 0 {
+		fmt.Printf("cluster: all %d workers completed\n", *n)
+	}
+	return code
+}
+
+// pickAddrs reserves n loopback addresses, either a contiguous explicit
+// range or free ephemeral ports (bound and released; the rebind window
+// is tiny and loopback-local).
+func pickAddrs(n, basePort int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	if basePort > 0 {
+		for i := 0; i < n; i++ {
+			addrs = append(addrs, fmt.Sprintf("127.0.0.1:%d", basePort+i))
+		}
+		return addrs, nil
+	}
+	var lis []net.Listener
+	defer func() {
+		for _, l := range lis {
+			l.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lis = append(lis, l)
+		addrs = append(addrs, l.Addr().String())
+	}
+	return addrs, nil
+}
+
+// resolveWorker finds (or builds) the poseidon-worker binary. The
+// result is always a real binary the launcher can SIGKILL directly —
+// a `go run` wrapper would leave the actual worker alive as an orphan
+// when the kill-on-failure path fires. cleanup removes any temp build.
+func resolveWorker(explicit string) (name string, cleanup func(), err error) {
+	none := func() {}
+	if explicit != "" {
+		return explicit, none, nil
+	}
+	if exe, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(exe), "poseidon-worker")
+		if st, err := os.Stat(sibling); err == nil && !st.IsDir() {
+			return sibling, none, nil
+		}
+	}
+	if p, err := exec.LookPath("poseidon-worker"); err == nil {
+		return p, none, nil
+	}
+	// Source checkout: build a throwaway worker binary.
+	dir, err := os.MkdirTemp("", "poseidon-cluster")
+	if err != nil {
+		return "", none, err
+	}
+	bin := filepath.Join(dir, "poseidon-worker")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/poseidon-worker")
+	if out, err := build.CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		return "", none, fmt.Errorf("go build ./cmd/poseidon-worker: %v\n%s", err, out)
+	}
+	return bin, func() { os.RemoveAll(dir) }, nil
+}
+
+func prefixLines(wg *sync.WaitGroup, dst io.Writer, src io.Reader, id int) {
+	defer wg.Done()
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		fmt.Fprintf(dst, "[w%d] %s\n", id, sc.Text())
+	}
+}
+
+func killAll(procs []*exec.Cmd) {
+	for _, cmd := range procs {
+		if cmd != nil && cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+}

@@ -3,21 +3,27 @@
 // CNN data-parallel with the paper's protocol (sharded BSP KV store +
 // sufficient-factor broadcasting), and prints its loss curve.
 //
-// Launch P processes with the same -peers list and -id 0..P-1, e.g.:
+// Launch P processes with the same -peers list and -id 0..P-1 (or let
+// poseidon-cluster do it for you), e.g.:
 //
 //	poseidon-worker -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001 &
 //	poseidon-worker -id 1 -peers 127.0.0.1:7000,127.0.0.1:7001
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/data"
 	"repro/internal/nn/autodiff"
+	"repro/internal/tensor"
 	"repro/internal/train"
 	"repro/internal/transport"
 )
@@ -32,6 +38,9 @@ func main() {
 	seed := flag.Int64("seed", 42, "shared model/data seed")
 	overlap := flag.Bool("overlap", false, "stream pushes through the comm send pool (WFBP)")
 	chunk := flag.Int("chunk", 0, "max float32s per KV chunk (0 = whole tensors)")
+	printEvery := flag.Int("print-every", 10, "print a progress line every this many iterations (streamed during training)")
+	dumpLosses := flag.Bool("dump-losses", false, "after training, print one machine-readable 'LOSS <iter> <loss>' line per iteration")
+	maxFrame := flag.Int("max-frame", 0, "cap on a single frame body in bytes (0 = transport default)")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -47,7 +56,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	mesh, err := transport.NewTCPMesh(*id, addrs)
+	mesh, err := transport.NewTCPMeshOpts(*id, addrs, transport.TCPOptions{
+		MaxFrameBytes: *maxFrame,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mesh: %v\n", err)
 		os.Exit(1)
@@ -65,20 +76,46 @@ func main() {
 			return net
 		},
 		TrainSet: trainSet, TestSet: testSet, EvalEvery: 10,
+		Progress: func(p train.Point) {
+			if *printEvery > 0 && (p.Iter+1)%*printEvery == 0 {
+				line := fmt.Sprintf("worker %d iter %3d loss %.4f", *id, p.Iter+1, p.TrainLoss)
+				if p.TestErr >= 0 {
+					line += fmt.Sprintf("  test-err %.3f", p.TestErr)
+				}
+				fmt.Println(line)
+			}
+		},
 	}
 	res, err := train.RunWorker(cfg, mesh)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "worker %d: %v\n", *id, err)
+		// Leave without the goodbye a graceful Close would send:
+		// survivors must see the link die, not a clean departure they
+		// could mistake for normal shutdown.
 		os.Exit(1)
 	}
-	for _, p := range res.Curve {
-		if (p.Iter+1)%10 == 0 {
-			line := fmt.Sprintf("worker %d iter %3d loss %.4f", *id, p.Iter+1, p.TrainLoss)
-			if p.TestErr >= 0 {
-				line += fmt.Sprintf("  test-err %.3f", p.TestErr)
-			}
-			fmt.Println(line)
+	if *dumpLosses {
+		for _, p := range res.Curve {
+			fmt.Printf("LOSS %d %s\n", p.Iter, strconv.FormatFloat(p.TrainLoss, 'g', -1, 64))
 		}
+		// A digest of the final replica: every worker of a BSP run must
+		// print the same value, which is how the e2e suite asserts
+		// cross-replica parameter equality across real processes.
+		fmt.Printf("PARAMS %016x\n", paramDigest(res.Final.Params()))
 	}
 	fmt.Printf("worker %d done (%v mode, %d workers)\n", *id, m, len(addrs))
+}
+
+// paramDigest is FNV-1a over the bit patterns of every parameter value,
+// in order — byte-equality of replicas, compressed to 64 bits.
+func paramDigest(params []*tensor.Matrix) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, p := range params {
+		for _, v := range p.Data {
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+			h.Write(b[:])
+		}
+	}
+	return h.Sum64()
 }

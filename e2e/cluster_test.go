@@ -1,0 +1,315 @@
+// Package e2e proves the TCP transport end to end with real processes:
+// it builds poseidon-worker and poseidon-cluster, runs an N-process
+// training cluster over loopback TCP, checks the losses against an
+// in-process ChanMesh run of the identical configuration, and verifies
+// that killing a worker mid-run surfaces an error on every survivor
+// within a deadline instead of hanging the cluster.
+package e2e
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/nn/autodiff"
+	"repro/internal/train"
+	"repro/internal/transport"
+)
+
+// raceEnabled is flipped by race_test.go so the child binaries are
+// race-instrumented exactly when the test harness is.
+var raceEnabled bool
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if binDir != "" {
+		os.RemoveAll(binDir)
+	}
+	os.Exit(code)
+}
+
+func moduleRoot() string {
+	_, file, _, _ := runtime.Caller(0)
+	return filepath.Dir(filepath.Dir(file))
+}
+
+// buildBinaries compiles poseidon-worker and poseidon-cluster once per
+// test run and returns the directory holding them.
+func buildBinaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "poseidon-e2e-bin")
+		if buildErr != nil {
+			return
+		}
+		args := []string{"build"}
+		if raceEnabled {
+			args = append(args, "-race")
+		}
+		args = append(args, "-o", binDir, "./cmd/poseidon-worker", "./cmd/poseidon-cluster")
+		cmd := exec.Command("go", args...)
+		cmd.Dir = moduleRoot()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binDir
+}
+
+// workerRunConfig mirrors the fixed dataset/model setup hard-wired into
+// cmd/poseidon-worker's main — keep the two in sync, the golden-parity
+// test depends on it.
+func workerRunConfig(workers, iters int, seed int64, mode train.SyncMode) train.Config {
+	full := data.Synthetic(seed, 1280, 10, 3, 8, 8, 0.35)
+	trainSet, testSet := full.Split(1024)
+	return train.Config{
+		Workers: workers, Iters: iters, Batch: 8, LR: 0.1,
+		Mode: mode, Seed: seed,
+		BuildNet: func(rng *rand.Rand) *autodiff.Network {
+			net, _, _, _ := autodiff.CIFARQuickNet(4, 10, rng)
+			return net
+		},
+		TrainSet: trainSet, TestSet: testSet, EvalEvery: 10,
+	}
+}
+
+// parseLosses extracts worker `id`'s per-iteration losses from
+// poseidon-cluster output ("[w0] LOSS <iter> <loss>" lines).
+func parseLosses(t *testing.T, out string, id, iters int) []float64 {
+	t.Helper()
+	prefix := fmt.Sprintf("[w%d] LOSS ", id)
+	losses := make([]float64, iters)
+	seen := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(line, prefix))
+		if len(fields) != 2 {
+			t.Fatalf("malformed loss line %q", line)
+		}
+		iter, err1 := strconv.Atoi(fields[0])
+		loss, err2 := strconv.ParseFloat(fields[1], 64)
+		if err1 != nil || err2 != nil || iter < 0 || iter >= iters {
+			t.Fatalf("malformed loss line %q", line)
+		}
+		losses[iter] = loss
+		seen++
+	}
+	if seen != iters {
+		t.Fatalf("worker %d reported %d losses, want %d\ncluster output:\n%s", id, seen, iters, out)
+	}
+	return losses
+}
+
+// TestTCPClusterMatchesChanMesh trains 3 real OS processes over
+// loopback TCP and demands the exact training trajectory of the same
+// configuration over the in-process channel mesh: the transport may
+// change, the math may not.
+func TestTCPClusterMatchesChanMesh(t *testing.T) {
+	bin := buildBinaries(t)
+	const workers, iters = 3, 12
+	const seed = 42
+
+	cluster := exec.Command(filepath.Join(bin, "poseidon-cluster"),
+		"-worker", filepath.Join(bin, "poseidon-worker"),
+		"-n", fmt.Sprint(workers), "-iters", fmt.Sprint(iters),
+		"-batch", "8", "-lr", "0.1", "-mode", "ps", "-seed", fmt.Sprint(seed),
+		"-dump-losses", "-print-every", "0", "-timeout", "3m")
+	out, err := cluster.CombinedOutput()
+	if err != nil {
+		t.Fatalf("cluster run: %v\n%s", err, out)
+	}
+
+	// Reference: the identical configuration over the in-process
+	// channel mesh, keeping every worker's curve (each worker computes
+	// loss on its own data shard).
+	cfg := workerRunConfig(workers, iters, seed, train.PSOnly)
+	meshes := transport.NewChanCluster(workers)
+	refs := make([]*train.Result, workers)
+	refErrs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			refs[w], refErrs[w] = train.RunWorker(cfg, meshes[w])
+		}()
+	}
+	wg.Wait()
+	meshes[0].Close()
+	for w, err := range refErrs {
+		if err != nil {
+			t.Fatalf("ChanMesh reference worker %d: %v", w, err)
+		}
+	}
+	for id := 0; id < workers; id++ {
+		losses := parseLosses(t, string(out), id, iters)
+		for i, p := range refs[id].Curve {
+			if d := math.Abs(losses[i] - p.TrainLoss); d > 1e-6 {
+				t.Fatalf("worker %d iter %d: TCP loss %.12g vs ChanMesh %.12g (|d|=%g > 1e-6)",
+					id, i, losses[i], p.TrainLoss, d)
+			}
+		}
+	}
+
+	// BSP invariant across real processes: every worker printed the
+	// same digest of its final replica (byte-identical parameters).
+	digests := regexp.MustCompile(`\[w\d+\] PARAMS ([0-9a-f]{16})`).FindAllStringSubmatch(string(out), -1)
+	if len(digests) != workers {
+		t.Fatalf("found %d PARAMS digests, want %d\n%s", len(digests), workers, out)
+	}
+	for _, d := range digests[1:] {
+		if d[1] != digests[0][1] {
+			t.Fatalf("replicas diverged over TCP: digests %v", digests)
+		}
+	}
+}
+
+// lineBuffer accumulates a child's combined output and answers
+// substring queries while the process is still running.
+type lineBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *lineBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lineBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func (b *lineBuffer) contains(sub string) bool { return strings.Contains(b.String(), sub) }
+
+// TestKilledWorkerAbortsSurvivors starts a 3-process cluster on a run
+// far too long to finish, SIGKILLs one worker once all three are
+// demonstrably training, and requires every survivor to exit non-zero
+// with the dead peer named — within 10 seconds, not hanging on pushes
+// that will never arrive.
+func TestKilledWorkerAbortsSurvivors(t *testing.T) {
+	bin := buildBinaries(t)
+	const workers = 3
+	const victim = 2
+	addrs := freeAddrs(t, workers)
+	peers := strings.Join(addrs, ",")
+
+	cmds := make([]*exec.Cmd, workers)
+	outs := make([]*lineBuffer, workers)
+	for i := 0; i < workers; i++ {
+		outs[i] = &lineBuffer{}
+		cmds[i] = exec.Command(filepath.Join(bin, "poseidon-worker"),
+			"-id", fmt.Sprint(i), "-peers", peers,
+			"-iters", "1000000", "-batch", "2", "-mode", "ps", "-seed", "7",
+			"-print-every", "1")
+		cmds[i].Stdout = outs[i]
+		cmds[i].Stderr = outs[i]
+		if err := cmds[i].Start(); err != nil {
+			t.Fatalf("start worker %d: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, cmd := range cmds {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+		}
+	})
+
+	// All three must be past mesh formation and into the training loop
+	// before the kill, or we would only test setup failure.
+	waitDeadline := time.Now().Add(60 * time.Second)
+	for i := 0; i < workers; i++ {
+		for !outs[i].contains("iter") {
+			if time.Now().After(waitDeadline) {
+				t.Fatalf("worker %d produced no training progress\n%s", i, outs[i].String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	if err := cmds[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	killedAt := time.Now()
+
+	type exit struct {
+		id   int
+		err  error
+		took time.Duration
+	}
+	exits := make(chan exit, workers)
+	for i := 0; i < workers; i++ {
+		if i == victim {
+			continue
+		}
+		go func(i int) {
+			err := cmds[i].Wait()
+			exits <- exit{i, err, time.Since(killedAt)}
+		}(i)
+	}
+	for survivors := workers - 1; survivors > 0; survivors-- {
+		select {
+		case e := <-exits:
+			if e.err == nil {
+				t.Fatalf("worker %d exited cleanly after peer %d was SIGKILLed\n%s", e.id, victim, outs[e.id].String())
+			}
+			// The survivor must name a failed peer. Usually that is the
+			// victim ("peer 2 down"), but a survivor that aborts first
+			// exits without goodbye too, so a slower survivor may
+			// correctly report that cascade instead — either as its own
+			// link failure or as the comm-level abort control frame
+			// ("peer 0 aborted").
+			if !regexp.MustCompile(`peer \d+ (down|aborted)`).MatchString(outs[e.id].String()) {
+				t.Fatalf("worker %d died without naming a dead peer:\n%s", e.id, outs[e.id].String())
+			}
+			t.Logf("worker %d aborted %.2fs after the kill", e.id, e.took.Seconds())
+		case <-time.After(10 * time.Second):
+			t.Fatalf("a survivor was still running 10s after worker %d was killed — dead link not surfaced", victim)
+		}
+	}
+	cmds[victim].Wait() // reap the victim
+}
+
+// freeAddrs reserves n loopback addresses by binding and releasing
+// ephemeral ports.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	var addrs []string
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, l.Addr().String())
+		l.Close()
+	}
+	return addrs
+}

@@ -1,92 +1,89 @@
-// tcp_cluster runs a real distributed training cluster over TCP: it
-// forks N worker goroutines that each join a loopback TCP mesh (real
-// sockets, real length-prefixed frames, real tensors) and train a CNN
-// with the paper's full protocol — sharded BSP KV store for conv
-// layers, sufficient-factor broadcasting for FC layers. At the end it
-// verifies every replica holds byte-identical parameters (the BSP
-// guarantee).
+// tcp_cluster demonstrates the production TCP transport end to end: it
+// drives cmd/poseidon-cluster, which forks three separate poseidon-worker
+// OS processes (real sockets, versioned handshakes, length-prefixed
+// frames, graceful goodbye on close) wired into one loopback mesh and
+// training a CNN with the paper's full protocol — sharded BSP KV store
+// for conv layers, sufficient-factor broadcasting for FC layers.
 //
 //	go run ./examples/tcp_cluster
+//
+// See README.md in this directory for the manual walkthrough (running
+// workers by hand, the wire format, and the kill-a-worker failure demo).
 package main
 
 import (
 	"fmt"
-	"math"
-	"math/rand"
-	"sync"
-
-	"repro/internal/data"
-	"repro/internal/nn/autodiff"
-	"repro/internal/train"
-	"repro/internal/transport"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
 )
 
 func main() {
-	const workers = 3
-	addrs := []string{"127.0.0.1:39801", "127.0.0.1:39802", "127.0.0.1:39803"}
-
-	full := data.Synthetic(99, 640, 10, 3, 8, 8, 0.35)
-	trainSet, testSet := full.Split(512)
-	cfg := train.Config{
-		Workers: workers, Iters: 30, Batch: 8, LR: 0.1,
-		Mode: train.Hybrid, Seed: 5,
-		BuildNet: func(rng *rand.Rand) *autodiff.Network {
-			net, _, _, _ := autodiff.CIFARQuickNet(4, 10, rng)
-			return net
-		},
-		TrainSet: trainSet, TestSet: testSet, EvalEvery: 10,
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcp_cluster: %v\n", err)
+		os.Exit(1)
 	}
-
-	results := make([]*train.Result, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			mesh, err := transport.NewTCPMesh(w, addrs)
-			if err != nil {
-				panic(fmt.Sprintf("worker %d mesh: %v", w, err))
-			}
-			defer mesh.Close()
-			res, err := train.RunWorker(cfg, mesh)
-			if err != nil {
-				panic(fmt.Sprintf("worker %d: %v", w, err))
-			}
-			results[w] = res
-		}()
+	cmd := exec.Command("go", "run", "./cmd/poseidon-cluster",
+		"-n", "3", "-iters", "30", "-mode", "hybrid", "-seed", "5",
+		"-print-every", "10", "-dump-losses", "-timeout", "5m")
+	cmd.Dir = root
+	out := &teeBuffer{dst: os.Stdout}
+	cmd.Stdout = out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "tcp_cluster: %v\n", err)
+		os.Exit(1)
 	}
-	wg.Wait()
-
-	fmt.Printf("trained %d workers over real TCP (%v)\n\n", workers, addrs)
-	for _, p := range results[0].Curve {
-		if (p.Iter+1)%10 == 0 {
-			fmt.Printf("iter %2d  loss %.4f", p.Iter+1, p.TrainLoss)
-			if p.TestErr >= 0 {
-				fmt.Printf("  test error %.3f", p.TestErr)
-			}
-			fmt.Println()
+	// BSP invariant: every worker printed the same digest of its final
+	// replica (the PARAMS lines), so the processes hold byte-identical
+	// parameters after the last synchronized round.
+	digests := regexp.MustCompile(`\[w\d+\] PARAMS ([0-9a-f]{16})`).FindAllStringSubmatch(out.String(), -1)
+	if len(digests) != 3 {
+		fmt.Fprintf(os.Stderr, "tcp_cluster: expected 3 PARAMS digests, found %d\n", len(digests))
+		os.Exit(1)
+	}
+	for _, d := range digests[1:] {
+		if d[1] != digests[0][1] {
+			fmt.Fprintln(os.Stderr, "tcp_cluster: REPLICAS DIVERGED — protocol bug!")
+			os.Exit(1)
 		}
 	}
+	fmt.Printf("\n3 OS processes trained over real TCP; all replicas agree (param digest %s — BSP held).\n",
+		digests[0][1])
+}
 
-	// BSP invariant: all replicas identical after the final barrier.
-	worst := 0.0
-	p0 := results[0].Final.Params()
-	for w := 1; w < workers; w++ {
-		pw := results[w].Final.Params()
-		for i := range p0 {
-			for j := range p0[i].Data {
-				d := math.Abs(float64(p0[i].Data[j] - pw[i].Data[j]))
-				if d > worst {
-					worst = d
-				}
-			}
-		}
+// teeBuffer mirrors the child's output to the terminal while keeping a
+// copy for the replica-digest check.
+type teeBuffer struct {
+	dst *os.File
+	buf strings.Builder
+}
+
+func (t *teeBuffer) Write(p []byte) (int, error) {
+	t.buf.Write(p)
+	return t.dst.Write(p)
+}
+
+func (t *teeBuffer) String() string { return t.buf.String() }
+
+// moduleRoot walks up from the working directory to the go.mod, so the
+// example runs from anywhere inside the repo.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
 	}
-	fmt.Printf("\nmax cross-replica parameter divergence: %g ", worst)
-	if worst < 1e-6 {
-		fmt.Println("(replicas agree: BSP held over TCP)")
-	} else {
-		fmt.Println("(REPLICAS DIVERGED — protocol bug!)")
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory; run from inside the repo")
+		}
+		dir = parent
 	}
 }

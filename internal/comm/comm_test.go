@@ -369,3 +369,68 @@ func TestRouteString(t *testing.T) {
 		t.Fatal("unknown route must render")
 	}
 }
+
+// failingMesh delegates to an inner endpoint until trip fires, after
+// which Recv returns the injected transport failure — the shape of a
+// TCPMesh whose link to a peer died.
+type failingMesh struct {
+	transport.Mesh
+	trip chan struct{}
+	err  error
+}
+
+func (m *failingMesh) Recv() (transport.Message, error) {
+	done := make(chan struct{})
+	var msg transport.Message
+	var err error
+	go func() {
+		msg, err = m.Mesh.Recv()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return msg, err
+	case <-m.trip:
+		return transport.Message{}, m.err
+	}
+}
+
+// A transport-level peer failure surfacing from Recv must abort the
+// router — poisoned clock, error from Err — without waiting for any
+// control frame from the (crashed) peer.
+func TestRouterAbortsOnTransportPeerDown(t *testing.T) {
+	meshes := transport.NewChanCluster(2)
+	t.Cleanup(func() { meshes[0].Close() })
+	down := &transport.ErrPeerDown{Peer: 1, Cause: fmt.Errorf("connection reset")}
+	fm := &failingMesh{Mesh: meshes[0], trip: make(chan struct{}), err: down}
+	r, err := NewRouter(Config{
+		Mesh:   fm,
+		Plans:  []ParamPlan{{Index: 0, Rows: 2, Cols: 2, Route: RoutePS}},
+		Params: []*tensor.Matrix{tensor.NewMatrix(2, 2)},
+		Scale:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	defer r.Stop()
+
+	close(fm.trip)
+	for i := 0; i < 200 && r.Err() == nil; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	var pd *transport.ErrPeerDown
+	if err := r.Err(); !errors.As(err, &pd) || pd.Peer != 1 {
+		t.Fatalf("Err = %v, want the injected *transport.ErrPeerDown for peer 1", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		r.WaitFor(5) // unsatisfiable: nobody is pushing
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitFor still blocked after transport peer-down")
+	}
+}

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -178,7 +179,16 @@ func (r *Router) receiveLoop() {
 	for {
 		msg, err := r.mesh.Recv()
 		if err != nil {
-			return // mesh closed
+			if !errors.Is(err, transport.ErrClosed) {
+				// A transport-level failure (dead peer, corrupt frame
+				// stream): abort the clock so compute loops blocked in
+				// WaitFor observe the error promptly. Every healthy
+				// node holds its own link to the dead peer and detects
+				// this independently — no broadcast needed, and none
+				// would reach a crashed peer anyway.
+				r.failWith(err, false)
+			}
+			return
 		}
 		if msg.Type == transport.MsgControl {
 			// A peer aborted; don't re-broadcast (the originator already

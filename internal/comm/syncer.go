@@ -111,7 +111,7 @@ func (s *psSyncer) Handle(msg transport.Message) error {
 		if err != nil {
 			return err
 		}
-		return s.serverPush(c, int(msg.Iter), vals)
+		return s.serverPush(c, int(msg.Iter), int(msg.From), vals)
 	case transport.MsgBcast:
 		vals, _, err := tensor.DecodeFloat32s(msg.Payload)
 		if err != nil {
@@ -140,10 +140,11 @@ func (s *psSyncer) Handle(msg transport.Message) error {
 
 // serverPush feeds one chunk update into the local shard; on round
 // completion the fresh chunk is encoded once and broadcast to every
-// node (including self, via loopback).
-func (s *psSyncer) serverPush(c, iter int, vals []float32) error {
+// node (including self, via loopback). The pushing worker's id rides
+// along so the shard can fold contributions in a deterministic order.
+func (s *psSyncer) serverPush(c, iter, from int, vals []float32) error {
 	spec := s.chunks[c]
-	fresh, ready, err := s.r.shard.PushRoundInto(spec.key, iter, vals, s.fresh[:0])
+	fresh, ready, err := s.r.shard.PushRoundInto(spec.key, iter, from, vals, s.fresh[:0])
 	s.fresh = fresh
 	if err != nil || !ready {
 		return err
@@ -209,8 +210,7 @@ func (s *sfbSyncer) Launch(iter int, _ *tensor.Matrix) error {
 			return s.r.mesh.Send(p, msg)
 		})
 	}
-	s.offer(int64(iter), sf)
-	return nil
+	return s.offer(int64(iter), s.r.id, sf)
 }
 
 // Handle decodes a peer's factor and offers it to the aggregator.
@@ -222,21 +222,22 @@ func (s *sfbSyncer) Handle(msg transport.Message) error {
 	if err != nil {
 		return err
 	}
-	s.offer(int64(msg.Iter), sf)
-	return nil
+	return s.offer(int64(msg.Iter), int(msg.From), sf)
 }
 
-// offer adds a factor; on completion the summed gradient lands in the
+// offer adds a worker's factor; on completion the summed gradient
+// (reconstructed in worker-id order, deterministically) lands in the
 // staged replica and the clock advances.
-func (s *sfbSyncer) offer(iter int64, sf *tensor.SufficientFactor) {
-	grad, done := s.agg.Offer(iter, sf)
-	if !done {
-		return
+func (s *sfbSyncer) offer(iter int64, from int, sf *tensor.SufficientFactor) error {
+	grad, done, err := s.agg.Offer(iter, from, sf)
+	if err != nil || !done {
+		return err
 	}
 	s.r.stageMu.Lock()
 	s.r.staged[s.plan.Index].Add(grad)
 	s.r.stageMu.Unlock()
 	s.r.clock.Advance(s.plan.Index, int(iter))
+	return nil
 }
 
 // ---- 1-bit syncer -----------------------------------------------------------
@@ -300,7 +301,7 @@ func (s *oneBitSyncer) Handle(msg transport.Message) error {
 		if err != nil {
 			return err
 		}
-		return s.serverPush(int(msg.Iter), q.Dequantize().Data)
+		return s.serverPush(int(msg.Iter), int(msg.From), q.Dequantize().Data)
 	case transport.MsgQuantBcast:
 		q, _, err := tensor.DecodeQuantized(msg.Payload)
 		if err != nil {
@@ -316,8 +317,8 @@ func (s *oneBitSyncer) Handle(msg transport.Message) error {
 	}
 }
 
-func (s *oneBitSyncer) serverPush(iter int, vals []float32) error {
-	fresh, ready, err := s.r.shard.PushRoundInto(s.key, iter, vals, s.fresh[:0])
+func (s *oneBitSyncer) serverPush(iter, from int, vals []float32) error {
+	fresh, ready, err := s.r.shard.PushRoundInto(s.key, iter, from, vals, s.fresh[:0])
 	s.fresh = fresh
 	if err != nil || !ready {
 		return err

@@ -22,10 +22,15 @@ type Shard struct {
 	acc     map[string][]float32
 	counts  map[string]int
 	version map[string]int
-	// Per-round accumulation for bounded-staleness execution, where
-	// pushes from adjacent iterations may interleave on a key.
-	roundAcc   map[string]map[int][]float32
-	roundCount map[string]map[int]int
+	// Per-round, per-worker contributions for bounded-staleness
+	// execution, where pushes from adjacent iterations may interleave
+	// on a key. Contributions are buffered by worker id and folded in
+	// id order once complete, so the float32 arithmetic is
+	// bit-deterministic no matter what order the network delivered the
+	// pushes in — the property the cross-transport parity tests pin.
+	roundContrib map[string]map[int][][]float32
+	roundCount   map[string]map[int]int
+	foldScratch  []float32 // reused accumulator for round completion
 }
 
 // NewShard creates a shard expecting pushes from the given number of
@@ -35,13 +40,13 @@ func NewShard(workers int) *Shard {
 		panic("kvstore: need at least one worker")
 	}
 	return &Shard{
-		workers:    workers,
-		params:     make(map[string][]float32),
-		acc:        make(map[string][]float32),
-		counts:     make(map[string]int),
-		version:    make(map[string]int),
-		roundAcc:   make(map[string]map[int][]float32),
-		roundCount: make(map[string]map[int]int),
+		workers:      workers,
+		params:       make(map[string][]float32),
+		acc:          make(map[string][]float32),
+		counts:       make(map[string]int),
+		version:      make(map[string]int),
+		roundContrib: make(map[string]map[int][][]float32),
+		roundCount:   make(map[string]map[int]int),
 	}
 }
 
@@ -91,13 +96,13 @@ func (s *Shard) Push(key string, update []float32) (fresh []float32, ready bool,
 	return out, true, nil
 }
 
-// PushRound is Push with an explicit iteration tag, for bounded
-// staleness (SSP) execution: updates from different iterations may
-// interleave on a key, and each round folds into the parameters when
-// its own count completes. Per-worker push order guarantees round r
-// completes before round r+1.
-func (s *Shard) PushRound(key string, round int, update []float32) (fresh []float32, ready bool, err error) {
-	return s.PushRoundInto(key, round, update, nil)
+// PushRound is Push with an explicit iteration tag and pushing worker,
+// for bounded staleness (SSP) execution: updates from different
+// iterations may interleave on a key, and each round folds into the
+// parameters when its own count completes. Per-worker push order
+// guarantees round r completes before round r+1.
+func (s *Shard) PushRound(key string, round, worker int, update []float32) (fresh []float32, ready bool, err error) {
+	return s.PushRoundInto(key, round, worker, update, nil)
 }
 
 // PushRoundInto is PushRound appending the fresh values into dst
@@ -105,7 +110,16 @@ func (s *Shard) PushRound(key string, round int, update []float32) (fresh []floa
 // where a round completes on some chunk nearly every inbound message
 // and the caller re-encodes (and is then done with) the result
 // immediately.
-func (s *Shard) PushRoundInto(key string, round int, update, dst []float32) (fresh []float32, ready bool, err error) {
+//
+// Contributions are buffered per worker and folded in worker-id order
+// when the round completes, so the result is bit-identical whatever
+// order the transport delivered the pushes in. A worker pushing the
+// same (key, round) twice is a protocol violation and errors.
+//
+// The shard takes ownership of update (retaining it until the round
+// completes); callers must hand over a slice they will not reuse —
+// every decode path allocates one per message anyway.
+func (s *Shard) PushRoundInto(key string, round, worker int, update, dst []float32) (fresh []float32, ready bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.params[key]
@@ -115,28 +129,42 @@ func (s *Shard) PushRoundInto(key string, round int, update, dst []float32) (fre
 	if len(update) != len(p) {
 		return nil, false, fmt.Errorf("kvstore: key %q: update len %d != %d", key, len(update), len(p))
 	}
-	if s.roundAcc[key] == nil {
-		s.roundAcc[key] = make(map[int][]float32)
+	if worker < 0 || worker >= s.workers {
+		return nil, false, fmt.Errorf("kvstore: key %q: push from worker %d of %d", key, worker, s.workers)
+	}
+	if s.roundContrib[key] == nil {
+		s.roundContrib[key] = make(map[int][][]float32)
 		s.roundCount[key] = make(map[int]int)
 	}
-	acc := s.roundAcc[key][round]
-	if acc == nil {
-		acc = make([]float32, len(p))
-		s.roundAcc[key][round] = acc
+	contrib := s.roundContrib[key][round]
+	if contrib == nil {
+		contrib = make([][]float32, s.workers)
+		s.roundContrib[key][round] = contrib
 	}
-	for i, v := range update {
-		acc[i] += v
+	if contrib[worker] != nil {
+		return nil, false, fmt.Errorf("kvstore: key %q: worker %d pushed twice in round %d", key, worker, round)
 	}
+	contrib[worker] = update
 	s.roundCount[key][round]++
 	if s.roundCount[key][round] < s.workers {
 		// Hand dst back so the caller's scratch buffer survives the
 		// not-ready pushes between round completions.
 		return dst, false, nil
 	}
+	if cap(s.foldScratch) < len(p) {
+		s.foldScratch = make([]float32, len(p))
+	}
+	acc := s.foldScratch[:len(p)]
+	clear(acc)
+	for _, u := range contrib { // worker-id order: deterministic fold
+		for i, v := range u {
+			acc[i] += v
+		}
+	}
 	for i := range p {
 		p[i] += acc[i]
 	}
-	delete(s.roundAcc[key], round)
+	delete(s.roundContrib[key], round)
 	delete(s.roundCount[key], round)
 	s.version[key]++
 	return append(dst, p...), true, nil
@@ -190,13 +218,15 @@ func (s *Shard) Checkpoint() map[string][]float32 {
 }
 
 // Restore loads a checkpoint produced by Checkpoint, resetting all
-// pending accumulation.
+// pending accumulation (counted and per-round alike).
 func (s *Shard) Restore(ck map[string][]float32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.params = make(map[string][]float32, len(ck))
 	s.acc = make(map[string][]float32, len(ck))
 	s.counts = make(map[string]int)
+	s.roundContrib = make(map[string]map[int][][]float32)
+	s.roundCount = make(map[string]map[int]int)
 	for k, p := range ck {
 		cp := make([]float32, len(p))
 		copy(cp, p)

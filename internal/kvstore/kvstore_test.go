@@ -180,18 +180,18 @@ func TestNewShardPanics(t *testing.T) {
 func TestPushRoundInterleaving(t *testing.T) {
 	s := NewShard(2)
 	s.Init("k", []float32{0})
-	// Worker A pushes rounds 0 and 1 before worker B pushes round 0.
-	if _, ready, _ := s.PushRound("k", 0, []float32{1}); ready {
+	// Worker 0 pushes rounds 0 and 1 before worker 1 pushes round 0.
+	if _, ready, _ := s.PushRound("k", 0, 0, []float32{1}); ready {
 		t.Fatal("round 0 complete too early")
 	}
-	if _, ready, _ := s.PushRound("k", 1, []float32{10}); ready {
+	if _, ready, _ := s.PushRound("k", 1, 0, []float32{10}); ready {
 		t.Fatal("round 1 complete too early")
 	}
-	fresh, ready, err := s.PushRound("k", 0, []float32{2})
+	fresh, ready, err := s.PushRound("k", 0, 1, []float32{2})
 	if err != nil || !ready || fresh[0] != 3 {
 		t.Fatalf("round 0: fresh=%v ready=%v err=%v", fresh, ready, err)
 	}
-	fresh, ready, _ = s.PushRound("k", 1, []float32{20})
+	fresh, ready, _ = s.PushRound("k", 1, 1, []float32{20})
 	if !ready || fresh[0] != 33 {
 		t.Fatalf("round 1: fresh=%v ready=%v", fresh, ready)
 	}
@@ -202,12 +202,57 @@ func TestPushRoundInterleaving(t *testing.T) {
 
 func TestPushRoundErrors(t *testing.T) {
 	s := NewShard(1)
-	if _, _, err := s.PushRound("missing", 0, []float32{1}); err == nil {
+	if _, _, err := s.PushRound("missing", 0, 0, []float32{1}); err == nil {
 		t.Fatal("want unknown-key error")
 	}
 	s.Init("k", []float32{1, 2})
-	if _, _, err := s.PushRound("k", 0, []float32{1}); err == nil {
+	if _, _, err := s.PushRound("k", 0, 0, []float32{1}); err == nil {
 		t.Fatal("want length error")
+	}
+	if _, _, err := s.PushRound("k", 0, 5, []float32{1, 1}); err == nil {
+		t.Fatal("want out-of-range worker error")
+	}
+	s2 := NewShard(2) // two workers, so round 0 stays open after one push
+	s2.Init("k", []float32{0})
+	if _, _, err := s2.PushRound("k", 0, 0, []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s2.PushRound("k", 0, 0, []float32{1}); err == nil {
+		t.Fatal("want double-push error (same worker, same round)")
+	}
+}
+
+// The fold must be bit-identical however the transport reordered the
+// pushes: contributions land in worker-id order, not arrival order.
+func TestPushRoundFoldIsArrivalOrderInvariant(t *testing.T) {
+	// Values chosen so float32 addition order visibly matters:
+	// (big + tiny) + -big ≠ (big + -big) + tiny in f32.
+	updates := [][]float32{{1e8}, {1}, {-1e8}}
+	orders := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}, {2, 0, 1}}
+	var want float32
+	for oi, order := range orders {
+		s := NewShard(3)
+		s.Init("k", []float32{0})
+		var fresh []float32
+		for i, w := range order {
+			var ready bool
+			var err error
+			fresh, ready, err = s.PushRound("k", 0, w, updates[w])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ready != (i == len(order)-1) {
+				t.Fatalf("order %v: ready=%v after push %d", order, ready, i)
+			}
+		}
+		if oi == 0 {
+			want = fresh[0]
+			continue
+		}
+		if fresh[0] != want {
+			t.Fatalf("arrival order %v folded to %g, order %v folded to %g",
+				orders[0], want, order, fresh[0])
+		}
 	}
 }
 
@@ -217,10 +262,10 @@ func TestPushRoundIntoReusesBuffer(t *testing.T) {
 	s := NewShard(2)
 	s.Init("k", []float32{1, 2})
 	scratch := make([]float32, 0, 2)
-	if _, ready, err := s.PushRoundInto("k", 0, []float32{1, 1}, scratch); ready || err != nil {
+	if _, ready, err := s.PushRoundInto("k", 0, 0, []float32{1, 1}, scratch); ready || err != nil {
 		t.Fatalf("first push: ready=%v err=%v", ready, err)
 	}
-	fresh, ready, err := s.PushRoundInto("k", 0, []float32{1, 1}, scratch)
+	fresh, ready, err := s.PushRoundInto("k", 0, 1, []float32{1, 1}, scratch)
 	if err != nil || !ready {
 		t.Fatalf("second push: ready=%v err=%v", ready, err)
 	}
@@ -230,7 +275,7 @@ func TestPushRoundIntoReusesBuffer(t *testing.T) {
 	if cap(scratch) >= 2 && &fresh[0] != &scratch[:1][0] {
 		t.Fatal("fresh did not reuse the caller's buffer")
 	}
-	if _, _, err := s.PushRoundInto("missing", 0, []float32{1}, nil); err == nil {
+	if _, _, err := s.PushRoundInto("missing", 0, 0, []float32{1}, nil); err == nil {
 		t.Fatal("unknown key must error")
 	}
 }

@@ -25,13 +25,21 @@ func Extract(dout, x *tensor.Matrix) *tensor.SufficientFactor {
 
 // Aggregator collects sufficient factors from peers for one layer and
 // one iteration, and reconstructs the summed dense gradient once all
-// expected contributions have arrived. It is safe for concurrent use.
+// expected contributions have arrived. Factors are held per worker and
+// reconstructed in worker-id order, so the float32 result is
+// bit-identical however the network interleaved the broadcasts. It is
+// safe for concurrent use.
 type Aggregator struct {
 	mu       sync.Mutex
 	expected int
 	rows     int
 	cols     int
-	pending  map[int64][]*tensor.SufficientFactor // iter → factors
+	pending  map[int64]*factorSet // iter → per-worker factors
+}
+
+type factorSet struct {
+	factors []*tensor.SufficientFactor // indexed by worker id
+	count   int
 }
 
 // NewAggregator creates an aggregator for an rows×cols gradient
@@ -45,32 +53,47 @@ func NewAggregator(expected, rows, cols int) *Aggregator {
 		expected: expected,
 		rows:     rows,
 		cols:     cols,
-		pending:  make(map[int64][]*tensor.SufficientFactor),
+		pending:  make(map[int64]*factorSet),
 	}
 }
 
-// Offer adds one contribution for the iteration. When the last expected
-// factor arrives it returns the reconstructed dense gradient
-// Σ_contributions Σ_k u_k v_kᵀ and true; otherwise (nil, false).
-func (a *Aggregator) Offer(iter int64, sf *tensor.SufficientFactor) (*tensor.Matrix, bool) {
+// Offer adds worker's contribution for the iteration. When the last
+// expected factor arrives it returns the reconstructed dense gradient
+// Σ_contributions Σ_k u_k v_kᵀ (folded in worker-id order, so the
+// result does not depend on arrival order) and true; otherwise
+// (nil, false). A worker offering twice for one iteration is a
+// protocol violation and errors.
+func (a *Aggregator) Offer(iter int64, worker int, sf *tensor.SufficientFactor) (*tensor.Matrix, bool, error) {
 	if sf.M() != a.rows || sf.N() != a.cols {
 		panic(fmt.Sprintf("sfb: factor shape %dx%d, want %dx%d", sf.M(), sf.N(), a.rows, a.cols))
 	}
-	a.mu.Lock()
-	a.pending[iter] = append(a.pending[iter], sf)
-	if len(a.pending[iter]) < a.expected {
-		a.mu.Unlock()
-		return nil, false
+	if worker < 0 || worker >= a.expected {
+		return nil, false, fmt.Errorf("sfb: factor from worker %d of %d", worker, a.expected)
 	}
-	factors := a.pending[iter]
+	a.mu.Lock()
+	fs := a.pending[iter]
+	if fs == nil {
+		fs = &factorSet{factors: make([]*tensor.SufficientFactor, a.expected)}
+		a.pending[iter] = fs
+	}
+	if fs.factors[worker] != nil {
+		a.mu.Unlock()
+		return nil, false, fmt.Errorf("sfb: worker %d offered twice for iter %d", worker, iter)
+	}
+	fs.factors[worker] = sf
+	fs.count++
+	if fs.count < a.expected {
+		a.mu.Unlock()
+		return nil, false, nil
+	}
 	delete(a.pending, iter)
 	a.mu.Unlock()
 
 	grad := tensor.NewMatrix(a.rows, a.cols)
-	for _, f := range factors {
+	for _, f := range fs.factors {
 		f.ReconstructInto(grad)
 	}
-	return grad, true
+	return grad, true, nil
 }
 
 // PendingIters returns how many iterations have incomplete factor sets

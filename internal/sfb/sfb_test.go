@@ -47,7 +47,10 @@ func TestAggregatorCompletesOnExpected(t *testing.T) {
 	for p := 0; p < peers; p++ {
 		sf := &tensor.SufficientFactor{U: randM(rng, 2, m), V: randM(rng, 2, n)}
 		sf.ReconstructInto(want)
-		grad, done := a.Offer(7, sf)
+		grad, done, err := a.Offer(7, p, sf)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if p < peers-1 {
 			if done {
 				t.Fatalf("completed early at peer %d", p)
@@ -70,13 +73,13 @@ func TestAggregatorCompletesOnExpected(t *testing.T) {
 func TestAggregatorSeparatesIterations(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	a := NewAggregator(2, 3, 3)
-	a.Offer(1, &tensor.SufficientFactor{U: randM(rng, 1, 3), V: randM(rng, 1, 3)})
-	a.Offer(2, &tensor.SufficientFactor{U: randM(rng, 1, 3), V: randM(rng, 1, 3)})
+	a.Offer(1, 0, &tensor.SufficientFactor{U: randM(rng, 1, 3), V: randM(rng, 1, 3)})
+	a.Offer(2, 0, &tensor.SufficientFactor{U: randM(rng, 1, 3), V: randM(rng, 1, 3)})
 	if a.PendingIters() != 2 {
 		t.Fatalf("pending = %d, want 2", a.PendingIters())
 	}
-	if _, done := a.Offer(1, &tensor.SufficientFactor{U: randM(rng, 1, 3), V: randM(rng, 1, 3)}); !done {
-		t.Fatal("iteration 1 should complete")
+	if _, done, err := a.Offer(1, 1, &tensor.SufficientFactor{U: randM(rng, 1, 3), V: randM(rng, 1, 3)}); !done || err != nil {
+		t.Fatalf("iteration 1 should complete (err %v)", err)
 	}
 	if a.PendingIters() != 1 {
 		t.Fatalf("pending = %d, want 1", a.PendingIters())
@@ -90,6 +93,7 @@ func TestAggregatorConcurrentOffers(t *testing.T) {
 	var mu sync.Mutex
 	completions := 0
 	for p := 0; p < peers; p++ {
+		p := p
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -97,19 +101,71 @@ func TestAggregatorConcurrentOffers(t *testing.T) {
 			v := tensor.NewMatrix(1, 2)
 			u.Fill(1)
 			v.Fill(1)
-			if grad, done := a.Offer(0, &tensor.SufficientFactor{U: u, V: v}); done {
+			if grad, done, err := a.Offer(0, p, &tensor.SufficientFactor{U: u, V: v}); done {
 				mu.Lock()
 				completions++
 				mu.Unlock()
 				if grad.At(0, 0) != peers {
 					t.Errorf("grad[0][0] = %v, want %d", grad.At(0, 0), peers)
 				}
+			} else if err != nil {
+				t.Error(err)
 			}
 		}()
 	}
 	wg.Wait()
 	if completions != 1 {
 		t.Fatalf("completed %d times", completions)
+	}
+}
+
+// Duplicate and out-of-range workers are protocol violations.
+func TestAggregatorRejectsBadWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewAggregator(3, 3, 3)
+	mk := func() *tensor.SufficientFactor {
+		return &tensor.SufficientFactor{U: randM(rng, 1, 3), V: randM(rng, 1, 3)}
+	}
+	if _, _, err := a.Offer(0, 3, mk()); err == nil {
+		t.Fatal("want out-of-range worker error")
+	}
+	if _, _, err := a.Offer(0, 1, mk()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Offer(0, 1, mk()); err == nil {
+		t.Fatal("want duplicate-offer error")
+	}
+}
+
+// The reconstructed gradient must be bit-identical whatever order the
+// factors arrived in: they fold in worker-id order.
+func TestAggregatorFoldIsArrivalOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const peers, m, n = 3, 4, 5
+	factors := make([]*tensor.SufficientFactor, peers)
+	for p := range factors {
+		factors[p] = &tensor.SufficientFactor{U: randM(rng, 2, m), V: randM(rng, 2, n)}
+	}
+	var want *tensor.Matrix
+	for oi, order := range [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}} {
+		a := NewAggregator(peers, m, n)
+		var grad *tensor.Matrix
+		for _, p := range order {
+			var err error
+			grad, _, err = a.Offer(0, p, factors[p])
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if oi == 0 {
+			want = grad
+			continue
+		}
+		for i, v := range grad.Data {
+			if v != want.Data[i] {
+				t.Fatalf("order %v diverged from first order at elem %d: %g vs %g", order, i, v, want.Data[i])
+			}
+		}
 	}
 }
 
@@ -120,7 +176,7 @@ func TestAggregatorShapePanic(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	a.Offer(0, tensor.NewSufficientFactor(1, 3, 3))
+	a.Offer(0, 0, tensor.NewSufficientFactor(1, 3, 3))
 }
 
 // Bank hands out one shared aggregator per parameter and rejects
@@ -140,8 +196,8 @@ func TestBank(t *testing.T) {
 	}
 	u := tensor.NewMatrix(1, 4)
 	v := tensor.NewMatrix(1, 4)
-	if _, done := a1.Offer(0, &tensor.SufficientFactor{U: u, V: v}); done {
-		t.Fatal("one of two contributions cannot complete the iteration")
+	if _, done, err := a1.Offer(0, 0, &tensor.SufficientFactor{U: u, V: v}); done || err != nil {
+		t.Fatalf("one of two contributions cannot complete the iteration (err %v)", err)
 	}
 	if b.PendingIters() != 1 {
 		t.Fatalf("PendingIters = %d, want 1", b.PendingIters())

@@ -89,13 +89,19 @@ type Config struct {
 	EvalEvery int
 	TrainSet  *data.Dataset // sharded across workers
 	TestSet   *data.Dataset // evaluated by worker 0
+
+	// Progress, when set, is called with every recorded Point as the
+	// run produces it — the streaming hook multi-process workers use to
+	// report liveness before the curve is complete. Called from the
+	// worker's compute goroutine; keep it fast.
+	Progress func(Point)
 }
 
 // Point is one recorded training measurement.
 type Point struct {
 	Iter      int
 	TrainLoss float64
-	TestErr   float64 // NaN-free: only set on eval points
+	TestErr   float64 // test error rate on eval points, -1 everywhere else
 }
 
 // Result aggregates a run's curves and final state.
@@ -119,9 +125,11 @@ func Run(cfg Config) (*Result, error) {
 
 // RunOver executes one worker per provided mesh endpoint and returns
 // endpoint 0's result — the injection point for custom transports
-// (bandwidth-modeled DelayMesh wrappers, instrumented meshes). Endpoint
-// 0 is closed when all workers finish, which for clustered transports
-// (ChanCluster) tears the whole mesh down.
+// (bandwidth-modeled DelayMesh wrappers, instrumented meshes). Every
+// endpoint is closed when all workers finish: per-endpoint transports
+// (one TCPMesh per worker) each own real sockets, and for
+// cluster-scoped transports (ChanCluster) the extra Closes are
+// idempotent no-ops.
 func RunOver(cfg Config, meshes []transport.Mesh) (*Result, error) {
 	if len(meshes) != cfg.Workers {
 		return nil, fmt.Errorf("train: %d mesh endpoints for %d workers", len(meshes), cfg.Workers)
@@ -138,7 +146,9 @@ func RunOver(cfg Config, meshes []transport.Mesh) (*Result, error) {
 		}()
 	}
 	wg.Wait()
-	meshes[0].Close()
+	for _, m := range meshes {
+		m.Close()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -215,6 +225,9 @@ func (w *worker) run() (*Result, error) {
 			p.TestErr = errRate
 		}
 		res.Curve = append(res.Curve, p)
+		if cfg.Progress != nil {
+			cfg.Progress(p)
+		}
 	}
 	// Drain: wait until the final iteration is fully synchronized
 	// everywhere, then adopt it.

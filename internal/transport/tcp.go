@@ -1,0 +1,684 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrPeerDown reports that the link to a mesh peer failed: its frame
+// stream turned invalid (bad length, truncated body, unknown type), the
+// connection died, or the peer vanished without the goodbye frame a
+// graceful Close sends. Once any link is down the whole endpoint is
+// poisoned — Recv drains already-queued traffic and then keeps
+// returning the same *ErrPeerDown — because the mesh protocol is
+// all-to-all and cannot make progress with a member missing.
+type ErrPeerDown struct {
+	Peer  int   // mesh id of the failed peer
+	Cause error // underlying read/write/decode failure
+}
+
+func (e *ErrPeerDown) Error() string {
+	return fmt.Sprintf("transport: peer %d down: %v", e.Peer, e.Cause)
+}
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As chains.
+func (e *ErrPeerDown) Unwrap() error { return e.Cause }
+
+// Handshake wire format. The dialer opens with a hello
+// (magic | version | dialer id | mesh size); the acceptor validates it
+// and answers with an ack (magic | version | acceptor id) so the dialer
+// can verify it reached the node it meant to. Every step runs under the
+// setup deadline, so a slow, silent, or wrong peer fails mesh formation
+// instead of wedging it.
+const (
+	handshakeMagic  uint32 = 0x50534D48 // "HMSP" little-endian: poseidon mesh handshake
+	protocolVersion byte   = 2
+
+	helloLen = 13 // magic u32 | version u8 | dialer id u32 | mesh size u32
+	ackLen   = 9  // magic u32 | version u8 | acceptor id u32
+)
+
+// msgGoodbye is the transport-internal frame a closing endpoint writes
+// before half-closing each connection. It lets readers distinguish a
+// graceful departure (EOF after goodbye: not an error) from a crashed
+// peer (EOF without goodbye: ErrPeerDown). It never reaches Recv.
+const msgGoodbye MsgType = 0xFF
+
+// errStrayConn marks an inbound connection that never presented a valid
+// hello — a port scanner or misdirected client, not a mesh member. The
+// acceptor drops it and keeps listening for real peers.
+var errStrayConn = errors.New("transport: not a mesh handshake")
+
+// DefaultMaxFrameBytes caps a frame body (header + payload) unless
+// TCPOptions overrides it. It bounds the allocation a length prefix can
+// demand from a receiver: a corrupt or hostile prefix is a peer error,
+// not a multi-gigabyte make([]byte, n).
+const DefaultMaxFrameBytes = 256 << 20
+
+// TCPOptions tunes a TCPMesh. The zero value selects production
+// defaults; tests shrink the limits to exercise the failure paths.
+type TCPOptions struct {
+	// SetupTimeout bounds all of mesh formation: listening, dialing
+	// with retry, and every handshake step. Default 30s.
+	SetupTimeout time.Duration
+	// MaxFrameBytes caps the frame body size, enforced on both Send
+	// (oversized tensors are rejected locally) and receive (oversized
+	// length prefixes mark the peer down). Default DefaultMaxFrameBytes.
+	MaxFrameBytes int
+	// InboxDepth bounds the inbound network message queue; readers stop
+	// pulling frames off sockets once it fills (TCP backpressure does
+	// the rest). Loopback messages bypass this bound — a self-send must
+	// never block the goroutine that drains the inbox. Default 1024.
+	InboxDepth int
+	// DrainTimeout bounds Close's graceful drain: how long to wait for
+	// peers to finish their in-flight writes and close their ends.
+	// Default 5s.
+	DrainTimeout time.Duration
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.SetupTimeout <= 0 {
+		o.SetupTimeout = 30 * time.Second
+	}
+	if o.MaxFrameBytes <= 0 {
+		o.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if o.InboxDepth <= 0 {
+		o.InboxDepth = 1024
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// TCPMesh is the multi-process transport: every node listens on its
+// address and dials every higher-numbered peer, yielding one duplex TCP
+// connection per pair. Frames are length-prefixed (u32 little-endian,
+// bounded by MaxFrameBytes). Link failures surface from Recv as
+// *ErrPeerDown rather than silently stopping message flow.
+type TCPMesh struct {
+	self  int
+	addrs []string
+	opts  TCPOptions
+	conns []net.Conn // indexed by peer id; nil at self. Immutable after setup.
+	inbox chan Message
+	lis   net.Listener
+
+	closed    chan struct{} // closed by Close; readers and senders select on it
+	closeOnce sync.Once
+
+	// Loopback messages bypass the bounded inbox entirely: the comm
+	// layer's receive goroutine broadcasts to itself (e.g. a shard
+	// sending fresh parameters to its own worker), and if that send
+	// could block on a full inbox whose only consumer is that same
+	// goroutine, a healthy mesh would deadlock. Self-addressed traffic
+	// is queued here instead — it never touches a socket, so the
+	// network backpressure the inbox provides does not apply.
+	loopMu  sync.Mutex
+	loopQ   []Message
+	loopSig chan struct{} // capacity 1: "the loop queue may be non-empty"
+
+	down     chan struct{} // closed on the first link failure
+	downOnce sync.Once
+	downErr  error // the *ErrPeerDown; written before down closes
+
+	wg     sync.WaitGroup
+	sendMu []sync.Mutex
+}
+
+// NewTCPMesh joins a mesh of len(addrs) nodes as node self with default
+// options. It blocks until connections to all peers are established and
+// verified, bounded by the setup timeout.
+func NewTCPMesh(self int, addrs []string) (*TCPMesh, error) {
+	return NewTCPMeshOpts(self, addrs, TCPOptions{})
+}
+
+// NewTCPMeshOpts is NewTCPMesh with explicit options. On any setup
+// failure every already-established connection and the listener are
+// closed before returning.
+func NewTCPMeshOpts(self int, addrs []string, opts TCPOptions) (*TCPMesh, error) {
+	if self < 0 || self >= len(addrs) {
+		return nil, fmt.Errorf("transport: self %d out of range for %d addrs", self, len(addrs))
+	}
+	opts = opts.withDefaults()
+	m := &TCPMesh{
+		self:    self,
+		addrs:   addrs,
+		opts:    opts,
+		conns:   make([]net.Conn, len(addrs)),
+		inbox:   make(chan Message, opts.InboxDepth),
+		closed:  make(chan struct{}),
+		down:    make(chan struct{}),
+		loopSig: make(chan struct{}, 1),
+		sendMu:  make([]sync.Mutex, len(addrs)),
+	}
+	lis, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[self], err)
+	}
+	m.lis = lis
+	if err := m.connectAll(time.Now().Add(opts.SetupTimeout)); err != nil {
+		lis.Close()
+		for _, c := range m.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		return nil, err
+	}
+	// The full mesh is formed; nothing dials in after setup, so the
+	// listening port can be released immediately.
+	lis.Close()
+	for i, c := range m.conns {
+		if c == nil {
+			continue
+		}
+		m.wg.Add(1)
+		go m.readLoop(i, c)
+	}
+	return m, nil
+}
+
+// connectAll establishes the connection to every peer: accepting and
+// verifying hellos from lower-numbered nodes while dialing
+// higher-numbered ones, all bounded by deadline. Registration is
+// synchronized and rejects duplicate peer ids, so a misconfigured
+// cluster (two processes with the same -id) fails loudly instead of
+// silently overwriting — and leaking — a live connection.
+func (m *TCPMesh) connectAll(deadline time.Time) error {
+	errc := make(chan error, len(m.addrs))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	register := func(peer int, conn net.Conn) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if m.conns[peer] != nil {
+			return fmt.Errorf("transport: duplicate handshake from peer %d", peer)
+		}
+		m.conns[peer] = conn
+		return nil
+	}
+
+	if m.self > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if tl, ok := m.lis.(*net.TCPListener); ok {
+				tl.SetDeadline(deadline)
+			}
+			type handshake struct {
+				peer int
+				conn net.Conn
+				err  error
+			}
+			results := make(chan handshake)
+			acceptErr := make(chan error, 1)
+			regDone := make(chan struct{})
+			defer close(regDone)
+			// Each inbound connection handshakes on its own goroutine:
+			// a client that connects and then says nothing must not
+			// starve the real peers behind it in the accept queue. Its
+			// read still times out at the setup deadline.
+			go func() {
+				for {
+					conn, err := m.lis.Accept()
+					if err != nil {
+						acceptErr <- err
+						return
+					}
+					go func() {
+						peer, err := m.acceptHandshake(conn, deadline)
+						select {
+						case results <- handshake{peer, conn, err}:
+						case <-regDone:
+							conn.Close()
+						}
+					}()
+				}
+			}()
+			for need := m.self; need > 0; {
+				select {
+				case r := <-results:
+					err := r.err
+					if err == errStrayConn {
+						r.conn.Close()
+						continue
+					}
+					if err == nil {
+						err = register(r.peer, r.conn)
+					}
+					if err != nil {
+						r.conn.Close()
+						errc <- err
+						return
+					}
+					need--
+				case err := <-acceptErr:
+					errc <- fmt.Errorf("transport: accept (still missing %d peers): %w", need, err)
+					return
+				}
+			}
+		}()
+	}
+	for i := m.self + 1; i < len(m.addrs); i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := m.dialPeer(i, deadline)
+			if err == nil {
+				if err = register(i, conn); err != nil {
+					conn.Close()
+				}
+			}
+			if err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// acceptHandshake validates a dialer's hello and acks it, all under the
+// setup deadline. Connections that never present the magic are stray
+// (errStrayConn, non-fatal); a well-formed hello with the wrong
+// version, mesh size, or id range is a real misconfiguration and fatal.
+func (m *TCPMesh) acceptHandshake(conn net.Conn, deadline time.Time) (int, error) {
+	conn.SetDeadline(deadline)
+	var hello [helloLen]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return 0, errStrayConn
+	}
+	if binary.LittleEndian.Uint32(hello[0:4]) != handshakeMagic {
+		return 0, errStrayConn
+	}
+	if v := hello[4]; v != protocolVersion {
+		return 0, fmt.Errorf("transport: peer speaks protocol v%d, this node speaks v%d", v, protocolVersion)
+	}
+	peer := int(int32(binary.LittleEndian.Uint32(hello[5:9])))
+	if n := int(binary.LittleEndian.Uint32(hello[9:13])); n != len(m.addrs) {
+		return 0, fmt.Errorf("transport: peer %d believes the mesh has %d nodes, this node says %d", peer, n, len(m.addrs))
+	}
+	if peer < 0 || peer >= m.self {
+		return 0, fmt.Errorf("transport: unexpected hello from peer %d (node %d only accepts lower-numbered dialers)", peer, m.self)
+	}
+	var ack [ackLen]byte
+	binary.LittleEndian.PutUint32(ack[0:4], handshakeMagic)
+	ack[4] = protocolVersion
+	binary.LittleEndian.PutUint32(ack[5:9], uint32(m.self))
+	if _, err := conn.Write(ack[:]); err != nil {
+		return 0, fmt.Errorf("transport: handshake ack to peer %d: %w", peer, err)
+	}
+	conn.SetDeadline(time.Time{})
+	return peer, nil
+}
+
+// dialPeer dials addrs[peer] with exponential backoff until the setup
+// deadline (the peer may simply not be listening yet), then runs the
+// hello/ack handshake on the fresh connection.
+func (m *TCPMesh) dialPeer(peer int, deadline time.Time) (net.Conn, error) {
+	backoff := 2 * time.Millisecond
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if lastErr == nil {
+				lastErr = errors.New("setup deadline exceeded")
+			}
+			return nil, fmt.Errorf("transport: dial peer %d at %s: %w", peer, m.addrs[peer], lastErr)
+		}
+		conn, err := net.DialTimeout("tcp", m.addrs[peer], remain)
+		if err == nil {
+			if err := m.dialHandshake(conn, peer, deadline); err != nil {
+				conn.Close()
+				return nil, err
+			}
+			return conn, nil
+		}
+		lastErr = err
+		sleep := backoff
+		if sleep > remain {
+			sleep = remain
+		}
+		time.Sleep(sleep)
+		if backoff < 250*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+func (m *TCPMesh) dialHandshake(conn net.Conn, peer int, deadline time.Time) error {
+	conn.SetDeadline(deadline)
+	var hello [helloLen]byte
+	binary.LittleEndian.PutUint32(hello[0:4], handshakeMagic)
+	hello[4] = protocolVersion
+	binary.LittleEndian.PutUint32(hello[5:9], uint32(m.self))
+	binary.LittleEndian.PutUint32(hello[9:13], uint32(len(m.addrs)))
+	if _, err := conn.Write(hello[:]); err != nil {
+		return fmt.Errorf("transport: handshake hello to peer %d: %w", peer, err)
+	}
+	var ack [ackLen]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		return fmt.Errorf("transport: handshake ack from peer %d: %w", peer, err)
+	}
+	if binary.LittleEndian.Uint32(ack[0:4]) != handshakeMagic {
+		return fmt.Errorf("transport: %s is not a mesh node (bad ack magic)", m.addrs[peer])
+	}
+	if v := ack[4]; v != protocolVersion {
+		return fmt.Errorf("transport: peer %d speaks protocol v%d, this node speaks v%d", peer, v, protocolVersion)
+	}
+	if got := int(int32(binary.LittleEndian.Uint32(ack[5:9]))); got != peer {
+		return fmt.Errorf("transport: dialed %s expecting peer %d but reached peer %d", m.addrs[peer], peer, got)
+	}
+	conn.SetDeadline(time.Time{})
+	return nil
+}
+
+// peerDown records the first link failure and wakes everyone selecting
+// on the down channel. Later failures keep the first error (one dead
+// peer is enough to abort; the cause of the first is the useful one).
+func (m *TCPMesh) peerDown(peer int, cause error) {
+	m.downOnce.Do(func() {
+		m.downErr = &ErrPeerDown{Peer: peer, Cause: cause}
+		close(m.down)
+	})
+}
+
+// readLoop pumps one peer's frames into the inbox. A clean goodbye ends
+// it silently; any other termination while the mesh is still open marks
+// the peer down so Recv surfaces the failure instead of the cluster
+// hanging on messages that will never arrive.
+func (m *TCPMesh) readLoop(peer int, c net.Conn) {
+	defer m.wg.Done()
+	err := m.readFrames(peer, c)
+	if err == nil {
+		return
+	}
+	select {
+	case <-m.closed:
+		// Local Close tears connections down under the reader; that is
+		// shutdown, not a peer failure.
+		return
+	default:
+	}
+	m.peerDown(peer, err)
+}
+
+// readFrames reads length-prefixed frames from c until the peer says
+// goodbye (returns nil) or the stream fails (returns the cause).
+func (m *TCPMesh) readFrames(peer int, c net.Conn) error {
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			if err == io.EOF {
+				return errors.New("connection closed without goodbye (peer crashed?)")
+			}
+			return err
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[:]))
+		if n > m.opts.MaxFrameBytes {
+			return fmt.Errorf("frame of %d bytes exceeds MaxFrameBytes %d", n, m.opts.MaxFrameBytes)
+		}
+		if n < headerLen {
+			return fmt.Errorf("frame of %d bytes is shorter than the %d-byte header", n, headerLen)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(c, body); err != nil {
+			return fmt.Errorf("truncated frame (wanted %d body bytes): %w", n, err)
+		}
+		msg, err := decode(body)
+		if err != nil {
+			return err
+		}
+		if msg.Type == msgGoodbye {
+			return nil
+		}
+		select {
+		case m.inbox <- msg:
+		case <-m.closed:
+			// Shutting down: discard, but keep reading so the peer's
+			// in-flight writes drain until its goodbye or the drain
+			// deadline Close put on the connection.
+		}
+	}
+}
+
+// Self returns this endpoint's node id.
+func (m *TCPMesh) Self() int { return m.self }
+
+// N returns the mesh size.
+func (m *TCPMesh) N() int { return len(m.addrs) }
+
+// appendLengthPrefixed appends `u32 length + frame body` for msg.
+func appendLengthPrefixed(buf []byte, msg Message) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(headerLen+len(msg.Payload)))
+	return appendFrame(buf, msg)
+}
+
+// loopback queues a self-addressed message. It never blocks — the
+// caller may be the inbox's only consumer (the comm receive loop
+// broadcasting to itself), so blocking here on any condition would
+// deadlock a healthy mesh — and never panics on a closed one.
+func (m *TCPMesh) loopback(msg Message) error {
+	select {
+	case <-m.closed:
+		return ErrClosed
+	default:
+	}
+	m.loopMu.Lock()
+	m.loopQ = append(m.loopQ, msg)
+	m.loopMu.Unlock()
+	select {
+	case m.loopSig <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// popLoop dequeues the oldest loopback message, re-arming the signal
+// if more remain (so concurrent Recv callers are not left asleep).
+func (m *TCPMesh) popLoop() (Message, bool) {
+	m.loopMu.Lock()
+	if len(m.loopQ) == 0 {
+		m.loopMu.Unlock()
+		return Message{}, false
+	}
+	msg := m.loopQ[0]
+	m.loopQ = m.loopQ[1:]
+	rearm := len(m.loopQ) > 0
+	m.loopMu.Unlock()
+	if rearm {
+		select {
+		case m.loopSig <- struct{}{}:
+		default:
+		}
+	}
+	return msg, true
+}
+
+// checkFrameSize rejects oversized payloads at the sender, so a tensor
+// that would blow the receiver's frame bound fails fast and locally.
+func (m *TCPMesh) checkFrameSize(to int, msg Message) error {
+	if len(msg.Payload) > m.opts.MaxFrameBytes-headerLen {
+		return fmt.Errorf("transport: %d-byte payload to peer %d exceeds MaxFrameBytes %d",
+			len(msg.Payload), to, m.opts.MaxFrameBytes)
+	}
+	return nil
+}
+
+// write pushes one encoded buffer down the connection to peer `to`,
+// serializing with other writers, and maps failures: ErrClosed if the
+// mesh is closing, *ErrPeerDown otherwise (a TCP write only fails when
+// the link is gone).
+func (m *TCPMesh) write(to int, frame []byte) error {
+	m.sendMu[to].Lock()
+	_, err := m.conns[to].Write(frame)
+	m.sendMu[to].Unlock()
+	if err == nil {
+		return nil
+	}
+	select {
+	case <-m.closed:
+		return ErrClosed
+	default:
+		return &ErrPeerDown{Peer: to, Cause: err}
+	}
+}
+
+// Send delivers msg to node `to` (loopback messages short-circuit the
+// network). The frame is built in a pooled buffer and written with one
+// syscall.
+func (m *TCPMesh) Send(to int, msg Message) error {
+	msg.From = int32(m.self)
+	if to == m.self {
+		return m.loopback(msg)
+	}
+	if to < 0 || to >= len(m.addrs) || m.conns[to] == nil {
+		return fmt.Errorf("transport: no connection to %d", to)
+	}
+	if err := m.checkFrameSize(to, msg); err != nil {
+		return err
+	}
+	bp := getFrameBuf(4 + headerLen + len(msg.Payload))
+	*bp = appendLengthPrefixed(*bp, msg)
+	err := m.write(to, *bp)
+	putFrameBuf(bp)
+	return err
+}
+
+// SendBatch writes all frames to node `to` as a single buffer under one
+// lock acquisition and (typically) one syscall — the fast path for
+// chunked tensor pushes, which produce many frames per destination.
+func (m *TCPMesh) SendBatch(to int, msgs []Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	if to == m.self {
+		for _, msg := range msgs {
+			msg.From = int32(m.self)
+			if err := m.loopback(msg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if to < 0 || to >= len(m.addrs) || m.conns[to] == nil {
+		return fmt.Errorf("transport: no connection to %d", to)
+	}
+	total := 0
+	for _, msg := range msgs {
+		if err := m.checkFrameSize(to, msg); err != nil {
+			return err
+		}
+		total += 4 + headerLen + len(msg.Payload)
+	}
+	bp := getFrameBuf(total)
+	for _, msg := range msgs {
+		msg.From = int32(m.self)
+		*bp = appendLengthPrefixed(*bp, msg)
+	}
+	err := m.write(to, *bp)
+	putFrameBuf(bp)
+	return err
+}
+
+// Recv blocks for the next inbound message (loopback queue first, then
+// the network inbox). Traffic already queued is delivered before any
+// failure surfaces; after that, a failed link reports *ErrPeerDown and
+// a closed mesh ErrClosed.
+func (m *TCPMesh) Recv() (Message, error) {
+	for {
+		if msg, ok := m.popLoop(); ok {
+			return msg, nil
+		}
+		select {
+		case msg := <-m.inbox:
+			return msg, nil
+		case <-m.loopSig:
+			// Re-check the loopback queue at the top of the loop.
+		case <-m.down:
+			if msg, ok := m.popLoop(); ok {
+				return msg, nil
+			}
+			select {
+			case msg := <-m.inbox:
+				return msg, nil
+			default:
+				return Message{}, m.downErr
+			}
+		case <-m.closed:
+			if msg, ok := m.popLoop(); ok {
+				return msg, nil
+			}
+			select {
+			case msg := <-m.inbox:
+				return msg, nil
+			default:
+				return Message{}, ErrClosed
+			}
+		}
+	}
+}
+
+// Close shuts the endpoint down gracefully: it announces the departure
+// with a goodbye frame and half-closes writes — synchronously, so the
+// goodbye is in the kernel's send queue before Close returns even if
+// the process exits right after — then drains readers (letting peers'
+// in-flight writes complete) and releases every connection in the
+// background, bounded by DrainTimeout. Concurrent Send/SendBatch/Recv
+// calls unblock with ErrClosed. Idempotent.
+func (m *TCPMesh) Close() error {
+	m.closeOnce.Do(func() {
+		close(m.closed)
+		m.lis.Close()
+		// A deadline in the near future bounds the whole teardown: it
+		// wakes writers currently blocked on a stalled peer (so the
+		// goodbye below can take the send lock) and stops the reader
+		// drain if a peer never closes its end.
+		deadline := time.Now().Add(m.opts.DrainTimeout)
+		for _, c := range m.conns {
+			if c != nil {
+				c.SetDeadline(deadline)
+			}
+		}
+		var bye [4 + headerLen]byte
+		binary.LittleEndian.PutUint32(bye[0:4], headerLen)
+		bye[4] = byte(msgGoodbye)
+		binary.LittleEndian.PutUint32(bye[5:9], uint32(m.self))
+		for peer, c := range m.conns {
+			if c == nil {
+				continue
+			}
+			m.sendMu[peer].Lock()
+			_, _ = c.Write(bye[:])
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			m.sendMu[peer].Unlock()
+		}
+		// Drain and release off the caller's goroutine: readers exit on
+		// each peer's goodbye/EOF or on the deadline above, so a slow
+		// peer delays reclamation, never the Close caller.
+		go func() {
+			m.wg.Wait()
+			for _, c := range m.conns {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}()
+	})
+	return nil
+}

@@ -11,8 +11,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
-	"net"
 	"sync"
 	"time"
 )
@@ -65,7 +63,9 @@ type Mesh interface {
 	// amortizing framing and lock/syscall overhead where the transport
 	// supports it. Messages arrive in order.
 	SendBatch(to int, msgs []Message) error
-	// Recv blocks for the next inbound message.
+	// Recv blocks for the next inbound message. After Close it returns
+	// ErrClosed; networked transports may instead return a link
+	// failure such as *ErrPeerDown once a peer is unreachable.
 	Recv() (Message, error)
 	// Close tears the endpoint down; pending Recv calls return ErrClosed.
 	Close() error
@@ -95,6 +95,9 @@ func encode(msg Message) []byte {
 func decode(buf []byte) (Message, error) {
 	if len(buf) < headerLen {
 		return Message{}, fmt.Errorf("transport: short frame: %d bytes", len(buf))
+	}
+	if t := MsgType(buf[0]); (t < MsgPush || t > MsgControl) && t != msgGoodbye {
+		return Message{}, fmt.Errorf("transport: unknown message type %d", t)
 	}
 	return Message{
 		Type:    MsgType(buf[0]),
@@ -206,229 +209,6 @@ func (m *ChanMesh) Recv() (Message, error) {
 // Close shuts the whole cluster down (idempotent).
 func (m *ChanMesh) Close() error {
 	m.cluster.once.Do(func() { close(m.cluster.closed) })
-	return nil
-}
-
-// ---- TCP mesh --------------------------------------------------------------
-
-// TCPMesh is a real network mesh: every node listens on its address and
-// dials every higher-numbered peer, yielding one duplex TCP connection
-// per pair. Frames are length-prefixed (u32 little-endian).
-type TCPMesh struct {
-	self   int
-	addrs  []string
-	conns  []net.Conn // indexed by peer id; nil at self
-	inbox  chan Message
-	lis    net.Listener
-	once   sync.Once
-	wg     sync.WaitGroup
-	sendMu []sync.Mutex
-}
-
-// NewTCPMesh joins a mesh of len(addrs) nodes as node self. It blocks
-// until connections to all peers are established, so all nodes must
-// start within the dial retry window.
-func NewTCPMesh(self int, addrs []string) (*TCPMesh, error) {
-	m := &TCPMesh{
-		self:   self,
-		addrs:  addrs,
-		conns:  make([]net.Conn, len(addrs)),
-		inbox:  make(chan Message, 1024),
-		sendMu: make([]sync.Mutex, len(addrs)),
-	}
-	lis, err := net.Listen("tcp", addrs[self])
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen %s: %w", addrs[self], err)
-	}
-	m.lis = lis
-
-	errc := make(chan error, len(addrs))
-	var wg sync.WaitGroup
-	// Accept connections from lower-numbered peers.
-	for i := 0; i < self; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			conn, err := lis.Accept()
-			if err != nil {
-				errc <- err
-				return
-			}
-			// Peer announces its id in the first frame.
-			var hdr [4]byte
-			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-				errc <- err
-				return
-			}
-			peer := int(binary.LittleEndian.Uint32(hdr[:]))
-			if peer < 0 || peer >= len(addrs) {
-				errc <- fmt.Errorf("transport: bad peer id %d", peer)
-				return
-			}
-			m.conns[peer] = conn
-		}()
-	}
-	// Dial higher-numbered peers.
-	for i := self + 1; i < len(addrs); i++ {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			conn, err := dialRetry(addrs[i])
-			if err != nil {
-				errc <- err
-				return
-			}
-			var hdr [4]byte
-			binary.LittleEndian.PutUint32(hdr[:], uint32(self))
-			if _, err := conn.Write(hdr[:]); err != nil {
-				errc <- err
-				return
-			}
-			m.conns[i] = conn
-		}()
-	}
-	wg.Wait()
-	select {
-	case err := <-errc:
-		lis.Close()
-		return nil, err
-	default:
-	}
-	// Reader loop per peer.
-	for i, c := range m.conns {
-		if c == nil {
-			continue
-		}
-		m.wg.Add(1)
-		go m.readLoop(i, c)
-	}
-	return m, nil
-}
-
-func dialRetry(addr string) (net.Conn, error) {
-	var err error
-	for attempt := 0; attempt < 100; attempt++ {
-		var c net.Conn
-		c, err = net.Dial("tcp", addr)
-		if err == nil {
-			return c, nil
-		}
-		// Peer may not be listening yet; spin briefly.
-		for i := 0; i < 1<<16; i++ {
-			_ = i
-		}
-	}
-	return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
-}
-
-func (m *TCPMesh) readLoop(peer int, c net.Conn) {
-	defer m.wg.Done()
-	for {
-		var hdr [4]byte
-		if _, err := io.ReadFull(c, hdr[:]); err != nil {
-			return
-		}
-		n := binary.LittleEndian.Uint32(hdr[:])
-		body := make([]byte, n)
-		if _, err := io.ReadFull(c, body); err != nil {
-			return
-		}
-		msg, err := decode(body)
-		if err != nil {
-			return
-		}
-		m.inbox <- msg
-	}
-}
-
-// Self returns this endpoint's node id.
-func (m *TCPMesh) Self() int { return m.self }
-
-// N returns the mesh size.
-func (m *TCPMesh) N() int { return len(m.addrs) }
-
-// appendLengthPrefixed appends `u32 length + frame body` for msg.
-func appendLengthPrefixed(buf []byte, msg Message) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(headerLen+len(msg.Payload)))
-	return appendFrame(buf, msg)
-}
-
-// Send delivers msg to node to (loopback messages short-circuit the
-// network). The frame is built in a pooled buffer and written with one
-// syscall.
-func (m *TCPMesh) Send(to int, msg Message) error {
-	msg.From = int32(m.self)
-	if to == m.self {
-		m.inbox <- msg
-		return nil
-	}
-	if to < 0 || to >= len(m.addrs) || m.conns[to] == nil {
-		return fmt.Errorf("transport: no connection to %d", to)
-	}
-	bp := getFrameBuf(4 + headerLen + len(msg.Payload))
-	*bp = appendLengthPrefixed(*bp, msg)
-	m.sendMu[to].Lock()
-	_, err := m.conns[to].Write(*bp)
-	m.sendMu[to].Unlock()
-	putFrameBuf(bp)
-	return err
-}
-
-// SendBatch writes all frames to node `to` as a single buffer under one
-// lock acquisition and (typically) one syscall — the fast path for
-// chunked tensor pushes, which produce many frames per destination.
-func (m *TCPMesh) SendBatch(to int, msgs []Message) error {
-	if len(msgs) == 0 {
-		return nil
-	}
-	if to == m.self {
-		for _, msg := range msgs {
-			msg.From = int32(m.self)
-			m.inbox <- msg
-		}
-		return nil
-	}
-	if to < 0 || to >= len(m.addrs) || m.conns[to] == nil {
-		return fmt.Errorf("transport: no connection to %d", to)
-	}
-	total := 0
-	for _, msg := range msgs {
-		total += 4 + headerLen + len(msg.Payload)
-	}
-	bp := getFrameBuf(total)
-	for _, msg := range msgs {
-		msg.From = int32(m.self)
-		*bp = appendLengthPrefixed(*bp, msg)
-	}
-	m.sendMu[to].Lock()
-	_, err := m.conns[to].Write(*bp)
-	m.sendMu[to].Unlock()
-	putFrameBuf(bp)
-	return err
-}
-
-// Recv blocks for the next inbound message.
-func (m *TCPMesh) Recv() (Message, error) {
-	msg, ok := <-m.inbox
-	if !ok {
-		return Message{}, ErrClosed
-	}
-	return msg, nil
-}
-
-// Close tears down all connections.
-func (m *TCPMesh) Close() error {
-	m.once.Do(func() {
-		m.lis.Close()
-		for _, c := range m.conns {
-			if c != nil {
-				c.Close()
-			}
-		}
-		m.wg.Wait()
-		close(m.inbox)
-	})
 	return nil
 }
 

@@ -5,21 +5,48 @@
 //
 //	poseidon-bench -list
 //	poseidon-bench -exp fig5
+//	poseidon-bench -exp table1,table3,fig10
 //	poseidon-bench -exp all
+//	poseidon-bench -exp table1,table3 -json BENCH_ci.json
+//
+// With -json, a machine-readable report (per-experiment wall time plus
+// run metadata) is written to the given path — the BENCH_ci.json
+// artifact CI uploads on every run to seed the perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
+// report is the BENCH_*.json schema: enough metadata to compare runs
+// across commits, and one record per experiment executed.
+type report struct {
+	GoVersion    string   `json:"go_version"`
+	GOOS         string   `json:"goos"`
+	GOARCH       string   `json:"goarch"`
+	NumCPU       int      `json:"num_cpu"`
+	TotalSeconds float64  `json:"total_seconds"`
+	Experiments  []record `json:"experiments"`
+}
+
+type record struct {
+	Name    string  `json:"name"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
-	exp := flag.String("exp", "all", "experiment to run (name or 'all')")
+	exp := flag.String("exp", "all", "experiments to run: a name, a comma-separated list, or 'all'")
+	jsonOut := flag.String("json", "", "write a machine-readable timing report (BENCH_ci.json schema) to this path")
 	flag.Parse()
 
 	if *list {
@@ -29,23 +56,52 @@ func main() {
 		return
 	}
 
+	var selected []experiments.Experiment
 	if *exp == "all" {
-		for _, e := range experiments.All() {
-			runOne(e)
+		selected = experiments.All()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			e, ok := experiments.Find(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", name, experiments.Names())
+				os.Exit(1)
+			}
+			selected = append(selected, e)
 		}
-		return
 	}
-	e, ok := experiments.Find(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", *exp, experiments.Names())
-		os.Exit(1)
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
 	}
-	runOne(e)
+	for _, e := range selected {
+		secs := runOne(e)
+		rep.TotalSeconds += secs
+		rep.Experiments = append(rep.Experiments, record{Name: e.Name, Title: e.Title, Seconds: secs})
+	}
+
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encode report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments, %.1fs total)\n", *jsonOut, len(rep.Experiments), rep.TotalSeconds)
+	}
 }
 
-func runOne(e experiments.Experiment) {
+func runOne(e experiments.Experiment) float64 {
 	fmt.Printf("=== %s: %s ===\n", e.Name, e.Title)
 	start := time.Now()
 	e.Run(os.Stdout)
-	fmt.Printf("(%s completed in %.1fs)\n\n", e.Name, time.Since(start).Seconds())
+	secs := time.Since(start).Seconds()
+	fmt.Printf("(%s completed in %.1fs)\n\n", e.Name, secs)
+	return secs
 }

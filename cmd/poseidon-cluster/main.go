@@ -45,6 +45,9 @@ func run() int {
 	printEvery := flag.Int("print-every", 10, "per-worker progress line interval")
 	dumpLosses := flag.Bool("dump-losses", false, "have each worker dump machine-readable LOSS lines")
 	maxFrame := flag.Int("max-frame", 0, "cap on a single frame body in bytes (0 = transport default)")
+	autoplan := flag.Bool("autoplan", false, "have each worker route via the cost model (Algorithm 1) and print PLAN lines")
+	metricsDump := flag.Bool("metrics-dump", false, "have each worker dump a machine-readable METRICS snapshot")
+	routeOverrides := flag.String("route", "", "per-parameter scheme overrides forwarded to every worker (index=ps|sfb|1bit, comma-separated)")
 	flag.Parse()
 
 	if *n < 1 {
@@ -84,6 +87,15 @@ func run() int {
 		}
 		if *dumpLosses {
 			args = append(args, "-dump-losses")
+		}
+		if *autoplan {
+			args = append(args, "-autoplan")
+		}
+		if *metricsDump {
+			args = append(args, "-metrics-dump")
+		}
+		if *routeOverrides != "" {
+			args = append(args, "-route", *routeOverrides)
 		}
 		cmd := exec.Command(name, args...)
 		stdout, err := cmd.StdoutPipe()

@@ -1,7 +1,12 @@
 // Command poseidon-worker is one node of a real distributed training
 // cluster on the functional plane: it joins a TCP mesh, trains a real
 // CNN data-parallel with the paper's protocol (sharded BSP KV store +
-// sufficient-factor broadcasting), and prints its loss curve.
+// sufficient-factor broadcasting), and prints its loss curve. With
+// -autoplan it routes every tensor through the paper's cost model
+// (Algorithm 1 via poseidon.Planner) and prints the PLAN decisions;
+// with -metrics-dump it prints a METRICS JSON snapshot of measured
+// per-route wire traffic, sync-stall time, and KV rounds after
+// training (schema: internal/metrics.CommSnapshot).
 //
 // Launch P processes with the same -peers list and -id 0..P-1 (or let
 // poseidon-cluster do it for you), e.g.:
@@ -12,6 +17,7 @@ package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -22,7 +28,9 @@ import (
 	"strings"
 
 	"repro/internal/data"
+	"repro/internal/metrics"
 	"repro/internal/nn/autodiff"
+	"repro/internal/poseidon"
 	"repro/internal/tensor"
 	"repro/internal/train"
 	"repro/internal/transport"
@@ -41,6 +49,9 @@ func main() {
 	printEvery := flag.Int("print-every", 10, "print a progress line every this many iterations (streamed during training)")
 	dumpLosses := flag.Bool("dump-losses", false, "after training, print one machine-readable 'LOSS <iter> <loss>' line per iteration")
 	maxFrame := flag.Int("max-frame", 0, "cap on a single frame body in bytes (0 = transport default)")
+	autoplan := flag.Bool("autoplan", false, "route every tensor through the paper's cost model (Algorithm 1, overrides -mode with hybrid policy) and print one PLAN line per parameter")
+	metricsDump := flag.Bool("metrics-dump", false, "after training, print a machine-readable 'METRICS <json>' snapshot of the live comm counters")
+	routeOverrides := flag.String("route", "", "explicit per-parameter scheme overrides, e.g. '2=ps,5=sfb' (index=ps|sfb|1bit); trumps the planner policy")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -55,15 +66,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(1)
 	}
+	if *autoplan {
+		// Autoplanning is hybrid policy: Algorithm 1 free to pick per
+		// tensor. Explicit -route overrides still trump it.
+		m = train.Hybrid
+	}
+	overrides, err := parseRouteOverrides(*routeOverrides)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
-	mesh, err := transport.NewTCPMeshOpts(*id, addrs, transport.TCPOptions{
+	tcp, err := transport.NewTCPMeshOpts(*id, addrs, transport.TCPOptions{
 		MaxFrameBytes: *maxFrame,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mesh: %v\n", err)
 		os.Exit(1)
 	}
-	defer mesh.Close()
+	defer tcp.Close()
+
+	var mtr *metrics.Comm
+	var mesh transport.Mesh = tcp
+	if *metricsDump {
+		mtr = metrics.NewComm()
+		mesh = transport.NewMeteredMesh(tcp, mtr.Wire())
+	}
 
 	full := data.Synthetic(*seed, 1280, 10, 3, 8, 8, 0.35)
 	trainSet, testSet := full.Split(1024)
@@ -71,6 +99,7 @@ func main() {
 		Workers: len(addrs), Iters: *iters, Batch: *batch, LR: float32(*lr),
 		Mode: m, Seed: *seed,
 		Overlap: *overlap, ChunkElems: *chunk,
+		RouteOverrides: overrides, Metrics: mtr,
 		BuildNet: func(rng *rand.Rand) *autodiff.Network {
 			net, _, _, _ := autodiff.CIFARQuickNet(4, 10, rng)
 			return net
@@ -86,6 +115,23 @@ func main() {
 			}
 		},
 	}
+	if *autoplan {
+		// One PLAN line per parameter: the Algorithm 1 decision and the
+		// cost-model numbers behind it, before any byte hits the wire.
+		// An infeasible or typo'd -route override fails here, before
+		// training.
+		decisions, err := train.Decisions(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worker %d: %v\n", *id, err)
+			os.Exit(1)
+		}
+		for _, d := range decisions {
+			fmt.Printf("PLAN param=%d name=%s shape=%dx%d route=%v ps_params=%d sfb_params=%d wire_bytes=%d\n",
+				d.Spec.Index, d.Spec.Name, d.Spec.Rows, d.Spec.Cols,
+				d.Scheme, d.PSParams, d.SFBParams, d.WireBytes)
+		}
+	}
+
 	res, err := train.RunWorker(cfg, mesh)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "worker %d: %v\n", *id, err)
@@ -103,7 +149,44 @@ func main() {
 		// cross-replica parameter equality across real processes.
 		fmt.Printf("PARAMS %016x\n", paramDigest(res.Final.Params()))
 	}
+	if mtr != nil {
+		b, err := json.Marshal(mtr.Snapshot())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worker %d: metrics snapshot: %v\n", *id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("METRICS %s\n", b)
+	}
 	fmt.Printf("worker %d done (%v mode, %d workers)\n", *id, m, len(addrs))
+}
+
+// parseRouteOverrides parses the -route flag: comma-separated
+// index=scheme pairs with schemes named as in the paper (ps, sfb,
+// 1bit).
+func parseRouteOverrides(s string) (map[int]poseidon.Scheme, error) {
+	if s == "" {
+		return nil, nil
+	}
+	schemes := map[string]poseidon.Scheme{
+		"ps": poseidon.PS, "sfb": poseidon.SFB, "1bit": poseidon.OneBitPS,
+	}
+	out := make(map[int]poseidon.Scheme)
+	for _, pair := range strings.Split(s, ",") {
+		idxStr, schemeStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("-route: %q is not index=scheme", pair)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 0 {
+			return nil, fmt.Errorf("-route: bad parameter index %q", idxStr)
+		}
+		scheme, ok := schemes[schemeStr]
+		if !ok {
+			return nil, fmt.Errorf("-route: unknown scheme %q (want ps|sfb|1bit)", schemeStr)
+		}
+		out[idx] = scheme
+	}
+	return out, nil
 }
 
 // paramDigest is FNV-1a over the bit patterns of every parameter value,

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/nn/autodiff"
 	"repro/internal/train"
@@ -23,7 +24,8 @@ func main() {
 
 	full := data.Synthetic(1, 1280, 10, 3, 8, 8, 0.35)
 	trainSet, testSet := full.Split(1024)
-	res, err := train.Run(train.Config{
+	mtr := metrics.NewComm()
+	cfg := train.Config{
 		Workers: 4, Iters: 60, Batch: 8, LR: 0.1,
 		Mode: train.Hybrid, Seed: 7,
 		BuildNet: func(rng *rand.Rand) *autodiff.Network {
@@ -31,7 +33,26 @@ func main() {
 			return net
 		},
 		TrainSet: trainSet, TestSet: testSet, EvalEvery: 15,
-	})
+		// All four in-process workers share one registry, so the
+		// snapshot below is cluster-wide traffic.
+		Metrics: mtr,
+	}
+
+	// Algorithm 1's routing plan, straight from the cost model the
+	// trainer consults (poseidon.Planner) — FC weights that clear the
+	// SFB threshold leave the parameter server.
+	fmt.Println("routing plan (Algorithm 1):")
+	decisions, err := train.Decisions(cfg)
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range decisions {
+		fmt.Printf("  param %2d %-8s %4dx%-5d -> %-4v (PS cost %6d, SFB cost %6d params/node)\n",
+			d.Spec.Index, d.Spec.Name, d.Spec.Rows, d.Spec.Cols, d.Scheme, d.PSParams, d.SFBParams)
+	}
+	fmt.Println()
+
+	res, err := train.Run(cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -44,6 +65,23 @@ func main() {
 			fmt.Println()
 		}
 	}
+
+	// What actually moved between workers, per route (the in-process
+	// mesh attributes per-message traffic exactly like TCP would).
+	snap := mtr.Snapshot()
+	byRoute := map[string]int64{}
+	for _, p := range snap.Params {
+		byRoute[p.Route] += p.BytesSent + p.BytesRecv
+	}
+	fmt.Println()
+	fmt.Println("measured cluster traffic by route:")
+	for _, route := range []string{"PS", "SFB", "1bit"} {
+		if bytes, ok := byRoute[route]; ok {
+			fmt.Printf("  %-4s %8.2f KB\n", route, float64(bytes)/1024)
+		}
+	}
+	fmt.Printf("  SFB saved %.2f KB vs pure PS (Table 1 equivalent)\n",
+		float64(snap.Totals.SFBSavingsBytes)/1024)
 
 	fmt.Println()
 	fmt.Println("-- performance plane: VGG19 on a simulated 40GbE Titan X cluster --")

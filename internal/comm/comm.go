@@ -56,14 +56,23 @@ func (r Route) String() string {
 }
 
 // ParamPlan describes how one parameter tensor is synchronized — the
-// functional-plane analogue of the coordinator's LayerPlan.
+// functional-plane analogue of the coordinator's LayerPlan. Plans are
+// produced by poseidon.Planner (the single owner of the Algorithm 1
+// decision rule); this package only executes them.
 type ParamPlan struct {
 	// Index is the global parameter index; Plans[i].Index must equal i.
 	Index int
+	// Name labels the tensor in logs and metrics (optional).
+	Name string
 	// Rows, Cols give the tensor shape (vectors are 1×n).
 	Rows, Cols int
 	// Route picks the wire strategy.
 	Route Route
+	// PSEquivBytes is the cost model's pure-PS per-node wire traffic
+	// per iteration for this tensor (Table 1's colocated cost × 4
+	// bytes) — the baseline the metrics subsystem charges SFB savings
+	// against. Zero when no cost model produced the plan.
+	PSEquivBytes int64
 	// SF extracts the parameter's sufficient factor after a backward
 	// pass. Required for RouteSFB; the factor must be owned by the
 	// caller (cloned from layer buffers).
@@ -84,21 +93,6 @@ type Syncer interface {
 	// Handle processes one inbound wire message addressed to this
 	// parameter, in either the worker or the server role.
 	Handle(msg transport.Message) error
-}
-
-// Decide reports whether SFB beats the PS route for a rows×cols FC
-// weight gradient: Algorithm 1's rule compares the sufficient-factor
-// traffic 2K(P−1)(M+N) against the PS traffic 2MN(2P−2)/P (Table 1)
-// per worker and iteration.
-func Decide(rows, cols, batch, workers int) bool {
-	if workers <= 1 {
-		return false
-	}
-	m, n := int64(rows), int64(cols)
-	k, p := int64(batch), int64(workers)
-	sfbCost := 2 * k * (p - 1) * (m + n)
-	psCost := 2 * m * n * (p + p - 2) / p
-	return sfbCost <= psCost
 }
 
 // chunkSpec is one KV pair of a chunked parameter: a contiguous slice

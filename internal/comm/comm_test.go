@@ -12,21 +12,6 @@ import (
 	"repro/internal/transport"
 )
 
-// Decide must reproduce Algorithm 1's threshold: the seed trainer's
-// worked example (K=2, P=4, 32×16 weights) picks SFB, while a huge
-// batch flips the same layer back to PS.
-func TestDecideMatchesCostModel(t *testing.T) {
-	if !Decide(32, 16, 2, 4) {
-		t.Fatal("32x16, K=2, P=4 must pick SFB (2K(P-1)(M+N)=576 <= 2MN(2P-2)/P=1536)")
-	}
-	if Decide(32, 16, 64, 4) {
-		t.Fatal("huge batches must fall back to PS")
-	}
-	if Decide(32, 16, 2, 1) {
-		t.Fatal("single worker has nothing to broadcast")
-	}
-}
-
 func TestSplitChunksCoversTensor(t *testing.T) {
 	for _, tc := range []struct {
 		elems, chunkElems, servers, wantChunks int

@@ -1,0 +1,172 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// A metered PS round must attribute every non-loopback frame to its
+// parameter, count one launch round per param, record the shard's
+// folds, and time the WaitFor stall — the counters the -metrics-dump
+// report is built from.
+func TestRouterMetricsAttribution(t *testing.T) {
+	const n = 3
+	shapes := [][2]int{{4, 6}, {1, 6}}
+	allParams := identicalParams(7, shapes)
+	comms := make([]*metrics.Comm, n)
+	routers := newTestCluster(t, n, func(node int, mesh transport.Mesh) *Router {
+		comms[node] = metrics.NewComm()
+		r, err := NewRouter(Config{
+			Mesh: mesh,
+			Plans: []ParamPlan{
+				{Index: 0, Name: "w", Rows: 4, Cols: 6, Route: RoutePS},
+				{Index: 1, Name: "b", Rows: 1, Cols: 6, Route: RoutePS},
+			},
+			Params:  allParams[node],
+			Scale:   1,
+			Metrics: comms[node],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	})
+
+	var wg sync.WaitGroup
+	for node, r := range routers {
+		node, r := node, r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			grads := []*tensor.Matrix{tensor.NewMatrix(4, 6), tensor.NewMatrix(1, 6)}
+			for _, g := range grads {
+				g.Fill(float32(node + 1))
+			}
+			if err := r.LaunchAll(0, grads); err != nil {
+				t.Error(err)
+				return
+			}
+			r.WaitFor(1)
+		}()
+	}
+	wg.Wait()
+
+	for node := range routers {
+		snap := comms[node].Snapshot()
+		if len(snap.Params) != 2 {
+			t.Fatalf("node %d: %d param blocks", node, len(snap.Params))
+		}
+		for _, p := range snap.Params {
+			if p.Rounds != 1 {
+				t.Fatalf("node %d param %d: %d rounds, want 1", node, p.Index, p.Rounds)
+			}
+			// Every node ships its push off-node unless it owns the
+			// shard, and receives broadcasts from remote shards; with
+			// param 0 on shard 0 and param 1 on shard 1, every node has
+			// some remote traffic on at least one param.
+			if p.BytesSent == 0 && p.BytesRecv == 0 {
+				t.Fatalf("node %d param %d (%s): no traffic attributed", node, p.Index, p.Name)
+			}
+			if p.Name == "" || p.Route != "PS" {
+				t.Fatalf("node %d: param metadata %+v", node, p)
+			}
+		}
+		if snap.Stall.Count == 0 {
+			t.Fatalf("node %d: WaitFor stall not recorded", node)
+		}
+	}
+
+	// The shard owners folded one round per owned param: across the
+	// cluster, 2 params × 1 iteration.
+	folds := int64(0)
+	for node := range routers {
+		folds += comms[node].Snapshot().KV.RoundsFolded
+	}
+	if folds != 2 {
+		t.Fatalf("%d KV rounds folded across the cluster, want 2", folds)
+	}
+}
+
+// The headline accounting: the same tensor synchronized over SFB must
+// move fewer bytes than over the PS route, and the snapshot's savings
+// field must reflect it. This is the in-process version of the claim
+// the e2e suite proves across real processes.
+func TestMetricsShowSFBBeatingPS(t *testing.T) {
+	const n = 3
+	const rows, cols = 32, 64
+	run := func(route Route) int64 {
+		shapes := [][2]int{{rows, cols}}
+		allParams := identicalParams(11, shapes)
+		comms := make([]*metrics.Comm, n)
+		routers := newTestCluster(t, n, func(node int, mesh transport.Mesh) *Router {
+			comms[node] = metrics.NewComm()
+			plan := ParamPlan{Index: 0, Name: "fc.W", Rows: rows, Cols: cols, Route: route,
+				// Table 1's colocated PS baseline for P1=P2=n, as the
+				// planner would populate it.
+				PSEquivBytes: 4 * 2 * rows * cols * (2*n - 2) / n}
+			if route == RouteSFB {
+				node := node
+				plan.SF = func() *tensor.SufficientFactor {
+					// A rank-1 factor with batch-2-style K=2 rows.
+					u := tensor.NewMatrix(2, rows)
+					v := tensor.NewMatrix(2, cols)
+					u.Fill(float32(node + 1))
+					v.Fill(0.5)
+					return &tensor.SufficientFactor{U: u, V: v}
+				}
+			}
+			r, err := NewRouter(Config{
+				Mesh:    mesh,
+				Plans:   []ParamPlan{plan},
+				Params:  allParams[node],
+				Scale:   1,
+				Metrics: comms[node],
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		})
+		var wg sync.WaitGroup
+		for _, r := range routers {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var grads []*tensor.Matrix
+				g := tensor.NewMatrix(rows, cols)
+				g.Fill(1)
+				grads = append(grads, g)
+				if err := r.LaunchAll(0, grads); err != nil {
+					t.Error(err)
+					return
+				}
+				r.WaitFor(1)
+			}()
+		}
+		wg.Wait()
+		total := int64(0)
+		for node := range routers {
+			snap := comms[node].Snapshot()
+			total += snap.Totals.BytesSent
+			if route == RouteSFB {
+				if snap.Totals.SFBParams != 1 {
+					t.Fatalf("node %d: sfb_params %d", node, snap.Totals.SFBParams)
+				}
+				if snap.Totals.SFBSavingsBytes <= 0 {
+					t.Fatalf("node %d: no SFB savings recorded", node)
+				}
+			}
+		}
+		return total
+	}
+	psBytes := run(RoutePS)
+	sfbBytes := run(RouteSFB)
+	if sfbBytes >= psBytes {
+		t.Fatalf("SFB moved %d bytes, PS %d — hybrid routing must move strictly fewer", sfbBytes, psBytes)
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/consistency"
 	"repro/internal/kvstore"
+	"repro/internal/metrics"
 	"repro/internal/sfb"
 	"repro/internal/tensor"
 	"repro/internal/transport"
@@ -39,6 +41,12 @@ type Config struct {
 	// ChunkElems caps the number of float32 values per KV chunk on the
 	// PS route; 0 keeps each tensor whole.
 	ChunkElems int
+
+	// Metrics, when set, receives live communication counters: wire
+	// traffic attributed per parameter and route (loopback excluded),
+	// KV-round accounting, and the compute loop's per-iteration
+	// sync-stall time.
+	Metrics *metrics.Comm
 }
 
 // Router multiplexes the mesh between per-parameter syncers: outbound,
@@ -57,6 +65,11 @@ type Router struct {
 	clock      *consistency.StalenessClock
 	pool       *sendPool
 	chunkElems int
+
+	// metrics and the per-parameter counter blocks are nil unless the
+	// owner asked for live accounting (Config.Metrics).
+	metrics *metrics.Comm
+	pstats  []*metrics.ParamStats
 
 	// staged is the replica the receive goroutine synchronizes into;
 	// the compute loop copies it out at iteration boundaries via Adopt,
@@ -117,6 +130,10 @@ func NewRouter(cfg Config) (*Router, error) {
 		shard:      kvstore.NewShard(cfg.Mesh.N()),
 		clock:      consistency.NewStalenessClock(len(cfg.Plans), cfg.Staleness),
 		chunkElems: cfg.ChunkElems,
+		metrics:    cfg.Metrics,
+	}
+	if r.metrics != nil {
+		r.shard.SetMetrics(r.metrics.KV())
 	}
 	if cfg.Overlap {
 		workers := cfg.PoolWorkers
@@ -150,6 +167,28 @@ func NewRouter(cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("comm: param %d: unknown route %v", i, plan.Route)
 		}
 		r.staged = append(r.staged, cfg.Params[i].Clone())
+		if r.metrics != nil {
+			r.pstats = append(r.pstats,
+				r.metrics.RegisterParam(i, plan.Name, plan.Route.String(), plan.Rows*plan.Cols, plan.PSEquivBytes))
+		}
+	}
+	if r.metrics != nil {
+		// Every syncer send and the receive loop go through r.mesh, so
+		// one observing wrapper (transport's, which owns the loopback
+		// exclusion) attributes all wire traffic to the parameter named
+		// by each frame's Layer field; control frames (Layer −1) carry
+		// no parameter and are skipped.
+		r.mesh = transport.NewObservedMesh(r.mesh,
+			func(msg transport.Message, wireBytes int) {
+				if i := int(msg.Layer); i >= 0 && i < len(r.pstats) {
+					r.pstats[i].CountSent(wireBytes)
+				}
+			},
+			func(msg transport.Message, wireBytes int) {
+				if i := int(msg.Layer); i >= 0 && i < len(r.pstats) {
+					r.pstats[i].CountRecv(wireBytes)
+				}
+			})
 	}
 	return r, nil
 }
@@ -225,13 +264,25 @@ func (r *Router) LaunchAll(iter int, grads []*tensor.Matrix) error {
 		if err := s.Launch(iter, update); err != nil {
 			return err
 		}
+		if r.pstats != nil {
+			r.pstats[i].CountRound()
+		}
 	}
 	return r.Err()
 }
 
 // WaitFor blocks until iteration iter may begin under the staleness
-// bound (every parameter synchronized through iter−1−staleness).
-func (r *Router) WaitFor(iter int) { r.clock.WaitFor(iter) }
+// bound (every parameter synchronized through iter−1−staleness). With
+// metrics attached, the blocked time is recorded as sync stall.
+func (r *Router) WaitFor(iter int) {
+	if r.metrics == nil {
+		r.clock.WaitFor(iter)
+		return
+	}
+	start := time.Now()
+	r.clock.WaitFor(iter)
+	r.metrics.RecordStall(time.Since(start))
+}
 
 // Adopt copies the staged replica into the live parameters.
 func (r *Router) Adopt(params []*tensor.Matrix) {

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // Shard holds one server's slice of the globally shared parameters.
@@ -31,6 +33,8 @@ type Shard struct {
 	roundContrib map[string]map[int][][]float32
 	roundCount   map[string]map[int]int
 	foldScratch  []float32 // reused accumulator for round completion
+	// metrics, when set, counts buffered pushes and folded rounds.
+	metrics *metrics.KVStats
 }
 
 // NewShard creates a shard expecting pushes from the given number of
@@ -48,6 +52,14 @@ func NewShard(workers int) *Shard {
 		roundContrib: make(map[string]map[int][][]float32),
 		roundCount:   make(map[string]map[int]int),
 	}
+}
+
+// SetMetrics attaches live counters for shard activity. Call before
+// the shard starts receiving pushes; pass nil to detach.
+func (s *Shard) SetMetrics(k *metrics.KVStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = k
 }
 
 // Init installs the initial value of a KV pair. Every worker must use
@@ -81,6 +93,9 @@ func (s *Shard) Push(key string, update []float32) (fresh []float32, ready bool,
 		acc[i] += v
 	}
 	s.counts[key]++
+	if s.metrics != nil {
+		s.metrics.CountPush()
+	}
 	if s.counts[key] < s.workers {
 		return nil, false, nil
 	}
@@ -91,6 +106,9 @@ func (s *Shard) Push(key string, update []float32) (fresh []float32, ready bool,
 	}
 	s.counts[key] = 0
 	s.version[key]++
+	if s.metrics != nil {
+		s.metrics.CountRound(len(p))
+	}
 	out := make([]float32, len(p))
 	copy(out, p)
 	return out, true, nil
@@ -146,6 +164,9 @@ func (s *Shard) PushRoundInto(key string, round, worker int, update, dst []float
 	}
 	contrib[worker] = update
 	s.roundCount[key][round]++
+	if s.metrics != nil {
+		s.metrics.CountPush()
+	}
 	if s.roundCount[key][round] < s.workers {
 		// Hand dst back so the caller's scratch buffer survives the
 		// not-ready pushes between round completions.
@@ -167,6 +188,9 @@ func (s *Shard) PushRoundInto(key string, round, worker int, update, dst []float
 	delete(s.roundContrib[key], round)
 	delete(s.roundCount[key], round)
 	s.version[key]++
+	if s.metrics != nil {
+		s.metrics.CountRound(len(p))
+	}
 	return append(dst, p...), true, nil
 }
 

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWireAndKVCounters(t *testing.T) {
+	c := NewComm()
+	c.Wire().CountSent(100)
+	c.Wire().CountSent(50)
+	c.Wire().CountRecv(30)
+	c.KV().CountPush()
+	c.KV().CountPush()
+	c.KV().CountRound(64)
+
+	snap := c.Snapshot()
+	if snap.Wire.FramesSent != 2 || snap.Wire.BytesSent != 150 {
+		t.Fatalf("wire sent %d/%d", snap.Wire.FramesSent, snap.Wire.BytesSent)
+	}
+	if snap.Wire.FramesRecv != 1 || snap.Wire.BytesRecv != 30 {
+		t.Fatalf("wire recv %d/%d", snap.Wire.FramesRecv, snap.Wire.BytesRecv)
+	}
+	if snap.KV.PushesBuffered != 2 || snap.KV.RoundsFolded != 1 || snap.KV.ValuesFolded != 64 {
+		t.Fatalf("kv snapshot %+v", snap.KV)
+	}
+}
+
+func TestStallHistogram(t *testing.T) {
+	c := NewComm()
+	c.RecordStall(5 * time.Microsecond)  // <10us
+	c.RecordStall(2 * time.Millisecond)  // <10ms
+	c.RecordStall(50 * time.Millisecond) // <100ms
+	snap := c.Snapshot().Stall
+	if snap.Count != 3 {
+		t.Fatalf("count %d", snap.Count)
+	}
+	if snap.MaxMS < 49 || snap.MaxMS > 51 {
+		t.Fatalf("max %.2fms", snap.MaxMS)
+	}
+	want := map[string]int64{"<10us": 1, "<10ms": 1, "<100ms": 1}
+	for k, v := range want {
+		if snap.Buckets[k] != v {
+			t.Fatalf("bucket %q = %d, want %d (all: %v)", k, snap.Buckets[k], v, snap.Buckets)
+		}
+	}
+	if snap.MeanMS <= 0 || snap.TotalMS < snap.MaxMS {
+		t.Fatalf("mean %.3f total %.3f", snap.MeanMS, snap.TotalMS)
+	}
+}
+
+// The savings accounting behind the paper's headline claim: an SFB
+// param that moved fewer bytes than Table 1's pure-PS equivalent shows
+// positive savings; PS params contribute none.
+func TestSnapshotComputesSFBSavings(t *testing.T) {
+	c := NewComm()
+	sfb := c.RegisterParam(0, "fc.W", "SFB", 2048, 16384) // PS baseline: 16384 B/round
+	ps := c.RegisterParam(1, "fc.b", "PS", 32, 256)
+	for i := 0; i < 3; i++ {
+		sfb.CountRound()
+		sfb.CountSent(2000)
+		sfb.CountRecv(2000)
+		ps.CountRound()
+		ps.CountSent(160)
+	}
+	// A pinned SFB route that loses to the PS must show up as negative
+	// savings, not be clamped away; an SFB param with no baseline
+	// (ps_equiv 0) must not poison the sum.
+	losing := c.RegisterParam(2, "thin.W", "SFB", 320, 1000)
+	losing.CountRound()
+	losing.CountSent(900)
+	losing.CountRecv(900)
+	nobase := c.RegisterParam(3, "x.W", "SFB", 64, 0)
+	nobase.CountRound()
+	nobase.CountSent(100)
+
+	snap := c.Snapshot()
+	if len(snap.Params) != 4 {
+		t.Fatalf("%d params", len(snap.Params))
+	}
+	if snap.Params[0].PSEquivBytes != 3*8*2048 {
+		t.Fatalf("ps_equiv %d", snap.Params[0].PSEquivBytes)
+	}
+	if snap.Totals.SFBParams != 3 {
+		t.Fatalf("sfb params %d", snap.Totals.SFBParams)
+	}
+	wantSavings := int64(3*8*2048-3*4000) + (1000 - 1800)
+	if snap.Totals.SFBSavingsBytes != wantSavings {
+		t.Fatalf("savings %d, want %d", snap.Totals.SFBSavingsBytes, wantSavings)
+	}
+	if snap.Totals.BytesSent != 3*2000+3*160+900+100 {
+		t.Fatalf("total sent %d", snap.Totals.BytesSent)
+	}
+}
+
+// Counters must hold up under concurrent writers (they run on the
+// compute goroutine, the receive loop, and every pool worker at once).
+func TestCountersConcurrent(t *testing.T) {
+	c := NewComm()
+	p := c.RegisterParam(0, "w", "PS", 10, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.CountSent(10)
+				p.CountRecv(5)
+				c.Wire().CountSent(10)
+				c.RecordStall(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	if snap.Params[0].BytesSent != 80000 || snap.Params[0].BytesRecv != 40000 {
+		t.Fatalf("param bytes %d/%d", snap.Params[0].BytesSent, snap.Params[0].BytesRecv)
+	}
+	if snap.Wire.FramesSent != 8000 || snap.Stall.Count != 8000 {
+		t.Fatalf("wire %d stall %d", snap.Wire.FramesSent, snap.Stall.Count)
+	}
+}
+
+// The snapshot is the -metrics-dump wire format; its JSON field names
+// are load-bearing for the e2e suite and external tooling.
+func TestSnapshotJSONSchema(t *testing.T) {
+	c := NewComm()
+	c.RegisterParam(0, "fc.W", "SFB", 4, 32).CountRound()
+	b, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"wire"`, `"kvstore"`, `"stall"`, `"params"`, `"totals"`,
+		`"bytes_sent"`, `"frames_sent"`, `"bytes_recv"`, `"frames_recv"`,
+		`"route":"SFB"`, `"ps_equiv_bytes"`, `"sfb_savings_bytes"`, `"rounds_folded"`,
+	} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("snapshot JSON missing %s:\n%s", key, b)
+		}
+	}
+}

@@ -105,10 +105,18 @@ func AdamColocatedParams(m, n int64, c ClusterShape) int64 {
 // per-worker cost does not exceed the colocated PS cost; all other
 // layers (indecomposable gradients) go through the PS.
 func BestScheme(l *nn.Layer, c ClusterShape) Scheme {
-	if !l.SFCapable() || c.Workers <= 1 {
+	m, n := l.GradMatrixShape()
+	return bestSchemeMN(m, n, l.SFCapable(), c)
+}
+
+// bestSchemeMN is Algorithm 1 on a bare M×N gradient shape — the shared
+// core behind BestScheme (layer descriptors, performance plane) and
+// Planner.SchemeFor (tensor specs, functional plane), so the two planes
+// can never disagree on a routing decision.
+func bestSchemeMN(m, n int64, sfCapable bool, c ClusterShape) Scheme {
+	if !sfCapable || c.Workers <= 1 {
 		return PS
 	}
-	m, n := l.GradMatrixShape()
 	if SFBWorkerParams(m, n, c) <= PSColocatedParams(m, n, c) {
 		return SFB
 	}
@@ -120,6 +128,11 @@ func BestScheme(l *nn.Layer, c ClusterShape) Scheme {
 // payloads for OneBitPS on FC layers).
 func SchemeBytes(l *nn.Layer, s Scheme, c ClusterShape) int64 {
 	m, n := l.GradMatrixShape()
+	return schemeBytesMN(m, n, l.SFCapable(), s, c)
+}
+
+// schemeBytesMN is SchemeBytes on a bare M×N gradient shape.
+func schemeBytesMN(m, n int64, sfCapable bool, s Scheme, c ClusterShape) int64 {
 	switch s {
 	case SFB:
 		// (P1−1) peers × one SF each way is counted once as egress.
@@ -127,7 +140,7 @@ func SchemeBytes(l *nn.Layer, s Scheme, c ClusterShape) int64 {
 	case AdamSF:
 		return 4 * int64(c.Batch) * (m + n)
 	case OneBitPS:
-		if l.SFCapable() {
+		if sfCapable {
 			words := (m*n + 63) / 64
 			return 8*words + 16
 		}

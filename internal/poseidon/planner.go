@@ -1,0 +1,250 @@
+// Planner: the bridge between Algorithm 1 and the functional plane's
+// synchronization runtime. The performance plane has always consulted
+// this package's cost model through the Coordinator; the Planner gives
+// the functional trainer the same single source of routing truth — it
+// evaluates Algorithm 1 per parameter tensor (shape, batch size,
+// cluster size) under a policy (hybrid, pure-PS, or the 1-bit
+// baseline), honors explicit per-tensor overrides, and emits the
+// comm.ParamPlan set the trainer hands to its Router. Neither plane
+// carries a private copy of the decision rule anymore.
+package poseidon
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+)
+
+// Policy selects how the Planner maps tensors to schemes.
+type Policy int
+
+// Planner policies. They differ only in what Algorithm 1 is allowed to
+// choose — the trainer's PS / Hybrid / 1-bit modes are these policies,
+// not separate routing code paths.
+const (
+	// PolicyHybrid consults Algorithm 1 per tensor (HybComm).
+	PolicyHybrid Policy = iota
+	// PolicyPS routes every tensor through the parameter server.
+	PolicyPS
+	// PolicyOneBit routes SF-capable tensors through 1-bit quantized PS
+	// pushes (the CNTK baseline) and everything else through the PS.
+	PolicyOneBit
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyHybrid:
+		return "hybrid"
+	case PolicyPS:
+		return "ps"
+	case PolicyOneBit:
+		return "1bit"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// TensorSpec describes one parameter tensor to plan: its gradient
+// shape, whether that gradient admits a sufficient-factor
+// decomposition, and its global parameter index.
+type TensorSpec struct {
+	// Index is the global parameter index (comm.ParamPlan.Index).
+	Index int
+	// Name labels the tensor for logs and metrics (e.g. "ip1.W").
+	Name string
+	// Rows, Cols give the gradient matrix shape (M×N in Table 1 terms;
+	// orientation does not affect the cost model).
+	Rows, Cols int
+	// SFCapable marks rank-K decomposable gradients (FC weight
+	// matrices). Only these may ride SFB or 1-bit quantization.
+	SFCapable bool
+}
+
+// Elems returns Rows·Cols.
+func (t TensorSpec) Elems() int { return t.Rows * t.Cols }
+
+// LayerSpec derives the planner spec for a model-zoo layer descriptor,
+// so zoo models can be planned without instantiating real tensors.
+func LayerSpec(index int, l *nn.Layer) TensorSpec {
+	m, n := l.GradMatrixShape()
+	return TensorSpec{
+		Index: index, Name: l.Name,
+		Rows: int(m), Cols: int(n),
+		SFCapable: l.SFCapable(),
+	}
+}
+
+// Decision is one planned tensor with the cost-model numbers behind the
+// choice (for logs, the -autoplan dump, and tests).
+type Decision struct {
+	Spec   TensorSpec
+	Scheme Scheme
+	// PSParams and SFBParams are Table 1's per-node parameter counts
+	// for the two candidate schemes (SFBParams is 0 for tensors that
+	// cannot ride SFB).
+	PSParams, SFBParams int64
+	// WireBytes is the per-worker egress per iteration under the chosen
+	// scheme.
+	WireBytes int64
+	// Seconds is WireBytes over the planner's configured bandwidth
+	// (0 when no bandwidth is set).
+	Seconds float64
+	// Err is non-nil when an explicit override demands a scheme this
+	// tensor cannot ride (ParamPlans fails with the same error); the
+	// cost fields are zeroed since no such wire traffic can exist.
+	Err error
+}
+
+// Planner evaluates Algorithm 1 per tensor under a policy and cluster
+// shape. The zero value is unusable; construct with NewPlanner.
+type Planner struct {
+	// Cluster is the shape the cost model evaluates against. Servers
+	// defaults to Workers (colocated, as in the paper's runs).
+	Cluster ClusterShape
+	// Policy constrains what Algorithm 1 may choose.
+	Policy Policy
+	// Overrides pins parameter index → scheme, trumping the policy
+	// (ablations, baselines, and the worker's -route flag).
+	Overrides map[int]Scheme
+	// BytesPerSec optionally models the per-link bandwidth so Decisions
+	// carry estimated seconds; 0 leaves costs as byte counts only. The
+	// scheme choice itself is bandwidth-independent (both candidate
+	// costs scale by the same link speed).
+	BytesPerSec float64
+}
+
+// NewPlanner builds a planner for the given policy and cluster shape
+// (Servers defaults to Workers when unset — the colocated deployment).
+func NewPlanner(policy Policy, c ClusterShape) *Planner {
+	if c.Servers <= 0 {
+		c.Servers = c.Workers
+	}
+	return &Planner{Cluster: c, Policy: policy}
+}
+
+// Override pins one parameter index to a scheme.
+func (p *Planner) Override(index int, s Scheme) {
+	if p.Overrides == nil {
+		p.Overrides = make(map[int]Scheme)
+	}
+	p.Overrides[index] = s
+}
+
+// SchemeFor returns the scheme for one tensor: explicit override first,
+// then the policy (Algorithm 1 under PolicyHybrid). Tensors that cannot
+// ride SFB — and any tensor on a single-worker cluster — go through the
+// PS regardless of policy.
+func (p *Planner) SchemeFor(t TensorSpec) Scheme {
+	if s, ok := p.Overrides[t.Index]; ok {
+		return s
+	}
+	if !t.SFCapable || p.Cluster.Workers <= 1 {
+		return PS
+	}
+	switch p.Policy {
+	case PolicyPS:
+		return PS
+	case PolicyOneBit:
+		return OneBitPS
+	default:
+		return bestSchemeMN(int64(t.Rows), int64(t.Cols), true, p.Cluster)
+	}
+}
+
+// checkScheme rejects scheme assignments the comm runtime cannot
+// execute — the one legality rule shared by Decide and ParamPlans, so
+// the preview and the executable plan always agree on override
+// feasibility.
+func checkScheme(t TensorSpec, s Scheme) error {
+	if !t.SFCapable && s != PS {
+		return fmt.Errorf("poseidon: param %d (%s): scheme %v needs a decomposable gradient", t.Index, t.Name, s)
+	}
+	if _, err := s.Route(); err != nil {
+		return fmt.Errorf("poseidon: param %d (%s): %w", t.Index, t.Name, err)
+	}
+	return nil
+}
+
+// Decide evaluates one tensor and returns the decision with its cost
+// accounting. An infeasible explicit override surfaces in Err rather
+// than as fictional cost numbers.
+func (p *Planner) Decide(t TensorSpec) Decision {
+	d := Decision{Spec: t, Scheme: p.SchemeFor(t)}
+	if d.Err = checkScheme(t, d.Scheme); d.Err != nil {
+		return d
+	}
+	m, n := int64(t.Rows), int64(t.Cols)
+	d.PSParams = PSColocatedParams(m, n, p.Cluster)
+	if t.SFCapable && p.Cluster.Workers > 1 {
+		d.SFBParams = SFBWorkerParams(m, n, p.Cluster)
+	}
+	d.WireBytes = schemeBytesMN(m, n, t.SFCapable, d.Scheme, p.Cluster)
+	if p.BytesPerSec > 0 {
+		d.Seconds = float64(d.WireBytes) / p.BytesPerSec
+	}
+	return d
+}
+
+// Plan evaluates every spec in order.
+func (p *Planner) Plan(specs []TensorSpec) []Decision {
+	out := make([]Decision, len(specs))
+	for i, t := range specs {
+		out[i] = p.Decide(t)
+	}
+	return out
+}
+
+// Route maps a scheme onto the comm runtime's wire strategy. AdamSF is
+// a modeled baseline with no functional-plane implementation.
+func (s Scheme) Route() (comm.Route, error) {
+	switch s {
+	case PS:
+		return comm.RoutePS, nil
+	case SFB:
+		return comm.RouteSFB, nil
+	case OneBitPS:
+		return comm.RouteOneBit, nil
+	default:
+		return 0, fmt.Errorf("poseidon: scheme %v has no comm route", s)
+	}
+}
+
+// ParamPlans plans every spec and emits the comm runtime's ParamPlan
+// set. SF extractors are the caller's to attach (they close over live
+// layer state the planner never sees); a plan that selects SFB for a
+// tensor the caller marked non-SF-capable cannot occur except through
+// an override, which is rejected here.
+func (p *Planner) ParamPlans(specs []TensorSpec) ([]comm.ParamPlan, error) {
+	// An override naming a parameter that does not exist is a typo'd
+	// ablation, not a no-op: silently ignoring it would let a run
+	// masquerade as the experiment the user asked for.
+	known := make(map[int]bool, len(specs))
+	for _, t := range specs {
+		known[t.Index] = true
+	}
+	for idx := range p.Overrides {
+		if !known[idx] {
+			return nil, fmt.Errorf("poseidon: route override for unknown param %d (model has %d params)", idx, len(specs))
+		}
+	}
+	plans := make([]comm.ParamPlan, len(specs))
+	for i, t := range specs {
+		scheme := p.SchemeFor(t)
+		if err := checkScheme(t, scheme); err != nil {
+			return nil, err
+		}
+		route, _ := scheme.Route() // checkScheme proved it maps
+		plans[i] = comm.ParamPlan{
+			Index: t.Index, Name: t.Name,
+			Rows: t.Rows, Cols: t.Cols,
+			Route: route,
+			// The per-node PS baseline for this cluster shape, so the
+			// metrics subsystem can report measured SFB savings against
+			// what routing everything through the KV store would cost.
+			PSEquivBytes: 4 * PSColocatedParams(int64(t.Rows), int64(t.Cols), p.Cluster),
+		}
+	}
+	return plans, nil
+}

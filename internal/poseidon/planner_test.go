@@ -1,0 +1,217 @@
+package poseidon
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+)
+
+// zooCluster is the cluster shape the planner tests evaluate the zoo
+// under: 8 colocated worker/server nodes, each model at its Table 3
+// batch size.
+func zooCluster(m *nn.Model) ClusterShape {
+	return ClusterShape{Workers: 8, Servers: 8, Batch: m.BatchSize}
+}
+
+// Algorithm 1 decisions pinned for the model zoo: VGG19's fat FC layers
+// ride SFB, its thin classifier and every conv tensor ride the PS, and
+// GoogLeNet's single thin classifier at batch 128 reduces HybComm to
+// pure PS (the paper's Section 5.2 observation).
+func TestPlannerPinsZooDecisions(t *testing.T) {
+	cases := []struct {
+		model *nn.Model
+		layer string
+		want  Scheme
+	}{
+		// VGG19 (batch 32): fc6 is 4096×25088 — the fat FC layer SFB
+		// exists for. fc8 (1000×4096) also clears the threshold at K=32.
+		{nn.VGG19(), "fc6", SFB},
+		{nn.VGG19(), "fc7", SFB},
+		{nn.VGG19(), "fc8", SFB},
+		// VGG19-22K: the 21841×4096 classifier is the paper's most
+		// communication-bound tensor; SFB must win.
+		{nn.VGG19_22K(), "fc8", SFB},
+		// GoogLeNet (batch 128): 1000×1024 classifier — 2K(P−1)(M+N) =
+		// 3.6M ≥ 2MN(2P−2)/P = 1.8M, so Algorithm 1 keeps the PS.
+		{nn.GoogLeNet(), "loss3/classifier", PS},
+		// Conv tensors are indecomposable and never leave the PS.
+		{nn.VGG19(), "conv1", PS},
+		{nn.AlexNet(), "conv1", PS},
+	}
+	for _, tc := range cases {
+		l := tc.model.Layer(tc.layer)
+		if l == nil {
+			t.Fatalf("%s: no layer %q", tc.model.Name, tc.layer)
+		}
+		p := NewPlanner(PolicyHybrid, zooCluster(tc.model))
+		if got := p.SchemeFor(LayerSpec(0, l)); got != tc.want {
+			m, n := l.GradMatrixShape()
+			t.Errorf("%s/%s (%dx%d, K=%d): scheme %v, want %v",
+				tc.model.Name, tc.layer, m, n, tc.model.BatchSize, got, tc.want)
+		}
+	}
+}
+
+// The seed trainer's worked threshold example (formerly pinned on the
+// deleted comm.Decide): K=2, P=4, 32×16 weights pick SFB; a huge batch
+// flips the same layer back to PS; a single worker has nothing to
+// broadcast.
+func TestPlannerThresholdExamples(t *testing.T) {
+	spec := TensorSpec{Rows: 32, Cols: 16, SFCapable: true}
+	if got := NewPlanner(PolicyHybrid, ClusterShape{Workers: 4, Batch: 2}).SchemeFor(spec); got != SFB {
+		t.Fatalf("32x16, K=2, P=4: %v, want SFB (2K(P-1)(M+N)=576 <= 2MN(2P-2)/P=1536)", got)
+	}
+	if got := NewPlanner(PolicyHybrid, ClusterShape{Workers: 4, Batch: 64}).SchemeFor(spec); got != PS {
+		t.Fatalf("huge batches must fall back to PS, got %v", got)
+	}
+	if got := NewPlanner(PolicyHybrid, ClusterShape{Workers: 1, Batch: 2}).SchemeFor(spec); got != PS {
+		t.Fatalf("single worker has nothing to broadcast, got %v", got)
+	}
+}
+
+// No policy may auto-select the modeled baselines: hybrid never picks
+// 1-bit or Adam, PolicyOneBit only quantizes SF-capable tensors, and
+// conv tensors stay on the PS under every policy.
+func TestPlannerNeverAutoSelectsBaselines(t *testing.T) {
+	for _, m := range nn.Zoo() {
+		c := zooCluster(m)
+		hybrid := NewPlanner(PolicyHybrid, c)
+		ps := NewPlanner(PolicyPS, c)
+		onebit := NewPlanner(PolicyOneBit, c)
+		for i, li := range m.SyncLayers() {
+			spec := LayerSpec(i, &m.Layers[li])
+			if s := hybrid.SchemeFor(spec); s == OneBitPS || s == AdamSF {
+				t.Fatalf("%s layer %s: hybrid policy auto-selected baseline %v", m.Name, spec.Name, s)
+			}
+			if s := ps.SchemeFor(spec); s != PS {
+				t.Fatalf("%s layer %s: PS policy chose %v", m.Name, spec.Name, s)
+			}
+			s := onebit.SchemeFor(spec)
+			if spec.SFCapable && s != OneBitPS {
+				t.Fatalf("%s layer %s: 1-bit policy chose %v for an FC tensor", m.Name, spec.Name, s)
+			}
+			if !spec.SFCapable && s != PS {
+				t.Fatalf("%s layer %s: 1-bit policy chose %v for a conv tensor", m.Name, spec.Name, s)
+			}
+		}
+	}
+}
+
+// The planner's hybrid policy must agree with BestScheme — the
+// coordinator's Algorithm 1 entry point — on every layer of every
+// registered model, across cluster scales. One rule, two planes.
+func TestPlannerMatchesBestSchemeAcrossZoo(t *testing.T) {
+	for _, m := range nn.Zoo() {
+		for _, workers := range []int{1, 2, 4, 8, 16, 32} {
+			c := ClusterShape{Workers: workers, Servers: workers, Batch: m.BatchSize}
+			p := NewPlanner(PolicyHybrid, c)
+			for i, li := range m.SyncLayers() {
+				l := &m.Layers[li]
+				if got, want := p.SchemeFor(LayerSpec(i, l)), BestScheme(l, c); got != want {
+					t.Fatalf("%s/%s at %d workers: planner %v, BestScheme %v",
+						m.Name, l.Name, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Overrides trump the policy, and impossible overrides (SFB for an
+// indecomposable tensor) fail at plan time rather than at launch.
+func TestPlannerOverrides(t *testing.T) {
+	c := ClusterShape{Workers: 4, Batch: 2}
+	specs := []TensorSpec{
+		{Index: 0, Name: "conv.W", Rows: 100, Cols: 1},
+		{Index: 1, Name: "fc.W", Rows: 32, Cols: 16, SFCapable: true},
+	}
+	p := NewPlanner(PolicyHybrid, c)
+	p.Override(1, PS)
+	if got := p.SchemeFor(specs[1]); got != PS {
+		t.Fatalf("override to PS ignored: %v", got)
+	}
+	plans, err := p.ParamPlans(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans[1].Route != comm.RoutePS {
+		t.Fatalf("param 1 route %v, want PS", plans[1].Route)
+	}
+
+	bad := NewPlanner(PolicyHybrid, c)
+	bad.Override(0, SFB)
+	if _, err := bad.ParamPlans(specs); err == nil {
+		t.Fatal("SFB override on an indecomposable tensor must fail at plan time")
+	}
+	// The preview must agree with the executable plan on legality: the
+	// same impossible override surfaces in Decision.Err with no
+	// fictional cost numbers.
+	d := bad.Decide(specs[0])
+	if d.Err == nil {
+		t.Fatal("Decide accepted the override ParamPlans rejects")
+	}
+	if d.WireBytes != 0 || d.Seconds != 0 {
+		t.Fatalf("infeasible decision carries costs: %+v", d)
+	}
+
+	adam := NewPlanner(PolicyHybrid, c)
+	adam.Override(1, AdamSF)
+	if _, err := adam.ParamPlans(specs); err == nil {
+		t.Fatal("AdamSF has no comm route and must be rejected")
+	}
+
+	// A typo'd override index must fail loudly, not silently leave the
+	// run on its default plan.
+	typo := NewPlanner(PolicyHybrid, c)
+	typo.Override(12, SFB)
+	if _, err := typo.ParamPlans(specs); err == nil {
+		t.Fatal("override for a nonexistent param must be rejected")
+	}
+}
+
+// ParamPlans must carry the spec metadata the router and metrics rely
+// on: dense indices, shapes, names, and routes mapped 1:1 from schemes.
+func TestPlannerParamPlans(t *testing.T) {
+	c := ClusterShape{Workers: 4, Batch: 2}
+	specs := []TensorSpec{
+		{Index: 0, Name: "fc0.W", Rows: 32, Cols: 16, SFCapable: true},
+		{Index: 1, Name: "fc0.b", Rows: 1, Cols: 32},
+	}
+	plans, err := NewPlanner(PolicyHybrid, c).ParamPlans(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("%d plans", len(plans))
+	}
+	if plans[0].Route != comm.RouteSFB || plans[1].Route != comm.RoutePS {
+		t.Fatalf("routes %v/%v, want SFB/PS", plans[0].Route, plans[1].Route)
+	}
+	for i, plan := range plans {
+		if plan.Index != specs[i].Index || plan.Name != specs[i].Name ||
+			plan.Rows != specs[i].Rows || plan.Cols != specs[i].Cols {
+			t.Fatalf("plan %d dropped spec metadata: %+v vs %+v", i, plan, specs[i])
+		}
+	}
+}
+
+// Decisions must expose the Table 1 numbers the choice was made from,
+// and a configured bandwidth must turn bytes into seconds.
+func TestPlannerDecisionCosts(t *testing.T) {
+	p := NewPlanner(PolicyHybrid, ClusterShape{Workers: 4, Batch: 2})
+	p.BytesPerSec = 1e6
+	d := p.Decide(TensorSpec{Index: 0, Name: "fc.W", Rows: 32, Cols: 16, SFCapable: true})
+	if d.Scheme != SFB {
+		t.Fatalf("scheme %v", d.Scheme)
+	}
+	if d.SFBParams != 576 || d.PSParams != 1536 {
+		t.Fatalf("cost params SFB=%d PS=%d, want 576/1536", d.SFBParams, d.PSParams)
+	}
+	wantBytes := int64(4 * 2 * 3 * (32 + 16))
+	if d.WireBytes != wantBytes {
+		t.Fatalf("wire bytes %d, want %d", d.WireBytes, wantBytes)
+	}
+	if want := float64(wantBytes) / 1e6; d.Seconds != want {
+		t.Fatalf("seconds %g, want %g", d.Seconds, want)
+	}
+}

@@ -1,0 +1,171 @@
+package train
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/nn/autodiff"
+	"repro/internal/poseidon"
+)
+
+// The functional plane must route exactly as poseidon.BestScheme — the
+// coordinator's Algorithm 1 entry point — decides, for every registered
+// model and a spread of cluster scales. Specs are derived from the zoo
+// descriptors (no tensor instantiation), and the trainer's own planner
+// construction (plannerFor) is what gets interrogated, so a drift in
+// either plane's wiring fails here.
+func TestFunctionalPlanMatchesBestSchemeAcrossZoo(t *testing.T) {
+	for _, m := range nn.Zoo() {
+		for _, workers := range []int{2, 4, 8, 16} {
+			cfg := Config{Workers: workers, Batch: m.BatchSize, Mode: Hybrid}
+			planner := plannerFor(cfg, workers)
+			cluster := poseidon.ClusterShape{Workers: workers, Servers: workers, Batch: m.BatchSize}
+			for i, li := range m.SyncLayers() {
+				l := &m.Layers[li]
+				got := planner.SchemeFor(poseidon.LayerSpec(i, l))
+				if want := poseidon.BestScheme(l, cluster); got != want {
+					t.Fatalf("%s/%s at %d workers: functional plane plans %v, BestScheme says %v",
+						m.Name, l.Name, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Every mode must flow through the planner: the routes buildPlans emits
+// have to equal a direct planner evaluation of the same specs — no
+// bespoke switch arms left in the trainer.
+func TestBuildPlansRoutesEveryModeThroughPlanner(t *testing.T) {
+	for _, mode := range []SyncMode{PSOnly, Hybrid, OneBit} {
+		cfg := Config{Workers: 4, Batch: 2, Mode: mode, Seed: 3,
+			BuildNet: mlpBuilder(16, []int{32}, 4)}
+		net := cfg.BuildNet(rand.New(rand.NewSource(cfg.Seed)))
+		plans, err := buildPlans(cfg, net, cfg.Workers)
+		if err != nil {
+			t.Fatalf("mode=%v: %v", mode, err)
+		}
+		specs := ParamSpecs(net)
+		if len(plans) != len(specs) {
+			t.Fatalf("mode=%v: %d plans for %d specs", mode, len(plans), len(specs))
+		}
+		planner := plannerFor(cfg, cfg.Workers)
+		for i, spec := range specs {
+			scheme := planner.SchemeFor(spec)
+			route, err := scheme.Route()
+			if err != nil {
+				t.Fatalf("mode=%v param %d: %v", mode, i, err)
+			}
+			if plans[i].Route != route {
+				t.Fatalf("mode=%v param %d (%s): buildPlans %v, planner %v",
+					mode, i, spec.Name, plans[i].Route, route)
+			}
+			if plans[i].Name != spec.Name {
+				t.Fatalf("mode=%v param %d: plan name %q, spec name %q", mode, i, plans[i].Name, spec.Name)
+			}
+		}
+	}
+}
+
+// ParamSpecs must mark exactly the FC weight matrices SF-capable, with
+// dense indices matching Params() order.
+func TestParamSpecsMarkFCWeights(t *testing.T) {
+	net := autodiff.MLPNet(16, []int{32}, 4, rand.New(rand.NewSource(1)))
+	specs := ParamSpecs(net)
+	if len(specs) != len(net.Params()) {
+		t.Fatalf("%d specs for %d params", len(specs), len(net.Params()))
+	}
+	sfCount := 0
+	for i, s := range specs {
+		if s.Index != i {
+			t.Fatalf("spec %d has index %d", i, s.Index)
+		}
+		if s.SFCapable {
+			sfCount++
+		}
+	}
+	if sfCount != 2 { // two FC layers, weights only — biases are not decomposable
+		t.Fatalf("%d SF-capable specs, want 2", sfCount)
+	}
+}
+
+// Explicit overrides flow from Config through the planner: pinning the
+// SFB-eligible hidden weights back to PS must leave no SFB routes, and
+// pinning an impossible route must surface as an error from the run.
+func TestRouteOverridesRespected(t *testing.T) {
+	cfg := Config{Workers: 4, Batch: 2, Mode: Hybrid, Seed: 3,
+		BuildNet:       mlpBuilder(16, []int{32}, 4),
+		RouteOverrides: map[int]poseidon.Scheme{0: poseidon.PS, 2: poseidon.PS}}
+	net := cfg.BuildNet(rand.New(rand.NewSource(cfg.Seed)))
+	plans, err := buildPlans(cfg, net, cfg.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if p.Route == comm.RouteSFB {
+			t.Fatalf("param %d still on SFB despite PS override", p.Index)
+		}
+	}
+
+	bad := cfg
+	bad.RouteOverrides = map[int]poseidon.Scheme{1: poseidon.SFB} // a bias vector
+	if _, err := buildPlans(bad, net, bad.Workers); err == nil {
+		t.Fatal("SFB override on a bias vector must fail at plan time")
+	}
+
+	typo := cfg
+	typo.RouteOverrides = map[int]poseidon.Scheme{42: poseidon.PS} // no such param
+	if _, err := buildPlans(typo, net, typo.Workers); err == nil {
+		t.Fatal("override for a nonexistent param must fail at plan time")
+	}
+	if _, err := Decisions(typo); err == nil {
+		t.Fatal("Decisions must validate overrides like the run does")
+	}
+}
+
+// A run with overridden routes must still train correctly (the
+// override path reaches the live router, not just the preview).
+func TestRunWithOverridesMatchesReference(t *testing.T) {
+	cfg := Config{
+		Workers: 4, Iters: 8, Batch: 2, LR: 0.05, Mode: Hybrid, Seed: 13,
+		BuildNet:       mlpBuilder(16, []int{32}, 4),
+		TrainSet:       smallData(101, 256),
+		RouteOverrides: map[int]poseidon.Scheme{0: poseidon.PS},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := singleWorkerReference(t, cfg)
+	if d := maxParamDiff(res.Final, ref); d > 1e-3 {
+		t.Fatalf("overridden run differs from large-batch SGD by %g", d)
+	}
+}
+
+// Decisions previews the same choices the run executes.
+func TestDecisionsMatchBuildPlans(t *testing.T) {
+	cfg := Config{Workers: 3, Batch: 2, Mode: Hybrid, Seed: 5,
+		BuildNet: mlpBuilder(16, []int{32}, 4)}
+	net := cfg.BuildNet(rand.New(rand.NewSource(cfg.Seed)))
+	plans, err := buildPlans(cfg, net, cfg.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisions, err := Decisions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != len(plans) {
+		t.Fatalf("%d decisions for %d plans", len(decisions), len(plans))
+	}
+	for i, d := range decisions {
+		route, err := d.Scheme.Route()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if route != plans[i].Route {
+			t.Fatalf("param %d: decision %v, plan %v", i, d.Scheme, plans[i].Route)
+		}
+	}
+}

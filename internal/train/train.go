@@ -19,7 +19,9 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/data"
+	"repro/internal/metrics"
 	"repro/internal/nn/autodiff"
+	"repro/internal/poseidon"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 )
@@ -95,6 +97,17 @@ type Config struct {
 	// report liveness before the curve is complete. Called from the
 	// worker's compute goroutine; keep it fast.
 	Progress func(Point)
+
+	// RouteOverrides pins parameter index → scheme, trumping the
+	// planner's policy for those tensors (the worker's -route flag and
+	// ablations). Overriding a non-FC tensor onto SFB or 1-bit fails at
+	// plan time.
+	RouteOverrides map[int]poseidon.Scheme
+
+	// Metrics, when set, receives this worker's live communication
+	// counters (per-parameter wire traffic, sync-stall time, KV
+	// rounds); snapshot it after the run for the -metrics-dump report.
+	Metrics *metrics.Comm
 }
 
 // Point is one recorded training measurement.
@@ -184,9 +197,13 @@ func (w *worker) run() (*Result, error) {
 
 	params := w.net.Params()
 	grads := w.net.Grads()
+	plans, err := buildPlans(cfg, w.net, w.n)
+	if err != nil {
+		return nil, err
+	}
 	router, err := comm.NewRouter(comm.Config{
 		Mesh:   w.mesh,
-		Plans:  buildPlans(cfg, w.net, w.n),
+		Plans:  plans,
 		Params: params,
 		// The cluster-wide update is −LR · mean over all P·K samples, so
 		// each worker contributes −LR/P of its local mean gradient.
@@ -195,6 +212,7 @@ func (w *worker) run() (*Result, error) {
 		Overlap:     cfg.Overlap,
 		ChunkElems:  cfg.ChunkElems,
 		PoolWorkers: cfg.PoolWorkers,
+		Metrics:     cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -240,32 +258,104 @@ func (w *worker) run() (*Result, error) {
 	return res, nil
 }
 
-// buildPlans assigns each parameter tensor a route using the paper's
-// decision rule (Algorithm 1 / comm.Decide): FC weight matrices are the
-// SF-capable tensors, located through the layer structure to avoid
-// guessing; everything else rides the KV store.
-func buildPlans(cfg Config, net *autodiff.Network, workers int) []comm.ParamPlan {
-	var plans []comm.ParamPlan
+// policyFor maps a SyncMode to its planner policy — the modes differ
+// only in what Algorithm 1 may choose, not in bespoke routing code.
+func policyFor(mode SyncMode) poseidon.Policy {
+	switch mode {
+	case PSOnly:
+		return poseidon.PolicyPS
+	case OneBit:
+		return poseidon.PolicyOneBit
+	default:
+		return poseidon.PolicyHybrid
+	}
+}
+
+// plannerFor builds the routing planner for a run with the given
+// worker count (PS shards are colocated with workers, as in the
+// paper's deployments).
+func plannerFor(cfg Config, workers int) *poseidon.Planner {
+	p := poseidon.NewPlanner(policyFor(cfg.Mode),
+		poseidon.ClusterShape{Workers: workers, Servers: workers, Batch: cfg.Batch})
+	for idx, s := range cfg.RouteOverrides {
+		p.Override(idx, s)
+	}
+	return p
+}
+
+// PlannerFor returns the cost-model planner the trainer will consult
+// for cfg — exported so tools (the worker's -autoplan dump) and tests
+// can inspect routing decisions without running the cluster.
+func PlannerFor(cfg Config) *poseidon.Planner { return plannerFor(cfg, cfg.Workers) }
+
+// ParamSpecs derives the planner's tensor specs from a live network:
+// one spec per trainable tensor in Params() order. FC weight matrices
+// are the SF-capable tensors, located through the layer structure
+// rather than by shape guessing.
+func ParamSpecs(net *autodiff.Network) []poseidon.TensorSpec {
+	var specs []poseidon.TensorSpec
 	idx := 0
 	for _, layer := range net.Layers {
 		fc, isFC := layer.(*autodiff.FC)
 		for pi, p := range layer.Params() {
-			plan := comm.ParamPlan{Index: idx, Rows: p.Rows, Cols: p.Cols, Route: comm.RoutePS}
-			if isFC && pi == 0 && fc.W == p && workers > 1 {
-				switch cfg.Mode {
-				case Hybrid:
-					if comm.Decide(p.Rows, p.Cols, cfg.Batch, workers) {
-						plan.Route = comm.RouteSFB
-						fc := fc
-						plan.SF = func() *tensor.SufficientFactor { return fc.SufficientFactor() }
-					}
-				case OneBit:
-					plan.Route = comm.RouteOneBit
-				}
+			suffix := fmt.Sprintf(".p%d", pi)
+			switch pi {
+			case 0:
+				suffix = ".W"
+			case 1:
+				suffix = ".b"
 			}
-			plans = append(plans, plan)
+			specs = append(specs, poseidon.TensorSpec{
+				Index:     idx,
+				Name:      layer.Name() + suffix,
+				Rows:      p.Rows,
+				Cols:      p.Cols,
+				SFCapable: isFC && pi == 0 && fc.W == p,
+			})
 			idx++
 		}
 	}
-	return plans
+	return specs
+}
+
+// Decisions previews the per-tensor routing for cfg with the cost
+// numbers behind each choice (the worker's -autoplan report): it
+// builds a throwaway replica from cfg.BuildNet and plans it. The
+// preview validates like the run — an infeasible or unknown-parameter
+// override errors here instead of mid-training.
+func Decisions(cfg Config) ([]poseidon.Decision, error) {
+	net := cfg.BuildNet(rand.New(rand.NewSource(cfg.Seed)))
+	planner := PlannerFor(cfg)
+	specs := ParamSpecs(net)
+	if _, err := planner.ParamPlans(specs); err != nil {
+		return nil, err
+	}
+	return planner.Plan(specs), nil
+}
+
+// buildPlans routes every parameter through poseidon.Planner — the
+// single owner of the Algorithm 1 decision rule shared with the
+// performance plane — then attaches the sufficient-factor extractors
+// the SFB route needs (closures over live FC layer state the planner
+// never sees).
+func buildPlans(cfg Config, net *autodiff.Network, workers int) ([]comm.ParamPlan, error) {
+	plans, err := plannerFor(cfg, workers).ParamPlans(ParamSpecs(net))
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, layer := range net.Layers {
+		fc, isFC := layer.(*autodiff.FC)
+		for pi, p := range layer.Params() {
+			if plans[idx].Route == comm.RouteSFB {
+				if !(isFC && pi == 0 && fc.W == p) {
+					return nil, fmt.Errorf("train: param %d (%s) routed to SFB but has no sufficient factor", idx, plans[idx].Name)
+				}
+				fc := fc
+				plans[idx].SF = func() *tensor.SufficientFactor { return fc.SufficientFactor() }
+			}
+			idx++
+		}
+	}
+	return plans, nil
 }

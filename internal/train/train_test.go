@@ -109,8 +109,12 @@ func TestHybridActuallyUsesSFB(t *testing.T) {
 	cfg := Config{Workers: 4, Batch: 2, Mode: Hybrid, BuildNet: mlpBuilder(16, []int{32}, 4)}
 	rng := rand.New(rand.NewSource(1))
 	net := cfg.BuildNet(rng)
+	plans, err := buildPlans(cfg, net, cfg.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sfbCount := 0
-	for _, plan := range buildPlans(cfg, net, cfg.Workers) {
+	for _, plan := range plans {
 		if plan.Route == comm.RouteSFB {
 			if plan.SF == nil {
 				t.Fatalf("param %d: SFB route without SF extractor", plan.Index)

@@ -1,0 +1,72 @@
+package transport
+
+import "repro/internal/metrics"
+
+// ObservedMesh wraps a Mesh and invokes callbacks for every
+// non-loopback frame: onSent before each outbound frame (including
+// each message of a batch), onRecv after each successfully received
+// frame. Loopback frames are excluded in both directions — a self-send
+// never touches the wire — and the callbacks receive the frame's
+// on-wire size (WireBytes, length prefix included). This is the single
+// counting wrapper behind both the flat wire meter (NewMeteredMesh)
+// and the comm router's per-parameter attribution, so the
+// loopback-exclusion rule lives in exactly one place.
+type ObservedMesh struct {
+	inner          Mesh
+	onSent, onRecv func(msg Message, wireBytes int)
+}
+
+// NewObservedMesh instruments inner with the given callbacks (either
+// may be nil). Callbacks must be safe for concurrent use — sends run
+// on whatever goroutine calls Send/SendBatch.
+func NewObservedMesh(inner Mesh, onSent, onRecv func(msg Message, wireBytes int)) *ObservedMesh {
+	return &ObservedMesh{inner: inner, onSent: onSent, onRecv: onRecv}
+}
+
+// NewMeteredMesh instruments inner with frame-level wire counters:
+// every non-loopback frame's on-wire size in both directions. It is
+// the transport-layer complement of the comm router's per-parameter
+// attribution — the wire counters include every frame regardless of
+// protocol role (pushes, broadcasts, SFs, control), so they bound the
+// per-parameter totals from above.
+func NewMeteredMesh(inner Mesh, w *metrics.WireStats) *ObservedMesh {
+	return NewObservedMesh(inner,
+		func(_ Message, wireBytes int) { w.CountSent(wireBytes) },
+		func(_ Message, wireBytes int) { w.CountRecv(wireBytes) })
+}
+
+// Self returns the wrapped endpoint's node id.
+func (m *ObservedMesh) Self() int { return m.inner.Self() }
+
+// N returns the mesh size.
+func (m *ObservedMesh) N() int { return m.inner.N() }
+
+// Send observes the frame (loopback excluded) and delivers it.
+func (m *ObservedMesh) Send(to int, msg Message) error {
+	if to != m.Self() && m.onSent != nil {
+		m.onSent(msg, WireBytes(msg))
+	}
+	return m.inner.Send(to, msg)
+}
+
+// SendBatch observes every frame (loopback excluded) and delivers them.
+func (m *ObservedMesh) SendBatch(to int, msgs []Message) error {
+	if to != m.Self() && m.onSent != nil {
+		for _, msg := range msgs {
+			m.onSent(msg, WireBytes(msg))
+		}
+	}
+	return m.inner.SendBatch(to, msgs)
+}
+
+// Recv observes the inbound frame (loopback excluded) and returns it.
+func (m *ObservedMesh) Recv() (Message, error) {
+	msg, err := m.inner.Recv()
+	if err == nil && int(msg.From) != m.Self() && m.onRecv != nil {
+		m.onRecv(msg, WireBytes(msg))
+	}
+	return msg, err
+}
+
+// Close tears down the wrapped mesh.
+func (m *ObservedMesh) Close() error { return m.inner.Close() }

@@ -1,0 +1,57 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// MeteredMesh must count exactly the non-loopback frames, at their
+// on-wire size (length prefix + header + payload), in both directions.
+func TestMeteredMeshCountsWireTraffic(t *testing.T) {
+	meshes := NewChanCluster(2)
+	defer meshes[0].Close()
+	c := metrics.NewComm()
+	m0 := NewMeteredMesh(meshes[0], c.Wire())
+
+	if m0.Self() != 0 || m0.N() != 2 {
+		t.Fatalf("identity passthrough broken: self=%d n=%d", m0.Self(), m0.N())
+	}
+
+	msg := Message{Type: MsgPush, Layer: 1, Payload: []byte{1, 2, 3, 4}}
+	want := WireBytes(msg) // 4 + 17 + 4
+	if err := m0.Send(1, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := m0.SendBatch(1, []Message{msg, msg}); err != nil {
+		t.Fatal(err)
+	}
+	// Loopback: free, never counted.
+	if err := m0.Send(0, msg); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m0.Recv(); got.Type != MsgPush {
+		t.Fatalf("loopback recv type %d", got.Type)
+	}
+
+	snap := c.Snapshot().Wire
+	if snap.FramesSent != 3 || snap.BytesSent != int64(3*want) {
+		t.Fatalf("sent %d frames / %d bytes, want 3 / %d", snap.FramesSent, snap.BytesSent, 3*want)
+	}
+	if snap.FramesRecv != 0 {
+		t.Fatalf("loopback recv was counted: %d frames", snap.FramesRecv)
+	}
+
+	// The peer's inbound side counts the three remote frames.
+	c1 := metrics.NewComm()
+	m1 := NewMeteredMesh(meshes[1], c1.Wire())
+	for i := 0; i < 3; i++ {
+		if _, err := m1.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap1 := c1.Snapshot().Wire
+	if snap1.FramesRecv != 3 || snap1.BytesRecv != int64(3*want) {
+		t.Fatalf("peer recv %d frames / %d bytes, want 3 / %d", snap1.FramesRecv, snap1.BytesRecv, 3*want)
+	}
+}

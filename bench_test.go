@@ -106,6 +106,7 @@ func BenchmarkHeadlineVGG22K_10GbE(b *testing.B) {
 // paper's WFBP claim reproduced with actual training.
 func BenchmarkHeadlineFuncOverlap(b *testing.B) {
 	arms := experiments.FuncScaleArms()
+	b.ReportAllocs()
 	var serial, overlapped float64
 	for i := 0; i < b.N; i++ {
 		s, err := experiments.RunFuncScaleArm(arms[0], 20e6, 100*time.Microsecond)

@@ -1,0 +1,105 @@
+// Command bench-trend gates CI on the perf trajectory: it compares the
+// current BENCH_ci.json (cmd/poseidon-bench -json) against the previous
+// baseline downloaded from the last successful main run and fails when
+// any shared experiment regressed by more than -max-regress.
+//
+//	bench-trend -old prev/BENCH_ci.json -new BENCH_ci.json -max-regress 0.20
+//
+// A missing baseline is not an error — the first run on a branch seeds
+// the trajectory — and experiments faster than -min-seconds in the
+// baseline are skipped, because shared-runner timing noise on
+// millisecond-scale experiments would make a ratio gate flap.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// report mirrors the BENCH_ci.json schema (cmd/poseidon-bench).
+type report struct {
+	TotalSeconds float64  `json:"total_seconds"`
+	Experiments  []record `json:"experiments"`
+}
+
+type record struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// regression describes one experiment that got slower than allowed.
+type regression struct {
+	Name     string
+	Old, New float64
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("%s: %.4fs -> %.4fs (+%.1f%%)", r.Name, r.Old, r.New, (r.New/r.Old-1)*100)
+}
+
+// compare returns the experiments in next that regressed by more than
+// maxRegress relative to prev, skipping baselines below minSeconds
+// (noise floor) and experiments not present in both reports.
+func compare(prev, next report, maxRegress, minSeconds float64) []regression {
+	base := make(map[string]float64, len(prev.Experiments))
+	for _, e := range prev.Experiments {
+		base[e.Name] = e.Seconds
+	}
+	var regs []regression
+	for _, e := range next.Experiments {
+		old, ok := base[e.Name]
+		if !ok || old < minSeconds {
+			continue
+		}
+		if e.Seconds > old*(1+maxRegress) {
+			regs = append(regs, regression{Name: e.Name, Old: old, New: e.Seconds})
+		}
+	}
+	return regs
+}
+
+func load(path string) (report, error) {
+	var r report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	return r, json.Unmarshal(b, &r)
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline BENCH_ci.json (previous main run)")
+	newPath := flag.String("new", "BENCH_ci.json", "current BENCH_ci.json")
+	maxRegress := flag.Float64("max-regress", 0.20, "failure threshold as a fraction (0.20 = +20%)")
+	minSeconds := flag.Float64("min-seconds", 0.01, "skip experiments whose baseline is below this (timing-noise floor)")
+	flag.Parse()
+
+	next, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-trend: current report: %v\n", err)
+		os.Exit(1)
+	}
+	prev, err := load(*oldPath)
+	if err != nil {
+		// No baseline: the first run seeds the trajectory.
+		fmt.Printf("bench-trend: no baseline (%v) — seeding with %d experiments, %.2fs total\n",
+			err, len(next.Experiments), next.TotalSeconds)
+		return
+	}
+
+	regs := compare(prev, next, *maxRegress, *minSeconds)
+	for _, e := range next.Experiments {
+		fmt.Printf("bench-trend: %-12s %.4fs\n", e.Name, e.Seconds)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "bench-trend: %d experiment(s) regressed more than %.0f%%:\n", len(regs), *maxRegress*100)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("bench-trend: no regression beyond %.0f%% against baseline (total %.2fs -> %.2fs)\n",
+		*maxRegress*100, prev.TotalSeconds, next.TotalSeconds)
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func rep(pairs ...any) report {
+	var r report
+	for i := 0; i < len(pairs); i += 2 {
+		r.Experiments = append(r.Experiments, record{
+			Name:    pairs[i].(string),
+			Seconds: pairs[i+1].(float64),
+		})
+	}
+	return r
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	prev := rep("table1", 1.0, "fig10", 2.0, "tiny", 0.001, "gone", 3.0)
+	next := rep("table1", 1.15, "fig10", 2.5, "tiny", 1.0, "new", 9.0)
+	regs := compare(prev, next, 0.20, 0.01)
+	// table1 +15% passes; fig10 +25% fails; tiny is under the noise
+	// floor; gone/new are not shared.
+	if len(regs) != 1 || regs[0].Name != "fig10" {
+		t.Fatalf("regressions = %v, want exactly fig10", regs)
+	}
+}
+
+func TestCompareBoundary(t *testing.T) {
+	prev := rep("a", 1.0)
+	if regs := compare(prev, rep("a", 1.2), 0.20, 0.01); len(regs) != 0 {
+		t.Fatalf("exactly +20%% must pass, got %v", regs)
+	}
+	if regs := compare(prev, rep("a", 1.21), 0.20, 0.01); len(regs) != 1 {
+		t.Fatalf("+21%% must fail, got %v", regs)
+	}
+}

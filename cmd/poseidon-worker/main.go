@@ -24,6 +24,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -111,6 +112,13 @@ func main() {
 				if p.TestErr >= 0 {
 					line += fmt.Sprintf("  test-err %.3f", p.TestErr)
 				}
+				if mtr != nil {
+					// Per-window stall delta (metrics.SnapshotIter): the
+					// live straggler signal — a worker whose max stall
+					// grows is waiting on a slow peer.
+					w := mtr.SnapshotIter()
+					line += fmt.Sprintf("  stall %.1fms (max %.1fms)", w.TotalMS, w.MaxMS)
+				}
 				fmt.Println(line)
 			}
 		},
@@ -132,6 +140,12 @@ func main() {
 		}
 	}
 
+	// Mallocs deltas around the whole run make the wire path's
+	// allocation behavior visible on a live cluster, not just in
+	// go test -bench: allocs_per_iter covers every goroutine (compute,
+	// syncers, transport read loops), warmup included.
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	res, err := train.RunWorker(cfg, mesh)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "worker %d: %v\n", *id, err)
@@ -150,7 +164,18 @@ func main() {
 		fmt.Printf("PARAMS %016x\n", paramDigest(res.Final.Params()))
 	}
 	if mtr != nil {
-		b, err := json.Marshal(mtr.Snapshot())
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		// The report embeds the CommSnapshot schema and adds the
+		// process-wide allocation rate.
+		report := struct {
+			metrics.CommSnapshot
+			AllocsPerIter float64 `json:"allocs_per_iter"`
+		}{CommSnapshot: mtr.Snapshot()}
+		if *iters > 0 {
+			report.AllocsPerIter = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(*iters)
+		}
+		b, err := json.Marshal(report)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "worker %d: metrics snapshot: %v\n", *id, err)
 			os.Exit(1)

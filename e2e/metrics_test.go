@@ -34,6 +34,10 @@ type metricsSnapshot struct {
 		SFBParams       int   `json:"sfb_params"`
 		SFBSavingsBytes int64 `json:"sfb_savings_bytes"`
 	} `json:"totals"`
+	// AllocsPerIter is the worker's process-wide runtime.MemStats
+	// Mallocs delta per iteration — the live-cluster view of the wire
+	// path's allocation behavior.
+	AllocsPerIter float64 `json:"allocs_per_iter"`
 }
 
 // metricsLine matches one worker's "[wN] METRICS {...}" output line.
@@ -157,6 +161,9 @@ func TestAutoplanMatchesChanMeshAndBeatsPurePS(t *testing.T) {
 
 		if hybridSnaps[id].Totals.SFBParams < 1 {
 			t.Fatalf("worker %d: hybrid snapshot shows no SFB params", id)
+		}
+		if hybridSnaps[id].AllocsPerIter <= 0 {
+			t.Fatalf("worker %d: METRICS missing allocs_per_iter", id)
 		}
 		if hybridSnaps[id].Totals.SFBSavingsBytes <= 0 {
 			t.Fatalf("worker %d: hybrid snapshot shows no SFB savings", id)

@@ -1,0 +1,103 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// BenchmarkWirePathAlloc measures the full steady-state wire path of
+// one training iteration on a 3-node in-process cluster exercising all
+// three routes at once: a chunked PS tensor, an SFB tensor, and a 1-bit
+// tensor. One op = one cluster-wide iteration (every node launches,
+// every round folds, every replica adopts). allocs/op is the headline
+// number: the zero-allocation wire path drives it toward O(1) per
+// parameter instead of O(messages).
+func BenchmarkWirePathAlloc(b *testing.B) {
+	const n = 3
+	type dims struct{ rows, cols int }
+	shapes := []dims{{64, 64}, {32, 48}, {32, 32}}
+	const sfK = 8
+
+	mkParams := func() []*tensor.Matrix {
+		var ps []*tensor.Matrix
+		for _, s := range shapes {
+			ps = append(ps, tensor.NewMatrix(s.rows, s.cols))
+		}
+		return ps
+	}
+
+	meshes := transport.NewChanCluster(n)
+	routers := make([]*Router, n)
+	factors := make([]*tensor.SufficientFactor, n)
+	for node := 0; node < n; node++ {
+		sf := &tensor.SufficientFactor{
+			U: tensor.NewMatrix(sfK, shapes[1].rows),
+			V: tensor.NewMatrix(sfK, shapes[1].cols),
+		}
+		sf.U.Fill(0.01)
+		sf.V.Fill(0.01)
+		factors[node] = sf
+		node := node
+		r, err := NewRouter(Config{
+			Mesh: meshes[node],
+			Plans: []ParamPlan{
+				{Index: 0, Rows: shapes[0].rows, Cols: shapes[0].cols, Route: RoutePS},
+				{Index: 1, Rows: shapes[1].rows, Cols: shapes[1].cols, Route: RouteSFB,
+					SF: func() *tensor.SufficientFactor { return factors[node] }},
+				{Index: 2, Rows: shapes[2].rows, Cols: shapes[2].cols, Route: RouteOneBit},
+			},
+			Params: mkParams(),
+			// Scale 1 keeps the shared benchmark factors fixed under
+			// Launch's in-place U scaling.
+			Scale:      1,
+			Overlap:    true,
+			ChunkElems: 1024,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		routers[node] = r
+		r.Start()
+	}
+	defer func() {
+		meshes[0].Close()
+		for _, r := range routers {
+			r.Stop()
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for node := 0; node < n; node++ {
+		r := routers[node]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			params := mkParams()
+			grads := mkParams()
+			for _, g := range grads {
+				g.Fill(1e-4)
+			}
+			for iter := 0; iter < b.N; iter++ {
+				r.WaitFor(iter)
+				r.Adopt(params)
+				if err := r.LaunchAll(iter, grads); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			r.WaitFor(b.N)
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	for _, r := range routers {
+		if err := r.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

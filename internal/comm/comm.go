@@ -74,8 +74,12 @@ type ParamPlan struct {
 	// against. Zero when no cost model produced the plan.
 	PSEquivBytes int64
 	// SF extracts the parameter's sufficient factor after a backward
-	// pass. Required for RouteSFB; the factor must be owned by the
-	// caller (cloned from layer buffers).
+	// pass. Required for RouteSFB. The factor is consumed synchronously
+	// inside Launch — encoded and copied before it returns — and Launch
+	// folds the update scaling into U in place, so implementations may
+	// return views of live layer buffers (autodiff's
+	// BorrowSufficientFactor) as long as nothing else reads them
+	// between the backward pass and the next one.
 	SF func() *tensor.SufficientFactor
 }
 
@@ -86,9 +90,12 @@ type ParamPlan struct {
 // clock.
 type Syncer interface {
 	// Launch ships this worker's contribution for iteration iter.
-	// update is the scaled dense update (ownership transfers to the
-	// syncer; it may be retained by in-flight sends). Routes that
-	// derive their own payload (SFB) receive nil.
+	// update is the scaled dense update, borrowed from the router's
+	// update ring: it stays valid until this parameter's clock advances
+	// for iter (the router reuses the ring slot staleness+1 iterations
+	// later), so in-flight encode tasks may read it but the syncer must
+	// not retain it past round completion. Routes that derive their own
+	// payload (SFB) receive nil.
 	Launch(iter int, update *tensor.Matrix) error
 	// Handle processes one inbound wire message addressed to this
 	// parameter, in either the worker or the server role.

@@ -1,6 +1,10 @@
 package comm
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/transport"
+)
 
 // sendPool is the dispatcher behind overlapped pushes: a fixed set of
 // workers, each draining its own FIFO queue. Tasks with the same stripe
@@ -9,6 +13,12 @@ import "sync"
 // chunk must stay FIFO per link under bounded staleness) — while tasks
 // on different stripes run concurrently and overlap their wire time
 // across shards.
+//
+// Tasks are value structs, not closures: the overwhelmingly common task
+// is "send this prepared message to node N and release its payload
+// lease", which needs no per-task heap allocation. Only encode-in-task
+// work (the PS push path, which serializes off the compute goroutine)
+// carries a closure.
 //
 // submit never blocks: the receive goroutine dispatches server-side
 // broadcasts through the pool, and a blocking submit there would close
@@ -21,6 +31,10 @@ type sendPool struct {
 	queues []*stripeQueue
 	wg     sync.WaitGroup
 
+	// send ships one prepared message; the Router points it at its
+	// (possibly instrumented) mesh before Start.
+	send func(to int, msg transport.Message) error
+
 	mu      sync.Mutex
 	err     error
 	closing bool
@@ -30,11 +44,33 @@ type sendPool struct {
 	onErr func(error)
 }
 
-// stripeQueue is one worker's unbounded FIFO task queue.
+// task is one unit of pool work: either a closure (fn != nil) or a
+// prepared send, whose payload lease is released once the write is
+// done.
+type task struct {
+	fn  func() error
+	to  int
+	msg transport.Message
+}
+
+// run executes the task.
+func (p *sendPool) run(t *task) error {
+	if t.fn != nil {
+		return t.fn()
+	}
+	err := p.send(t.to, t.msg)
+	t.msg.ReleasePayload()
+	return err
+}
+
+// stripeQueue is one worker's unbounded FIFO task queue, backed by a
+// slice that recycles its capacity once drained (steady state enqueues
+// no allocation).
 type stripeQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	tasks  []func() error
+	tasks  []task
+	head   int
 	closed bool
 }
 
@@ -44,33 +80,46 @@ func newStripeQueue() *stripeQueue {
 	return q
 }
 
-// push appends fn; reports false after close (caller runs it inline).
-func (q *stripeQueue) push(fn func() error) bool {
+// push appends t; reports false after close (caller runs it inline).
+func (q *stripeQueue) push(t task) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return false
 	}
-	q.tasks = append(q.tasks, fn)
+	q.tasks = append(q.tasks, t)
 	q.cond.Signal()
 	return true
 }
 
 // pop blocks for the next task; reports false when the queue is closed
 // and drained.
-func (q *stripeQueue) pop() (func() error, bool) {
+func (q *stripeQueue) pop() (task, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.tasks) == 0 && !q.closed {
+	for q.head == len(q.tasks) && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.tasks) == 0 {
-		return nil, false
+	if q.head == len(q.tasks) {
+		return task{}, false
 	}
-	fn := q.tasks[0]
-	q.tasks[0] = nil
-	q.tasks = q.tasks[1:]
-	return fn, true
+	t := q.tasks[q.head]
+	q.tasks[q.head] = task{} // drop references for the GC
+	q.head++
+	if q.head == len(q.tasks) {
+		// Drained: rewind so the backing array is reused.
+		q.tasks = q.tasks[:0]
+		q.head = 0
+	} else if q.head >= 64 && q.head*2 >= len(q.tasks) {
+		// Sustained backlog (producer stays ahead of this worker):
+		// compact so the consumed prefix is shed instead of being
+		// retained and recopied by every append-triggered realloc.
+		n := copy(q.tasks, q.tasks[q.head:])
+		clear(q.tasks[n:])
+		q.tasks = q.tasks[:n]
+		q.head = 0
+	}
+	return t, true
 }
 
 func (q *stripeQueue) close() {
@@ -93,11 +142,11 @@ func newSendPool(workers int, onErr func(error)) *sendPool {
 		go func() {
 			defer p.wg.Done()
 			for {
-				fn, ok := q.pop()
+				t, ok := q.pop()
 				if !ok {
 					return
 				}
-				p.record(fn())
+				p.record(p.run(&t))
 			}
 		}()
 	}
@@ -121,8 +170,19 @@ func (p *sendPool) record(err error) {
 // submit enqueues fn on stripe's queue without ever blocking. After
 // close it degrades to inline execution so late stragglers still run.
 func (p *sendPool) submit(stripe uint32, fn func() error) {
-	if !p.queues[int(stripe)%len(p.queues)].push(fn) {
-		p.record(fn())
+	p.submitTask(stripe, task{fn: fn})
+}
+
+// submitSend enqueues a prepared message send. The pool owns one
+// reference on the message's payload lease (the caller retains before
+// submitting) and releases it after the write.
+func (p *sendPool) submitSend(stripe uint32, to int, msg transport.Message) {
+	p.submitTask(stripe, task{to: to, msg: msg})
+}
+
+func (p *sendPool) submitTask(stripe uint32, t task) {
+	if !p.queues[int(stripe)%len(p.queues)].push(t) {
+		p.record(p.run(&t))
 	}
 }
 

@@ -77,6 +77,14 @@ type Router struct {
 	staged  []*tensor.Matrix
 	stageMu sync.Mutex
 
+	// updRing holds the scaled-update scratch for dense routes, one
+	// slot per admissible in-flight iteration (staleness+1): slot
+	// iter%depth is reused only once the launch that last used it has
+	// fully synchronized, so dispatched encode tasks never read a
+	// buffer the compute loop is refilling. SFB entries are nil (that
+	// route derives its own payload).
+	updRing [][]*tensor.Matrix
+
 	errMu     sync.Mutex
 	asyncEr   error
 	abortSent atomic.Bool
@@ -135,12 +143,13 @@ func NewRouter(cfg Config) (*Router, error) {
 	if r.metrics != nil {
 		r.shard.SetMetrics(r.metrics.KV())
 	}
-	if cfg.Overlap {
-		workers := cfg.PoolWorkers
-		if workers <= 0 {
-			workers = 8
-		}
-		r.pool = newSendPool(workers, r.fail)
+	depth := cfg.Staleness + 1
+	if depth < 1 {
+		depth = 1
+	}
+	r.updRing = make([][]*tensor.Matrix, depth)
+	for d := range r.updRing {
+		r.updRing[d] = make([]*tensor.Matrix, len(cfg.Plans))
 	}
 	bank := sfb.NewBank()
 	for i, plan := range cfg.Plans {
@@ -167,6 +176,21 @@ func NewRouter(cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("comm: param %d: unknown route %v", i, plan.Route)
 		}
 		r.staged = append(r.staged, cfg.Params[i].Clone())
+		switch plan.Route {
+		case RoutePS:
+			// PS encode tasks read the slot asynchronously, so every
+			// in-flight iteration needs its own buffer.
+			for d := range r.updRing {
+				r.updRing[d][i] = tensor.NewMatrix(plan.Rows, plan.Cols)
+			}
+		case RouteOneBit:
+			// The 1-bit quantizer consumes its update synchronously
+			// inside Launch, so one shared buffer serves every slot.
+			m := tensor.NewMatrix(plan.Rows, plan.Cols)
+			for d := range r.updRing {
+				r.updRing[d][i] = m
+			}
+		}
 		if r.metrics != nil {
 			r.pstats = append(r.pstats,
 				r.metrics.RegisterParam(i, plan.Name, plan.Route.String(), plan.Rows*plan.Cols, plan.PSEquivBytes))
@@ -190,6 +214,18 @@ func NewRouter(cfg Config) (*Router, error) {
 				}
 			})
 	}
+	if cfg.Overlap {
+		// Created last, after every validation error return, so a
+		// rejected config never leaks the pool's worker goroutines. It
+		// sends through whatever mesh the router settled on (metrics
+		// may have wrapped it above).
+		workers := cfg.PoolWorkers
+		if workers <= 0 {
+			workers = 8
+		}
+		r.pool = newSendPool(workers, r.fail)
+		r.pool.send = r.mesh.Send
+	}
 	return r, nil
 }
 
@@ -203,6 +239,23 @@ func (r *Router) dispatch(stripe uint32, fn func() error) {
 		return
 	}
 	r.pool.submit(stripe, fn)
+}
+
+// dispatchSend ships a prepared message through the pool (or inline),
+// consuming one reference on its payload lease after the write — the
+// allocation-free form of dispatch for sends whose payload is already
+// encoded. Callers fanning one message out to several destinations
+// retain once per dispatchSend.
+func (r *Router) dispatchSend(stripe uint32, to int, msg transport.Message) {
+	if r.pool == nil {
+		err := r.mesh.Send(to, msg)
+		msg.ReleasePayload()
+		if err != nil {
+			r.fail(err)
+		}
+		return
+	}
+	r.pool.submitSend(stripe, to, msg)
 }
 
 // Start spawns the receive loop. Call exactly once, before the first
@@ -232,15 +285,21 @@ func (r *Router) receiveLoop() {
 		if msg.Type == transport.MsgControl {
 			// A peer aborted; don't re-broadcast (the originator already
 			// told everyone), just wake our own waiters.
+			msg.ReleasePayload()
 			r.failWith(fmt.Errorf("comm: peer %d aborted", msg.From), false)
 			return
 		}
 		index := int(msg.Layer)
 		if index < 0 || index >= len(r.syncers) {
+			msg.ReleasePayload()
 			r.fail(fmt.Errorf("comm: message for unknown param %d", index))
 			return
 		}
-		if err := r.syncers[index].Handle(msg); err != nil {
+		err = r.syncers[index].Handle(msg)
+		// Syncers decode into their own scratch and never retain the
+		// frame, so its pooled lease (if any) goes back now.
+		msg.ReleasePayload()
+		if err != nil {
 			r.fail(err)
 			return
 		}
@@ -249,16 +308,25 @@ func (r *Router) receiveLoop() {
 
 // LaunchAll starts synchronization of every parameter for this
 // iteration — the per-layer sync() calls of the paper's Algorithm 2.
-// Dense routes receive a freshly scaled clone of their gradient, so the
+// Dense routes receive their gradient scaled into the update ring's
+// slot for this iteration (no per-iteration allocation), so the
 // caller's grad buffers are free for the next backward pass immediately.
+//
+// Precondition: the caller must have returned from WaitFor(iter) before
+// LaunchAll(iter) — the training loop's natural gate. That is what lets
+// slot iter%(staleness+1) be reused: the launch that last wrote it
+// (iteration iter−staleness−1) has fully synchronized, so no dispatched
+// encode task can still be reading the buffer being refilled.
 func (r *Router) LaunchAll(iter int, grads []*tensor.Matrix) error {
 	if len(grads) != len(r.syncers) {
 		return fmt.Errorf("comm: %d grads for %d syncers", len(grads), len(r.syncers))
 	}
+	slot := r.updRing[iter%len(r.updRing)]
 	for i, s := range r.syncers {
 		var update *tensor.Matrix
 		if r.plans[i].Route != RouteSFB {
-			update = grads[i].Clone()
+			update = slot[i]
+			update.CopyFrom(grads[i])
 			update.Scale(r.scale)
 		}
 		if err := s.Launch(iter, update); err != nil {

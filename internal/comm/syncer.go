@@ -8,6 +8,21 @@ import (
 	"repro/internal/transport"
 )
 
+// The syncers below are allocation-flat in steady state: outbound
+// payloads are leased from the transport's reference-counted pool
+// (dispatched send tasks hold their own references and release after
+// the write), inbound payloads are decoded into per-syncer scratch that
+// is reused across messages, and round state (KV contributions, SF
+// factor sets) recycles through the shard's and aggregator's own free
+// lists. Handle never retains msg.Payload — the router releases the
+// frame's pooled lease as soon as Handle returns.
+//
+// Scratch discipline: fields named *Scratch and the decode/dequantize
+// buffers are owned by the router's receive goroutine (Handle and
+// everything it calls); Launch-side scratch (quantizers, batch slices)
+// is owned by the compute goroutine or serialized by the send pool's
+// per-stripe FIFO.
+
 // stripeFor maps a (parameter, lane) pair onto a send-pool stripe. All
 // traffic for one chunk travels on one stripe (FIFO per link); distinct
 // chunks, servers, and broadcast destinations spread across stripes so
@@ -28,18 +43,25 @@ type psSyncer struct {
 	chunks []chunkSpec
 	// groups lists (server, chunk indices) in ascending server order so
 	// one Launch emits one batched send per server, deterministically.
-	groups []serverGroup
+	groups []*serverGroup
 	// got counts broadcast chunks received per iteration (guarded by
 	// the router's stage mutex — broadcast handling already holds it).
 	got map[int]int
-	// fresh is server-side scratch for completed rounds, reused across
-	// rounds (the receive goroutine is the only writer).
-	fresh []float32
+	// fresh is server-side scratch for completed rounds; pushScratch
+	// and bcastScratch are decode scratch. All three are touched only by
+	// the receive goroutine.
+	fresh        []float32
+	pushScratch  []float32
+	bcastScratch []float32
 }
 
 type serverGroup struct {
 	server int
 	cs     []int
+	// msgs is the reusable batch-send scratch. Launch tasks for one
+	// group share a stripe and therefore run FIFO, so the slice is
+	// never touched by two iterations at once.
+	msgs []transport.Message
 }
 
 func newPSSyncer(r *Router, plan ParamPlan) *psSyncer {
@@ -57,7 +79,11 @@ func newPSSyncer(r *Router, plan ParamPlan) *psSyncer {
 			}
 		}
 		if len(cs) > 0 {
-			s.groups = append(s.groups, serverGroup{server: server, cs: cs})
+			s.groups = append(s.groups, &serverGroup{
+				server: server,
+				cs:     cs,
+				msgs:   make([]transport.Message, 0, len(cs)),
+			})
 		}
 	}
 	return s
@@ -75,23 +101,33 @@ func (s *psSyncer) initShard(initial *tensor.Matrix) {
 // Launch pushes every chunk of the scaled update to its shard, one
 // batched send per server. Encoding happens inside the dispatched task,
 // so with overlap enabled the compute goroutine moves on to the next
-// layer while this one is still being serialized.
+// layer while this one is still being serialized; update stays valid
+// until the task runs (the router's update ring guarantees it).
 func (s *psSyncer) Launch(iter int, update *tensor.Matrix) error {
 	for _, g := range s.groups {
-		server, cs := g.server, g.cs
-		s.r.dispatch(stripeFor(s.plan.Index, server), func() error {
-			msgs := make([]transport.Message, 0, len(cs))
-			for _, c := range cs {
+		g := g
+		s.r.dispatch(stripeFor(s.plan.Index, g.server), func() error {
+			msgs := g.msgs[:0]
+			for _, c := range g.cs {
 				spec := s.chunks[c]
-				msgs = append(msgs, transport.Message{
+				ref := transport.LeasePayload(tensor.Float32sWireBytes(spec.n))
+				ref.SetBytes(tensor.AppendFloat32s(ref.Bytes(), update.Data[spec.off:spec.off+spec.n]))
+				msg := transport.Message{
 					Type:    transport.MsgPush,
 					Layer:   int32(s.plan.Index),
 					Chunk:   int32(c),
 					Iter:    int32(iter),
-					Payload: tensor.AppendFloat32s(nil, update.Data[spec.off:spec.off+spec.n]),
-				})
+					Payload: ref.Bytes(),
+				}
+				msg.AttachLease(ref)
+				msgs = append(msgs, msg)
 			}
-			return s.r.mesh.SendBatch(server, msgs)
+			g.msgs = msgs
+			err := s.r.mesh.SendBatch(g.server, msgs)
+			for i := range msgs {
+				msgs[i].ReleasePayload()
+			}
+			return err
 		})
 	}
 	return nil
@@ -107,16 +143,18 @@ func (s *psSyncer) Handle(msg transport.Message) error {
 	spec := s.chunks[c]
 	switch msg.Type {
 	case transport.MsgPush:
-		vals, _, err := tensor.DecodeFloat32s(msg.Payload)
+		vals, _, err := tensor.DecodeFloat32sInto(s.pushScratch, msg.Payload)
 		if err != nil {
 			return err
 		}
+		s.pushScratch = vals
 		return s.serverPush(c, int(msg.Iter), int(msg.From), vals)
 	case transport.MsgBcast:
-		vals, _, err := tensor.DecodeFloat32s(msg.Payload)
+		vals, _, err := tensor.DecodeFloat32sInto(s.bcastScratch, msg.Payload)
 		if err != nil {
 			return err
 		}
+		s.bcastScratch = vals
 		if len(vals) != spec.n {
 			return fmt.Errorf("comm: param %d chunk %d: bcast len %d != %d", s.plan.Index, c, len(vals), spec.n)
 		}
@@ -138,10 +176,11 @@ func (s *psSyncer) Handle(msg transport.Message) error {
 	}
 }
 
-// serverPush feeds one chunk update into the local shard; on round
-// completion the fresh chunk is encoded once and broadcast to every
-// node (including self, via loopback). The pushing worker's id rides
-// along so the shard can fold contributions in a deterministic order.
+// serverPush feeds one chunk update into the local shard (which copies
+// it, so the decode scratch is immediately reusable); on round
+// completion the fresh chunk is encoded once into a leased payload and
+// broadcast to every node (including self, via loopback), each
+// dispatched send holding its own reference.
 func (s *psSyncer) serverPush(c, iter, from int, vals []float32) error {
 	spec := s.chunks[c]
 	fresh, ready, err := s.r.shard.PushRoundInto(spec.key, iter, from, vals, s.fresh[:0])
@@ -149,20 +188,21 @@ func (s *psSyncer) serverPush(c, iter, from int, vals []float32) error {
 	if err != nil || !ready {
 		return err
 	}
-	payload := tensor.AppendFloat32s(nil, fresh)
+	ref := transport.LeasePayload(tensor.Float32sWireBytes(len(fresh)))
+	ref.SetBytes(tensor.AppendFloat32s(ref.Bytes(), fresh))
 	msg := transport.Message{
 		Type:    transport.MsgBcast,
 		Layer:   int32(s.plan.Index),
 		Chunk:   int32(c),
 		Iter:    int32(iter),
-		Payload: payload,
+		Payload: ref.Bytes(),
 	}
+	msg.AttachLease(ref)
 	for p := 0; p < s.r.n; p++ {
-		p := p
-		s.r.dispatch(stripeFor(s.plan.Index, len(s.chunks)+c*s.r.n+p), func() error {
-			return s.r.mesh.Send(p, msg)
-		})
+		ref.Retain()
+		s.r.dispatchSend(stripeFor(s.plan.Index, len(s.chunks)+c*s.r.n+p), p, msg)
 	}
+	ref.Release()
 	return nil
 }
 
@@ -175,6 +215,15 @@ type sfbSyncer struct {
 	r    *Router
 	plan ParamPlan
 	agg  *sfb.Aggregator
+	// sfScratch is the receive goroutine's decode target; the
+	// aggregator copies offered factors, so it is reusable per message.
+	sfScratch tensor.SufficientFactor
+	// reconLocal/reconRemote are per-goroutine reconstruction targets:
+	// a round can complete either on the compute goroutine (local
+	// offer) or the receive goroutine (remote factor), and the two must
+	// not share a buffer.
+	reconLocal  tensor.Matrix
+	reconRemote tensor.Matrix
 }
 
 func newSFBSyncer(r *Router, plan ParamPlan, bank *sfb.Bank) (*sfbSyncer, error) {
@@ -182,59 +231,64 @@ func newSFBSyncer(r *Router, plan ParamPlan, bank *sfb.Bank) (*sfbSyncer, error)
 		return nil, fmt.Errorf("comm: param %d: RouteSFB needs an SF extractor", plan.Index)
 	}
 	return &sfbSyncer{
-		r:    r,
-		plan: plan,
-		agg:  bank.Ensure(plan.Index, r.n, plan.Rows, plan.Cols),
+		r:         r,
+		plan:      plan,
+		agg:       bank.Ensure(plan.Index, r.n, plan.Rows, plan.Cols),
+		sfScratch: tensor.SufficientFactor{U: new(tensor.Matrix), V: new(tensor.Matrix)},
 	}, nil
 }
 
 // Launch extracts the factor, folds the −LR/P scaling into U so
-// reconstructions are additive, fans the encoding out to all peers, and
-// offers the local copy.
+// reconstructions are additive, encodes once into a leased payload
+// fanned out to all peers, and offers the local copy (the aggregator
+// copies it, so factors referencing live layer buffers are fine).
 func (s *sfbSyncer) Launch(iter int, _ *tensor.Matrix) error {
 	sf := s.plan.SF()
 	sf.U.Scale(s.r.scale)
-	payload := tensor.AppendSF(nil, sf)
+	ref := transport.LeasePayload(tensor.MatrixWireBytes(sf.U.Rows, sf.U.Cols) +
+		tensor.MatrixWireBytes(sf.V.Rows, sf.V.Cols))
+	ref.SetBytes(tensor.AppendSF(ref.Bytes(), sf))
+	msg := transport.Message{
+		Type:    transport.MsgSF,
+		Layer:   int32(s.plan.Index),
+		Iter:    int32(iter),
+		Payload: ref.Bytes(),
+	}
+	msg.AttachLease(ref)
 	for p := 0; p < s.r.n; p++ {
 		if p == s.r.id {
 			continue
 		}
-		p := p
-		msg := transport.Message{
-			Type:    transport.MsgSF,
-			Layer:   int32(s.plan.Index),
-			Iter:    int32(iter),
-			Payload: payload,
-		}
-		s.r.dispatch(stripeFor(s.plan.Index, p), func() error {
-			return s.r.mesh.Send(p, msg)
-		})
+		ref.Retain()
+		s.r.dispatchSend(stripeFor(s.plan.Index, p), p, msg)
 	}
-	return s.offer(int64(iter), s.r.id, sf)
+	ref.Release()
+	return s.offer(int64(iter), s.r.id, sf, &s.reconLocal)
 }
 
-// Handle decodes a peer's factor and offers it to the aggregator.
+// Handle decodes a peer's factor into scratch and offers it to the
+// aggregator.
 func (s *sfbSyncer) Handle(msg transport.Message) error {
 	if msg.Type != transport.MsgSF {
 		return fmt.Errorf("comm: param %d: unexpected message type %d on SFB route", s.plan.Index, msg.Type)
 	}
-	sf, _, err := tensor.DecodeSF(msg.Payload)
-	if err != nil {
+	if _, err := tensor.DecodeSFInto(&s.sfScratch, msg.Payload); err != nil {
 		return err
 	}
-	return s.offer(int64(msg.Iter), int(msg.From), sf)
+	return s.offer(int64(msg.Iter), int(msg.From), &s.sfScratch, &s.reconRemote)
 }
 
 // offer adds a worker's factor; on completion the summed gradient
-// (reconstructed in worker-id order, deterministically) lands in the
-// staged replica and the clock advances.
-func (s *sfbSyncer) offer(iter int64, from int, sf *tensor.SufficientFactor) error {
-	grad, done, err := s.agg.Offer(iter, from, sf)
+// (reconstructed in worker-id order, deterministically, into the
+// caller's per-goroutine scratch) lands in the staged replica and the
+// clock advances.
+func (s *sfbSyncer) offer(iter int64, from int, sf *tensor.SufficientFactor, recon *tensor.Matrix) error {
+	done, err := s.agg.OfferInto(iter, from, sf, recon)
 	if err != nil || !done {
 		return err
 	}
 	s.r.stageMu.Lock()
-	s.r.staged[s.plan.Index].Add(grad)
+	s.r.staged[s.plan.Index].Add(recon)
 	s.r.stageMu.Unlock()
 	s.r.clock.Advance(s.plan.Index, int(iter))
 	return nil
@@ -252,10 +306,17 @@ type oneBitSyncer struct {
 	key    string
 	server int
 	push   *tensor.OneBitQuantizer
-	// Server-side state (nil elsewhere).
-	bcast *tensor.OneBitQuantizer
-	view  []float32
-	fresh []float32 // round scratch, receive goroutine only
+	pushQ  tensor.QuantizedGrad // Launch-side quantize scratch (compute goroutine)
+	// Receive-goroutine scratch (worker and server roles).
+	recvQ tensor.QuantizedGrad
+	dense tensor.Matrix
+	// Server-side state (zero elsewhere).
+	bcast    *tensor.OneBitQuantizer
+	view     []float32
+	fresh    []float32
+	delta    []float32
+	deltaMat tensor.Matrix // persistent wrapper over delta
+	bcastQ   tensor.QuantizedGrad
 }
 
 func newOneBitSyncer(r *Router, plan ParamPlan, initial *tensor.Matrix) *oneBitSyncer {
@@ -275,40 +336,49 @@ func newOneBitSyncer(r *Router, plan ParamPlan, initial *tensor.Matrix) *oneBitS
 	return s
 }
 
+// leaseQuantized encodes q into a pooled payload and returns the lease.
+func leaseQuantized(q *tensor.QuantizedGrad) *transport.PayloadRef {
+	ref := transport.LeasePayload(16 + 8*len(q.Bits))
+	ref.SetBytes(tensor.AppendQuantized(ref.Bytes(), q))
+	return ref
+}
+
 // Launch quantizes the scaled update (mutating the local residual, so
 // this must stay on the compute goroutine) and ships the compact
-// encoding; only the send itself is dispatched.
+// encoding; only the send itself is dispatched, holding the payload
+// lease until the write completes.
 func (s *oneBitSyncer) Launch(iter int, update *tensor.Matrix) error {
-	q := s.push.Quantize(update)
+	q := s.push.QuantizeInto(&s.pushQ, update)
+	ref := leaseQuantized(q)
 	msg := transport.Message{
 		Type:    transport.MsgQuantPush,
 		Layer:   int32(s.plan.Index),
 		Iter:    int32(iter),
-		Payload: tensor.AppendQuantized(nil, q),
+		Payload: ref.Bytes(),
 	}
-	s.r.dispatch(stripeFor(s.plan.Index, s.server), func() error {
-		return s.r.mesh.Send(s.server, msg)
-	})
+	msg.AttachLease(ref)
+	s.r.dispatchSend(stripeFor(s.plan.Index, s.server), s.server, msg)
 	return nil
 }
 
 // Handle covers the shard role (quantized pushes) and the worker role
-// (quantized broadcast deltas).
+// (quantized broadcast deltas). Both decode into receive-goroutine
+// scratch; nothing from msg survives the call.
 func (s *oneBitSyncer) Handle(msg transport.Message) error {
 	switch msg.Type {
 	case transport.MsgQuantPush:
-		q, _, err := tensor.DecodeQuantized(msg.Payload)
-		if err != nil {
+		if _, err := tensor.DecodeQuantizedInto(&s.recvQ, msg.Payload); err != nil {
 			return err
 		}
-		return s.serverPush(int(msg.Iter), int(msg.From), q.Dequantize().Data)
+		s.dense.Resize(s.recvQ.Rows, s.recvQ.Cols)
+		s.recvQ.DequantizeInto(&s.dense)
+		return s.serverPush(int(msg.Iter), int(msg.From), s.dense.Data)
 	case transport.MsgQuantBcast:
-		q, _, err := tensor.DecodeQuantized(msg.Payload)
-		if err != nil {
+		if _, err := tensor.DecodeQuantizedInto(&s.recvQ, msg.Payload); err != nil {
 			return err
 		}
 		s.r.stageMu.Lock()
-		q.AddDequantizedInto(s.r.staged[s.plan.Index])
+		s.recvQ.AddDequantizedInto(s.r.staged[s.plan.Index])
 		s.r.stageMu.Unlock()
 		s.r.clock.Advance(s.plan.Index, int(msg.Iter))
 		return nil
@@ -325,26 +395,32 @@ func (s *oneBitSyncer) serverPush(iter, from int, vals []float32) error {
 	}
 	// Quantize the broadcast against the workers' view and advance the
 	// view by what the quantization actually transmitted.
-	delta := make([]float32, len(fresh))
+	if cap(s.delta) < len(fresh) {
+		s.delta = make([]float32, len(fresh))
+	}
+	delta := s.delta[:len(fresh)]
 	for i, v := range fresh {
 		delta[i] = v - s.view[i]
 	}
-	q := s.bcast.Quantize(tensor.FromSlice(s.plan.Rows, s.plan.Cols, delta))
-	rec := q.Dequantize()
+	s.deltaMat = tensor.Matrix{Rows: s.plan.Rows, Cols: s.plan.Cols, Data: delta}
+	q := s.bcast.QuantizeInto(&s.bcastQ, &s.deltaMat)
+	s.dense.Resize(s.plan.Rows, s.plan.Cols)
+	q.DequantizeInto(&s.dense)
 	for i := range s.view {
-		s.view[i] += rec.Data[i]
+		s.view[i] += s.dense.Data[i]
 	}
+	ref := leaseQuantized(q)
 	msg := transport.Message{
 		Type:    transport.MsgQuantBcast,
 		Layer:   int32(s.plan.Index),
 		Iter:    int32(iter),
-		Payload: tensor.AppendQuantized(nil, q),
+		Payload: ref.Bytes(),
 	}
+	msg.AttachLease(ref)
 	for p := 0; p < s.r.n; p++ {
-		p := p
-		s.r.dispatch(stripeFor(s.plan.Index, 1+p), func() error {
-			return s.r.mesh.Send(p, msg)
-		})
+		ref.Retain()
+		s.r.dispatchSend(stripeFor(s.plan.Index, 1+p), p, msg)
 	}
+	ref.Release()
 	return nil
 }

@@ -212,6 +212,11 @@ type workerSim struct {
 	// (SeqPS strategy).
 	seqGrads []int
 	done     bool
+	// opDone is the prebound completion callback for the in-flight GPU
+	// op. A worker has at most one op in flight and its (opIdx, iter)
+	// state is frozen until the callback fires, so one closure per
+	// worker replaces one closure allocation per simulated operation.
+	opDone func()
 }
 
 // groupState tracks one shard-group of KV pairs for one iteration on
@@ -224,9 +229,29 @@ type groupState struct {
 	pullWaiters []int
 }
 
-// recvState counts a worker's receipts for one layer in one iteration.
-type recvState struct {
-	got int
+// groupRound keys groupSt: one shard-group of one layer in one
+// iteration. A comparable struct key avoids the fmt.Sprintf string
+// that used to dominate the simulator's allocation profile.
+type groupRound struct {
+	layer, server, iter int
+}
+
+// recvKind distinguishes the receipt counters multiplexed in recvSt.
+type recvKind uint8
+
+const (
+	recvPS recvKind = iota
+	recvSFB
+	recvAdam
+)
+
+// recvEvent keys recvSt: a node's receipt count for one layer in one
+// iteration on one protocol path.
+type recvEvent struct {
+	kind  recvKind
+	node  int
+	layer int
+	iter  int
 }
 
 type simulation struct {
@@ -246,8 +271,8 @@ type simulation struct {
 	aux     []*sim.Resource   // per node: GPU stream pool (SF reconstruction)
 	cpu     []*sim.Resource   // per node: KV-store apply thread
 
-	groupSt map[string]*groupState // key: layer/server/iter
-	recvSt  map[string]*recvState  // key: worker/layer/iter
+	groupSt map[groupRound]*groupState
+	recvSt  map[recvEvent]int // receipt counts
 
 	totalIters int
 }
@@ -301,8 +326,8 @@ func newSimulation(cfg Config) *simulation {
 		lt:         gpusim.NewLayerTimes(cfg.Device, cfg.Model, cfg.Batch),
 		co:         co,
 		plans:      make(map[int]poseidon.LayerPlan),
-		groupSt:    make(map[string]*groupState),
-		recvSt:     make(map[string]*recvState),
+		groupSt:    make(map[groupRound]*groupState),
+		recvSt:     make(map[recvEvent]int),
 		totalIters: cfg.Warmup + cfg.Iterations + 1,
 	}
 	for _, p := range co.Plan() {
@@ -342,6 +367,7 @@ func newSimulation(cfg Config) *simulation {
 		for l := range ws.syncedIter {
 			ws.syncedIter[l] = -1
 		}
+		ws.opDone = func() { s.opDone(ws) }
 		s.workers = append(s.workers, ws)
 	}
 	return s
@@ -407,14 +433,19 @@ func (s *simulation) advance(w *workerSim) {
 	if w.id == 0 && s.cfg.StragglerSlow > 1 {
 		dur *= s.cfg.StragglerSlow
 	}
-	iter := w.iter
-	s.eng.After(dur, func() {
-		if !o.fwd && s.cfg.Model.Layers[o.layer].HasParams() {
-			s.gradReady(w, o.layer, iter)
-		}
-		w.opIdx++
-		s.advance(w)
-	})
+	s.eng.PostAfter(dur, w.opDone)
+}
+
+// opDone completes worker w's in-flight GPU op. The worker's op cursor
+// and iteration are untouched while the op runs, so reading them here
+// is equivalent to capturing them at scheduling time.
+func (s *simulation) opDone(w *workerSim) {
+	o := w.ops[w.opIdx]
+	if !o.fwd && s.cfg.Model.Layers[o.layer].HasParams() {
+		s.gradReady(w, o.layer, w.iter)
+	}
+	w.opIdx++
+	s.advance(w)
 }
 
 // unblock re-checks a blocked worker after a sync completion.

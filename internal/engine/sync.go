@@ -177,8 +177,8 @@ func (s *simulation) sendPS(w *workerSim, plan poseidon.LayerPlan, iter int) {
 	})
 }
 
-func groupKey(g group, iter int) string {
-	return fmt.Sprintf("L%d/S%d@%d", g.Layer, g.Server, iter)
+func groupKey(g group, iter int) groupRound {
+	return groupRound{layer: g.Layer, server: g.Server, iter: iter}
 }
 
 // pushThreshold is how many pushes a KV group waits for before
@@ -250,14 +250,10 @@ func (s *simulation) registerPull(w *workerSim, g group, iter int) {
 // layer is complete it stages the parameters back into GPU memory and
 // marks the layer synchronized.
 func (s *simulation) workerRecvGroup(wid int, plan poseidon.LayerPlan, iter int) {
-	key := fmt.Sprintf("w%d/L%d@%d", wid, plan.Layer, iter)
-	st := s.recvSt[key]
-	if st == nil {
-		st = &recvState{}
-		s.recvSt[key] = st
-	}
-	st.got++
-	if st.got != len(s.groups[plan.Layer]) {
+	key := recvEvent{kind: recvPS, node: wid, layer: plan.Layer, iter: iter}
+	got := s.recvSt[key] + 1
+	if got != len(s.groups[plan.Layer]) {
+		s.recvSt[key] = got
 		return
 	}
 	delete(s.recvSt, key)
@@ -299,14 +295,10 @@ func (s *simulation) sendSFB(w *workerSim, plan poseidon.LayerPlan, iter int) {
 // are in, the worker reconstructs the dense gradients on a GPU stream
 // and applies them.
 func (s *simulation) peerRecvSF(wid int, plan poseidon.LayerPlan, iter int) {
-	key := fmt.Sprintf("sfb/w%d/L%d@%d", wid, plan.Layer, iter)
-	st := s.recvSt[key]
-	if st == nil {
-		st = &recvState{}
-		s.recvSt[key] = st
-	}
-	st.got++
-	if st.got != s.cfg.Workers-1 {
+	key := recvEvent{kind: recvSFB, node: wid, layer: plan.Layer, iter: iter}
+	got := s.recvSt[key] + 1
+	if got != s.cfg.Workers-1 {
+		s.recvSt[key] = got
 		return
 	}
 	delete(s.recvSt, key)
@@ -346,14 +338,10 @@ func (s *simulation) sendAdam(w *workerSim, plan poseidon.LayerPlan, iter int) {
 // adamServerRecv reconstructs after all workers' SFs arrive, then
 // broadcasts the full updated matrix to every worker.
 func (s *simulation) adamServerRecv(server int, plan poseidon.LayerPlan, iter int) {
-	key := fmt.Sprintf("adam/L%d@%d", plan.Layer, iter)
-	st := s.recvSt[key]
-	if st == nil {
-		st = &recvState{}
-		s.recvSt[key] = st
-	}
-	st.got++
-	if st.got != s.cfg.Workers {
+	key := recvEvent{kind: recvAdam, node: server, layer: plan.Layer, iter: iter}
+	got := s.recvSt[key] + 1
+	if got != s.cfg.Workers {
+		s.recvSt[key] = got
 		return
 	}
 	delete(s.recvSt, key)

@@ -6,6 +6,10 @@
 // A Shard is a passive state machine — the trainer (or a server
 // goroutine) feeds it pushes and ships the broadcasts it emits — so the
 // same logic runs unmodified over the in-process and TCP meshes.
+//
+// The push path is allocation-flat: worker contributions are copied
+// into per-pair scratch buffers recycled across rounds, so a
+// steady-state training run folds every round without growing the heap.
 package kvstore
 
 import (
@@ -16,23 +20,53 @@ import (
 	"repro/internal/metrics"
 )
 
+// pair is one KV pair plus all of its accumulation state. Scratch
+// buffers (round sets, contribution copies, the fold accumulator) are
+// recycled through per-pair free lists — every buffer a pair ever needs
+// has the same length as its value, so reuse always fits exactly.
+type pair struct {
+	val []float32
+	// Counted-mode state (Push): a plain accumulator and arrival count.
+	acc   []float32
+	count int
+	// Round-mode state (PushRound*): per-round buffered contributions,
+	// folded in worker-id order on completion.
+	rounds     map[int]*roundSet
+	freeRounds []*roundSet
+	freeBufs   [][]float32
+	fold       []float32
+	version    int
+}
+
+// roundSet buffers one round's per-worker contributions.
+type roundSet struct {
+	contrib [][]float32 // indexed by worker id; nil = not yet pushed
+	count   int
+}
+
+func (p *pair) getRound(workers int) *roundSet {
+	if n := len(p.freeRounds); n > 0 {
+		rs := p.freeRounds[n-1]
+		p.freeRounds = p.freeRounds[:n-1]
+		return rs
+	}
+	return &roundSet{contrib: make([][]float32, workers)}
+}
+
+func (p *pair) getBuf() []float32 {
+	if n := len(p.freeBufs); n > 0 {
+		b := p.freeBufs[n-1]
+		p.freeBufs = p.freeBufs[:n-1]
+		return b
+	}
+	return make([]float32, len(p.val))
+}
+
 // Shard holds one server's slice of the globally shared parameters.
 type Shard struct {
 	mu      sync.Mutex
 	workers int
-	params  map[string][]float32
-	acc     map[string][]float32
-	counts  map[string]int
-	version map[string]int
-	// Per-round, per-worker contributions for bounded-staleness
-	// execution, where pushes from adjacent iterations may interleave
-	// on a key. Contributions are buffered by worker id and folded in
-	// id order once complete, so the float32 arithmetic is
-	// bit-deterministic no matter what order the network delivered the
-	// pushes in — the property the cross-transport parity tests pin.
-	roundContrib map[string]map[int][][]float32
-	roundCount   map[string]map[int]int
-	foldScratch  []float32 // reused accumulator for round completion
+	pairs   map[string]*pair
 	// metrics, when set, counts buffered pushes and folded rounds.
 	metrics *metrics.KVStats
 }
@@ -43,15 +77,7 @@ func NewShard(workers int) *Shard {
 	if workers <= 0 {
 		panic("kvstore: need at least one worker")
 	}
-	return &Shard{
-		workers:      workers,
-		params:       make(map[string][]float32),
-		acc:          make(map[string][]float32),
-		counts:       make(map[string]int),
-		version:      make(map[string]int),
-		roundContrib: make(map[string]map[int][][]float32),
-		roundCount:   make(map[string]map[int]int),
-	}
+	return &Shard{workers: workers, pairs: make(map[string]*pair)}
 }
 
 // SetMetrics attaches live counters for shard activity. Call before
@@ -67,10 +93,24 @@ func (s *Shard) SetMetrics(k *metrics.KVStats) {
 func (s *Shard) Init(key string, vals []float32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cp := make([]float32, len(vals))
-	copy(cp, vals)
-	s.params[key] = cp
-	s.acc[key] = make([]float32, len(vals))
+	p := &pair{
+		val:    make([]float32, len(vals)),
+		acc:    make([]float32, len(vals)),
+		rounds: make(map[int]*roundSet),
+	}
+	copy(p.val, vals)
+	s.pairs[key] = p
+}
+
+func (s *Shard) lookup(key string, update []float32) (*pair, error) {
+	p, ok := s.pairs[key]
+	if !ok {
+		return nil, fmt.Errorf("kvstore: unknown key %q", key)
+	}
+	if len(update) != len(p.val) {
+		return nil, fmt.Errorf("kvstore: key %q: update len %d != %d", key, len(update), len(p.val))
+	}
+	return p, nil
 }
 
 // Push applies one worker's additive update to the pair's accumulator.
@@ -81,36 +121,32 @@ func (s *Shard) Init(key string, vals []float32) {
 func (s *Shard) Push(key string, update []float32) (fresh []float32, ready bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, ok := s.params[key]
-	if !ok {
-		return nil, false, fmt.Errorf("kvstore: unknown key %q", key)
+	p, err := s.lookup(key, update)
+	if err != nil {
+		return nil, false, err
 	}
-	if len(update) != len(p) {
-		return nil, false, fmt.Errorf("kvstore: key %q: update len %d != %d", key, len(update), len(p))
-	}
-	acc := s.acc[key]
 	for i, v := range update {
-		acc[i] += v
+		p.acc[i] += v
 	}
-	s.counts[key]++
+	p.count++
 	if s.metrics != nil {
 		s.metrics.CountPush()
 	}
-	if s.counts[key] < s.workers {
+	if p.count < s.workers {
 		return nil, false, nil
 	}
 	// All workers reported: apply and reset for the next iteration.
-	for i := range p {
-		p[i] += acc[i]
-		acc[i] = 0
+	for i := range p.val {
+		p.val[i] += p.acc[i]
+		p.acc[i] = 0
 	}
-	s.counts[key] = 0
-	s.version[key]++
+	p.count = 0
+	p.version++
 	if s.metrics != nil {
-		s.metrics.CountRound(len(p))
+		s.metrics.CountRound(len(p.val))
 	}
-	out := make([]float32, len(p))
-	copy(out, p)
+	out := make([]float32, len(p.val))
+	copy(out, p.val)
 	return out, true, nil
 }
 
@@ -134,64 +170,62 @@ func (s *Shard) PushRound(key string, round, worker int, update []float32) (fres
 // order the transport delivered the pushes in. A worker pushing the
 // same (key, round) twice is a protocol violation and errors.
 //
-// The shard takes ownership of update (retaining it until the round
-// completes); callers must hand over a slice they will not reuse —
-// every decode path allocates one per message anyway.
+// The shard copies update into recycled per-pair scratch, so the caller
+// keeps ownership and may reuse the slice immediately — decode paths
+// feed the same scratch buffer in for every message.
 func (s *Shard) PushRoundInto(key string, round, worker int, update, dst []float32) (fresh []float32, ready bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, ok := s.params[key]
-	if !ok {
-		return nil, false, fmt.Errorf("kvstore: unknown key %q", key)
-	}
-	if len(update) != len(p) {
-		return nil, false, fmt.Errorf("kvstore: key %q: update len %d != %d", key, len(update), len(p))
+	p, err := s.lookup(key, update)
+	if err != nil {
+		return nil, false, err
 	}
 	if worker < 0 || worker >= s.workers {
 		return nil, false, fmt.Errorf("kvstore: key %q: push from worker %d of %d", key, worker, s.workers)
 	}
-	if s.roundContrib[key] == nil {
-		s.roundContrib[key] = make(map[int][][]float32)
-		s.roundCount[key] = make(map[int]int)
+	rs := p.rounds[round]
+	if rs == nil {
+		rs = p.getRound(s.workers)
+		p.rounds[round] = rs
 	}
-	contrib := s.roundContrib[key][round]
-	if contrib == nil {
-		contrib = make([][]float32, s.workers)
-		s.roundContrib[key][round] = contrib
-	}
-	if contrib[worker] != nil {
+	if rs.contrib[worker] != nil {
 		return nil, false, fmt.Errorf("kvstore: key %q: worker %d pushed twice in round %d", key, worker, round)
 	}
-	contrib[worker] = update
-	s.roundCount[key][round]++
+	buf := p.getBuf()
+	copy(buf, update)
+	rs.contrib[worker] = buf
+	rs.count++
 	if s.metrics != nil {
 		s.metrics.CountPush()
 	}
-	if s.roundCount[key][round] < s.workers {
+	if rs.count < s.workers {
 		// Hand dst back so the caller's scratch buffer survives the
 		// not-ready pushes between round completions.
 		return dst, false, nil
 	}
-	if cap(s.foldScratch) < len(p) {
-		s.foldScratch = make([]float32, len(p))
+	if cap(p.fold) < len(p.val) {
+		p.fold = make([]float32, len(p.val))
 	}
-	acc := s.foldScratch[:len(p)]
+	acc := p.fold[:len(p.val)]
 	clear(acc)
-	for _, u := range contrib { // worker-id order: deterministic fold
+	for w, u := range rs.contrib { // worker-id order: deterministic fold
 		for i, v := range u {
 			acc[i] += v
 		}
+		p.freeBufs = append(p.freeBufs, u)
+		rs.contrib[w] = nil
 	}
-	for i := range p {
-		p[i] += acc[i]
+	for i := range p.val {
+		p.val[i] += acc[i]
 	}
-	delete(s.roundContrib[key], round)
-	delete(s.roundCount[key], round)
-	s.version[key]++
+	rs.count = 0
+	p.freeRounds = append(p.freeRounds, rs)
+	delete(p.rounds, round)
+	p.version++
 	if s.metrics != nil {
-		s.metrics.CountRound(len(p))
+		s.metrics.CountRound(len(p.val))
 	}
-	return append(dst, p...), true, nil
+	return append(dst, p.val...), true, nil
 }
 
 // Get returns a copy of the current parameter values (for checkpointing
@@ -199,12 +233,12 @@ func (s *Shard) PushRoundInto(key string, round, worker int, update, dst []float
 func (s *Shard) Get(key string) ([]float32, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, ok := s.params[key]
+	p, ok := s.pairs[key]
 	if !ok {
 		return nil, false
 	}
-	out := make([]float32, len(p))
-	copy(out, p)
+	out := make([]float32, len(p.val))
+	copy(out, p.val)
 	return out, true
 }
 
@@ -212,7 +246,10 @@ func (s *Shard) Get(key string) ([]float32, bool) {
 func (s *Shard) Version(key string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.version[key]
+	if p, ok := s.pairs[key]; ok {
+		return p.version
+	}
+	return 0
 }
 
 // Keys returns the shard's keys, sorted (for deterministic checkpoints).
@@ -220,7 +257,7 @@ func (s *Shard) Keys() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var ks []string
-	for k := range s.params {
+	for k := range s.pairs {
 		ks = append(ks, k)
 	}
 	sort.Strings(ks)
@@ -232,10 +269,10 @@ func (s *Shard) Keys() []string {
 func (s *Shard) Checkpoint() map[string][]float32 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[string][]float32, len(s.params))
-	for k, p := range s.params {
-		cp := make([]float32, len(p))
-		copy(cp, p)
+	out := make(map[string][]float32, len(s.pairs))
+	for k, p := range s.pairs {
+		cp := make([]float32, len(p.val))
+		copy(cp, p.val)
 		out[k] = cp
 	}
 	return out
@@ -246,15 +283,14 @@ func (s *Shard) Checkpoint() map[string][]float32 {
 func (s *Shard) Restore(ck map[string][]float32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.params = make(map[string][]float32, len(ck))
-	s.acc = make(map[string][]float32, len(ck))
-	s.counts = make(map[string]int)
-	s.roundContrib = make(map[string]map[int][][]float32)
-	s.roundCount = make(map[string]map[int]int)
-	for k, p := range ck {
-		cp := make([]float32, len(p))
-		copy(cp, p)
-		s.params[k] = cp
-		s.acc[k] = make([]float32, len(p))
+	s.pairs = make(map[string]*pair, len(ck))
+	for k, vals := range ck {
+		p := &pair{
+			val:    make([]float32, len(vals)),
+			acc:    make([]float32, len(vals)),
+			rounds: make(map[int]*roundSet),
+		}
+		copy(p.val, vals)
+		s.pairs[k] = p
 	}
 }

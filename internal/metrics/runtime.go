@@ -106,6 +106,10 @@ var stallBucketLabels = []string{
 type stallHist struct {
 	count, sumNanos, maxNanos atomic.Int64
 	buckets                   [7]atomic.Int64
+	// epochMax tracks the largest stall since the last SnapshotIter —
+	// the straggler signal needs a per-window max, which the cumulative
+	// maxNanos cannot provide.
+	epochMax atomic.Int64
 }
 
 func (h *stallHist) record(d time.Duration) {
@@ -115,12 +119,8 @@ func (h *stallHist) record(d time.Duration) {
 	}
 	h.count.Add(1)
 	h.sumNanos.Add(ns)
-	for {
-		old := h.maxNanos.Load()
-		if ns <= old || h.maxNanos.CompareAndSwap(old, ns) {
-			break
-		}
-	}
+	atomicMax(&h.maxNanos, ns)
+	atomicMax(&h.epochMax, ns)
 	b := len(stallBucketBounds)
 	for i, bound := range stallBucketBounds {
 		if ns < bound {
@@ -129,6 +129,15 @@ func (h *stallHist) record(d time.Duration) {
 		}
 	}
 	h.buckets[b].Add(1)
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		old := a.Load()
+		if v <= old || a.CompareAndSwap(old, v) {
+			return
+		}
+	}
 }
 
 // StallSnapshot is the frozen stall histogram.
@@ -239,6 +248,11 @@ type Comm struct {
 
 	mu     sync.Mutex
 	params []*ParamStats
+
+	// iterMu guards the SnapshotIter baseline (last window's cumulative
+	// stall counters).
+	iterMu   sync.Mutex
+	iterBase StallSnapshot
 }
 
 // NewComm creates an empty metrics registry.
@@ -252,6 +266,35 @@ func (c *Comm) KV() *KVStats { return &c.kv }
 
 // RecordStall adds one compute-loop stall measurement.
 func (c *Comm) RecordStall(d time.Duration) { c.stall.record(d) }
+
+// SnapshotIter returns the stall histogram's delta since the previous
+// SnapshotIter call (the full history on the first call): stall count,
+// total/mean milliseconds, the largest single stall of the window, and
+// per-bucket deltas. Called once per iteration (or per progress tick)
+// it surfaces the live straggler signal — a worker whose windows grow a
+// fat >=100ms bucket is waiting on a slow peer — without resetting the
+// cumulative histogram that Snapshot reports.
+func (c *Comm) SnapshotIter() StallSnapshot {
+	c.iterMu.Lock()
+	defer c.iterMu.Unlock()
+	cur := c.stall.snapshot()
+	d := StallSnapshot{
+		Count:   cur.Count - c.iterBase.Count,
+		TotalMS: cur.TotalMS - c.iterBase.TotalMS,
+		MaxMS:   float64(c.stall.epochMax.Swap(0)) / 1e6,
+		Buckets: make(map[string]int64, len(cur.Buckets)),
+	}
+	if d.Count > 0 {
+		d.MeanMS = d.TotalMS / float64(d.Count)
+	}
+	for label, n := range cur.Buckets {
+		if delta := n - c.iterBase.Buckets[label]; delta > 0 {
+			d.Buckets[label] = delta
+		}
+	}
+	c.iterBase = cur
+	return d
+}
 
 // RegisterParam adds (and returns) the counter block for one
 // synchronized parameter tensor. psEquivPerRound is the cost model's

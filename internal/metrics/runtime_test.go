@@ -143,3 +143,46 @@ func TestSnapshotJSONSchema(t *testing.T) {
 		}
 	}
 }
+
+// SnapshotIter must report window deltas — count, totals, buckets, and
+// a per-window max — without disturbing the cumulative histogram.
+func TestSnapshotIterDeltas(t *testing.T) {
+	c := NewComm()
+	c.RecordStall(5 * time.Millisecond)
+	c.RecordStall(200 * time.Millisecond)
+
+	w1 := c.SnapshotIter()
+	if w1.Count != 2 {
+		t.Fatalf("window 1 count %d, want 2", w1.Count)
+	}
+	if w1.MaxMS < 199 || w1.MaxMS > 201 {
+		t.Fatalf("window 1 max %.2fms, want ~200", w1.MaxMS)
+	}
+	if w1.Buckets["<10ms"] != 1 || w1.Buckets["<1s"] != 1 {
+		t.Fatalf("window 1 buckets %v", w1.Buckets)
+	}
+
+	// Second window: one small stall only; the max must reset.
+	c.RecordStall(20 * time.Microsecond)
+	w2 := c.SnapshotIter()
+	if w2.Count != 1 {
+		t.Fatalf("window 2 count %d, want 1", w2.Count)
+	}
+	if w2.MaxMS > 1 {
+		t.Fatalf("window 2 max %.3fms leaked from window 1", w2.MaxMS)
+	}
+	if len(w2.Buckets) != 1 || w2.Buckets["<100us"] != 1 {
+		t.Fatalf("window 2 buckets %v", w2.Buckets)
+	}
+
+	// Empty window: all-zero delta.
+	w3 := c.SnapshotIter()
+	if w3.Count != 0 || w3.TotalMS != 0 || w3.MaxMS != 0 || len(w3.Buckets) != 0 {
+		t.Fatalf("empty window not zero: %+v", w3)
+	}
+
+	// The cumulative histogram is untouched by the windows.
+	if snap := c.Snapshot(); snap.Stall.Count != 3 || snap.Stall.MaxMS < 199 {
+		t.Fatalf("cumulative stall disturbed: %+v", snap.Stall)
+	}
+}

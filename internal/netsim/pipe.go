@@ -80,12 +80,11 @@ func (p *PipeNetwork) SetBandwidth(i int, bps float64) {
 func (p *PipeNetwork) Start(src, dst int, bytes int64, onDone func()) {
 	now := p.Eng.Now()
 	if src == dst {
-		d := float64(bytes)/p.LoopbackBps + p.LatencySec
-		p.Eng.After(d, func() {
-			if onDone != nil {
-				onDone()
-			}
-		})
+		if onDone != nil {
+			// Pooled, handle-free scheduling: delivery callbacks are never
+			// canceled, and the engine recycles the event after firing.
+			p.Eng.PostAfter(float64(bytes)/p.LoopbackBps+p.LatencySec, onDone)
+		}
 		return
 	}
 	p.nodes[src].BytesSent += bytes
@@ -100,9 +99,7 @@ func (p *PipeNetwork) Start(src, dst int, bytes int64, onDone func()) {
 	p.ingressFree[dst] = iEnd
 
 	done := max(eEnd, iEnd) + p.LatencySec
-	p.Eng.At(done, func() {
-		if onDone != nil {
-			onDone()
-		}
-	})
+	if onDone != nil {
+		p.Eng.Post(done, onDone)
+	}
 }

@@ -45,6 +45,10 @@ type FC struct {
 
 	lastX    *tensor.Matrix // K×in, saved for backward
 	lastDout *tensor.Matrix // K×out, saved for SF extraction
+
+	// borrowedSF is the shared wrapper BorrowSufficientFactor hands
+	// out, re-pointed at the live buffers on every call.
+	borrowedSF tensor.SufficientFactor
 }
 
 // NewFC builds an FC layer with Xavier-style initialization from rng.
@@ -113,6 +117,21 @@ func (f *FC) SufficientFactor() *tensor.SufficientFactor {
 		panic("autodiff: SufficientFactor before backward")
 	}
 	return &tensor.SufficientFactor{U: f.lastDout.Clone(), V: f.lastX.Clone()}
+}
+
+// BorrowSufficientFactor is SufficientFactor without the deep copy: the
+// returned factor references the layer's live backward buffers and a
+// shared wrapper struct, both valid only until the next forward/
+// backward pass (or the next Borrow). The comm runtime uses it on the
+// hot path — it encodes and copies the factor before the compute loop
+// moves on — so shipping a gradient costs no per-iteration clone.
+// Callers that retain the factor must Clone it.
+func (f *FC) BorrowSufficientFactor() *tensor.SufficientFactor {
+	if f.lastDout == nil || f.lastX == nil {
+		panic("autodiff: SufficientFactor before backward")
+	}
+	f.borrowedSF.U, f.borrowedSF.V = f.lastDout, f.lastX
+	return &f.borrowedSF
 }
 
 // ---- Convolution -----------------------------------------------------------

@@ -25,16 +25,21 @@ func Extract(dout, x *tensor.Matrix) *tensor.SufficientFactor {
 
 // Aggregator collects sufficient factors from peers for one layer and
 // one iteration, and reconstructs the summed dense gradient once all
-// expected contributions have arrived. Factors are held per worker and
-// reconstructed in worker-id order, so the float32 result is
-// bit-identical however the network interleaved the broadcasts. It is
-// safe for concurrent use.
+// expected contributions have arrived. Offered factors are copied into
+// pooled scratch (recycled when a round completes), so callers keep
+// ownership of what they offer and a steady-state run performs no
+// per-round allocation. Factors are held per worker and reconstructed
+// in worker-id order, so the float32 result is bit-identical however
+// the network interleaved the broadcasts. It is safe for concurrent
+// use.
 type Aggregator struct {
 	mu       sync.Mutex
 	expected int
 	rows     int
 	cols     int
 	pending  map[int64]*factorSet // iter → per-worker factors
+	freeSets []*factorSet
+	freeSFs  []*tensor.SufficientFactor
 }
 
 type factorSet struct {
@@ -64,36 +69,70 @@ func NewAggregator(expected, rows, cols int) *Aggregator {
 // (nil, false). A worker offering twice for one iteration is a
 // protocol violation and errors.
 func (a *Aggregator) Offer(iter int64, worker int, sf *tensor.SufficientFactor) (*tensor.Matrix, bool, error) {
+	dst := new(tensor.Matrix)
+	done, err := a.OfferInto(iter, worker, sf, dst)
+	if err != nil || !done {
+		return nil, false, err
+	}
+	return dst, true, nil
+}
+
+// OfferInto is Offer reconstructing into the caller-owned dst on round
+// completion — the allocation-free form the comm runtime uses, with
+// each calling goroutine passing its own scratch matrix. dst is resized
+// and overwritten only when the round completes (done=true); it is
+// untouched otherwise.
+func (a *Aggregator) OfferInto(iter int64, worker int, sf *tensor.SufficientFactor, dst *tensor.Matrix) (bool, error) {
 	if sf.M() != a.rows || sf.N() != a.cols {
 		panic(fmt.Sprintf("sfb: factor shape %dx%d, want %dx%d", sf.M(), sf.N(), a.rows, a.cols))
 	}
 	if worker < 0 || worker >= a.expected {
-		return nil, false, fmt.Errorf("sfb: factor from worker %d of %d", worker, a.expected)
+		return false, fmt.Errorf("sfb: factor from worker %d of %d", worker, a.expected)
 	}
 	a.mu.Lock()
+	defer a.mu.Unlock()
 	fs := a.pending[iter]
 	if fs == nil {
-		fs = &factorSet{factors: make([]*tensor.SufficientFactor, a.expected)}
+		if n := len(a.freeSets); n > 0 {
+			fs = a.freeSets[n-1]
+			a.freeSets = a.freeSets[:n-1]
+		} else {
+			fs = &factorSet{factors: make([]*tensor.SufficientFactor, a.expected)}
+		}
 		a.pending[iter] = fs
 	}
 	if fs.factors[worker] != nil {
-		a.mu.Unlock()
-		return nil, false, fmt.Errorf("sfb: worker %d offered twice for iter %d", worker, iter)
+		return false, fmt.Errorf("sfb: worker %d offered twice for iter %d", worker, iter)
 	}
-	fs.factors[worker] = sf
+	var cp *tensor.SufficientFactor
+	if n := len(a.freeSFs); n > 0 {
+		cp = a.freeSFs[n-1]
+		a.freeSFs = a.freeSFs[:n-1]
+	} else {
+		cp = new(tensor.SufficientFactor)
+	}
+	cp.CopyFrom(sf)
+	fs.factors[worker] = cp
 	fs.count++
 	if fs.count < a.expected {
-		a.mu.Unlock()
-		return nil, false, nil
+		return false, nil
 	}
 	delete(a.pending, iter)
-	a.mu.Unlock()
 
-	grad := tensor.NewMatrix(a.rows, a.cols)
-	for _, f := range fs.factors {
-		f.ReconstructInto(grad)
+	// Reconstruction runs under the lock: it must finish before the
+	// factor buffers go back on the free list, and rounds complete at
+	// most once per iteration, so the serialization is cheap relative
+	// to the K·M·N fold itself.
+	dst.Resize(a.rows, a.cols)
+	dst.Zero()
+	for w, f := range fs.factors {
+		f.ReconstructInto(dst)
+		a.freeSFs = append(a.freeSFs, f)
+		fs.factors[w] = nil
 	}
-	return grad, true, nil
+	fs.count = 0
+	a.freeSets = append(a.freeSets, fs)
+	return true, nil
 }
 
 // PendingIters returns how many iterations have incomplete factor sets

@@ -12,11 +12,12 @@ import (
 // Event is a scheduled callback. Events at equal times fire in
 // scheduling order, which keeps runs deterministic.
 type Event struct {
-	time float64
-	seq  uint64
-	fn   func()
-	dead bool
-	idx  int
+	time   float64
+	seq    uint64
+	fn     func()
+	dead   bool
+	pooled bool
+	idx    int
 }
 
 // Cancel prevents a pending event from firing. Canceling an already
@@ -58,6 +59,10 @@ type Engine struct {
 	seq  uint64
 	pq   eventHeap
 	runs uint64
+	// free recycles fired pooled events (Post/PostAfter). Large
+	// simulations schedule millions of events; without the free list the
+	// Event allocations dominate the engine's heap profile.
+	free []*Event
 }
 
 // NewEngine returns an engine with the clock at 0.
@@ -83,6 +88,36 @@ func (e *Engine) After(d float64, fn func()) *Event {
 		panic(fmt.Sprintf("sim: negative delay %g", d))
 	}
 	return e.At(e.now+d, fn)
+}
+
+// Post schedules fn at absolute time t (t ≥ Now) on a pooled event.
+// Pooled events cannot be canceled — no handle is returned, and the
+// Event is recycled the moment it fires — which is exactly what the
+// hot paths (resource completions, network deliveries) want: they
+// never cancel, and the free list makes scheduling allocation-free in
+// steady state. Use At/After when a Cancel handle is needed.
+func (e *Engine) Post(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling in the past: %g < %g", t, e.now))
+	}
+	e.seq++
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		ev = new(Event)
+	}
+	*ev = Event{time: t, seq: e.seq, fn: fn, pooled: true}
+	heap.Push(&e.pq, ev)
+}
+
+// PostAfter is Post with a relative delay d ≥ 0.
+func (e *Engine) PostAfter(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	e.Post(e.now+d, fn)
 }
 
 // Run executes events until the queue is empty, returning the number of
@@ -114,7 +149,14 @@ func (e *Engine) step() {
 	}
 	e.now = ev.time
 	e.runs++
-	ev.fn()
+	fn := ev.fn
+	if ev.pooled {
+		// Recycle before firing: fn may schedule (and therefore pop the
+		// free list), and nothing else references a fired pooled event.
+		ev.fn = nil
+		e.free = append(e.free, ev)
+	}
+	fn()
 }
 
 // Pending returns the number of events in the queue (including canceled
@@ -148,7 +190,7 @@ func (r *Resource) Use(duration float64, done func()) float64 {
 	r.busyTill = end
 	r.Busy += duration
 	if done != nil {
-		r.eng.At(end, done)
+		r.eng.Post(end, done)
 	}
 	return end
 }

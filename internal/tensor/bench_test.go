@@ -1,0 +1,77 @@
+package tensor
+
+import "testing"
+
+// benchMatrix is sized like a mid-size FC chunk: big enough that the
+// per-value conversion loop dominates, small enough to stay in cache.
+func benchMatrix() *Matrix {
+	m := NewMatrix(64, 256)
+	for i := range m.Data {
+		m.Data[i] = float32(i%251) * 0.25
+	}
+	return m
+}
+
+// BenchmarkAppendMatrixRepeated appends many matrices to one growing
+// buffer — the regression guard for grow's geometric policy: linear
+// (exact-fit) growth reallocates and recopies on every append, turning
+// this loop quadratic.
+func BenchmarkAppendMatrixRepeated(b *testing.B) {
+	m := benchMatrix()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf []byte
+		for j := 0; j < 32; j++ {
+			buf = AppendMatrix(buf, m)
+		}
+	}
+}
+
+// BenchmarkDecodeMatrix is the allocating decoder baseline.
+func BenchmarkDecodeMatrix(b *testing.B) {
+	buf := AppendMatrix(nil, benchMatrix())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeMatrix(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeMatrixInto decodes into warm caller-owned scratch —
+// the steady-state wire path. Compare with BenchmarkDecodeMatrix.
+func BenchmarkDecodeMatrixInto(b *testing.B) {
+	buf := AppendMatrix(nil, benchMatrix())
+	var dst Matrix
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMatrixInto(&dst, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeFloat32s is the allocating vector-decode baseline.
+func BenchmarkDecodeFloat32s(b *testing.B) {
+	buf := AppendFloat32s(nil, benchMatrix().Data)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeFloat32s(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeFloat32sInto is the decode-into-scratch counterpart of
+// BenchmarkDecodeFloat32s.
+func BenchmarkDecodeFloat32sInto(b *testing.B) {
+	buf := AppendFloat32s(nil, benchMatrix().Data)
+	var dst []float32
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if dst, _, err = DecodeFloat32sInto(dst, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -10,27 +10,111 @@ import (
 // gradients. All integers are little-endian. The encoding is manual (no
 // reflection) because the functional plane moves multi-megabyte payloads
 // per layer per iteration.
+//
+// Every Decode* function has a Decode*Into sibling that fills
+// caller-owned scratch instead of allocating — the steady-state wire
+// path decodes every inbound frame into buffers reused across
+// iterations, so a training loop performs O(1) heap allocations per
+// parameter rather than O(messages).
 
-// grow extends buf by n bytes in one allocation (at most), returning
-// the extended slice and the offset of the new region. The encoders
-// below move multi-megabyte tensors every iteration, so growing once
-// and filling with PutUint32 beats per-value appends.
+// grow extends buf by n bytes, returning the extended slice and the
+// offset of the new region. Growth is geometric — at least double the
+// previous capacity — so a buffer that receives repeated appends
+// (multi-chunk encodes, batched frames) reallocates O(log n) times
+// instead of once per append.
 func grow(buf []byte, n int) ([]byte, int) {
 	off := len(buf)
 	if cap(buf)-off < n {
-		nbuf := make([]byte, off, off+n)
+		newCap := off + n
+		if c := 2 * cap(buf); newCap < c {
+			newCap = c
+		}
+		nbuf := make([]byte, off, newCap)
 		copy(nbuf, buf)
 		buf = nbuf
 	}
 	return buf[:off+n], off
 }
 
-// putFloat32s writes vs as little-endian f32 starting at buf[off].
+// putFloat32s writes vs as little-endian f32 starting at buf[off]. The
+// body is unrolled 8 wide: one bounds check covers each 32-byte block,
+// which roughly halves the per-value cost of the conversion loop on
+// multi-megabyte tensors.
 func putFloat32s(buf []byte, off int, vs []float32) {
-	for _, v := range vs {
-		binary.LittleEndian.PutUint32(buf[off:off+4], math.Float32bits(v))
-		off += 4
+	dst := buf[off:]
+	i := 0
+	for ; i+8 <= len(vs); i += 8 {
+		d := dst[i*4 : i*4+32]
+		binary.LittleEndian.PutUint32(d[0:4], math.Float32bits(vs[i]))
+		binary.LittleEndian.PutUint32(d[4:8], math.Float32bits(vs[i+1]))
+		binary.LittleEndian.PutUint32(d[8:12], math.Float32bits(vs[i+2]))
+		binary.LittleEndian.PutUint32(d[12:16], math.Float32bits(vs[i+3]))
+		binary.LittleEndian.PutUint32(d[16:20], math.Float32bits(vs[i+4]))
+		binary.LittleEndian.PutUint32(d[20:24], math.Float32bits(vs[i+5]))
+		binary.LittleEndian.PutUint32(d[24:28], math.Float32bits(vs[i+6]))
+		binary.LittleEndian.PutUint32(d[28:32], math.Float32bits(vs[i+7]))
 	}
+	for ; i < len(vs); i++ {
+		binary.LittleEndian.PutUint32(dst[i*4:i*4+4], math.Float32bits(vs[i]))
+	}
+}
+
+// getFloat32s fills dst from little-endian f32 at src, unrolled to
+// match putFloat32s. len(src) must be at least 4*len(dst).
+func getFloat32s(dst []float32, src []byte) {
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		s := src[i*4 : i*4+32]
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(s[0:4]))
+		dst[i+1] = math.Float32frombits(binary.LittleEndian.Uint32(s[4:8]))
+		dst[i+2] = math.Float32frombits(binary.LittleEndian.Uint32(s[8:12]))
+		dst[i+3] = math.Float32frombits(binary.LittleEndian.Uint32(s[12:16]))
+		dst[i+4] = math.Float32frombits(binary.LittleEndian.Uint32(s[16:20]))
+		dst[i+5] = math.Float32frombits(binary.LittleEndian.Uint32(s[20:24]))
+		dst[i+6] = math.Float32frombits(binary.LittleEndian.Uint32(s[24:28]))
+		dst[i+7] = math.Float32frombits(binary.LittleEndian.Uint32(s[28:32]))
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[i*4 : i*4+4]))
+	}
+}
+
+// getUint64s fills dst from little-endian u64 words at src, unrolled 8
+// wide. len(src) must be at least 8*len(dst).
+func getUint64s(dst []uint64, src []byte) {
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		s := src[i*8 : i*8+64]
+		dst[i] = binary.LittleEndian.Uint64(s[0:8])
+		dst[i+1] = binary.LittleEndian.Uint64(s[8:16])
+		dst[i+2] = binary.LittleEndian.Uint64(s[16:24])
+		dst[i+3] = binary.LittleEndian.Uint64(s[24:32])
+		dst[i+4] = binary.LittleEndian.Uint64(s[32:40])
+		dst[i+5] = binary.LittleEndian.Uint64(s[40:48])
+		dst[i+6] = binary.LittleEndian.Uint64(s[48:56])
+		dst[i+7] = binary.LittleEndian.Uint64(s[56:64])
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = binary.LittleEndian.Uint64(src[i*8 : i*8+8])
+	}
+}
+
+// resizeF32 returns a slice of length n, reusing s's backing array when
+// its capacity allows.
+func resizeF32(s []float32, n int) []float32 {
+	if cap(s) < n {
+		return make([]float32, n)
+	}
+	return s[:n]
+}
+
+// resizeU64 returns a slice of length n, reusing s's backing array when
+// its capacity allows.
+func resizeU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
 }
 
 // AppendMatrix appends the encoding of m to buf and returns it:
@@ -43,25 +127,40 @@ func AppendMatrix(buf []byte, m *Matrix) []byte {
 	return buf
 }
 
+// MatrixWireBytes returns the encoded size of an rows×cols matrix.
+func MatrixWireBytes(rows, cols int) int { return 8 + 4*rows*cols }
+
 // DecodeMatrix decodes a matrix from buf, returning it and the number of
 // bytes consumed.
 func DecodeMatrix(buf []byte) (*Matrix, int, error) {
+	m := new(Matrix)
+	n, err := DecodeMatrixInto(m, buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, n, nil
+}
+
+// DecodeMatrixInto decodes a matrix from buf into dst, reusing
+// dst.Data's backing array when its capacity allows, and returns the
+// number of bytes consumed. On error dst is unchanged.
+func DecodeMatrixInto(dst *Matrix, buf []byte) (int, error) {
 	if len(buf) < 8 {
-		return nil, 0, fmt.Errorf("tensor: short matrix header: %d bytes", len(buf))
+		return 0, fmt.Errorf("tensor: short matrix header: %d bytes", len(buf))
 	}
 	rows := int(binary.LittleEndian.Uint32(buf[0:4]))
 	cols := int(binary.LittleEndian.Uint32(buf[4:8]))
-	need := 8 + 4*rows*cols
-	if len(buf) < need {
-		return nil, 0, fmt.Errorf("tensor: short matrix body: have %d, need %d", len(buf), need)
+	// The element-count comparison runs in uint64 so a hostile header
+	// cannot overflow the byte arithmetic into a negative "need".
+	if uint64(rows)*uint64(cols) > uint64(len(buf)-8)/4 {
+		return 0, fmt.Errorf("tensor: short matrix body: have %d, need %d×%d floats", len(buf), rows, cols)
 	}
-	m := NewMatrix(rows, cols)
-	off := 8
-	for i := range m.Data {
-		m.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off : off+4]))
-		off += 4
-	}
-	return m, need, nil
+	elems := rows * cols
+	need := 8 + 4*elems
+	dst.Rows, dst.Cols = rows, cols
+	dst.Data = resizeF32(dst.Data, elems)
+	getFloat32s(dst.Data, buf[8:need])
+	return need, nil
 }
 
 // AppendSF appends the encoding of sf (U then V) to buf.
@@ -73,18 +172,30 @@ func AppendSF(buf []byte, sf *SufficientFactor) []byte {
 // DecodeSF decodes a sufficient factor from buf, returning it and the
 // number of bytes consumed.
 func DecodeSF(buf []byte) (*SufficientFactor, int, error) {
-	u, n1, err := DecodeMatrix(buf)
+	sf := &SufficientFactor{U: new(Matrix), V: new(Matrix)}
+	n, err := DecodeSFInto(sf, buf)
 	if err != nil {
-		return nil, 0, fmt.Errorf("tensor: SF U: %w", err)
+		return nil, 0, err
 	}
-	v, n2, err := DecodeMatrix(buf[n1:])
+	return sf, n, nil
+}
+
+// DecodeSFInto decodes a sufficient factor from buf into dst (whose U
+// and V must be non-nil, their Data reused when capacity allows) and
+// returns the number of bytes consumed.
+func DecodeSFInto(dst *SufficientFactor, buf []byte) (int, error) {
+	n1, err := DecodeMatrixInto(dst.U, buf)
 	if err != nil {
-		return nil, 0, fmt.Errorf("tensor: SF V: %w", err)
+		return 0, fmt.Errorf("tensor: SF U: %w", err)
 	}
-	if u.Rows != v.Rows {
-		return nil, 0, fmt.Errorf("tensor: SF K mismatch: U has %d rows, V has %d", u.Rows, v.Rows)
+	n2, err := DecodeMatrixInto(dst.V, buf[n1:])
+	if err != nil {
+		return 0, fmt.Errorf("tensor: SF V: %w", err)
 	}
-	return &SufficientFactor{U: u, V: v}, n1 + n2, nil
+	if dst.U.Rows != dst.V.Rows {
+		return 0, fmt.Errorf("tensor: SF K mismatch: U has %d rows, V has %d", dst.U.Rows, dst.V.Rows)
+	}
+	return n1 + n2, nil
 }
 
 // AppendQuantized appends the encoding of q to buf:
@@ -106,25 +217,34 @@ func AppendQuantized(buf []byte, q *QuantizedGrad) []byte {
 // DecodeQuantized decodes a quantized gradient from buf, returning it and
 // the number of bytes consumed.
 func DecodeQuantized(buf []byte) (*QuantizedGrad, int, error) {
+	q := new(QuantizedGrad)
+	n, err := DecodeQuantizedInto(q, buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return q, n, nil
+}
+
+// DecodeQuantizedInto decodes a quantized gradient from buf into dst,
+// reusing dst.Bits' backing array when its capacity allows, and returns
+// the number of bytes consumed. On error dst is unchanged.
+func DecodeQuantizedInto(dst *QuantizedGrad, buf []byte) (int, error) {
 	if len(buf) < 16 {
-		return nil, 0, fmt.Errorf("tensor: short quantized header: %d bytes", len(buf))
+		return 0, fmt.Errorf("tensor: short quantized header: %d bytes", len(buf))
 	}
 	rows := int(binary.LittleEndian.Uint32(buf[0:4]))
 	cols := int(binary.LittleEndian.Uint32(buf[4:8]))
-	lo := math.Float32frombits(binary.LittleEndian.Uint32(buf[8:12]))
-	hi := math.Float32frombits(binary.LittleEndian.Uint32(buf[12:16]))
-	words := (rows*cols + 63) / 64
-	need := 16 + 8*words
-	if len(buf) < need {
-		return nil, 0, fmt.Errorf("tensor: short quantized body: have %d, need %d", len(buf), need)
+	words := (uint64(rows)*uint64(cols) + 63) / 64
+	if words > uint64(len(buf)-16)/8 {
+		return 0, fmt.Errorf("tensor: short quantized body: have %d, need %d words", len(buf), words)
 	}
-	q := &QuantizedGrad{Rows: rows, Cols: cols, LoLevel: lo, HiLevel: hi, Bits: make([]uint64, words)}
-	off := 16
-	for i := range q.Bits {
-		q.Bits[i] = binary.LittleEndian.Uint64(buf[off : off+8])
-		off += 8
-	}
-	return q, need, nil
+	need := 16 + 8*int(words)
+	dst.Rows, dst.Cols = rows, cols
+	dst.LoLevel = math.Float32frombits(binary.LittleEndian.Uint32(buf[8:12]))
+	dst.HiLevel = math.Float32frombits(binary.LittleEndian.Uint32(buf[12:16]))
+	dst.Bits = resizeU64(dst.Bits, int(words))
+	getUint64s(dst.Bits, buf[16:need])
+	return need, nil
 }
 
 // AppendFloat32s appends a length-prefixed float32 slice to buf.
@@ -135,22 +255,28 @@ func AppendFloat32s(buf []byte, vs []float32) []byte {
 	return buf
 }
 
+// Float32sWireBytes returns the encoded size of an n-element slice.
+func Float32sWireBytes(n int) int { return 4 + 4*n }
+
 // DecodeFloat32s decodes a length-prefixed float32 slice from buf,
 // returning the slice and the number of bytes consumed.
 func DecodeFloat32s(buf []byte) ([]float32, int, error) {
+	return DecodeFloat32sInto(nil, buf)
+}
+
+// DecodeFloat32sInto decodes a length-prefixed float32 slice from buf
+// into dst's backing array (reused when its capacity allows), returning
+// the resized slice and the number of bytes consumed.
+func DecodeFloat32sInto(dst []float32, buf []byte) ([]float32, int, error) {
 	if len(buf) < 4 {
 		return nil, 0, fmt.Errorf("tensor: short float32s header")
 	}
 	n := int(binary.LittleEndian.Uint32(buf[0:4]))
+	if uint64(n) > uint64(len(buf)-4)/4 {
+		return nil, 0, fmt.Errorf("tensor: short float32s body: have %d, need %d values", len(buf), n)
+	}
 	need := 4 + 4*n
-	if len(buf) < need {
-		return nil, 0, fmt.Errorf("tensor: short float32s body: have %d, need %d", len(buf), need)
-	}
-	vs := make([]float32, n)
-	off := 4
-	for i := range vs {
-		vs[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off : off+4]))
-		off += 4
-	}
-	return vs, need, nil
+	dst = resizeF32(dst, n)
+	getFloat32s(dst, buf[4:need])
+	return dst, need, nil
 }

@@ -1,0 +1,198 @@
+package tensor
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The Decode*Into variants must be byte-for-byte interchangeable with
+// the allocating decoders on every input — valid, truncated, or
+// hostile — because the wire path swaps freely between them. The fuzz
+// targets below drive both through arbitrary frames and require
+// identical accept/reject decisions, consumed byte counts, and decoded
+// values, with the Into side reusing deliberately dirty scratch.
+
+func fuzzSeedFrames(f *testing.F) {
+	m := NewMatrix(3, 5)
+	for i := range m.Data {
+		m.Data[i] = float32(i) - 7.5
+	}
+	f.Add(AppendMatrix(nil, m))
+	f.Add(AppendMatrix(AppendMatrix(nil, m), m)[3:]) // misaligned tail
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255}) // huge header
+	z := NewOneBitQuantizer(4, 9)
+	g := NewMatrix(4, 9)
+	g.Fill(0.25)
+	f.Add(AppendQuantized(nil, z.Quantize(g)))
+}
+
+func FuzzDecodeMatrixInto(f *testing.F) {
+	fuzzSeedFrames(f)
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		want, wantN, wantErr := DecodeMatrix(buf)
+		dst := &Matrix{Rows: 1, Cols: 7, Data: []float32{9, 9, 9, 9, 9, 9, 9}}
+		gotN, gotErr := DecodeMatrixInto(dst, buf)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch: DecodeMatrix=%v DecodeMatrixInto=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if gotN != wantN {
+			t.Fatalf("consumed %d bytes, DecodeMatrix consumed %d", gotN, wantN)
+		}
+		if dst.Rows != want.Rows || dst.Cols != want.Cols {
+			t.Fatalf("shape %dx%d, want %dx%d", dst.Rows, dst.Cols, want.Rows, want.Cols)
+		}
+		for i, v := range want.Data {
+			if dst.Data[i] != v && !(dst.Data[i] != dst.Data[i] && v != v) { // NaN-tolerant
+				t.Fatalf("Data[%d] = %v, want %v", i, dst.Data[i], v)
+			}
+		}
+	})
+}
+
+func FuzzDecodeQuantizedInto(f *testing.F) {
+	fuzzSeedFrames(f)
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		want, wantN, wantErr := DecodeQuantized(buf)
+		dst := &QuantizedGrad{Rows: 2, Cols: 2, Bits: []uint64{^uint64(0)}, LoLevel: -9, HiLevel: 9}
+		gotN, gotErr := DecodeQuantizedInto(dst, buf)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch: DecodeQuantized=%v DecodeQuantizedInto=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if gotN != wantN {
+			t.Fatalf("consumed %d bytes, DecodeQuantized consumed %d", gotN, wantN)
+		}
+		if dst.Rows != want.Rows || dst.Cols != want.Cols ||
+			math32Bits(dst.LoLevel) != math32Bits(want.LoLevel) ||
+			math32Bits(dst.HiLevel) != math32Bits(want.HiLevel) {
+			t.Fatalf("header %+v, want %+v", dst, want)
+		}
+		if len(dst.Bits) != len(want.Bits) {
+			t.Fatalf("%d bit words, want %d", len(dst.Bits), len(want.Bits))
+		}
+		for i, w := range want.Bits {
+			if dst.Bits[i] != w {
+				t.Fatalf("Bits[%d] = %x, want %x", i, dst.Bits[i], w)
+			}
+		}
+	})
+}
+
+func FuzzDecodeFloat32sInto(f *testing.F) {
+	fuzzSeedFrames(f)
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		want, wantN, wantErr := DecodeFloat32s(buf)
+		scratch := []float32{3, 3, 3}
+		got, gotN, gotErr := DecodeFloat32sInto(scratch, buf)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch: %v vs %v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if gotN != wantN || len(got) != len(want) {
+			t.Fatalf("got %d bytes/%d values, want %d/%d", gotN, len(got), wantN, len(want))
+		}
+		for i, v := range want {
+			if math32Bits(got[i]) != math32Bits(v) {
+				t.Fatalf("[%d] = %v, want %v", i, got[i], v)
+			}
+		}
+	})
+}
+
+// math32Bits compares float32s including NaN payloads and signed zero.
+func math32Bits(v float32) uint32 {
+	var b [4]byte
+	putFloat32s(b[:], 0, []float32{v})
+	var out uint32
+	for i := 3; i >= 0; i-- {
+		out = out<<8 | uint32(b[i])
+	}
+	return out
+}
+
+// TestDecodeIntoReusesScratch pins the zero-allocation contract: a
+// second decode into already-sized scratch must not allocate.
+func TestDecodeIntoReusesScratch(t *testing.T) {
+	m := NewMatrix(16, 16)
+	for i := range m.Data {
+		m.Data[i] = float32(i)
+	}
+	buf := AppendMatrix(nil, m)
+	var dst Matrix
+	if _, err := DecodeMatrixInto(&dst, buf); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeMatrixInto(&dst, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeMatrixInto into warm scratch allocated %v times per run", allocs)
+	}
+
+	vbuf := AppendFloat32s(nil, m.Data)
+	vs, _, err := DecodeFloat32sInto(nil, vbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if vs, _, err = DecodeFloat32sInto(vs, vbuf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeFloat32sInto into warm scratch allocated %v times per run", allocs)
+	}
+}
+
+// TestGrowGeometric pins the geometric growth policy: appending k
+// matrices to one buffer must reallocate O(log k) times, not k.
+func TestGrowGeometric(t *testing.T) {
+	m := NewMatrix(8, 8)
+	allocs := testing.AllocsPerRun(10, func() {
+		var buf []byte
+		for i := 0; i < 64; i++ {
+			buf = AppendMatrix(buf, m)
+		}
+	})
+	// 64 appends of 264 bytes ≈ 16.5 KiB; doubling from scratch needs
+	// ~15 reallocations at the very most.
+	if allocs > 16 {
+		t.Fatalf("64 appends reallocated %v times; grow is not geometric", allocs)
+	}
+}
+
+// TestQuantizeIntoMatchesQuantize pins QuantizeInto against Quantize on
+// the same gradient stream (fresh quantizers, identical residual
+// evolution).
+func TestQuantizeIntoMatchesQuantize(t *testing.T) {
+	za, zb := NewOneBitQuantizer(5, 7), NewOneBitQuantizer(5, 7)
+	var dst QuantizedGrad
+	g := NewMatrix(5, 7)
+	for step := 0; step < 4; step++ {
+		for i := range g.Data {
+			g.Data[i] = float32((i*7+step*3)%11) - 5
+		}
+		want := za.Quantize(g)
+		got := zb.QuantizeInto(&dst, g)
+		if got != &dst {
+			t.Fatal("QuantizeInto did not return dst")
+		}
+		if !bytes.Equal(AppendQuantized(nil, want), AppendQuantized(nil, got)) {
+			t.Fatalf("step %d: encodings differ", step)
+		}
+		if !za.Residual().ApproxEqual(zb.Residual(), 0) {
+			t.Fatalf("step %d: residuals diverged", step)
+		}
+	}
+}

@@ -78,6 +78,17 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 	copy(m.Data, src.Data)
 }
 
+// Resize reshapes m to rows×cols, reusing Data's backing array when its
+// capacity allows. Element values are unspecified afterwards; callers
+// that need zeros must Zero explicitly.
+func (m *Matrix) Resize(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix shape %dx%d", rows, cols))
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = resizeF32(m.Data, rows*cols)
+}
+
 // Add accumulates src into m element-wise.
 func (m *Matrix) Add(src *Matrix) {
 	m.mustSameShape(src)

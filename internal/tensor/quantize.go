@@ -11,6 +11,10 @@ package tensor
 // for exactly one gradient matrix shape.
 type OneBitQuantizer struct {
 	residual *Matrix
+	// eff is the effective-gradient scratch (grad + residual), reused
+	// across Quantize calls so the steady-state push path allocates
+	// nothing.
+	eff []float32
 }
 
 // NewOneBitQuantizer creates a quantizer with a zero residual for an
@@ -45,19 +49,28 @@ func QuantizedWireBytes(m, n int) int64 {
 // and stores the new residual (input − reconstruction). grad is not
 // modified.
 func (z *OneBitQuantizer) Quantize(grad *Matrix) *QuantizedGrad {
+	return z.QuantizeInto(new(QuantizedGrad), grad)
+}
+
+// QuantizeInto is Quantize writing into dst (whose Bits backing array
+// is reused when its capacity allows) — the steady-state path for the
+// 1-bit syncer, which quantizes the same gradient shape every
+// iteration. Returns dst.
+func (z *OneBitQuantizer) QuantizeInto(dst *QuantizedGrad, grad *Matrix) *QuantizedGrad {
 	if grad.Rows != z.residual.Rows || grad.Cols != z.residual.Cols {
 		panic("tensor: Quantize shape mismatch with residual")
 	}
 	n := len(grad.Data)
-	q := &QuantizedGrad{
-		Rows: grad.Rows,
-		Cols: grad.Cols,
-		Bits: make([]uint64, (n+63)/64),
-	}
+	q := dst
+	q.Rows, q.Cols = grad.Rows, grad.Cols
+	q.LoLevel, q.HiLevel = 0, 0
+	q.Bits = resizeU64(q.Bits, (n+63)/64)
+	clear(q.Bits)
 	// Effective gradient = grad + residual.
 	var hiSum, loSum float64
 	var hiCount, loCount int
-	eff := make([]float32, n)
+	z.eff = resizeF32(z.eff, n)
+	eff := z.eff
 	for i, g := range grad.Data {
 		e := g + z.residual.Data[i]
 		eff[i] = e

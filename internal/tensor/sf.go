@@ -62,6 +62,23 @@ func (sf *SufficientFactor) Clone() *SufficientFactor {
 	return &SufficientFactor{U: sf.U.Clone(), V: sf.V.Clone()}
 }
 
+// CopyFrom deep-copies src into sf, reusing sf's factor buffers when
+// their capacity allows (allocating U/V on first use). The aggregation
+// path copies offered factors into pooled scratch this way instead of
+// retaining caller references.
+func (sf *SufficientFactor) CopyFrom(src *SufficientFactor) {
+	if sf.U == nil {
+		sf.U = new(Matrix)
+	}
+	if sf.V == nil {
+		sf.V = new(Matrix)
+	}
+	sf.U.Resize(src.U.Rows, src.U.Cols)
+	copy(sf.U.Data, src.U.Data)
+	sf.V.Resize(src.V.Rows, src.V.Cols)
+	copy(sf.V.Data, src.V.Data)
+}
+
 // SFWireBytes returns the wire size of an SF for batch size k on an m×n
 // layer without materializing it: 4·k·(m+n).
 func SFWireBytes(k, m, n int) int64 { return 4 * int64(k) * (int64(m) + int64(n)) }

@@ -352,7 +352,11 @@ func buildPlans(cfg Config, net *autodiff.Network, workers int) ([]comm.ParamPla
 					return nil, fmt.Errorf("train: param %d (%s) routed to SFB but has no sufficient factor", idx, plans[idx].Name)
 				}
 				fc := fc
-				plans[idx].SF = func() *tensor.SufficientFactor { return fc.SufficientFactor() }
+				// Borrowed factors reference the layer's live backward
+				// buffers — the syncer encodes and copies them before
+				// the compute loop can overwrite, so the SFB route ships
+				// gradients without a per-iteration clone.
+				plans[idx].SF = func() *tensor.SufficientFactor { return fc.BorrowSufficientFactor() }
 			}
 			idx++
 		}

@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Reference-counted payload pool — the allocation-flat core of the wire
+// path. Both ends of a connection lease from it: encoders lease a
+// buffer, fill it, and attach the lease to the outbound Message;
+// the TCP read loop leases one buffer per inbound frame and hands the
+// lease to the consumer through Message. A lease is returned to the
+// pool when its reference count reaches zero, so a payload shared by a
+// broadcast (one buffer, P sends) or parked in a loopback queue can
+// never be recycled while anything still reads it.
+//
+// Ownership rules (documented for consumers in README "Wire format"):
+//
+//   - The leasing side starts with one reference and must Release it
+//     when done handing the message to transports.
+//   - A transport that retains the payload beyond the Send call
+//     (ChanMesh inboxes, TCP loopback queues) takes its own reference;
+//     transports that copy synchronously (TCP socket writes) do not.
+//   - Whoever consumes a Message from Recv must call ReleasePayload
+//     once finished with Payload, and must not retain Payload past that
+//     call. Messages without a lease ignore ReleasePayload.
+//
+// Releasing more times than retained panics — silent over-release would
+// recycle a buffer that a later frame still references, corrupting
+// tensors far from the bug. A forgotten Release is not a memory leak
+// (the GC still reclaims the buffer) but defeats pooling;
+// OutstandingPayloadLeases exposes the live-lease count so tests can
+// assert balanced flows.
+
+// PayloadRef is a reference-counted lease on a pooled buffer.
+type PayloadRef struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+// payloadPools holds one sync.Pool per power-of-two size class, so a
+// lease request is served by a buffer of comparable capacity and a mesh
+// moving mixed tensor sizes does not thrash one shared pool.
+var payloadPools [64]sync.Pool
+
+// payloadLeases counts live leases (leased minus fully released).
+var payloadLeases atomic.Int64
+
+// payloadClass maps a capacity to its size class: the smallest power of
+// two ≥ max(capacity, 256).
+func payloadClass(capacity int) int {
+	if capacity <= 256 {
+		return 8 // 256-byte minimum keeps tiny frames from fragmenting classes
+	}
+	return bits.Len(uint(capacity - 1))
+}
+
+// LeasePayload leases a zero-length buffer with at least the given
+// capacity and one reference. Fill it with append (or slice it up to
+// its capacity) and attach it to a Message with AttachLease.
+func LeasePayload(capacity int) *PayloadRef {
+	class := payloadClass(capacity)
+	r, _ := payloadPools[class].Get().(*PayloadRef)
+	if r == nil {
+		r = &PayloadRef{buf: make([]byte, 0, 1<<class)}
+	}
+	r.buf = r.buf[:0]
+	r.refs.Store(1)
+	payloadLeases.Add(1)
+	return r
+}
+
+// Bytes returns the leased buffer (length 0 after leasing, up to the
+// leased capacity).
+func (r *PayloadRef) Bytes() []byte { return r.buf }
+
+// SetBytes stores the filled buffer back on the lease — call it after
+// appending, in case the append grew past the leased capacity.
+func (r *PayloadRef) SetBytes(b []byte) { r.buf = b }
+
+// Retain adds a reference. Retaining a lease whose count already
+// reached zero is a lifetime bug and panics.
+func (r *PayloadRef) Retain() {
+	if r == nil {
+		return
+	}
+	if r.refs.Add(1) <= 1 {
+		panic("transport: Retain on a released payload lease")
+	}
+}
+
+// Release drops one reference; the last release returns the buffer to
+// the pool. Releasing more times than retained panics.
+func (r *PayloadRef) Release() {
+	if r == nil {
+		return
+	}
+	n := r.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("transport: payload lease over-released")
+	}
+	payloadLeases.Add(-1)
+	// File by the largest power of two the buffer actually covers
+	// (floor, not ceil): an encoder may have grown the buffer past the
+	// leased capacity to a non-power-of-two size, and filing it one
+	// class up would let a later lease receive a buffer smaller than
+	// the class promises. Buffers below the minimum class are dropped.
+	if c := bits.Len(uint(cap(r.buf))) - 1; c >= 8 {
+		payloadPools[c].Put(r)
+	}
+}
+
+// OutstandingPayloadLeases reports the number of live leases. Balanced
+// flows return to their baseline once every in-flight message has been
+// consumed and released; tests use the delta to catch leaks.
+func OutstandingPayloadLeases() int64 { return payloadLeases.Load() }
+
+// AttachLease ties a pooled payload lease to the message, so whoever
+// consumes it from Recv can ReleasePayload. The caller keeps (and must
+// eventually Release) its own reference.
+func (m *Message) AttachLease(r *PayloadRef) { m.lease = r }
+
+// ReleasePayload releases the pooled buffer backing Payload, if any.
+// Call it exactly once when done with a consumed message; Payload must
+// not be read afterwards.
+func (m *Message) ReleasePayload() {
+	if m.lease != nil {
+		m.lease.Release()
+		m.lease = nil
+	}
+}
+
+// retainLease takes the transport-side reference for a message being
+// parked in an in-process queue (ChanMesh inbox, TCP loopback).
+func (m *Message) retainLease() {
+	if m.lease != nil {
+		m.lease.Retain()
+	}
+}

@@ -419,8 +419,10 @@ func (m *TCPMesh) readLoop(peer int, c net.Conn) {
 // readFrames reads length-prefixed frames from c until the peer says
 // goodbye (returns nil) or the stream fails (returns the cause).
 func (m *TCPMesh) readFrames(peer int, c net.Conn) error {
+	// hdr lives outside the loop: io.ReadFull's interface call makes it
+	// escape, and one heap header per connection beats one per frame.
+	var hdr [4]byte
 	for {
-		var hdr [4]byte
 		if _, err := io.ReadFull(c, hdr[:]); err != nil {
 			if err == io.EOF {
 				return errors.New("connection closed without goodbye (peer crashed?)")
@@ -434,23 +436,31 @@ func (m *TCPMesh) readFrames(peer int, c net.Conn) error {
 		if n < headerLen {
 			return fmt.Errorf("frame of %d bytes is shorter than the %d-byte header", n, headerLen)
 		}
-		body := make([]byte, n)
+		// Each frame body lives in a pooled lease that travels with the
+		// message; the consumer's ReleasePayload recycles it. The read
+		// loop therefore allocates nothing per frame in steady state.
+		ref := LeasePayload(n)
+		body := ref.Bytes()[:n]
 		if _, err := io.ReadFull(c, body); err != nil {
+			ref.Release()
 			return fmt.Errorf("truncated frame (wanted %d body bytes): %w", n, err)
 		}
 		msg, err := decode(body)
-		if err != nil {
-			return err
-		}
-		if msg.Type == msgGoodbye {
+		if err != nil || msg.Type == msgGoodbye {
+			ref.Release()
+			if err != nil {
+				return err
+			}
 			return nil
 		}
+		msg.lease = ref
 		select {
 		case m.inbox <- msg:
 		case <-m.closed:
 			// Shutting down: discard, but keep reading so the peer's
 			// in-flight writes drain until its goodbye or the drain
 			// deadline Close put on the connection.
+			ref.Release()
 		}
 	}
 }
@@ -477,6 +487,9 @@ func (m *TCPMesh) loopback(msg Message) error {
 		return ErrClosed
 	default:
 	}
+	// The queue holds its own reference on the payload lease until the
+	// consumer releases it, mirroring ChanMesh's inbox.
+	msg.retainLease()
 	m.loopMu.Lock()
 	m.loopQ = append(m.loopQ, msg)
 	m.loopMu.Unlock()

@@ -12,7 +12,7 @@ import (
 // freeAddrs reserves n distinct loopback addresses by binding ephemeral
 // ports and releasing them. The release-to-rebind window is tiny and
 // loopback-local, which keeps these tests free of fixed-port collisions.
-func freeAddrs(t *testing.T, n int) []string {
+func freeAddrs(t testing.TB, n int) []string {
 	t.Helper()
 	var lis []net.Listener
 	var addrs []string
@@ -31,7 +31,7 @@ func freeAddrs(t *testing.T, n int) []string {
 }
 
 // dialMeshOpts forms a full mesh concurrently, one endpoint per addr.
-func dialMeshOpts(t *testing.T, addrs []string, opts TCPOptions) []*TCPMesh {
+func dialMeshOpts(t testing.TB, addrs []string, opts TCPOptions) []*TCPMesh {
 	t.Helper()
 	ms := make([]*TCPMesh, len(addrs))
 	var wg sync.WaitGroup

@@ -46,6 +46,11 @@ type Message struct {
 	Chunk   int32 // KV chunk index within the layer (0 when unchunked)
 	Iter    int32 // training iteration
 	Payload []byte
+
+	// lease, when non-nil, is the pooled buffer backing Payload (see
+	// payload.go). Consumers return it with ReleasePayload; messages
+	// built over plain slices carry none and release is a no-op.
+	lease *PayloadRef
 }
 
 // ErrClosed is returned by Recv after the mesh is closed.
@@ -165,16 +170,20 @@ func (m *ChanMesh) Self() int { return m.self }
 // N returns the cluster size.
 func (m *ChanMesh) N() int { return len(m.cluster.inboxes) }
 
-// Send delivers msg to node to.
+// Send delivers msg to node to. The inbox retains msg.Payload's pooled
+// lease (if any) until the consumer releases it, so senders are free to
+// Release their own reference as soon as Send returns.
 func (m *ChanMesh) Send(to int, msg Message) error {
 	if to < 0 || to >= m.N() {
 		return fmt.Errorf("transport: bad destination %d", to)
 	}
 	msg.From = int32(m.self)
+	msg.retainLease()
 	select {
 	case m.cluster.inboxes[to] <- msg:
 		return nil
 	case <-m.cluster.closed:
+		msg.ReleasePayload()
 		return ErrClosed
 	}
 }

@@ -9,13 +9,26 @@
 // the trajectory — and experiments faster than -min-seconds in the
 // baseline are skipped, because shared-runner timing noise on
 // millisecond-scale experiments would make a ratio gate flap.
+//
+// With -go-bench it instead gates allocation budgets against raw
+// `go test -bench` output — an absolute gate, no baseline needed,
+// because allocs/op is deterministic where wall time is not:
+//
+//	go test -bench BenchmarkWirePathAlloc -benchtime 3x ./internal/comm | tee out.txt
+//	bench-trend -go-bench out.txt -alloc-budget 'BenchmarkWirePathAlloc=16'
+//
+// A budgeted benchmark missing from the output fails too — a renamed
+// benchmark must not silently disarm its gate.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
 
 // report mirrors the BENCH_ci.json schema (cmd/poseidon-bench).
@@ -60,6 +73,104 @@ func compare(prev, next report, maxRegress, minSeconds float64) []regression {
 	return regs
 }
 
+// parseAllocBudgets parses the -alloc-budget flag: comma-separated
+// name=N pairs, N the maximum allocs/op allowed.
+func parseAllocBudgets(s string) (map[string]int64, error) {
+	out := make(map[string]int64)
+	for _, pair := range strings.Split(s, ",") {
+		name, nStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("alloc budget %q is not name=N", pair)
+		}
+		n, err := strconv.ParseInt(nStr, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("alloc budget %q: bad count %q", pair, nStr)
+		}
+		out[name] = n
+	}
+	return out, nil
+}
+
+// parseGoBenchAllocs extracts benchmark → allocs/op from `go test
+// -bench` output. Benchmark names are stripped of the -GOMAXPROCS
+// suffix; a benchmark appearing several times keeps its worst reading.
+func parseGoBenchAllocs(r *bufio.Scanner) (map[string]int64, error) {
+	out := make(map[string]int64)
+	for r.Scan() {
+		fields := strings.Fields(r.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != "allocs/op" {
+				continue
+			}
+			n, err := strconv.ParseInt(fields[i-1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad allocs/op %q", name, fields[i-1])
+			}
+			if prev, ok := out[name]; !ok || n > prev {
+				out[name] = n
+			}
+		}
+	}
+	return out, r.Err()
+}
+
+// gateAllocs compares measured allocs/op against the budgets and
+// returns one violation line per failure (missing benchmarks count).
+func gateAllocs(measured map[string]int64, budgets map[string]int64) []string {
+	var bad []string
+	for name, budget := range budgets {
+		got, ok := measured[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: not found in bench output (renamed? gate disarmed?)", name))
+			continue
+		}
+		if got > budget {
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/op exceeds budget %d", name, got, budget))
+		}
+	}
+	return bad
+}
+
+func runAllocGate(benchPath, budgetSpec string) int {
+	budgets, err := parseAllocBudgets(budgetSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
+		return 1
+	}
+	f, err := os.Open(benchPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	measured, err := parseGoBenchAllocs(bufio.NewScanner(f))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
+		return 1
+	}
+	for name, budget := range budgets {
+		if got, ok := measured[name]; ok {
+			fmt.Printf("bench-trend: %s %d allocs/op (budget %d)\n", name, got, budget)
+		}
+	}
+	if bad := gateAllocs(measured, budgets); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "bench-trend: %d allocation budget violation(s):\n", len(bad))
+		for _, line := range bad {
+			fmt.Fprintf(os.Stderr, "  %s\n", line)
+		}
+		return 1
+	}
+	fmt.Println("bench-trend: all allocation budgets hold")
+	return 0
+}
+
 func load(path string) (report, error) {
 	var r report
 	b, err := os.ReadFile(path)
@@ -74,7 +185,13 @@ func main() {
 	newPath := flag.String("new", "BENCH_ci.json", "current BENCH_ci.json")
 	maxRegress := flag.Float64("max-regress", 0.20, "failure threshold as a fraction (0.20 = +20%)")
 	minSeconds := flag.Float64("min-seconds", 0.01, "skip experiments whose baseline is below this (timing-noise floor)")
+	goBench := flag.String("go-bench", "", "gate allocation budgets against this `go test -bench` output instead of comparing BENCH_ci.json timings")
+	allocBudget := flag.String("alloc-budget", "", "comma-separated name=N maximum allocs/op, used with -go-bench")
 	flag.Parse()
+
+	if *goBench != "" {
+		os.Exit(runAllocGate(*goBench, *allocBudget))
+	}
 
 	next, err := load(*newPath)
 	if err != nil {

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
 
 func rep(pairs ...any) report {
 	var r report
@@ -31,5 +35,57 @@ func TestCompareBoundary(t *testing.T) {
 	}
 	if regs := compare(prev, rep("a", 1.21), 0.20, 0.01); len(regs) != 1 {
 		t.Fatalf("+21%% must fail, got %v", regs)
+	}
+}
+
+const sampleBenchOut = `goos: linux
+goarch: amd64
+pkg: repro/internal/comm
+BenchmarkWirePathAlloc-8            	       3	   1080288 ns/op	        61.67 msg/iter	       9 allocs/op
+BenchmarkWirePathAlloc-8            	       3	   1100000 ns/op	        61.67 msg/iter	      11 allocs/op
+BenchmarkSendBatchTCP-8             	       3	    500000 ns/op	    1164 MB/s	       1 allocs/op
+BenchmarkNoAllocsReported-8         	       3	    500000 ns/op
+PASS
+`
+
+func TestParseGoBenchAllocs(t *testing.T) {
+	got, err := parseGoBenchAllocs(bufio.NewScanner(strings.NewReader(sampleBenchOut)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate runs keep the worst reading; lines without allocs/op
+	// are ignored.
+	if got["BenchmarkWirePathAlloc"] != 11 || got["BenchmarkSendBatchTCP"] != 1 {
+		t.Fatalf("parsed %v", got)
+	}
+	if _, ok := got["BenchmarkNoAllocsReported"]; ok {
+		t.Fatalf("benchmark without allocs/op should be absent: %v", got)
+	}
+}
+
+func TestGateAllocs(t *testing.T) {
+	measured := map[string]int64{"BenchmarkWirePathAlloc": 11}
+	if bad := gateAllocs(measured, map[string]int64{"BenchmarkWirePathAlloc": 16}); len(bad) != 0 {
+		t.Fatalf("under budget flagged: %v", bad)
+	}
+	if bad := gateAllocs(measured, map[string]int64{"BenchmarkWirePathAlloc": 10}); len(bad) != 1 {
+		t.Fatalf("over budget not flagged: %v", bad)
+	}
+	// A missing benchmark is a failure — a rename must not disarm the
+	// gate silently.
+	if bad := gateAllocs(measured, map[string]int64{"BenchmarkGone": 5}); len(bad) != 1 {
+		t.Fatalf("missing benchmark not flagged: %v", bad)
+	}
+}
+
+func TestParseAllocBudgets(t *testing.T) {
+	b, err := parseAllocBudgets("BenchmarkWirePathAlloc=16, BenchmarkSendBatchTCP=2")
+	if err != nil || b["BenchmarkWirePathAlloc"] != 16 || b["BenchmarkSendBatchTCP"] != 2 {
+		t.Fatalf("parsed %v, %v", b, err)
+	}
+	for _, bad := range []string{"nonsense", "a=x", "a=-1"} {
+		if _, err := parseAllocBudgets(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
 	}
 }

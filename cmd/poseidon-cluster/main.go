@@ -48,6 +48,10 @@ func run() int {
 	autoplan := flag.Bool("autoplan", false, "have each worker route via the cost model (Algorithm 1) and print PLAN lines")
 	metricsDump := flag.Bool("metrics-dump", false, "have each worker dump a machine-readable METRICS snapshot")
 	routeOverrides := flag.String("route", "", "per-parameter scheme overrides forwarded to every worker (index=ps|sfb|1bit, comma-separated)")
+	bw := flag.Float64("bw", 0, "initial link-bandwidth estimate in bytes/sec forwarded to every worker (0 = byte-count-only cost model)")
+	replanEvery := flag.Int("replan-every", 0, "have the cluster re-measure the wire rate and re-run Algorithm 1 every this many iterations (0 = off)")
+	replanAlpha := flag.Float64("replan-alpha", 0, "EWMA weight of the newest bandwidth observation (0 = default)")
+	frameOverhead := flag.Float64("frame-overhead", 0, "modeled per-frame overhead in seconds for the bandwidth-aware cost model (0 = default)")
 	flag.Parse()
 
 	if *n < 1 {
@@ -96,6 +100,18 @@ func run() int {
 		}
 		if *routeOverrides != "" {
 			args = append(args, "-route", *routeOverrides)
+		}
+		if *bw != 0 {
+			args = append(args, "-bw", fmt.Sprint(*bw))
+		}
+		if *replanEvery != 0 {
+			args = append(args, "-replan-every", fmt.Sprint(*replanEvery))
+		}
+		if *replanAlpha != 0 {
+			args = append(args, "-replan-alpha", fmt.Sprint(*replanAlpha))
+		}
+		if *frameOverhead != 0 {
+			args = append(args, "-frame-overhead", fmt.Sprint(*frameOverhead))
 		}
 		cmd := exec.Command(name, args...)
 		stdout, err := cmd.StdoutPipe()

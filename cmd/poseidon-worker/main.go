@@ -1,12 +1,21 @@
 // Command poseidon-worker is one node of a real distributed training
-// cluster on the functional plane: it joins a TCP mesh, trains a real
-// CNN data-parallel with the paper's protocol (sharded BSP KV store +
-// sufficient-factor broadcasting), and prints its loss curve. With
-// -autoplan it routes every tensor through the paper's cost model
-// (Algorithm 1 via poseidon.Planner) and prints the PLAN decisions;
-// with -metrics-dump it prints a METRICS JSON snapshot of measured
-// per-route wire traffic, sync-stall time, and KV rounds after
-// training (schema: internal/metrics.CommSnapshot).
+// cluster on the functional plane: it joins a TCP mesh through the
+// poseidon.Session facade, trains a real CNN data-parallel with the
+// paper's protocol (sharded BSP KV store + sufficient-factor
+// broadcasting), and prints its loss curve. With -autoplan it routes
+// every tensor through the paper's cost model (Algorithm 1 via
+// poseidon.Planner) and prints the PLAN decisions; with -metrics-dump
+// it prints a METRICS JSON snapshot of measured per-route wire
+// traffic, sync-stall time, KV rounds, and replan events after
+// training (schema: internal/metrics.CommSnapshot). With -bw the
+// planner is seeded with a link-speed estimate, and -replan-every N
+// makes the cluster re-measure the wire rate every N iterations and
+// re-run Algorithm 1 against it — routes flip at a clock-stamped round
+// barrier, identically on every worker.
+//
+// Configuration errors — including -route overrides naming unknown
+// parameters or impossible schemes — fail before the mesh is dialed,
+// so a typo'd flag costs milliseconds, not a cluster-wide timeout.
 //
 // Launch P processes with the same -peers list and -id 0..P-1 (or let
 // poseidon-cluster do it for you), e.g.:
@@ -31,10 +40,9 @@ import (
 	"repro/internal/data"
 	"repro/internal/metrics"
 	"repro/internal/nn/autodiff"
-	"repro/internal/poseidon"
 	"repro/internal/tensor"
-	"repro/internal/train"
 	"repro/internal/transport"
+	"repro/poseidon"
 )
 
 func main() {
@@ -53,6 +61,10 @@ func main() {
 	autoplan := flag.Bool("autoplan", false, "route every tensor through the paper's cost model (Algorithm 1, overrides -mode with hybrid policy) and print one PLAN line per parameter")
 	metricsDump := flag.Bool("metrics-dump", false, "after training, print a machine-readable 'METRICS <json>' snapshot of the live comm counters")
 	routeOverrides := flag.String("route", "", "explicit per-parameter scheme overrides, e.g. '2=ps,5=sfb' (index=ps|sfb|1bit); trumps the planner policy")
+	bw := flag.Float64("bw", 0, "initial link-bandwidth estimate in bytes/sec; makes Algorithm 1 bandwidth-aware (0 = byte-count-only cost model)")
+	replanEvery := flag.Int("replan-every", 0, "re-measure the wire rate and re-run Algorithm 1 every this many iterations (0 = off)")
+	replanAlpha := flag.Float64("replan-alpha", 0, "EWMA weight of the newest bandwidth observation, 0<a<=1 (0 = default)")
+	frameOverhead := flag.Float64("frame-overhead", 0, "modeled per-frame overhead in seconds for the bandwidth-aware cost model (0 = default)")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -60,8 +72,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "need -peers with this node's -id in range")
 		os.Exit(1)
 	}
-	m, ok := map[string]train.SyncMode{
-		"ps": train.PSOnly, "hybrid": train.Hybrid, "1bit": train.OneBit,
+	m, ok := map[string]poseidon.SyncMode{
+		"ps": poseidon.PSOnly, "hybrid": poseidon.Hybrid, "1bit": poseidon.OneBit,
 	}[*mode]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
@@ -70,43 +82,32 @@ func main() {
 	if *autoplan {
 		// Autoplanning is hybrid policy: Algorithm 1 free to pick per
 		// tensor. Explicit -route overrides still trump it.
-		m = train.Hybrid
+		m = poseidon.Hybrid
 	}
-	overrides, err := parseRouteOverrides(*routeOverrides)
+	overrides, err := poseidon.ParseRouteOverrides(*routeOverrides)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "-route: %v\n", err)
 		os.Exit(1)
 	}
 
-	tcp, err := transport.NewTCPMeshOpts(*id, addrs, transport.TCPOptions{
-		MaxFrameBytes: *maxFrame,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mesh: %v\n", err)
-		os.Exit(1)
-	}
-	defer tcp.Close()
-
+	// The progress callback closes over the session's metrics registry,
+	// which exists only after Build; mtr is bound just below.
 	var mtr *metrics.Comm
-	var mesh transport.Mesh = tcp
-	if *metricsDump {
-		mtr = metrics.NewComm()
-		mesh = transport.NewMeteredMesh(tcp, mtr.Wire())
-	}
-
 	full := data.Synthetic(*seed, 1280, 10, 3, 8, 8, 0.35)
 	trainSet, testSet := full.Split(1024)
-	cfg := train.Config{
-		Workers: len(addrs), Iters: *iters, Batch: *batch, LR: float32(*lr),
-		Mode: m, Seed: *seed,
-		Overlap: *overlap, ChunkElems: *chunk,
-		RouteOverrides: overrides, Metrics: mtr,
-		BuildNet: func(rng *rand.Rand) *autodiff.Network {
+	b := poseidon.NewSession().
+		TCP(*id, addrs, transport.TCPOptions{MaxFrameBytes: *maxFrame}).
+		Iterations(*iters).Batch(*batch).LearningRate(*lr).Seed(*seed).
+		Mode(m).
+		Overlap(*overlap).ChunkElems(*chunk).
+		Model(func(rng *rand.Rand) *autodiff.Network {
 			net, _, _, _ := autodiff.CIFARQuickNet(4, 10, rng)
 			return net
-		},
-		TrainSet: trainSet, TestSet: testSet, EvalEvery: 10,
-		Progress: func(p train.Point) {
+		}).
+		Data(trainSet, testSet).EvalEvery(10).
+		RouteOverrides(overrides).
+		Bandwidth(*bw).
+		OnProgress(func(p poseidon.Point) {
 			if *printEvery > 0 && (p.Iter+1)%*printEvery == 0 {
 				line := fmt.Sprintf("worker %d iter %3d loss %.4f", *id, p.Iter+1, p.TrainLoss)
 				if p.TestErr >= 0 {
@@ -121,14 +122,34 @@ func main() {
 				}
 				fmt.Println(line)
 			}
-		},
+		})
+	if *replanEvery > 0 {
+		b.Replan(poseidon.ReplanSpec{
+			Every:         *replanEvery,
+			Alpha:         *replanAlpha,
+			FrameOverhead: *frameOverhead,
+		})
 	}
+	if *metricsDump {
+		b.CollectMetrics()
+	}
+
+	// Build validates the whole configuration — plan feasibility and
+	// -route overrides included — before dialing the mesh, then joins
+	// it. A bad override exits here, naming the offender, without ever
+	// touching the network.
+	sess, err := b.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker %d: %v\n", *id, err)
+		os.Exit(1)
+	}
+	defer sess.Close()
+	mtr = sess.Metrics()
+
 	if *autoplan {
 		// One PLAN line per parameter: the Algorithm 1 decision and the
 		// cost-model numbers behind it, before any byte hits the wire.
-		// An infeasible or typo'd -route override fails here, before
-		// training.
-		decisions, err := train.Decisions(cfg)
+		decisions, err := sess.Plan()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "worker %d: %v\n", *id, err)
 			os.Exit(1)
@@ -146,7 +167,7 @@ func main() {
 	// syncers, transport read loops), warmup included.
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
-	res, err := train.RunWorker(cfg, mesh)
+	res, err := sess.Run()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "worker %d: %v\n", *id, err)
 		// Leave without the goodbye a graceful Close would send:
@@ -163,7 +184,7 @@ func main() {
 		// cross-replica parameter equality across real processes.
 		fmt.Printf("PARAMS %016x\n", paramDigest(res.Final.Params()))
 	}
-	if mtr != nil {
+	if snap, ok := sess.MetricsSnapshot(); ok && *metricsDump {
 		var msAfter runtime.MemStats
 		runtime.ReadMemStats(&msAfter)
 		// The report embeds the CommSnapshot schema and adds the
@@ -171,47 +192,18 @@ func main() {
 		report := struct {
 			metrics.CommSnapshot
 			AllocsPerIter float64 `json:"allocs_per_iter"`
-		}{CommSnapshot: mtr.Snapshot()}
+		}{CommSnapshot: snap}
 		if *iters > 0 {
 			report.AllocsPerIter = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(*iters)
 		}
-		b, err := json.Marshal(report)
+		bjson, err := json.Marshal(report)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "worker %d: metrics snapshot: %v\n", *id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("METRICS %s\n", b)
+		fmt.Printf("METRICS %s\n", bjson)
 	}
 	fmt.Printf("worker %d done (%v mode, %d workers)\n", *id, m, len(addrs))
-}
-
-// parseRouteOverrides parses the -route flag: comma-separated
-// index=scheme pairs with schemes named as in the paper (ps, sfb,
-// 1bit).
-func parseRouteOverrides(s string) (map[int]poseidon.Scheme, error) {
-	if s == "" {
-		return nil, nil
-	}
-	schemes := map[string]poseidon.Scheme{
-		"ps": poseidon.PS, "sfb": poseidon.SFB, "1bit": poseidon.OneBitPS,
-	}
-	out := make(map[int]poseidon.Scheme)
-	for _, pair := range strings.Split(s, ",") {
-		idxStr, schemeStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
-		if !ok {
-			return nil, fmt.Errorf("-route: %q is not index=scheme", pair)
-		}
-		idx, err := strconv.Atoi(idxStr)
-		if err != nil || idx < 0 {
-			return nil, fmt.Errorf("-route: bad parameter index %q", idxStr)
-		}
-		scheme, ok := schemes[schemeStr]
-		if !ok {
-			return nil, fmt.Errorf("-route: unknown scheme %q (want ps|sfb|1bit)", schemeStr)
-		}
-		out[idx] = scheme
-	}
-	return out, nil
 }
 
 // paramDigest is FNV-1a over the bit patterns of every parameter value,

@@ -24,8 +24,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/nn/autodiff"
-	"repro/internal/train"
-	"repro/internal/transport"
+	"repro/poseidon"
 )
 
 // raceEnabled is flipped by race_test.go so the child binaries are
@@ -77,21 +76,27 @@ func buildBinaries(t *testing.T) string {
 	return binDir
 }
 
-// workerRunConfig mirrors the fixed dataset/model setup hard-wired into
-// cmd/poseidon-worker's main — keep the two in sync, the golden-parity
-// test depends on it.
-func workerRunConfig(workers, iters int, seed int64, mode train.SyncMode) train.Config {
+// referenceSession mirrors the fixed dataset/model setup hard-wired
+// into cmd/poseidon-worker's main on an in-process poseidon.Session —
+// keep the two in sync, the golden-parity tests depend on it.
+func referenceSession(t *testing.T, workers, iters int, seed int64, mode poseidon.SyncMode) *poseidon.Session {
+	t.Helper()
 	full := data.Synthetic(seed, 1280, 10, 3, 8, 8, 0.35)
 	trainSet, testSet := full.Split(1024)
-	return train.Config{
-		Workers: workers, Iters: iters, Batch: 8, LR: 0.1,
-		Mode: mode, Seed: seed,
-		BuildNet: func(rng *rand.Rand) *autodiff.Network {
+	sess, err := poseidon.NewSession().
+		InProcess(workers).
+		Iterations(iters).Batch(8).LearningRate(0.1).Seed(seed).
+		Mode(mode).
+		Model(func(rng *rand.Rand) *autodiff.Network {
 			net, _, _, _ := autodiff.CIFARQuickNet(4, 10, rng)
 			return net
-		},
-		TrainSet: trainSet, TestSet: testSet, EvalEvery: 10,
+		}).
+		Data(trainSet, testSet).EvalEvery(10).
+		Build()
+	if err != nil {
+		t.Fatalf("reference session: %v", err)
 	}
+	return sess
 }
 
 // parseLosses extracts worker `id`'s per-iteration losses from
@@ -145,25 +150,9 @@ func TestTCPClusterMatchesChanMesh(t *testing.T) {
 	// Reference: the identical configuration over the in-process
 	// channel mesh, keeping every worker's curve (each worker computes
 	// loss on its own data shard).
-	cfg := workerRunConfig(workers, iters, seed, train.PSOnly)
-	meshes := transport.NewChanCluster(workers)
-	refs := make([]*train.Result, workers)
-	refErrs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			refs[w], refErrs[w] = train.RunWorker(cfg, meshes[w])
-		}()
-	}
-	wg.Wait()
-	meshes[0].Close()
-	for w, err := range refErrs {
-		if err != nil {
-			t.Fatalf("ChanMesh reference worker %d: %v", w, err)
-		}
+	refs, err := referenceSession(t, workers, iters, seed, poseidon.PSOnly).RunAll()
+	if err != nil {
+		t.Fatalf("ChanMesh reference: %v", err)
 	}
 	for id := 0; id < workers; id++ {
 		losses := parseLosses(t, string(out), id, iters)

@@ -9,11 +9,9 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
-	"sync"
 	"testing"
 
-	"repro/internal/train"
-	"repro/internal/transport"
+	"repro/poseidon"
 )
 
 // metricsSnapshot is the subset of the worker's METRICS JSON this suite
@@ -34,6 +32,17 @@ type metricsSnapshot struct {
 		SFBParams       int   `json:"sfb_params"`
 		SFBSavingsBytes int64 `json:"sfb_savings_bytes"`
 	} `json:"totals"`
+	// ReplanEvents lists the route flips applied at replan barriers.
+	ReplanEvents []struct {
+		Iter  int    `json:"iter"`
+		Param int    `json:"param"`
+		Name  string `json:"name"`
+		From  string `json:"from"`
+		To    string `json:"to"`
+	} `json:"replan_events"`
+	// BWEstimateBPS is the planner's final EWMA wire-rate estimate
+	// (worker 0 only; 0 elsewhere).
+	BWEstimateBPS float64 `json:"bw_estimate_bps"`
 	// AllocsPerIter is the worker's process-wide runtime.MemStats
 	// Mallocs delta per iteration — the live-cluster view of the wire
 	// path's allocation behavior.
@@ -106,25 +115,9 @@ func TestAutoplanMatchesChanMeshAndBeatsPurePS(t *testing.T) {
 
 	// (a) Statistical parity: TCP autoplan losses == in-process ChanMesh
 	// hybrid losses, per worker, to 1e-6.
-	cfg := workerRunConfig(workers, iters, seed, train.Hybrid)
-	meshes := transport.NewChanCluster(workers)
-	refs := make([]*train.Result, workers)
-	refErrs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			refs[w], refErrs[w] = train.RunWorker(cfg, meshes[w])
-		}()
-	}
-	wg.Wait()
-	meshes[0].Close()
-	for w, err := range refErrs {
-		if err != nil {
-			t.Fatalf("ChanMesh reference worker %d: %v", w, err)
-		}
+	refs, err := referenceSession(t, workers, iters, seed, poseidon.Hybrid).RunAll()
+	if err != nil {
+		t.Fatalf("ChanMesh reference: %v", err)
 	}
 	for id := 0; id < workers; id++ {
 		losses := parseLosses(t, hybridOut, id, iters)

@@ -1,0 +1,171 @@
+package e2e
+
+import (
+	"fmt"
+	"math"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReplanAdaptsToMeasuredBandwidth is the acceptance scenario for
+// measured-bandwidth re-planning on a live 3-process TCP cluster: the
+// run is seeded with a deliberately absurd -bw claim (1 GB/s — under
+// the bandwidth-aware cost model the per-frame overhead then dominates
+// and the fat FC tensor starts on the PS), the cluster measures its
+// real wire rate over epoch 1 and re-plans at the iteration-6 barrier.
+// It must (a) flip ≥1 route PS→SFB, recorded in every worker's METRICS
+// JSON, (b) keep loss parity to 1e-6 against the identical run with
+// replanning disabled, (c) keep byte-identical final replicas, and
+// (d) move strictly fewer egress bytes than the static run.
+func TestReplanAdaptsToMeasuredBandwidth(t *testing.T) {
+	bin := buildBinaries(t)
+	const workers, iters = 3, 18
+	const seed = 42
+
+	runCluster := func(extra ...string) string {
+		t.Helper()
+		args := []string{
+			"-worker", filepath.Join(bin, "poseidon-worker"),
+			"-n", fmt.Sprint(workers), "-iters", fmt.Sprint(iters),
+			"-batch", "8", "-lr", "0.1", "-seed", fmt.Sprint(seed),
+			"-autoplan", "-metrics-dump", "-dump-losses", "-print-every", "0",
+			"-timeout", "3m",
+			// The wrong claim: 1 GB/s. With a 20 µs frame overhead the
+			// PS's single push beats SFB's P−1 factor frames at that
+			// speed, so Algorithm 1 mis-routes the FC weight onto the PS
+			// until measurement corrects the estimate (real loopback
+			// epochs move a few MB/s effective — far under the ~56 MB/s
+			// crossover).
+			"-bw", "1e9", "-frame-overhead", "2e-5",
+		}
+		args = append(args, extra...)
+		out, err := exec.Command(filepath.Join(bin, "poseidon-cluster"), args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("cluster run %v: %v\n%s", extra, err, out)
+		}
+		return string(out)
+	}
+
+	staticOut := runCluster()
+	replanOut := runCluster("-replan-every", "6", "-replan-alpha", "1")
+
+	// The wrong claim must actually mis-route: the static plan keeps
+	// every tensor on the PS (no SFB anywhere), which is what makes the
+	// byte comparison below meaningful.
+	if regexp.MustCompile(`route=SFB`).MatchString(staticOut) {
+		t.Fatalf("static run still chose SFB despite the 1 GB/s claim — the scenario tests nothing\n%s", staticOut)
+	}
+
+	staticSnaps := parseMetrics(t, staticOut, workers)
+	replanSnaps := parseMetrics(t, replanOut, workers)
+
+	// (a) ≥1 PS→SFB flip at the epoch-1 barrier, identically on every
+	// worker.
+	for id := 0; id < workers; id++ {
+		if len(staticSnaps[id].ReplanEvents) != 0 {
+			t.Fatalf("worker %d: static run logged replan events: %+v", id, staticSnaps[id].ReplanEvents)
+		}
+		events := replanSnaps[id].ReplanEvents
+		if len(events) < 1 {
+			t.Fatalf("worker %d: no replan events despite the wrong bandwidth claim (estimate %g B/s)\n%s",
+				id, replanSnaps[0].BWEstimateBPS, replanOut)
+		}
+		flipped := false
+		for _, e := range events {
+			if e.From == "PS" && e.To == "SFB" && e.Iter == 6 {
+				flipped = true
+			}
+		}
+		if !flipped {
+			t.Fatalf("worker %d: no PS→SFB flip at the epoch-1 barrier: %+v", id, events)
+		}
+		if fmt.Sprint(events) != fmt.Sprint(replanSnaps[0].ReplanEvents) {
+			t.Fatalf("workers disagree on replan events:\nw0: %+v\nw%d: %+v",
+				replanSnaps[0].ReplanEvents, id, events)
+		}
+	}
+	// Only the leader folds observations; its estimate must reflect the
+	// measured (slow) reality, not the 1 GB/s claim.
+	if est := replanSnaps[0].BWEstimateBPS; est <= 0 || est >= 500e6 {
+		t.Fatalf("worker 0 bandwidth estimate %g B/s not corrected from the 1 GB/s claim", est)
+	}
+
+	// (b) Loss parity to 1e-6: re-routing changes which wires carry the
+	// update, not the update itself.
+	for id := 0; id < workers; id++ {
+		staticLosses := parseLosses(t, staticOut, id, iters)
+		replanLosses := parseLosses(t, replanOut, id, iters)
+		for i := range staticLosses {
+			if d := math.Abs(staticLosses[i] - replanLosses[i]); d > 1e-6 {
+				t.Fatalf("worker %d iter %d: replanned loss %.12g vs static %.12g (|d|=%g > 1e-6)",
+					id, i, replanLosses[i], staticLosses[i], d)
+			}
+		}
+	}
+
+	// (c) Byte-identical replicas within the replanned run: the swap
+	// executed at the same clock-stamped barrier everywhere.
+	for _, out := range []string{staticOut, replanOut} {
+		digests := regexp.MustCompile(`\[w\d+\] PARAMS ([0-9a-f]{16})`).FindAllStringSubmatch(out, -1)
+		if len(digests) != workers {
+			t.Fatalf("found %d PARAMS digests, want %d\n%s", len(digests), workers, out)
+		}
+		for _, d := range digests[1:] {
+			if d[1] != digests[0][1] {
+				t.Fatalf("replicas diverged: digests %v", digests)
+			}
+		}
+	}
+
+	// (d) The corrected plan moves strictly fewer egress bytes than the
+	// mis-planned static run.
+	var staticBytes, replanBytes int64
+	for id := 0; id < workers; id++ {
+		staticBytes += staticSnaps[id].Totals.BytesSent
+		replanBytes += replanSnaps[id].Totals.BytesSent
+	}
+	t.Logf("cluster egress: replanned %d B vs static mis-plan %d B (estimate %.2f MB/s)",
+		replanBytes, staticBytes, replanSnaps[0].BWEstimateBPS/1e6)
+	if replanBytes >= staticBytes {
+		t.Fatalf("replanned run moved %d bytes, static mis-plan %d — re-routing must save wire traffic",
+			replanBytes, staticBytes)
+	}
+}
+
+// TestBadRouteOverrideFailsBeforeMesh pins the fail-fast contract: a
+// -route override naming a parameter the model does not have must exit
+// non-zero, naming the bad override, *without* dialing the mesh — the
+// second peer below never exists, so surviving the validation would
+// mean hanging in mesh formation until the setup timeout.
+func TestBadRouteOverrideFailsBeforeMesh(t *testing.T) {
+	bin := buildBinaries(t)
+	addrs := freeAddrs(t, 2)
+
+	for _, tc := range []struct {
+		name, route, want string
+	}{
+		{"out-of-range index", "99=ps", "99"},
+		{"unknown scheme", "0=warp", "warp"},
+		{"infeasible scheme", "1=sfb", "conv1.b"}, // param 1 is a bias vector
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			start := time.Now()
+			out, err := exec.Command(filepath.Join(bin, "poseidon-worker"),
+				"-id", "0", "-peers", strings.Join(addrs, ","),
+				"-iters", "1", "-route", tc.route).CombinedOutput()
+			if err == nil {
+				t.Fatalf("worker accepted -route %s:\n%s", tc.route, out)
+			}
+			if took := time.Since(start); took > 10*time.Second {
+				t.Fatalf("rejection took %v — the worker dialed the mesh before validating", took)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("error does not name the bad override (want %q):\n%s", tc.want, out)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@
 // for every FC layer it prints the PS and SFB wire costs from Table 1's
 // formulas and the scheme the coordinator picks, across cluster sizes —
 // showing the SFB→PS crossover as the quadratic SFB cost catches up.
+// Everything it needs is re-exported by the public poseidon package.
 //
 //	go run ./examples/hybrid_decision
 package main
@@ -10,7 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/nn"
-	"repro/internal/poseidon"
+	"repro/poseidon"
 )
 
 func main() {

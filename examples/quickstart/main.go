@@ -1,6 +1,7 @@
 // Quickstart: train a real CNN data-parallel on an in-process 4-worker
-// Poseidon cluster (functional plane), then simulate the same model's
-// scaling on a 32-node GPU cluster (performance plane).
+// Poseidon cluster through the poseidon.Session facade (functional
+// plane), then simulate the same model's scaling on a 32-node GPU
+// cluster (performance plane).
 //
 //	go run ./examples/quickstart
 package main
@@ -11,10 +12,9 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/engine"
-	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/nn/autodiff"
-	"repro/internal/train"
+	"repro/poseidon"
 )
 
 func main() {
@@ -24,25 +24,30 @@ func main() {
 
 	full := data.Synthetic(1, 1280, 10, 3, 8, 8, 0.35)
 	trainSet, testSet := full.Split(1024)
-	mtr := metrics.NewComm()
-	cfg := train.Config{
-		Workers: 4, Iters: 60, Batch: 8, LR: 0.1,
-		Mode: train.Hybrid, Seed: 7,
-		BuildNet: func(rng *rand.Rand) *autodiff.Network {
+
+	// One builder owns the whole run: model, data, policy, metrics. The
+	// four in-process workers share the session's registry, so the
+	// snapshot below is cluster-wide traffic.
+	sess, err := poseidon.NewSession().
+		InProcess(4).
+		Iterations(60).Batch(8).LearningRate(0.1).Seed(7).
+		Mode(poseidon.Hybrid).
+		Model(func(rng *rand.Rand) *autodiff.Network {
 			net, _, _, _ := autodiff.CIFARQuickNet(4, 10, rng)
 			return net
-		},
-		TrainSet: trainSet, TestSet: testSet, EvalEvery: 15,
-		// All four in-process workers share one registry, so the
-		// snapshot below is cluster-wide traffic.
-		Metrics: mtr,
+		}).
+		Data(trainSet, testSet).EvalEvery(15).
+		CollectMetrics().
+		Build()
+	if err != nil {
+		panic(err)
 	}
 
 	// Algorithm 1's routing plan, straight from the cost model the
 	// trainer consults (poseidon.Planner) — FC weights that clear the
 	// SFB threshold leave the parameter server.
 	fmt.Println("routing plan (Algorithm 1):")
-	decisions, err := train.Decisions(cfg)
+	decisions, err := sess.Plan()
 	if err != nil {
 		panic(err)
 	}
@@ -52,7 +57,7 @@ func main() {
 	}
 	fmt.Println()
 
-	res, err := train.Run(cfg)
+	res, err := sess.Run()
 	if err != nil {
 		panic(err)
 	}
@@ -68,7 +73,7 @@ func main() {
 
 	// What actually moved between workers, per route (the in-process
 	// mesh attributes per-message traffic exactly like TCP would).
-	snap := mtr.Snapshot()
+	snap, _ := sess.MetricsSnapshot()
 	byRoute := map[string]int64{}
 	for _, p := range snap.Params {
 		byRoute[p.Route] += p.BytesSent + p.BytesRecv

@@ -3,7 +3,12 @@
 // OS processes (real sockets, versioned handshakes, length-prefixed
 // frames, graceful goodbye on close) wired into one loopback mesh and
 // training a CNN with the paper's full protocol — sharded BSP KV store
-// for conv layers, sufficient-factor broadcasting for FC layers.
+// for conv layers, sufficient-factor broadcasting for FC layers. The
+// run is seeded with a deliberately optimistic -bw claim and
+// -replan-every, so the cluster re-measures its real wire rate at the
+// epoch barriers and re-routes live (watch for REPLAN route flips in
+// the METRICS lines) — and the replica digests still agree, because
+// route swaps happen at clock-stamped round barriers on every worker.
 //
 //	go run ./examples/tcp_cluster
 //
@@ -28,7 +33,8 @@ func main() {
 	}
 	cmd := exec.Command("go", "run", "./cmd/poseidon-cluster",
 		"-n", "3", "-iters", "30", "-mode", "hybrid", "-seed", "5",
-		"-print-every", "10", "-dump-losses", "-timeout", "5m")
+		"-print-every", "10", "-dump-losses", "-timeout", "5m",
+		"-bw", "1e9", "-frame-overhead", "2e-5", "-replan-every", "10", "-replan-alpha", "1", "-metrics-dump")
 	cmd.Dir = root
 	out := &teeBuffer{dst: os.Stdout}
 	cmd.Stdout = out

@@ -100,6 +100,15 @@ type Syncer interface {
 	// Handle processes one inbound wire message addressed to this
 	// parameter, in either the worker or the server role.
 	Handle(msg transport.Message) error
+	// Close releases the routing-owned state behind the syncer — KV
+	// pairs on the local shard, factor aggregators in the bank — ahead
+	// of a route handoff. The handoff contract: the router's reroute
+	// barrier has drained every in-flight round (no lease, scratch
+	// buffer, or partial aggregation survives), the staged replica keeps
+	// the authoritative parameter value, and the successor syncer
+	// re-seeds whatever server-side state its route needs from it. A
+	// closed syncer never sees another Launch or Handle.
+	Close()
 }
 
 // chunkSpec is one KV pair of a chunked parameter: a contiguous slice

@@ -1,0 +1,334 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// rerouteCluster trains a 3-node cluster through two replan barriers —
+// PS→SFB at iteration 2, back SFB→PS at iteration 4 — and checks the
+// handoff invariants: the synchronized math is unaffected (every
+// replica ends at initial + iters·Σ(node+1) exactly), every node lands
+// on the same final routes, both flips are logged, and not a single
+// payload lease outlives the run (the satellite's leak gauge:
+// transport.OutstandingPayloadLeases returns to its baseline). Run
+// under -race in CI, this also pins the receive-loop/barrier-swap
+// synchronization.
+func rerouteCluster(t *testing.T, overlap bool, chunkElems int) {
+	t.Helper()
+	baseline := transport.OutstandingPayloadLeases()
+
+	const n = 3
+	const iters = 6
+	barriers := map[int]Route{2: RouteSFB, 4: RoutePS} // iteration → new route for param 1
+	shapes := [][2]int{{4, 6}, {2, 3}}
+	allParams := identicalParams(11, shapes)
+
+	meshes := transport.NewChanCluster(n)
+	routers := make([]*Router, n)
+	mtrs := make([]*metrics.Comm, n)
+	for node := 0; node < n; node++ {
+		mtrs[node] = metrics.NewComm()
+		r, err := NewRouter(Config{
+			Mesh: meshes[node],
+			Plans: []ParamPlan{
+				{Index: 0, Rows: 4, Cols: 6, Route: RoutePS},
+				{Index: 1, Rows: 2, Cols: 3, Route: RoutePS},
+			},
+			Params:     allParams[node],
+			Scale:      1,
+			Overlap:    overlap,
+			ChunkElems: chunkElems,
+			Metrics:    mtrs[node],
+			SFSource: func(node int) func(index int) func() *tensor.SufficientFactor {
+				return func(index int) func() *tensor.SufficientFactor {
+					if index != 1 {
+						return nil
+					}
+					return func() *tensor.SufficientFactor {
+						// Rank-1 factor reconstructing to a 2×3 gradient
+						// with every element node+1 (UᵀV, U 1×2, V 1×3).
+						u := tensor.NewMatrix(1, 2)
+						u.Fill(float32(node + 1))
+						v := tensor.NewMatrix(1, 3)
+						v.Fill(1)
+						return &tensor.SufficientFactor{U: u, V: v}
+					}
+				}
+			}(node),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		routers[node] = r
+		r.Start()
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	flipCounts := make([][]int, n)
+	for node := 0; node < n; node++ {
+		node, r := node, routers[node]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nextBarrier := 2
+			r.ArmReroute(nextBarrier)
+			for iter := 0; iter < iters; iter++ {
+				if to, ok := barriers[iter]; ok {
+					var flips int
+					var err error
+					if node == 0 {
+						plans := append([]ParamPlan(nil), []ParamPlan{
+							{Index: 0, Rows: 4, Cols: 6, Route: RoutePS},
+							{Index: 1, Rows: 2, Cols: 3, Route: to},
+						}...)
+						flips, err = r.Reroute(iter, plans)
+					} else {
+						flips, err = r.AwaitReroute(iter)
+					}
+					if err != nil {
+						errs[node] = err
+						return
+					}
+					flipCounts[node] = append(flipCounts[node], flips)
+					nextBarrier += 2
+					if nextBarrier < iters {
+						r.ArmReroute(nextBarrier)
+					}
+				}
+				r.WaitFor(iter)
+				grads := []*tensor.Matrix{tensor.NewMatrix(4, 6), tensor.NewMatrix(2, 3)}
+				for _, g := range grads {
+					g.Fill(float32(node + 1))
+				}
+				if err := r.LaunchAll(iter, grads); err != nil {
+					errs[node] = err
+					return
+				}
+			}
+			r.WaitFor(iters) // drain the final round
+		}()
+	}
+	wg.Wait()
+	for node, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", node, err)
+		}
+	}
+
+	want := float32(iters * (1 + 2 + 3))
+	for node, r := range routers {
+		params := []*tensor.Matrix{tensor.NewMatrix(4, 6), tensor.NewMatrix(2, 3)}
+		r.Adopt(params)
+		for pi, p := range params {
+			for j, v := range p.Data {
+				if exp := allParams[0][pi].Data[j] + want; absDiff(v, exp) > 1e-4 {
+					t.Fatalf("node %d param %d[%d]: %g, want %g (reroute broke the sum)",
+						node, pi, j, v, exp)
+				}
+			}
+		}
+		if got := r.Routes(); got[0] != RoutePS || got[1] != RoutePS {
+			t.Fatalf("node %d final routes %v, want [PS PS] after the round trip", node, got)
+		}
+		if len(flipCounts[node]) != 2 || flipCounts[node][0] != 1 || flipCounts[node][1] != 1 {
+			t.Fatalf("node %d flip counts %v, want [1 1]", node, flipCounts[node])
+		}
+		snap := mtrs[node].Snapshot()
+		if len(snap.ReplanEvents) != 2 {
+			t.Fatalf("node %d logged %d replan events, want 2: %+v", node, len(snap.ReplanEvents), snap.ReplanEvents)
+		}
+		e0, e1 := snap.ReplanEvents[0], snap.ReplanEvents[1]
+		if e0.Iter != 2 || e0.Param != 1 || e0.From != "PS" || e0.To != "SFB" {
+			t.Fatalf("node %d first replan event %+v", node, e0)
+		}
+		if e1.Iter != 4 || e1.Param != 1 || e1.From != "SFB" || e1.To != "PS" {
+			t.Fatalf("node %d second replan event %+v", node, e1)
+		}
+		if r.Err() != nil {
+			t.Fatalf("node %d: %v", node, r.Err())
+		}
+	}
+
+	meshes[0].Close()
+	for _, r := range routers {
+		r.Stop()
+	}
+	// Every pooled payload that crossed the reroute — parked frames
+	// included — must have been released.
+	deadline := time.Now().Add(5 * time.Second)
+	for transport.OutstandingPayloadLeases() != baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("payload leases leaked across reroute: %d outstanding, baseline %d",
+				transport.OutstandingPayloadLeases(), baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRouterRerouteMidTraining(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		overlap    bool
+		chunkElems int
+	}{
+		{"serialized", false, 0},
+		{"overlap", true, 0},
+		{"overlap-chunked", true, 5},
+	} {
+		t.Run(tc.name, func(t *testing.T) { rerouteCluster(t, tc.overlap, tc.chunkElems) })
+	}
+}
+
+// A no-change barrier still releases every worker: Reroute(nil) keeps
+// the routes, reports zero flips, and training continues.
+func TestRouterRerouteNoChange(t *testing.T) {
+	const n = 2
+	shapes := [][2]int{{2, 2}}
+	allParams := identicalParams(5, shapes)
+	meshes := transport.NewChanCluster(n)
+	routers := make([]*Router, n)
+	for node := 0; node < n; node++ {
+		r, err := NewRouter(Config{
+			Mesh:   meshes[node],
+			Plans:  []ParamPlan{{Index: 0, Rows: 2, Cols: 2, Route: RoutePS}},
+			Params: allParams[node],
+			Scale:  1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		routers[node] = r
+		r.Start()
+	}
+	t.Cleanup(func() {
+		meshes[0].Close()
+		for _, r := range routers {
+			r.Stop()
+		}
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for node := 0; node < n; node++ {
+		node, r := node, routers[node]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.ArmReroute(1)
+			for iter := 0; iter < 2; iter++ {
+				if iter == 1 {
+					var flips int
+					var err error
+					if node == 0 {
+						flips, err = r.Reroute(1, nil)
+					} else {
+						flips, err = r.AwaitReroute(1)
+					}
+					if err != nil {
+						errs[node] = err
+						return
+					}
+					if flips != 0 {
+						errs[node] = errUnexpectedFlips
+						return
+					}
+				}
+				r.WaitFor(iter)
+				g := tensor.NewMatrix(2, 2)
+				g.Fill(1)
+				if err := r.LaunchAll(iter, []*tensor.Matrix{g}); err != nil {
+					errs[node] = err
+					return
+				}
+			}
+			r.WaitFor(2)
+		}()
+	}
+	wg.Wait()
+	for node, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", node, err)
+		}
+	}
+}
+
+var errUnexpectedFlips = errFlips{}
+
+type errFlips struct{}
+
+func (errFlips) Error() string { return "no-change barrier reported flips" }
+
+// A worker parked at a replan barrier must observe a router failure —
+// the REPLAN frame it is waiting for will never arrive once a peer is
+// gone, and hanging there would wedge the cluster teardown.
+func TestRouterAwaitRerouteUnblocksOnFailure(t *testing.T) {
+	const n = 2
+	meshes := transport.NewChanCluster(n)
+	routers := make([]*Router, n)
+	for node := 0; node < n; node++ {
+		r, err := NewRouter(Config{
+			Mesh:   meshes[node],
+			Plans:  []ParamPlan{{Index: 0, Rows: 2, Cols: 2, Route: RoutePS}},
+			Params: []*tensor.Matrix{tensor.NewMatrix(2, 2)},
+			Scale:  1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		routers[node] = r
+		r.Start()
+	}
+	t.Cleanup(func() {
+		meshes[0].Close()
+		for _, r := range routers {
+			r.Stop()
+		}
+	})
+	// Node 1 arms the barrier and waits for a decision that will never
+	// come (node 0 never calls Reroute).
+	routers[1].ArmReroute(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := routers[1].AwaitReroute(0)
+		done <- err
+	}()
+	// Poison node 1's receive loop with a malformed frame.
+	if err := meshes[0].Send(1, transport.Message{Type: transport.MsgPush, Layer: 99}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("AwaitReroute returned nil after the router failed")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("AwaitReroute still parked 10s after the router failed")
+	}
+}
+
+// An unarmed barrier is a protocol bug and must surface as an error,
+// not hang.
+func TestRouterAwaitRerouteUnarmed(t *testing.T) {
+	meshes := transport.NewChanCluster(1)
+	defer meshes[0].Close()
+	r, err := NewRouter(Config{
+		Mesh:   meshes[0],
+		Plans:  []ParamPlan{{Index: 0, Rows: 2, Cols: 2, Route: RoutePS}},
+		Params: []*tensor.Matrix{tensor.NewMatrix(2, 2)},
+		Scale:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	defer r.Stop()
+	if _, err := r.AwaitReroute(0); err == nil {
+		t.Fatal("AwaitReroute on an unarmed barrier must error")
+	}
+}

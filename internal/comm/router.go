@@ -47,6 +47,13 @@ type Config struct {
 	// KV-round accounting, and the compute loop's per-iteration
 	// sync-stall time.
 	Metrics *metrics.Comm
+
+	// SFSource returns the sufficient-factor extractor for a parameter
+	// index (nil if the parameter has none) — consulted when a reroute
+	// moves a parameter onto RouteSFB after construction, where the
+	// initial plan carried no extractor for it. Optional; without it a
+	// reroute onto SFB fails.
+	SFSource func(index int) func() *tensor.SufficientFactor
 }
 
 // Router multiplexes the mesh between per-parameter syncers: outbound,
@@ -55,9 +62,10 @@ type Config struct {
 // loop. It owns the staged replica (the authoritative synchronized
 // state) and the consistency clock that gates the compute loop.
 type Router struct {
-	mesh  transport.Mesh
-	id, n int
-	scale float32
+	mesh      transport.Mesh
+	id, n     int
+	scale     float32
+	staleness int
 
 	plans      []ParamPlan
 	syncers    []Syncer
@@ -65,6 +73,20 @@ type Router struct {
 	clock      *consistency.StalenessClock
 	pool       *sendPool
 	chunkElems int
+	bank       *sfb.Bank
+	sfSource   func(index int) func() *tensor.SufficientFactor
+
+	// Reroute state. routeMu serializes the receive loop's
+	// syncer-dispatch against the compute goroutine's barrier swap:
+	// while a barrier is armed, inbound data frames stamped with
+	// iterations at or past it are parked on pending.held (leases
+	// retained) and replayed — in arrival order — through the swapped
+	// syncers once the REPLAN decision is applied. routeCond wakes the
+	// barrier waiter when the decision frame arrives or the router
+	// fails.
+	routeMu   sync.Mutex
+	routeCond *sync.Cond
+	pending   *pendingReroute
 
 	// metrics and the per-parameter counter blocks are nil unless the
 	// owner asked for live accounting (Config.Metrics).
@@ -91,6 +113,16 @@ type Router struct {
 	started   atomic.Bool
 }
 
+// pendingReroute is one armed replan barrier: data frames for
+// iterations >= barrier wait on held until the clock-stamped REPLAN
+// frame delivers the route decision and the barrier waiter applies it.
+type pendingReroute struct {
+	barrier int
+	held    []transport.Message
+	decided bool
+	routes  []Route
+}
+
 // fail records the first asynchronous error, poisons the clock so
 // compute loops blocked in WaitFor wake up and observe it instead of
 // hanging on synchronization that will never complete, and tells every
@@ -106,6 +138,18 @@ func (r *Router) failWith(err error, broadcast bool) {
 	}
 	r.errMu.Unlock()
 	r.clock.Abort()
+	// A compute loop parked at a reroute barrier must observe the
+	// failure instead of waiting for a REPLAN frame that will never
+	// arrive. The wakeup takes routeMu so it cannot slip into the
+	// window between a waiter's condition check and its Wait (the error
+	// above is visible before the lock is granted); it runs on its own
+	// goroutine because failWith is reachable from paths that already
+	// hold routeMu — an inline send failing during parked-frame replay.
+	go func() {
+		r.routeMu.Lock()
+		r.routeCond.Broadcast()
+		r.routeMu.Unlock()
+	}()
 	if broadcast && !r.abortSent.Swap(true) {
 		// Best-effort, off the failing goroutine: peers' receive loops
 		// are still draining, but a dead peer must not block the rest.
@@ -134,12 +178,16 @@ func NewRouter(cfg Config) (*Router, error) {
 		id:         cfg.Mesh.Self(),
 		n:          cfg.Mesh.N(),
 		scale:      cfg.Scale,
+		staleness:  cfg.Staleness,
 		plans:      cfg.Plans,
 		shard:      kvstore.NewShard(cfg.Mesh.N()),
 		clock:      consistency.NewStalenessClock(len(cfg.Plans), cfg.Staleness),
 		chunkElems: cfg.ChunkElems,
+		bank:       sfb.NewBank(),
+		sfSource:   cfg.SFSource,
 		metrics:    cfg.Metrics,
 	}
+	r.routeCond = sync.NewCond(&r.routeMu)
 	if r.metrics != nil {
 		r.shard.SetMetrics(r.metrics.KV())
 	}
@@ -151,7 +199,6 @@ func NewRouter(cfg Config) (*Router, error) {
 	for d := range r.updRing {
 		r.updRing[d] = make([]*tensor.Matrix, len(cfg.Plans))
 	}
-	bank := sfb.NewBank()
 	for i, plan := range cfg.Plans {
 		if plan.Index != i {
 			return nil, fmt.Errorf("comm: plan %d has index %d", i, plan.Index)
@@ -159,38 +206,13 @@ func NewRouter(cfg Config) (*Router, error) {
 		if got, want := len(cfg.Params[i].Data), plan.Rows*plan.Cols; got != want {
 			return nil, fmt.Errorf("comm: param %d has %d values, plan says %d", i, got, want)
 		}
-		switch plan.Route {
-		case RoutePS:
-			s := newPSSyncer(r, plan)
-			s.initShard(cfg.Params[i])
-			r.syncers = append(r.syncers, s)
-		case RouteSFB:
-			s, err := newSFBSyncer(r, plan, bank)
-			if err != nil {
-				return nil, err
-			}
-			r.syncers = append(r.syncers, s)
-		case RouteOneBit:
-			r.syncers = append(r.syncers, newOneBitSyncer(r, plan, cfg.Params[i]))
-		default:
-			return nil, fmt.Errorf("comm: param %d: unknown route %v", i, plan.Route)
+		s, err := r.buildSyncer(plan, cfg.Params[i])
+		if err != nil {
+			return nil, err
 		}
+		r.syncers = append(r.syncers, s)
 		r.staged = append(r.staged, cfg.Params[i].Clone())
-		switch plan.Route {
-		case RoutePS:
-			// PS encode tasks read the slot asynchronously, so every
-			// in-flight iteration needs its own buffer.
-			for d := range r.updRing {
-				r.updRing[d][i] = tensor.NewMatrix(plan.Rows, plan.Cols)
-			}
-		case RouteOneBit:
-			// The 1-bit quantizer consumes its update synchronously
-			// inside Launch, so one shared buffer serves every slot.
-			m := tensor.NewMatrix(plan.Rows, plan.Cols)
-			for d := range r.updRing {
-				r.updRing[d][i] = m
-			}
-		}
+		r.initRingSlot(i, plan)
 		if r.metrics != nil {
 			r.pstats = append(r.pstats,
 				r.metrics.RegisterParam(i, plan.Name, plan.Route.String(), plan.Rows*plan.Cols, plan.PSEquivBytes))
@@ -227,6 +249,50 @@ func NewRouter(cfg Config) (*Router, error) {
 		r.pool.send = r.mesh.Send
 	}
 	return r, nil
+}
+
+// buildSyncer constructs the syncer executing plan, seeding any
+// server-side state from initial — the construction path shared by
+// NewRouter (initial parameters) and reroute barriers (the staged
+// replica, which at a drained barrier is the authoritative synchronized
+// value on every node).
+func (r *Router) buildSyncer(plan ParamPlan, initial *tensor.Matrix) (Syncer, error) {
+	switch plan.Route {
+	case RoutePS:
+		s := newPSSyncer(r, plan)
+		s.initShard(initial)
+		return s, nil
+	case RouteSFB:
+		return newSFBSyncer(r, plan, r.bank)
+	case RouteOneBit:
+		return newOneBitSyncer(r, plan, initial), nil
+	default:
+		return nil, fmt.Errorf("comm: param %d: unknown route %v", plan.Index, plan.Route)
+	}
+}
+
+// initRingSlot (re)provisions the update ring's scratch for parameter i
+// according to its route: dense PS updates need one buffer per
+// admissible in-flight iteration (encode tasks read them
+// asynchronously), the 1-bit quantizer consumes its update
+// synchronously inside Launch so one shared buffer serves every slot,
+// and SFB derives its own payload (no buffer).
+func (r *Router) initRingSlot(i int, plan ParamPlan) {
+	switch plan.Route {
+	case RoutePS:
+		for d := range r.updRing {
+			r.updRing[d][i] = tensor.NewMatrix(plan.Rows, plan.Cols)
+		}
+	case RouteOneBit:
+		m := tensor.NewMatrix(plan.Rows, plan.Cols)
+		for d := range r.updRing {
+			r.updRing[d][i] = m
+		}
+	default:
+		for d := range r.updRing {
+			r.updRing[d][i] = nil
+		}
+	}
 }
 
 // dispatch runs fn through the send pool when overlap is on, inline
@@ -289,13 +355,32 @@ func (r *Router) receiveLoop() {
 			r.failWith(fmt.Errorf("comm: peer %d aborted", msg.From), false)
 			return
 		}
+		if msg.Type == transport.MsgReplan {
+			if err := r.handleReplanFrame(msg); err != nil {
+				r.fail(err)
+				return
+			}
+			continue
+		}
 		index := int(msg.Layer)
 		if index < 0 || index >= len(r.syncers) {
 			msg.ReleasePayload()
 			r.fail(fmt.Errorf("comm: message for unknown param %d", index))
 			return
 		}
-		err = r.syncers[index].Handle(msg)
+		r.routeMu.Lock()
+		if p := r.pending; p != nil && int(msg.Iter) >= p.barrier {
+			// The sender already crossed an armed replan barrier this
+			// node has not applied yet: park the frame (lease retained)
+			// until the swap, so post-barrier traffic never reaches a
+			// pre-barrier syncer.
+			p.held = append(p.held, msg)
+			r.routeMu.Unlock()
+			continue
+		}
+		s := r.syncers[index]
+		r.routeMu.Unlock()
+		err = s.Handle(msg)
 		// Syncers decode into their own scratch and never retain the
 		// frame, so its pooled lease (if any) goes back now.
 		msg.ReleasePayload()
@@ -304,6 +389,219 @@ func (r *Router) receiveLoop() {
 			return
 		}
 	}
+}
+
+// handleReplanFrame records the leader's route decision for the armed
+// barrier and wakes the compute goroutine waiting on it.
+func (r *Router) handleReplanFrame(msg transport.Message) error {
+	routes := make([]Route, len(msg.Payload))
+	for i, b := range msg.Payload {
+		routes[i] = Route(b)
+	}
+	msg.ReleasePayload()
+	r.routeMu.Lock()
+	defer r.routeMu.Unlock()
+	p := r.pending
+	if p == nil || p.barrier != int(msg.Iter) {
+		return fmt.Errorf("comm: REPLAN frame for barrier %d with no matching armed reroute", msg.Iter)
+	}
+	if p.decided {
+		return fmt.Errorf("comm: duplicate REPLAN frame for barrier %d", p.barrier)
+	}
+	if len(routes) != len(r.plans) {
+		return fmt.Errorf("comm: REPLAN frame names %d params, router has %d", len(routes), len(r.plans))
+	}
+	p.decided = true
+	p.routes = routes
+	r.routeCond.Broadcast()
+	return nil
+}
+
+// ArmReroute announces the next replan barrier: from this call on,
+// inbound data frames stamped with iterations >= barrier are parked
+// until the barrier's decision is applied (Reroute/AwaitReroute), so a
+// fast peer that crosses the barrier first cannot slip post-swap
+// traffic into pre-swap syncers. Call from the compute goroutine before
+// launching the first iteration of the epoch that ends at barrier;
+// arming while a barrier is still pending is a protocol bug and panics.
+//
+// That call site makes arming causally early enough on every node: a
+// peer can emit traffic for iterations >= barrier — data frames after
+// its own barrier, or the leader's REPLAN frame (sent only after the
+// leader's drain) — only once round barrier−1 completed at the leader
+// or at itself, and no round of the epoch can complete anywhere
+// without this node's own launch of that epoch iteration, which
+// follows this call. So by the time any such frame can exist, this
+// node is armed.
+func (r *Router) ArmReroute(barrier int) {
+	r.routeMu.Lock()
+	defer r.routeMu.Unlock()
+	if r.pending != nil {
+		panic("comm: ArmReroute with a reroute already pending")
+	}
+	r.pending = &pendingReroute{barrier: barrier}
+}
+
+// Reroute executes the replan barrier at iteration barrier as the
+// deciding node: it broadcasts the route vector in a clock-stamped
+// REPLAN frame to every node (itself included, via loopback) and then
+// waits and applies exactly like a follower. The frame is the barrier
+// release, so it is sent even when the plan is unchanged — pass nil to
+// keep the current routes. plans must cover every parameter in index
+// order. Returns the number of flipped parameters.
+//
+// Precondition (both Reroute and AwaitReroute): the caller armed the
+// barrier earlier and has finished launching every iteration below it.
+func (r *Router) Reroute(barrier int, plans []ParamPlan) (int, error) {
+	routes := r.plans
+	if plans != nil {
+		if len(plans) != len(r.plans) {
+			return 0, fmt.Errorf("comm: reroute with %d plans for %d params", len(plans), len(r.plans))
+		}
+		routes = plans
+	}
+	// Drain BEFORE broadcasting: the local clock reaching barrier−1
+	// needs every peer's launch of iteration barrier−1 (every round of
+	// every parameter folds from all P contributions), and a peer only
+	// launches epoch iterations after arming the barrier — so once this
+	// returns, the frame below cannot reach an unarmed router. Sending
+	// first would race a slow-to-schedule peer's ArmReroute.
+	r.clock.WaitFor(barrier + r.staleness)
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	ref := transport.LeasePayload(len(routes))
+	buf := ref.Bytes()
+	for _, p := range routes {
+		buf = append(buf, byte(p.Route))
+	}
+	ref.SetBytes(buf)
+	msg := transport.Message{
+		Type:    transport.MsgReplan,
+		Layer:   -1,
+		Iter:    int32(barrier),
+		Payload: ref.Bytes(),
+	}
+	msg.AttachLease(ref)
+	var sendErr error
+	for peer := 0; peer < r.n; peer++ {
+		ref.Retain()
+		m := msg
+		err := r.mesh.Send(peer, m)
+		m.ReleasePayload()
+		if err != nil && sendErr == nil {
+			sendErr = err
+		}
+	}
+	ref.Release()
+	if sendErr != nil {
+		r.fail(sendErr)
+		return 0, r.Err()
+	}
+	return r.AwaitReroute(barrier)
+}
+
+// AwaitReroute blocks at the replan barrier until the in-flight rounds
+// below it have drained locally and the leader's REPLAN frame has
+// arrived, then swaps the affected syncers and replays any parked
+// frames through them. Every non-deciding worker calls it at the same
+// iteration the leader calls Reroute; both return the number of
+// flipped parameters, identically on every node.
+func (r *Router) AwaitReroute(barrier int) (int, error) {
+	// Local drain: every parameter synchronized through barrier−1, i.e.
+	// no lease, decode scratch, or partial round of the outgoing plan is
+	// still live, and no further pre-barrier frame can arrive (a round
+	// this node serves cannot have completed elsewhere before every push
+	// reached it).
+	r.clock.WaitFor(barrier + r.staleness)
+	r.routeMu.Lock()
+	p := r.pending
+	if p == nil || p.barrier != barrier {
+		r.routeMu.Unlock()
+		if err := r.Err(); err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("comm: reroute barrier %d was never armed", barrier)
+	}
+	for !p.decided && r.Err() == nil {
+		r.routeCond.Wait()
+	}
+	r.pending = nil
+	held := p.held
+	if !p.decided {
+		// Failed mid-barrier: return the parked leases and surface the
+		// router error.
+		r.routeMu.Unlock()
+		for _, m := range held {
+			m.ReleasePayload()
+		}
+		return 0, r.Err()
+	}
+	flips, err := r.applyLocked(p)
+	// Replay parked frames in arrival order through the swapped syncers
+	// while still holding routeMu — the receive loop is excluded, so the
+	// per-goroutine scratch discipline of Handle is preserved.
+	for _, m := range held {
+		if err == nil {
+			if idx := int(m.Layer); idx < 0 || idx >= len(r.syncers) {
+				err = fmt.Errorf("comm: parked message for unknown param %d", idx)
+			} else {
+				err = r.syncers[idx].Handle(m)
+			}
+		}
+		m.ReleasePayload()
+	}
+	r.routeMu.Unlock()
+	if err != nil {
+		r.fail(err)
+	}
+	return flips, r.Err()
+}
+
+// applyLocked swaps every parameter whose decided route differs from
+// the live plan: the outgoing syncer releases its routing-owned state
+// (Syncer.Close), the successor is built against the staged replica —
+// identical on every node at a drained barrier, so re-seeded KV pairs
+// agree byte-for-byte — and the update ring is re-provisioned for the
+// new route. Caller holds routeMu.
+func (r *Router) applyLocked(p *pendingReroute) (int, error) {
+	flips := 0
+	for i, route := range p.routes {
+		if route == r.plans[i].Route {
+			continue
+		}
+		plan := r.plans[i]
+		from := plan.Route.String()
+		plan.Route = route
+		plan.SF = nil
+		if route == RouteSFB {
+			if r.sfSource != nil {
+				plan.SF = r.sfSource(i)
+			}
+			if plan.SF == nil {
+				return flips, fmt.Errorf("comm: reroute moved param %d (%s) to SFB without an SF source", i, plan.Name)
+			}
+		}
+		r.syncers[i].Close()
+		r.stageMu.Lock()
+		s, err := r.buildSyncer(plan, r.staged[i])
+		r.stageMu.Unlock()
+		if err != nil {
+			return flips, err
+		}
+		r.syncers[i] = s
+		r.plans[i] = plan
+		r.initRingSlot(i, plan)
+		if r.metrics != nil {
+			r.pstats[i].SetRoute(plan.Route.String())
+			r.metrics.RecordReplan(metrics.ReplanEvent{
+				Iter: p.barrier, Param: i, Name: plan.Name,
+				From: from, To: plan.Route.String(),
+			})
+		}
+		flips++
+	}
+	return flips, nil
 }
 
 // LaunchAll starts synchronization of every parameter for this
@@ -376,20 +674,44 @@ func (r *Router) Err() error {
 	return nil
 }
 
-// Stop drains the send pool. Call after the final WaitFor, when the
-// protocol has quiesced; the receive loop exits when the mesh closes.
+// Stop drains the send pool and returns any leases still parked at an
+// unresolved reroute barrier (an aborted run can leave them behind).
+// Call after the final WaitFor, when the protocol has quiesced; the
+// receive loop exits when the mesh closes.
 func (r *Router) Stop() {
 	if r.pool != nil {
 		r.pool.close()
 	}
+	r.routeMu.Lock()
+	p := r.pending
+	r.pending = nil
+	r.routeMu.Unlock()
+	if p != nil {
+		for _, m := range p.held {
+			m.ReleasePayload()
+		}
+	}
 }
 
-// Routes summarizes the planned route of every parameter (for logging
-// and tests).
+// Routes summarizes the live route of every parameter (for logging and
+// tests); after a replan barrier it reflects the swapped plan.
 func (r *Router) Routes() []Route {
+	r.routeMu.Lock()
+	defer r.routeMu.Unlock()
 	routes := make([]Route, len(r.plans))
 	for i, p := range r.plans {
 		routes[i] = p.Route
 	}
 	return routes
+}
+
+// EgressBytes sums the wire bytes this router's parameters have sent —
+// the reading the trainer's bandwidth estimator differences between
+// replan windows. Zero without metrics attached.
+func (r *Router) EgressBytes() int64 {
+	var total int64
+	for _, ps := range r.pstats {
+		total += ps.SentBytes()
+	}
+	return total
 }

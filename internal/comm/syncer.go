@@ -133,6 +133,18 @@ func (s *psSyncer) Launch(iter int, update *tensor.Matrix) error {
 	return nil
 }
 
+// Close removes the chunks this node's shard owned for the parameter —
+// the successor route re-seeds whatever server state it needs from the
+// staged replica. The reroute barrier drained every round first, so no
+// pending contribution is dropped.
+func (s *psSyncer) Close() {
+	for _, spec := range s.chunks {
+		if spec.server == s.r.id {
+			s.r.shard.Remove(spec.key)
+		}
+	}
+}
+
 // Handle covers both roles: MsgPush at the owning shard, MsgBcast at
 // every worker.
 func (s *psSyncer) Handle(msg transport.Message) error {
@@ -266,6 +278,12 @@ func (s *sfbSyncer) Launch(iter int, _ *tensor.Matrix) error {
 	return s.offer(int64(iter), s.r.id, sf, &s.reconLocal)
 }
 
+// Close drops the parameter's aggregator from the bank; the reroute
+// barrier guarantees no partial factor set is in flight.
+func (s *sfbSyncer) Close() {
+	s.r.bank.Remove(s.plan.Index)
+}
+
 // Handle decodes a peer's factor into scratch and offers it to the
 // aggregator.
 func (s *sfbSyncer) Handle(msg transport.Message) error {
@@ -359,6 +377,16 @@ func (s *oneBitSyncer) Launch(iter int, update *tensor.Matrix) error {
 	msg.AttachLease(ref)
 	s.r.dispatchSend(stripeFor(s.plan.Index, s.server), s.server, msg)
 	return nil
+}
+
+// Close removes the server-role KV pair. The quantizer residuals die
+// with the syncer: every node drops them at the same barrier, so
+// replicas stay in lockstep (a successor 1-bit syncer would restart
+// with zero residual everywhere).
+func (s *oneBitSyncer) Close() {
+	if s.server == s.r.id {
+		s.r.shard.Remove(s.key)
+	}
 }
 
 // Handle covers the shard role (quantized pushes) and the worker role

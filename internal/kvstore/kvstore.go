@@ -228,6 +228,19 @@ func (s *Shard) PushRoundInto(key string, round, worker int, update, dst []float
 	return append(dst, p.val...), true, nil
 }
 
+// Remove deletes a KV pair and all of its accumulation state — the
+// route-handoff path: when a replan barrier moves a parameter off the
+// PS, the retiring syncer removes the chunks its shard owned. Callers
+// must have drained the pair's in-flight rounds first (a removed pair
+// with pending contributions would silently drop updates); the comm
+// layer's reroute barrier guarantees exactly that. Removing an unknown
+// key is a no-op.
+func (s *Shard) Remove(key string) {
+	s.mu.Lock()
+	delete(s.pairs, key)
+	s.mu.Unlock()
+}
+
 // Get returns a copy of the current parameter values (for checkpointing
 // and tests).
 func (s *Shard) Get(key string) ([]float32, bool) {

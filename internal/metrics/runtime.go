@@ -171,9 +171,14 @@ func (h *stallHist) snapshot() StallSnapshot {
 // registers one per synchronized tensor and attributes every non-loopback
 // frame whose Layer field names it.
 type ParamStats struct {
-	index       int
-	name, route string
-	elems       int64
+	index int
+	name  string
+	// route is mutable: a replan barrier can move a live parameter onto
+	// another wire strategy mid-run (SetRoute), so reads and writes are
+	// guarded. The snapshot reports the route at snapshot time.
+	routeMu sync.Mutex
+	route   string
+	elems   int64
 	// psEquivPerRound is the cost model's pure-PS per-node wire bytes
 	// per iteration for this tensor (the caller computes it — Table 1's
 	// colocated cost × 4 — so this package stays cost-model-agnostic).
@@ -200,6 +205,26 @@ func (p *ParamStats) CountRecv(bytes int) {
 // CountRound records one synchronization launch (≙ one iteration).
 func (p *ParamStats) CountRound() { p.rounds.Add(1) }
 
+// SetRoute renames the parameter's wire strategy after a replan barrier
+// moved it onto another syncer.
+func (p *ParamStats) SetRoute(route string) {
+	p.routeMu.Lock()
+	p.route = route
+	p.routeMu.Unlock()
+}
+
+// Route returns the parameter's current wire strategy name.
+func (p *ParamStats) Route() string {
+	p.routeMu.Lock()
+	defer p.routeMu.Unlock()
+	return p.route
+}
+
+// SentBytes returns the cumulative egress byte count attributed to this
+// parameter — the reading the trainer's bandwidth estimator differences
+// between replan windows.
+func (p *ParamStats) SentBytes() int64 { return p.bytesSent.Load() }
+
 // ParamSnapshot is the frozen per-parameter report.
 type ParamSnapshot struct {
 	Index  int    `json:"index"`
@@ -224,7 +249,7 @@ func (p *ParamStats) snapshot() ParamSnapshot {
 	return ParamSnapshot{
 		Index:        p.index,
 		Name:         p.name,
-		Route:        p.route,
+		Route:        p.Route(),
 		Elems:        p.elems,
 		Rounds:       p.rounds.Load(),
 		BytesSent:    p.bytesSent.Load(),
@@ -253,6 +278,23 @@ type Comm struct {
 	// stall counters).
 	iterMu   sync.Mutex
 	iterBase StallSnapshot
+
+	// replanMu guards the replan event log and the live bandwidth
+	// estimate (written at replan barriers, read by Snapshot).
+	replanMu sync.Mutex
+	replans  []ReplanEvent
+	bwEstBPS float64
+}
+
+// ReplanEvent records one route flip applied at a replan barrier: from
+// iteration Iter on, parameter Param synchronizes over To instead of
+// From.
+type ReplanEvent struct {
+	Iter  int    `json:"iter"`
+	Param int    `json:"param"`
+	Name  string `json:"name,omitempty"`
+	From  string `json:"from"`
+	To    string `json:"to"`
 }
 
 // NewComm creates an empty metrics registry.
@@ -296,6 +338,23 @@ func (c *Comm) SnapshotIter() StallSnapshot {
 	return d
 }
 
+// RecordReplan logs one route flip applied at a replan barrier.
+func (c *Comm) RecordReplan(e ReplanEvent) {
+	c.replanMu.Lock()
+	c.replans = append(c.replans, e)
+	c.replanMu.Unlock()
+}
+
+// SetBandwidthEstimate publishes the planner's current EWMA wire-rate
+// estimate (bytes/second) so the snapshot can report what Algorithm 1
+// was actually deciding against. Zero means no estimator ran on this
+// node (only the replan leader folds observations).
+func (c *Comm) SetBandwidthEstimate(bps float64) {
+	c.replanMu.Lock()
+	c.bwEstBPS = bps
+	c.replanMu.Unlock()
+}
+
 // RegisterParam adds (and returns) the counter block for one
 // synchronized parameter tensor. psEquivPerRound is the cost model's
 // pure-PS per-node bytes per iteration (0 when unknown — savings then
@@ -332,6 +391,12 @@ type CommSnapshot struct {
 	Stall  StallSnapshot   `json:"stall"`
 	Params []ParamSnapshot `json:"params"`
 	Totals TotalsSnapshot  `json:"totals"`
+	// ReplanEvents lists every route flip applied at a replan barrier,
+	// in application order; empty when the run never replanned.
+	ReplanEvents []ReplanEvent `json:"replan_events"`
+	// BWEstimateBPS is the planner's final EWMA wire-rate estimate
+	// (bytes/second); 0 on nodes that never folded an observation.
+	BWEstimateBPS float64 `json:"bw_estimate_bps"`
 }
 
 // Snapshot freezes every counter into a serializable report.
@@ -346,6 +411,10 @@ func (c *Comm) Snapshot() CommSnapshot {
 		KV:    c.kv.Snapshot(),
 		Stall: c.stall.snapshot(),
 	}
+	c.replanMu.Lock()
+	snap.ReplanEvents = append([]ReplanEvent(nil), c.replans...)
+	snap.BWEstimateBPS = c.bwEstBPS
+	c.replanMu.Unlock()
 	for _, p := range params {
 		ps := p.snapshot()
 		snap.Params = append(snap.Params, ps)

@@ -131,6 +131,22 @@ func SchemeBytes(l *nn.Layer, s Scheme, c ClusterShape) int64 {
 	return schemeBytesMN(m, n, l.SFCapable(), s, c)
 }
 
+// schemeFramesMN models the per-worker egress frames per iteration
+// under scheme s — the fixed per-message term of the bandwidth-aware
+// cost model, on the same egress-only granularity as schemeBytesMN: a
+// PS worker ships one push frame per iteration, an SFB worker one
+// factor frame to each of the P1−1 peers. Bytes scale with the link
+// speed but frames do not, which is what lets a *measured* bandwidth
+// flip Algorithm 1's decision: on a slow link the byte term dominates
+// (SFB's smaller payload wins fat FC layers); on a fast link the
+// per-frame overhead dominates (the PS's single push wins them back).
+func schemeFramesMN(s Scheme, c ClusterShape) float64 {
+	if s == SFB {
+		return float64(c.Workers - 1)
+	}
+	return 1 // PS, OneBitPS, AdamSF: one push to the owning server
+}
+
 // schemeBytesMN is SchemeBytes on a bare M×N gradient shape.
 func schemeBytesMN(m, n int64, sfCapable bool, s Scheme, c ClusterShape) int64 {
 	switch s {

@@ -97,6 +97,23 @@ type Decision struct {
 	Err error
 }
 
+// Tuning defaults for the bandwidth-aware planner. Exported so the
+// trainer and the Session facade apply the same values the tests pin.
+const (
+	// DefaultFrameOverheadSec is the modeled fixed cost per wire frame
+	// when the planner is bandwidth-aware (serialization, syscall, and
+	// protocol latency that does not scale with payload size).
+	DefaultFrameOverheadSec = 1e-3
+	// DefaultReplanAlpha is the EWMA weight of the newest bandwidth
+	// observation in Replan.
+	DefaultReplanAlpha = 0.5
+	// DefaultReplanHysteresis is the fractional modeled-time advantage a
+	// candidate scheme needs over the incumbent before Replan flips a
+	// route — the damping that keeps routes from flapping when the
+	// estimate wobbles inside a ±10% band.
+	DefaultReplanHysteresis = 0.10
+)
+
 // Planner evaluates Algorithm 1 per tensor under a policy and cluster
 // shape. The zero value is unusable; construct with NewPlanner.
 type Planner struct {
@@ -108,11 +125,34 @@ type Planner struct {
 	// Overrides pins parameter index → scheme, trumping the policy
 	// (ablations, baselines, and the worker's -route flag).
 	Overrides map[int]Scheme
-	// BytesPerSec optionally models the per-link bandwidth so Decisions
-	// carry estimated seconds; 0 leaves costs as byte counts only. The
-	// scheme choice itself is bandwidth-independent (both candidate
-	// costs scale by the same link speed).
+	// BytesPerSec models the per-link bandwidth: Decisions carry
+	// estimated seconds, and — together with FrameOverhead — it makes
+	// the scheme choice depend on the *absolute* link speed. 0 leaves
+	// costs as byte counts only, where the choice is
+	// bandwidth-independent (both candidate costs scale by the same
+	// link speed). Replan supersedes this initial estimate with the
+	// measured EWMA.
 	BytesPerSec float64
+	// FrameOverhead is the modeled fixed time per wire frame in seconds.
+	// When both it and the bandwidth estimate are positive, SchemeFor
+	// compares modeled seconds (bytes/bandwidth + frames·overhead)
+	// instead of raw bytes; 0 preserves the byte-count rule exactly.
+	FrameOverhead float64
+	// Alpha is the EWMA weight Replan gives the newest bandwidth
+	// observation (0 selects DefaultReplanAlpha).
+	Alpha float64
+	// Hysteresis is the fractional modeled-time advantage required to
+	// flip a route in Replan (0 selects DefaultReplanHysteresis).
+	Hysteresis float64
+
+	// bwEst is the EWMA over measured bandwidth observations; it
+	// overrides BytesPerSec once the first observation is folded in.
+	bwEst float64
+	// specs and routes are the spec set bound by the last ParamPlans
+	// call plus the live route of every spec — the state Replan
+	// re-evaluates and applies hysteresis against.
+	specs  []TensorSpec
+	routes []Scheme
 }
 
 // NewPlanner builds a planner for the given policy and cluster shape
@@ -132,10 +172,39 @@ func (p *Planner) Override(index int, s Scheme) {
 	p.Overrides[index] = s
 }
 
+// bandwidth returns the live link-speed estimate: the measured EWMA
+// once Replan folded an observation in, the configured BytesPerSec
+// before that.
+func (p *Planner) bandwidth() float64 {
+	if p.bwEst > 0 {
+		return p.bwEst
+	}
+	return p.BytesPerSec
+}
+
+// BandwidthEstimate exposes the live link-speed estimate (bytes/second)
+// for logs and the metrics snapshot's bw_estimate_bps field.
+func (p *Planner) BandwidthEstimate() float64 { return p.bandwidth() }
+
+// bandwidthAware reports whether the planner decides by modeled seconds
+// (bytes/bandwidth + frames·overhead) rather than raw byte counts.
+func (p *Planner) bandwidthAware() bool {
+	return p.bandwidth() > 0 && p.FrameOverhead > 0
+}
+
+// schemeSeconds models the per-iteration wall time scheme s costs for
+// tensor t under the current bandwidth estimate.
+func (p *Planner) schemeSeconds(t TensorSpec, s Scheme) float64 {
+	bytes := schemeBytesMN(int64(t.Rows), int64(t.Cols), t.SFCapable, s, p.Cluster)
+	return float64(bytes)/p.bandwidth() + schemeFramesMN(s, p.Cluster)*p.FrameOverhead
+}
+
 // SchemeFor returns the scheme for one tensor: explicit override first,
 // then the policy (Algorithm 1 under PolicyHybrid). Tensors that cannot
 // ride SFB — and any tensor on a single-worker cluster — go through the
-// PS regardless of policy.
+// PS regardless of policy. A bandwidth-aware planner compares modeled
+// seconds instead of bytes, so the choice tracks the link it actually
+// has (or believes it has, until Replan corrects the estimate).
 func (p *Planner) SchemeFor(t TensorSpec) Scheme {
 	if s, ok := p.Overrides[t.Index]; ok {
 		return s
@@ -149,6 +218,12 @@ func (p *Planner) SchemeFor(t TensorSpec) Scheme {
 	case PolicyOneBit:
 		return OneBitPS
 	default:
+		if p.bandwidthAware() {
+			if p.schemeSeconds(t, SFB) <= p.schemeSeconds(t, PS) {
+				return SFB
+			}
+			return PS
+		}
 		return bestSchemeMN(int64(t.Rows), int64(t.Cols), true, p.Cluster)
 	}
 }
@@ -181,8 +256,8 @@ func (p *Planner) Decide(t TensorSpec) Decision {
 		d.SFBParams = SFBWorkerParams(m, n, p.Cluster)
 	}
 	d.WireBytes = schemeBytesMN(m, n, t.SFCapable, d.Scheme, p.Cluster)
-	if p.BytesPerSec > 0 {
-		d.Seconds = float64(d.WireBytes) / p.BytesPerSec
+	if bw := p.bandwidth(); bw > 0 {
+		d.Seconds = float64(d.WireBytes) / bw
 	}
 	return d
 }
@@ -229,13 +304,31 @@ func (p *Planner) ParamPlans(specs []TensorSpec) ([]comm.ParamPlan, error) {
 			return nil, fmt.Errorf("poseidon: route override for unknown param %d (model has %d params)", idx, len(specs))
 		}
 	}
+	routes := make([]Scheme, len(specs))
+	for i, t := range specs {
+		routes[i] = p.SchemeFor(t)
+	}
+	plans, err := p.plansFromRoutes(specs, routes)
+	if err != nil {
+		return nil, err
+	}
+	// Bind the planned set: Replan re-evaluates exactly these specs and
+	// applies hysteresis against these routes.
+	p.specs = append(p.specs[:0], specs...)
+	p.routes = routes
+	return plans, nil
+}
+
+// plansFromRoutes assembles the executable plan set for an explicit
+// scheme assignment, validating each against the comm runtime's
+// legality rule.
+func (p *Planner) plansFromRoutes(specs []TensorSpec, routes []Scheme) ([]comm.ParamPlan, error) {
 	plans := make([]comm.ParamPlan, len(specs))
 	for i, t := range specs {
-		scheme := p.SchemeFor(t)
-		if err := checkScheme(t, scheme); err != nil {
+		if err := checkScheme(t, routes[i]); err != nil {
 			return nil, err
 		}
-		route, _ := scheme.Route() // checkScheme proved it maps
+		route, _ := routes[i].Route() // checkScheme proved it maps
 		plans[i] = comm.ParamPlan{
 			Index: t.Index, Name: t.Name,
 			Rows: t.Rows, Cols: t.Cols,
@@ -247,4 +340,77 @@ func (p *Planner) ParamPlans(specs []TensorSpec) ([]comm.ParamPlan, error) {
 		}
 	}
 	return plans, nil
+}
+
+// BandwidthObservation is one measured wire-rate sample, taken by the
+// trainer between replan barriers (egress bytes over elapsed wall
+// time).
+type BandwidthObservation struct {
+	// BytesPerSec is the measured effective egress rate. Non-positive
+	// observations are discarded (an idle window says nothing about the
+	// link).
+	BytesPerSec float64
+}
+
+// Replan folds one measured bandwidth observation into the EWMA
+// estimate and re-evaluates Algorithm 1 over the spec set bound by the
+// last ParamPlans call. A route flips only when the candidate scheme's
+// modeled time beats the incumbent's by more than the hysteresis
+// margin, so estimates wobbling inside the band hold the plan steady.
+// Explicit overrides stay pinned, and only PolicyHybrid re-decides —
+// the pure-PS and 1-bit policies have nothing to adapt.
+//
+// It returns the full new plan set when at least one route flipped and
+// nil when the plan holds (also when no specs are bound or the planner
+// is not bandwidth-aware). Returned plans carry no SF extractors —
+// those close over live layer state the planner never sees; the comm
+// layer re-attaches them through its SFSource when it executes the
+// swap.
+func (p *Planner) Replan(obs BandwidthObservation) []comm.ParamPlan {
+	if obs.BytesPerSec > 0 {
+		alpha := p.Alpha
+		if alpha <= 0 {
+			alpha = DefaultReplanAlpha
+		}
+		if prev := p.bandwidth(); prev > 0 {
+			p.bwEst = alpha*obs.BytesPerSec + (1-alpha)*prev
+		} else {
+			p.bwEst = obs.BytesPerSec
+		}
+	}
+	if len(p.specs) == 0 || !p.bandwidthAware() || p.Policy != PolicyHybrid {
+		return nil
+	}
+	hyst := p.Hysteresis
+	if hyst <= 0 {
+		hyst = DefaultReplanHysteresis
+	}
+	changed := false
+	for i, t := range p.specs {
+		if _, pinned := p.Overrides[t.Index]; pinned || !t.SFCapable || p.Cluster.Workers <= 1 {
+			continue
+		}
+		cur := p.routes[i]
+		if cur != PS && cur != SFB {
+			continue // baselines reached only via overrides; never re-decided
+		}
+		alt := SFB
+		if cur == SFB {
+			alt = PS
+		}
+		if p.schemeSeconds(t, alt) < p.schemeSeconds(t, cur)*(1-hyst) {
+			p.routes[i] = alt
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	plans, err := p.plansFromRoutes(p.specs, p.routes)
+	if err != nil {
+		// Unreachable: flips only move SF-capable tensors between PS and
+		// SFB, both always legal for them.
+		panic(fmt.Sprintf("poseidon: Replan produced an illegal plan: %v", err))
+	}
+	return plans
 }

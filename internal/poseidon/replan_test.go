@@ -1,0 +1,204 @@
+package poseidon
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// replanPlanner binds a 3-worker hybrid planner to one conv tensor and
+// one FC tensor whose PS-vs-SFB crossover sits at a known bandwidth,
+// so the tests can push the estimate across it.
+//
+// fc.W is 32×64 at K=8, P=3. Per-worker egress: PS moves 4MN = 8192 B
+// in 1 push frame, SFB moves 4K(P−1)(M+N) = 6144 B in P−1 = 2 factor
+// frames. With the default 1 ms frame overhead the schemes tie at
+// bw* = (8192−6144)/10⁻³ ≈ 2.05 MB/s; under 10% hysteresis a PS route
+// flips to SFB below ≈1.12 MB/s and an SFB route flips back to PS
+// above ≈3.33 MB/s.
+func replanPlanner(bw float64) (*Planner, []TensorSpec) {
+	p := NewPlanner(PolicyHybrid, ClusterShape{Workers: 3, Servers: 3, Batch: 8})
+	p.BytesPerSec = bw
+	p.FrameOverhead = DefaultFrameOverheadSec
+	specs := []TensorSpec{
+		{Index: 0, Name: "conv.W", Rows: 100, Cols: 25},
+		{Index: 1, Name: "fc.W", Rows: 32, Cols: 64, SFCapable: true},
+	}
+	return p, specs
+}
+
+func routesOf(t *testing.T, p *Planner, specs []TensorSpec) []comm.Route {
+	t.Helper()
+	plans, err := p.ParamPlans(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := make([]comm.Route, len(plans))
+	for i, plan := range plans {
+		routes[i] = plan.Route
+	}
+	return routes
+}
+
+// Replan's flip rule, table-driven: a halved bandwidth flips the FC
+// tensor PS→SFB, estimates inside the hysteresis band hold the plan
+// steady, and recovering bandwidth flips it back.
+func TestPlannerReplanFlipsAndHolds(t *testing.T) {
+	cases := []struct {
+		name    string
+		initial float64                // configured -bw estimate
+		alpha   float64                // EWMA weight (1 = trust measurement fully)
+		obs     []BandwidthObservation // folded in order
+		want    Scheme                 // fc.W route after the last Replan
+		flips   int                    // observations that returned a new plan
+	}{
+		{
+			name:    "bandwidth halves, fc flips PS to SFB",
+			initial: 2.1e6, alpha: 1,
+			obs:   []BandwidthObservation{{BytesPerSec: 1.05e6}},
+			want:  SFB,
+			flips: 1,
+		},
+		{
+			name:    "estimate wobbling within ±10% holds the route",
+			initial: 2.1e6, alpha: 1,
+			obs: []BandwidthObservation{
+				{BytesPerSec: 1.9e6}, {BytesPerSec: 2.3e6}, {BytesPerSec: 2.0e6},
+			},
+			want:  PS,
+			flips: 0,
+		},
+		{
+			name:    "hysteresis holds just past the crossover",
+			initial: 2.1e6, alpha: 1,
+			// 1.5 MB/s is below the ~2.05 MB/s tie, but SFB's advantage
+			// there is inside the 10% hysteresis margin.
+			obs:   []BandwidthObservation{{BytesPerSec: 1.5e6}},
+			want:  PS,
+			flips: 0,
+		},
+		{
+			name:    "recovered bandwidth flips SFB back to PS",
+			initial: 1e6, alpha: 1,
+			obs:   []BandwidthObservation{{BytesPerSec: 40e6}},
+			want:  PS,
+			flips: 1,
+		},
+		{
+			name:    "EWMA damps a single outlier",
+			initial: 2.1e6, alpha: 0.5,
+			// One noisy 0.3 MB/s sample only drags the estimate to
+			// 1.2 MB/s, still above the ~1.12 MB/s flip threshold.
+			obs:   []BandwidthObservation{{BytesPerSec: 0.3e6}},
+			want:  PS,
+			flips: 0,
+		},
+		{
+			name:    "idle windows are discarded",
+			initial: 2.1e6, alpha: 1,
+			obs:   []BandwidthObservation{{BytesPerSec: 0}, {BytesPerSec: -5}},
+			want:  PS,
+			flips: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, specs := replanPlanner(tc.initial)
+			p.Alpha = tc.alpha
+			initial := routesOf(t, p, specs)
+			if initial[0] != comm.RoutePS {
+				t.Fatalf("conv tensor planned %v, want PS", initial[0])
+			}
+			flips := 0
+			var last []comm.ParamPlan
+			for _, obs := range tc.obs {
+				if plans := p.Replan(obs); plans != nil {
+					flips++
+					last = plans
+				}
+			}
+			if flips != tc.flips {
+				t.Fatalf("%d observations produced a new plan, want %d (estimate %.3g)",
+					flips, tc.flips, p.BandwidthEstimate())
+			}
+			got := initial[1]
+			if last != nil {
+				got = last[1].Route
+				if last[0].Route != comm.RoutePS {
+					t.Fatalf("replan moved the conv tensor to %v", last[0].Route)
+				}
+				if len(last) != len(specs) {
+					t.Fatalf("replan returned %d plans for %d specs", len(last), len(specs))
+				}
+			}
+			want, err := tc.want.Route()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("fc.W on %v after replans, want %v (estimate %.3g B/s)",
+					got, want, p.BandwidthEstimate())
+			}
+		})
+	}
+}
+
+// Replan state machine edges: unbound planners, byte-mode planners, and
+// non-hybrid policies never produce a plan; overrides stay pinned
+// through any bandwidth swing; and consecutive replans apply hysteresis
+// against the *current* routes, so a flipped route needs a full
+// reversed margin to flip back.
+func TestPlannerReplanEdges(t *testing.T) {
+	// Unbound: no ParamPlans call yet.
+	p, _ := replanPlanner(2.1e6)
+	if plans := p.Replan(BandwidthObservation{BytesPerSec: 1e3}); plans != nil {
+		t.Fatal("unbound planner replanned")
+	}
+
+	// Byte-mode: no frame overhead → the decision is bandwidth-free.
+	p2, specs := replanPlanner(2.1e6)
+	p2.FrameOverhead = 0
+	_ = routesOf(t, p2, specs)
+	if plans := p2.Replan(BandwidthObservation{BytesPerSec: 1e3}); plans != nil {
+		t.Fatal("byte-mode planner replanned")
+	}
+
+	// Non-hybrid policies have nothing to adapt.
+	ps := NewPlanner(PolicyPS, ClusterShape{Workers: 3, Servers: 3, Batch: 8})
+	ps.BytesPerSec, ps.FrameOverhead = 2.1e6, DefaultFrameOverheadSec
+	_ = routesOf(t, ps, specs)
+	if plans := ps.Replan(BandwidthObservation{BytesPerSec: 1e3}); plans != nil {
+		t.Fatal("PS policy replanned")
+	}
+
+	// An override survives any swing.
+	p3, specs3 := replanPlanner(2.1e6)
+	p3.Alpha = 1
+	p3.Override(1, PS)
+	_ = routesOf(t, p3, specs3)
+	if plans := p3.Replan(BandwidthObservation{BytesPerSec: 1e3}); plans != nil {
+		t.Fatalf("replan moved a pinned override: %v", plans)
+	}
+
+	// Hysteresis is relative to the live route: after PS→SFB at 1 MB/s,
+	// drifting back above the ~2.05 MB/s tie (but under the ~3.33 MB/s
+	// reverse-flip threshold) must not flip again.
+	p4, specs4 := replanPlanner(2.1e6)
+	p4.Alpha = 1
+	_ = routesOf(t, p4, specs4)
+	if plans := p4.Replan(BandwidthObservation{BytesPerSec: 1e6}); plans == nil || plans[1].Route != comm.RouteSFB {
+		t.Fatalf("1 MB/s did not flip fc.W to SFB: %v", plans)
+	}
+	if plans := p4.Replan(BandwidthObservation{BytesPerSec: 2.5e6}); plans != nil {
+		t.Fatalf("drift just past the crossover flipped back: %v", plans)
+	}
+
+	// The EWMA estimate is what Decide now reports seconds against.
+	if est := p4.BandwidthEstimate(); est != 2.5e6 {
+		t.Fatalf("estimate %g, want 2.5e6 under alpha=1", est)
+	}
+	d := p4.Decide(specs4[0])
+	if want := float64(d.WireBytes) / 2.5e6; d.Seconds != want {
+		t.Fatalf("Decide seconds %g, want %g (EWMA-based)", d.Seconds, want)
+	}
+}

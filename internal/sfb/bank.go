@@ -41,6 +41,16 @@ func (b *Bank) Get(index int) (*Aggregator, bool) {
 	return a, ok
 }
 
+// Remove drops the aggregator for parameter index — the route-handoff
+// path when a replan barrier moves the parameter off SFB. The caller
+// must have drained in-flight rounds first; removing an unregistered
+// index is a no-op.
+func (b *Bank) Remove(index int) {
+	b.mu.Lock()
+	delete(b.aggs, index)
+	b.mu.Unlock()
+}
+
 // PendingIters sums incomplete factor sets across all aggregators (for
 // drain checks and monitoring).
 func (b *Bank) PendingIters() int {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/data"
@@ -104,10 +105,46 @@ type Config struct {
 	// plan time.
 	RouteOverrides map[int]poseidon.Scheme
 
+	// Bandwidth seeds the planner's link-speed estimate in bytes/second
+	// (the worker's -bw flag). A positive value makes Algorithm 1
+	// bandwidth-aware — scheme choice by modeled seconds, including the
+	// per-frame overhead — instead of byte-count-only. 0 keeps the
+	// classic byte-count rule.
+	Bandwidth float64
+
+	// Replan enables measured-bandwidth re-planning: every Replan.Every
+	// iterations the cluster drains to a round barrier, worker 0 folds
+	// the wire rate it actually measured into the planner's EWMA
+	// estimate, re-runs Algorithm 1 under it, and broadcasts the
+	// (possibly unchanged) routing decision in a clock-stamped REPLAN
+	// frame that every worker applies deterministically — so a cluster
+	// started with a mis-set Bandwidth converges onto the plan its real
+	// network deserves, with replicas staying byte-identical.
+	Replan ReplanSpec
+
 	// Metrics, when set, receives this worker's live communication
 	// counters (per-parameter wire traffic, sync-stall time, KV
 	// rounds); snapshot it after the run for the -metrics-dump report.
 	Metrics *metrics.Comm
+}
+
+// ReplanSpec configures measured-bandwidth re-planning (Config.Replan).
+type ReplanSpec struct {
+	// Every is the epoch length in iterations: each multiple of it is a
+	// replan barrier. 0 disables replanning. Must exceed Staleness —
+	// barriers are armed one epoch ahead, and an epoch shorter than the
+	// staleness window could let a fast worker outrun the arming.
+	Every int
+	// Alpha is the EWMA weight of the newest bandwidth observation
+	// (0 = poseidon.DefaultReplanAlpha).
+	Alpha float64
+	// Hysteresis is the fractional modeled-time advantage required to
+	// flip a route (0 = poseidon.DefaultReplanHysteresis).
+	Hysteresis float64
+	// FrameOverhead is the modeled fixed cost per wire frame in seconds
+	// (0 = poseidon.DefaultFrameOverheadSec whenever the planner is
+	// bandwidth-aware).
+	FrameOverhead float64
 }
 
 // Point is one recorded training measurement.
@@ -138,12 +175,22 @@ func Run(cfg Config) (*Result, error) {
 
 // RunOver executes one worker per provided mesh endpoint and returns
 // endpoint 0's result — the injection point for custom transports
-// (bandwidth-modeled DelayMesh wrappers, instrumented meshes). Every
-// endpoint is closed when all workers finish: per-endpoint transports
-// (one TCPMesh per worker) each own real sockets, and for
-// cluster-scoped transports (ChanCluster) the extra Closes are
-// idempotent no-ops.
+// (bandwidth-modeled DelayMesh wrappers, instrumented meshes).
 func RunOver(cfg Config, meshes []transport.Mesh) (*Result, error) {
+	results, err := RunOverAll(cfg, meshes)
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// RunOverAll is RunOver keeping every worker's result (each worker
+// records loss on its own data shard — what parity tests and reference
+// runs need). Every endpoint is closed when all workers finish:
+// per-endpoint transports (one TCPMesh per worker) each own real
+// sockets, and for cluster-scoped transports (ChanCluster) the extra
+// Closes are idempotent no-ops.
+func RunOverAll(cfg Config, meshes []transport.Mesh) ([]*Result, error) {
 	if len(meshes) != cfg.Workers {
 		return nil, fmt.Errorf("train: %d mesh endpoints for %d workers", len(meshes), cfg.Workers)
 	}
@@ -167,7 +214,7 @@ func RunOver(cfg Config, meshes []transport.Mesh) (*Result, error) {
 			return nil, err
 		}
 	}
-	return results[0], nil
+	return results, nil
 }
 
 // RunWorker executes one worker of a data-parallel run over the given
@@ -195,9 +242,22 @@ func (w *worker) run() (*Result, error) {
 	w.net = cfg.BuildNet(rng)
 	w.local = cfg.TrainSet.Shard(w.id, w.n)
 
+	mtr := cfg.Metrics
+	if cfg.Replan.Every > 0 {
+		if cfg.Replan.Every <= cfg.Staleness {
+			return nil, fmt.Errorf("train: replan interval %d must exceed staleness %d", cfg.Replan.Every, cfg.Staleness)
+		}
+		if mtr == nil {
+			// The bandwidth estimator differences the router's egress
+			// counters, which exist only with metrics attached.
+			mtr = metrics.NewComm()
+		}
+	}
+
 	params := w.net.Params()
 	grads := w.net.Grads()
-	plans, err := buildPlans(cfg, w.net, w.n)
+	planner := plannerFor(cfg, w.n)
+	plans, sfFor, err := plansFor(planner, w.net)
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +272,10 @@ func (w *worker) run() (*Result, error) {
 		Overlap:     cfg.Overlap,
 		ChunkElems:  cfg.ChunkElems,
 		PoolWorkers: cfg.PoolWorkers,
-		Metrics:     cfg.Metrics,
+		Metrics:     mtr,
+		// Reroutes can move a parameter onto SFB after construction; the
+		// router re-attaches the extractor through this source.
+		SFSource: func(index int) func() *tensor.SufficientFactor { return sfFor[index] },
 	})
 	if err != nil {
 		return nil, err
@@ -221,8 +284,30 @@ func (w *worker) run() (*Result, error) {
 	router.Start()
 	defer router.Stop()
 
+	// Replan barriers: armed one epoch ahead so post-barrier frames from
+	// fast peers park instead of reaching pre-barrier syncers; worker 0
+	// measures, re-plans, and broadcasts the decision at each one.
+	nextBarrier := 0
+	if cfg.Replan.Every > 0 && cfg.Replan.Every < cfg.Iters {
+		nextBarrier = cfg.Replan.Every
+		router.ArmReroute(nextBarrier)
+	}
+	winStart := time.Now()
+	winBytes := router.EgressBytes()
+
 	res := &Result{Mode: cfg.Mode}
 	for iter := 0; iter < cfg.Iters; iter++ {
+		if nextBarrier > 0 && iter == nextBarrier {
+			if err := w.replanBarrier(iter, planner, mtr, &winStart, &winBytes); err != nil {
+				return nil, err
+			}
+			nextBarrier += cfg.Replan.Every
+			if nextBarrier >= cfg.Iters {
+				nextBarrier = 0 // no more barriers; nothing left to arm
+			} else {
+				router.ArmReroute(nextBarrier)
+			}
+		}
 		// Gate on the consistency model (BSP when Staleness is 0), then
 		// adopt the freshest synchronized replica.
 		router.WaitFor(iter)
@@ -258,6 +343,35 @@ func (w *worker) run() (*Result, error) {
 	return res, nil
 }
 
+// replanBarrier executes one replan round barrier at iteration barrier.
+// Worker 0 turns the egress bytes it moved since the previous barrier
+// into a bandwidth observation, folds it into the planner's EWMA, and
+// broadcasts the resulting decision; everyone else waits for that
+// decision. Both sides apply it identically, then restart the
+// measurement window.
+func (w *worker) replanBarrier(barrier int, planner *poseidon.Planner, mtr *metrics.Comm, winStart *time.Time, winBytes *int64) error {
+	var err error
+	if w.id == 0 {
+		var plans []comm.ParamPlan
+		if elapsed := time.Since(*winStart).Seconds(); elapsed > 0 {
+			obs := poseidon.BandwidthObservation{
+				BytesPerSec: float64(w.router.EgressBytes()-*winBytes) / elapsed,
+			}
+			plans = planner.Replan(obs)
+			mtr.SetBandwidthEstimate(planner.BandwidthEstimate())
+		}
+		_, err = w.router.Reroute(barrier, plans)
+	} else {
+		_, err = w.router.AwaitReroute(barrier)
+	}
+	if err != nil {
+		return err
+	}
+	*winStart = time.Now()
+	*winBytes = w.router.EgressBytes()
+	return nil
+}
+
 // policyFor maps a SyncMode to its planner policy — the modes differ
 // only in what Algorithm 1 may choose, not in bespoke routing code.
 func policyFor(mode SyncMode) poseidon.Policy {
@@ -273,10 +387,24 @@ func policyFor(mode SyncMode) poseidon.Policy {
 
 // plannerFor builds the routing planner for a run with the given
 // worker count (PS shards are colocated with workers, as in the
-// paper's deployments).
+// paper's deployments). A configured bandwidth makes it
+// bandwidth-aware — with the default per-frame overhead unless the
+// Replan spec pins one — so the initial plan already reflects the link
+// the caller claimed, and Replan corrects it from measurement.
 func plannerFor(cfg Config, workers int) *poseidon.Planner {
 	p := poseidon.NewPlanner(policyFor(cfg.Mode),
 		poseidon.ClusterShape{Workers: workers, Servers: workers, Batch: cfg.Batch})
+	p.BytesPerSec = cfg.Bandwidth
+	p.FrameOverhead = cfg.Replan.FrameOverhead
+	if p.FrameOverhead == 0 && (cfg.Bandwidth > 0 || cfg.Replan.Every > 0) {
+		// Replanning without an initial -bw still needs the per-frame
+		// term: the first measured observation makes the planner
+		// bandwidth-aware, and a zero overhead would leave every Replan
+		// a no-op.
+		p.FrameOverhead = poseidon.DefaultFrameOverheadSec
+	}
+	p.Alpha = cfg.Replan.Alpha
+	p.Hysteresis = cfg.Replan.Hysteresis
 	for idx, s := range cfg.RouteOverrides {
 		p.Override(idx, s)
 	}
@@ -339,27 +467,50 @@ func Decisions(cfg Config) ([]poseidon.Decision, error) {
 // the SFB route needs (closures over live FC layer state the planner
 // never sees).
 func buildPlans(cfg Config, net *autodiff.Network, workers int) ([]comm.ParamPlan, error) {
-	plans, err := plannerFor(cfg, workers).ParamPlans(ParamSpecs(net))
-	if err != nil {
-		return nil, err
-	}
+	plans, _, err := plansFor(plannerFor(cfg, workers), net)
+	return plans, err
+}
+
+// sfExtractors locates every tensor with a sufficient-factor
+// decomposition (FC weight matrices) and returns parameter index →
+// borrow extractor. Borrowed factors reference the layer's live
+// backward buffers — the syncer encodes and copies them before the
+// compute loop can overwrite, so the SFB route ships gradients without
+// a per-iteration clone.
+func sfExtractors(net *autodiff.Network) map[int]func() *tensor.SufficientFactor {
+	out := make(map[int]func() *tensor.SufficientFactor)
 	idx := 0
 	for _, layer := range net.Layers {
 		fc, isFC := layer.(*autodiff.FC)
 		for pi, p := range layer.Params() {
-			if plans[idx].Route == comm.RouteSFB {
-				if !(isFC && pi == 0 && fc.W == p) {
-					return nil, fmt.Errorf("train: param %d (%s) routed to SFB but has no sufficient factor", idx, plans[idx].Name)
-				}
+			if isFC && pi == 0 && fc.W == p {
 				fc := fc
-				// Borrowed factors reference the layer's live backward
-				// buffers — the syncer encodes and copies them before
-				// the compute loop can overwrite, so the SFB route ships
-				// gradients without a per-iteration clone.
-				plans[idx].SF = func() *tensor.SufficientFactor { return fc.BorrowSufficientFactor() }
+				out[idx] = func() *tensor.SufficientFactor { return fc.BorrowSufficientFactor() }
 			}
 			idx++
 		}
 	}
-	return plans, nil
+	return out
+}
+
+// plansFor plans net's parameters on the given (retained) planner and
+// attaches SF extractors; it also returns the extractor map so the
+// router can re-attach extractors when a replan barrier moves a
+// parameter onto SFB later.
+func plansFor(planner *poseidon.Planner, net *autodiff.Network) ([]comm.ParamPlan, map[int]func() *tensor.SufficientFactor, error) {
+	plans, err := planner.ParamPlans(ParamSpecs(net))
+	if err != nil {
+		return nil, nil, err
+	}
+	sfFor := sfExtractors(net)
+	for i := range plans {
+		if plans[i].Route == comm.RouteSFB {
+			ext := sfFor[i]
+			if ext == nil {
+				return nil, nil, fmt.Errorf("train: param %d (%s) routed to SFB but has no sufficient factor", i, plans[i].Name)
+			}
+			plans[i].SF = ext
+		}
+	}
+	return plans, sfFor, nil
 }

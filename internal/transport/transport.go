@@ -36,6 +36,12 @@ const (
 	MsgBarrier
 	// MsgControl carries trainer control information (stop, config).
 	MsgControl
+	// MsgReplan carries a clock-stamped routing-plan switch: Iter names
+	// the first iteration governed by the new plan and the payload holds
+	// one route byte per synchronized parameter. Every worker applies the
+	// same frame at the same round barrier, which is what keeps replicas
+	// byte-identical across a mid-training re-route.
+	MsgReplan
 )
 
 // Message is one protocol frame.
@@ -101,7 +107,7 @@ func decode(buf []byte) (Message, error) {
 	if len(buf) < headerLen {
 		return Message{}, fmt.Errorf("transport: short frame: %d bytes", len(buf))
 	}
-	if t := MsgType(buf[0]); (t < MsgPush || t > MsgControl) && t != msgGoodbye {
+	if t := MsgType(buf[0]); (t < MsgPush || t > MsgReplan) && t != msgGoodbye {
 		return Message{}, fmt.Errorf("transport: unknown message type %d", t)
 	}
 	return Message{

@@ -1,0 +1,130 @@
+// Package poseidon is the public face of the Poseidon reproduction's
+// functional plane: a Session builder that owns everything a
+// distributed training run needs — model, data, transport (in-process
+// channels or multi-process TCP), the Algorithm 1 plan policy,
+// consistency, route overrides, measured-bandwidth re-planning, and
+// runtime metrics — behind one fluent API, replacing the hand-assembly
+// of train.Config, planner, transport, and metrics that every caller
+// used to repeat:
+//
+//	sess, err := poseidon.NewSession().
+//		InProcess(4).
+//		Iterations(60).Batch(8).LearningRate(0.1).Seed(7).
+//		Model(buildNet).
+//		Data(trainSet, testSet).EvalEvery(15).
+//		CollectMetrics().
+//		Build()
+//	if err != nil { ... }
+//	res, err := sess.Run()
+//
+// It also re-exports the cost-model vocabulary (schemes, cluster
+// shapes, the Planner, the Coordinator) so callers that only consult
+// Algorithm 1 — examples, tools, notebooks — need no internal imports.
+package poseidon
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/nn/autodiff"
+	ipos "repro/internal/poseidon"
+	"repro/internal/train"
+)
+
+// Cost-model vocabulary, re-exported from the internal coordinator
+// package (one source of truth for Algorithm 1 in both planes).
+type (
+	// Scheme is a per-tensor communication method (SchemePS, SchemeSFB,
+	// the modeled baselines).
+	Scheme = ipos.Scheme
+	// ClusterShape is the cluster configuration the cost model depends
+	// on (P1 workers, P2 servers, per-worker batch K).
+	ClusterShape = ipos.ClusterShape
+	// TensorSpec describes one parameter tensor to plan.
+	TensorSpec = ipos.TensorSpec
+	// Decision is one planned tensor with its cost-model numbers.
+	Decision = ipos.Decision
+	// Planner evaluates Algorithm 1 per tensor under a policy; it also
+	// carries the measured-bandwidth EWMA behind Replan.
+	Planner = ipos.Planner
+	// BandwidthObservation is one measured wire-rate sample for
+	// Planner.Replan.
+	BandwidthObservation = ipos.BandwidthObservation
+	// Coordinator is the paper's "information book" for the performance
+	// plane.
+	Coordinator = ipos.Coordinator
+	// LayerPlan is one layer's plan from the Coordinator.
+	LayerPlan = ipos.LayerPlan
+)
+
+// Schemes, named as in the paper.
+const (
+	SchemePS     = ipos.PS
+	SchemeSFB    = ipos.SFB
+	SchemeAdam   = ipos.AdamSF
+	SchemeOneBit = ipos.OneBitPS
+)
+
+// SyncMode selects what Algorithm 1 may choose for a session: Hybrid
+// (per-tensor HybComm), PSOnly, or the 1-bit CNTK baseline.
+type SyncMode = train.SyncMode
+
+// Session-level sync modes.
+const (
+	Hybrid = train.Hybrid
+	PSOnly = train.PSOnly
+	OneBit = train.OneBit
+)
+
+// ReplanSpec configures measured-bandwidth re-planning for a session.
+type ReplanSpec = train.ReplanSpec
+
+// Result aggregates a run's loss curve and final replica.
+type Result = train.Result
+
+// Point is one recorded training measurement.
+type Point = train.Point
+
+// Planner tuning defaults (see the internal planner for semantics).
+const (
+	DefaultFrameOverheadSec = ipos.DefaultFrameOverheadSec
+	DefaultReplanAlpha      = ipos.DefaultReplanAlpha
+	DefaultReplanHysteresis = ipos.DefaultReplanHysteresis
+)
+
+// NewPlanner builds a cost-model planner directly (most callers want
+// NewSession instead; this is the entry point for tools that only
+// consult Algorithm 1).
+func NewPlanner(policy ipos.Policy, c ClusterShape) *Planner { return ipos.NewPlanner(policy, c) }
+
+// Planner policies for NewPlanner.
+const (
+	PolicyHybrid = ipos.PolicyHybrid
+	PolicyPS     = ipos.PolicyPS
+	PolicyOneBit = ipos.PolicyOneBit
+)
+
+// NewCoordinator builds the performance plane's coordinator for model m
+// on cluster c.
+func NewCoordinator(m *nn.Model, c ClusterShape) *Coordinator { return ipos.NewCoordinator(m, c) }
+
+// PSColocatedParams returns Table 1's PS cost for a colocated
+// worker/server node: 2·M·N·(P1+P2−2)/P2.
+func PSColocatedParams(m, n int64, c ClusterShape) int64 { return ipos.PSColocatedParams(m, n, c) }
+
+// SFBWorkerParams returns Table 1's SFB cost per worker:
+// 2·K·(P1−1)·(M+N).
+func SFBWorkerParams(m, n int64, c ClusterShape) int64 { return ipos.SFBWorkerParams(m, n, c) }
+
+// BestScheme runs Algorithm 1 on one layer descriptor.
+func BestScheme(l *nn.Layer, c ClusterShape) Scheme { return ipos.BestScheme(l, c) }
+
+// Decisions previews the per-tensor routing a config would execute —
+// the -autoplan dump — without touching any transport. Exposed at
+// package level for symmetry with Session.Plan.
+func Decisions(cfg train.Config) ([]Decision, error) { return train.Decisions(cfg) }
+
+// ModelBuilder constructs the live network; it is called once per
+// worker with an identically seeded RNG so all replicas start
+// identical.
+type ModelBuilder = func(rng *rand.Rand) *autodiff.Network

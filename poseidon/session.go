@@ -1,0 +1,313 @@
+package poseidon
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/train"
+	"repro/internal/transport"
+)
+
+// Builder assembles a Session. Construct with NewSession, chain the
+// configuration calls, finish with Build — which validates everything
+// (model, data, plan feasibility, route overrides) *before* touching
+// any transport, so a typo'd override fails in milliseconds instead of
+// after a 30-second mesh formation.
+type Builder struct {
+	cfg     train.Config
+	tcp     *tcpSpec
+	mesh    transport.Mesh
+	collect bool
+	err     error
+}
+
+type tcpSpec struct {
+	id    int
+	peers []string
+	opts  transport.TCPOptions
+}
+
+// NewSession starts a session builder with the trainer's defaults:
+// in-process transport, hybrid policy, BSP consistency.
+func NewSession() *Builder {
+	return &Builder{cfg: train.Config{Workers: 1, Mode: train.Hybrid}}
+}
+
+func (b *Builder) fail(err error) *Builder {
+	if b.err == nil {
+		b.err = err
+	}
+	return b
+}
+
+// InProcess runs the whole cluster in this process over a channel
+// mesh, one goroutine per worker.
+func (b *Builder) InProcess(workers int) *Builder {
+	if workers < 1 {
+		return b.fail(fmt.Errorf("poseidon: need at least 1 worker, got %d", workers))
+	}
+	b.cfg.Workers = workers
+	b.tcp, b.mesh = nil, nil
+	return b
+}
+
+// TCP makes this session one node of a multi-process cluster: Build
+// dials the full mesh (after validation) and Run drives this worker
+// only. peers lists every worker's host:port in id order.
+func (b *Builder) TCP(id int, peers []string, opts transport.TCPOptions) *Builder {
+	if len(peers) < 1 || id < 0 || id >= len(peers) {
+		return b.fail(fmt.Errorf("poseidon: TCP id %d out of range for %d peers", id, len(peers)))
+	}
+	b.tcp = &tcpSpec{id: id, peers: peers, opts: opts}
+	b.cfg.Workers = len(peers)
+	b.mesh = nil
+	return b
+}
+
+// Mesh injects a custom transport endpoint (bandwidth-modeled wrappers,
+// instrumented meshes); the session drives one worker over it and the
+// cluster size comes from the mesh.
+func (b *Builder) Mesh(mesh transport.Mesh) *Builder {
+	if mesh == nil {
+		return b.fail(fmt.Errorf("poseidon: nil mesh"))
+	}
+	b.mesh = mesh
+	b.cfg.Workers = mesh.N()
+	b.tcp = nil
+	return b
+}
+
+// Iterations sets the training length.
+func (b *Builder) Iterations(n int) *Builder { b.cfg.Iters = n; return b }
+
+// Batch sets the per-worker batch size (Table 1's K).
+func (b *Builder) Batch(n int) *Builder { b.cfg.Batch = n; return b }
+
+// LearningRate sets the SGD step size.
+func (b *Builder) LearningRate(lr float64) *Builder { b.cfg.LR = float32(lr); return b }
+
+// Seed sets the shared model/data seed; every worker must use the same
+// one (replicas start identical).
+func (b *Builder) Seed(s int64) *Builder { b.cfg.Seed = s; return b }
+
+// Mode constrains what Algorithm 1 may choose: Hybrid (HybComm per
+// tensor), PSOnly, or the OneBit baseline.
+func (b *Builder) Mode(m SyncMode) *Builder { b.cfg.Mode = m; return b }
+
+// Staleness bounds how many iterations a fast worker may run ahead
+// (stale synchronous parallel; 0 = BSP).
+func (b *Builder) Staleness(s int) *Builder { b.cfg.Staleness = s; return b }
+
+// Overlap streams pushes through the comm runtime's send pool —
+// wait-free backpropagation with real bytes.
+func (b *Builder) Overlap(on bool) *Builder { b.cfg.Overlap = on; return b }
+
+// ChunkElems caps the float32 count per KV chunk on the PS route
+// (0 = whole tensors).
+func (b *Builder) ChunkElems(n int) *Builder { b.cfg.ChunkElems = n; return b }
+
+// PoolWorkers sizes the send pool when Overlap is on (0 = default).
+func (b *Builder) PoolWorkers(n int) *Builder { b.cfg.PoolWorkers = n; return b }
+
+// Model sets the network builder, called once per worker with an
+// identically seeded RNG.
+func (b *Builder) Model(build ModelBuilder) *Builder { b.cfg.BuildNet = build; return b }
+
+// Data sets the training set (sharded across workers) and optional
+// test set (evaluated by worker 0 when EvalEvery is set).
+func (b *Builder) Data(trainSet, testSet *data.Dataset) *Builder {
+	b.cfg.TrainSet, b.cfg.TestSet = trainSet, testSet
+	return b
+}
+
+// EvalEvery makes worker 0 evaluate on the test set every n iterations.
+func (b *Builder) EvalEvery(n int) *Builder { b.cfg.EvalEvery = n; return b }
+
+// RouteOverride pins one parameter index to a scheme, trumping the
+// policy. Build rejects overrides naming unknown parameters or schemes
+// the tensor cannot ride.
+func (b *Builder) RouteOverride(index int, s Scheme) *Builder {
+	if b.cfg.RouteOverrides == nil {
+		b.cfg.RouteOverrides = make(map[int]Scheme)
+	}
+	b.cfg.RouteOverrides[index] = s
+	return b
+}
+
+// RouteOverrides merges a full override map (the worker's parsed
+// -route flag).
+func (b *Builder) RouteOverrides(m map[int]Scheme) *Builder {
+	for idx, s := range m {
+		b.RouteOverride(idx, s)
+	}
+	return b
+}
+
+// Bandwidth seeds the planner's link-speed estimate (bytes/second),
+// making Algorithm 1 bandwidth-aware. Replanning corrects it from
+// measurement.
+func (b *Builder) Bandwidth(bps float64) *Builder { b.cfg.Bandwidth = bps; return b }
+
+// Replan enables measured-bandwidth re-planning at the given epoch
+// spec; see ReplanSpec.
+func (b *Builder) Replan(spec ReplanSpec) *Builder { b.cfg.Replan = spec; return b }
+
+// CollectMetrics attaches a runtime metrics registry: per-parameter
+// wire traffic, sync stalls, KV rounds, replan events. TCP sessions
+// additionally meter frame-level wire totals.
+func (b *Builder) CollectMetrics() *Builder { b.collect = true; return b }
+
+// OnProgress streams every recorded point as the run produces it
+// (called from the worker's compute goroutine; keep it fast).
+func (b *Builder) OnProgress(fn func(Point)) *Builder { b.cfg.Progress = fn; return b }
+
+// Build validates the configuration — including full plan feasibility,
+// so route overrides naming unknown parameters or impossible schemes
+// fail here, before any socket is dialed — then establishes the
+// transport and returns the runnable Session.
+func (b *Builder) Build() (*Session, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	cfg := b.cfg
+	if cfg.BuildNet == nil {
+		return nil, fmt.Errorf("poseidon: no model (Builder.Model)")
+	}
+	if cfg.Iters <= 0 {
+		return nil, fmt.Errorf("poseidon: no iterations (Builder.Iterations)")
+	}
+	if cfg.Batch <= 0 {
+		return nil, fmt.Errorf("poseidon: no batch size (Builder.Batch)")
+	}
+	if cfg.TrainSet == nil {
+		return nil, fmt.Errorf("poseidon: no training data (Builder.Data)")
+	}
+	if cfg.Replan.Every > 0 && cfg.Replan.Every <= cfg.Staleness {
+		return nil, fmt.Errorf("poseidon: replan interval %d must exceed staleness %d", cfg.Replan.Every, cfg.Staleness)
+	}
+	// Plan feasibility up front: Decisions builds a throwaway replica
+	// and validates exactly like the run will.
+	if _, err := train.Decisions(cfg); err != nil {
+		return nil, err
+	}
+
+	s := &Session{cfg: cfg}
+	if b.collect {
+		s.metrics = metrics.NewComm()
+		s.cfg.Metrics = s.metrics
+	}
+	switch {
+	case b.mesh != nil:
+		s.mesh = b.mesh
+	case b.tcp != nil:
+		tcp, err := transport.NewTCPMeshOpts(b.tcp.id, b.tcp.peers, b.tcp.opts)
+		if err != nil {
+			return nil, fmt.Errorf("poseidon: mesh: %w", err)
+		}
+		s.mesh = tcp
+		s.ownsMesh = true
+		if s.metrics != nil {
+			s.mesh = transport.NewMeteredMesh(tcp, s.metrics.Wire())
+		}
+	}
+	return s, nil
+}
+
+// Session is a configured, transport-connected training run. In-process
+// sessions own the whole cluster; TCP sessions drive one worker of a
+// multi-process one.
+type Session struct {
+	cfg      train.Config
+	mesh     transport.Mesh // nil for in-process sessions
+	ownsMesh bool
+	metrics  *metrics.Comm
+}
+
+// Plan previews the per-tensor Algorithm 1 decisions this session will
+// execute (the -autoplan dump), with the cost numbers behind each
+// choice.
+func (s *Session) Plan() ([]Decision, error) { return train.Decisions(s.cfg) }
+
+// Workers returns the cluster size.
+func (s *Session) Workers() int { return s.cfg.Workers }
+
+// Run executes the session and returns this node's result (worker 0's
+// for in-process sessions). On error in a TCP session, skip Close so
+// surviving peers see the link die rather than a clean goodbye they
+// could mistake for normal shutdown.
+func (s *Session) Run() (*Result, error) {
+	if s.mesh == nil {
+		return train.Run(s.cfg)
+	}
+	return train.RunWorker(s.cfg, s.mesh)
+}
+
+// RunAll executes an in-process session and returns every worker's
+// result (each worker records loss on its own shard) — what parity
+// tests and reference runs need. TCP sessions hold only their own
+// worker and reject it.
+func (s *Session) RunAll() ([]*Result, error) {
+	if s.mesh != nil {
+		return nil, fmt.Errorf("poseidon: RunAll needs an in-process session")
+	}
+	meshes := transport.NewChanCluster(s.cfg.Workers)
+	endpoints := make([]transport.Mesh, len(meshes))
+	for i, m := range meshes {
+		endpoints[i] = m
+	}
+	return train.RunOverAll(s.cfg, endpoints)
+}
+
+// Metrics returns the session's live metrics registry (nil unless
+// CollectMetrics was set) — SnapshotIter for progress lines, Snapshot
+// for the final report.
+func (s *Session) Metrics() *metrics.Comm { return s.metrics }
+
+// MetricsSnapshot freezes the runtime counters; ok is false when the
+// session collects none.
+func (s *Session) MetricsSnapshot() (metrics.CommSnapshot, bool) {
+	if s.metrics == nil {
+		return metrics.CommSnapshot{}, false
+	}
+	return s.metrics.Snapshot(), true
+}
+
+// Close releases the session's transport (the graceful TCP goodbye).
+// In-process sessions hold nothing. Idempotent.
+func (s *Session) Close() error {
+	if s.mesh != nil && s.ownsMesh {
+		return s.mesh.Close()
+	}
+	return nil
+}
+
+// ParseRouteOverrides parses the worker's -route flag syntax:
+// comma-separated index=scheme pairs with schemes named as in the
+// paper (ps, sfb, 1bit). Feasibility against a concrete model is
+// Build's job; this only rejects syntax.
+func ParseRouteOverrides(s string) (map[int]Scheme, error) {
+	if s == "" {
+		return nil, nil
+	}
+	schemes := map[string]Scheme{"ps": SchemePS, "sfb": SchemeSFB, "1bit": SchemeOneBit}
+	out := make(map[int]Scheme)
+	for _, pair := range strings.Split(s, ",") {
+		idxStr, schemeStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("route override %q is not index=scheme", pair)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 0 {
+			return nil, fmt.Errorf("route override: bad parameter index %q", idxStr)
+		}
+		scheme, ok := schemes[schemeStr]
+		if !ok {
+			return nil, fmt.Errorf("route override: unknown scheme %q (want ps|sfb|1bit)", schemeStr)
+		}
+		out[idx] = scheme
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package poseidon
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn/autodiff"
+)
+
+func mlp() ModelBuilder {
+	return func(rng *rand.Rand) *autodiff.Network {
+		return autodiff.MLPNet(16, []int{32}, 4, rng)
+	}
+}
+
+func sessionBuilder() *Builder {
+	full := data.Synthetic(100, 640, 4, 1, 4, 4, 0.3)
+	trainSet, testSet := full.Split(512)
+	return NewSession().
+		InProcess(4).
+		Iterations(12).Batch(2).LearningRate(0.05).Seed(13).
+		Model(mlp()).
+		Data(trainSet, testSet).EvalEvery(6)
+}
+
+// The façade end to end: build, preview the Algorithm 1 plan, run, and
+// read the measured per-route traffic — the whole quickstart without
+// touching an internal package.
+func TestSessionRunsAndMeters(t *testing.T) {
+	sess, err := sessionBuilder().CollectMetrics().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	decisions, err := sess.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfb := 0
+	for _, d := range decisions {
+		if d.Scheme == SchemeSFB {
+			sfb++
+		}
+	}
+	if sfb < 1 {
+		t.Fatalf("plan chose no SFB route for the 32×16 FC weight at K=2: %+v", decisions)
+	}
+
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != 12 {
+		t.Fatalf("curve has %d points, want 12", len(res.Curve))
+	}
+	if res.Curve[11].TrainLoss >= res.Curve[0].TrainLoss {
+		t.Fatalf("loss did not decrease: %.4f → %.4f", res.Curve[0].TrainLoss, res.Curve[11].TrainLoss)
+	}
+	snap, ok := sess.MetricsSnapshot()
+	if !ok {
+		t.Fatal("CollectMetrics session returned no snapshot")
+	}
+	if snap.Totals.BytesSent <= 0 || snap.Totals.SFBParams < 1 {
+		t.Fatalf("metrics missing traffic: %+v", snap.Totals)
+	}
+}
+
+// RunAll returns one result per worker (reference runs need every
+// shard's curve), and rejects TCP sessions.
+func TestSessionRunAll(t *testing.T) {
+	sess, err := sessionBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sess.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d results, want 4", len(results))
+	}
+	for w, res := range results {
+		if res == nil || len(res.Curve) != 12 {
+			t.Fatalf("worker %d result malformed: %+v", w, res)
+		}
+	}
+}
+
+// Build validates the plan before any transport exists: an override
+// naming a parameter the model does not have fails fast, naming the
+// index — the poseidon-worker startup guarantee.
+func TestSessionBuildRejectsBadOverrides(t *testing.T) {
+	_, err := sessionBuilder().RouteOverride(99, SchemePS).Build()
+	if err == nil {
+		t.Fatal("out-of-range override index must fail Build")
+	}
+	if !strings.Contains(err.Error(), "99") {
+		t.Fatalf("error does not name the bad override: %v", err)
+	}
+
+	// An infeasible scheme (SFB on a bias vector) fails too.
+	if _, err := sessionBuilder().RouteOverride(1, SchemeSFB).Build(); err == nil {
+		t.Fatal("SFB override on a bias vector must fail Build")
+	}
+
+	// Missing pieces fail with a named builder method.
+	if _, err := NewSession().Iterations(1).Batch(1).Build(); err == nil ||
+		!strings.Contains(err.Error(), "Model") {
+		t.Fatalf("missing model not named: %v", err)
+	}
+}
+
+// Replan wiring flows through the builder: a session with a wrong
+// bandwidth claim corrects itself and logs the flip.
+func TestSessionReplans(t *testing.T) {
+	sess, err := sessionBuilder().
+		Bandwidth(100e3).
+		Replan(ReplanSpec{Every: 6, Alpha: 1}).
+		CollectMetrics().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := sess.MetricsSnapshot()
+	if len(snap.ReplanEvents) < 1 {
+		t.Fatalf("no replan event despite a 100 KB/s claim on an in-process mesh (estimate %g)", snap.BWEstimateBPS)
+	}
+	if snap.BWEstimateBPS <= 100e3 {
+		t.Fatalf("bw_estimate_bps %g did not correct upward", snap.BWEstimateBPS)
+	}
+}
+
+// ParseRouteOverrides accepts the worker's -route syntax and rejects
+// malformed pairs.
+func TestParseRouteOverrides(t *testing.T) {
+	m, err := ParseRouteOverrides("2=ps, 5=sfb,7=1bit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || m[2] != SchemePS || m[5] != SchemeSFB || m[7] != SchemeOneBit {
+		t.Fatalf("parsed %v", m)
+	}
+	if m, err := ParseRouteOverrides(""); err != nil || m != nil {
+		t.Fatalf("empty flag: %v %v", m, err)
+	}
+	for _, bad := range []string{"nonsense", "2=warp", "-1=ps", "x=ps"} {
+		if _, err := ParseRouteOverrides(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}

@@ -10,12 +10,22 @@
 // baseline are skipped, because shared-runner timing noise on
 // millisecond-scale experiments would make a ratio gate flap.
 //
-// With -go-bench it instead gates allocation budgets against raw
-// `go test -bench` output — an absolute gate, no baseline needed,
-// because allocs/op is deterministic where wall time is not:
+// With -go-bench it instead gates absolute budgets against raw
+// `go test -bench` output — no baseline needed, because allocs/op and
+// bytes-copied are deterministic where wall time is not:
 //
 //	go test -bench BenchmarkWirePathAlloc -benchtime 3x ./internal/comm | tee out.txt
 //	bench-trend -go-bench out.txt -alloc-budget 'BenchmarkWirePathAlloc=16'
+//
+// Three gates compose over one -go-bench file:
+//
+//   - -alloc-budget 'Name=N':     allocs/op at most N
+//   - -copy-budget 'Name=N':      copiedB/frame at most N (the custom
+//     metric the transport egress benchmarks report — the bytes the
+//     transport copied into scratch per frame; ~21 proves the vectored
+//     writev path never copies payloads)
+//   - -mbps-ratio 'A/B>=X':       benchmark A's MB/s at least X times
+//     benchmark B's (e.g. the shm ring at least 2x loopback TCP)
 //
 // A budgeted benchmark missing from the output fails too — a renamed
 // benchmark must not silently disarm its gate.
@@ -91,34 +101,68 @@ func parseAllocBudgets(s string) (map[string]int64, error) {
 	return out, nil
 }
 
-// parseGoBenchAllocs extracts benchmark → allocs/op from `go test
-// -bench` output. Benchmark names are stripped of the -GOMAXPROCS
-// suffix; a benchmark appearing several times keeps its worst reading.
-func parseGoBenchAllocs(r *bufio.Scanner) (map[string]int64, error) {
-	out := make(map[string]int64)
+// metricReading is the spread of one benchmark metric across repeated
+// runs; single-run CI output has Min == Max.
+type metricReading struct {
+	Min, Max float64
+}
+
+// parseGoBenchMetrics extracts every benchmark → unit → reading from
+// `go test -bench` output. A result line is the benchmark name, the
+// iteration count, then value/unit pairs (ns/op, MB/s, allocs/op, and
+// any b.ReportMetric custom units such as copiedB/frame). Benchmark
+// names are stripped of the -GOMAXPROCS suffix; a benchmark appearing
+// several times keeps its full min/max spread so each gate can pick
+// its worst case.
+func parseGoBenchMetrics(r *bufio.Scanner) (map[string]map[string]metricReading, error) {
+	out := make(map[string]map[string]metricReading)
 	for r.Scan() {
 		fields := strings.Fields(r.Text())
-		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
 		name := fields[0]
 		if i := strings.LastIndex(name, "-"); i > 0 {
 			name = name[:i]
 		}
-		for i := 2; i < len(fields); i++ {
-			if fields[i] != "allocs/op" {
-				continue
-			}
-			n, err := strconv.ParseInt(fields[i-1], 10, 64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("benchmark %s: bad allocs/op %q", name, fields[i-1])
+				return nil, fmt.Errorf("benchmark %s: bad value %q for unit %q", name, fields[i], fields[i+1])
 			}
-			if prev, ok := out[name]; !ok || n > prev {
-				out[name] = n
+			unit := fields[i+1]
+			m := out[name]
+			if m == nil {
+				m = make(map[string]metricReading)
+				out[name] = m
 			}
+			rd, ok := m[unit]
+			if !ok {
+				rd = metricReading{Min: v, Max: v}
+			} else {
+				rd.Min = min(rd.Min, v)
+				rd.Max = max(rd.Max, v)
+			}
+			m[unit] = rd
 		}
 	}
 	return out, r.Err()
+}
+
+// parseGoBenchAllocs projects the metrics down to benchmark →
+// worst-case allocs/op, the shape the allocation gate consumes.
+func parseGoBenchAllocs(r *bufio.Scanner) (map[string]int64, error) {
+	metrics, err := parseGoBenchMetrics(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64)
+	for name, m := range metrics {
+		if rd, ok := m["allocs/op"]; ok {
+			out[name] = int64(rd.Max)
+		}
+	}
+	return out, nil
 }
 
 // gateAllocs compares measured allocs/op against the budgets and
@@ -138,36 +182,174 @@ func gateAllocs(measured map[string]int64, budgets map[string]int64) []string {
 	return bad
 }
 
-func runAllocGate(benchPath, budgetSpec string) int {
-	budgets, err := parseAllocBudgets(budgetSpec)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
-		return 1
+// parseCopyBudgets parses the -copy-budget flag: comma-separated
+// name=N pairs, N the maximum copiedB/frame allowed (fractional
+// budgets are legal — per-frame averages need not divide evenly).
+func parseCopyBudgets(s string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		name, nStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("copy budget %q is not name=N", pair)
+		}
+		n, err := strconv.ParseFloat(nStr, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("copy budget %q: bad byte count %q", pair, nStr)
+		}
+		out[name] = n
 	}
+	return out, nil
+}
+
+// gateCopies compares measured copiedB/frame against the budgets; a
+// budgeted benchmark missing the metric (or missing entirely) fails.
+func gateCopies(measured map[string]map[string]metricReading, budgets map[string]float64) []string {
+	var bad []string
+	for name, budget := range budgets {
+		rd, ok := measured[name]["copiedB/frame"]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: no copiedB/frame in bench output (renamed? metric dropped?)", name))
+			continue
+		}
+		if rd.Max > budget {
+			bad = append(bad, fmt.Sprintf("%s: %.1f copiedB/frame exceeds budget %.1f (payload bytes leaking into transport scratch?)", name, rd.Max, budget))
+		}
+	}
+	return bad
+}
+
+// ratioGate demands benchmark Num's throughput be at least Min times
+// benchmark Den's.
+type ratioGate struct {
+	Num, Den string
+	Min      float64
+}
+
+// parseRatioGates parses the -mbps-ratio flag: comma-separated
+// 'A/B>=X' specs over the benchmarks' MB/s readings.
+func parseRatioGates(s string) ([]ratioGate, error) {
+	var out []ratioGate
+	for _, spec := range strings.Split(s, ",") {
+		lhs, minStr, ok := strings.Cut(strings.TrimSpace(spec), ">=")
+		if !ok {
+			return nil, fmt.Errorf("throughput ratio %q is not A/B>=X", spec)
+		}
+		num, den, ok := strings.Cut(lhs, "/")
+		if !ok || num == "" || den == "" {
+			return nil, fmt.Errorf("throughput ratio %q: left side is not A/B", spec)
+		}
+		minV, err := strconv.ParseFloat(minStr, 64)
+		if err != nil || minV <= 0 {
+			return nil, fmt.Errorf("throughput ratio %q: bad threshold %q", spec, minStr)
+		}
+		out = append(out, ratioGate{Num: strings.TrimSpace(num), Den: strings.TrimSpace(den), Min: minV})
+	}
+	return out, nil
+}
+
+// gateRatios checks each throughput ratio against the measured MB/s
+// (best run of each side — CI runs each benchmark once, so the spread
+// collapses). A side without an MB/s reading fails the gate.
+func gateRatios(measured map[string]map[string]metricReading, gates []ratioGate) []string {
+	var bad []string
+	for _, g := range gates {
+		numRd, numOK := measured[g.Num]["MB/s"]
+		denRd, denOK := measured[g.Den]["MB/s"]
+		if !numOK || !denOK {
+			for name, ok := range map[string]bool{g.Num: numOK, g.Den: denOK} {
+				if !ok {
+					bad = append(bad, fmt.Sprintf("%s: no MB/s in bench output (renamed? b.SetBytes dropped?)", name))
+				}
+			}
+			continue
+		}
+		if ratio := numRd.Max / denRd.Max; ratio < g.Min {
+			bad = append(bad, fmt.Sprintf("%s/%s = %.2f (%.1f / %.1f MB/s), below required %.2f",
+				g.Num, g.Den, ratio, numRd.Max, denRd.Max, g.Min))
+		}
+	}
+	return bad
+}
+
+// runGoBenchGates applies every requested absolute gate — allocation,
+// bytes-copied, throughput ratio — to one `go test -bench` output file.
+func runGoBenchGates(benchPath, allocSpec, copySpec, ratioSpec string) int {
 	f, err := os.Open(benchPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
 		return 1
 	}
 	defer f.Close()
-	measured, err := parseGoBenchAllocs(bufio.NewScanner(f))
+	metrics, err := parseGoBenchMetrics(bufio.NewScanner(f))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
 		return 1
 	}
-	for name, budget := range budgets {
-		if got, ok := measured[name]; ok {
-			fmt.Printf("bench-trend: %s %d allocs/op (budget %d)\n", name, got, budget)
+
+	var bad []string
+	gates := 0
+	if allocSpec != "" {
+		budgets, err := parseAllocBudgets(allocSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
+			return 1
 		}
+		measured := make(map[string]int64)
+		for name, m := range metrics {
+			if rd, ok := m["allocs/op"]; ok {
+				measured[name] = int64(rd.Max)
+			}
+		}
+		for name, budget := range budgets {
+			if got, ok := measured[name]; ok {
+				fmt.Printf("bench-trend: %s %d allocs/op (budget %d)\n", name, got, budget)
+			}
+		}
+		bad = append(bad, gateAllocs(measured, budgets)...)
+		gates++
 	}
-	if bad := gateAllocs(measured, budgets); len(bad) > 0 {
-		fmt.Fprintf(os.Stderr, "bench-trend: %d allocation budget violation(s):\n", len(bad))
+	if copySpec != "" {
+		budgets, err := parseCopyBudgets(copySpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
+			return 1
+		}
+		for name, budget := range budgets {
+			if rd, ok := metrics[name]["copiedB/frame"]; ok {
+				fmt.Printf("bench-trend: %s %.1f copiedB/frame (budget %.1f)\n", name, rd.Max, budget)
+			}
+		}
+		bad = append(bad, gateCopies(metrics, budgets)...)
+		gates++
+	}
+	if ratioSpec != "" {
+		ratios, err := parseRatioGates(ratioSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
+			return 1
+		}
+		for _, g := range ratios {
+			if n, ok := metrics[g.Num]["MB/s"]; ok {
+				if d, ok := metrics[g.Den]["MB/s"]; ok {
+					fmt.Printf("bench-trend: %s/%s = %.2f (want >= %.2f)\n", g.Num, g.Den, n.Max/d.Max, g.Min)
+				}
+			}
+		}
+		bad = append(bad, gateRatios(metrics, ratios)...)
+		gates++
+	}
+	if gates == 0 {
+		fmt.Fprintln(os.Stderr, "bench-trend: -go-bench needs at least one of -alloc-budget, -copy-budget, -mbps-ratio")
+		return 1
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "bench-trend: %d budget violation(s):\n", len(bad))
 		for _, line := range bad {
 			fmt.Fprintf(os.Stderr, "  %s\n", line)
 		}
 		return 1
 	}
-	fmt.Println("bench-trend: all allocation budgets hold")
+	fmt.Println("bench-trend: all go-bench budgets hold")
 	return 0
 }
 
@@ -185,12 +367,14 @@ func main() {
 	newPath := flag.String("new", "BENCH_ci.json", "current BENCH_ci.json")
 	maxRegress := flag.Float64("max-regress", 0.20, "failure threshold as a fraction (0.20 = +20%)")
 	minSeconds := flag.Float64("min-seconds", 0.01, "skip experiments whose baseline is below this (timing-noise floor)")
-	goBench := flag.String("go-bench", "", "gate allocation budgets against this `go test -bench` output instead of comparing BENCH_ci.json timings")
+	goBench := flag.String("go-bench", "", "gate absolute budgets against this `go test -bench` output instead of comparing BENCH_ci.json timings")
 	allocBudget := flag.String("alloc-budget", "", "comma-separated name=N maximum allocs/op, used with -go-bench")
+	copyBudget := flag.String("copy-budget", "", "comma-separated name=N maximum copiedB/frame, used with -go-bench")
+	mbpsRatio := flag.String("mbps-ratio", "", "comma-separated 'A/B>=X' minimum MB/s ratios between benchmarks, used with -go-bench")
 	flag.Parse()
 
 	if *goBench != "" {
-		os.Exit(runAllocGate(*goBench, *allocBudget))
+		os.Exit(runGoBenchGates(*goBench, *allocBudget, *copyBudget, *mbpsRatio))
 	}
 
 	next, err := load(*newPath)

@@ -43,7 +43,8 @@ goarch: amd64
 pkg: repro/internal/comm
 BenchmarkWirePathAlloc-8            	       3	   1080288 ns/op	        61.67 msg/iter	       9 allocs/op
 BenchmarkWirePathAlloc-8            	       3	   1100000 ns/op	        61.67 msg/iter	      11 allocs/op
-BenchmarkSendBatchTCP-8             	       3	    500000 ns/op	    1164 MB/s	       1 allocs/op
+BenchmarkSendBatchTCP-8             	       3	    500000 ns/op	    1164 MB/s	        21.00 copiedB/frame	       1 allocs/op
+BenchmarkSendBatchSHM-8             	       3	    250000 ns/op	    2910 MB/s	      4117.00 copiedB/frame	       0 allocs/op
 BenchmarkNoAllocsReported-8         	       3	    500000 ns/op
 PASS
 `
@@ -75,6 +76,101 @@ func TestGateAllocs(t *testing.T) {
 	// gate silently.
 	if bad := gateAllocs(measured, map[string]int64{"BenchmarkGone": 5}); len(bad) != 1 {
 		t.Fatalf("missing benchmark not flagged: %v", bad)
+	}
+}
+
+func TestParseGoBenchMetrics(t *testing.T) {
+	got, err := parseGoBenchMetrics(bufio.NewScanner(strings.NewReader(sampleBenchOut)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate runs keep the full spread per unit; the -GOMAXPROCS
+	// suffix is stripped from the name.
+	wp := got["BenchmarkWirePathAlloc"]
+	if wp["allocs/op"].Min != 9 || wp["allocs/op"].Max != 11 {
+		t.Fatalf("allocs/op spread = %+v", wp["allocs/op"])
+	}
+	if got["BenchmarkSendBatchTCP"]["MB/s"].Max != 1164 {
+		t.Fatalf("MB/s = %+v", got["BenchmarkSendBatchTCP"]["MB/s"])
+	}
+	if got["BenchmarkSendBatchTCP"]["copiedB/frame"].Max != 21 {
+		t.Fatalf("copiedB/frame = %+v", got["BenchmarkSendBatchTCP"]["copiedB/frame"])
+	}
+	if m := got["BenchmarkNoAllocsReported"]; len(m) != 1 || m["ns/op"].Max != 500000 {
+		t.Fatalf("ns/op-only benchmark parsed as %v", m)
+	}
+}
+
+func TestGateCopies(t *testing.T) {
+	metrics, err := parseGoBenchMetrics(bufio.NewScanner(strings.NewReader(sampleBenchOut)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := gateCopies(metrics, map[string]float64{"BenchmarkSendBatchTCP": 32}); len(bad) != 0 {
+		t.Fatalf("under budget flagged: %v", bad)
+	}
+	if bad := gateCopies(metrics, map[string]float64{"BenchmarkSendBatchTCP": 20.5}); len(bad) != 1 {
+		t.Fatalf("over budget not flagged: %v", bad)
+	}
+	// A budgeted benchmark missing the metric must fail, not pass
+	// vacuously.
+	if bad := gateCopies(metrics, map[string]float64{"BenchmarkNoAllocsReported": 32}); len(bad) != 1 {
+		t.Fatalf("missing metric not flagged: %v", bad)
+	}
+	if bad := gateCopies(metrics, map[string]float64{"BenchmarkGone": 32}); len(bad) != 1 {
+		t.Fatalf("missing benchmark not flagged: %v", bad)
+	}
+}
+
+func TestParseRatioGates(t *testing.T) {
+	gates, err := parseRatioGates("BenchmarkSendBatchSHM/BenchmarkSendBatchTCP>=2.0")
+	if err != nil || len(gates) != 1 {
+		t.Fatalf("parsed %v, %v", gates, err)
+	}
+	g := gates[0]
+	if g.Num != "BenchmarkSendBatchSHM" || g.Den != "BenchmarkSendBatchTCP" || g.Min != 2.0 {
+		t.Fatalf("gate = %+v", g)
+	}
+	for _, bad := range []string{"nonsense", "a/b>=x", "ab>=2", "/b>=2", "a/>=2", "a/b>=0"} {
+		if _, err := parseRatioGates(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+func TestGateRatios(t *testing.T) {
+	metrics, err := parseGoBenchMetrics(bufio.NewScanner(strings.NewReader(sampleBenchOut)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shmOverTCP := func(min float64) []ratioGate {
+		return []ratioGate{{Num: "BenchmarkSendBatchSHM", Den: "BenchmarkSendBatchTCP", Min: min}}
+	}
+	// 2910/1164 = 2.5: passes >=2.0, fails >=3.0.
+	if bad := gateRatios(metrics, shmOverTCP(2.0)); len(bad) != 0 {
+		t.Fatalf("passing ratio flagged: %v", bad)
+	}
+	if bad := gateRatios(metrics, shmOverTCP(3.0)); len(bad) != 1 {
+		t.Fatalf("failing ratio not flagged: %v", bad)
+	}
+	// Either side missing its MB/s reading fails the gate.
+	if bad := gateRatios(metrics, []ratioGate{{Num: "BenchmarkGone", Den: "BenchmarkSendBatchTCP", Min: 2.0}}); len(bad) != 1 {
+		t.Fatalf("missing numerator not flagged: %v", bad)
+	}
+	if bad := gateRatios(metrics, []ratioGate{{Num: "BenchmarkSendBatchSHM", Den: "BenchmarkNoAllocsReported", Min: 2.0}}); len(bad) != 1 {
+		t.Fatalf("missing denominator not flagged: %v", bad)
+	}
+}
+
+func TestParseCopyBudgets(t *testing.T) {
+	b, err := parseCopyBudgets("BenchmarkSendBatchTCP=32, BenchmarkSendBatchWritev=21.5")
+	if err != nil || b["BenchmarkSendBatchTCP"] != 32 || b["BenchmarkSendBatchWritev"] != 21.5 {
+		t.Fatalf("parsed %v, %v", b, err)
+	}
+	for _, bad := range []string{"nonsense", "a=x", "a=-1"} {
+		if _, err := parseCopyBudgets(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
 	}
 }
 

@@ -3,6 +3,8 @@
 // N poseidon-worker processes wired into one full mesh, streams their
 // output with a per-worker prefix, and fails loudly — killing the
 // survivors — if any worker exits non-zero or the deadline passes.
+// With -transport shm the workers rendezvous over shared-memory rings
+// in a fresh temp directory instead of TCP (Linux only).
 //
 //	poseidon-cluster -n 3 -iters 50 -mode hybrid
 //
@@ -33,6 +35,8 @@ func main() { os.Exit(run()) }
 func run() int {
 	n := flag.Int("n", 3, "number of worker processes")
 	workerBin := flag.String("worker", "", "path to the poseidon-worker binary (default: auto-detect)")
+	transportKind := flag.String("transport", "tcp", "mesh transport forwarded to every worker: tcp, or shm (shared-memory rings, Linux only)")
+	shmDir := flag.String("shm-dir", "", "rendezvous directory for -transport shm (default: a fresh temp dir, removed on exit)")
 	basePort := flag.Int("base-port", 0, "first TCP port; workers use base-port..base-port+n-1 (0 = pick free ports)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "kill the cluster if it runs longer than this")
 	iters := flag.Int("iters", 50, "training iterations")
@@ -64,6 +68,18 @@ func run() int {
 		return 1
 	}
 	peerList := strings.Join(addrs, ",")
+	if *transportKind == "shm" && *shmDir == "" {
+		// The shm rendezvous directory must be fresh per run; a temp dir
+		// owned by the launcher guarantees that and cleans up the ring
+		// files when the cluster exits.
+		dir, err := os.MkdirTemp("", "poseidon-shm")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster: shm dir: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		*shmDir = dir
+	}
 	name, cleanup, err := resolveWorker(*workerBin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cluster: locate worker: %v\n", err)
@@ -85,6 +101,10 @@ func run() int {
 			"-lr", fmt.Sprint(*lr), "-mode", *mode, "-seed", fmt.Sprint(*seed),
 			"-chunk", fmt.Sprint(*chunk), "-print-every", fmt.Sprint(*printEvery),
 			"-max-frame", fmt.Sprint(*maxFrame),
+			"-transport", *transportKind,
+		}
+		if *shmDir != "" {
+			args = append(args, "-shm-dir", *shmDir)
 		}
 		if *overlap {
 			args = append(args, "-overlap")

@@ -1,6 +1,8 @@
 // Command poseidon-worker is one node of a real distributed training
-// cluster on the functional plane: it joins a TCP mesh through the
-// poseidon.Session facade, trains a real CNN data-parallel with the
+// cluster on the functional plane: it joins a TCP mesh — or, with
+// -transport shm, a shared-memory ring mesh for co-located workers
+// (Linux only) — through the poseidon.Session facade, trains a real
+// CNN data-parallel with the
 // paper's protocol (sharded BSP KV store + sufficient-factor
 // broadcasting), and prints its loss curve. With -autoplan it routes
 // every tensor through the paper's cost model (Algorithm 1 via
@@ -47,7 +49,9 @@ import (
 
 func main() {
 	id := flag.Int("id", 0, "this worker's id (0-based)")
-	peers := flag.String("peers", "", "comma-separated host:port of every worker, in id order")
+	peers := flag.String("peers", "", "comma-separated host:port of every worker, in id order (with -transport shm the addresses are unused but the list still sizes the cluster)")
+	transportKind := flag.String("transport", "tcp", "mesh transport: tcp, or shm (shared-memory rings for co-located workers, Linux only; requires -shm-dir)")
+	shmDir := flag.String("shm-dir", "", "rendezvous directory for -transport shm; every worker of the run must name the same fresh directory")
 	iters := flag.Int("iters", 50, "training iterations")
 	batch := flag.Int("batch", 8, "per-worker batch size")
 	lr := flag.Float64("lr", 0.1, "learning rate")
@@ -95,9 +99,21 @@ func main() {
 	var mtr *metrics.Comm
 	full := data.Synthetic(*seed, 1280, 10, 3, 8, 8, 0.35)
 	trainSet, testSet := full.Split(1024)
-	b := poseidon.NewSession().
-		TCP(*id, addrs, transport.TCPOptions{MaxFrameBytes: *maxFrame}).
-		Iterations(*iters).Batch(*batch).LearningRate(*lr).Seed(*seed).
+	b := poseidon.NewSession()
+	switch *transportKind {
+	case "tcp":
+		b.TCP(*id, addrs, transport.TCPOptions{MaxFrameBytes: *maxFrame})
+	case "shm":
+		if *shmDir == "" {
+			fmt.Fprintln(os.Stderr, "-transport shm requires -shm-dir")
+			os.Exit(1)
+		}
+		b.SHM(*id, len(addrs), transport.SHMOptions{Dir: *shmDir, MaxFrameBytes: *maxFrame})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q (want tcp|shm)\n", *transportKind)
+		os.Exit(1)
+	}
+	b.Iterations(*iters).Batch(*batch).LearningRate(*lr).Seed(*seed).
 		Mode(m).
 		Overlap(*overlap).ChunkElems(*chunk).
 		Model(func(rng *rand.Rand) *autodiff.Network {

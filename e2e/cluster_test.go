@@ -1,9 +1,11 @@
-// Package e2e proves the TCP transport end to end with real processes:
-// it builds poseidon-worker and poseidon-cluster, runs an N-process
-// training cluster over loopback TCP, checks the losses against an
-// in-process ChanMesh run of the identical configuration, and verifies
-// that killing a worker mid-run surfaces an error on every survivor
-// within a deadline instead of hanging the cluster.
+// Package e2e proves the real transports end to end with real
+// processes: it builds poseidon-worker and poseidon-cluster, runs an
+// N-process training cluster over loopback TCP, checks the losses
+// against an in-process ChanMesh run of the identical configuration,
+// re-runs the cluster over shared-memory rings (-transport shm) and
+// demands byte-identical replicas, and verifies that killing a worker
+// mid-run surfaces an error on every survivor within a deadline
+// instead of hanging the cluster.
 package e2e
 
 import (

@@ -20,6 +20,10 @@ type metricsSnapshot struct {
 	Wire struct {
 		FramesSent int64 `json:"frames_sent"`
 		BytesSent  int64 `json:"bytes_sent"`
+		// BytesCopiedPerFrame is the transport's own copying per frame
+		// sent — on the vectored-write TCP path this is the 4-byte
+		// length prefix plus the 17-byte header, never the payload.
+		BytesCopiedPerFrame float64 `json:"bytes_copied_per_frame"`
 	} `json:"wire"`
 	Params []struct {
 		Index int    `json:"index"`
@@ -157,6 +161,12 @@ func TestAutoplanMatchesChanMeshAndBeatsPurePS(t *testing.T) {
 		}
 		if hybridSnaps[id].AllocsPerIter <= 0 {
 			t.Fatalf("worker %d: METRICS missing allocs_per_iter", id)
+		}
+		// Zero-copy egress on a live cluster: the TCP transport's own
+		// copying must be the 21-byte prefix+header per frame, nothing
+		// of the payload (32 B leaves headroom for goodbye frames).
+		if c := hybridSnaps[id].Wire.BytesCopiedPerFrame; c <= 0 || c > 32 {
+			t.Fatalf("worker %d: bytes_copied_per_frame = %.1f, want header-only (0 < c <= 32) — payload bytes leaking into transport scratch?", id, c)
 		}
 		if hybridSnaps[id].Totals.SFBSavingsBytes <= 0 {
 			t.Fatalf("worker %d: hybrid snapshot shows no SFB savings", id)

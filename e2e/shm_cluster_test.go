@@ -1,0 +1,69 @@
+package e2e
+
+import (
+	"fmt"
+	"math"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"testing"
+)
+
+// TestSHMClusterMatchesTCP trains the identical 3-process cluster twice
+// — once over loopback TCP, once over -transport shm (shared-memory
+// rings) — and demands the transports be interchangeable: per-worker
+// losses equal to 1e-6 and byte-identical final replicas across BOTH
+// runs. The rings carry real multi-megabyte tensor traffic here, across
+// real process boundaries, not the in-process shortcuts of the unit
+// suite.
+func TestSHMClusterMatchesTCP(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("shared-memory transport is Linux-only")
+	}
+	bin := buildBinaries(t)
+	const workers, iters = 3, 12
+	const seed = 42
+
+	runCluster := func(transport string) string {
+		t.Helper()
+		out, err := exec.Command(filepath.Join(bin, "poseidon-cluster"),
+			"-worker", filepath.Join(bin, "poseidon-worker"),
+			"-n", fmt.Sprint(workers), "-iters", fmt.Sprint(iters),
+			"-batch", "8", "-lr", "0.1", "-mode", "ps", "-seed", fmt.Sprint(seed),
+			"-transport", transport,
+			"-dump-losses", "-print-every", "0", "-timeout", "3m").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s cluster run: %v\n%s", transport, err, out)
+		}
+		return string(out)
+	}
+
+	tcpOut := runCluster("tcp")
+	shmOut := runCluster("shm")
+
+	for id := 0; id < workers; id++ {
+		tcpLosses := parseLosses(t, tcpOut, id, iters)
+		shmLosses := parseLosses(t, shmOut, id, iters)
+		for i := range tcpLosses {
+			if d := math.Abs(shmLosses[i] - tcpLosses[i]); d > 1e-6 {
+				t.Fatalf("worker %d iter %d: shm loss %.12g vs tcp %.12g (|d|=%g > 1e-6)",
+					id, i, shmLosses[i], tcpLosses[i], d)
+			}
+		}
+	}
+
+	// Byte-identical replicas: within the shm run, and against the TCP
+	// run — the transport must not perturb a single parameter bit.
+	re := regexp.MustCompile(`\[w\d+\] PARAMS ([0-9a-f]{16})`)
+	tcpDigests := re.FindAllStringSubmatch(tcpOut, -1)
+	shmDigests := re.FindAllStringSubmatch(shmOut, -1)
+	if len(tcpDigests) != workers || len(shmDigests) != workers {
+		t.Fatalf("found %d tcp / %d shm PARAMS digests, want %d each", len(tcpDigests), len(shmDigests), workers)
+	}
+	for _, d := range shmDigests {
+		if d[1] != tcpDigests[0][1] {
+			t.Fatalf("replicas diverged between transports: tcp %s vs shm digests %v", tcpDigests[0][1], shmDigests)
+		}
+	}
+}

@@ -2,27 +2,16 @@ package transport
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
-// BenchmarkSendBatchTCP measures the TCP fast path for chunked tensor
-// pushes: one SendBatch of batchMsgs frames (4 KiB payload each) from
-// node 0 to node 1 per op, with the receiver draining concurrently.
-// Both endpoints live in this process, so allocs/op covers the whole
-// wire path — encode, the coalesced single-write send, and the read
-// loop's frame leasing on the far side.
-func BenchmarkSendBatchTCP(b *testing.B) {
-	const batchMsgs = 16
-	const payloadBytes = 4096
-
-	addrs := freeAddrs(b, 2)
-	ms := dialMeshOpts(b, addrs, TCPOptions{})
-	defer func() {
-		for _, m := range ms {
-			m.Close()
-		}
-	}()
-
+// runSendBatchBench drives one SendBatch of batchMsgs frames per op
+// from ms[0] to ms[1] with the receiver draining concurrently, and
+// reports throughput plus copiedB/frame — the bytes the transport
+// itself copied per frame, fed by the mesh's OnCopy hook. CI budgets
+// both numbers via bench-trend.
+func runSendBatchBench(b *testing.B, ms []Mesh, copied *atomic.Int64, batchMsgs, payloadBytes int) {
 	payload := make([]byte, payloadBytes)
 	for i := range payload {
 		payload[i] = byte(i)
@@ -48,6 +37,7 @@ func BenchmarkSendBatchTCP(b *testing.B) {
 
 	b.ReportAllocs()
 	b.SetBytes(int64(batchMsgs * payloadBytes))
+	copied.Store(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := ms[0].SendBatch(1, msgs); err != nil {
@@ -55,4 +45,50 @@ func BenchmarkSendBatchTCP(b *testing.B) {
 		}
 	}
 	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(copied.Load())/float64(b.N*batchMsgs), "copiedB/frame")
+}
+
+func dialBenchTCP(b *testing.B, copied *atomic.Int64) []Mesh {
+	addrs := freeAddrs(b, 2)
+	tcp := dialMeshOpts(b, addrs, TCPOptions{OnCopy: func(n int) { copied.Add(int64(n)) }})
+	ms := make([]Mesh, len(tcp))
+	for i, m := range tcp {
+		ms[i] = m
+	}
+	return ms
+}
+
+// BenchmarkSendBatchTCP measures the TCP fast path for chunked tensor
+// pushes: one SendBatch of 16 frames (4 KiB payload each) from node 0
+// to node 1 per op, with the receiver draining concurrently. Both
+// endpoints live in this process, so allocs/op covers the whole wire
+// path — encode, the vectored writev send, and the read loop's frame
+// leasing on the far side. copiedB/frame must stay at prefix+header
+// (21 bytes): payloads ride in the writev iovec, never through
+// transport scratch.
+func BenchmarkSendBatchTCP(b *testing.B) {
+	var copied atomic.Int64
+	ms := dialBenchTCP(b, &copied)
+	defer func() {
+		for _, m := range ms {
+			m.Close()
+		}
+	}()
+	runSendBatchBench(b, ms, &copied, 16, 4096)
+}
+
+// BenchmarkSendBatchWritev is the large-tensor shape of the same path:
+// 4 frames of 1 MiB per op. Here the zero-copy egress matters most —
+// the kernel pulls 4 MiB straight from the caller's payload buffers
+// while the transport copies only 84 header bytes per batch.
+func BenchmarkSendBatchWritev(b *testing.B) {
+	var copied atomic.Int64
+	ms := dialBenchTCP(b, &copied)
+	defer func() {
+		for _, m := range ms {
+			m.Close()
+		}
+	}()
+	runSendBatchBench(b, ms, &copied, 4, 1<<20)
 }

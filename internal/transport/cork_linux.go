@@ -1,0 +1,33 @@
+//go:build linux
+
+package transport
+
+import (
+	"net"
+	"syscall"
+)
+
+// setCork toggles TCP_CORK on the connection: while corked, the kernel
+// holds partial segments and sends only full MSS-sized ones, so a
+// multi-iovec batch whose writev got split across syscalls still
+// leaves the NIC as dense segments. Errors are deliberately ignored —
+// corking is a throughput hint, and a connection that cannot take the
+// option (already dying, not a TCPConn) must not fail the write that
+// follows.
+func setCork(c net.Conn, on bool) {
+	tc, ok := c.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	raw, err := tc.SyscallConn()
+	if err != nil {
+		return
+	}
+	v := 0
+	if on {
+		v = 1
+	}
+	raw.Control(func(fd uintptr) {
+		syscall.SetsockoptInt(int(fd), syscall.IPPROTO_TCP, syscall.TCP_CORK, v)
+	})
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package transport
+
+import "net"
+
+// setCork is a no-op off Linux: TCP_CORK is a Linux socket option, and
+// the vectored write path is already a single syscall in the common
+// case, so there is nothing to emulate.
+func setCork(net.Conn, bool) {}

@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"net"
+	"sync"
+)
+
+// Shared egress/ingress plumbing for the networked meshes (TCPMesh,
+// SHMMesh): pooled iovec slices for vectored writes and the unbounded
+// self-addressed loopback queue.
+
+// vecPool recycles the [][]byte backing arrays handed to writev as
+// net.Buffers. Buffers.WriteTo consumes the slice it is given (and nils
+// entries as they drain), so callers keep the original slice header and
+// return it length-0 — the backing array's capacity is what the pool
+// preserves.
+var vecPool = sync.Pool{New: func() any { return new(net.Buffers) }}
+
+func getVec() *net.Buffers {
+	vp := vecPool.Get().(*net.Buffers)
+	*vp = (*vp)[:0]
+	return vp
+}
+
+func putVec(vp *net.Buffers, backing net.Buffers) {
+	*vp = backing[:0]
+	vecPool.Put(vp)
+}
+
+// loopQueue is the unbounded queue self-addressed messages ride instead
+// of a transport's bounded network inbox. The comm layer's receive
+// goroutine broadcasts to itself (e.g. a shard sending fresh parameters
+// to its own worker); if that send could block on a full inbox whose
+// only consumer is that same goroutine, a healthy mesh would deadlock.
+// Self-addressed traffic never touches a socket or ring, so the
+// backpressure the bounded inbox provides does not apply.
+type loopQueue struct {
+	mu sync.Mutex
+	q  []Message
+	// sig has capacity 1: "the queue may be non-empty". Receivers select
+	// on it alongside their network wakeups.
+	sig chan struct{}
+}
+
+func newLoopQueue() *loopQueue {
+	return &loopQueue{sig: make(chan struct{}, 1)}
+}
+
+// push enqueues a self-addressed message, taking the queue's own
+// reference on the payload lease (released by the consumer), and never
+// blocks.
+func (l *loopQueue) push(msg Message) {
+	msg.retainLease()
+	l.mu.Lock()
+	l.q = append(l.q, msg)
+	l.mu.Unlock()
+	select {
+	case l.sig <- struct{}{}:
+	default:
+	}
+}
+
+// pop dequeues the oldest message, re-arming the signal if more remain
+// (so concurrent Recv callers are not left asleep).
+func (l *loopQueue) pop() (Message, bool) {
+	l.mu.Lock()
+	if len(l.q) == 0 {
+		l.mu.Unlock()
+		return Message{}, false
+	}
+	msg := l.q[0]
+	l.q = l.q[1:]
+	rearm := len(l.q) > 0
+	l.mu.Unlock()
+	if rearm {
+		select {
+		case l.sig <- struct{}{}:
+		default:
+		}
+	}
+	return msg, true
+}

@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+)
+
+// Shared-memory ring transport for co-located workers.
+//
+// SHMMesh connects the n processes of a single-host cluster through
+// mmap'd ring buffers instead of loopback TCP: one single-producer /
+// single-consumer ring per *directed* peer pair, laid out in a file
+// under a shared rendezvous directory. A frame is written into the
+// ring exactly once (prefix+header+payload) and read out of it exactly
+// once — no socket, no syscall per frame, no kernel copy in between.
+//
+// Layout of ring-<from>-<to>.shm:
+//
+//	offset 0    head  u64  consumer cursor, written only by the receiver
+//	offset 64   tail  u64  producer cursor, written only by the sender
+//	offset 128  flags u32  bit 0: sender closed (graceful goodbye)
+//	                       bit 1: receiver detached
+//	offset 192  data  RingBytes (power of two)
+//
+// head and tail are free-running byte cursors (position = cursor &
+// (RingBytes-1)), cache-line separated so the producer and consumer
+// never write the same line. Each side keeps a cached copy of the
+// other's cursor and refreshes it only when the ring looks full
+// (sender) or empty (receiver), so the steady-state hot path touches
+// one shared cache line per side. Waiting sides spin briefly
+// (runtime.Gosched) and then park with escalating sleeps — no futex,
+// no condition variable, and no busy-burning a core on an idle link.
+//
+// Liveness is carried by file locks rather than heartbeats: every node
+// holds an exclusive lock on peer-<id>.lock for its whole lifetime,
+// taken with open-file-description (OFD) semantics so two endpoints in
+// one process still conflict. The kernel drops the lock on any exit,
+// including SIGKILL. A peer whose lock is free but whose goodbye flag
+// is unset has crashed: blocked senders and idle receivers probe the
+// lock at a low cadence and surface *ErrPeerDown, exactly like a TCP
+// connection reset. A set goodbye flag with the ring drained is a
+// graceful departure, exactly like the TCP goodbye frame.
+//
+// The rendezvous directory must be fresh per cluster run (stale
+// cursors from a previous run are not detected) and shared by all
+// nodes; every node must use the same RingBytes.
+
+// DefaultSHMRingBytes is the per-directed-pair ring capacity unless
+// SHMOptions overrides it. 4 MiB absorbs a full batch of chunked
+// tensor pushes without the sender ever waiting on the consumer in the
+// benchmarks, while keeping an 8-node mesh's total mapping modest.
+const DefaultSHMRingBytes = 1 << 22
+
+// SHMOptions tunes an SHMMesh. The zero value of everything but Dir
+// selects production defaults.
+type SHMOptions struct {
+	// Dir is the rendezvous directory holding the ring and lock files.
+	// Required; all nodes of the mesh must name the same directory, and
+	// it must be fresh for each cluster run.
+	Dir string
+	// RingBytes is the data capacity of each directed ring. Must be a
+	// power of two. Default DefaultSHMRingBytes.
+	RingBytes int
+	// MaxFrameBytes caps the frame body (header + payload), enforced on
+	// send and on receive like TCPOptions.MaxFrameBytes. A frame must
+	// also fit the ring, so the effective cap is min(MaxFrameBytes,
+	// RingBytes-4). Default min(DefaultMaxFrameBytes, RingBytes-4).
+	MaxFrameBytes int
+	// SetupTimeout bounds mesh formation: how long to wait for every
+	// peer to create and lock its liveness file. Default 30s.
+	SetupTimeout time.Duration
+	// InboxDepth bounds the inbound message queue, exactly like
+	// TCPOptions.InboxDepth (ring backpressure does the rest). Loopback
+	// bypasses the bound. Default 1024.
+	InboxDepth int
+	// OnCopy, when set, receives the number of bytes the transport
+	// copied for each Send/SendBatch call (loopback excluded). Unlike
+	// the vectored TCP path, a shared-memory ring *is* the copy: the
+	// whole record (prefix + header + payload) lands here once. Must be
+	// safe for concurrent use.
+	OnCopy func(bytes int)
+}
+
+func (o SHMOptions) withDefaults() (SHMOptions, error) {
+	if o.Dir == "" {
+		return o, fmt.Errorf("transport: SHMOptions.Dir is required")
+	}
+	if o.RingBytes == 0 {
+		o.RingBytes = DefaultSHMRingBytes
+	}
+	if o.RingBytes < 4096 || o.RingBytes&(o.RingBytes-1) != 0 {
+		return o, fmt.Errorf("transport: RingBytes %d must be a power of two >= 4096", o.RingBytes)
+	}
+	if o.MaxFrameBytes <= 0 {
+		o.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if o.MaxFrameBytes > o.RingBytes-4 {
+		o.MaxFrameBytes = o.RingBytes - 4
+	}
+	if o.SetupTimeout <= 0 {
+		o.SetupTimeout = 30 * time.Second
+	}
+	if o.InboxDepth <= 0 {
+		o.InboxDepth = 1024
+	}
+	return o, nil
+}

@@ -1,0 +1,29 @@
+//go:build linux
+
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkSendBatchSHM mirrors BenchmarkSendBatchTCP over the
+// shared-memory ring transport: one SendBatch of 16 frames (4 KiB
+// payload each) per op, receiver draining concurrently. SHM copies
+// each whole record into the ring (no kernel socket path to hand an
+// iovec to), so copiedB/frame sits near the record size — the win is
+// MB/s, which CI gates at >= 2x the TCP benchmark via bench-trend.
+func BenchmarkSendBatchSHM(b *testing.B) {
+	var copied atomic.Int64
+	shm := shmMeshes(b, 2, SHMOptions{OnCopy: func(n int) { copied.Add(int64(n)) }})
+	ms := make([]Mesh, len(shm))
+	for i, m := range shm {
+		ms[i] = m
+	}
+	defer func() {
+		for _, m := range ms {
+			m.Close()
+		}
+	}()
+	runSendBatchBench(b, ms, &copied, 16, 4096)
+}

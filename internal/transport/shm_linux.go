@@ -1,0 +1,636 @@
+//go:build linux
+
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// Ring header layout (see shm.go for the full design). The cursors sit
+// on separate cache lines so the producer's tail stores never bounce
+// the consumer's head line and vice versa.
+const (
+	shmHeadOff  = 0
+	shmTailOff  = 64
+	shmFlagsOff = 128
+	shmHdrSize  = 192
+
+	shmFlagSenderClosed   = 1 << 0 // graceful goodbye from the producer
+	shmFlagReceiverClosed = 1 << 1 // consumer detached; producers must stop
+)
+
+// Waiting sides yield the scheduler a bounded number of times (cheap,
+// keeps tail latency low when the peer is one context switch away),
+// then park with exponentially growing sleeps. Only once a waiter has
+// been parked ~shmProbeEvery does it pay for a liveness probe — a
+// healthy hot ring never opens the lock file at all.
+const (
+	shmSpinYields = 128
+	shmParkMin    = 20 * time.Microsecond
+	shmParkMax    = time.Millisecond
+	shmProbeEvery = 10 * time.Millisecond
+)
+
+// Open-file-description lock commands (fcntl). OFD locks are owned by
+// the open file description, not the process: the kernel drops them on
+// any exit path including SIGKILL, two endpoints inside one test
+// process still conflict, and F_OFD_GETLK probes without acquiring.
+// The syscall package does not export these; values are Linux ABI.
+const (
+	fcntlOFDGetLk = 36 // F_OFD_GETLK
+	fcntlOFDSetLk = 37 // F_OFD_SETLK
+)
+
+// shmRing is one mapped directed ring. The mesh that sends on it uses
+// cachedHead; the mesh that receives uses cachedTail; nothing uses
+// both, so a ring object is never shared between roles.
+type shmRing struct {
+	f    *os.File
+	mem  []byte // full mapping: header + data
+	data []byte
+	size uint64
+	mask uint64
+
+	cachedHead uint64 // producer's last view of the consumer cursor
+	cachedTail uint64 // consumer's last view of the producer cursor
+}
+
+func (r *shmRing) headPtr() *uint64  { return (*uint64)(unsafe.Pointer(&r.mem[shmHeadOff])) }
+func (r *shmRing) tailPtr() *uint64  { return (*uint64)(unsafe.Pointer(&r.mem[shmTailOff])) }
+func (r *shmRing) flagsPtr() *uint32 { return (*uint32)(unsafe.Pointer(&r.mem[shmFlagsOff])) }
+
+// copyIn writes b into the data region at free-running position pos,
+// wrapping at the ring boundary.
+func (r *shmRing) copyIn(pos uint64, b []byte) {
+	off := pos & r.mask
+	n := copy(r.data[off:], b)
+	if n < len(b) {
+		copy(r.data, b[n:])
+	}
+}
+
+// copyOut reads len(b) bytes from position pos, wrapping at the
+// boundary.
+func (r *shmRing) copyOut(pos uint64, b []byte) {
+	off := pos & r.mask
+	n := copy(b, r.data[off:])
+	if n < len(b) {
+		copy(b[n:], r.data)
+	}
+}
+
+func openShmRing(path string, ringBytes int) (*shmRing, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("transport: shm ring %s: %w", path, err)
+	}
+	total := shmHdrSize + ringBytes
+	// Both ends race to create and size the file; Truncate to the same
+	// length is idempotent and extension zero-fills, so whoever wins,
+	// cursors and flags start at zero.
+	if err := f.Truncate(int64(total)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("transport: shm ring %s: truncate: %w", path, err)
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, total, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("transport: shm ring %s: mmap: %w", path, err)
+	}
+	return &shmRing{
+		f:    f,
+		mem:  mem,
+		data: mem[shmHdrSize:],
+		size: uint64(ringBytes),
+		mask: uint64(ringBytes) - 1,
+	}, nil
+}
+
+func (r *shmRing) unmap() {
+	syscall.Munmap(r.mem)
+	r.f.Close()
+}
+
+// shmWaiter implements spin-then-park for one wait episode: bounded
+// scheduler yields, then exponentially growing sleeps, reporting when
+// enough parked time has accumulated to justify a liveness probe.
+type shmWaiter struct {
+	spins int
+	park  time.Duration
+	idle  time.Duration
+}
+
+// pause blocks briefly and reports whether the caller should probe the
+// peer's liveness lock now.
+func (w *shmWaiter) pause() bool {
+	if w.spins < shmSpinYields {
+		w.spins++
+		runtime.Gosched()
+		return false
+	}
+	if w.park == 0 {
+		w.park = shmParkMin
+	} else if w.park < shmParkMax {
+		w.park *= 2
+	}
+	time.Sleep(w.park)
+	w.idle += w.park
+	if w.idle >= shmProbeEvery {
+		w.idle = 0
+		return true
+	}
+	return false
+}
+
+func (w *shmWaiter) reset() { *w = shmWaiter{} }
+
+// SHMMesh is the shared-memory transport for co-located workers: a
+// full mesh over mmap'd single-producer/single-consumer rings, one per
+// directed peer pair, with OFD-lock liveness detection. See the
+// package comment in shm.go for the design. It satisfies Mesh with the
+// same failure semantics as TCPMesh: link failures surface from Recv
+// (and blocked sends) as *ErrPeerDown, Close is graceful and
+// idempotent.
+type SHMMesh struct {
+	self int
+	n    int
+	opts SHMOptions
+
+	egress   []*shmRing // indexed by peer; nil at self
+	ingress  []*shmRing
+	egressMu []sync.Mutex
+
+	lock *os.File // held OFD write lock = this node is alive
+
+	inbox chan Message
+	loop  *loopQueue
+
+	// mapMu guards the mappings' validity: every ring access holds it
+	// for reading; the post-Close unmapper takes it for writing once
+	// all readers and senders have observed closed and drained out.
+	mapMu sync.RWMutex
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	down     chan struct{}
+	downOnce sync.Once
+	downErr  error
+
+	wg sync.WaitGroup
+}
+
+// NewSHMMesh joins a mesh of n co-located nodes as node self,
+// rendezvousing through opts.Dir. It blocks until every peer has
+// created and locked its liveness file, bounded by the setup timeout.
+func NewSHMMesh(self, n int, opts SHMOptions) (*SHMMesh, error) {
+	if n <= 0 || self < 0 || self >= n {
+		return nil, fmt.Errorf("transport: self %d out of range for %d nodes", self, n)
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("transport: shm dir: %w", err)
+	}
+	m := &SHMMesh{
+		self:     self,
+		n:        n,
+		opts:     opts,
+		egress:   make([]*shmRing, n),
+		ingress:  make([]*shmRing, n),
+		egressMu: make([]sync.Mutex, n),
+		inbox:    make(chan Message, opts.InboxDepth),
+		loop:     newLoopQueue(),
+		closed:   make(chan struct{}),
+		down:     make(chan struct{}),
+	}
+
+	lockPath := filepath.Join(opts.Dir, shmLockName(self))
+	lf, err := os.OpenFile(lockPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("transport: shm liveness lock: %w", err)
+	}
+	lk := syscall.Flock_t{Type: syscall.F_WRLCK}
+	if err := syscall.FcntlFlock(lf.Fd(), fcntlOFDSetLk, &lk); err != nil {
+		lf.Close()
+		return nil, fmt.Errorf("transport: node %d already running in %s (liveness lock held): %w", self, opts.Dir, err)
+	}
+	m.lock = lf
+
+	fail := func(err error) (*SHMMesh, error) {
+		for _, rs := range [2][]*shmRing{m.egress, m.ingress} {
+			for _, r := range rs {
+				if r != nil {
+					r.unmap()
+				}
+			}
+		}
+		lf.Close()
+		return nil, err
+	}
+	for peer := 0; peer < n; peer++ {
+		if peer == self {
+			continue
+		}
+		eg, err := openShmRing(filepath.Join(opts.Dir, shmRingName(self, peer)), opts.RingBytes)
+		if err != nil {
+			return fail(err)
+		}
+		m.egress[peer] = eg
+		in, err := openShmRing(filepath.Join(opts.Dir, shmRingName(peer, self)), opts.RingBytes)
+		if err != nil {
+			return fail(err)
+		}
+		m.ingress[peer] = in
+	}
+	if err := m.awaitPeers(time.Now().Add(opts.SetupTimeout)); err != nil {
+		return fail(err)
+	}
+	for peer := 0; peer < n; peer++ {
+		if peer == self {
+			continue
+		}
+		m.wg.Add(1)
+		go m.runReader(peer, m.ingress[peer])
+	}
+	return m, nil
+}
+
+func shmRingName(from, to int) string { return fmt.Sprintf("ring-%d-%d.shm", from, to) }
+func shmLockName(id int) string       { return fmt.Sprintf("peer-%d.lock", id) }
+
+// peerAlive probes whether the peer currently holds its liveness lock.
+// F_OFD_GETLK tests without acquiring, so a probe can never disturb a
+// starting peer's own acquisition.
+func (m *SHMMesh) peerAlive(peer int) bool {
+	f, err := os.OpenFile(filepath.Join(m.opts.Dir, shmLockName(peer)), os.O_RDWR, 0)
+	if err != nil {
+		return false // not created yet, or gone
+	}
+	defer f.Close()
+	lk := syscall.Flock_t{Type: syscall.F_WRLCK}
+	if err := syscall.FcntlFlock(f.Fd(), fcntlOFDGetLk, &lk); err != nil {
+		return false
+	}
+	return lk.Type != syscall.F_UNLCK
+}
+
+// awaitPeers is the setup barrier: every peer must be holding its
+// liveness lock before any traffic flows.
+func (m *SHMMesh) awaitPeers(deadline time.Time) error {
+	for peer := 0; peer < m.n; peer++ {
+		if peer == m.self {
+			continue
+		}
+		for !m.peerAlive(peer) {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("transport: shm setup: peer %d never appeared in %s", peer, m.opts.Dir)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// peerDown records the first link failure; see TCPMesh.peerDown.
+func (m *SHMMesh) peerDown(peer int, cause error) {
+	m.downOnce.Do(func() {
+		m.downErr = &ErrPeerDown{Peer: peer, Cause: cause}
+		close(m.down)
+	})
+}
+
+// Self returns this endpoint's node id.
+func (m *SHMMesh) Self() int { return m.self }
+
+// N returns the mesh size.
+func (m *SHMMesh) N() int { return m.n }
+
+// checkFrameSize rejects oversized payloads at the sender; identical
+// policy to TCPMesh (loopback included).
+func (m *SHMMesh) checkFrameSize(to int, msg Message) error {
+	if len(msg.Payload) > m.opts.MaxFrameBytes-headerLen {
+		return fmt.Errorf("transport: %d-byte payload to peer %d exceeds MaxFrameBytes %d",
+			len(msg.Payload), to, m.opts.MaxFrameBytes)
+	}
+	return nil
+}
+
+// loopback queues a self-addressed message; see TCPMesh.loopback for
+// why it must never block and why frame bounds still apply.
+func (m *SHMMesh) loopback(msg Message) error {
+	if err := m.checkFrameSize(m.self, msg); err != nil {
+		return err
+	}
+	select {
+	case <-m.closed:
+		return ErrClosed
+	default:
+	}
+	m.loop.push(msg)
+	return nil
+}
+
+// writeRecord copies one frame into the egress ring to peer `to` and
+// publishes it by advancing tail. Caller holds egressMu[to] and the
+// map read lock. Blocks while the ring is full, bailing out if the
+// mesh closes, the receiver detaches, or the peer's liveness lock
+// drops (crash).
+func (m *SHMMesh) writeRecord(to int, r *shmRing, msg Message) error {
+	need := uint64(4 + headerLen + len(msg.Payload))
+	tail := atomic.LoadUint64(r.tailPtr())
+	var w shmWaiter
+	for tail+need-r.cachedHead > r.size {
+		r.cachedHead = atomic.LoadUint64(r.headPtr())
+		if tail+need-r.cachedHead <= r.size {
+			break
+		}
+		if atomic.LoadUint32(r.flagsPtr())&shmFlagReceiverClosed != 0 {
+			return &ErrPeerDown{Peer: to, Cause: errors.New("peer closed its endpoint")}
+		}
+		select {
+		case <-m.closed:
+			return ErrClosed
+		default:
+		}
+		if w.pause() && !m.peerAlive(to) {
+			// The flag store precedes the lock release in Close, so a
+			// freed lock with no flag set is a crash, not a race.
+			if atomic.LoadUint32(r.flagsPtr())&shmFlagReceiverClosed != 0 {
+				return &ErrPeerDown{Peer: to, Cause: errors.New("peer closed its endpoint")}
+			}
+			err := errors.New("liveness lock released without goodbye (peer crashed?)")
+			m.peerDown(to, err)
+			return &ErrPeerDown{Peer: to, Cause: err}
+		}
+	}
+	var hdr [4 + headerLen]byte
+	b := appendPrefixedHeader(hdr[:0], msg)
+	r.copyIn(tail, b)
+	if len(msg.Payload) > 0 {
+		r.copyIn(tail+uint64(len(b)), msg.Payload)
+	}
+	// Publish only after the record is fully in place: the consumer
+	// acquires via this tail load, so it can never observe a torn frame.
+	atomic.StoreUint64(r.tailPtr(), tail+need)
+	return nil
+}
+
+// Send delivers msg to node `to` (loopback short-circuits the ring).
+func (m *SHMMesh) Send(to int, msg Message) error {
+	msg.From = int32(m.self)
+	if to == m.self {
+		return m.loopback(msg)
+	}
+	if to < 0 || to >= m.n {
+		return fmt.Errorf("transport: no ring to %d", to)
+	}
+	if err := m.checkFrameSize(to, msg); err != nil {
+		return err
+	}
+	m.mapMu.RLock()
+	defer m.mapMu.RUnlock()
+	select {
+	case <-m.closed:
+		return ErrClosed
+	default:
+	}
+	m.egressMu[to].Lock()
+	err := m.writeRecord(to, m.egress[to], msg)
+	m.egressMu[to].Unlock()
+	if err == nil && m.opts.OnCopy != nil {
+		m.opts.OnCopy(4 + headerLen + len(msg.Payload))
+	}
+	return err
+}
+
+// SendBatch writes all frames into the ring under one lock
+// acquisition. Frames publish individually (a batch larger than the
+// ring must still flow), but the consumer sees them in order.
+func (m *SHMMesh) SendBatch(to int, msgs []Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	if to == m.self {
+		for _, msg := range msgs {
+			msg.From = int32(m.self)
+			if err := m.loopback(msg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if to < 0 || to >= m.n {
+		return fmt.Errorf("transport: no ring to %d", to)
+	}
+	for _, msg := range msgs {
+		if err := m.checkFrameSize(to, msg); err != nil {
+			return err
+		}
+	}
+	m.mapMu.RLock()
+	defer m.mapMu.RUnlock()
+	select {
+	case <-m.closed:
+		return ErrClosed
+	default:
+	}
+	m.egressMu[to].Lock()
+	total := 0
+	var err error
+	for _, msg := range msgs {
+		msg.From = int32(m.self)
+		if err = m.writeRecord(to, m.egress[to], msg); err != nil {
+			break
+		}
+		total += 4 + headerLen + len(msg.Payload)
+	}
+	m.egressMu[to].Unlock()
+	if total > 0 && m.opts.OnCopy != nil {
+		m.opts.OnCopy(total)
+	}
+	return err
+}
+
+// runReader pumps one ingress ring into the inbox; mirror of
+// TCPMesh.readLoop.
+func (m *SHMMesh) runReader(peer int, r *shmRing) {
+	defer m.wg.Done()
+	m.mapMu.RLock()
+	defer m.mapMu.RUnlock()
+	err := m.readRecords(peer, r)
+	if err == nil {
+		return
+	}
+	select {
+	case <-m.closed:
+		return
+	default:
+	}
+	m.peerDown(peer, err)
+}
+
+// readRecords consumes frames until the producer says goodbye (nil),
+// the mesh closes (nil), or the link fails (the cause).
+func (m *SHMMesh) readRecords(peer int, r *shmRing) error {
+	var w shmWaiter
+	for {
+		head := atomic.LoadUint64(r.headPtr())
+		if r.cachedTail == head {
+			r.cachedTail = atomic.LoadUint64(r.tailPtr())
+		}
+		if r.cachedTail == head {
+			// Drained. Goodbye flag is only honored on an empty ring, so
+			// everything sent before a graceful Close is delivered.
+			if atomic.LoadUint32(r.flagsPtr())&shmFlagSenderClosed != 0 {
+				if t := atomic.LoadUint64(r.tailPtr()); t != head {
+					r.cachedTail = t
+					continue
+				}
+				return nil
+			}
+			select {
+			case <-m.closed:
+				return nil
+			default:
+			}
+			if w.pause() && !m.peerAlive(peer) {
+				// Re-check the flag: its store precedes the lock release
+				// on a graceful close.
+				if atomic.LoadUint32(r.flagsPtr())&shmFlagSenderClosed != 0 {
+					continue
+				}
+				return errors.New("liveness lock released without goodbye (peer crashed?)")
+			}
+			continue
+		}
+		w.reset()
+		avail := r.cachedTail - head
+		var pfx [4]byte
+		r.copyOut(head, pfx[:])
+		n := uint64(binary.LittleEndian.Uint32(pfx[:]))
+		if n < headerLen || n > uint64(m.opts.MaxFrameBytes) || 4+n > avail {
+			return fmt.Errorf("corrupt ring record: %d-byte frame, %d available, cap %d", n, avail, m.opts.MaxFrameBytes)
+		}
+		// Same lease discipline as the TCP read loop: the frame body
+		// lands in a pooled buffer that travels with the message.
+		ref := LeasePayload(int(n))
+		body := ref.Bytes()[:n]
+		r.copyOut(head+4, body)
+		atomic.StoreUint64(r.headPtr(), head+4+n)
+		msg, err := decode(body)
+		if err != nil {
+			ref.Release()
+			return err
+		}
+		if msg.Type == msgGoodbye {
+			ref.Release()
+			return nil
+		}
+		msg.lease = ref
+		select {
+		case m.inbox <- msg:
+		case <-m.closed:
+			ref.Release()
+		}
+	}
+}
+
+// Recv blocks for the next inbound message (loopback queue first, then
+// the ring inbox); identical delivery and failure order to TCPMesh.
+func (m *SHMMesh) Recv() (Message, error) {
+	for {
+		if msg, ok := m.loop.pop(); ok {
+			return msg, nil
+		}
+		select {
+		case msg := <-m.inbox:
+			return msg, nil
+		case <-m.loop.sig:
+			// Re-check the loopback queue at the top of the loop.
+		case <-m.down:
+			if msg, ok := m.loop.pop(); ok {
+				return msg, nil
+			}
+			select {
+			case msg := <-m.inbox:
+				return msg, nil
+			default:
+				return Message{}, m.downErr
+			}
+		case <-m.closed:
+			if msg, ok := m.loop.pop(); ok {
+				return msg, nil
+			}
+			select {
+			case msg := <-m.inbox:
+				return msg, nil
+			default:
+				return Message{}, ErrClosed
+			}
+		}
+	}
+}
+
+// Close shuts the endpoint down gracefully: goodbye flags first (so
+// peers distinguish departure from death), then the liveness lock
+// drops, then local senders/readers unblock and the mappings are
+// reclaimed in the background once they have all drained out.
+// Idempotent.
+func (m *SHMMesh) Close() error {
+	m.closeOnce.Do(func() {
+		for _, r := range m.egress {
+			if r != nil {
+				atomic.OrUint32(r.flagsPtr(), shmFlagSenderClosed)
+			}
+		}
+		for _, r := range m.ingress {
+			if r != nil {
+				atomic.OrUint32(r.flagsPtr(), shmFlagReceiverClosed)
+			}
+		}
+		m.lock.Close()
+		close(m.closed)
+		go m.reclaim()
+	})
+	return nil
+}
+
+// crashForTest simulates an abrupt process death: the liveness lock
+// drops exactly as the kernel would drop it on SIGKILL, and no goodbye
+// flag is ever set, so peers must detect the crash and surface
+// *ErrPeerDown. Local goroutines stop (the test process lives on).
+func (m *SHMMesh) crashForTest() {
+	m.closeOnce.Do(func() {
+		m.lock.Close()
+		close(m.closed)
+		go m.reclaim()
+	})
+}
+
+// reclaim unmaps every ring once all local readers and in-flight
+// senders have observed closed and released their map read locks.
+func (m *SHMMesh) reclaim() {
+	m.wg.Wait()
+	m.mapMu.Lock()
+	defer m.mapMu.Unlock()
+	for _, rs := range [2][]*shmRing{m.egress, m.ingress} {
+		for _, r := range rs {
+			if r != nil {
+				r.unmap()
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+//go:build !linux
+
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSHMUnsupported = errors.New("transport: shm transport is linux-only")
+
+// SHMMesh is only implemented on Linux (mmap + OFD liveness locks).
+// This stub keeps cross-platform builds working; co-located workers on
+// other systems fall back to TCP over loopback.
+type SHMMesh struct{}
+
+// NewSHMMesh fails on non-Linux platforms.
+func NewSHMMesh(self, n int, opts SHMOptions) (*SHMMesh, error) {
+	if _, err := opts.withDefaults(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("%w (this build targets a different OS); use the tcp transport", errSHMUnsupported)
+}
+
+// Self satisfies Mesh on the stub.
+func (m *SHMMesh) Self() int { return 0 }
+
+// N satisfies Mesh on the stub.
+func (m *SHMMesh) N() int { return 0 }
+
+// Send satisfies Mesh on the stub.
+func (m *SHMMesh) Send(to int, msg Message) error { return errSHMUnsupported }
+
+// SendBatch satisfies Mesh on the stub.
+func (m *SHMMesh) SendBatch(to int, msgs []Message) error { return errSHMUnsupported }
+
+// Recv satisfies Mesh on the stub.
+func (m *SHMMesh) Recv() (Message, error) { return Message{}, errSHMUnsupported }
+
+// Close satisfies Mesh on the stub.
+func (m *SHMMesh) Close() error { return nil }

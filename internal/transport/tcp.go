@@ -79,6 +79,25 @@ type TCPOptions struct {
 	// peers to finish their in-flight writes and close their ends.
 	// Default 5s.
 	DrainTimeout time.Duration
+	// DisableNoDelay re-enables Nagle's algorithm. By default every mesh
+	// connection runs with TCP_NODELAY set: the trainer's frames are
+	// already coalesced by SendBatch, so delaying them to coalesce again
+	// in the kernel only adds barrier latency.
+	DisableNoDelay bool
+	// CorkBatches wraps each SendBatch in TCP_CORK (Linux; a no-op
+	// elsewhere): the kernel holds partial segments until the batch is
+	// complete, so a batch whose vectored write gets split across
+	// syscalls still leaves as full MSS-sized segments. Mutually
+	// beneficial with NODELAY — cork bounds the segmentation, NODELAY
+	// flushes the tail the moment the cork pops.
+	CorkBatches bool
+	// OnCopy, when set, receives the number of bytes the transport
+	// itself copied into scratch memory for each Send/SendBatch call
+	// (loopback excluded). On the vectored egress path this is the
+	// length prefix + header per frame — never the payload — which is
+	// what the metrics layer's bytes_copied_per_frame reports. Must be
+	// safe for concurrent use.
+	OnCopy func(bytes int)
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -113,16 +132,9 @@ type TCPMesh struct {
 	closed    chan struct{} // closed by Close; readers and senders select on it
 	closeOnce sync.Once
 
-	// Loopback messages bypass the bounded inbox entirely: the comm
-	// layer's receive goroutine broadcasts to itself (e.g. a shard
-	// sending fresh parameters to its own worker), and if that send
-	// could block on a full inbox whose only consumer is that same
-	// goroutine, a healthy mesh would deadlock. Self-addressed traffic
-	// is queued here instead — it never touches a socket, so the
-	// network backpressure the inbox provides does not apply.
-	loopMu  sync.Mutex
-	loopQ   []Message
-	loopSig chan struct{} // capacity 1: "the loop queue may be non-empty"
+	// Self-addressed messages bypass the bounded inbox entirely; see
+	// loopQueue for why blocking there would deadlock a healthy mesh.
+	loop *loopQueue
 
 	down     chan struct{} // closed on the first link failure
 	downOnce sync.Once
@@ -148,15 +160,15 @@ func NewTCPMeshOpts(self int, addrs []string, opts TCPOptions) (*TCPMesh, error)
 	}
 	opts = opts.withDefaults()
 	m := &TCPMesh{
-		self:    self,
-		addrs:   addrs,
-		opts:    opts,
-		conns:   make([]net.Conn, len(addrs)),
-		inbox:   make(chan Message, opts.InboxDepth),
-		closed:  make(chan struct{}),
-		down:    make(chan struct{}),
-		loopSig: make(chan struct{}, 1),
-		sendMu:  make([]sync.Mutex, len(addrs)),
+		self:   self,
+		addrs:  addrs,
+		opts:   opts,
+		conns:  make([]net.Conn, len(addrs)),
+		inbox:  make(chan Message, opts.InboxDepth),
+		closed: make(chan struct{}),
+		down:   make(chan struct{}),
+		loop:   newLoopQueue(),
+		sendMu: make([]sync.Mutex, len(addrs)),
 	}
 	lis, err := net.Listen("tcp", addrs[self])
 	if err != nil {
@@ -178,6 +190,12 @@ func NewTCPMeshOpts(self int, addrs []string, opts TCPOptions) (*TCPMesh, error)
 	for i, c := range m.conns {
 		if c == nil {
 			continue
+		}
+		// NODELAY unless the caller opted back into Nagle: frames are
+		// already batch-coalesced above the socket, so delaying them to
+		// coalesce again in the kernel only adds barrier latency.
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetNoDelay(!opts.DisableNoDelay)
 		}
 		m.wg.Add(1)
 		go m.readLoop(i, c)
@@ -471,54 +489,24 @@ func (m *TCPMesh) Self() int { return m.self }
 // N returns the mesh size.
 func (m *TCPMesh) N() int { return len(m.addrs) }
 
-// appendLengthPrefixed appends `u32 length + frame body` for msg.
-func appendLengthPrefixed(buf []byte, msg Message) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(headerLen+len(msg.Payload)))
-	return appendFrame(buf, msg)
-}
-
 // loopback queues a self-addressed message. It never blocks — the
 // caller may be the inbox's only consumer (the comm receive loop
 // broadcasting to itself), so blocking here on any condition would
-// deadlock a healthy mesh — and never panics on a closed one.
+// deadlock a healthy mesh — and never panics on a closed one. Frame
+// bounds are enforced exactly like the remote path: a tensor too big
+// for the mesh must fail the same way whether or not its destination
+// happens to be colocated.
 func (m *TCPMesh) loopback(msg Message) error {
+	if err := m.checkFrameSize(m.self, msg); err != nil {
+		return err
+	}
 	select {
 	case <-m.closed:
 		return ErrClosed
 	default:
 	}
-	// The queue holds its own reference on the payload lease until the
-	// consumer releases it, mirroring ChanMesh's inbox.
-	msg.retainLease()
-	m.loopMu.Lock()
-	m.loopQ = append(m.loopQ, msg)
-	m.loopMu.Unlock()
-	select {
-	case m.loopSig <- struct{}{}:
-	default:
-	}
+	m.loop.push(msg)
 	return nil
-}
-
-// popLoop dequeues the oldest loopback message, re-arming the signal
-// if more remain (so concurrent Recv callers are not left asleep).
-func (m *TCPMesh) popLoop() (Message, bool) {
-	m.loopMu.Lock()
-	if len(m.loopQ) == 0 {
-		m.loopMu.Unlock()
-		return Message{}, false
-	}
-	msg := m.loopQ[0]
-	m.loopQ = m.loopQ[1:]
-	rearm := len(m.loopQ) > 0
-	m.loopMu.Unlock()
-	if rearm {
-		select {
-		case m.loopSig <- struct{}{}:
-		default:
-		}
-	}
-	return msg, true
 }
 
 // checkFrameSize rejects oversized payloads at the sender, so a tensor
@@ -531,19 +519,36 @@ func (m *TCPMesh) checkFrameSize(to int, msg Message) error {
 	return nil
 }
 
-// write pushes one encoded buffer down the connection to peer `to`,
-// serializing with other writers, and maps failures: ErrClosed if the
-// mesh is closing, *ErrPeerDown otherwise (a TCP write only fails when
-// the link is gone).
-func (m *TCPMesh) write(to int, frame []byte) error {
+// writeVec pushes an iovec list down the connection to peer `to` with a
+// single vectored write (net.Buffers → writev), serializing with other
+// writers, and maps failures: ErrClosed if the mesh is closing,
+// *ErrPeerDown otherwise (a TCP write only fails when the link is
+// gone). WriteTo resumes partial writes internally, so on a nil return
+// every iovec — headers and payloads alike — has been handed to the
+// kernel; the caller may release payload leases the moment this
+// returns, and not before. cork bounds segmentation around multi-frame
+// batches when the mesh was built with CorkBatches.
+func (m *TCPMesh) writeVec(to int, vec net.Buffers, cork bool) error {
+	conn := m.conns[to]
 	m.sendMu[to].Lock()
-	_, err := m.conns[to].Write(frame)
+	if cork {
+		setCork(conn, true)
+	}
+	// WriteTo consumes the slice header it is called on; vec is a copy,
+	// so the caller's header (and its pooled backing array) survive.
+	_, err := vec.WriteTo(conn)
+	if cork {
+		setCork(conn, false)
+	}
 	m.sendMu[to].Unlock()
 	if err == nil {
 		return nil
 	}
 	select {
 	case <-m.closed:
+		// Close's drain deadline wakes writers mid-writev; the frame may
+		// be partially on the wire, but the mesh is going away and the
+		// payload lease is still the caller's to release.
 		return ErrClosed
 	default:
 		return &ErrPeerDown{Peer: to, Cause: err}
@@ -551,8 +556,9 @@ func (m *TCPMesh) write(to int, frame []byte) error {
 }
 
 // Send delivers msg to node `to` (loopback messages short-circuit the
-// network). The frame is built in a pooled buffer and written with one
-// syscall.
+// network). Only the length prefix and header are materialized in
+// pooled scratch; the payload rides to the kernel as its own iovec —
+// zero-copy egress, one syscall.
 func (m *TCPMesh) Send(to int, msg Message) error {
 	msg.From = int32(m.self)
 	if to == m.self {
@@ -564,16 +570,27 @@ func (m *TCPMesh) Send(to int, msg Message) error {
 	if err := m.checkFrameSize(to, msg); err != nil {
 		return err
 	}
-	bp := getFrameBuf(4 + headerLen + len(msg.Payload))
-	*bp = appendLengthPrefixed(*bp, msg)
-	err := m.write(to, *bp)
+	bp := getFrameBuf(4 + headerLen)
+	*bp = appendPrefixedHeader(*bp, msg)
+	vp := getVec()
+	vec := append(*vp, *bp)
+	if len(msg.Payload) > 0 {
+		vec = append(vec, msg.Payload)
+	}
+	err := m.writeVec(to, vec, false)
+	if m.opts.OnCopy != nil {
+		m.opts.OnCopy(4 + headerLen)
+	}
 	putFrameBuf(bp)
+	putVec(vp, vec)
 	return err
 }
 
-// SendBatch writes all frames to node `to` as a single buffer under one
-// lock acquisition and (typically) one syscall — the fast path for
-// chunked tensor pushes, which produce many frames per destination.
+// SendBatch writes all frames to node `to` with one lock acquisition
+// and one vectored write — the fast path for chunked tensor pushes,
+// which produce many frames per destination. Headers pack into a
+// single pooled scratch buffer; every payload goes to the kernel
+// uncopied as its own iovec.
 func (m *TCPMesh) SendBatch(to int, msgs []Message) error {
 	if len(msgs) == 0 {
 		return nil
@@ -590,20 +607,33 @@ func (m *TCPMesh) SendBatch(to int, msgs []Message) error {
 	if to < 0 || to >= len(m.addrs) || m.conns[to] == nil {
 		return fmt.Errorf("transport: no connection to %d", to)
 	}
-	total := 0
 	for _, msg := range msgs {
 		if err := m.checkFrameSize(to, msg); err != nil {
 			return err
 		}
-		total += 4 + headerLen + len(msg.Payload)
 	}
-	bp := getFrameBuf(total)
+	// One scratch buffer holds every frame's prefix+header back to back.
+	// Its capacity is reserved up front so the appends below never
+	// reallocate — the iovec sub-slices must stay valid.
+	scratch := (4 + headerLen) * len(msgs)
+	bp := getFrameBuf(scratch)
+	vp := getVec()
+	vec := *vp
 	for _, msg := range msgs {
 		msg.From = int32(m.self)
-		*bp = appendLengthPrefixed(*bp, msg)
+		start := len(*bp)
+		*bp = appendPrefixedHeader(*bp, msg)
+		vec = append(vec, (*bp)[start:])
+		if len(msg.Payload) > 0 {
+			vec = append(vec, msg.Payload)
+		}
 	}
-	err := m.write(to, *bp)
+	err := m.writeVec(to, vec, m.opts.CorkBatches)
+	if m.opts.OnCopy != nil {
+		m.opts.OnCopy(scratch)
+	}
 	putFrameBuf(bp)
+	putVec(vp, vec)
 	return err
 }
 
@@ -613,16 +643,16 @@ func (m *TCPMesh) SendBatch(to int, msgs []Message) error {
 // a closed mesh ErrClosed.
 func (m *TCPMesh) Recv() (Message, error) {
 	for {
-		if msg, ok := m.popLoop(); ok {
+		if msg, ok := m.loop.pop(); ok {
 			return msg, nil
 		}
 		select {
 		case msg := <-m.inbox:
 			return msg, nil
-		case <-m.loopSig:
+		case <-m.loop.sig:
 			// Re-check the loopback queue at the top of the loop.
 		case <-m.down:
-			if msg, ok := m.popLoop(); ok {
+			if msg, ok := m.loop.pop(); ok {
 				return msg, nil
 			}
 			select {
@@ -632,7 +662,7 @@ func (m *TCPMesh) Recv() (Message, error) {
 				return Message{}, m.downErr
 			}
 		case <-m.closed:
-			if msg, ok := m.popLoop(); ok {
+			if msg, ok := m.loop.pop(); ok {
 				return msg, nil
 			}
 			select {

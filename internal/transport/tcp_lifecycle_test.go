@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -187,9 +188,75 @@ func TestSendRejectsOversizedFrame(t *testing.T) {
 	}
 }
 
+// Loopback must enforce the same frame bounds as the remote path: a
+// tensor too big for the mesh has to fail identically whether or not
+// its destination happens to be colocated (it used to slip through).
+func TestLoopbackRejectsOversizedFrame(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	ms := dialMeshOpts(t, addrs, TCPOptions{MaxFrameBytes: 4096})
+	defer ms[0].Close()
+	defer ms[1].Close()
+
+	big := Message{Type: MsgPush, Payload: make([]byte, 8192)}
+	if err := ms[0].Send(0, big); err == nil || !contains(err.Error(), "MaxFrameBytes") {
+		t.Fatalf("loopback Send err = %v, want MaxFrameBytes rejection", err)
+	}
+	if err := ms[0].SendBatch(0, []Message{big, {Type: MsgPush}}); err == nil || !contains(err.Error(), "MaxFrameBytes") {
+		t.Fatalf("loopback SendBatch err = %v, want MaxFrameBytes rejection", err)
+	}
+	// In-bounds loopback still flows after the rejections.
+	if err := ms[0].Send(0, Message{Type: MsgBarrier}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := ms[0].Recv(); err != nil || msg.Type != MsgBarrier {
+		t.Fatalf("recv after rejected loopback: %+v %v", msg, err)
+	}
+}
+
+// The vectored egress path must copy only the length prefix and header
+// into transport scratch — payload bytes ride to the kernel uncopied —
+// and loopback must not count at all.
+func TestOnCopyCountsHeaderBytesOnly(t *testing.T) {
+	var copied atomic.Int64
+	addrs := freeAddrs(t, 2)
+	ms := dialMeshOpts(t, addrs, TCPOptions{OnCopy: func(n int) { copied.Add(int64(n)) }})
+	defer ms[0].Close()
+	defer ms[1].Close()
+
+	payload := make([]byte, 64<<10)
+	if err := ms[0].Send(1, Message{Type: MsgPush, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Message, 4)
+	for i := range batch {
+		batch[i] = Message{Type: MsgPush, Iter: int32(i), Payload: payload}
+	}
+	if err := ms[0].SendBatch(1, batch); err != nil {
+		t.Fatal(err)
+	}
+	// Loopback never touches scratch and must not be counted.
+	if err := ms[0].Send(0, Message{Type: MsgBarrier, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := ms[0].Recv(); err != nil || msg.Type != MsgBarrier {
+		t.Fatalf("loopback recv: %+v %v", msg, err)
+	}
+	for i := 0; i < 5; i++ {
+		msg, err := ms[1].Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg.ReleasePayload()
+	}
+	const frames = 5 // 1 Send + 4 batched
+	if got, want := copied.Load(), int64(frames*(4+headerLen)); got != want {
+		t.Fatalf("transport copied %d bytes, want %d (prefix+header only for %d frames)", got, want, frames)
+	}
+}
+
 // assertPeerDown asserts that Recv surfaces *ErrPeerDown for the given
 // peer within a deadline, rather than hanging.
-func assertPeerDown(t *testing.T, m *TCPMesh, wantPeer int) {
+func assertPeerDown(t *testing.T, m Mesh, wantPeer int) {
 	t.Helper()
 	type res struct {
 		msg Message

@@ -86,15 +86,30 @@ type Mesh interface {
 // the length prefix and the payload).
 const headerLen = 17
 
-// appendFrame appends the frame body (everything after the length
-// prefix) to buf and returns the extended slice.
-func appendFrame(buf []byte, msg Message) []byte {
+// appendHeader appends the 17-byte frame header (everything between
+// the length prefix and the payload) to buf and returns the extended
+// slice.
+func appendHeader(buf []byte, msg Message) []byte {
 	buf = append(buf, byte(msg.Type))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.From))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Layer))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Chunk))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(msg.Iter))
-	return append(buf, msg.Payload...)
+	return binary.LittleEndian.AppendUint32(buf, uint32(msg.Iter))
+}
+
+// appendPrefixedHeader appends the u32 length prefix and the frame
+// header — but not the payload. This is the only part of a frame the
+// vectored egress path materializes in scratch; the payload slice goes
+// to the kernel as its own iovec.
+func appendPrefixedHeader(buf []byte, msg Message) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(headerLen+len(msg.Payload)))
+	return appendHeader(buf, msg)
+}
+
+// appendFrame appends the frame body (everything after the length
+// prefix) to buf and returns the extended slice.
+func appendFrame(buf []byte, msg Message) []byte {
+	return append(appendHeader(buf, msg), msg.Payload...)
 }
 
 // encode renders the frame body.

@@ -19,6 +19,7 @@ import (
 type Builder struct {
 	cfg     train.Config
 	tcp     *tcpSpec
+	shm     *shmSpec
 	mesh    transport.Mesh
 	collect bool
 	err     error
@@ -28,6 +29,12 @@ type tcpSpec struct {
 	id    int
 	peers []string
 	opts  transport.TCPOptions
+}
+
+type shmSpec struct {
+	id      int
+	workers int
+	opts    transport.SHMOptions
 }
 
 // NewSession starts a session builder with the trainer's defaults:
@@ -50,7 +57,7 @@ func (b *Builder) InProcess(workers int) *Builder {
 		return b.fail(fmt.Errorf("poseidon: need at least 1 worker, got %d", workers))
 	}
 	b.cfg.Workers = workers
-	b.tcp, b.mesh = nil, nil
+	b.tcp, b.shm, b.mesh = nil, nil, nil
 	return b
 }
 
@@ -63,7 +70,21 @@ func (b *Builder) TCP(id int, peers []string, opts transport.TCPOptions) *Builde
 	}
 	b.tcp = &tcpSpec{id: id, peers: peers, opts: opts}
 	b.cfg.Workers = len(peers)
-	b.mesh = nil
+	b.shm, b.mesh = nil, nil
+	return b
+}
+
+// SHM makes this session one node of a multi-process cluster of
+// co-located workers connected over shared-memory rings (Linux only;
+// see transport.SHMMesh). opts.Dir is the rendezvous directory every
+// node of the run must share.
+func (b *Builder) SHM(id, workers int, opts transport.SHMOptions) *Builder {
+	if workers < 1 || id < 0 || id >= workers {
+		return b.fail(fmt.Errorf("poseidon: SHM id %d out of range for %d workers", id, workers))
+	}
+	b.shm = &shmSpec{id: id, workers: workers, opts: opts}
+	b.cfg.Workers = workers
+	b.tcp, b.mesh = nil, nil
 	return b
 }
 
@@ -76,7 +97,7 @@ func (b *Builder) Mesh(mesh transport.Mesh) *Builder {
 	}
 	b.mesh = mesh
 	b.cfg.Workers = mesh.N()
-	b.tcp = nil
+	b.tcp, b.shm = nil, nil
 	return b
 }
 
@@ -203,7 +224,11 @@ func (b *Builder) Build() (*Session, error) {
 	case b.mesh != nil:
 		s.mesh = b.mesh
 	case b.tcp != nil:
-		tcp, err := transport.NewTCPMeshOpts(b.tcp.id, b.tcp.peers, b.tcp.opts)
+		opts := b.tcp.opts
+		if s.metrics != nil && opts.OnCopy == nil {
+			opts.OnCopy = s.metrics.Wire().CountCopied
+		}
+		tcp, err := transport.NewTCPMeshOpts(b.tcp.id, b.tcp.peers, opts)
 		if err != nil {
 			return nil, fmt.Errorf("poseidon: mesh: %w", err)
 		}
@@ -211,6 +236,20 @@ func (b *Builder) Build() (*Session, error) {
 		s.ownsMesh = true
 		if s.metrics != nil {
 			s.mesh = transport.NewMeteredMesh(tcp, s.metrics.Wire())
+		}
+	case b.shm != nil:
+		opts := b.shm.opts
+		if s.metrics != nil && opts.OnCopy == nil {
+			opts.OnCopy = s.metrics.Wire().CountCopied
+		}
+		shm, err := transport.NewSHMMesh(b.shm.id, b.shm.workers, opts)
+		if err != nil {
+			return nil, fmt.Errorf("poseidon: mesh: %w", err)
+		}
+		s.mesh = shm
+		s.ownsMesh = true
+		if s.metrics != nil {
+			s.mesh = transport.NewMeteredMesh(shm, s.metrics.Wire())
 		}
 	}
 	return s, nil

@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -56,13 +57,49 @@ func run() int {
 	replanEvery := flag.Int("replan-every", 0, "have the cluster re-measure the wire rate and re-run Algorithm 1 every this many iterations (0 = off)")
 	replanAlpha := flag.Float64("replan-alpha", 0, "EWMA weight of the newest bandwidth observation (0 = default)")
 	frameOverhead := flag.Float64("frame-overhead", 0, "modeled per-frame overhead in seconds for the bandwidth-aware cost model (0 = default)")
+	elastic := flag.Bool("elastic", false, "enable membership epochs on every worker: a death or departure re-forms the cluster at a view-change barrier instead of aborting the run")
+	killAfter := flag.String("kill-after", "", "chaos: SIGKILL one worker mid-training, format iter:rank — fires once that rank prints a progress line at or past iter (use -print-every 1 for exact timing); that death is expected, so it alone does not fail the cluster")
+	joinAfter := flag.Int("join-after", 0, "chaos: once any worker prints a progress line at or past this iteration, spawn one extra worker that joins the live cluster (reserves capacity n+1; requires -elastic and -transport tcp)")
+	leaveAt := flag.String("leave-at", "", "schedule a graceful departure, format iter:rank — that worker announces leave at iter (requires -elastic)")
+	snapshotDir := flag.String("snapshot-dir", "", "have each worker write its adopted replica snapshot to DIR/snap-<id>.bin at every membership change (requires -elastic)")
 	flag.Parse()
 
 	if *n < 1 {
 		fmt.Fprintln(os.Stderr, "cluster: need -n >= 1")
 		return 1
 	}
-	addrs, err := pickAddrs(*n, *basePort)
+	killIter, killRank, err := parseIterRank(*killAfter, *n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluster: -kill-after: %v\n", err)
+		return 1
+	}
+	leaveIter, leaveRank, err := parseIterRank(*leaveAt, *n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluster: -leave-at: %v\n", err)
+		return 1
+	}
+	if !*elastic && (*joinAfter > 0 || leaveRank >= 0 || *snapshotDir != "") {
+		fmt.Fprintln(os.Stderr, "cluster: -join-after/-leave-at/-snapshot-dir require -elastic")
+		return 1
+	}
+	if *joinAfter > 0 && *transportKind != "tcp" {
+		fmt.Fprintln(os.Stderr, "cluster: -join-after requires -transport tcp (the shm mesh is fixed at rendezvous)")
+		return 1
+	}
+	// A planned join means the mesh is sized for one more rank than
+	// initially serves: the address list covers the capacity, -members
+	// restricts epoch 0 to the first n ranks.
+	capacity := *n
+	membersCSV := ""
+	if *joinAfter > 0 {
+		capacity++
+		ranks := make([]string, *n)
+		for i := range ranks {
+			ranks[i] = fmt.Sprint(i)
+		}
+		membersCSV = strings.Join(ranks, ",")
+	}
+	addrs, err := pickAddrs(capacity, *basePort)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cluster: reserve ports: %v\n", err)
 		return 1
@@ -92,9 +129,39 @@ func run() int {
 		id  int
 		err error
 	}
-	exits := make(chan exit, *n)
-	procs := make([]*exec.Cmd, *n)
-	for i := 0; i < *n; i++ {
+	exits := make(chan exit, capacity)
+	var procMu sync.Mutex
+	procs := make([]*exec.Cmd, capacity)
+
+	// Chaos triggers key off the workers' own progress lines, so the
+	// kill lands at a known training iteration, not a wall-clock guess.
+	var chaosMu sync.Mutex
+	killFired := false
+	joinFired := *joinAfter <= 0 // never fires when disabled
+	joinNow := make(chan struct{})
+	observe := func(id int, line string) {
+		it, ok := progressIter(line)
+		if !ok {
+			return
+		}
+		chaosMu.Lock()
+		defer chaosMu.Unlock()
+		if killRank >= 0 && !killFired && id == killRank && it >= killIter {
+			killFired = true
+			procMu.Lock()
+			if p := procs[killRank]; p != nil && p.Process != nil {
+				fmt.Fprintf(os.Stderr, "cluster: chaos: SIGKILL worker %d at iteration %d\n", killRank, it)
+				p.Process.Kill()
+			}
+			procMu.Unlock()
+		}
+		if !joinFired && it >= *joinAfter {
+			joinFired = true
+			close(joinNow)
+		}
+	}
+
+	launch := func(i int, joiner bool) error {
 		args := []string{
 			"-id", fmt.Sprint(i), "-peers", peerList,
 			"-iters", fmt.Sprint(*iters), "-batch", fmt.Sprint(*batch),
@@ -105,6 +172,21 @@ func run() int {
 		}
 		if *shmDir != "" {
 			args = append(args, "-shm-dir", *shmDir)
+		}
+		if *elastic {
+			args = append(args, "-elastic")
+		}
+		if membersCSV != "" {
+			args = append(args, "-members", membersCSV)
+		}
+		if joiner {
+			args = append(args, "-join")
+		}
+		if i == leaveRank {
+			args = append(args, "-leave-at", fmt.Sprint(leaveIter))
+		}
+		if *snapshotDir != "" {
+			args = append(args, "-snapshot-out", filepath.Join(*snapshotDir, fmt.Sprintf("snap-%d.bin", i)))
 		}
 		if *overlap {
 			args = append(args, "-overlap")
@@ -135,54 +217,111 @@ func run() int {
 		}
 		cmd := exec.Command(name, args...)
 		stdout, err := cmd.StdoutPipe()
-		if err == nil {
-			var stderr io.ReadCloser
-			if stderr, err = cmd.StderrPipe(); err == nil {
-				if err = cmd.Start(); err == nil {
-					procs[i] = cmd
-					var rd sync.WaitGroup
-					rd.Add(2)
-					go prefixLines(&rd, os.Stdout, stdout, i)
-					go prefixLines(&rd, os.Stderr, stderr, i)
-					go func(i int, cmd *exec.Cmd, rd *sync.WaitGroup) {
-						rd.Wait() // pipes must drain before Wait closes them
-						exits <- exit{i, cmd.Wait()}
-					}(i, cmd, &rd)
-					continue
-				}
-			}
+		if err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "cluster: start worker %d: %v\n", i, err)
-		killAll(procs)
-		return 1
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		procMu.Lock()
+		procs[i] = cmd
+		procMu.Unlock()
+		var rd sync.WaitGroup
+		rd.Add(2)
+		go prefixLines(&rd, os.Stdout, stdout, i, observe)
+		go prefixLines(&rd, os.Stderr, stderr, i, nil)
+		go func() {
+			rd.Wait() // pipes must drain before Wait closes them
+			exits <- exit{i, cmd.Wait()}
+		}()
+		return nil
+	}
+	for i := 0; i < *n; i++ {
+		if err := launch(i, false); err != nil {
+			fmt.Fprintf(os.Stderr, "cluster: start worker %d: %v\n", i, err)
+			killLocked(&procMu, procs)
+			return 1
+		}
 	}
 
 	code := 0
 	failed := false
+	total := *n
 	deadline := time.After(*timeout)
-	for done := 0; done < *n; {
+	for done := 0; done < total; {
 		select {
 		case e := <-exits:
 			done++
-			if e.err != nil {
+			chaosMu.Lock()
+			expected := killFired && e.id == killRank
+			chaosMu.Unlock()
+			if e.err != nil && expected {
+				// The chaos kill's own casualty: survivors carry on (or
+				// fail on their own terms).
+				fmt.Printf("cluster: worker %d killed by chaos as scheduled\n", e.id)
+			} else if e.err != nil {
 				fmt.Fprintf(os.Stderr, "cluster: worker %d failed: %v\n", e.id, e.err)
 				code = 1
 				if !failed {
 					failed = true
-					killAll(procs) // first failure: take the survivors down too
+					killLocked(&procMu, procs) // first failure: take the survivors down too
 				}
 			}
+		case <-joinNow:
+			joinNow = nil // fire once
+			total++
+			fmt.Printf("cluster: chaos: spawning joiner worker %d\n", *n)
+			if err := launch(*n, true); err != nil {
+				fmt.Fprintf(os.Stderr, "cluster: start joiner %d: %v\n", *n, err)
+				code = 1
+				total--
+				killLocked(&procMu, procs)
+			}
 		case <-deadline:
-			fmt.Fprintf(os.Stderr, "cluster: deadline %v passed, killing %d workers\n", *timeout, *n-done)
+			fmt.Fprintf(os.Stderr, "cluster: deadline %v passed, killing %d workers\n", *timeout, total-done)
 			code = 1
-			killAll(procs)
+			killLocked(&procMu, procs)
 			deadline = nil // fire once; keep draining exits
 		}
 	}
 	if code == 0 {
-		fmt.Printf("cluster: all %d workers completed\n", *n)
+		fmt.Printf("cluster: all %d workers completed\n", total)
 	}
 	return code
+}
+
+// parseIterRank parses a chaos schedule of the form "iter:rank".
+// An empty schedule yields (-1, -1, nil).
+func parseIterRank(s string, n int) (iter, rank int, err error) {
+	if s == "" {
+		return -1, -1, nil
+	}
+	head, tail, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want iter:rank, got %q", s)
+	}
+	if iter, err = strconv.Atoi(head); err != nil || iter < 1 {
+		return 0, 0, fmt.Errorf("bad iteration in %q", s)
+	}
+	if rank, err = strconv.Atoi(tail); err != nil || rank < 0 || rank >= n {
+		return 0, 0, fmt.Errorf("rank in %q outside 0..%d", s, n-1)
+	}
+	return iter, rank, nil
+}
+
+// progressIter extracts the iteration count from a worker progress line
+// ("worker 2 iter  15 loss ..."); ok is false for every other line.
+func progressIter(line string) (int, bool) {
+	f := strings.Fields(line)
+	if len(f) >= 4 && f[0] == "worker" && f[2] == "iter" {
+		it, err := strconv.Atoi(f[3])
+		return it, err == nil
+	}
+	return 0, false
 }
 
 // pickAddrs reserves n loopback addresses, either a contiguous explicit
@@ -245,16 +384,25 @@ func resolveWorker(explicit string) (name string, cleanup func(), err error) {
 	return bin, func() { os.RemoveAll(dir) }, nil
 }
 
-func prefixLines(wg *sync.WaitGroup, dst io.Writer, src io.Reader, id int) {
+// prefixLines streams src to dst one line at a time under a [w<id>]
+// prefix; observe (optional) sees every raw line — the hook the chaos
+// triggers watch training progress through.
+func prefixLines(wg *sync.WaitGroup, dst io.Writer, src io.Reader, id int, observe func(int, string)) {
 	defer wg.Done()
 	sc := bufio.NewScanner(src)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
-		fmt.Fprintf(dst, "[w%d] %s\n", id, sc.Text())
+		line := sc.Text()
+		fmt.Fprintf(dst, "[w%d] %s\n", id, line)
+		if observe != nil {
+			observe(id, line)
+		}
 	}
 }
 
-func killAll(procs []*exec.Cmd) {
+func killLocked(mu *sync.Mutex, procs []*exec.Cmd) {
+	mu.Lock()
+	defer mu.Unlock()
 	for _, cmd := range procs {
 		if cmd != nil && cmd.Process != nil {
 			cmd.Process.Kill()

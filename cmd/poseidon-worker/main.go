@@ -69,6 +69,13 @@ func main() {
 	replanEvery := flag.Int("replan-every", 0, "re-measure the wire rate and re-run Algorithm 1 every this many iterations (0 = off)")
 	replanAlpha := flag.Float64("replan-alpha", 0, "EWMA weight of the newest bandwidth observation, 0<a<=1 (0 = default)")
 	frameOverhead := flag.Float64("frame-overhead", 0, "modeled per-frame overhead in seconds for the bandwidth-aware cost model (0 = default)")
+	elastic := flag.Bool("elastic", false, "enable membership epochs: a peer failure or departure re-forms the cluster at a view-change barrier instead of aborting the run")
+	membersFlag := flag.String("members", "", "comma-separated ranks serving at epoch 0 (elastic; default: every rank in -peers). A -join worker names the live ranks it dials")
+	join := flag.Bool("join", false, "attach to a running elastic cluster as a late joiner (requires -members with the live ranks)")
+	leaveAt := flag.Int("leave-at", 0, "announce a graceful departure at this iteration (elastic)")
+	startIter := flag.Int("start-iter", 0, "resume training at this iteration instead of 0 (usually with -load-params)")
+	loadParams := flag.String("load-params", "", "binary parameter snapshot to resume from (as written by -snapshot-out); its restart iteration applies unless -start-iter is set")
+	snapshotOut := flag.String("snapshot-out", "", "write the adopted replica snapshot to this file at every membership change")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -139,6 +146,48 @@ func main() {
 				fmt.Println(line)
 			}
 		})
+	if *elastic {
+		b.Elastic(true)
+		// One VIEW line per committed membership transition, mirrored on
+		// every member — the e2e suite keys re-formation off it. The
+		// snapshot carries the barrier's adopted replica so a reference
+		// run can continue from exactly this point.
+		b.OnMembershipChange(func(ev poseidon.MembershipEvent) {
+			fmt.Printf("VIEW %d %s %d\n", ev.View.Epoch, ranksCSV(ev.View.Members), ev.RestartIter)
+			if *snapshotOut != "" {
+				if err := writeSnapshot(*snapshotOut, ev.RestartIter, ev.Params); err != nil {
+					fmt.Fprintf(os.Stderr, "worker %d: snapshot: %v\n", *id, err)
+				}
+			}
+		})
+	}
+	if *membersFlag != "" {
+		ranks, err := parseRanks(*membersFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-members: %v\n", err)
+			os.Exit(1)
+		}
+		b.Members(ranks)
+	}
+	if *join {
+		b.Joining()
+	}
+	if *leaveAt > 0 {
+		b.LeaveAt(*leaveAt)
+	}
+	if *loadParams != "" {
+		restart, params, err := readSnapshot(*loadParams)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-load-params: %v\n", err)
+			os.Exit(1)
+		}
+		if *startIter == 0 {
+			*startIter = restart
+		}
+		b.ResumeFrom(*startIter, params)
+	} else if *startIter > 0 {
+		b.ResumeFrom(*startIter, nil)
+	}
 	if *replanEvery > 0 {
 		b.Replan(poseidon.ReplanSpec{
 			Every:         *replanEvery,
@@ -191,6 +240,12 @@ func main() {
 		// could mistake for normal shutdown.
 		os.Exit(1)
 	}
+	if res.Left {
+		// A graceful leaver stops at its departure barrier; its replica is
+		// epochs behind the survivors', so a PARAMS digest would only
+		// invite a bogus comparison.
+		fmt.Printf("LEFT %d\n", *leaveAt)
+	}
 	if *dumpLosses {
 		for _, p := range res.Curve {
 			fmt.Printf("LOSS %d %s\n", p.Iter, strconv.FormatFloat(p.TrainLoss, 'g', -1, 64))
@@ -198,7 +253,9 @@ func main() {
 		// A digest of the final replica: every worker of a BSP run must
 		// print the same value, which is how the e2e suite asserts
 		// cross-replica parameter equality across real processes.
-		fmt.Printf("PARAMS %016x\n", paramDigest(res.Final.Params()))
+		if !res.Left {
+			fmt.Printf("PARAMS %016x\n", paramDigest(res.Final.Params()))
+		}
 	}
 	if snap, ok := sess.MetricsSnapshot(); ok && *metricsDump {
 		var msAfter runtime.MemStats
@@ -220,6 +277,106 @@ func main() {
 		fmt.Printf("METRICS %s\n", bjson)
 	}
 	fmt.Printf("worker %d done (%v mode, %d workers)\n", *id, m, len(addrs))
+}
+
+func parseRanks(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	ranks := make([]int, 0, len(parts))
+	for _, p := range parts {
+		r, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad rank %q", p)
+		}
+		ranks = append(ranks, r)
+	}
+	return ranks, nil
+}
+
+func ranksCSV(ranks []int) string {
+	var sb strings.Builder
+	for i, r := range ranks {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(r))
+	}
+	return sb.String()
+}
+
+// snapshotMagic heads every parameter snapshot file ("PSN1" LE).
+const snapshotMagic = 0x314e5350
+
+// writeSnapshot persists a membership barrier's adopted replica: magic,
+// restart iteration, tensor count, then each tensor as length + LE
+// float32 bit patterns. Written to a temp file and renamed so a reader
+// never observes a half-written snapshot.
+func writeSnapshot(path string, restart int, params [][]float32) error {
+	size := 12
+	for _, p := range params {
+		size += 4 + 4*len(p)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, snapshotMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(restart))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(params)))
+	for _, p := range params {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))
+		for _, v := range p {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readSnapshot(path string) (restart int, params [][]float32, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	next := func(what string) (uint32, error) {
+		if len(buf) < 4 {
+			return 0, fmt.Errorf("%s: truncated snapshot %s", what, path)
+		}
+		v := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		return v, nil
+	}
+	magic, err := next("magic")
+	if err != nil {
+		return 0, nil, err
+	}
+	if magic != snapshotMagic {
+		return 0, nil, fmt.Errorf("%s is not a parameter snapshot", path)
+	}
+	r, err := next("restart")
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := next("tensor count")
+	if err != nil {
+		return 0, nil, err
+	}
+	params = make([][]float32, n)
+	for i := range params {
+		ln, err := next("tensor length")
+		if err != nil {
+			return 0, nil, err
+		}
+		if uint64(len(buf)) < 4*uint64(ln) {
+			return 0, nil, fmt.Errorf("tensor %d: truncated snapshot %s", i, path)
+		}
+		t := make([]float32, ln)
+		for j := range t {
+			t[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		buf = buf[4*ln:]
+		params[i] = t
+	}
+	return int(r), params, nil
 }
 
 // paramDigest is FNV-1a over the bit patterns of every parameter value,

@@ -1,0 +1,67 @@
+package cluster
+
+import "testing"
+
+func TestViewBasics(t *testing.T) {
+	v := Initial(5)
+	if v.Epoch != 0 || v.Size() != 5 || v.Leader() != 0 {
+		t.Fatalf("Initial(5) = %v", v)
+	}
+	for r := 0; r < 5; r++ {
+		if v.Index(r) != r || !v.Contains(r) {
+			t.Fatalf("rank %d: index %d contains %v", r, v.Index(r), v.Contains(r))
+		}
+	}
+	if v.Contains(5) || v.Index(5) != -1 {
+		t.Fatal("rank 5 should not be a member")
+	}
+}
+
+func TestViewNext(t *testing.T) {
+	v := Initial(5)
+	shrunk := v.Next([]int{2}, nil)
+	if shrunk.Epoch != 1 || shrunk.Size() != 4 || shrunk.Contains(2) {
+		t.Fatalf("Next(-2) = %v", shrunk)
+	}
+	// Dense indices compact past the hole.
+	if shrunk.Index(3) != 2 || shrunk.Index(4) != 3 {
+		t.Fatalf("dense indices after removal: %v", shrunk.Members)
+	}
+	grown := shrunk.Next(nil, []int{2})
+	if grown.Epoch != 2 || grown.Size() != 5 || grown.Index(2) != 2 {
+		t.Fatalf("Next(+2) = %v", grown)
+	}
+	// Simultaneous death and rejoin of the same rank: death wins.
+	both := v.Next([]int{1}, []int{1})
+	if both.Contains(1) {
+		t.Fatalf("dead rank resurrected: %v", both)
+	}
+	// Duplicate joins collapse.
+	dup := shrunk.Next(nil, []int{2, 2})
+	if dup.Size() != 5 {
+		t.Fatalf("duplicate join: %v", dup)
+	}
+}
+
+func TestViewWireRoundTrip(t *testing.T) {
+	v := View{Epoch: 7, Members: []int{0, 2, 3, 9}}
+	buf := v.AppendWire([]byte{0xAA}) // leading byte the decoder never sees
+	got, rest, err := DecodeWire(buf[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) || len(rest) != 0 {
+		t.Fatalf("round trip: %v rest=%d", got, len(rest))
+	}
+	if _, _, err := DecodeWire(buf[1:5]); err == nil {
+		t.Fatal("truncated encoding accepted")
+	}
+	// Non-ascending member lists are rejected.
+	bad := View{Epoch: 1, Members: []int{3, 2}}.AppendWire(nil)
+	if _, _, err := DecodeWire(bad); err == nil {
+		t.Fatal("non-ascending members accepted")
+	}
+	if !v.Clone().Equal(v) {
+		t.Fatal("clone differs")
+	}
+}

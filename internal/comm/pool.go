@@ -35,6 +35,11 @@ type sendPool struct {
 	// (possibly instrumented) mesh before Start.
 	send func(to int, msg transport.Message) error
 
+	// inflight counts submitted-but-unfinished tasks, so a membership
+	// barrier can wait for the egress backlog to drain before it swaps
+	// the dense→rank mapping the queued sends will resolve through.
+	inflight sync.WaitGroup
+
 	mu      sync.Mutex
 	err     error
 	closing bool
@@ -147,6 +152,7 @@ func newSendPool(workers int, onErr func(error)) *sendPool {
 					return
 				}
 				p.record(p.run(&t))
+				p.inflight.Done()
 			}
 		}()
 	}
@@ -181,9 +187,20 @@ func (p *sendPool) submitSend(stripe uint32, to int, msg transport.Message) {
 }
 
 func (p *sendPool) submitTask(stripe uint32, t task) {
+	p.inflight.Add(1)
 	if !p.queues[int(stripe)%len(p.queues)].push(t) {
 		p.record(p.run(&t))
+		p.inflight.Done()
 	}
+}
+
+// flush blocks until every task submitted before the call has finished.
+// The caller must guarantee no concurrent submissions — the membership
+// barrier does: the compute goroutine is parked inside the barrier and
+// the receive goroutine is holding every data frame, so nothing can
+// submit while flush waits.
+func (p *sendPool) flush() {
+	p.inflight.Wait()
 }
 
 // close drains every queue and stops the workers. Queued tasks still

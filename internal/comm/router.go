@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/consistency"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
@@ -30,6 +31,11 @@ type Config struct {
 	// Staleness bounds how far the compute loop may run ahead of
 	// synchronization (0 = BSP).
 	Staleness int
+	// StartIter, when > 0, starts the consistency clock at that
+	// iteration instead of 0 — the continuation point of a run resuming
+	// from a snapshot (Params then carry the snapshot replica). Rounds
+	// below it never existed, so WaitFor(StartIter) passes immediately.
+	StartIter int
 
 	// Overlap dispatches sends through the send pool so pushes for
 	// later parameters (and later chunks) stream while earlier ones are
@@ -54,6 +60,37 @@ type Config struct {
 	// initial plan carried no extractor for it. Optional; without it a
 	// reroute onto SFB fails.
 	SFSource func(index int) func() *tensor.SufficientFactor
+
+	// Elastic enables membership epochs: the mesh's synthetic lifecycle
+	// events (MsgPeerGone/MsgPeerUp) open a membership barrier instead
+	// of failing the run, syncers address peers through a dense view of
+	// the live members, and AwaitView commits view transitions. Requires
+	// a transport running in its own elastic mode.
+	Elastic bool
+	// View is the initial membership (must contain Mesh.Self()); the
+	// zero value means cluster.Initial(Mesh.N()). Ranks are transport
+	// ids; the router maps them to dense 0..P−1 worker ids internally.
+	View cluster.View
+	// Joining marks this router as a late joiner: it is not a member of
+	// View yet, sends no halt, and waits in AwaitView to be adopted by
+	// the leader's MsgView (which overwrites its parameters wholesale).
+	Joining bool
+	// PlanShape, when set, is consulted by the barrier leader to re-run
+	// the route planner for the successor member count; returning nil
+	// plans keeps the current routes. It must be deterministic — every
+	// node applies the leader's decision byte-for-byte.
+	PlanShape func(workers int) ([]ParamPlan, error)
+	// ScaleFor recomputes the update scale for a new member count
+	// (typically −LR/P). It must be identical on every node; without it
+	// the router rescales the configured Scale by oldP/newP.
+	ScaleFor func(workers int) float32
+	// OnViewChange, when set, runs on the compute goroutine after every
+	// committed view transition this node is part of.
+	OnViewChange func(cluster.View)
+	// ViewTimeout bounds a membership barrier (default 30s): if the
+	// halts or the leader's MsgView do not arrive in time, the run fails
+	// rather than hanging on a peer that will never answer.
+	ViewTimeout time.Duration
 }
 
 // Router multiplexes the mesh between per-parameter syncers: outbound,
@@ -66,6 +103,31 @@ type Router struct {
 	id, n     int
 	scale     float32
 	staleness int
+
+	// Elastic membership state. raw is the real mesh in transport-rank
+	// space (mesh wraps it in a dense view when elastic); rank is this
+	// node's immutable transport rank. view, id, and n are guarded by
+	// viewMu for readers outside the compute/receive pair (pool workers
+	// resolving queued sends); the barrier holds routeMu while writing,
+	// which orders the compute and receive goroutines by itself.
+	raw      transport.Mesh
+	rank     int
+	elastic  bool
+	joining  bool
+	viewMu   sync.RWMutex
+	view     cluster.View
+	pendingV *pendingView
+	deferred []transport.Message
+	// viewFence is the restart iteration of the last committed view;
+	// data frames stamped below it are dead old-epoch traffic (their
+	// rounds were recomputed from the adopted replica) and are dropped
+	// on receive. Guarded by routeMu. Monotonic: each barrier's restart
+	// is at least the previous one, since members resume there.
+	viewFence   int
+	planShape   func(workers int) ([]ParamPlan, error)
+	scaleFor    func(workers int) float32
+	onView      func(cluster.View)
+	viewTimeout time.Duration
 
 	plans      []ParamPlan
 	syncers    []Syncer
@@ -138,30 +200,33 @@ func (r *Router) failWith(err error, broadcast bool) {
 	}
 	r.errMu.Unlock()
 	r.clock.Abort()
-	// A compute loop parked at a reroute barrier must observe the
-	// failure instead of waiting for a REPLAN frame that will never
+	// A compute loop parked at a reroute or membership barrier must
+	// observe the failure instead of waiting for a frame that will never
 	// arrive. The wakeup takes routeMu so it cannot slip into the
 	// window between a waiter's condition check and its Wait (the error
 	// above is visible before the lock is granted); it runs on its own
 	// goroutine because failWith is reachable from paths that already
 	// hold routeMu — an inline send failing during parked-frame replay.
+	// The abort broadcast rides the same goroutine, snapshotting the
+	// dense size under routeMu so it never races a view swap.
+	doBroadcast := broadcast && !r.abortSent.Swap(true)
 	go func() {
 		r.routeMu.Lock()
 		r.routeCond.Broadcast()
+		n, id := r.n, r.id
 		r.routeMu.Unlock()
-	}()
-	if broadcast && !r.abortSent.Swap(true) {
-		// Best-effort, off the failing goroutine: peers' receive loops
-		// are still draining, but a dead peer must not block the rest.
-		go func() {
-			for p := 0; p < r.n; p++ {
-				if p == r.id {
-					continue
-				}
-				_ = r.mesh.Send(p, transport.Message{Type: transport.MsgControl, Layer: -1})
+		if !doBroadcast {
+			return
+		}
+		// Best-effort: peers' receive loops are still draining, but a
+		// dead peer must not block the rest.
+		for p := 0; p < n; p++ {
+			if p == id {
+				continue
 			}
-		}()
-	}
+			_ = r.mesh.Send(p, transport.Message{Type: transport.MsgControl, Layer: -1})
+		}
+	}()
 }
 
 // NewRouter validates the plan set, builds one syncer per parameter,
@@ -173,21 +238,62 @@ func NewRouter(cfg Config) (*Router, error) {
 	if len(cfg.Plans) != len(cfg.Params) {
 		return nil, fmt.Errorf("comm: %d plans for %d params", len(cfg.Plans), len(cfg.Params))
 	}
+	if cfg.Joining && !cfg.Elastic {
+		return nil, fmt.Errorf("comm: Joining requires Elastic")
+	}
+	view := cfg.View
+	if view.Size() == 0 {
+		view = cluster.Initial(cfg.Mesh.N())
+	}
+	rank := cfg.Mesh.Self()
+	if !view.Contains(rank) && !cfg.Joining {
+		return nil, fmt.Errorf("comm: self rank %d not in %v", rank, view)
+	}
+	timeout := cfg.ViewTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
 	r := &Router{
-		mesh:       cfg.Mesh,
-		id:         cfg.Mesh.Self(),
-		n:          cfg.Mesh.N(),
-		scale:      cfg.Scale,
-		staleness:  cfg.Staleness,
-		plans:      cfg.Plans,
-		shard:      kvstore.NewShard(cfg.Mesh.N()),
-		clock:      consistency.NewStalenessClock(len(cfg.Plans), cfg.Staleness),
-		chunkElems: cfg.ChunkElems,
-		bank:       sfb.NewBank(),
-		sfSource:   cfg.SFSource,
-		metrics:    cfg.Metrics,
+		mesh:        cfg.Mesh,
+		id:          view.Index(rank),
+		n:           view.Size(),
+		rank:        rank,
+		view:        view,
+		elastic:     cfg.Elastic,
+		joining:     cfg.Joining,
+		planShape:   cfg.PlanShape,
+		scaleFor:    cfg.ScaleFor,
+		onView:      cfg.OnViewChange,
+		viewTimeout: timeout,
+		scale:       cfg.Scale,
+		staleness:   cfg.Staleness,
+		plans:       cfg.Plans,
+		shard:       kvstore.NewShard(view.Size()),
+		clock:       consistency.NewStalenessClock(len(cfg.Plans), cfg.Staleness),
+		chunkElems:  cfg.ChunkElems,
+		bank:        sfb.NewBank(),
+		sfSource:    cfg.SFSource,
+		metrics:     cfg.Metrics,
+	}
+	if r.joining {
+		// A joiner parks every data frame from the moment the receive
+		// loop starts; the barrier resolves when the leader's MsgView
+		// adopts it (applyViewLocked rebuilds everything below anyway).
+		r.pendingV = &pendingView{
+			dead:    make(map[int]bool),
+			joined:  make(map[int]bool),
+			leavers: make(map[int]bool),
+			halts:   make(map[int]int),
+		}
 	}
 	r.routeCond = sync.NewCond(&r.routeMu)
+	if cfg.StartIter < 0 {
+		return nil, fmt.Errorf("comm: negative start iteration %d", cfg.StartIter)
+	}
+	if cfg.StartIter > 0 {
+		r.clock.Reset(cfg.StartIter)
+		r.viewFence = cfg.StartIter
+	}
 	if r.metrics != nil {
 		r.shard.SetMetrics(r.metrics.KV())
 	}
@@ -235,6 +341,14 @@ func NewRouter(cfg Config) (*Router, error) {
 					r.pstats[i].CountRecv(wireBytes)
 				}
 			})
+	}
+	// The raw mesh speaks transport ranks; in elastic mode the syncers
+	// instead address the dense 0..P−1 ids of the live view through a
+	// translating wrapper, so a shrunken or grown membership never
+	// changes syncer logic — only the table underneath it.
+	r.raw = r.mesh
+	if r.elastic {
+		r.mesh = &viewMesh{r: r}
 	}
 	if cfg.Overlap {
 		// Created last, after every validation error return, so a
@@ -355,6 +469,29 @@ func (r *Router) receiveLoop() {
 			r.failWith(fmt.Errorf("comm: peer %d aborted", msg.From), false)
 			return
 		}
+		if msg.Type == transport.MsgPeerGone || msg.Type == transport.MsgPeerUp {
+			msg.ReleasePayload()
+			if !r.elastic {
+				r.failWith(fmt.Errorf("comm: lifecycle event %#x for peer %d on a fixed-size router", byte(msg.Type), msg.From), false)
+				return
+			}
+			r.noteLifecycle(msg)
+			continue
+		}
+		if msg.Type == transport.MsgViewHalt {
+			if err := r.handleViewHalt(msg); err != nil {
+				r.fail(err)
+				return
+			}
+			continue
+		}
+		if msg.Type == transport.MsgView {
+			if err := r.handleViewFrame(msg); err != nil {
+				r.fail(err)
+				return
+			}
+			continue
+		}
 		if msg.Type == transport.MsgReplan {
 			if err := r.handleReplanFrame(msg); err != nil {
 				r.fail(err)
@@ -369,6 +506,26 @@ func (r *Router) receiveLoop() {
 			return
 		}
 		r.routeMu.Lock()
+		if r.elastic && int(msg.Iter) < r.viewFence {
+			// Stale traffic from an epoch this node already left: a
+			// peer's pooled data sends can trail its halt and the
+			// leader's MsgView (control frames bypass the send pool), so
+			// a frame below the committed restart iteration may arrive
+			// after the barrier resolved. Its round was fenced out and
+			// recomputed from the adopted replica — drop it.
+			r.routeMu.Unlock()
+			msg.ReleasePayload()
+			continue
+		}
+		if r.elastic && r.pendingV != nil {
+			// A membership barrier is open: hold every data frame (lease
+			// retained, transport rank preserved) until the successor
+			// view decides which survive the fence and under which
+			// dense ids they replay.
+			r.pendingV.held = append(r.pendingV.held, msg)
+			r.routeMu.Unlock()
+			continue
+		}
 		if p := r.pending; p != nil && int(msg.Iter) >= p.barrier {
 			// The sender already crossed an armed replan barrier this
 			// node has not applied yet: park the frame (lease retained)
@@ -377,6 +534,18 @@ func (r *Router) receiveLoop() {
 			p.held = append(p.held, msg)
 			r.routeMu.Unlock()
 			continue
+		}
+		if r.elastic {
+			// Translate the sender's transport rank to its dense worker
+			// id under the live view; frames from non-members (a removed
+			// rank's stragglers) drop here.
+			dense := r.view.Index(int(msg.From))
+			if dense < 0 {
+				r.routeMu.Unlock()
+				msg.ReleasePayload()
+				continue
+			}
+			msg.From = int32(dense)
 		}
 		s := r.syncers[index]
 		r.routeMu.Unlock()
@@ -438,6 +607,9 @@ func (r *Router) ArmReroute(barrier int) {
 	defer r.routeMu.Unlock()
 	if r.pending != nil {
 		panic("comm: ArmReroute with a reroute already pending")
+	}
+	if r.pendingV != nil {
+		panic("comm: ArmReroute during a membership change")
 	}
 	r.pending = &pendingReroute{barrier: barrier}
 }
@@ -685,11 +857,26 @@ func (r *Router) Stop() {
 	r.routeMu.Lock()
 	p := r.pending
 	r.pending = nil
+	pv := r.pendingV
+	r.pendingV = nil
+	deferred := r.deferred
+	r.deferred = nil
 	r.routeMu.Unlock()
 	if p != nil {
 		for _, m := range p.held {
 			m.ReleasePayload()
 		}
+	}
+	if pv != nil {
+		if pv.timer != nil {
+			pv.timer.Stop()
+		}
+		for _, m := range pv.held {
+			m.ReleasePayload()
+		}
+	}
+	for _, m := range deferred {
+		m.ReleasePayload()
 	}
 }
 

@@ -1,0 +1,940 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/sfb"
+	"repro/internal/transport"
+)
+
+// Membership epochs generalize the replan barrier to changes in WHO is
+// training, not just HOW parameters route. The protocol, end to end:
+//
+//  1. Trigger. The transport injects MsgPeerGone (a peer crashed) or
+//     MsgPeerUp (a joiner attached), a peer's MsgViewHalt arrives, or
+//     the local node calls Leave. The receive loop opens a pendingView,
+//     parks every subsequent data frame (leases retained), and
+//     interrupts the consistency clock so the compute loop unblocks.
+//
+//  2. Halt. Each live member of the old view reaches AwaitView with the
+//     iteration it would have launched next and broadcasts that halt
+//     iteration — plus everything it has observed (dead set, join set,
+//     its own leave intent) — to every live old member, then waits.
+//     Halts go to everyone so any surviving rank can lead.
+//
+//  3. Decide. The leader (minimum live rank of the old view) collects
+//     a halt from every live old member, computes the successor view
+//     (old − dead − leavers + joiners) and the restart iteration
+//     (max of the halt iterations — no member launched past it, so
+//     every old-epoch frame is stamped below it), re-runs the route
+//     planner for the new shape, and broadcasts MsgView carrying the
+//     view, the restart iteration, the route vector, and its staged
+//     replica — the bytes every survivor and joiner adopts.
+//
+//  4. Apply. On MsgView each member drains the send pool, adopts the
+//     leader's parameters, rebuilds shard/bank/syncers for the new
+//     size, rescales updates, resets the clock to the restart
+//     iteration, and replays parked frames — dropping those fenced
+//     below the restart iteration (their rounds are recomputed) and
+//     those from ranks outside the new view. A member absent from the
+//     view (a leaver, by request) returns Left instead of rebuilding.
+//
+// The fence needs no per-peer bookkeeping: a member only emits data
+// frames for iterations it launched, all below its own halt, so every
+// old-epoch frame satisfies Iter < restartIter; and a peer can only
+// emit new-epoch frames (Iter >= restartIter) after applying MsgView,
+// which the leader sends only after collecting this node's halt — by
+// then this node is parked, so the frame is held and replayed, never
+// misdispatched.
+
+// ViewChange reports one committed membership barrier to the caller.
+type ViewChange struct {
+	// View is the successor membership.
+	View cluster.View
+	// RestartIter is the iteration training resumes at; the clock is
+	// reset so WaitFor(RestartIter) passes immediately.
+	RestartIter int
+	// Left is true when this node was excluded from the successor view
+	// (it asked to Leave): the router did not rebuild, and the caller
+	// should wind down gracefully.
+	Left bool
+}
+
+// pendingView accumulates one in-progress membership transition.
+type pendingView struct {
+	dead    map[int]bool // ranks whose links failed (union of local + halted observations)
+	joined  map[int]bool // ranks attached but not yet members
+	leavers map[int]bool // ranks that announced voluntary departure
+	halts   map[int]int  // live old member rank → halt iteration
+	leave   bool         // this node wants out
+
+	haltSent bool // this node broadcast its halt
+	composed bool // this node (as leader) broadcast MsgView
+	view     *viewPayload
+	held     []transport.Message
+	expired  bool
+	timer    *time.Timer
+}
+
+// viewPayload is the decoded MsgView frame.
+type viewPayload struct {
+	view    cluster.View
+	restart int
+	routes  []byte
+	params  [][]float32
+}
+
+func sortedRanks(set map[int]bool) []int {
+	ranks := make([]int, 0, len(set))
+	for r := range set {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// viewMesh presents the current view to the syncers as a dense 0..P−1
+// mesh: sends translate dense indices to transport ranks under the live
+// view, so syncer logic is untouched by membership changes. Reads take
+// viewMu because pool workers execute queued sends concurrently with
+// everything except the barrier itself (which drains the pool before
+// swapping the view).
+type viewMesh struct{ r *Router }
+
+func (v *viewMesh) Self() int {
+	v.r.viewMu.RLock()
+	defer v.r.viewMu.RUnlock()
+	return v.r.id
+}
+
+func (v *viewMesh) N() int {
+	v.r.viewMu.RLock()
+	defer v.r.viewMu.RUnlock()
+	return v.r.n
+}
+
+func (v *viewMesh) rankOf(dense int) (int, error) {
+	v.r.viewMu.RLock()
+	defer v.r.viewMu.RUnlock()
+	if dense < 0 || dense >= len(v.r.view.Members) {
+		return 0, fmt.Errorf("comm: send to dense id %d outside %v", dense, v.r.view)
+	}
+	return v.r.view.Members[dense], nil
+}
+
+func (v *viewMesh) Send(to int, msg transport.Message) error {
+	rank, err := v.rankOf(to)
+	if err != nil {
+		return err
+	}
+	return v.r.raw.Send(rank, msg)
+}
+
+func (v *viewMesh) SendBatch(to int, msgs []transport.Message) error {
+	rank, err := v.rankOf(to)
+	if err != nil {
+		return err
+	}
+	return v.r.raw.SendBatch(rank, msgs)
+}
+
+func (v *viewMesh) Recv() (transport.Message, error) { return v.r.raw.Recv() }
+func (v *viewMesh) Detach(peer int) error            { return v.r.raw.Detach(peer) }
+func (v *viewMesh) Close() error                     { return v.r.raw.Close() }
+
+// attachWaiter is the optional transport capability the barrier uses to
+// make sure a joiner's link is up before new-epoch traffic targets it.
+type attachWaiter interface {
+	WaitAttached(rank int, timeout time.Duration) error
+}
+
+// View returns the live membership view (a copy).
+func (r *Router) View() cluster.View {
+	r.viewMu.RLock()
+	defer r.viewMu.RUnlock()
+	return r.view.Clone()
+}
+
+// ViewPending reports whether a membership transition is in progress —
+// the compute loop's cue to call AwaitView.
+func (r *Router) ViewPending() bool {
+	r.routeMu.Lock()
+	defer r.routeMu.Unlock()
+	return r.pendingV != nil
+}
+
+// Leave announces this node's voluntary departure: it opens the
+// membership barrier (peers learn of the intent from this node's halt
+// broadcast) and interrupts the clock. The caller then runs AwaitView
+// like any other member and receives Left=true once the successor view
+// excludes it.
+func (r *Router) Leave() error {
+	if !r.elastic {
+		return fmt.Errorf("comm: Leave on a fixed-size router")
+	}
+	r.routeMu.Lock()
+	if !r.ensurePendingLocked() {
+		r.routeMu.Unlock()
+		return r.Err()
+	}
+	r.pendingV.leave = true
+	r.routeCond.Broadcast()
+	r.routeMu.Unlock()
+	r.clock.Interrupt()
+	return nil
+}
+
+// ensurePendingLocked opens the membership barrier if none is open.
+// Caller holds routeMu. Returns false when the router cannot accept a
+// membership change (a replan barrier is armed — the two barriers do
+// not compose; the run fails with a clear error instead of deadlocking
+// with frames parked under two different fences).
+func (r *Router) ensurePendingLocked() bool {
+	if r.pendingV != nil {
+		return true
+	}
+	if r.pending != nil {
+		r.failWith(fmt.Errorf("comm: membership change while replan barrier %d is armed — rerouting and membership epochs cannot overlap", r.pending.barrier), true)
+		return false
+	}
+	r.pendingV = &pendingView{
+		dead:    make(map[int]bool),
+		joined:  make(map[int]bool),
+		leavers: make(map[int]bool),
+		halts:   make(map[int]int),
+	}
+	r.armViewTimerLocked(r.pendingV)
+	return true
+}
+
+func (r *Router) armViewTimerLocked(p *pendingView) {
+	if p.timer != nil {
+		return
+	}
+	p.timer = time.AfterFunc(r.viewTimeout, func() {
+		r.routeMu.Lock()
+		if r.pendingV == p {
+			p.expired = true
+			r.routeCond.Broadcast()
+		}
+		r.routeMu.Unlock()
+	})
+}
+
+// noteLifecycle folds one synthetic transport event into the barrier.
+// Runs on the receive goroutine.
+func (r *Router) noteLifecycle(msg transport.Message) {
+	rank := int(msg.From)
+	r.routeMu.Lock()
+	defer r.routeMu.Unlock()
+	switch msg.Type {
+	case transport.MsgPeerGone:
+		if !r.view.Contains(rank) {
+			return // already excluded (stale event for a removed rank)
+		}
+		if !r.ensurePendingLocked() {
+			return
+		}
+		r.pendingV.dead[rank] = true
+	case transport.MsgPeerUp:
+		if r.view.Contains(rank) {
+			return // re-attachment of a current member is not a join
+		}
+		if !r.ensurePendingLocked() {
+			return
+		}
+		r.pendingV.joined[rank] = true
+	}
+	r.routeCond.Broadcast()
+	r.clock.Interrupt()
+}
+
+// ---- MsgViewHalt -----------------------------------------------------------
+
+// appendHaltPayload encodes a halt announcement:
+// u32 epoch (the epoch being left) | u8 leave | u32 ndead | ranks |
+// u32 njoin | ranks.
+func appendHaltPayload(buf []byte, epoch int, leave bool, dead, joined []int) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(epoch))
+	if leave {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(dead)))
+	for _, d := range dead {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(joined)))
+	for _, j := range joined {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(j))
+	}
+	return buf
+}
+
+type haltPayload struct {
+	epoch  int
+	leave  bool
+	dead   []int
+	joined []int
+}
+
+func decodeHaltPayload(buf []byte) (haltPayload, error) {
+	var h haltPayload
+	readU32 := func() (int, bool) {
+		if len(buf) < 4 {
+			return 0, false
+		}
+		v := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		return v, true
+	}
+	epoch, ok := readU32()
+	if !ok || len(buf) < 1 {
+		return h, fmt.Errorf("comm: short halt payload")
+	}
+	h.epoch = epoch
+	h.leave = buf[0] != 0
+	buf = buf[1:]
+	for _, dst := range []*[]int{&h.dead, &h.joined} {
+		n, ok := readU32()
+		if !ok {
+			return h, fmt.Errorf("comm: short halt payload")
+		}
+		for i := 0; i < n; i++ {
+			v, ok := readU32()
+			if !ok {
+				return h, fmt.Errorf("comm: short halt payload")
+			}
+			*dst = append(*dst, v)
+		}
+	}
+	return h, nil
+}
+
+// broadcastHalt announces this node's halt iteration and observations
+// to every live member of the old view. Sends go over the raw mesh in
+// rank space; elastic transports drop sends to already-dead ranks
+// silently, so a racing crash cannot fail the halt.
+func (r *Router) broadcastHalt(old cluster.View, nextIter int, leave bool, dead, joined []int) error {
+	ref := transport.LeasePayload(13 + 4*(len(dead)+len(joined)))
+	ref.SetBytes(appendHaltPayload(ref.Bytes(), old.Epoch, leave, dead, joined))
+	msg := transport.Message{
+		Type:    transport.MsgViewHalt,
+		Layer:   -1,
+		Iter:    int32(nextIter),
+		Payload: ref.Bytes(),
+	}
+	msg.AttachLease(ref)
+	var firstErr error
+	for _, m := range old.Members {
+		if m == r.rank || containsRank(dead, m) {
+			continue
+		}
+		ref.Retain()
+		cp := msg
+		err := r.raw.Send(m, cp)
+		cp.ReleasePayload()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	ref.Release()
+	return firstErr
+}
+
+func containsRank(ranks []int, r int) bool {
+	for _, x := range ranks {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// handleViewHalt folds a peer's halt into the barrier. Runs on the
+// receive goroutine. Halts for a future epoch (the sender already
+// applied a view this node hasn't) are deferred and refolded after the
+// local apply, so cascaded failures are not lost.
+func (r *Router) handleViewHalt(msg transport.Message) error {
+	if !r.elastic {
+		msg.ReleasePayload()
+		return fmt.Errorf("comm: VIEWHALT from peer %d on a fixed-size router", msg.From)
+	}
+	h, err := decodeHaltPayload(msg.Payload)
+	if err != nil {
+		msg.ReleasePayload()
+		return err
+	}
+	r.routeMu.Lock()
+	defer r.routeMu.Unlock()
+	if h.epoch > r.view.Epoch {
+		r.deferred = append(r.deferred, msg) // lease retained until refold
+		return nil
+	}
+	defer msg.ReleasePayload()
+	if h.epoch < r.view.Epoch || !r.view.Contains(int(msg.From)) {
+		return nil // stale: that transition already committed here
+	}
+	if !r.ensurePendingLocked() {
+		return nil
+	}
+	p := r.pendingV
+	p.halts[int(msg.From)] = int(msg.Iter)
+	if h.leave {
+		p.leavers[int(msg.From)] = true
+	}
+	for _, d := range h.dead {
+		if r.view.Contains(d) {
+			p.dead[d] = true
+		}
+	}
+	for _, j := range h.joined {
+		if !r.view.Contains(j) {
+			p.joined[j] = true
+		}
+	}
+	r.routeCond.Broadcast()
+	r.clock.Interrupt()
+	return nil
+}
+
+// ---- MsgView ---------------------------------------------------------------
+
+// composeViewLocked builds the successor view and its MsgView payload
+// from the collected halts. Caller holds routeMu; the staged replica is
+// frozen (receive loop parked, compute loop is here).
+func (r *Router) composeViewLocked(p *pendingView) (*viewPayload, []int, error) {
+	removed := sortedRanks(p.dead)
+	for l := range p.leavers {
+		if !containsRank(removed, l) {
+			removed = append(removed, l)
+		}
+	}
+	if p.leave && !containsRank(removed, r.rank) {
+		removed = append(removed, r.rank)
+	}
+	sort.Ints(removed)
+	next := r.view.Next(removed, sortedRanks(p.joined))
+	if next.Size() == 0 {
+		return nil, nil, fmt.Errorf("comm: membership change leaves an empty view")
+	}
+	restart := 0
+	for _, h := range p.halts {
+		if h > restart {
+			restart = h
+		}
+	}
+	routes := make([]byte, len(r.plans))
+	for i, plan := range r.plans {
+		routes[i] = byte(plan.Route)
+	}
+	if r.planShape != nil {
+		plans, err := r.planShape(next.Size())
+		if err != nil {
+			return nil, nil, fmt.Errorf("comm: replanning for %v: %w", next, err)
+		}
+		if plans != nil {
+			if len(plans) != len(r.plans) {
+				return nil, nil, fmt.Errorf("comm: shape replan produced %d plans for %d params", len(plans), len(r.plans))
+			}
+			for i, plan := range plans {
+				routes[i] = byte(plan.Route)
+			}
+		}
+	}
+	pv := &viewPayload{view: next, restart: restart, routes: routes}
+	r.stageMu.Lock()
+	for _, m := range r.staged {
+		vals := make([]float32, len(m.Data))
+		copy(vals, m.Data)
+		pv.params = append(pv.params, vals)
+	}
+	r.stageMu.Unlock()
+
+	// Recipients: every live old member (leavers included — MsgView is
+	// how they learn they are out) plus every joiner; not self.
+	var to []int
+	for _, m := range r.view.Members {
+		if m != r.rank && !p.dead[m] {
+			to = append(to, m)
+		}
+	}
+	for j := range p.joined {
+		if !containsRank(to, j) {
+			to = append(to, j)
+		}
+	}
+	sort.Ints(to)
+	return pv, to, nil
+}
+
+// appendViewPayload encodes: view wire (epoch|count|members) |
+// u32 restartIter | u32 nroutes | route bytes | u32 nparams |
+// per param (index order): u32 nvals | float32 LE values.
+func appendViewPayload(buf []byte, pv *viewPayload) []byte {
+	buf = pv.view.AppendWire(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(pv.restart))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pv.routes)))
+	buf = append(buf, pv.routes...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pv.params)))
+	for _, vals := range pv.params {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vals)))
+		for _, v := range vals {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	}
+	return buf
+}
+
+func decodeViewPayload(buf []byte) (*viewPayload, error) {
+	view, rest, err := cluster.DecodeWire(buf)
+	if err != nil {
+		return nil, err
+	}
+	buf = rest
+	readU32 := func() (int, bool) {
+		if len(buf) < 4 {
+			return 0, false
+		}
+		v := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		return v, true
+	}
+	pv := &viewPayload{view: view}
+	var ok bool
+	if pv.restart, ok = readU32(); !ok {
+		return nil, fmt.Errorf("comm: short VIEW payload")
+	}
+	nroutes, ok := readU32()
+	if !ok || len(buf) < nroutes {
+		return nil, fmt.Errorf("comm: short VIEW payload")
+	}
+	pv.routes = append([]byte(nil), buf[:nroutes]...)
+	buf = buf[nroutes:]
+	nparams, ok := readU32()
+	if !ok {
+		return nil, fmt.Errorf("comm: short VIEW payload")
+	}
+	for i := 0; i < nparams; i++ {
+		nvals, ok := readU32()
+		if !ok || len(buf) < 4*nvals {
+			return nil, fmt.Errorf("comm: short VIEW payload (param %d)", i)
+		}
+		vals := make([]float32, nvals)
+		for j := range vals {
+			vals[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		buf = buf[4*nvals:]
+		pv.params = append(pv.params, vals)
+	}
+	return pv, nil
+}
+
+// sendView broadcasts the MsgView frame to the given ranks.
+func (r *Router) sendView(pv *viewPayload, to []int) error {
+	size := 12 + 4*len(pv.view.Members) + 8 + len(pv.routes) + 4
+	for _, vals := range pv.params {
+		size += 4 + 4*len(vals)
+	}
+	ref := transport.LeasePayload(size)
+	ref.SetBytes(appendViewPayload(ref.Bytes(), pv))
+	msg := transport.Message{
+		Type:    transport.MsgView,
+		Layer:   -1,
+		Iter:    int32(pv.restart),
+		Payload: ref.Bytes(),
+	}
+	msg.AttachLease(ref)
+	var firstErr error
+	for _, rank := range to {
+		ref.Retain()
+		cp := msg
+		err := r.raw.Send(rank, cp)
+		cp.ReleasePayload()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	ref.Release()
+	return firstErr
+}
+
+// handleViewFrame records the leader's decision. Runs on the receive
+// goroutine. Frames for epochs beyond the immediate successor are
+// deferred (pipelined transitions from fast peers); duplicates and
+// frames for already-committed epochs are dropped.
+func (r *Router) handleViewFrame(msg transport.Message) error {
+	if !r.elastic {
+		msg.ReleasePayload()
+		return fmt.Errorf("comm: VIEW frame from peer %d on a fixed-size router", msg.From)
+	}
+	pv, err := decodeViewPayload(msg.Payload)
+	if err != nil {
+		msg.ReleasePayload()
+		return err
+	}
+	msg.ReleasePayload()
+	r.routeMu.Lock()
+	defer r.routeMu.Unlock()
+	switch {
+	case pv.view.Epoch <= r.view.Epoch:
+		return nil // duplicate leader or already committed
+	case pv.view.Epoch > r.view.Epoch+1 && !r.joining:
+		return fmt.Errorf("comm: VIEW for epoch %d skips epoch %d", pv.view.Epoch, r.view.Epoch+1)
+	}
+	if !r.ensurePendingLocked() {
+		return nil
+	}
+	if r.pendingV.view == nil {
+		// First decision wins; a duplicate from a partitioned co-leader
+		// is dropped (split-brain on link-only failures is out of scope).
+		r.pendingV.view = pv
+	}
+	r.routeCond.Broadcast()
+	r.clock.Interrupt()
+	return nil
+}
+
+// ---- The barrier -----------------------------------------------------------
+
+// AwaitView runs the membership barrier from the compute goroutine.
+// nextIter is the iteration this node would launch next — its halt
+// iteration (every frame it has sent is stamped below it). The call
+// broadcasts the halt, waits for the leader's MsgView (composing and
+// broadcasting it itself when it is the minimum live rank), applies the
+// successor view, and returns it. A joining router passes any value; it
+// broadcasts nothing and simply waits to be adopted.
+func (r *Router) AwaitView(nextIter int) (ViewChange, error) {
+	if !r.elastic {
+		return ViewChange{}, fmt.Errorf("comm: AwaitView on a fixed-size router")
+	}
+	r.routeMu.Lock()
+	p := r.pendingV
+	if p == nil {
+		r.routeMu.Unlock()
+		return ViewChange{}, fmt.Errorf("comm: AwaitView with no membership change pending")
+	}
+	r.armViewTimerLocked(p)
+	if !r.joining && !p.haltSent {
+		p.haltSent = true
+		p.halts[r.rank] = nextIter
+		old := r.view.Clone()
+		leave := p.leave
+		dead := sortedRanks(p.dead)
+		joined := sortedRanks(p.joined)
+		r.routeMu.Unlock()
+		if err := r.broadcastHalt(old, nextIter, leave, dead, joined); err != nil {
+			r.fail(err)
+			return ViewChange{}, r.Err()
+		}
+		r.routeMu.Lock()
+	}
+	for p.view == nil {
+		if err := r.Err(); err != nil {
+			r.routeMu.Unlock()
+			return ViewChange{}, err
+		}
+		if p.expired {
+			r.routeMu.Unlock()
+			err := fmt.Errorf("comm: membership barrier timed out after %v (halts from %v, dead %v)",
+				r.viewTimeout, sortedRanks(boolKeys(p.halts)), sortedRanks(p.dead))
+			r.fail(err)
+			return ViewChange{}, err
+		}
+		if !r.joining && !p.composed && r.leaderLocked(p) && r.haveAllHaltsLocked(p) {
+			p.composed = true
+			pv, to, err := r.composeViewLocked(p)
+			if err != nil {
+				r.routeMu.Unlock()
+				r.fail(err)
+				return ViewChange{}, err
+			}
+			r.routeMu.Unlock()
+			sendErr := r.sendView(pv, to)
+			r.routeMu.Lock()
+			if sendErr != nil {
+				r.routeMu.Unlock()
+				r.fail(sendErr)
+				return ViewChange{}, sendErr
+			}
+			p.view = pv
+			break
+		}
+		r.routeCond.Wait()
+	}
+	vc, err := r.applyViewLocked(p)
+	r.routeMu.Unlock()
+	if err != nil {
+		r.fail(err)
+		return ViewChange{}, err
+	}
+	if r.onView != nil && !vc.Left {
+		r.onView(vc.View)
+	}
+	return vc, nil
+}
+
+func boolKeys(m map[int]int) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// leaderLocked reports whether this node is the barrier leader: the
+// minimum old-view rank not observed dead. Halts are broadcast to every
+// live member, so leadership fails over with no extra round trips.
+func (r *Router) leaderLocked(p *pendingView) bool {
+	for _, m := range r.view.Members {
+		if !p.dead[m] {
+			return m == r.rank
+		}
+	}
+	return false
+}
+
+// haveAllHaltsLocked reports whether every live old member has halted.
+func (r *Router) haveAllHaltsLocked(p *pendingView) bool {
+	for _, m := range r.view.Members {
+		if p.dead[m] {
+			continue
+		}
+		if _, ok := p.halts[m]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// applyViewLocked commits the decided view. Caller holds routeMu (so
+// the receive loop is excluded and the park set is frozen).
+func (r *Router) applyViewLocked(p *pendingView) (ViewChange, error) {
+	pv := p.view
+	p.timer.Stop()
+	if !pv.view.Contains(r.rank) {
+		// Excluded: this node asked to leave (or the cluster moved on
+		// without it). Nothing to rebuild — release the parked frames
+		// and report the departure.
+		for _, m := range p.held {
+			m.ReleasePayload()
+		}
+		r.pendingV = nil
+		return ViewChange{View: pv.view, RestartIter: pv.restart, Left: true}, nil
+	}
+	if len(pv.routes) != len(r.plans) {
+		return ViewChange{}, fmt.Errorf("comm: VIEW names %d routes, router has %d params", len(pv.routes), len(r.plans))
+	}
+	if len(pv.params) != len(r.plans) {
+		return ViewChange{}, fmt.Errorf("comm: VIEW carries %d params, router has %d", len(pv.params), len(r.plans))
+	}
+	// Drain the egress backlog before the dense→rank table changes:
+	// queued sends must resolve under the epoch that produced them.
+	if r.pool != nil {
+		r.pool.flush()
+	}
+	// Adopt the leader's replica. At a crash barrier local folds may
+	// have diverged (frames fenced out below arrived on some nodes and
+	// not others); adopting one authority keeps replicas byte-identical.
+	r.stageMu.Lock()
+	for i, vals := range pv.params {
+		if len(vals) != len(r.staged[i].Data) {
+			r.stageMu.Unlock()
+			return ViewChange{}, fmt.Errorf("comm: VIEW param %d has %d values, want %d", i, len(vals), len(r.staged[i].Data))
+		}
+		copy(r.staged[i].Data, vals)
+	}
+	r.stageMu.Unlock()
+
+	oldView := r.view
+	r.viewMu.Lock()
+	r.view = pv.view
+	r.id = pv.view.Index(r.rank)
+	r.n = pv.view.Size()
+	r.viewMu.Unlock()
+	if r.scaleFor != nil {
+		r.scale = r.scaleFor(r.n)
+	} else if oldView.Size() != r.n {
+		r.scale = r.scale * float32(oldView.Size()) / float32(r.n)
+	}
+
+	// Fresh server-side state for the new size; every syncer is rebuilt
+	// (the shard and bank they bind to changed even when the route did
+	// not), re-seeding KV pairs from the just-adopted replica so every
+	// node's shards agree byte-for-byte.
+	r.shard = kvstore.NewShard(r.n)
+	if r.metrics != nil {
+		r.shard.SetMetrics(r.metrics.KV())
+	}
+	r.bank = sfb.NewBank()
+	r.stageMu.Lock()
+	for i := range r.plans {
+		plan := r.plans[i]
+		if route := Route(pv.routes[i]); route != plan.Route {
+			plan.Route = route
+			plan.SF = nil
+		}
+		if plan.Route == RouteSFB && plan.SF == nil {
+			if r.sfSource != nil {
+				plan.SF = r.sfSource(i)
+			}
+			if plan.SF == nil {
+				r.stageMu.Unlock()
+				return ViewChange{}, fmt.Errorf("comm: view moved param %d (%s) to SFB without an SF source", i, plan.Name)
+			}
+		}
+		s, err := r.buildSyncer(plan, r.staged[i])
+		if err != nil {
+			r.stageMu.Unlock()
+			return ViewChange{}, err
+		}
+		oldRoute := r.plans[i].Route
+		r.syncers[i] = s
+		r.plans[i] = plan
+		r.initRingSlot(i, plan)
+		if r.metrics != nil && plan.Route != oldRoute {
+			r.pstats[i].SetRoute(plan.Route.String())
+		}
+	}
+	r.stageMu.Unlock()
+	r.clock.Reset(pv.restart)
+	r.viewFence = pv.restart
+
+	if r.metrics != nil {
+		r.metrics.RecordViewChange(metrics.ViewChangeEvent{
+			Epoch:       pv.view.Epoch,
+			RestartIter: pv.restart,
+			Members:     append([]int(nil), pv.view.Members...),
+			Dead:        sortedRanks(p.dead),
+			Joined:      sortedRanks(p.joined),
+			Left:        sortedRanks(p.leavers),
+		})
+	}
+	// Sever links to crashed ranks (idempotent — the transport usually
+	// already did) so straggling sends drop silently. Leavers keep their
+	// links until they close them; their goodbye detaches silently.
+	for d := range p.dead {
+		_ = r.raw.Detach(d)
+	}
+	// A joiner's link must be up before new-epoch traffic targets it; on
+	// transports that can say so, wait (bounded by the barrier timeout).
+	if aw, ok := r.raw.(attachWaiter); ok {
+		for _, m := range pv.view.Members {
+			if m != r.rank && !oldView.Contains(m) {
+				if err := aw.WaitAttached(m, r.viewTimeout); err != nil {
+					return ViewChange{}, fmt.Errorf("comm: joiner %d never attached: %w", m, err)
+				}
+			}
+		}
+	}
+
+	// Replay the parked frames through the rebuilt syncers, in arrival
+	// order. The iteration fence drops old-epoch traffic (all of it is
+	// stamped below the restart iteration — those rounds are recomputed
+	// from the adopted replica); frames from outside the view drop too.
+	held := p.held
+	r.pendingV = nil
+	r.joining = false
+	var err error
+	for _, m := range held {
+		if err == nil && int(m.Iter) >= pv.restart {
+			if dense := pv.view.Index(int(m.From)); dense >= 0 {
+				if idx := int(m.Layer); idx < 0 || idx >= len(r.syncers) {
+					err = fmt.Errorf("comm: parked message for unknown param %d", idx)
+				} else {
+					m.From = int32(dense)
+					err = r.syncers[idx].Handle(m)
+				}
+			}
+		}
+		m.ReleasePayload()
+	}
+	if err != nil {
+		return ViewChange{}, err
+	}
+	// Refold control frames that raced ahead of this commit (halts or a
+	// VIEW for the epoch we just entered — cascaded transitions).
+	deferred := r.deferred
+	r.deferred = nil
+	for i, m := range deferred {
+		switch m.Type {
+		case transport.MsgViewHalt:
+			// handleViewHalt re-takes routeMu; run the fold inline.
+			if err := r.refoldHaltLocked(m); err != nil {
+				for _, rest := range deferred[i+1:] {
+					rest.ReleasePayload()
+				}
+				return ViewChange{}, err
+			}
+		default:
+			m.ReleasePayload()
+		}
+	}
+	// Events observed after the leader composed but folded into the old
+	// barrier: a member of the committed view that is already dead, or
+	// an attached rank the view left out. Re-arm so the next barrier
+	// picks them up instead of losing the (once-only) transport event.
+	var carry bool
+	for d := range p.dead {
+		if r.view.Contains(d) {
+			if r.ensurePendingLocked() {
+				r.pendingV.dead[d] = true
+				carry = true
+			}
+		}
+	}
+	for j := range p.joined {
+		if !r.view.Contains(j) {
+			if r.ensurePendingLocked() {
+				r.pendingV.joined[j] = true
+				carry = true
+			}
+		}
+	}
+	if carry {
+		r.clock.Interrupt()
+	}
+	return ViewChange{View: pv.view.Clone(), RestartIter: pv.restart}, nil
+}
+
+// refoldHaltLocked folds a deferred halt frame under the (now current)
+// epoch it was stamped for. Caller holds routeMu.
+func (r *Router) refoldHaltLocked(msg transport.Message) error {
+	h, err := decodeHaltPayload(msg.Payload)
+	if err != nil {
+		msg.ReleasePayload()
+		return err
+	}
+	defer msg.ReleasePayload()
+	if h.epoch != r.view.Epoch || !r.view.Contains(int(msg.From)) {
+		return nil
+	}
+	if !r.ensurePendingLocked() {
+		return nil
+	}
+	p := r.pendingV
+	p.halts[int(msg.From)] = int(msg.Iter)
+	if h.leave {
+		p.leavers[int(msg.From)] = true
+	}
+	for _, d := range h.dead {
+		if r.view.Contains(d) {
+			p.dead[d] = true
+		}
+	}
+	for _, j := range h.joined {
+		if !r.view.Contains(j) {
+			p.joined[j] = true
+		}
+	}
+	r.clock.Interrupt()
+	return nil
+}

@@ -14,6 +14,11 @@ type StalenessClock struct {
 	staleness int
 	synced    []int // per object: highest fully-synchronized iteration
 	aborted   bool
+	// interrupted wakes waiters without poisoning the clock — a
+	// membership barrier needs the compute loop out of WaitFor so it can
+	// participate in the view change, after which Reset re-arms gating
+	// for the new epoch. Unlike aborted it is recoverable.
+	interrupted bool
 }
 
 // NewStalenessClock creates a clock for n objects with the given
@@ -53,9 +58,44 @@ func (c *StalenessClock) WaitFor(iter int) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for c.min() < need && !c.aborted {
+	for c.min() < need && !c.aborted && !c.interrupted {
 		c.cond.Wait()
 	}
+}
+
+// Interrupt wakes every pending WaitFor without poisoning the clock:
+// waiters return early and must check why (a membership barrier is the
+// intended reason). Future WaitFor calls also return immediately until
+// Reset clears the interruption — the view-change protocol needs the
+// compute loop to stay out of the gate while the transition runs.
+func (c *StalenessClock) Interrupt() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.interrupted = true
+	c.cond.Broadcast()
+}
+
+// Reset re-bases the clock at the start of a new membership epoch:
+// every object reads as synchronized through iter−1 (so WaitFor(iter)
+// admits the first post-barrier iteration immediately) and any pending
+// interruption is cleared. The abort flag is NOT cleared — a poisoned
+// clock stays poisoned.
+func (c *StalenessClock) Reset(iter int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.synced {
+		c.synced[i] = iter - 1
+	}
+	c.interrupted = false
+	c.cond.Broadcast()
+}
+
+// Interrupted reports whether an Interrupt is pending (not yet cleared
+// by Reset).
+func (c *StalenessClock) Interrupted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.interrupted
 }
 
 // Abort poisons the clock: every pending and future WaitFor returns

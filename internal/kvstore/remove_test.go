@@ -1,0 +1,149 @@
+package kvstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Remove must drop the pair and every piece of its accumulation state:
+// later pushes to the key are unknown-key errors, Get misses, and a
+// re-Init (the replica re-seed path of a membership transition) starts
+// the pair over with fresh state — no leftover contributions from the
+// removed incarnation may leak into the first fold of the new one.
+func TestRemoveDropsPairAndReseedStartsFresh(t *testing.T) {
+	s := NewShard(2)
+	s.Init("p0.0", []float32{1, 2})
+
+	// Leave a round half-accumulated, then remove.
+	if _, ready, err := s.PushRound("p0.0", 0, 0, []float32{10, 10}); err != nil || ready {
+		t.Fatalf("partial push: ready=%v err=%v", ready, err)
+	}
+	s.Remove("p0.0")
+	if _, ok := s.Get("p0.0"); ok {
+		t.Fatal("removed key still readable")
+	}
+	if _, _, err := s.PushRound("p0.0", 0, 1, []float32{10, 10}); err == nil {
+		t.Fatal("push to removed key must error")
+	}
+	s.Remove("p0.0") // unknown key: no-op
+	s.Remove("never-existed")
+
+	// Re-seed: the new incarnation folds only its own contributions.
+	s.Init("p0.0", []float32{5, 5})
+	if v := s.Version("p0.0"); v != 0 {
+		t.Fatalf("re-seeded pair version = %d, want 0", v)
+	}
+	for w := 0; w < 2; w++ {
+		if _, _, err := s.PushRound("p0.0", 0, w, []float32{1, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := s.Get("p0.0")
+	if got[0] != 7 || got[1] != 7 {
+		t.Fatalf("re-seeded fold = %v, want [7 7] (5+1+1; stale contribution leaked?)", got)
+	}
+}
+
+// The per-pair free lists must keep the round path allocation-flat in
+// steady state, including after a Remove + re-Init cycle — the shape of
+// a membership barrier rebuilding a shard's pairs. A regression here
+// (lost recycling) shows up as per-round allocations.
+func TestRoundScratchRecyclingSurvivesReseed(t *testing.T) {
+	const workers = 3
+	s := NewShard(workers)
+	update := make([]float32, 256)
+	for i := range update {
+		update[i] = float32(i)
+	}
+	seed := func() {
+		s.Init("k", make([]float32, len(update)))
+		// Warm the free lists: first round allocates its scratch.
+		for w := 0; w < workers; w++ {
+			if _, _, err := s.PushRound("k", 0, w, update); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	seed()
+	round := 1
+	steady := func() {
+		for w := 0; w < workers; w++ {
+			if _, _, err := s.PushRoundInto("k", round, w, update, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		round++
+	}
+	if avg := testing.AllocsPerRun(50, steady); avg > 1 {
+		// The only tolerated allocation is the fold-result append when
+		// dst is nil; scratch buffers and round sets must recycle.
+		t.Fatalf("steady-state round allocates %.1f times, want <= 1", avg)
+	}
+	s.Remove("k")
+	seed()
+	round = 1
+	if avg := testing.AllocsPerRun(50, steady); avg > 1 {
+		t.Fatalf("post-reseed round allocates %.1f times, want <= 1", avg)
+	}
+}
+
+// Re-sharding invariant of the membership barrier: after the worker
+// count changes, the fold over the surviving workers' contributions
+// must be byte-identical regardless of transport arrival order — same
+// worker-id-order fold guarantee the fixed-size shard gives, now across
+// a shrink. Two shards fed identical contributions in different
+// permutations must hold bit-equal values.
+func TestFoldOrderInvarianceAfterShrink(t *testing.T) {
+	const before, after, elems, rounds = 5, 4, 64, 6
+	rng := rand.New(rand.NewSource(41))
+	contrib := func(round, worker int, n int) []float32 {
+		r := rand.New(rand.NewSource(int64(round*100 + worker)))
+		u := make([]float32, elems)
+		for i := range u {
+			u[i] = (r.Float32() - 0.5) * 1e-3 * float32(n)
+		}
+		return u
+	}
+
+	runEpoch := func(s *Shard, n, rounds int, shuffle bool) {
+		for r := 0; r < rounds; r++ {
+			order := rng.Perm(n)
+			if !shuffle {
+				for i := range order {
+					order[i] = i
+				}
+			}
+			for _, w := range order {
+				if _, _, err := s.PushRound("k", r, w, contrib(r, w, n)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	run := func(shuffle bool) []float32 {
+		// Epoch 0: five workers.
+		s := NewShard(before)
+		s.Init("k", make([]float32, elems))
+		runEpoch(s, before, rounds, shuffle)
+		// Membership barrier: worker 4 leaves. The shard is rebuilt for
+		// the surviving count and re-seeded from the drained state.
+		staged, _ := s.Get("k")
+		s.Remove("k")
+		s2 := NewShard(after)
+		s2.Init("k", staged)
+		runEpoch(s2, after, rounds, shuffle)
+		out, _ := s2.Get("k")
+		return out
+	}
+
+	inOrder, shuffled := run(false), run(true)
+	for i := range inOrder {
+		a := math.Float32bits(inOrder[i])
+		b := math.Float32bits(shuffled[i])
+		if a != b {
+			t.Fatalf("elem %d: %08x != %08x — fold depends on arrival order across re-shard", i, a, b)
+		}
+	}
+}

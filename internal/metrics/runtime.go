@@ -304,6 +304,13 @@ type Comm struct {
 	replanMu sync.Mutex
 	replans  []ReplanEvent
 	bwEstBPS float64
+
+	// viewMu guards the membership log: the current epoch and the
+	// committed view transitions (written at membership barriers, read
+	// by Snapshot).
+	viewMu      sync.Mutex
+	epoch       int
+	viewChanges []ViewChangeEvent
 }
 
 // ReplanEvent records one route flip applied at a replan barrier: from
@@ -365,6 +372,35 @@ func (c *Comm) RecordReplan(e ReplanEvent) {
 	c.replanMu.Unlock()
 }
 
+// ViewChangeEvent records one committed membership barrier: from
+// RestartIter on, the cluster is Members (epoch Epoch), after removing
+// the crashed (Dead) and departing (Left) ranks and admitting Joined.
+type ViewChangeEvent struct {
+	Epoch       int   `json:"epoch"`
+	RestartIter int   `json:"restart_iter"`
+	Members     []int `json:"members"`
+	Dead        []int `json:"dead,omitempty"`
+	Joined      []int `json:"joined,omitempty"`
+	Left        []int `json:"left,omitempty"`
+}
+
+// RecordViewChange logs one committed membership transition and
+// advances the epoch counter.
+func (c *Comm) RecordViewChange(e ViewChangeEvent) {
+	c.viewMu.Lock()
+	c.epoch = e.Epoch
+	c.viewChanges = append(c.viewChanges, e)
+	c.viewMu.Unlock()
+}
+
+// MembershipEpoch returns the epoch of the last committed view change
+// (0 before any membership transition).
+func (c *Comm) MembershipEpoch() int {
+	c.viewMu.Lock()
+	defer c.viewMu.Unlock()
+	return c.epoch
+}
+
 // SetBandwidthEstimate publishes the planner's current EWMA wire-rate
 // estimate (bytes/second) so the snapshot can report what Algorithm 1
 // was actually deciding against. Zero means no estimator ran on this
@@ -417,6 +453,11 @@ type CommSnapshot struct {
 	// BWEstimateBPS is the planner's final EWMA wire-rate estimate
 	// (bytes/second); 0 on nodes that never folded an observation.
 	BWEstimateBPS float64 `json:"bw_estimate_bps"`
+	// MembershipEpoch is the cluster view epoch this node last
+	// committed (0 for a run that never changed membership);
+	// ViewChanges lists every committed membership barrier in order.
+	MembershipEpoch int               `json:"membership_epoch"`
+	ViewChanges     []ViewChangeEvent `json:"view_changes,omitempty"`
 }
 
 // Snapshot freezes every counter into a serializable report.
@@ -435,6 +476,10 @@ func (c *Comm) Snapshot() CommSnapshot {
 	snap.ReplanEvents = append([]ReplanEvent(nil), c.replans...)
 	snap.BWEstimateBPS = c.bwEstBPS
 	c.replanMu.Unlock()
+	c.viewMu.Lock()
+	snap.MembershipEpoch = c.epoch
+	snap.ViewChanges = append([]ViewChangeEvent(nil), c.viewChanges...)
+	c.viewMu.Unlock()
 	for _, p := range params {
 		ps := p.snapshot()
 		snap.Params = append(snap.Params, ps)

@@ -342,6 +342,29 @@ func (p *Planner) plansFromRoutes(specs []TensorSpec, routes []Scheme) ([]comm.P
 	return plans, nil
 }
 
+// ReplanShape rebinds the planner to a new cluster shape — a membership
+// epoch transition — and re-decides every route in the bound spec set
+// for it. Unlike Replan there is no hysteresis: the worker count
+// actually changed, so the per-node cost of both candidate schemes
+// changed discontinuously and the incumbent deserves no benefit of the
+// doubt. Explicit overrides stay pinned, and the live bandwidth
+// estimate (EWMA or configured) carries over. Returns the full plan set
+// for the new shape, or nil when no specs are bound (the caller then
+// keeps its current plans with only the shard sizes changing).
+func (p *Planner) ReplanShape(c ClusterShape) ([]comm.ParamPlan, error) {
+	if c.Servers <= 0 {
+		c.Servers = c.Workers
+	}
+	p.Cluster = c
+	if len(p.specs) == 0 {
+		return nil, nil
+	}
+	for i, t := range p.specs {
+		p.routes[i] = p.SchemeFor(t)
+	}
+	return p.plansFromRoutes(p.specs, p.routes)
+}
+
 // BandwidthObservation is one measured wire-rate sample, taken by the
 // trainer between replan barriers (egress bytes over elapsed wall
 // time).

@@ -202,3 +202,83 @@ func TestPlannerReplanEdges(t *testing.T) {
 		t.Fatalf("Decide seconds %g, want %g (EWMA-based)", d.Seconds, want)
 	}
 }
+
+// ReplanShape re-decides every route for a new cluster shape — the
+// planner half of a membership barrier. Unlike bandwidth replans the
+// shape change is discontinuous, so no hysteresis applies: growing the
+// worker pool makes the FC tensor's SFB cost (quadratic in P) lose to
+// PS immediately, and shrinking back flips it straight to SFB again.
+func TestReplanShapeRedecidesWithoutHysteresis(t *testing.T) {
+	// At 1 MB/s with 3 workers fc.W plans SFB (8.1 ms vs PS's 9.2 ms).
+	p, specs := replanPlanner(1e6)
+	initial := routesOf(t, p, specs)
+	if initial[1] != comm.RouteSFB {
+		t.Fatalf("fc.W planned %v at 1 MB/s ×3 workers, want SFB", initial[1])
+	}
+
+	// Grow to 5 workers: SFB moves 4K(P−1)(M+N) = 12.3 KB in 4 frames,
+	// PS still 8.2 KB in 1 — PS wins outright.
+	plans, err := p.ReplanShape(ClusterShape{Workers: 5, Servers: 5, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != len(specs) {
+		t.Fatalf("%d plans for %d specs", len(plans), len(specs))
+	}
+	if plans[1].Route != comm.RoutePS {
+		t.Fatalf("fc.W on %v after growing to 5 workers, want PS", plans[1].Route)
+	}
+	if plans[0].Route != comm.RoutePS {
+		t.Fatalf("conv tensor moved to %v", plans[0].Route)
+	}
+	if p.Cluster.Workers != 5 || p.Cluster.Servers != 5 {
+		t.Fatalf("planner cluster not rebound: %+v", p.Cluster)
+	}
+
+	// Shrink straight back: the flip reverses with no hysteresis band,
+	// unlike a bandwidth drift of the same magnitude.
+	plans, err = p.ReplanShape(ClusterShape{Workers: 3, Servers: 3, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans[1].Route != comm.RouteSFB {
+		t.Fatalf("fc.W on %v after shrinking to 3 workers, want SFB", plans[1].Route)
+	}
+
+	// A lone survivor has nobody to broadcast to: SFB is forced off.
+	plans, err = p.ReplanShape(ClusterShape{Workers: 1, Servers: 1, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans[1].Route != comm.RoutePS {
+		t.Fatalf("fc.W on %v with a single worker, want PS", plans[1].Route)
+	}
+}
+
+// ReplanShape edges: an unbound planner returns nothing (the caller has
+// no syncers to rebuild yet), zero Servers defaults to colocated
+// PS shards on every worker, and a pinned override survives any shape.
+func TestReplanShapeEdges(t *testing.T) {
+	p, _ := replanPlanner(1e6)
+	plans, err := p.ReplanShape(ClusterShape{Workers: 5, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans != nil {
+		t.Fatalf("unbound planner produced plans: %v", plans)
+	}
+	if p.Cluster.Workers != 5 || p.Cluster.Servers != 5 {
+		t.Fatalf("Servers not defaulted to Workers: %+v", p.Cluster)
+	}
+
+	p2, specs := replanPlanner(1e6)
+	p2.Override(1, PS)
+	_ = routesOf(t, p2, specs)
+	plans, err = p2.ReplanShape(ClusterShape{Workers: 3, Servers: 3, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans[1].Route != comm.RoutePS {
+		t.Fatalf("shape change moved a pinned override to %v", plans[1].Route)
+	}
+}

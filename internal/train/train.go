@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/metrics"
@@ -126,6 +127,59 @@ type Config struct {
 	// counters (per-parameter wire traffic, sync-stall time, KV
 	// rounds); snapshot it after the run for the -metrics-dump report.
 	Metrics *metrics.Comm
+
+	// Elastic enables membership epochs: a peer failure or voluntary
+	// departure no longer aborts the run — the survivors drain to a
+	// membership barrier, agree on a successor view, re-shard data and
+	// parameter state, and continue at the barrier's restart iteration.
+	// Workers and PS shards contract and expand together (shards are
+	// colocated with workers, as in the paper's deployments). Mutually
+	// exclusive with Replan: both protocols own the round barrier.
+	Elastic bool
+	// View is the initial membership (zero value: all mesh ranks,
+	// cluster.Initial(mesh.N())). In an elastic run the mesh is sized
+	// for cluster *capacity*; View names the ranks actually serving.
+	View cluster.View
+	// Joining marks this worker as a late joiner: it is not in View,
+	// contributes no halt, and adopts everything — view, routes,
+	// parameters — from its first membership barrier.
+	Joining bool
+	// StartIter, when > 0, resumes training at that iteration instead
+	// of 0 — the continuation point of a run seeded from a snapshot
+	// (InitialParams then carry the snapshot replica). Used by the
+	// churn parity harness to replay a post-crash epoch from the state
+	// the survivors adopted.
+	StartIter int
+	// InitialParams, when set, overwrite the built network's parameters
+	// before training starts (row-major float32, Params() order) — the
+	// snapshot companion of StartIter.
+	InitialParams [][]float32
+	// LeaveAt > 0 makes this worker announce a voluntary departure at
+	// that iteration: it calls Leave, participates in the membership
+	// barrier, and returns with Result.Left set once excluded.
+	LeaveAt int
+	// OnViewChange, when set, is called from the compute goroutine
+	// after each membership barrier commits, with the successor view
+	// and a deep copy of the adopted replica — the snapshot a parity
+	// reference run continues from.
+	OnViewChange func(ViewEvent)
+	// ViewTimeout bounds each membership barrier (0 = comm default).
+	ViewTimeout time.Duration
+}
+
+// ViewEvent describes one committed membership transition, as observed
+// by a worker's compute loop.
+type ViewEvent struct {
+	// View is the successor membership.
+	View cluster.View
+	// RestartIter is the iteration training resumed at. Iterations in
+	// flight when the trigger hit are skipped, not recomputed: every
+	// surviving replica adopted the leader's bytes, so the run stays
+	// consistent — it just loses the fenced-out rounds.
+	RestartIter int
+	// Params is a deep copy of the adopted replica (Params() order),
+	// taken before the first post-barrier iteration.
+	Params [][]float32
 }
 
 // ReplanSpec configures measured-bandwidth re-planning (Config.Replan).
@@ -159,6 +213,10 @@ type Result struct {
 	Curve []Point
 	Final *autodiff.Network // worker 0's final replica
 	Mode  SyncMode
+	// Left is true when this worker departed voluntarily at a
+	// membership barrier (Config.LeaveAt); Final then holds the replica
+	// as of the departure, not the run's end.
+	Left bool
 }
 
 // Run executes a full data-parallel training run over an in-process
@@ -221,13 +279,17 @@ func RunOverAll(cfg Config, meshes []transport.Mesh) ([]*Result, error) {
 // mesh endpoint. Every participant must call it with an identical
 // Config.
 func RunWorker(cfg Config, mesh transport.Mesh) (*Result, error) {
-	w := &worker{cfg: cfg, mesh: mesh, id: mesh.Self(), n: mesh.N()}
+	w := &worker{cfg: cfg, mesh: mesh, rank: mesh.Self(), id: mesh.Self(), n: mesh.N()}
 	return w.run()
 }
 
 type worker struct {
 	cfg  Config
 	mesh transport.Mesh
+	// rank is the immutable transport endpoint id; id and n are the
+	// dense index and size within the current membership view, which an
+	// elastic run rebinds at every membership barrier.
+	rank int
 	id   int
 	n    int
 
@@ -238,9 +300,51 @@ type worker struct {
 
 func (w *worker) run() (*Result, error) {
 	cfg := w.cfg
+	if cfg.Elastic && cfg.Replan.Every > 0 {
+		return nil, fmt.Errorf("train: membership epochs and measured replanning both own the round barrier; enable one")
+	}
+	if !cfg.Elastic {
+		if cfg.Joining {
+			return nil, fmt.Errorf("train: Joining requires Elastic")
+		}
+		if cfg.View.Size() > 0 {
+			return nil, fmt.Errorf("train: View requires Elastic")
+		}
+	}
+	if cfg.StartIter < 0 || (cfg.StartIter > 0 && cfg.StartIter >= cfg.Iters) {
+		return nil, fmt.Errorf("train: start iteration %d outside [0,%d)", cfg.StartIter, cfg.Iters)
+	}
+	if cfg.LeaveAt > 0 {
+		if !cfg.Elastic {
+			return nil, fmt.Errorf("train: LeaveAt requires Elastic")
+		}
+		if cfg.LeaveAt <= cfg.StartIter || cfg.LeaveAt >= cfg.Iters {
+			return nil, fmt.Errorf("train: LeaveAt %d outside (%d,%d)", cfg.LeaveAt, cfg.StartIter, cfg.Iters)
+		}
+	}
+	view := cfg.View.Clone()
+	if cfg.Elastic {
+		if view.Size() == 0 {
+			view = cluster.Initial(w.mesh.N())
+		}
+		w.n = view.Size()
+		if cfg.Joining {
+			// A joiner has no dense index until its first membership
+			// barrier seats it; it adopts view, routes, parameters, and
+			// data shard from the barrier.
+			w.id = -1
+		} else {
+			w.id = view.Index(w.rank)
+			if w.id < 0 {
+				return nil, fmt.Errorf("train: rank %d not in initial view %v", w.rank, view.Members)
+			}
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w.net = cfg.BuildNet(rng)
-	w.local = cfg.TrainSet.Shard(w.id, w.n)
+	if !cfg.Joining {
+		w.local = cfg.TrainSet.Shard(w.id, w.n)
+	}
 
 	mtr := cfg.Metrics
 	if cfg.Replan.Every > 0 {
@@ -256,12 +360,23 @@ func (w *worker) run() (*Result, error) {
 
 	params := w.net.Params()
 	grads := w.net.Grads()
+	if cfg.InitialParams != nil {
+		if len(cfg.InitialParams) != len(params) {
+			return nil, fmt.Errorf("train: %d initial parameter tensors for a %d-parameter net", len(cfg.InitialParams), len(params))
+		}
+		for i, p := range params {
+			if len(cfg.InitialParams[i]) != len(p.Data) {
+				return nil, fmt.Errorf("train: initial parameter %d has %d elems, want %d", i, len(cfg.InitialParams[i]), len(p.Data))
+			}
+			copy(p.Data, cfg.InitialParams[i])
+		}
+	}
 	planner := plannerFor(cfg, w.n)
 	plans, sfFor, err := plansFor(planner, w.net)
 	if err != nil {
 		return nil, err
 	}
-	router, err := comm.NewRouter(comm.Config{
+	rcfg := comm.Config{
 		Mesh:   w.mesh,
 		Plans:  plans,
 		Params: params,
@@ -272,11 +387,28 @@ func (w *worker) run() (*Result, error) {
 		Overlap:     cfg.Overlap,
 		ChunkElems:  cfg.ChunkElems,
 		PoolWorkers: cfg.PoolWorkers,
+		StartIter:   cfg.StartIter,
 		Metrics:     mtr,
 		// Reroutes can move a parameter onto SFB after construction; the
 		// router re-attaches the extractor through this source.
 		SFSource: func(index int) func() *tensor.SufficientFactor { return sfFor[index] },
-	})
+	}
+	if cfg.Elastic {
+		rcfg.Elastic = true
+		rcfg.View = view
+		rcfg.Joining = cfg.Joining
+		rcfg.ViewTimeout = cfg.ViewTimeout
+		// Contraction and expansion rescale each worker's contribution so
+		// the cluster-wide update stays −LR · mean over all live samples.
+		rcfg.ScaleFor = func(workers int) float32 { return -cfg.LR / float32(workers) }
+		// The barrier leader re-runs Algorithm 1 for the successor shape
+		// and broadcasts the routes with the view, so replicas stay
+		// byte-identical through the transition.
+		rcfg.PlanShape = func(workers int) ([]comm.ParamPlan, error) {
+			return planner.ReplanShape(poseidon.ClusterShape{Workers: workers, Servers: workers, Batch: cfg.Batch})
+		}
+	}
+	router, err := comm.NewRouter(rcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -286,17 +418,24 @@ func (w *worker) run() (*Result, error) {
 
 	// Replan barriers: armed one epoch ahead so post-barrier frames from
 	// fast peers park instead of reaching pre-barrier syncers; worker 0
-	// measures, re-plans, and broadcasts the decision at each one.
+	// measures, re-plans, and broadcasts the decision at each one. A
+	// continuation run (StartIter > 0) arms the first barrier past its
+	// starting point.
 	nextBarrier := 0
-	if cfg.Replan.Every > 0 && cfg.Replan.Every < cfg.Iters {
-		nextBarrier = cfg.Replan.Every
-		router.ArmReroute(nextBarrier)
+	if cfg.Replan.Every > 0 {
+		nextBarrier = (cfg.StartIter/cfg.Replan.Every + 1) * cfg.Replan.Every
+		if nextBarrier >= cfg.Iters {
+			nextBarrier = 0 // no barriers left; nothing to arm
+		} else {
+			router.ArmReroute(nextBarrier)
+		}
 	}
 	winStart := time.Now()
 	winBytes := router.EgressBytes()
 
 	res := &Result{Mode: cfg.Mode}
-	for iter := 0; iter < cfg.Iters; iter++ {
+	leaveSent := false
+	for iter := cfg.StartIter; ; {
 		if nextBarrier > 0 && iter == nextBarrier {
 			if err := w.replanBarrier(iter, planner, mtr, &winStart, &winBytes); err != nil {
 				return nil, err
@@ -308,9 +447,42 @@ func (w *worker) run() (*Result, error) {
 				router.ArmReroute(nextBarrier)
 			}
 		}
-		// Gate on the consistency model (BSP when Staleness is 0), then
-		// adopt the freshest synchronized replica.
-		router.WaitFor(iter)
+		if cfg.LeaveAt > 0 && iter >= cfg.LeaveAt && !leaveSent {
+			leaveSent = true
+			if err := router.Leave(); err != nil {
+				return nil, err
+			}
+		}
+		// Gate on the consistency model (BSP when Staleness is 0); once
+		// every iteration is launched, wait instead for the final round
+		// to be fully synchronized everywhere (drain).
+		if iter < cfg.Iters {
+			router.WaitFor(iter)
+		} else {
+			router.WaitFor(cfg.Iters + cfg.Staleness)
+		}
+		if cfg.Elastic && router.ViewPending() {
+			vc, err := router.AwaitView(iter)
+			if err != nil {
+				return nil, err
+			}
+			if vc.Left {
+				res.Left = true
+				break
+			}
+			if err := w.applyView(vc, planner, params); err != nil {
+				return nil, err
+			}
+			iter = vc.RestartIter
+			continue
+		}
+		if err := router.Err(); err != nil {
+			return nil, err
+		}
+		if iter >= cfg.Iters {
+			break
+		}
+		// Adopt the freshest synchronized replica, then compute.
 		router.Adopt(params)
 
 		x, labels := w.local.Batch(iter*cfg.Batch, cfg.Batch)
@@ -331,16 +503,48 @@ func (w *worker) run() (*Result, error) {
 		if cfg.Progress != nil {
 			cfg.Progress(p)
 		}
+		iter++
 	}
-	// Drain: wait until the final iteration is fully synchronized
-	// everywhere, then adopt it.
-	router.WaitFor(cfg.Iters + cfg.Staleness)
+	// Adopt the final synchronized replica — for a leaver, the replica
+	// as of its departure barrier.
 	router.Adopt(params)
-	if err := router.Err(); err != nil {
-		return nil, err
+	if !res.Left {
+		if err := router.Err(); err != nil {
+			return nil, err
+		}
 	}
 	res.Final = w.net
 	return res, nil
+}
+
+// applyView rebinds the worker to a committed membership view: dense
+// index, member count, data shard, and the planner's cluster shape.
+// The local replan keeps this member's planner consistent with the one
+// the barrier leader consulted, so any member can lead the next
+// barrier; the routes themselves were already adopted from the leader's
+// broadcast inside the router.
+func (w *worker) applyView(vc comm.ViewChange, planner *poseidon.Planner, params []*tensor.Matrix) error {
+	w.id = vc.View.Index(w.rank)
+	w.n = vc.View.Size()
+	if w.id < 0 {
+		return fmt.Errorf("train: rank %d missing from committed view %v", w.rank, vc.View.Members)
+	}
+	w.local = w.cfg.TrainSet.Shard(w.id, w.n)
+	if _, err := planner.ReplanShape(poseidon.ClusterShape{Workers: w.n, Servers: w.n, Batch: w.cfg.Batch}); err != nil {
+		return err
+	}
+	if w.cfg.OnViewChange != nil {
+		// Snapshot the adopted replica for the hook — the state a parity
+		// reference run continues from (StartIter + InitialParams).
+		w.router.Adopt(params)
+		ev := ViewEvent{View: vc.View.Clone(), RestartIter: vc.RestartIter}
+		ev.Params = make([][]float32, len(params))
+		for i, p := range params {
+			ev.Params[i] = append([]float32(nil), p.Data...)
+		}
+		w.cfg.OnViewChange(ev)
+	}
+	return nil
 }
 
 // replanBarrier executes one replan round barrier at iteration barrier.

@@ -1,6 +1,10 @@
 package transport
 
-import "repro/internal/metrics"
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
 
 // ObservedMesh wraps a Mesh and invokes callbacks for every
 // non-loopback frame: onSent before each outbound frame (including
@@ -66,6 +70,21 @@ func (m *ObservedMesh) Recv() (Message, error) {
 		m.onRecv(msg, WireBytes(msg))
 	}
 	return msg, err
+}
+
+// Detach severs the wrapped endpoint's link to one peer.
+func (m *ObservedMesh) Detach(peer int) error { return m.inner.Detach(peer) }
+
+// WaitAttached forwards to the wrapped mesh's attachment wait when it
+// has one (TCP does), so membership barriers can see through the
+// metrics wrapper; meshes without per-peer attachment report success.
+func (m *ObservedMesh) WaitAttached(rank int, timeout time.Duration) error {
+	if aw, ok := m.inner.(interface {
+		WaitAttached(rank int, timeout time.Duration) error
+	}); ok {
+		return aw.WaitAttached(rank, timeout)
+	}
+	return nil
 }
 
 // Close tears down the wrapped mesh.

@@ -79,6 +79,14 @@ type SHMOptions struct {
 	// whole record (prefix + header + payload) lands here once. Must be
 	// safe for concurrent use.
 	OnCopy func(bytes int)
+	// Elastic switches the endpoint from fail-fast to per-peer
+	// lifecycle, mirroring TCPOptions.Elastic: a crashed peer is
+	// detached (sends to it drop silently, a synthetic MsgPeerGone
+	// surfaces through Recv) instead of poisoning the mesh, and a
+	// graceful goodbye detaches silently. Late join is NOT supported on
+	// the shm transport — ring files rendezvous at setup — so elastic
+	// shm clusters can only shrink.
+	Elastic bool
 }
 
 func (o SHMOptions) withDefaults() (SHMOptions, error) {

@@ -187,6 +187,11 @@ type SHMMesh struct {
 	downOnce sync.Once
 	downErr  error
 
+	// Elastic per-peer lifecycle: gone slots swallow sends and stop
+	// feeding the inbox. Guarded by goneMu.
+	goneMu sync.Mutex
+	gone   []bool
+
 	wg sync.WaitGroup
 }
 
@@ -215,6 +220,7 @@ func NewSHMMesh(self, n int, opts SHMOptions) (*SHMMesh, error) {
 		loop:     newLoopQueue(),
 		closed:   make(chan struct{}),
 		down:     make(chan struct{}),
+		gone:     make([]bool, n),
 	}
 
 	lockPath := filepath.Join(opts.Dir, shmLockName(self))
@@ -312,6 +318,66 @@ func (m *SHMMesh) peerDown(peer int, cause error) {
 	})
 }
 
+// errShmDetached is writeRecord's elastic-mode signal that the frame
+// was dropped because the destination is detached; Send/SendBatch
+// translate it to a silent success.
+var errShmDetached = errors.New("shm peer detached")
+
+// markPeerGone detaches one peer of an elastic endpoint; mirror of
+// TCPMesh.markPeerGone (nil cause = graceful/administrative, silent;
+// non-nil = crash, injects MsgPeerGone).
+func (m *SHMMesh) markPeerGone(peer int, cause error) {
+	m.goneMu.Lock()
+	if m.gone[peer] {
+		m.goneMu.Unlock()
+		return
+	}
+	m.gone[peer] = true
+	m.goneMu.Unlock()
+	if cause == nil {
+		return
+	}
+	select {
+	case m.inbox <- Message{Type: MsgPeerGone, From: int32(peer)}:
+	case <-m.closed:
+	}
+}
+
+func (m *SHMMesh) isGone(peer int) bool {
+	if !m.opts.Elastic {
+		return false
+	}
+	m.goneMu.Lock()
+	defer m.goneMu.Unlock()
+	return m.gone[peer]
+}
+
+// Detach severs the link to one peer without tearing the mesh down:
+// later sends to it drop silently and its ingress ring is flagged
+// receiver-closed so the peer's own pending writes unblock. No
+// MsgPeerGone is synthesized. Elastic endpoints only; shm slots cannot
+// re-attach.
+func (m *SHMMesh) Detach(peer int) error {
+	if !m.opts.Elastic {
+		return fmt.Errorf("transport: SHMMesh.Detach needs SHMOptions.Elastic")
+	}
+	if peer < 0 || peer >= m.n || peer == m.self {
+		return fmt.Errorf("transport: bad detach peer %d", peer)
+	}
+	m.markPeerGone(peer, nil)
+	m.mapMu.RLock()
+	defer m.mapMu.RUnlock()
+	select {
+	case <-m.closed:
+		return nil
+	default:
+	}
+	if r := m.ingress[peer]; r != nil {
+		atomic.OrUint32(r.flagsPtr(), shmFlagReceiverClosed)
+	}
+	return nil
+}
+
 // Self returns this endpoint's node id.
 func (m *SHMMesh) Self() int { return m.self }
 
@@ -358,6 +424,10 @@ func (m *SHMMesh) writeRecord(to int, r *shmRing, msg Message) error {
 			break
 		}
 		if atomic.LoadUint32(r.flagsPtr())&shmFlagReceiverClosed != 0 {
+			if m.opts.Elastic {
+				m.markPeerGone(to, nil)
+				return errShmDetached
+			}
 			return &ErrPeerDown{Peer: to, Cause: errors.New("peer closed its endpoint")}
 		}
 		select {
@@ -369,9 +439,17 @@ func (m *SHMMesh) writeRecord(to int, r *shmRing, msg Message) error {
 			// The flag store precedes the lock release in Close, so a
 			// freed lock with no flag set is a crash, not a race.
 			if atomic.LoadUint32(r.flagsPtr())&shmFlagReceiverClosed != 0 {
+				if m.opts.Elastic {
+					m.markPeerGone(to, nil)
+					return errShmDetached
+				}
 				return &ErrPeerDown{Peer: to, Cause: errors.New("peer closed its endpoint")}
 			}
 			err := errors.New("liveness lock released without goodbye (peer crashed?)")
+			if m.opts.Elastic {
+				m.markPeerGone(to, err)
+				return errShmDetached
+			}
 			m.peerDown(to, err)
 			return &ErrPeerDown{Peer: to, Cause: err}
 		}
@@ -400,6 +478,9 @@ func (m *SHMMesh) Send(to int, msg Message) error {
 	if err := m.checkFrameSize(to, msg); err != nil {
 		return err
 	}
+	if m.isGone(to) {
+		return nil // elastic: detached peer, frame dropped
+	}
 	m.mapMu.RLock()
 	defer m.mapMu.RUnlock()
 	select {
@@ -410,6 +491,9 @@ func (m *SHMMesh) Send(to int, msg Message) error {
 	m.egressMu[to].Lock()
 	err := m.writeRecord(to, m.egress[to], msg)
 	m.egressMu[to].Unlock()
+	if err == errShmDetached {
+		return nil
+	}
 	if err == nil && m.opts.OnCopy != nil {
 		m.opts.OnCopy(4 + headerLen + len(msg.Payload))
 	}
@@ -440,6 +524,9 @@ func (m *SHMMesh) SendBatch(to int, msgs []Message) error {
 			return err
 		}
 	}
+	if m.isGone(to) {
+		return nil // elastic: detached peer, batch dropped
+	}
 	m.mapMu.RLock()
 	defer m.mapMu.RUnlock()
 	select {
@@ -458,6 +545,9 @@ func (m *SHMMesh) SendBatch(to int, msgs []Message) error {
 		total += 4 + headerLen + len(msg.Payload)
 	}
 	m.egressMu[to].Unlock()
+	if err == errShmDetached {
+		err = nil // elastic: peer detached mid-batch, remainder dropped
+	}
 	if total > 0 && m.opts.OnCopy != nil {
 		m.opts.OnCopy(total)
 	}
@@ -471,13 +561,20 @@ func (m *SHMMesh) runReader(peer int, r *shmRing) {
 	m.mapMu.RLock()
 	defer m.mapMu.RUnlock()
 	err := m.readRecords(peer, r)
-	if err == nil {
-		return
-	}
 	select {
 	case <-m.closed:
 		return
 	default:
+	}
+	if m.opts.Elastic {
+		// Goodbye (nil) detaches silently; a crash or corrupt ring
+		// injects MsgPeerGone. Every record the peer published is
+		// already in the inbox ahead of the event.
+		m.markPeerGone(peer, err)
+		return
+	}
+	if err == nil {
+		return
 	}
 	m.peerDown(peer, err)
 }
@@ -624,6 +721,20 @@ func (m *SHMMesh) crashForTest() {
 // senders have observed closed and released their map read locks.
 func (m *SHMMesh) reclaim() {
 	m.wg.Wait()
+	// The readers are done, so nothing more lands in the inbox. Release
+	// whatever the consumer never collected: a record that raced the
+	// close — reader buffered it just as Recv reported ErrClosed on a
+	// momentarily empty inbox — would otherwise hold its payload lease
+	// forever.
+	for {
+		select {
+		case msg := <-m.inbox:
+			msg.ReleasePayload()
+		default:
+			goto drained
+		}
+	}
+drained:
 	m.mapMu.Lock()
 	defer m.mapMu.Unlock()
 	for _, rs := range [2][]*shmRing{m.egress, m.ingress} {

@@ -37,5 +37,8 @@ func (m *SHMMesh) SendBatch(to int, msgs []Message) error { return errSHMUnsuppo
 // Recv satisfies Mesh on the stub.
 func (m *SHMMesh) Recv() (Message, error) { return Message{}, errSHMUnsupported }
 
+// Detach satisfies Mesh on the stub.
+func (m *SHMMesh) Detach(peer int) error { return errSHMUnsupported }
+
 // Close satisfies Mesh on the stub.
 func (m *SHMMesh) Close() error { return nil }

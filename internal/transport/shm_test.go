@@ -323,3 +323,54 @@ func TestSHMDuplicateIDRejected(t *testing.T) {
 		t.Fatalf("duplicate id err = %v, want liveness-lock rejection", err)
 	}
 }
+
+// An elastic shm endpoint survives a peer crash: the dead slot is
+// detached, a synthetic MsgPeerGone surfaces through Recv, and the
+// survivors keep exchanging traffic — the same contract the elastic
+// ChanMesh and TCPMesh present.
+func TestSHMElasticCrashDeliversPeerGone(t *testing.T) {
+	ms := shmMeshes(t, 3, SHMOptions{Elastic: true})
+	defer ms[0].Close()
+	defer ms[1].Close()
+
+	ms[2].crashForTest()
+	for _, r := range []int{0, 1} {
+		msg := recvType(t, ms[r], MsgPeerGone)
+		if msg.From != 2 {
+			t.Fatalf("rank %d: MsgPeerGone.From = %d, want 2", r, msg.From)
+		}
+	}
+	// Sends to the dead slot drop silently; survivor traffic flows.
+	if err := ms[0].Send(2, Message{Type: MsgPush}); err != nil {
+		t.Fatalf("send to dead slot: %v", err)
+	}
+	if err := ms[0].Send(1, Message{Type: MsgBcast, Iter: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if msg := recvType(t, ms[1], MsgBcast); msg.From != 0 || msg.Iter != 5 {
+		t.Fatalf("survivor traffic corrupted: %+v", msg)
+	}
+}
+
+// Detaching a peer administratively must not synthesize MsgPeerGone,
+// must drop sends to it, and must flag its ingress ring so the peer's
+// own blocked writes unblock.
+func TestSHMElasticDetach(t *testing.T) {
+	ms := shmMeshes(t, 2, SHMOptions{Elastic: true})
+	defer ms[0].Close()
+	defer ms[1].Close()
+
+	if err := ms[0].Detach(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms[0].Send(1, Message{Type: MsgPush}); err != nil {
+		t.Fatalf("send after detach: %v", err)
+	}
+	// Non-elastic endpoints refuse Detach.
+	fixed := shmMeshes(t, 2, SHMOptions{})
+	defer fixed[0].Close()
+	defer fixed[1].Close()
+	if err := fixed[0].Detach(1); err == nil {
+		t.Fatal("Detach on a fixed-size shm mesh must fail")
+	}
+}

@@ -98,6 +98,21 @@ type TCPOptions struct {
 	// what the metrics layer's bytes_copied_per_frame reports. Must be
 	// safe for concurrent use.
 	OnCopy func(bytes int)
+	// Elastic switches the endpoint from fail-fast to per-peer
+	// lifecycle: a peer whose link breaks is detached (sends to it drop
+	// silently, a synthetic MsgPeerGone surfaces through Recv) instead
+	// of poisoning the whole mesh, the listener stays open after setup
+	// so late joiners can attach through the ordinary handshake
+	// (surfacing MsgPeerUp), and a clean goodbye detaches the peer
+	// silently — a graceful departure mid-training goes through the
+	// comm layer's view-change protocol, not the transport.
+	Elastic bool
+	// Members restricts mesh formation to the given ranks — the initial
+	// membership of an elastic cluster whose address list is sized for
+	// capacity. Setup dials and awaits only listed peers; ranks outside
+	// the list attach later through the accept loop (JoinTCPMesh).
+	// Must include self. nil forms the full mesh. Elastic only.
+	Members []int
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -125,9 +140,17 @@ type TCPMesh struct {
 	self  int
 	addrs []string
 	opts  TCPOptions
-	conns []net.Conn // indexed by peer id; nil at self. Immutable after setup.
 	inbox chan Message
 	lis   net.Listener
+
+	// connMu guards conns, peerGone, and closing. In the fixed-size
+	// (non-elastic) mesh conns is immutable after setup and the lock is
+	// uncontended; elastic endpoints mutate the slots as peers detach
+	// and joiners attach.
+	connMu   sync.RWMutex
+	conns    []net.Conn // indexed by peer id; nil at self or when detached
+	peerGone []bool     // elastic: slot detached (dead, departed, or Detach'd)
+	closing  bool       // set by Close before waiting on readers
 
 	closed    chan struct{} // closed by Close; readers and senders select on it
 	closeOnce sync.Once
@@ -159,17 +182,22 @@ func NewTCPMeshOpts(self int, addrs []string, opts TCPOptions) (*TCPMesh, error)
 		return nil, fmt.Errorf("transport: self %d out of range for %d addrs", self, len(addrs))
 	}
 	opts = opts.withDefaults()
-	m := &TCPMesh{
-		self:   self,
-		addrs:  addrs,
-		opts:   opts,
-		conns:  make([]net.Conn, len(addrs)),
-		inbox:  make(chan Message, opts.InboxDepth),
-		closed: make(chan struct{}),
-		down:   make(chan struct{}),
-		loop:   newLoopQueue(),
-		sendMu: make([]sync.Mutex, len(addrs)),
+	if len(opts.Members) > 0 {
+		if !opts.Elastic {
+			return nil, fmt.Errorf("transport: TCPOptions.Members needs Elastic")
+		}
+		ok := false
+		for _, r := range opts.Members {
+			if r < 0 || r >= len(addrs) {
+				return nil, fmt.Errorf("transport: member %d out of range for %d addrs", r, len(addrs))
+			}
+			ok = ok || r == self
+		}
+		if !ok {
+			return nil, fmt.Errorf("transport: Members %v excludes self %d", opts.Members, self)
+		}
 	}
+	m := newTCPEndpoint(self, addrs, opts)
 	lis, err := net.Listen("tcp", addrs[self])
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addrs[self], err)
@@ -184,9 +212,11 @@ func NewTCPMeshOpts(self int, addrs []string, opts TCPOptions) (*TCPMesh, error)
 		}
 		return nil, err
 	}
-	// The full mesh is formed; nothing dials in after setup, so the
-	// listening port can be released immediately.
-	lis.Close()
+	if !opts.Elastic {
+		// The full mesh is formed; nothing dials in after setup, so the
+		// listening port can be released immediately.
+		lis.Close()
+	}
 	for i, c := range m.conns {
 		if c == nil {
 			continue
@@ -200,7 +230,170 @@ func NewTCPMeshOpts(self int, addrs []string, opts TCPOptions) (*TCPMesh, error)
 		m.wg.Add(1)
 		go m.readLoop(i, c)
 	}
+	if opts.Elastic {
+		// Keep accepting: late joiners attach through the same
+		// handshake, just with the dialer-rank restriction relaxed.
+		// connectAll may have left a setup deadline on the listener;
+		// clear it so admission keeps working for the whole run.
+		if tl, ok := m.lis.(*net.TCPListener); ok {
+			tl.SetDeadline(time.Time{})
+		}
+		m.wg.Add(1)
+		go m.acceptLoop()
+	}
 	return m, nil
+}
+
+func newTCPEndpoint(self int, addrs []string, opts TCPOptions) *TCPMesh {
+	return &TCPMesh{
+		self:     self,
+		addrs:    addrs,
+		opts:     opts,
+		conns:    make([]net.Conn, len(addrs)),
+		peerGone: make([]bool, len(addrs)),
+		inbox:    make(chan Message, opts.InboxDepth),
+		closed:   make(chan struct{}),
+		down:     make(chan struct{}),
+		loop:     newLoopQueue(),
+		sendMu:   make([]sync.Mutex, len(addrs)),
+	}
+}
+
+// JoinTCPMesh attaches a late joiner to a running elastic mesh: it
+// listens on addrs[self], dials every rank in members (the live view;
+// self is skipped if present), and returns once every handshake has
+// completed. Each member's accept loop surfaces the attach as a
+// MsgPeerUp, which is what triggers the membership barrier that folds
+// the joiner in. Slots outside members stay detached until they attach
+// themselves.
+func JoinTCPMesh(self int, addrs []string, members []int, opts TCPOptions) (*TCPMesh, error) {
+	if self < 0 || self >= len(addrs) {
+		return nil, fmt.Errorf("transport: self %d out of range for %d addrs", self, len(addrs))
+	}
+	opts = opts.withDefaults()
+	opts.Elastic = true
+	m := newTCPEndpoint(self, addrs, opts)
+	lis, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[self], err)
+	}
+	m.lis = lis
+	deadline := time.Now().Add(opts.SetupTimeout)
+	fail := func(err error) (*TCPMesh, error) {
+		lis.Close()
+		for _, c := range m.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		return nil, err
+	}
+	for _, peer := range members {
+		if peer == self {
+			continue
+		}
+		if peer < 0 || peer >= len(addrs) {
+			return fail(fmt.Errorf("transport: join member %d out of range for %d addrs", peer, len(addrs)))
+		}
+		conn, err := m.dialPeer(peer, deadline)
+		if err != nil {
+			return fail(err)
+		}
+		if m.conns[peer] != nil {
+			conn.Close()
+			return fail(fmt.Errorf("transport: duplicate join member %d", peer))
+		}
+		m.conns[peer] = conn
+	}
+	for i, c := range m.conns {
+		if c == nil {
+			continue
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetNoDelay(!opts.DisableNoDelay)
+		}
+		m.wg.Add(1)
+		go m.readLoop(i, c)
+	}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// acceptLoop admits late joiners on an elastic endpoint: every inbound
+// connection handshakes on its own goroutine so a stray client cannot
+// starve a real joiner. It exits when Close releases the listener.
+func (m *TCPMesh) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.lis.Accept()
+		if err != nil {
+			return
+		}
+		go m.admit(conn)
+	}
+}
+
+// admit runs the relaxed handshake on one inbound connection and, if it
+// names a free slot, registers the peer, starts its reader, and
+// surfaces MsgPeerUp. Strays, duplicates, and post-Close races just
+// close the connection.
+func (m *TCPMesh) admit(conn net.Conn) {
+	peer, err := m.acceptHandshake(conn, time.Now().Add(m.opts.SetupTimeout), true)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(!m.opts.DisableNoDelay)
+	}
+	m.connMu.Lock()
+	if m.closing || m.conns[peer] != nil {
+		m.connMu.Unlock()
+		conn.Close()
+		return
+	}
+	m.conns[peer] = conn
+	m.peerGone[peer] = false
+	// wg.Add under connMu, ordered against Close's closing=true, so a
+	// reader is never added after Close started waiting.
+	m.wg.Add(1)
+	m.connMu.Unlock()
+	go m.readLoop(peer, conn)
+	select {
+	case m.inbox <- Message{Type: MsgPeerUp, From: int32(peer)}:
+	case <-m.closed:
+	}
+}
+
+// WaitAttached blocks until a live link to rank exists — a joiner
+// completed its handshake — or the timeout elapses. The comm layer's
+// view leader uses it to close the member-applies-view-before-joiner-
+// dials race.
+func (m *TCPMesh) WaitAttached(rank int, timeout time.Duration) error {
+	if rank < 0 || rank >= len(m.addrs) {
+		return fmt.Errorf("transport: bad rank %d", rank)
+	}
+	if rank == m.self {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		m.connMu.RLock()
+		ok := m.conns[rank] != nil && !m.peerGone[rank]
+		m.connMu.RUnlock()
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: peer %d did not attach within %v", rank, timeout)
+		}
+		select {
+		case <-m.closed:
+			return ErrClosed
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
 }
 
 // connectAll establishes the connection to every peer: accepting and
@@ -209,6 +402,21 @@ func NewTCPMeshOpts(self int, addrs []string, opts TCPOptions) (*TCPMesh, error)
 // synchronized and rejects duplicate peer ids, so a misconfigured
 // cluster (two processes with the same -id) fails loudly instead of
 // silently overwriting — and leaking — a live connection.
+// setupPeer reports whether rank i participates in mesh formation:
+// everyone without a Members restriction, initial members only with
+// one.
+func (m *TCPMesh) setupPeer(i int) bool {
+	if len(m.opts.Members) == 0 {
+		return true
+	}
+	for _, r := range m.opts.Members {
+		if r == i {
+			return true
+		}
+	}
+	return false
+}
+
 func (m *TCPMesh) connectAll(deadline time.Time) error {
 	errc := make(chan error, len(m.addrs))
 	var wg sync.WaitGroup
@@ -223,7 +431,15 @@ func (m *TCPMesh) connectAll(deadline time.Time) error {
 		return nil
 	}
 
-	if m.self > 0 {
+	// Only initial members participate in setup; absent capacity slots
+	// attach later through the elastic accept loop.
+	expect := 0
+	for i := 0; i < m.self; i++ {
+		if m.setupPeer(i) {
+			expect++
+		}
+	}
+	if expect > 0 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -251,7 +467,7 @@ func (m *TCPMesh) connectAll(deadline time.Time) error {
 						return
 					}
 					go func() {
-						peer, err := m.acceptHandshake(conn, deadline)
+						peer, err := m.acceptHandshake(conn, deadline, false)
 						select {
 						case results <- handshake{peer, conn, err}:
 						case <-regDone:
@@ -260,7 +476,7 @@ func (m *TCPMesh) connectAll(deadline time.Time) error {
 					}()
 				}
 			}()
-			for need := m.self; need > 0; {
+			for need := expect; need > 0; {
 				select {
 				case r := <-results:
 					err := r.err
@@ -282,9 +498,23 @@ func (m *TCPMesh) connectAll(deadline time.Time) error {
 					return
 				}
 			}
+			if m.opts.Elastic {
+				// The listener survives setup on an elastic endpoint, so
+				// this setup-time accept pump (which enforces the strict
+				// lower-rank rule) must hand the listener over to the
+				// relaxed post-setup acceptLoop instead of racing it:
+				// expire the accept and wait for the pump to exit.
+				if tl, ok := m.lis.(*net.TCPListener); ok {
+					tl.SetDeadline(time.Now())
+				}
+				<-acceptErr
+			}
 		}()
 	}
 	for i := m.self + 1; i < len(m.addrs); i++ {
+		if !m.setupPeer(i) {
+			continue
+		}
 		i := i
 		wg.Add(1)
 		go func() {
@@ -313,7 +543,9 @@ func (m *TCPMesh) connectAll(deadline time.Time) error {
 // setup deadline. Connections that never present the magic are stray
 // (errStrayConn, non-fatal); a well-formed hello with the wrong
 // version, mesh size, or id range is a real misconfiguration and fatal.
-func (m *TCPMesh) acceptHandshake(conn net.Conn, deadline time.Time) (int, error) {
+// relaxed lifts the lower-numbered-dialers-only rule for elastic
+// late-join admission, where any free non-self slot may dial in.
+func (m *TCPMesh) acceptHandshake(conn net.Conn, deadline time.Time, relaxed bool) (int, error) {
 	conn.SetDeadline(deadline)
 	var hello [helloLen]byte
 	if _, err := io.ReadFull(conn, hello[:]); err != nil {
@@ -329,7 +561,11 @@ func (m *TCPMesh) acceptHandshake(conn net.Conn, deadline time.Time) (int, error
 	if n := int(binary.LittleEndian.Uint32(hello[9:13])); n != len(m.addrs) {
 		return 0, fmt.Errorf("transport: peer %d believes the mesh has %d nodes, this node says %d", peer, n, len(m.addrs))
 	}
-	if peer < 0 || peer >= m.self {
+	if relaxed {
+		if peer < 0 || peer >= len(m.addrs) || peer == m.self {
+			return 0, fmt.Errorf("transport: hello from out-of-range peer %d", peer)
+		}
+	} else if peer < 0 || peer >= m.self {
 		return 0, fmt.Errorf("transport: unexpected hello from peer %d (node %d only accepts lower-numbered dialers)", peer, m.self)
 	}
 	var ack [ackLen]byte
@@ -414,22 +650,61 @@ func (m *TCPMesh) peerDown(peer int, cause error) {
 	})
 }
 
+// markPeerGone detaches one peer of an elastic endpoint: the slot's
+// connection closes, later sends to it drop silently, and — only when
+// the link broke (cause non-nil, i.e. a crash rather than a goodbye) —
+// a synthetic MsgPeerGone surfaces through Recv so the comm layer can
+// run a membership barrier. Goodbyes stay silent: a graceful mid-run
+// departure is negotiated by the view-change protocol before the
+// leaver ever closes its mesh, and end-of-run closes must not spuriously
+// trigger barriers on peers still draining their tails. Idempotent per
+// detachment; a later re-attach re-arms it.
+func (m *TCPMesh) markPeerGone(peer int, cause error) {
+	m.connMu.Lock()
+	if m.peerGone[peer] {
+		m.connMu.Unlock()
+		return
+	}
+	m.peerGone[peer] = true
+	if c := m.conns[peer]; c != nil {
+		c.Close()
+		m.conns[peer] = nil
+	}
+	m.connMu.Unlock()
+	if cause == nil {
+		return
+	}
+	select {
+	case m.inbox <- Message{Type: MsgPeerGone, From: int32(peer)}:
+	case <-m.closed:
+	}
+}
+
 // readLoop pumps one peer's frames into the inbox. A clean goodbye ends
 // it silently; any other termination while the mesh is still open marks
-// the peer down so Recv surfaces the failure instead of the cluster
-// hanging on messages that will never arrive.
+// the peer down — poisoning the fixed-size mesh, or detaching just that
+// peer on an elastic one — so Recv surfaces the failure instead of the
+// cluster hanging on messages that will never arrive.
 func (m *TCPMesh) readLoop(peer int, c net.Conn) {
 	defer m.wg.Done()
 	err := m.readFrames(peer, c)
-	if err == nil {
-		return
-	}
 	select {
 	case <-m.closed:
 		// Local Close tears connections down under the reader; that is
 		// shutdown, not a peer failure.
 		return
 	default:
+	}
+	if m.opts.Elastic {
+		// The goodbye (err == nil) detaches silently; a broken stream
+		// injects MsgPeerGone. Because this runs after readFrames
+		// returned, every frame the peer sent is already in the inbox
+		// ahead of the lifecycle event — per-peer ordering holds.
+		m.markPeerGone(peer, err)
+		return
+	}
+	if err == nil {
+		return
 	}
 	m.peerDown(peer, err)
 }
@@ -528,8 +803,7 @@ func (m *TCPMesh) checkFrameSize(to int, msg Message) error {
 // kernel; the caller may release payload leases the moment this
 // returns, and not before. cork bounds segmentation around multi-frame
 // batches when the mesh was built with CorkBatches.
-func (m *TCPMesh) writeVec(to int, vec net.Buffers, cork bool) error {
-	conn := m.conns[to]
+func (m *TCPMesh) writeVec(to int, conn net.Conn, vec net.Buffers, cork bool) error {
 	m.sendMu[to].Lock()
 	if cork {
 		setCork(conn, true)
@@ -551,8 +825,35 @@ func (m *TCPMesh) writeVec(to int, vec net.Buffers, cork bool) error {
 		// payload lease is still the caller's to release.
 		return ErrClosed
 	default:
-		return &ErrPeerDown{Peer: to, Cause: err}
 	}
+	if m.opts.Elastic {
+		// First detection of a dead peer may be on the write path:
+		// detach it (surfacing MsgPeerGone through Recv) and report
+		// success — elastic sends to the dead are dropped, the
+		// membership barrier is what handles the death.
+		m.markPeerGone(to, err)
+		return nil
+	}
+	return &ErrPeerDown{Peer: to, Cause: err}
+}
+
+// connTo resolves the live connection to peer `to`, or (nil, nil) when
+// the peer is detached on an elastic endpoint — the caller drops the
+// frame silently.
+func (m *TCPMesh) connTo(to int) (net.Conn, error) {
+	if to < 0 || to >= len(m.addrs) {
+		return nil, fmt.Errorf("transport: no connection to %d", to)
+	}
+	m.connMu.RLock()
+	conn := m.conns[to]
+	m.connMu.RUnlock()
+	if conn == nil {
+		if m.opts.Elastic {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("transport: no connection to %d", to)
+	}
+	return conn, nil
 }
 
 // Send delivers msg to node `to` (loopback messages short-circuit the
@@ -564,8 +865,12 @@ func (m *TCPMesh) Send(to int, msg Message) error {
 	if to == m.self {
 		return m.loopback(msg)
 	}
-	if to < 0 || to >= len(m.addrs) || m.conns[to] == nil {
-		return fmt.Errorf("transport: no connection to %d", to)
+	conn, err := m.connTo(to)
+	if err != nil {
+		return err
+	}
+	if conn == nil {
+		return nil // elastic: detached peer, frame dropped
 	}
 	if err := m.checkFrameSize(to, msg); err != nil {
 		return err
@@ -577,7 +882,7 @@ func (m *TCPMesh) Send(to int, msg Message) error {
 	if len(msg.Payload) > 0 {
 		vec = append(vec, msg.Payload)
 	}
-	err := m.writeVec(to, vec, false)
+	err = m.writeVec(to, conn, vec, false)
 	if m.opts.OnCopy != nil {
 		m.opts.OnCopy(4 + headerLen)
 	}
@@ -604,8 +909,12 @@ func (m *TCPMesh) SendBatch(to int, msgs []Message) error {
 		}
 		return nil
 	}
-	if to < 0 || to >= len(m.addrs) || m.conns[to] == nil {
-		return fmt.Errorf("transport: no connection to %d", to)
+	conn, err := m.connTo(to)
+	if err != nil {
+		return err
+	}
+	if conn == nil {
+		return nil // elastic: detached peer, batch dropped
 	}
 	for _, msg := range msgs {
 		if err := m.checkFrameSize(to, msg); err != nil {
@@ -628,7 +937,7 @@ func (m *TCPMesh) SendBatch(to int, msgs []Message) error {
 			vec = append(vec, msg.Payload)
 		}
 	}
-	err := m.writeVec(to, vec, m.opts.CorkBatches)
+	err = m.writeVec(to, conn, vec, m.opts.CorkBatches)
 	if m.opts.OnCopy != nil {
 		m.opts.OnCopy(scratch)
 	}
@@ -675,6 +984,22 @@ func (m *TCPMesh) Recv() (Message, error) {
 	}
 }
 
+// Detach severs the link to one peer without tearing the mesh down:
+// the connection closes, later sends to the peer drop silently, and no
+// MsgPeerGone is synthesized — the caller (the comm layer applying a
+// new view) already decided the peer is out. The slot re-attaches if
+// the rank later rejoins through the listener. Elastic endpoints only.
+func (m *TCPMesh) Detach(peer int) error {
+	if !m.opts.Elastic {
+		return fmt.Errorf("transport: TCPMesh.Detach needs TCPOptions.Elastic")
+	}
+	if peer < 0 || peer >= len(m.addrs) || peer == m.self {
+		return fmt.Errorf("transport: bad detach peer %d", peer)
+	}
+	m.markPeerGone(peer, nil)
+	return nil
+}
+
 // Close shuts the endpoint down gracefully: it announces the departure
 // with a goodbye frame and half-closes writes — synchronously, so the
 // goodbye is in the kernel's send queue before Close returns even if
@@ -686,12 +1011,20 @@ func (m *TCPMesh) Close() error {
 	m.closeOnce.Do(func() {
 		close(m.closed)
 		m.lis.Close()
+		// Freeze membership: no admission (and no reader registration)
+		// may start once teardown is under way. The snapshot below is
+		// what the rest of Close works over — elastic detaches cannot
+		// nil a slot out from under it.
+		m.connMu.Lock()
+		m.closing = true
+		conns := append([]net.Conn(nil), m.conns...)
+		m.connMu.Unlock()
 		// A deadline in the near future bounds the whole teardown: it
 		// wakes writers currently blocked on a stalled peer (so the
 		// goodbye below can take the send lock) and stops the reader
 		// drain if a peer never closes its end.
 		deadline := time.Now().Add(m.opts.DrainTimeout)
-		for _, c := range m.conns {
+		for _, c := range conns {
 			if c != nil {
 				c.SetDeadline(deadline)
 			}
@@ -700,7 +1033,7 @@ func (m *TCPMesh) Close() error {
 		binary.LittleEndian.PutUint32(bye[0:4], headerLen)
 		bye[4] = byte(msgGoodbye)
 		binary.LittleEndian.PutUint32(bye[5:9], uint32(m.self))
-		for peer, c := range m.conns {
+		for peer, c := range conns {
 			if c == nil {
 				continue
 			}
@@ -716,7 +1049,7 @@ func (m *TCPMesh) Close() error {
 		// peer delays reclamation, never the Close caller.
 		go func() {
 			m.wg.Wait()
-			for _, c := range m.conns {
+			for _, c := range conns {
 				if c != nil {
 					c.Close()
 				}

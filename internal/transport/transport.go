@@ -42,6 +42,32 @@ const (
 	// same frame at the same round barrier, which is what keeps replicas
 	// byte-identical across a mid-training re-route.
 	MsgReplan
+	// MsgViewHalt announces that the sender has parked at a membership
+	// barrier: Iter is the next iteration it would have launched (the
+	// view leader restarts the cluster at the max over all halts) and the
+	// payload carries the dead/joined rank sets it has observed plus a
+	// graceful-leave flag (see internal/comm's view-change protocol).
+	MsgViewHalt
+	// MsgView carries the leader's decided membership epoch: the new
+	// cluster.View, the restart iteration (also in Iter), the route byte
+	// per parameter for the re-planned shape, and the leader's staged
+	// replica bytes — the state handoff every member (and joiner) adopts
+	// verbatim, which is what keeps replicas byte-identical across the
+	// transition.
+	MsgView
+)
+
+// Synthetic local event types: injected into an endpoint's own inbox by
+// elastic transports to surface per-peer lifecycle through the ordinary
+// Recv stream. They are never encoded on the wire (decode rejects
+// them).
+const (
+	// MsgPeerGone reports that peer From's link died (Layer 0) or closed
+	// gracefully with a goodbye (Layer 1).
+	MsgPeerGone MsgType = 0x80 + iota
+	// MsgPeerUp reports that peer From attached to this endpoint (a late
+	// joiner completed the handshake).
+	MsgPeerUp
 )
 
 // Message is one protocol frame.
@@ -76,8 +102,17 @@ type Mesh interface {
 	SendBatch(to int, msgs []Message) error
 	// Recv blocks for the next inbound message. After Close it returns
 	// ErrClosed; networked transports may instead return a link
-	// failure such as *ErrPeerDown once a peer is unreachable.
+	// failure such as *ErrPeerDown once a peer is unreachable. Elastic
+	// endpoints report per-peer lifecycle as synthetic MsgPeerGone /
+	// MsgPeerUp messages here instead of failing the whole endpoint.
 	Recv() (Message, error)
+	// Detach severs this endpoint's link to one peer without tearing the
+	// mesh down: the connection (if any) closes, subsequent sends to the
+	// peer are dropped silently on elastic transports (an error
+	// otherwise), and no MsgPeerGone is synthesized — the caller already
+	// decided the peer is out. A detached slot may be re-attached by a
+	// later join where the transport supports it.
+	Detach(peer int) error
 	// Close tears the endpoint down; pending Recv calls return ErrClosed.
 	Close() error
 }
@@ -122,7 +157,7 @@ func decode(buf []byte) (Message, error) {
 	if len(buf) < headerLen {
 		return Message{}, fmt.Errorf("transport: short frame: %d bytes", len(buf))
 	}
-	if t := MsgType(buf[0]); (t < MsgPush || t > MsgReplan) && t != msgGoodbye {
+	if t := MsgType(buf[0]); (t < MsgPush || t > MsgView) && t != msgGoodbye {
 		return Message{}, fmt.Errorf("transport: unknown message type %d", t)
 	}
 	return Message{
@@ -169,6 +204,14 @@ type chanCluster struct {
 	inboxes []chan Message
 	once    sync.Once
 	closed  chan struct{}
+
+	// Elastic state: per-rank lifecycle instead of the all-or-nothing
+	// cluster close. gone ranks swallow sends; downs[r] closes when rank
+	// r is killed so its own Recv/Send surface *ErrPeerDown.
+	elastic bool
+	mu      sync.Mutex
+	gone    []bool
+	downs   []chan struct{}
 }
 
 // NewChanCluster builds an n-node in-process cluster and returns the n
@@ -185,6 +228,117 @@ func NewChanCluster(n int) []*ChanMesh {
 	return ms
 }
 
+// ChanCluster is the handle over an elastic in-process cluster: the
+// endpoints plus the chaos/lifecycle controls (Kill, Join) the
+// membership tests script.
+type ChanCluster struct {
+	c         *chanCluster
+	endpoints []*ChanMesh
+}
+
+// NewElasticChanCluster builds an n-slot in-process cluster with
+// per-peer lifecycle: killing a rank delivers MsgPeerGone to the
+// survivors instead of tearing the mesh down, and a slot can be
+// re-joined later. Endpoint i is Endpoint(i).
+func NewElasticChanCluster(n int) *ChanCluster {
+	c := &chanCluster{
+		closed:  make(chan struct{}),
+		elastic: true,
+		gone:    make([]bool, n),
+		downs:   make([]chan struct{}, n),
+	}
+	for i := 0; i < n; i++ {
+		c.inboxes = append(c.inboxes, make(chan Message, 1024))
+		c.downs[i] = make(chan struct{})
+	}
+	cl := &ChanCluster{c: c}
+	for i := 0; i < n; i++ {
+		cl.endpoints = append(cl.endpoints, &ChanMesh{self: i, cluster: c})
+	}
+	return cl
+}
+
+// Endpoint returns rank i's mesh endpoint.
+func (cl *ChanCluster) Endpoint(i int) *ChanMesh { return cl.endpoints[i] }
+
+// Kill simulates a crash of rank r: its own Recv and Send return
+// *ErrPeerDown, sends addressed to it are dropped, and every other live
+// rank receives a synthetic MsgPeerGone — the same surface a SIGKILLed
+// TCP peer presents to its survivors.
+func (cl *ChanCluster) Kill(r int) {
+	c := cl.c
+	c.mu.Lock()
+	if c.gone[r] {
+		c.mu.Unlock()
+		return
+	}
+	c.gone[r] = true
+	down := c.downs[r]
+	c.mu.Unlock()
+	close(down)
+	cl.notify(r, Message{Type: MsgPeerGone, From: int32(r)})
+}
+
+// Join re-attaches slot r (fresh or previously killed/detached) and
+// delivers MsgPeerUp to every live rank. The returned endpoint is ready
+// to use; any stale messages queued for the slot are dropped.
+func (cl *ChanCluster) Join(r int) *ChanMesh {
+	c := cl.c
+	c.mu.Lock()
+	c.gone[r] = false
+	c.downs[r] = make(chan struct{})
+	c.mu.Unlock()
+	for {
+		select {
+		case msg := <-c.inboxes[r]:
+			msg.ReleasePayload()
+			continue
+		default:
+		}
+		break
+	}
+	cl.notify(r, Message{Type: MsgPeerUp, From: int32(r)})
+	return cl.endpoints[r]
+}
+
+// notify delivers a synthetic lifecycle event from rank r to every
+// other live rank.
+func (cl *ChanCluster) notify(r int, msg Message) {
+	c := cl.c
+	for p := range c.inboxes {
+		if p == r {
+			continue
+		}
+		c.mu.Lock()
+		skip := c.gone[p]
+		c.mu.Unlock()
+		if skip {
+			continue
+		}
+		select {
+		case c.inboxes[p] <- msg:
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+// Close shuts the whole cluster down.
+func (cl *ChanCluster) Close() { cl.endpoints[0].Close() }
+
+// errKilled is the cause recorded on a killed ChanMesh rank's own
+// *ErrPeerDown.
+var errKilled = errors.New("endpoint killed")
+
+func (c *chanCluster) isGone(r int) bool {
+	if !c.elastic {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gone[r]
+}
+
 // Self returns this endpoint's node id.
 func (m *ChanMesh) Self() int { return m.self }
 
@@ -197,6 +351,17 @@ func (m *ChanMesh) N() int { return len(m.cluster.inboxes) }
 func (m *ChanMesh) Send(to int, msg Message) error {
 	if to < 0 || to >= m.N() {
 		return fmt.Errorf("transport: bad destination %d", to)
+	}
+	if m.cluster.isGone(m.self) {
+		// This endpoint was killed: behave like the dead process it
+		// models.
+		return &ErrPeerDown{Peer: m.self, Cause: errKilled}
+	}
+	if m.cluster.isGone(to) {
+		// Elastic: sends to a dead or detached rank vanish, like bytes
+		// written to a peer that will never read them. The membership
+		// barrier — not the send path — is what reports the death.
+		return nil
 	}
 	msg.From = int32(m.self)
 	msg.retainLease()
@@ -222,6 +387,12 @@ func (m *ChanMesh) SendBatch(to int, msgs []Message) error {
 
 // Recv blocks for the next message to this endpoint.
 func (m *ChanMesh) Recv() (Message, error) {
+	var down chan struct{}
+	if m.cluster.elastic {
+		m.cluster.mu.Lock()
+		down = m.cluster.downs[m.self]
+		m.cluster.mu.Unlock()
+	}
 	select {
 	case msg := <-m.cluster.inboxes[m.self]:
 		return msg, nil
@@ -233,7 +404,28 @@ func (m *ChanMesh) Recv() (Message, error) {
 		default:
 			return Message{}, ErrClosed
 		}
+	case <-downOrNever(down):
+		return Message{}, &ErrPeerDown{Peer: m.self, Cause: errKilled}
 	}
+}
+
+// downOrNever turns a nil channel (non-elastic endpoint) into a
+// never-ready select case.
+func downOrNever(ch chan struct{}) chan struct{} { return ch }
+
+// Detach severs this endpoint's link to one peer: subsequent sends to
+// it are dropped. Elastic clusters only.
+func (m *ChanMesh) Detach(peer int) error {
+	if !m.cluster.elastic {
+		return fmt.Errorf("transport: ChanMesh.Detach needs an elastic cluster")
+	}
+	if peer < 0 || peer >= m.N() || peer == m.self {
+		return fmt.Errorf("transport: bad detach peer %d", peer)
+	}
+	m.cluster.mu.Lock()
+	m.cluster.gone[peer] = true
+	m.cluster.mu.Unlock()
+	return nil
 }
 
 // Close shuts the whole cluster down (idempotent).
@@ -312,6 +504,9 @@ func (m *DelayMesh) SendBatch(to int, msgs []Message) error {
 
 // Recv blocks for the next inbound message.
 func (m *DelayMesh) Recv() (Message, error) { return m.inner.Recv() }
+
+// Detach severs the wrapped endpoint's link to one peer.
+func (m *DelayMesh) Detach(peer int) error { return m.inner.Detach(peer) }
 
 // Close tears down the wrapped mesh.
 func (m *DelayMesh) Close() error { return m.inner.Close() }

@@ -25,6 +25,7 @@ package poseidon
 import (
 	"math/rand"
 
+	"repro/internal/cluster"
 	"repro/internal/nn"
 	"repro/internal/nn/autodiff"
 	ipos "repro/internal/poseidon"
@@ -84,6 +85,16 @@ type Result = train.Result
 
 // Point is one recorded training measurement.
 type Point = train.Point
+
+// View is a versioned cluster membership: a monotonically increasing
+// epoch plus the sorted transport ranks serving in it.
+type View = cluster.View
+
+// MembershipEvent describes one committed membership transition as
+// observed by a worker: successor view, restart iteration, and a deep
+// copy of the adopted replica (the snapshot a continuation run resumes
+// from).
+type MembershipEvent = train.ViewEvent
 
 // Planner tuning defaults (see the internal planner for semantics).
 const (

@@ -2,9 +2,13 @@ package poseidon
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/data"
 	"repro/internal/metrics"
 	"repro/internal/train"
@@ -22,6 +26,7 @@ type Builder struct {
 	shm     *shmSpec
 	mesh    transport.Mesh
 	collect bool
+	onView  func(MembershipEvent)
 	err     error
 }
 
@@ -176,9 +181,68 @@ func (b *Builder) Bandwidth(bps float64) *Builder { b.cfg.Bandwidth = bps; retur
 // spec; see ReplanSpec.
 func (b *Builder) Replan(spec ReplanSpec) *Builder { b.cfg.Replan = spec; return b }
 
+// Elastic enables membership epochs: a peer failure or voluntary
+// departure no longer aborts the run — the members drain to a
+// membership barrier, agree on a successor view, re-shard state, and
+// continue. Mutually exclusive with Replan (both protocols own the
+// round barrier).
+func (b *Builder) Elastic(on bool) *Builder { b.cfg.Elastic = on; return b }
+
+// Members names the ranks actually serving at epoch 0 of an elastic
+// session — the transport is sized for cluster capacity, the view for
+// current membership. Unset, every transport rank is a member.
+func (b *Builder) Members(ranks []int) *Builder {
+	if len(ranks) == 0 {
+		return b.fail(fmt.Errorf("poseidon: empty member list"))
+	}
+	members := append([]int(nil), ranks...)
+	sort.Ints(members)
+	for i := 1; i < len(members); i++ {
+		if members[i] == members[i-1] {
+			return b.fail(fmt.Errorf("poseidon: duplicate member rank %d", members[i]))
+		}
+	}
+	b.cfg.View = cluster.View{Members: members}
+	return b
+}
+
+// Joining marks this node a late joiner: it is not in the initial view
+// and adopts everything — view, routes, parameters, data shard — from
+// its first membership barrier.
+func (b *Builder) Joining() *Builder { b.cfg.Joining = true; return b }
+
+// LeaveAt schedules a graceful departure: at that iteration this worker
+// announces it is leaving, participates in the membership barrier, and
+// returns with Result.Left set once the successor view excludes it.
+func (b *Builder) LeaveAt(iter int) *Builder { b.cfg.LeaveAt = iter; return b }
+
+// ResumeFrom continues a run from a snapshot: training starts at iter
+// with the given parameters (row-major float32, Params() order) instead
+// of iteration 0 with the seeded model.
+func (b *Builder) ResumeFrom(iter int, params [][]float32) *Builder {
+	b.cfg.StartIter = iter
+	b.cfg.InitialParams = params
+	return b
+}
+
+// OnMembershipChange streams every committed membership transition —
+// successor view, restart iteration, and a deep copy of the adopted
+// replica — as the run produces it (called from the worker's compute
+// goroutine; keep it fast).
+func (b *Builder) OnMembershipChange(fn func(MembershipEvent)) *Builder {
+	b.onView = fn
+	return b
+}
+
+// MembershipTimeout bounds each membership barrier (0 = default).
+func (b *Builder) MembershipTimeout(d time.Duration) *Builder {
+	b.cfg.ViewTimeout = d
+	return b
+}
+
 // CollectMetrics attaches a runtime metrics registry: per-parameter
-// wire traffic, sync stalls, KV rounds, replan events. TCP sessions
-// additionally meter frame-level wire totals.
+// wire traffic, sync stalls, KV rounds, replan events, membership
+// epoch. TCP sessions additionally meter frame-level wire totals.
 func (b *Builder) CollectMetrics() *Builder { b.collect = true; return b }
 
 // OnProgress streams every recorded point as the run produces it
@@ -209,6 +273,12 @@ func (b *Builder) Build() (*Session, error) {
 	if cfg.Replan.Every > 0 && cfg.Replan.Every <= cfg.Staleness {
 		return nil, fmt.Errorf("poseidon: replan interval %d must exceed staleness %d", cfg.Replan.Every, cfg.Staleness)
 	}
+	if cfg.Elastic && cfg.Replan.Every > 0 {
+		return nil, fmt.Errorf("poseidon: membership epochs and measured replanning both own the round barrier; enable one")
+	}
+	if !cfg.Elastic && (cfg.Joining || cfg.LeaveAt > 0 || cfg.View.Size() > 0) {
+		return nil, fmt.Errorf("poseidon: Members/Joining/LeaveAt need Builder.Elastic")
+	}
 	// Plan feasibility up front: Decisions builds a throwaway replica
 	// and validates exactly like the run will.
 	if _, err := train.Decisions(cfg); err != nil {
@@ -216,6 +286,24 @@ func (b *Builder) Build() (*Session, error) {
 	}
 
 	s := &Session{cfg: cfg}
+	if cfg.View.Size() > 0 {
+		s.view = cfg.View.Clone()
+	} else {
+		s.view = cluster.Initial(cfg.Workers)
+	}
+	if cfg.Elastic {
+		// The session tracks the committed view so View() stays truthful
+		// across barriers; the user's hook runs after the update.
+		userFn := b.onView
+		s.cfg.OnViewChange = func(ev MembershipEvent) {
+			s.viewMu.Lock()
+			s.view = ev.View.Clone()
+			s.viewMu.Unlock()
+			if userFn != nil {
+				userFn(ev)
+			}
+		}
+	}
 	if b.collect {
 		s.metrics = metrics.NewComm()
 		s.cfg.Metrics = s.metrics
@@ -228,7 +316,22 @@ func (b *Builder) Build() (*Session, error) {
 		if s.metrics != nil && opts.OnCopy == nil {
 			opts.OnCopy = s.metrics.Wire().CountCopied
 		}
-		tcp, err := transport.NewTCPMeshOpts(b.tcp.id, b.tcp.peers, opts)
+		if cfg.Elastic {
+			opts.Elastic = true
+			if !cfg.Joining && cfg.View.Size() > 0 {
+				opts.Members = append([]int(nil), cfg.View.Members...)
+			}
+		}
+		var tcp *transport.TCPMesh
+		var err error
+		if cfg.Joining {
+			if cfg.View.Size() == 0 {
+				return nil, fmt.Errorf("poseidon: a TCP joiner needs the live membership (Builder.Members)")
+			}
+			tcp, err = transport.JoinTCPMesh(b.tcp.id, b.tcp.peers, cfg.View.Members, opts)
+		} else {
+			tcp, err = transport.NewTCPMeshOpts(b.tcp.id, b.tcp.peers, opts)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("poseidon: mesh: %w", err)
 		}
@@ -241,6 +344,14 @@ func (b *Builder) Build() (*Session, error) {
 		opts := b.shm.opts
 		if s.metrics != nil && opts.OnCopy == nil {
 			opts.OnCopy = s.metrics.Wire().CountCopied
+		}
+		if cfg.Elastic {
+			if cfg.Joining || cfg.View.Size() > 0 {
+				// Ring files rendezvous at setup; shm clusters can only
+				// shrink.
+				return nil, fmt.Errorf("poseidon: the shm transport cannot form a partial mesh or admit late joiners")
+			}
+			opts.Elastic = true
 		}
 		shm, err := transport.NewSHMMesh(b.shm.id, b.shm.workers, opts)
 		if err != nil {
@@ -263,6 +374,18 @@ type Session struct {
 	mesh     transport.Mesh // nil for in-process sessions
 	ownsMesh bool
 	metrics  *metrics.Comm
+
+	viewMu sync.Mutex
+	view   cluster.View
+}
+
+// View returns the current membership view: the initial one before the
+// run starts, then each committed successor as membership barriers
+// resolve. Fixed-size sessions report the full mesh at epoch 0 forever.
+func (s *Session) View() View {
+	s.viewMu.Lock()
+	defer s.viewMu.Unlock()
+	return s.view.Clone()
 }
 
 // Plan previews the per-tensor Algorithm 1 decisions this session will
@@ -279,9 +402,31 @@ func (s *Session) Workers() int { return s.cfg.Workers }
 // could mistake for normal shutdown.
 func (s *Session) Run() (*Result, error) {
 	if s.mesh == nil {
-		return train.Run(s.cfg)
+		results, err := train.RunOverAll(s.cfg, s.inProcessMeshes())
+		if err != nil {
+			return nil, err
+		}
+		return results[0], nil
 	}
 	return train.RunWorker(s.cfg, s.mesh)
+}
+
+// inProcessMeshes builds the channel cluster an in-process session
+// trains over — the elastic variant when membership epochs are on, so
+// Leave and view changes work without real sockets.
+func (s *Session) inProcessMeshes() []transport.Mesh {
+	endpoints := make([]transport.Mesh, s.cfg.Workers)
+	if s.cfg.Elastic {
+		cl := transport.NewElasticChanCluster(s.cfg.Workers)
+		for i := range endpoints {
+			endpoints[i] = cl.Endpoint(i)
+		}
+		return endpoints
+	}
+	for i, m := range transport.NewChanCluster(s.cfg.Workers) {
+		endpoints[i] = m
+	}
+	return endpoints
 }
 
 // RunAll executes an in-process session and returns every worker's
@@ -292,12 +437,7 @@ func (s *Session) RunAll() ([]*Result, error) {
 	if s.mesh != nil {
 		return nil, fmt.Errorf("poseidon: RunAll needs an in-process session")
 	}
-	meshes := transport.NewChanCluster(s.cfg.Workers)
-	endpoints := make([]transport.Mesh, len(meshes))
-	for i, m := range meshes {
-		endpoints[i] = m
-	}
-	return train.RunOverAll(s.cfg, endpoints)
+	return train.RunOverAll(s.cfg, s.inProcessMeshes())
 }
 
 // Metrics returns the session's live metrics registry (nil unless

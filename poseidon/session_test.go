@@ -3,10 +3,12 @@ package poseidon
 import (
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/data"
 	"repro/internal/nn/autodiff"
+	"repro/internal/transport"
 )
 
 func mlp() ModelBuilder {
@@ -153,5 +155,93 @@ func TestParseRouteOverrides(t *testing.T) {
 		if _, err := ParseRouteOverrides(bad); err == nil {
 			t.Fatalf("%q accepted", bad)
 		}
+	}
+}
+
+// The elastic façade end to end: three sessions over an elastic
+// channel cluster, one departing voluntarily mid-run. The survivors'
+// View() and metrics snapshot must both report the successor epoch, and
+// the membership-change hook must have streamed the transition.
+func TestSessionElasticLeave(t *testing.T) {
+	const n = 3
+	cl := transport.NewElasticChanCluster(n)
+	full := data.Synthetic(101, 640, 4, 1, 4, 4, 0.3)
+	trainSet, _ := full.Split(512)
+
+	mkSession := func(rank int) *Builder {
+		return NewSession().
+			Mesh(cl.Endpoint(rank)).
+			Iterations(10).Batch(2).LearningRate(0.05).Seed(14).
+			Model(mlp()).
+			Data(trainSet, nil).
+			Elastic(true).
+			CollectMetrics()
+	}
+
+	var events []MembershipEvent
+	var eventsMu sync.Mutex
+	sessions := make([]*Session, n)
+	for r := 0; r < n; r++ {
+		b := mkSession(r)
+		if r == 0 {
+			b.OnMembershipChange(func(ev MembershipEvent) {
+				eventsMu.Lock()
+				events = append(events, ev)
+				eventsMu.Unlock()
+			})
+		}
+		if r == 2 {
+			b.LeaveAt(5)
+		}
+		sess, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[r] = sess
+	}
+	if got := sessions[0].View(); got.Epoch != 0 || got.Size() != n {
+		t.Fatalf("initial view = %+v, want epoch 0 size %d", got, n)
+	}
+
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[r], errs[r] = sessions[r].Run()
+		}()
+	}
+	wg.Wait()
+	cl.Close()
+
+	for r := 0; r < n; r++ {
+		if errs[r] != nil {
+			t.Fatalf("session %d: %v", r, errs[r])
+		}
+	}
+	if !results[2].Left {
+		t.Fatal("leaver's result not marked Left")
+	}
+	for _, r := range []int{0, 1} {
+		v := sessions[r].View()
+		if v.Epoch != 1 || v.Size() != 2 {
+			t.Fatalf("survivor %d View() = %+v, want epoch 1 size 2", r, v)
+		}
+		snap, ok := sessions[r].MetricsSnapshot()
+		if !ok {
+			t.Fatalf("survivor %d has no metrics", r)
+		}
+		if snap.MembershipEpoch != 1 || len(snap.ViewChanges) != 1 {
+			t.Fatalf("survivor %d snapshot epoch %d, %d view changes; want 1, 1",
+				r, snap.MembershipEpoch, len(snap.ViewChanges))
+		}
+	}
+	eventsMu.Lock()
+	defer eventsMu.Unlock()
+	if len(events) != 1 || events[0].View.Epoch != 1 || len(events[0].Params) == 0 {
+		t.Fatalf("membership hook events = %+v, want one epoch-1 event with params", events)
 	}
 }

@@ -218,6 +218,42 @@ func gateCopies(measured map[string]map[string]metricReading, budgets map[string
 	return bad
 }
 
+// parseP99Budgets parses the -p99-budget flag: comma-separated name=N
+// pairs, N the maximum p99 latency in milliseconds (the serving
+// benchmarks' custom p99-ms metric).
+func parseP99Budgets(s string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		name, nStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("p99 budget %q is not name=N", pair)
+		}
+		n, err := strconv.ParseFloat(nStr, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("p99 budget %q: bad millisecond count %q", pair, nStr)
+		}
+		out[name] = n
+	}
+	return out, nil
+}
+
+// gateP99 compares measured p99-ms against the budgets; a budgeted
+// benchmark missing the metric (or missing entirely) fails.
+func gateP99(measured map[string]map[string]metricReading, budgets map[string]float64) []string {
+	var bad []string
+	for name, budget := range budgets {
+		rd, ok := measured[name]["p99-ms"]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: no p99-ms in bench output (renamed? metric dropped?)", name))
+			continue
+		}
+		if rd.Max > budget {
+			bad = append(bad, fmt.Sprintf("%s: p99 %.2fms exceeds budget %.2fms (micro-batch window regressed?)", name, rd.Max, budget))
+		}
+	}
+	return bad
+}
+
 // ratioGate demands benchmark Num's throughput be at least Min times
 // benchmark Den's.
 type ratioGate struct {
@@ -272,8 +308,9 @@ func gateRatios(measured map[string]map[string]metricReading, gates []ratioGate)
 }
 
 // runGoBenchGates applies every requested absolute gate — allocation,
-// bytes-copied, throughput ratio — to one `go test -bench` output file.
-func runGoBenchGates(benchPath, allocSpec, copySpec, ratioSpec string) int {
+// bytes-copied, p99 latency, throughput ratio — to one `go test -bench`
+// output file.
+func runGoBenchGates(benchPath, allocSpec, copySpec, p99Spec, ratioSpec string) int {
 	f, err := os.Open(benchPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
@@ -322,6 +359,20 @@ func runGoBenchGates(benchPath, allocSpec, copySpec, ratioSpec string) int {
 		bad = append(bad, gateCopies(metrics, budgets)...)
 		gates++
 	}
+	if p99Spec != "" {
+		budgets, err := parseP99Budgets(p99Spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
+			return 1
+		}
+		for name, budget := range budgets {
+			if rd, ok := metrics[name]["p99-ms"]; ok {
+				fmt.Printf("bench-trend: %s p99 %.2fms (budget %.2fms)\n", name, rd.Max, budget)
+			}
+		}
+		bad = append(bad, gateP99(metrics, budgets)...)
+		gates++
+	}
 	if ratioSpec != "" {
 		ratios, err := parseRatioGates(ratioSpec)
 		if err != nil {
@@ -339,7 +390,7 @@ func runGoBenchGates(benchPath, allocSpec, copySpec, ratioSpec string) int {
 		gates++
 	}
 	if gates == 0 {
-		fmt.Fprintln(os.Stderr, "bench-trend: -go-bench needs at least one of -alloc-budget, -copy-budget, -mbps-ratio")
+		fmt.Fprintln(os.Stderr, "bench-trend: -go-bench needs at least one of -alloc-budget, -copy-budget, -p99-budget, -mbps-ratio")
 		return 1
 	}
 	if len(bad) > 0 {
@@ -370,11 +421,12 @@ func main() {
 	goBench := flag.String("go-bench", "", "gate absolute budgets against this `go test -bench` output instead of comparing BENCH_ci.json timings")
 	allocBudget := flag.String("alloc-budget", "", "comma-separated name=N maximum allocs/op, used with -go-bench")
 	copyBudget := flag.String("copy-budget", "", "comma-separated name=N maximum copiedB/frame, used with -go-bench")
+	p99Budget := flag.String("p99-budget", "", "comma-separated name=N maximum p99 latency in milliseconds, used with -go-bench")
 	mbpsRatio := flag.String("mbps-ratio", "", "comma-separated 'A/B>=X' minimum MB/s ratios between benchmarks, used with -go-bench")
 	flag.Parse()
 
 	if *goBench != "" {
-		os.Exit(runGoBenchGates(*goBench, *allocBudget, *copyBudget, *mbpsRatio))
+		os.Exit(runGoBenchGates(*goBench, *allocBudget, *copyBudget, *p99Budget, *mbpsRatio))
 	}
 
 	next, err := load(*newPath)

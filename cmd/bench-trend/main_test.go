@@ -46,6 +46,7 @@ BenchmarkWirePathAlloc-8            	       3	   1100000 ns/op	        61.67 msg
 BenchmarkSendBatchTCP-8             	       3	    500000 ns/op	    1164 MB/s	        21.00 copiedB/frame	       1 allocs/op
 BenchmarkSendBatchSHM-8             	       3	    250000 ns/op	    2910 MB/s	      4117.00 copiedB/frame	       0 allocs/op
 BenchmarkNoAllocsReported-8         	       3	    500000 ns/op
+BenchmarkPredictMicroBatch-8        	     300	   1103846 ns/op	         1.37 p99-ms	       0 allocs/op
 PASS
 `
 
@@ -119,6 +120,30 @@ func TestGateCopies(t *testing.T) {
 	}
 	if bad := gateCopies(metrics, map[string]float64{"BenchmarkGone": 32}); len(bad) != 1 {
 		t.Fatalf("missing benchmark not flagged: %v", bad)
+	}
+}
+
+func TestGateP99(t *testing.T) {
+	metrics, err := parseGoBenchMetrics(bufio.NewScanner(strings.NewReader(sampleBenchOut)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := gateP99(metrics, map[string]float64{"BenchmarkPredictMicroBatch": 25}); len(bad) != 0 {
+		t.Fatalf("under budget flagged: %v", bad)
+	}
+	if bad := gateP99(metrics, map[string]float64{"BenchmarkPredictMicroBatch": 1.0}); len(bad) != 1 {
+		t.Fatalf("over budget not flagged: %v", bad)
+	}
+	// A budgeted benchmark missing the metric must fail, not pass
+	// vacuously.
+	if bad := gateP99(metrics, map[string]float64{"BenchmarkNoAllocsReported": 25}); len(bad) != 1 {
+		t.Fatalf("missing metric not flagged: %v", bad)
+	}
+	if bad := gateP99(metrics, map[string]float64{"BenchmarkGone": 25}); len(bad) != 1 {
+		t.Fatalf("missing benchmark not flagged: %v", bad)
+	}
+	if _, err := parseP99Budgets("BenchmarkPredictMicroBatch=0"); err == nil {
+		t.Fatal("zero-millisecond budget accepted")
 	}
 }
 

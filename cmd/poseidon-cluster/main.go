@@ -29,6 +29,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/cliflags"
 )
 
 func main() { os.Exit(run()) }
@@ -36,28 +38,11 @@ func main() { os.Exit(run()) }
 func run() int {
 	n := flag.Int("n", 3, "number of worker processes")
 	workerBin := flag.String("worker", "", "path to the poseidon-worker binary (default: auto-detect)")
-	transportKind := flag.String("transport", "tcp", "mesh transport forwarded to every worker: tcp, or shm (shared-memory rings, Linux only)")
-	shmDir := flag.String("shm-dir", "", "rendezvous directory for -transport shm (default: a fresh temp dir, removed on exit)")
+	// The training flags are the shared surface (internal/cliflags):
+	// parsed here, forwarded verbatim to every worker via common.Args.
+	common := cliflags.RegisterCommon(flag.CommandLine)
 	basePort := flag.Int("base-port", 0, "first TCP port; workers use base-port..base-port+n-1 (0 = pick free ports)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "kill the cluster if it runs longer than this")
-	iters := flag.Int("iters", 50, "training iterations")
-	batch := flag.Int("batch", 8, "per-worker batch size")
-	lr := flag.Float64("lr", 0.1, "learning rate")
-	mode := flag.String("mode", "hybrid", "sync mode: ps|hybrid|1bit")
-	seed := flag.Int64("seed", 42, "shared model/data seed")
-	overlap := flag.Bool("overlap", false, "stream pushes through the comm send pool (WFBP)")
-	chunk := flag.Int("chunk", 0, "max float32s per KV chunk (0 = whole tensors)")
-	printEvery := flag.Int("print-every", 10, "per-worker progress line interval")
-	dumpLosses := flag.Bool("dump-losses", false, "have each worker dump machine-readable LOSS lines")
-	maxFrame := flag.Int("max-frame", 0, "cap on a single frame body in bytes (0 = transport default)")
-	autoplan := flag.Bool("autoplan", false, "have each worker route via the cost model (Algorithm 1) and print PLAN lines")
-	metricsDump := flag.Bool("metrics-dump", false, "have each worker dump a machine-readable METRICS snapshot")
-	routeOverrides := flag.String("route", "", "per-parameter scheme overrides forwarded to every worker (index=ps|sfb|1bit, comma-separated)")
-	bw := flag.Float64("bw", 0, "initial link-bandwidth estimate in bytes/sec forwarded to every worker (0 = byte-count-only cost model)")
-	replanEvery := flag.Int("replan-every", 0, "have the cluster re-measure the wire rate and re-run Algorithm 1 every this many iterations (0 = off)")
-	replanAlpha := flag.Float64("replan-alpha", 0, "EWMA weight of the newest bandwidth observation (0 = default)")
-	frameOverhead := flag.Float64("frame-overhead", 0, "modeled per-frame overhead in seconds for the bandwidth-aware cost model (0 = default)")
-	elastic := flag.Bool("elastic", false, "enable membership epochs on every worker: a death or departure re-forms the cluster at a view-change barrier instead of aborting the run")
 	killAfter := flag.String("kill-after", "", "chaos: SIGKILL one worker mid-training, format iter:rank — fires once that rank prints a progress line at or past iter (use -print-every 1 for exact timing); that death is expected, so it alone does not fail the cluster")
 	joinAfter := flag.Int("join-after", 0, "chaos: once any worker prints a progress line at or past this iteration, spawn one extra worker that joins the live cluster (reserves capacity n+1; requires -elastic and -transport tcp)")
 	leaveAt := flag.String("leave-at", "", "schedule a graceful departure, format iter:rank — that worker announces leave at iter (requires -elastic)")
@@ -78,11 +63,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "cluster: -leave-at: %v\n", err)
 		return 1
 	}
-	if !*elastic && (*joinAfter > 0 || leaveRank >= 0 || *snapshotDir != "") {
+	if !common.Elastic && (*joinAfter > 0 || leaveRank >= 0 || *snapshotDir != "") {
 		fmt.Fprintln(os.Stderr, "cluster: -join-after/-leave-at/-snapshot-dir require -elastic")
 		return 1
 	}
-	if *joinAfter > 0 && *transportKind != "tcp" {
+	if *joinAfter > 0 && common.Transport != "tcp" {
 		fmt.Fprintln(os.Stderr, "cluster: -join-after requires -transport tcp (the shm mesh is fixed at rendezvous)")
 		return 1
 	}
@@ -105,7 +90,7 @@ func run() int {
 		return 1
 	}
 	peerList := strings.Join(addrs, ",")
-	if *transportKind == "shm" && *shmDir == "" {
+	if common.Transport == "shm" && common.ShmDir == "" {
 		// The shm rendezvous directory must be fresh per run; a temp dir
 		// owned by the launcher guarantees that and cleans up the ring
 		// files when the cluster exits.
@@ -115,7 +100,7 @@ func run() int {
 			return 1
 		}
 		defer os.RemoveAll(dir)
-		*shmDir = dir
+		common.ShmDir = dir
 	}
 	name, cleanup, err := resolveWorker(*workerBin)
 	if err != nil {
@@ -162,20 +147,7 @@ func run() int {
 	}
 
 	launch := func(i int, joiner bool) error {
-		args := []string{
-			"-id", fmt.Sprint(i), "-peers", peerList,
-			"-iters", fmt.Sprint(*iters), "-batch", fmt.Sprint(*batch),
-			"-lr", fmt.Sprint(*lr), "-mode", *mode, "-seed", fmt.Sprint(*seed),
-			"-chunk", fmt.Sprint(*chunk), "-print-every", fmt.Sprint(*printEvery),
-			"-max-frame", fmt.Sprint(*maxFrame),
-			"-transport", *transportKind,
-		}
-		if *shmDir != "" {
-			args = append(args, "-shm-dir", *shmDir)
-		}
-		if *elastic {
-			args = append(args, "-elastic")
-		}
+		args := append([]string{"-id", fmt.Sprint(i), "-peers", peerList}, common.Args()...)
 		if membersCSV != "" {
 			args = append(args, "-members", membersCSV)
 		}
@@ -187,33 +159,6 @@ func run() int {
 		}
 		if *snapshotDir != "" {
 			args = append(args, "-snapshot-out", filepath.Join(*snapshotDir, fmt.Sprintf("snap-%d.bin", i)))
-		}
-		if *overlap {
-			args = append(args, "-overlap")
-		}
-		if *dumpLosses {
-			args = append(args, "-dump-losses")
-		}
-		if *autoplan {
-			args = append(args, "-autoplan")
-		}
-		if *metricsDump {
-			args = append(args, "-metrics-dump")
-		}
-		if *routeOverrides != "" {
-			args = append(args, "-route", *routeOverrides)
-		}
-		if *bw != 0 {
-			args = append(args, "-bw", fmt.Sprint(*bw))
-		}
-		if *replanEvery != 0 {
-			args = append(args, "-replan-every", fmt.Sprint(*replanEvery))
-		}
-		if *replanAlpha != 0 {
-			args = append(args, "-replan-alpha", fmt.Sprint(*replanAlpha))
-		}
-		if *frameOverhead != 0 {
-			args = append(args, "-frame-overhead", fmt.Sprint(*frameOverhead))
 		}
 		cmd := exec.Command(name, args...)
 		stdout, err := cmd.StdoutPipe()

@@ -1,0 +1,144 @@
+// Command poseidon-serve is the serving plane in one process: it
+// trains like poseidon-worker — in-process with -local N, or as one
+// rank of a real TCP/shm mesh — while exposing an HTTP inference API
+// over the immutable snapshots the session captures at round barriers
+// (-snapshot-every).
+//
+// Endpoints: POST /v1/predict (micro-batched inference with per-tenant
+// rate limits and bounded in-flight admission), GET /v1/model (the
+// served snapshot's version), GET /metrics (the full METRICS JSON,
+// serving block included), GET /healthz.
+//
+// SIGTERM or SIGINT starts a graceful drain: new requests get 503 +
+// Retry-After, admitted ones — including those parked in a micro-batch
+// window — run to completion, training is cancelled at its round
+// barrier, and with -final-snapshot the last capture is persisted in
+// the poseidon.Snapshot format (readable by -load-params) before exit.
+//
+// The training flag surface is shared with poseidon-worker and
+// poseidon-cluster through internal/cliflags.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliflags"
+	"repro/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	nf := cliflags.RegisterNode(flag.CommandLine)
+	listen := flag.String("listen", "127.0.0.1:0", "HTTP listen address of the inference API")
+	snapshotEvery := flag.Int("snapshot-every", 10, "capture a serving snapshot every this many training iterations (plus once when the run drains)")
+	maxBatch := flag.Int("max-batch", 16, "micro-batch row cap: a window executes as soon as this many rows gather")
+	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "micro-batch window: a lone request waits at most this long for company")
+	tenantRPS := flag.Float64("tenant-rps", 50, "per-tenant sustained requests/sec (X-Tenant header; negative = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant burst size (0 = 2×rps)")
+	maxInflight := flag.Int("max-inflight", 256, "bound on concurrently admitted predict requests; beyond it requests shed with 503")
+	finalSnapshot := flag.String("final-snapshot", "", "persist the last captured snapshot to this file on shutdown (poseidon.Snapshot format)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain of in-flight requests at shutdown")
+	flag.Parse()
+
+	// The gateway's /metrics endpoint serves the session registry, so
+	// serving and training counters land in one dump.
+	nf.MetricsDump = true
+	b, err := nf.Builder()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		return 1
+	}
+	b.SnapshotEvery(*snapshotEvery)
+	sess, err := b.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		return 1
+	}
+	defer sess.Close()
+
+	gw := serve.New(sess, serve.Options{
+		MaxBatch:    *maxBatch,
+		MaxDelay:    *maxDelay,
+		MaxInFlight: *maxInflight,
+		TenantRPS:   *tenantRPS,
+		TenantBurst: *tenantBurst,
+		Metrics:     sess.Metrics(),
+	})
+	server := &http.Server{Handler: gw.Handler()}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: listen: %v\n", err)
+		return 1
+	}
+	fmt.Printf("SERVE listening on %s\n", ln.Addr())
+	go server.Serve(ln)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	trainDone := make(chan error, 1)
+	go func() {
+		_, err := sess.RunContext(ctx)
+		trainDone <- err
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+
+	trainFinished := false
+	select {
+	case err := <-trainDone:
+		trainFinished = true
+		if err != nil {
+			// The model is still servable from the last capture; keep the
+			// gateway up so operators can drain traffic deliberately.
+			fmt.Fprintf(os.Stderr, "serve: training failed: %v (serving last snapshot)\n", err)
+		} else {
+			fmt.Println("SERVE training done")
+		}
+		<-sig
+	case <-sig:
+	}
+
+	// Drain ordering matters: stop admitting first, then wait for the
+	// admitted handlers (the only batcher clients) to finish, and only
+	// then stop the batcher — so every accepted request completes.
+	fmt.Println("SERVE draining")
+	gw.Drain()
+	shCtx, shCancel := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := server.Shutdown(shCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: shutdown: %v\n", err)
+	}
+	shCancel()
+	gw.Close()
+
+	cancel()
+	if !trainFinished {
+		if err := <-trainDone; err != nil && !errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "serve: training: %v\n", err)
+		}
+	}
+
+	if *finalSnapshot != "" {
+		if m := sess.Latest(); m != nil {
+			if err := m.WriteFile(*finalSnapshot); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: final snapshot: %v\n", err)
+				return 1
+			}
+			fmt.Printf("SERVE final snapshot %s iter %d epoch %d\n", *finalSnapshot, m.Iter(), m.Epoch())
+		} else {
+			fmt.Fprintln(os.Stderr, "serve: no snapshot captured; nothing to persist")
+		}
+	}
+	fmt.Println("SERVE stopped")
+	return 0
+}

@@ -19,6 +19,10 @@
 // parameters or impossible schemes — fail before the mesh is dialed,
 // so a typo'd flag costs milliseconds, not a cluster-wide timeout.
 //
+// The flag surface is shared with poseidon-cluster and poseidon-serve
+// through internal/cliflags; parameter snapshots (-snapshot-out,
+// -load-params) use the one poseidon.Snapshot format.
+//
 // Launch P processes with the same -peers list and -id 0..P-1 (or let
 // poseidon-cluster do it for you), e.g.:
 //
@@ -33,170 +37,59 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
-	"math/rand"
 	"os"
 	"runtime"
 	"strconv"
-	"strings"
 
-	"repro/internal/data"
+	"repro/internal/cliflags"
 	"repro/internal/metrics"
-	"repro/internal/nn/autodiff"
 	"repro/internal/tensor"
-	"repro/internal/transport"
 	"repro/poseidon"
 )
 
 func main() {
-	id := flag.Int("id", 0, "this worker's id (0-based)")
-	peers := flag.String("peers", "", "comma-separated host:port of every worker, in id order (with -transport shm the addresses are unused but the list still sizes the cluster)")
-	transportKind := flag.String("transport", "tcp", "mesh transport: tcp, or shm (shared-memory rings for co-located workers, Linux only; requires -shm-dir)")
-	shmDir := flag.String("shm-dir", "", "rendezvous directory for -transport shm; every worker of the run must name the same fresh directory")
-	iters := flag.Int("iters", 50, "training iterations")
-	batch := flag.Int("batch", 8, "per-worker batch size")
-	lr := flag.Float64("lr", 0.1, "learning rate")
-	mode := flag.String("mode", "hybrid", "sync mode: ps|hybrid|1bit")
-	seed := flag.Int64("seed", 42, "shared model/data seed")
-	overlap := flag.Bool("overlap", false, "stream pushes through the comm send pool (WFBP)")
-	chunk := flag.Int("chunk", 0, "max float32s per KV chunk (0 = whole tensors)")
-	printEvery := flag.Int("print-every", 10, "print a progress line every this many iterations (streamed during training)")
-	dumpLosses := flag.Bool("dump-losses", false, "after training, print one machine-readable 'LOSS <iter> <loss>' line per iteration")
-	maxFrame := flag.Int("max-frame", 0, "cap on a single frame body in bytes (0 = transport default)")
-	autoplan := flag.Bool("autoplan", false, "route every tensor through the paper's cost model (Algorithm 1, overrides -mode with hybrid policy) and print one PLAN line per parameter")
-	metricsDump := flag.Bool("metrics-dump", false, "after training, print a machine-readable 'METRICS <json>' snapshot of the live comm counters")
-	routeOverrides := flag.String("route", "", "explicit per-parameter scheme overrides, e.g. '2=ps,5=sfb' (index=ps|sfb|1bit); trumps the planner policy")
-	bw := flag.Float64("bw", 0, "initial link-bandwidth estimate in bytes/sec; makes Algorithm 1 bandwidth-aware (0 = byte-count-only cost model)")
-	replanEvery := flag.Int("replan-every", 0, "re-measure the wire rate and re-run Algorithm 1 every this many iterations (0 = off)")
-	replanAlpha := flag.Float64("replan-alpha", 0, "EWMA weight of the newest bandwidth observation, 0<a<=1 (0 = default)")
-	frameOverhead := flag.Float64("frame-overhead", 0, "modeled per-frame overhead in seconds for the bandwidth-aware cost model (0 = default)")
-	elastic := flag.Bool("elastic", false, "enable membership epochs: a peer failure or departure re-forms the cluster at a view-change barrier instead of aborting the run")
-	membersFlag := flag.String("members", "", "comma-separated ranks serving at epoch 0 (elastic; default: every rank in -peers). A -join worker names the live ranks it dials")
-	join := flag.Bool("join", false, "attach to a running elastic cluster as a late joiner (requires -members with the live ranks)")
-	leaveAt := flag.Int("leave-at", 0, "announce a graceful departure at this iteration (elastic)")
-	startIter := flag.Int("start-iter", 0, "resume training at this iteration instead of 0 (usually with -load-params)")
-	loadParams := flag.String("load-params", "", "binary parameter snapshot to resume from (as written by -snapshot-out); its restart iteration applies unless -start-iter is set")
-	snapshotOut := flag.String("snapshot-out", "", "write the adopted replica snapshot to this file at every membership change")
+	nf := cliflags.RegisterNode(flag.CommandLine)
 	flag.Parse()
-
-	addrs := strings.Split(*peers, ",")
-	if len(addrs) < 1 || *id < 0 || *id >= len(addrs) {
-		fmt.Fprintln(os.Stderr, "need -peers with this node's -id in range")
-		os.Exit(1)
-	}
-	m, ok := map[string]poseidon.SyncMode{
-		"ps": poseidon.PSOnly, "hybrid": poseidon.Hybrid, "1bit": poseidon.OneBit,
-	}[*mode]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		os.Exit(1)
-	}
-	if *autoplan {
-		// Autoplanning is hybrid policy: Algorithm 1 free to pick per
-		// tensor. Explicit -route overrides still trump it.
-		m = poseidon.Hybrid
-	}
-	overrides, err := poseidon.ParseRouteOverrides(*routeOverrides)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "-route: %v\n", err)
-		os.Exit(1)
-	}
 
 	// The progress callback closes over the session's metrics registry,
 	// which exists only after Build; mtr is bound just below.
 	var mtr *metrics.Comm
-	full := data.Synthetic(*seed, 1280, 10, 3, 8, 8, 0.35)
-	trainSet, testSet := full.Split(1024)
-	b := poseidon.NewSession()
-	switch *transportKind {
-	case "tcp":
-		b.TCP(*id, addrs, transport.TCPOptions{MaxFrameBytes: *maxFrame})
-	case "shm":
-		if *shmDir == "" {
-			fmt.Fprintln(os.Stderr, "-transport shm requires -shm-dir")
-			os.Exit(1)
-		}
-		b.SHM(*id, len(addrs), transport.SHMOptions{Dir: *shmDir, MaxFrameBytes: *maxFrame})
-	default:
-		fmt.Fprintf(os.Stderr, "unknown transport %q (want tcp|shm)\n", *transportKind)
+	b, err := nf.Builder()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
 	}
-	b.Iterations(*iters).Batch(*batch).LearningRate(*lr).Seed(*seed).
-		Mode(m).
-		Overlap(*overlap).ChunkElems(*chunk).
-		Model(func(rng *rand.Rand) *autodiff.Network {
-			net, _, _, _ := autodiff.CIFARQuickNet(4, 10, rng)
-			return net
-		}).
-		Data(trainSet, testSet).EvalEvery(10).
-		RouteOverrides(overrides).
-		Bandwidth(*bw).
-		OnProgress(func(p poseidon.Point) {
-			if *printEvery > 0 && (p.Iter+1)%*printEvery == 0 {
-				line := fmt.Sprintf("worker %d iter %3d loss %.4f", *id, p.Iter+1, p.TrainLoss)
-				if p.TestErr >= 0 {
-					line += fmt.Sprintf("  test-err %.3f", p.TestErr)
-				}
-				if mtr != nil {
-					// Per-window stall delta (metrics.SnapshotIter): the
-					// live straggler signal — a worker whose max stall
-					// grows is waiting on a slow peer.
-					w := mtr.SnapshotIter()
-					line += fmt.Sprintf("  stall %.1fms (max %.1fms)", w.TotalMS, w.MaxMS)
-				}
-				fmt.Println(line)
+	m, _ := nf.SyncMode() // validated by Builder
+	b.OnProgress(func(p poseidon.Point) {
+		if nf.PrintEvery > 0 && (p.Iter+1)%nf.PrintEvery == 0 {
+			line := fmt.Sprintf("worker %d iter %3d loss %.4f", nf.ID, p.Iter+1, p.TrainLoss)
+			if p.TestErr >= 0 {
+				line += fmt.Sprintf("  test-err %.3f", p.TestErr)
 			}
-		})
-	if *elastic {
-		b.Elastic(true)
+			if mtr != nil {
+				// Per-window stall delta (metrics.SnapshotIter): the
+				// live straggler signal — a worker whose max stall
+				// grows is waiting on a slow peer.
+				w := mtr.SnapshotIter()
+				line += fmt.Sprintf("  stall %.1fms (max %.1fms)", w.TotalMS, w.MaxMS)
+			}
+			fmt.Println(line)
+		}
+	})
+	if nf.Elastic {
 		// One VIEW line per committed membership transition, mirrored on
 		// every member — the e2e suite keys re-formation off it. The
 		// snapshot carries the barrier's adopted replica so a reference
 		// run can continue from exactly this point.
 		b.OnMembershipChange(func(ev poseidon.MembershipEvent) {
-			fmt.Printf("VIEW %d %s %d\n", ev.View.Epoch, ranksCSV(ev.View.Members), ev.RestartIter)
-			if *snapshotOut != "" {
-				if err := writeSnapshot(*snapshotOut, ev.RestartIter, ev.Params); err != nil {
-					fmt.Fprintf(os.Stderr, "worker %d: snapshot: %v\n", *id, err)
+			fmt.Printf("VIEW %d %s %d\n", ev.View.Epoch, cliflags.RanksCSV(ev.View.Members), ev.RestartIter)
+			if nf.SnapshotOut != "" {
+				snap := poseidon.NewSnapshot(ev.RestartIter, ev.View.Epoch, ev.Params)
+				if err := snap.WriteFile(nf.SnapshotOut); err != nil {
+					fmt.Fprintf(os.Stderr, "worker %d: snapshot: %v\n", nf.ID, err)
 				}
 			}
 		})
-	}
-	if *membersFlag != "" {
-		ranks, err := parseRanks(*membersFlag)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "-members: %v\n", err)
-			os.Exit(1)
-		}
-		b.Members(ranks)
-	}
-	if *join {
-		b.Joining()
-	}
-	if *leaveAt > 0 {
-		b.LeaveAt(*leaveAt)
-	}
-	if *loadParams != "" {
-		restart, params, err := readSnapshot(*loadParams)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "-load-params: %v\n", err)
-			os.Exit(1)
-		}
-		if *startIter == 0 {
-			*startIter = restart
-		}
-		b.ResumeFrom(*startIter, params)
-	} else if *startIter > 0 {
-		b.ResumeFrom(*startIter, nil)
-	}
-	if *replanEvery > 0 {
-		b.Replan(poseidon.ReplanSpec{
-			Every:         *replanEvery,
-			Alpha:         *replanAlpha,
-			FrameOverhead: *frameOverhead,
-		})
-	}
-	if *metricsDump {
-		b.CollectMetrics()
 	}
 
 	// Build validates the whole configuration — plan feasibility and
@@ -205,18 +98,18 @@ func main() {
 	// touching the network.
 	sess, err := b.Build()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "worker %d: %v\n", *id, err)
+		fmt.Fprintf(os.Stderr, "worker %d: %v\n", nf.ID, err)
 		os.Exit(1)
 	}
 	defer sess.Close()
 	mtr = sess.Metrics()
 
-	if *autoplan {
+	if nf.Autoplan {
 		// One PLAN line per parameter: the Algorithm 1 decision and the
 		// cost-model numbers behind it, before any byte hits the wire.
 		decisions, err := sess.Plan()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "worker %d: %v\n", *id, err)
+			fmt.Fprintf(os.Stderr, "worker %d: %v\n", nf.ID, err)
 			os.Exit(1)
 		}
 		for _, d := range decisions {
@@ -234,7 +127,7 @@ func main() {
 	runtime.ReadMemStats(&msBefore)
 	res, err := sess.Run()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "worker %d: %v\n", *id, err)
+		fmt.Fprintf(os.Stderr, "worker %d: %v\n", nf.ID, err)
 		// Leave without the goodbye a graceful Close would send:
 		// survivors must see the link die, not a clean departure they
 		// could mistake for normal shutdown.
@@ -244,9 +137,9 @@ func main() {
 		// A graceful leaver stops at its departure barrier; its replica is
 		// epochs behind the survivors', so a PARAMS digest would only
 		// invite a bogus comparison.
-		fmt.Printf("LEFT %d\n", *leaveAt)
+		fmt.Printf("LEFT %d\n", nf.LeaveAt)
 	}
-	if *dumpLosses {
+	if nf.DumpLosses {
 		for _, p := range res.Curve {
 			fmt.Printf("LOSS %d %s\n", p.Iter, strconv.FormatFloat(p.TrainLoss, 'g', -1, 64))
 		}
@@ -257,7 +150,7 @@ func main() {
 			fmt.Printf("PARAMS %016x\n", paramDigest(res.Final.Params()))
 		}
 	}
-	if snap, ok := sess.MetricsSnapshot(); ok && *metricsDump {
+	if snap, ok := sess.MetricsSnapshot(); ok && nf.MetricsDump {
 		var msAfter runtime.MemStats
 		runtime.ReadMemStats(&msAfter)
 		// The report embeds the CommSnapshot schema and adds the
@@ -266,117 +159,17 @@ func main() {
 			metrics.CommSnapshot
 			AllocsPerIter float64 `json:"allocs_per_iter"`
 		}{CommSnapshot: snap}
-		if *iters > 0 {
-			report.AllocsPerIter = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(*iters)
+		if nf.Iters > 0 {
+			report.AllocsPerIter = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(nf.Iters)
 		}
 		bjson, err := json.Marshal(report)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "worker %d: metrics snapshot: %v\n", *id, err)
+			fmt.Fprintf(os.Stderr, "worker %d: metrics snapshot: %v\n", nf.ID, err)
 			os.Exit(1)
 		}
 		fmt.Printf("METRICS %s\n", bjson)
 	}
-	fmt.Printf("worker %d done (%v mode, %d workers)\n", *id, m, len(addrs))
-}
-
-func parseRanks(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	ranks := make([]int, 0, len(parts))
-	for _, p := range parts {
-		r, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad rank %q", p)
-		}
-		ranks = append(ranks, r)
-	}
-	return ranks, nil
-}
-
-func ranksCSV(ranks []int) string {
-	var sb strings.Builder
-	for i, r := range ranks {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		sb.WriteString(strconv.Itoa(r))
-	}
-	return sb.String()
-}
-
-// snapshotMagic heads every parameter snapshot file ("PSN1" LE).
-const snapshotMagic = 0x314e5350
-
-// writeSnapshot persists a membership barrier's adopted replica: magic,
-// restart iteration, tensor count, then each tensor as length + LE
-// float32 bit patterns. Written to a temp file and renamed so a reader
-// never observes a half-written snapshot.
-func writeSnapshot(path string, restart int, params [][]float32) error {
-	size := 12
-	for _, p := range params {
-		size += 4 + 4*len(p)
-	}
-	buf := make([]byte, 0, size)
-	buf = binary.LittleEndian.AppendUint32(buf, snapshotMagic)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(restart))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(params)))
-	for _, p := range params {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))
-		for _, v := range p {
-			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
-		}
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
-}
-
-func readSnapshot(path string) (restart int, params [][]float32, err error) {
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return 0, nil, err
-	}
-	next := func(what string) (uint32, error) {
-		if len(buf) < 4 {
-			return 0, fmt.Errorf("%s: truncated snapshot %s", what, path)
-		}
-		v := binary.LittleEndian.Uint32(buf)
-		buf = buf[4:]
-		return v, nil
-	}
-	magic, err := next("magic")
-	if err != nil {
-		return 0, nil, err
-	}
-	if magic != snapshotMagic {
-		return 0, nil, fmt.Errorf("%s is not a parameter snapshot", path)
-	}
-	r, err := next("restart")
-	if err != nil {
-		return 0, nil, err
-	}
-	n, err := next("tensor count")
-	if err != nil {
-		return 0, nil, err
-	}
-	params = make([][]float32, n)
-	for i := range params {
-		ln, err := next("tensor length")
-		if err != nil {
-			return 0, nil, err
-		}
-		if uint64(len(buf)) < 4*uint64(ln) {
-			return 0, nil, fmt.Errorf("tensor %d: truncated snapshot %s", i, path)
-		}
-		t := make([]float32, ln)
-		for j := range t {
-			t[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
-		}
-		buf = buf[4*ln:]
-		params[i] = t
-	}
-	return int(r), params, nil
+	fmt.Printf("worker %d done (%v mode, %d workers)\n", nf.ID, m, sess.Workers())
 }
 
 // paramDigest is FNV-1a over the bit patterns of every parameter value,

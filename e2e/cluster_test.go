@@ -52,8 +52,9 @@ func moduleRoot() string {
 	return filepath.Dir(filepath.Dir(file))
 }
 
-// buildBinaries compiles poseidon-worker and poseidon-cluster once per
-// test run and returns the directory holding them.
+// buildBinaries compiles poseidon-worker, poseidon-cluster, and
+// poseidon-serve once per test run and returns the directory holding
+// them.
 func buildBinaries(t *testing.T) string {
 	t.Helper()
 	buildOnce.Do(func() {
@@ -65,7 +66,7 @@ func buildBinaries(t *testing.T) string {
 		if raceEnabled {
 			args = append(args, "-race")
 		}
-		args = append(args, "-o", binDir, "./cmd/poseidon-worker", "./cmd/poseidon-cluster")
+		args = append(args, "-o", binDir, "./cmd/poseidon-worker", "./cmd/poseidon-cluster", "./cmd/poseidon-serve")
 		cmd := exec.Command("go", args...)
 		cmd.Dir = moduleRoot()
 		if out, err := cmd.CombinedOutput(); err != nil {

@@ -1,0 +1,353 @@
+// Serving-plane e2e: poseidon-serve joins a real 3-process TCP mesh as
+// rank 0, trains alongside two plain poseidon-workers, and answers
+// inference traffic from two tenants the whole time. The test demands
+// the full contract at once: predictions during training, per-tenant
+// rate limiting (the greedy tenant sees 429s, the paced one never
+// does), a bounded client-observed p99, a SIGTERM drain that completes
+// every admitted request — including ones parked in an open micro-batch
+// window — and a final snapshot whose decoded parameters reproduce the
+// served probabilities bit for bit.
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cliflags"
+	"repro/internal/nn/autodiff"
+	"repro/internal/tensor"
+	"repro/poseidon"
+)
+
+type predictReply struct {
+	Model struct {
+		Iter  int `json:"iter"`
+		Epoch int `json:"epoch"`
+	} `json:"model"`
+	Predictions []struct {
+		Label int       `json:"label"`
+		Probs []float32 `json:"probs"`
+	} `json:"predictions"`
+}
+
+// predictOnce posts instances under a tenant and decodes the reply.
+// The returned status is always valid; the reply only on 200.
+func predictOnce(client *http.Client, base, tenant string, body []byte) (int, *predictReply, error) {
+	req, err := http.NewRequest("POST", base+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+			return 0, nil, fmt.Errorf("429 without Retry-After")
+		}
+		return resp.StatusCode, nil, nil
+	}
+	var pr predictReply
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return 0, nil, err
+	}
+	return http.StatusOK, &pr, nil
+}
+
+func TestServeUnderLoadDuringTraining(t *testing.T) {
+	bin := buildBinaries(t)
+	const workers, iters = 3, 120
+	const seed = 42
+	addrs := freeAddrs(t, workers)
+	peers := strings.Join(addrs, ",")
+	finalPath := filepath.Join(t.TempDir(), "final.psn")
+
+	trainArgs := []string{
+		"-peers", peers, "-iters", fmt.Sprint(iters),
+		"-batch", "8", "-lr", "0.1", "-mode", "ps", "-seed", fmt.Sprint(seed),
+		"-print-every", "0",
+	}
+	serveOut := &lineBuffer{}
+	serveCmd := exec.Command(filepath.Join(bin, "poseidon-serve"),
+		append([]string{
+			"-id", "0",
+			"-listen", "127.0.0.1:0", "-snapshot-every", "10",
+			"-max-batch", "16", "-max-delay", "150ms",
+			"-tenant-rps", "30", "-tenant-burst", "40",
+			"-final-snapshot", finalPath,
+		}, trainArgs...)...)
+	serveCmd.Stdout = serveOut
+	serveCmd.Stderr = serveOut
+	if err := serveCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if serveCmd.Process != nil {
+			serveCmd.Process.Kill()
+			serveCmd.Wait()
+		}
+	})
+
+	workerCmds := make([]*exec.Cmd, 0, workers-1)
+	workerOuts := make([]*lineBuffer, 0, workers-1)
+	for id := 1; id < workers; id++ {
+		out := &lineBuffer{}
+		cmd := exec.Command(filepath.Join(bin, "poseidon-worker"),
+			append([]string{"-id", fmt.Sprint(id)}, trainArgs...)...)
+		cmd.Stdout = out
+		cmd.Stderr = out
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start worker %d: %v", id, err)
+		}
+		workerCmds = append(workerCmds, cmd)
+		workerOuts = append(workerOuts, out)
+	}
+	t.Cleanup(func() {
+		for _, cmd := range workerCmds {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		}
+	})
+
+	// The gateway prints its bound address before training starts.
+	listenRe := regexp.MustCompile(`SERVE listening on (\S+)`)
+	deadline := time.Now().Add(60 * time.Second)
+	var base string
+	for base == "" {
+		if m := listenRe.FindStringSubmatch(serveOut.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway never announced its address\n%s", serveOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Until the first barrier capture the model endpoint sheds with 503;
+	// its flip to 200 is the "serving while training" starting gun.
+	var features, classes int
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		resp, err := client.Get(base + "/v1/model")
+		if err == nil {
+			if resp.StatusCode == http.StatusOK {
+				var mv struct {
+					Features int `json:"features"`
+					Classes  int `json:"classes"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&mv); err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				features, classes = mv.Features, mv.Classes
+				break
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no snapshot became servable\n%s", serveOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Fixed inference input, reused for the final parity check.
+	rng := rand.New(rand.NewSource(99))
+	x := tensor.NewMatrix(3, features)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	body, err := json.Marshal(map[string][][]float32{"instances": instanceRows(x)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two tenants hammer the gateway while the mesh trains: "greedy"
+	// blasts 100 concurrent requests and must hit its rate limit;
+	// "paced" stays under its budget and must never see a 429.
+	status, first, err := predictOnce(client, base, "paced", body)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("first predict: status %d, err %v", status, err)
+	}
+	if first.Model.Iter >= iters {
+		t.Fatalf("first prediction served at iter %d — training was already over, the test raced past it", first.Model.Iter)
+	}
+	if len(first.Predictions) != 3 || len(first.Predictions[0].Probs) != classes {
+		t.Fatalf("malformed prediction: %+v", first)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var greedyOK, greedyLimited, greedyOther int
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, _, err := predictOnce(client, base, "greedy", body)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil || status == 0:
+				greedyOther++
+			case status == http.StatusOK:
+				greedyOK++
+			case status == http.StatusTooManyRequests:
+				greedyLimited++
+			default:
+				greedyOther++
+			}
+		}()
+	}
+	var pacedLat []time.Duration
+	pacedFail := 0
+	for i := 0; i < 40; i++ {
+		start := time.Now()
+		status, _, err := predictOnce(client, base, "paced", body)
+		if err != nil || status != http.StatusOK {
+			pacedFail++
+			t.Logf("paced request %d: status %d err %v", i, status, err)
+		} else {
+			pacedLat = append(pacedLat, time.Since(start))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	wg.Wait()
+
+	if pacedFail != 0 {
+		t.Fatalf("%d paced requests failed; a tenant under its budget must never be limited", pacedFail)
+	}
+	if greedyLimited == 0 {
+		t.Fatalf("greedy tenant was never rate-limited (ok=%d other=%d)", greedyOK, greedyOther)
+	}
+	if greedyOK == 0 {
+		t.Fatalf("greedy tenant got zero successes (limited=%d other=%d)", greedyLimited, greedyOther)
+	}
+	if greedyOther != 0 {
+		t.Fatalf("greedy tenant saw %d non-200/429 outcomes", greedyOther)
+	}
+	sort.Slice(pacedLat, func(i, j int) bool { return pacedLat[i] < pacedLat[j] })
+	if p99 := pacedLat[len(pacedLat)*99/100]; p99 > 10*time.Second {
+		t.Fatalf("client-observed p99 %.2fs blows the (very generous) budget", p99.Seconds())
+	}
+
+	// Training must finish cleanly on all three ranks while the gateway
+	// stays up.
+	for i, cmd := range workerCmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("worker %d: %v\n%s", i+1, err, workerOuts[i].String())
+		}
+	}
+	deadline = time.Now().Add(60 * time.Second)
+	for !serveOut.contains("SERVE training done") {
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway never reported training done\n%s", serveOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Post-training the served model is the final drain capture.
+	status, ref, err := predictOnce(client, base, "paced", body)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("post-training predict: status %d, err %v", status, err)
+	}
+	if ref.Model.Iter != iters || ref.Model.Epoch != 0 {
+		t.Fatalf("post-training model = iter %d epoch %d, want %d, 0", ref.Model.Iter, ref.Model.Epoch, iters)
+	}
+
+	// Park requests in an open micro-batch window (4 rows < -max-batch,
+	// so they wait out -max-delay), SIGTERM mid-window, and demand every
+	// admitted request completes with the final model.
+	type drained struct {
+		status int
+		reply  *predictReply
+		err    error
+	}
+	results := make(chan drained, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			status, pr, err := predictOnce(client, base, "", body)
+			results <- drained{status, pr, err}
+		}()
+	}
+	time.Sleep(75 * time.Millisecond) // admitted and parked, window still open
+	if err := serveCmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		d := <-results
+		if d.err != nil || d.status != http.StatusOK {
+			t.Fatalf("request parked at SIGTERM was dropped: status %d, err %v\n%s", d.status, d.err, serveOut.String())
+		}
+		if d.reply.Model.Iter != iters {
+			t.Fatalf("drained request served iter %d, want %d", d.reply.Model.Iter, iters)
+		}
+	}
+	if err := serveCmd.Wait(); err != nil {
+		t.Fatalf("poseidon-serve exited non-zero: %v\n%s", err, serveOut.String())
+	}
+	out := serveOut.String()
+	for _, want := range []string{"SERVE draining", "SERVE final snapshot", "SERVE stopped"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("shutdown transcript missing %q:\n%s", want, out)
+		}
+	}
+
+	// The persisted snapshot reproduces the served probabilities bit for
+	// bit: decode, bind to the shared reference architecture, forward,
+	// softmax — the gateway's exact serving path, one process later.
+	snap, err := poseidon.ReadSnapshot(finalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Iter() != iters || snap.Epoch() != 0 {
+		t.Fatalf("final snapshot = iter %d epoch %d, want %d, 0", snap.Iter(), snap.Epoch(), iters)
+	}
+	snap.Bind(cliflags.ReferenceModel(), seed)
+	logits := tensor.NewMatrix(0, 0)
+	if err := snap.PredictInto(logits, x); err != nil {
+		t.Fatal(err)
+	}
+	probs := tensor.NewMatrix(0, 0)
+	autodiff.SoftmaxInto(probs, logits)
+	for r, p := range ref.Predictions {
+		row := probs.Data[r*probs.Cols : (r+1)*probs.Cols]
+		for c, v := range p.Probs {
+			if row[c] != v {
+				t.Fatalf("row %d class %d: served %v, snapshot forward %v — snapshot does not reproduce the served model",
+					r, c, v, row[c])
+			}
+		}
+	}
+}
+
+// instanceRows splits a matrix into the request wire shape.
+func instanceRows(x *tensor.Matrix) [][]float32 {
+	rows := make([][]float32, x.Rows)
+	for r := 0; r < x.Rows; r++ {
+		rows[r] = x.Data[r*x.Cols : (r+1)*x.Cols]
+	}
+	return rows
+}

@@ -193,6 +193,14 @@ type pendingReroute struct {
 // that can never complete.
 func (r *Router) fail(err error) { r.failWith(err, true) }
 
+// Abort poisons the router with err from outside the synchronization
+// machinery: compute loops blocked in WaitFor wake and observe it, and
+// peers receive the abort broadcast so the cluster stops together. It
+// is the cancellation entry point (Config.Stop / Session.RunContext);
+// the first error wins, so aborting an already-failed router is a
+// no-op.
+func (r *Router) Abort(err error) { r.fail(err) }
+
 func (r *Router) failWith(err error, broadcast bool) {
 	r.errMu.Lock()
 	if r.asyncEr == nil {

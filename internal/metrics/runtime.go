@@ -290,6 +290,7 @@ type Comm struct {
 	wire  WireStats
 	kv    KVStats
 	stall stallHist
+	serve ServeStats
 
 	mu     sync.Mutex
 	params []*ParamStats
@@ -332,6 +333,10 @@ func (c *Comm) Wire() *WireStats { return &c.wire }
 
 // KV returns the parameter-server shard counters.
 func (c *Comm) KV() *KVStats { return &c.kv }
+
+// Serve returns the serving-plane counters (the poseidon-serve
+// gateway's request/batch/latency block).
+func (c *Comm) Serve() *ServeStats { return &c.serve }
 
 // RecordStall adds one compute-loop stall measurement.
 func (c *Comm) RecordStall(d time.Duration) { c.stall.record(d) }
@@ -458,6 +463,9 @@ type CommSnapshot struct {
 	// ViewChanges lists every committed membership barrier in order.
 	MembershipEpoch int               `json:"membership_epoch"`
 	ViewChanges     []ViewChangeEvent `json:"view_changes,omitempty"`
+	// Serve is the serving-plane block, present only on nodes that
+	// handled at least one /v1/predict request.
+	Serve *ServeSnapshot `json:"serve,omitempty"`
 }
 
 // Snapshot freezes every counter into a serializable report.
@@ -480,6 +488,10 @@ func (c *Comm) Snapshot() CommSnapshot {
 	snap.MembershipEpoch = c.epoch
 	snap.ViewChanges = append([]ViewChangeEvent(nil), c.viewChanges...)
 	c.viewMu.Unlock()
+	if c.serve.requests.Load() > 0 {
+		serve := c.serve.Snapshot()
+		snap.Serve = &serve
+	}
 	for _, p := range params {
 		ps := p.snapshot()
 		snap.Params = append(snap.Params, ps)

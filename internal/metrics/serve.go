@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Serving-plane metrics: the gateway's request, micro-batch, and
+// latency counters. Like the stall histogram, everything is lock-free
+// atomics on the record path; quantiles are derived at snapshot time by
+// linear interpolation within fixed log-spaced buckets, with the
+// recorded maximum closing the unbounded tail.
+
+// latencyBucketNS are the upper bounds of the request-latency buckets
+// (an array, so histogram sizes derive from it at compile time).
+var latencyBucketNS = [12]int64{
+	int64(250 * time.Microsecond),
+	int64(500 * time.Microsecond),
+	int64(1 * time.Millisecond),
+	int64(2500 * time.Microsecond),
+	int64(5 * time.Millisecond),
+	int64(10 * time.Millisecond),
+	int64(25 * time.Millisecond),
+	int64(50 * time.Millisecond),
+	int64(100 * time.Millisecond),
+	int64(250 * time.Millisecond),
+	int64(500 * time.Millisecond),
+	int64(1 * time.Second),
+}
+
+var latencyBucketLabels = [len(latencyBucketNS) + 1]string{
+	"<250us", "<500us", "<1ms", "<2.5ms", "<5ms", "<10ms",
+	"<25ms", "<50ms", "<100ms", "<250ms", "<500ms", "<1s", ">=1s",
+}
+
+// batchBucketMax are the upper bounds (inclusive) of the micro-batch
+// size histogram.
+var batchBucketMax = [7]int64{1, 2, 4, 8, 16, 32, 64}
+
+var batchBucketLabels = [len(batchBucketMax) + 1]string{
+	"1", "2", "<=4", "<=8", "<=16", "<=32", "<=64", ">64",
+}
+
+// latencyHist is a fixed-bucket latency histogram with a tracked
+// maximum, recordable concurrently without locks.
+type latencyHist struct {
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	maxNanos atomic.Int64
+	buckets  [len(latencyBucketNS) + 1]atomic.Int64
+}
+
+func (h *latencyHist) record(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.count.Add(1)
+	h.sumNanos.Add(ns)
+	atomicMax(&h.maxNanos, ns)
+	i := 0
+	for i < len(latencyBucketNS) && ns >= latencyBucketNS[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+}
+
+// quantile estimates the q-th latency quantile in milliseconds from the
+// bucket counts: linear interpolation between the bucket's bounds, with
+// the recorded maximum standing in for the open tail's upper edge.
+func (h *latencyHist) quantile(counts []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	maxNS := float64(h.maxNanos.Load())
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = float64(latencyBucketNS[i-1])
+			}
+			hi := maxNS
+			if i < len(latencyBucketNS) {
+				hi = float64(latencyBucketNS[i])
+			}
+			if hi > maxNS {
+				hi = maxNS
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return (lo + frac*(hi-lo)) / 1e6
+		}
+		cum += n
+	}
+	return maxNS / 1e6
+}
+
+// ServeStats is the gateway's live serving metrics block.
+type ServeStats struct {
+	requests    atomic.Int64
+	predictions atomic.Int64
+	batches     atomic.Int64
+	rateLimited atomic.Int64
+	shed        atomic.Int64
+	errors      atomic.Int64
+
+	batchSum     atomic.Int64
+	batchMax     atomic.Int64
+	batchBuckets [len(batchBucketMax) + 1]atomic.Int64
+
+	latency latencyHist
+}
+
+// CountRequest counts one /v1/predict arrival (any outcome).
+func (s *ServeStats) CountRequest() { s.requests.Add(1) }
+
+// CountRateLimited counts one 429 rejected by a tenant limiter.
+func (s *ServeStats) CountRateLimited() { s.rateLimited.Add(1) }
+
+// CountShed counts one 503 shed by admission control or drain.
+func (s *ServeStats) CountShed() { s.shed.Add(1) }
+
+// CountError counts one request that failed for any other reason.
+func (s *ServeStats) CountError() { s.errors.Add(1) }
+
+// RecordBatch logs one executed micro-batch of the given row count.
+func (s *ServeStats) RecordBatch(rows int) {
+	s.batches.Add(1)
+	s.predictions.Add(int64(rows))
+	s.batchSum.Add(int64(rows))
+	atomicMax(&s.batchMax, int64(rows))
+	i := 0
+	for i < len(batchBucketMax) && int64(rows) > batchBucketMax[i] {
+		i++
+	}
+	s.batchBuckets[i].Add(1)
+}
+
+// RecordLatency logs one served request's end-to-end latency.
+func (s *ServeStats) RecordLatency(d time.Duration) { s.latency.record(d) }
+
+// LatencySnapshot is the frozen latency histogram with derived
+// percentiles, all in milliseconds.
+type LatencySnapshot struct {
+	Count   int64            `json:"count"`
+	MeanMS  float64          `json:"mean_ms"`
+	MaxMS   float64          `json:"max_ms"`
+	P50MS   float64          `json:"p50_ms"`
+	P95MS   float64          `json:"p95_ms"`
+	P99MS   float64          `json:"p99_ms"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// ServeSnapshot is the frozen serving block of a metrics dump.
+type ServeSnapshot struct {
+	Requests    int64 `json:"requests"`
+	Predictions int64 `json:"predictions"`
+	Batches     int64 `json:"batches"`
+	RateLimited int64 `json:"rate_limited"`
+	Shed        int64 `json:"shed"`
+	Errors      int64 `json:"errors"`
+	// MeanBatch/MaxBatch/BatchBuckets describe how well requests
+	// coalesced: a mean near 1 under load means the window is too short.
+	MeanBatch    float64          `json:"mean_batch"`
+	MaxBatch     int64            `json:"max_batch"`
+	BatchBuckets map[string]int64 `json:"batch_buckets,omitempty"`
+	Latency      LatencySnapshot  `json:"latency_ms"`
+}
+
+// Snapshot freezes the serving counters.
+func (s *ServeStats) Snapshot() ServeSnapshot {
+	snap := ServeSnapshot{
+		Requests:    s.requests.Load(),
+		Predictions: s.predictions.Load(),
+		Batches:     s.batches.Load(),
+		RateLimited: s.rateLimited.Load(),
+		Shed:        s.shed.Load(),
+		Errors:      s.errors.Load(),
+		MaxBatch:    s.batchMax.Load(),
+	}
+	if snap.Batches > 0 {
+		snap.MeanBatch = float64(s.batchSum.Load()) / float64(snap.Batches)
+		snap.BatchBuckets = make(map[string]int64, len(batchBucketLabels))
+		for i := range s.batchBuckets {
+			if n := s.batchBuckets[i].Load(); n > 0 {
+				snap.BatchBuckets[batchBucketLabels[i]] = n
+			}
+		}
+	}
+
+	lat := &snap.Latency
+	counts := make([]int64, len(s.latency.buckets))
+	var total int64
+	for i := range s.latency.buckets {
+		counts[i] = s.latency.buckets[i].Load()
+		total += counts[i]
+	}
+	lat.Count = total
+	if total > 0 {
+		lat.MeanMS = float64(s.latency.sumNanos.Load()) / float64(total) / 1e6
+		lat.MaxMS = float64(s.latency.maxNanos.Load()) / 1e6
+		lat.P50MS = s.latency.quantile(counts, total, 0.50)
+		lat.P95MS = s.latency.quantile(counts, total, 0.95)
+		lat.P99MS = s.latency.quantile(counts, total, 0.99)
+		lat.Buckets = make(map[string]int64, len(latencyBucketLabels))
+		for i, n := range counts {
+			if n > 0 {
+				lat.Buckets[latencyBucketLabels[i]] = n
+			}
+		}
+	}
+	return snap
+}

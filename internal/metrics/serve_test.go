@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestServeStatsSnapshot exercises every counter and the batch
+// histogram bucketing.
+func TestServeStatsSnapshot(t *testing.T) {
+	var s ServeStats
+	for i := 0; i < 10; i++ {
+		s.CountRequest()
+	}
+	s.CountRateLimited()
+	s.CountShed()
+	s.CountError()
+	s.RecordBatch(1)
+	s.RecordBatch(4)
+	s.RecordBatch(16)
+	s.RecordBatch(100)
+
+	snap := s.Snapshot()
+	if snap.Requests != 10 || snap.RateLimited != 1 || snap.Shed != 1 || snap.Errors != 1 {
+		t.Fatalf("counters = %+v", snap)
+	}
+	if snap.Batches != 4 || snap.Predictions != 121 || snap.MaxBatch != 100 {
+		t.Fatalf("batch totals = %+v", snap)
+	}
+	if snap.MeanBatch != 121.0/4 {
+		t.Fatalf("mean batch = %g, want %g", snap.MeanBatch, 121.0/4)
+	}
+	want := map[string]int64{"1": 1, "<=4": 1, "<=16": 1, ">64": 1}
+	for label, n := range want {
+		if snap.BatchBuckets[label] != n {
+			t.Fatalf("batch bucket %q = %d, want %d (all: %v)", label, snap.BatchBuckets[label], n, snap.BatchBuckets)
+		}
+	}
+}
+
+// TestLatencyPercentiles checks the quantile interpolation against a
+// synthetic distribution: 90 fast requests, 9 medium, 1 huge outlier.
+func TestLatencyPercentiles(t *testing.T) {
+	var s ServeStats
+	for i := 0; i < 90; i++ {
+		s.RecordLatency(600 * time.Microsecond) // <1ms bucket
+	}
+	for i := 0; i < 9; i++ {
+		s.RecordLatency(30 * time.Millisecond) // <50ms bucket
+	}
+	s.RecordLatency(800 * time.Millisecond) // <1s bucket
+
+	lat := s.Snapshot().Latency
+	if lat.Count != 100 {
+		t.Fatalf("count = %d, want 100", lat.Count)
+	}
+	if lat.P50MS < 0.5 || lat.P50MS > 1.0 {
+		t.Fatalf("p50 = %gms, want within the <1ms bucket", lat.P50MS)
+	}
+	if lat.P95MS < 25 || lat.P95MS > 50 {
+		t.Fatalf("p95 = %gms, want within the 25-50ms bucket", lat.P95MS)
+	}
+	if lat.P99MS < 25 || lat.P99MS > 800 {
+		t.Fatalf("p99 = %gms, want between the medium bucket and the max", lat.P99MS)
+	}
+	if lat.MaxMS != 800 {
+		t.Fatalf("max = %gms, want 800", lat.MaxMS)
+	}
+	if lat.P50MS > lat.P95MS || lat.P95MS > lat.P99MS || lat.P99MS > lat.MaxMS {
+		t.Fatalf("percentiles not monotonic: p50=%g p95=%g p99=%g max=%g",
+			lat.P50MS, lat.P95MS, lat.P99MS, lat.MaxMS)
+	}
+}
+
+// TestCommSnapshotServeBlock demands the serve block appears in the
+// JSON dump exactly when the node served traffic.
+func TestCommSnapshotServeBlock(t *testing.T) {
+	c := NewComm()
+	idle, _ := json.Marshal(c.Snapshot())
+	if string(idle) == "" || c.Snapshot().Serve != nil {
+		t.Fatalf("idle node grew a serve block: %s", idle)
+	}
+	c.Serve().CountRequest()
+	c.Serve().RecordBatch(3)
+	c.Serve().RecordLatency(2 * time.Millisecond)
+	snap := c.Snapshot()
+	if snap.Serve == nil || snap.Serve.Requests != 1 || snap.Serve.Predictions != 3 {
+		t.Fatalf("serve block = %+v", snap.Serve)
+	}
+	buf, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CommSnapshot
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Serve == nil || back.Serve.Latency.Count != 1 {
+		t.Fatalf("serve block did not survive the JSON round trip: %s", buf)
+	}
+}

@@ -180,6 +180,14 @@ func (c *Conv2D) outIdx(ch, h, w int) int { return (ch*c.OutH+h)*c.OutW + w }
 func (c *Conv2D) Forward(x *tensor.Matrix) *tensor.Matrix {
 	c.lastX = x
 	y := tensor.NewMatrix(x.Rows, c.OutC*c.OutH*c.OutW)
+	c.forwardInto(y, x)
+	return y
+}
+
+// forwardInto runs the direct convolution into dst (x.Rows ×
+// OutC·OutH·OutW, every cell overwritten) without touching training
+// state — shared by Forward and the gradient-free Predictor path.
+func (c *Conv2D) forwardInto(y, x *tensor.Matrix) {
 	for s := 0; s < x.Rows; s++ {
 		in := x.Row(s)
 		out := y.Row(s)
@@ -209,7 +217,6 @@ func (c *Conv2D) Forward(x *tensor.Matrix) *tensor.Matrix {
 			}
 		}
 	}
-	return y
 }
 
 // Backward accumulates weight/bias gradients and returns dx.
@@ -339,6 +346,15 @@ func (p *MaxPool2) Forward(x *tensor.Matrix) *tensor.Matrix {
 	oh, ow := p.H/2, p.W/2
 	y := tensor.NewMatrix(x.Rows, p.C*oh*ow)
 	p.argmax = make([]int, x.Rows*p.C*oh*ow)
+	p.forwardInto(y, x, p.argmax)
+	return y
+}
+
+// forwardInto pools into dst; argmax, when non-nil, records each
+// window's winning index for Backward. The nil-argmax form is the
+// gradient-free Predictor path.
+func (p *MaxPool2) forwardInto(y, x *tensor.Matrix, argmax []int) {
+	oh, ow := p.H/2, p.W/2
 	for s := 0; s < x.Rows; s++ {
 		in := x.Row(s)
 		out := y.Row(s)
@@ -358,12 +374,13 @@ func (p *MaxPool2) Forward(x *tensor.Matrix) *tensor.Matrix {
 					}
 					oIdx := (c*oh+i)*ow + j
 					out[oIdx] = best
-					p.argmax[s*p.C*oh*ow+oIdx] = bestIdx
+					if argmax != nil {
+						argmax[s*p.C*oh*ow+oIdx] = bestIdx
+					}
 				}
 			}
 		}
 	}
-	return y
 }
 
 // Backward routes each gradient to the window's argmax.

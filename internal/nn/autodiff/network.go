@@ -22,6 +22,23 @@ func (n *Network) Forward(x *tensor.Matrix) *tensor.Matrix {
 	return x
 }
 
+// InputDims returns the flattened feature count the network's first
+// layer consumes (the required column count of a Forward batch), or -1
+// when it cannot be derived from the layer kind.
+func (n *Network) InputDims() int {
+	if len(n.Layers) == 0 {
+		return -1
+	}
+	switch l := n.Layers[0].(type) {
+	case *Conv2D:
+		return l.InC * l.InH * l.InW
+	case *FC:
+		return l.W.Cols
+	default:
+		return -1
+	}
+}
+
 // LossAndGrad runs forward + softmax cross-entropy + full backward for a
 // batch with integer labels, accumulating parameter gradients (mean over
 // the batch). It returns the mean loss and the error count.

@@ -1,0 +1,73 @@
+// Package rate provides a minimal token-bucket rate limiter shaped
+// like golang.org/x/time/rate's — enough for per-tenant admission in
+// the serving plane without pulling an external dependency into a
+// dependency-free module.
+package rate
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Limit is a steady-state rate in events per second.
+type Limit float64
+
+// Inf never limits.
+const Inf = Limit(math.MaxFloat64)
+
+// Limiter is a token bucket: Burst tokens of capacity, refilled at
+// Limit tokens per second. The zero value rejects everything; use
+// NewLimiter. Safe for concurrent use.
+type Limiter struct {
+	mu     sync.Mutex
+	limit  Limit
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a limiter allowing burst immediate events and
+// limit events per second sustained. The bucket starts full.
+func NewLimiter(limit Limit, burst int) *Limiter {
+	return &Limiter{limit: limit, burst: float64(burst), tokens: float64(burst)}
+}
+
+// Limit returns the sustained rate.
+func (l *Limiter) Limit() Limit {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit
+}
+
+// Burst returns the bucket capacity.
+func (l *Limiter) Burst() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.burst)
+}
+
+// Allow reports whether one event may happen now.
+func (l *Limiter) Allow() bool { return l.AllowN(time.Now(), 1) }
+
+// AllowN reports whether n events may happen at time now, consuming
+// the tokens if so. The explicit clock keeps tests deterministic.
+func (l *Limiter) AllowN(now time.Time, n int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.limit == Inf {
+		return true
+	}
+	if l.last.IsZero() {
+		l.last = now
+	}
+	if elapsed := now.Sub(l.last).Seconds(); elapsed > 0 {
+		l.tokens = math.Min(l.burst, l.tokens+elapsed*float64(l.limit))
+		l.last = now
+	}
+	if l.tokens < float64(n) {
+		return false
+	}
+	l.tokens -= float64(n)
+	return true
+}

@@ -1,0 +1,70 @@
+package rate
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBurstThenRefill(t *testing.T) {
+	l := NewLimiter(10, 3) // 10/s sustained, burst 3
+	now := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		if !l.AllowN(now, 1) {
+			t.Fatalf("burst event %d denied", i)
+		}
+	}
+	if l.AllowN(now, 1) {
+		t.Fatal("4th immediate event allowed past burst 3")
+	}
+	// 100ms refills exactly one token at 10/s.
+	now = now.Add(100 * time.Millisecond)
+	if !l.AllowN(now, 1) {
+		t.Fatal("refilled token denied")
+	}
+	if l.AllowN(now, 1) {
+		t.Fatal("second event allowed from a single refilled token")
+	}
+}
+
+func TestRefillCapsAtBurst(t *testing.T) {
+	l := NewLimiter(100, 2)
+	now := time.Unix(1000, 0)
+	l.AllowN(now, 2)
+	// An hour idle must cap at burst, not accumulate 360k tokens.
+	now = now.Add(time.Hour)
+	if !l.AllowN(now, 2) {
+		t.Fatal("full burst denied after long idle")
+	}
+	if l.AllowN(now, 1) {
+		t.Fatal("idle accumulation exceeded burst")
+	}
+}
+
+func TestClockGoingBackwards(t *testing.T) {
+	l := NewLimiter(10, 1)
+	now := time.Unix(1000, 0)
+	if !l.AllowN(now, 1) {
+		t.Fatal("first event denied")
+	}
+	// A skewed earlier timestamp must not panic or mint tokens.
+	if l.AllowN(now.Add(-time.Minute), 1) {
+		t.Fatal("backwards clock minted a token")
+	}
+}
+
+func TestInf(t *testing.T) {
+	l := NewLimiter(Inf, 0)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 1000; i++ {
+		if !l.AllowN(now, 1) {
+			t.Fatal("Inf limiter denied an event")
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	l := NewLimiter(42, 7)
+	if l.Limit() != 42 || l.Burst() != 7 {
+		t.Fatalf("accessors = (%v, %d), want (42, 7)", l.Limit(), l.Burst())
+	}
+}

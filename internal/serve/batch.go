@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/nn/autodiff"
+	"repro/internal/snapshot"
+	"repro/internal/tensor"
+)
+
+// call is one request's stake in a micro-batch: the rows it brought,
+// the snapshot it resolved, and the probability matrix the batcher
+// fills before signaling ready.
+type call struct {
+	model *snapshot.Model
+	rows  [][]float32
+	probs *tensor.Matrix
+	err   error
+	ready chan struct{}
+}
+
+var callPool = sync.Pool{New: func() any {
+	return &call{ready: make(chan struct{}, 1)}
+}}
+
+var matPool = sync.Pool{New: func() any { return tensor.NewMatrix(0, 0) }}
+
+// batcher accumulates concurrent predict calls into micro-batches: the
+// first arrival opens a window, and the batch executes when either
+// maxBatch rows have gathered or maxDelay has passed — so a lone
+// request pays at most maxDelay of extra latency while a burst
+// amortizes one forward pass across every caller in the window.
+//
+// The collect loop owns all forward-pass scratch (input, logits,
+// softmax), so steady-state serving allocates nothing on the tensor
+// path regardless of concurrency.
+type batcher struct {
+	queue    chan *call
+	maxBatch int
+	maxDelay time.Duration
+	stats    *metrics.ServeStats
+	done     chan struct{}
+}
+
+func newBatcher(maxBatch int, maxDelay time.Duration, stats *metrics.ServeStats) *batcher {
+	b := &batcher{
+		queue:    make(chan *call, maxBatch*4),
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		stats:    stats,
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// predict blocks until the batcher has run the rows through m's
+// replica and written row-wise softmax probabilities into probs.
+// Must not be called after close(b.queue) — the gateway guarantees
+// that by shutting the HTTP server down (no live handlers) first.
+func (b *batcher) predict(m *snapshot.Model, rows [][]float32, probs *tensor.Matrix) error {
+	c := callPool.Get().(*call)
+	c.model, c.rows, c.probs, c.err = m, rows, probs, nil
+	b.queue <- c
+	<-c.ready
+	err := c.err
+	c.model, c.rows, c.probs, c.err = nil, nil, nil, nil
+	callPool.Put(c)
+	return err
+}
+
+// close ends the collect loop after the in-flight queue drains.
+func (b *batcher) close() {
+	close(b.queue)
+	<-b.done
+}
+
+func (b *batcher) loop() {
+	defer close(b.done)
+	in := tensor.NewMatrix(0, 0)
+	logits := tensor.NewMatrix(0, 0)
+	probs := tensor.NewMatrix(0, 0)
+	var batch []*call
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		first, ok := <-b.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		rows := len(first.rows)
+		timer.Reset(b.maxDelay)
+	collect:
+		for rows < b.maxBatch {
+			select {
+			case c, ok := <-b.queue:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, c)
+				rows += len(c.rows)
+			case <-timer.C:
+				break collect
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		b.flush(batch, in, logits, probs)
+	}
+}
+
+// flush executes one window. Calls are grouped by the exact snapshot
+// they resolved at admission — a capture landing mid-window must not
+// retroactively change what an already-admitted request is served
+// from — and each group runs as one forward pass.
+func (b *batcher) flush(batch []*call, in, logits, probs *tensor.Matrix) {
+	for start := 0; start < len(batch); {
+		m := batch[start].model
+		end := start + 1
+		rows := len(batch[start].rows)
+		for end < len(batch) && batch[end].model == m {
+			rows += len(batch[end].rows)
+			end++
+		}
+		group := batch[start:end]
+		start = end
+
+		in.Resize(rows, m.Features())
+		r := 0
+		for _, c := range group {
+			for _, row := range c.rows {
+				copy(in.Row(r), row)
+				r++
+			}
+		}
+		if err := m.PredictInto(logits, in); err != nil {
+			for _, c := range group {
+				c.err = err
+				c.ready <- struct{}{}
+			}
+			continue
+		}
+		autodiff.SoftmaxInto(probs, logits)
+		if b.stats != nil {
+			b.stats.RecordBatch(rows)
+		}
+		r = 0
+		for _, c := range group {
+			c.probs.Resize(len(c.rows), probs.Cols)
+			copy(c.probs.Data, probs.Data[r*probs.Cols:(r+len(c.rows))*probs.Cols])
+			r += len(c.rows)
+			c.ready <- struct{}{}
+		}
+	}
+}

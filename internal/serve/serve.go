@@ -1,0 +1,315 @@
+// Package serve is the gateway of the serving plane: an HTTP API over
+// the immutable snapshots a training session captures at round
+// barriers, so one process trains continuously and serves predictions
+// concurrently.
+//
+// The hot path is built for co-existence with training: requests
+// coalesce into micro-batches (one forward pass per window), the
+// tensor scratch is pooled (zero steady-state allocations below the
+// JSON layer), per-tenant token buckets shed abusive callers with 429
+// before they reach the model, and a bounded in-flight gate sheds
+// overload with 503 + Retry-After instead of queueing without bound.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/rate"
+	"repro/internal/snapshot"
+	"repro/internal/tensor"
+)
+
+// Source is where the gateway gets the model: anything that can hand
+// out the latest immutable snapshot. *poseidon.Session satisfies it.
+type Source interface {
+	Latest() *snapshot.Model
+}
+
+// Options tunes the gateway; zero values take the defaults noted.
+type Options struct {
+	MaxBatch      int           // micro-batch row cap (default 16)
+	MaxDelay      time.Duration // micro-batch window (default 2ms)
+	MaxInFlight   int           // concurrent admitted requests (default 256)
+	TenantRPS     float64       // per-tenant sustained requests/sec (default 50; <0 = unlimited)
+	TenantBurst   int           // per-tenant burst (default 2×RPS)
+	TenantIdleTTL time.Duration // evict a tenant's limiter after this idle time (default 5m)
+	MaxBodyBytes  int64         // request body cap (default 8MiB)
+	Metrics       *metrics.Comm // registry serving /metrics (default: a private one)
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Millisecond
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 256
+	}
+	if o.TenantRPS == 0 {
+		o.TenantRPS = 50
+	}
+	if o.TenantBurst <= 0 {
+		o.TenantBurst = int(2 * o.TenantRPS)
+		if o.TenantBurst < 1 {
+			o.TenantBurst = 1
+		}
+	}
+	if o.TenantIdleTTL <= 0 {
+		o.TenantIdleTTL = 5 * time.Minute
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.Metrics == nil {
+		o.Metrics = metrics.NewComm()
+	}
+}
+
+type tenant struct {
+	lim      *rate.Limiter
+	lastSeen time.Time
+}
+
+// Gateway serves predictions from a Source's snapshots. Lifecycle:
+// New → serve Handler() → Drain() (stop admitting) → http.Server
+// Shutdown (in-flight handlers finish) → Close() (stop the batcher).
+type Gateway struct {
+	src      Source
+	opts     Options
+	stats    *metrics.ServeStats
+	bat      *batcher
+	inflight chan struct{}
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+
+	stopJanitor chan struct{}
+	janitorDone chan struct{}
+}
+
+// New builds a gateway over src.
+func New(src Source, opts Options) *Gateway {
+	opts.setDefaults()
+	g := &Gateway{
+		src:         src,
+		opts:        opts,
+		stats:       opts.Metrics.Serve(),
+		inflight:    make(chan struct{}, opts.MaxInFlight),
+		tenants:     make(map[string]*tenant),
+		stopJanitor: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	g.bat = newBatcher(opts.MaxBatch, opts.MaxDelay, g.stats)
+	go g.janitor()
+	return g
+}
+
+// Handler returns the gateway's route table.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", g.handlePredict)
+	mux.HandleFunc("GET /v1/model", g.handleModel)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	return mux
+}
+
+// Drain stops admitting new predict requests (503 + Retry-After);
+// already-admitted ones run to completion. Call before shutting the
+// HTTP server down so the drain window completes every accepted
+// request and drops none.
+func (g *Gateway) Drain() { g.draining.Store(true) }
+
+// Close stops the batcher and the tenant janitor. Only call once no
+// handler can still be running (after http.Server.Shutdown).
+func (g *Gateway) Close() {
+	g.bat.close()
+	close(g.stopJanitor)
+	<-g.janitorDone
+}
+
+type predictRequest struct {
+	Instances [][]float32 `json:"instances"`
+}
+
+type prediction struct {
+	Label int       `json:"label"`
+	Probs []float32 `json:"probs"`
+}
+
+type modelVersion struct {
+	Iter  int `json:"iter"`
+	Epoch int `json:"epoch"`
+}
+
+type predictResponse struct {
+	Model       modelVersion `json:"model"`
+	Predictions []prediction `json:"predictions"`
+}
+
+func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	g.stats.CountRequest()
+	if g.draining.Load() {
+		g.stats.CountShed()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	name := r.Header.Get("X-Tenant")
+	if name == "" {
+		name = "default"
+	}
+	if !g.allowTenant(name) {
+		g.stats.CountRateLimited()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "tenant rate limit exceeded", http.StatusTooManyRequests)
+		return
+	}
+	select {
+	case g.inflight <- struct{}{}:
+		defer func() { <-g.inflight }()
+	default:
+		g.stats.CountShed()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "too many in-flight requests", http.StatusServiceUnavailable)
+		return
+	}
+
+	var req predictRequest
+	body := http.MaxBytesReader(w, r.Body, g.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		g.stats.CountError()
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Instances) == 0 {
+		g.stats.CountError()
+		http.Error(w, "bad request: no instances", http.StatusBadRequest)
+		return
+	}
+	m := g.src.Latest()
+	if m == nil {
+		g.stats.CountShed()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "no snapshot captured yet", http.StatusServiceUnavailable)
+		return
+	}
+	features := m.Features()
+	for i, row := range req.Instances {
+		if len(row) != features {
+			g.stats.CountError()
+			http.Error(w, fmt.Sprintf("bad request: instance %d has %d features, model wants %d", i, len(row), features), http.StatusBadRequest)
+			return
+		}
+	}
+
+	probs := matPool.Get().(*tensor.Matrix)
+	err := g.bat.predict(m, req.Instances, probs)
+	if err != nil {
+		matPool.Put(probs)
+		g.stats.CountError()
+		http.Error(w, fmt.Sprintf("predict: %v", err), http.StatusInternalServerError)
+		return
+	}
+	resp := predictResponse{
+		Model:       modelVersion{Iter: m.Iter(), Epoch: m.Epoch()},
+		Predictions: make([]prediction, len(req.Instances)),
+	}
+	for i := range req.Instances {
+		row := probs.Row(i)
+		arg := 0
+		for j, v := range row {
+			if v > row[arg] {
+				arg = j
+			}
+		}
+		p := prediction{Label: arg, Probs: make([]float32, len(row))}
+		copy(p.Probs, row)
+		resp.Predictions[i] = p
+	}
+	matPool.Put(probs)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&resp)
+	g.stats.RecordLatency(time.Since(start))
+}
+
+func (g *Gateway) handleModel(w http.ResponseWriter, r *http.Request) {
+	m := g.src.Latest()
+	if m == nil {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "no snapshot captured yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Iter     int `json:"iter"`
+		Epoch    int `json:"epoch"`
+		Features int `json:"features"`
+		Classes  int `json:"classes"`
+		Values   int `json:"values"`
+	}{m.Iter(), m.Epoch(), m.Features(), m.Classes(), m.NumValues()})
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(g.opts.Metrics.Snapshot())
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if g.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// allowTenant charges one request against name's token bucket,
+// creating it on first sight.
+func (g *Gateway) allowTenant(name string) bool {
+	if g.opts.TenantRPS < 0 {
+		return true
+	}
+	now := time.Now()
+	g.mu.Lock()
+	t, ok := g.tenants[name]
+	if !ok {
+		t = &tenant{lim: rate.NewLimiter(rate.Limit(g.opts.TenantRPS), g.opts.TenantBurst)}
+		g.tenants[name] = t
+	}
+	t.lastSeen = now
+	g.mu.Unlock()
+	return t.lim.AllowN(now, 1)
+}
+
+// janitor evicts limiters of tenants idle past TenantIdleTTL, so a
+// long-lived gateway with churning tenant names cannot grow the map
+// without bound.
+func (g *Gateway) janitor() {
+	defer close(g.janitorDone)
+	tick := time.NewTicker(g.opts.TenantIdleTTL / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.stopJanitor:
+			return
+		case now := <-tick.C:
+			g.mu.Lock()
+			for name, t := range g.tenants {
+				if now.Sub(t.lastSeen) > g.opts.TenantIdleTTL {
+					delete(g.tenants, name)
+				}
+			}
+			g.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/nn/autodiff"
+	"repro/internal/snapshot"
+	"repro/internal/tensor"
+)
+
+func mlpBuilder(rng *rand.Rand) *autodiff.Network {
+	return autodiff.MLPNet(8, []int{16}, 3, rng)
+}
+
+// storeWith returns a store holding one capture at (iter, epoch) with
+// deterministic parameters derived from seed.
+func storeWith(iter, epoch int, seed int64) *snapshot.Store {
+	st := snapshot.NewStore(mlpBuilder, 1)
+	rng := rand.New(rand.NewSource(seed))
+	net := mlpBuilder(rng)
+	for _, p := range net.Params() {
+		for i := range p.Data {
+			p.Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	st.Capture(iter, epoch, net.Params())
+	return st
+}
+
+func postPredict(t *testing.T, url, tenant string, instances [][]float32) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(predictRequest{Instances: instances})
+	req, err := http.NewRequest("POST", url+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, out
+}
+
+// TestPredictMatchesDirectForward demands the HTTP path returns exactly
+// what a local forward + softmax over the same snapshot computes —
+// including the JSON round trip, which is exact for float32.
+func TestPredictMatchesDirectForward(t *testing.T) {
+	st := storeWith(7, 2, 99)
+	g := New(st, Options{MaxDelay: time.Millisecond})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	instances := make([][]float32, 3)
+	for i := range instances {
+		row := make([]float32, st.Features())
+		for j := range row {
+			row[j] = float32(rng.NormFloat64())
+		}
+		instances[i] = row
+	}
+
+	resp, body := postPredict(t, srv.URL, "", instances)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d %s", resp.StatusCode, body)
+	}
+	var got predictResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Model.Iter != 7 || got.Model.Epoch != 2 {
+		t.Fatalf("model version = %+v, want (7, 2)", got.Model)
+	}
+	if len(got.Predictions) != 3 {
+		t.Fatalf("%d predictions, want 3", len(got.Predictions))
+	}
+
+	// Local reference: one forward pass over the same snapshot.
+	x := tensor.NewMatrix(len(instances), st.Features())
+	for i, row := range instances {
+		copy(x.Row(i), row)
+	}
+	logits := tensor.NewMatrix(0, 0)
+	if err := st.Latest().PredictInto(logits, x); err != nil {
+		t.Fatal(err)
+	}
+	probs := tensor.NewMatrix(0, 0)
+	autodiff.SoftmaxInto(probs, logits)
+	for i, p := range got.Predictions {
+		want := probs.Row(i)
+		if len(p.Probs) != len(want) {
+			t.Fatalf("row %d: %d probs, want %d", i, len(p.Probs), len(want))
+		}
+		for j := range want {
+			if p.Probs[j] != want[j] {
+				t.Fatalf("row %d prob %d: served %v, reference %v", i, j, p.Probs[j], want[j])
+			}
+		}
+		arg := 0
+		for j := range want {
+			if want[j] > want[arg] {
+				arg = j
+			}
+		}
+		if p.Label != arg {
+			t.Fatalf("row %d: label %d, reference argmax %d", i, p.Label, arg)
+		}
+	}
+}
+
+// TestMicroBatchCoalesces fires concurrent single-row requests through
+// a wide window and demands they ran in fewer forward passes than
+// requests, with every row answered.
+func TestMicroBatchCoalesces(t *testing.T) {
+	st := storeWith(1, 0, 3)
+	mtr := metrics.NewComm()
+	g := New(st, Options{MaxDelay: 25 * time.Millisecond, MaxBatch: 64, Metrics: mtr})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	const reqs = 16
+	row := make([]float32, st.Features())
+	var wg sync.WaitGroup
+	errs := make(chan string, reqs)
+	for i := 0; i < reqs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postPredict(t, srv.URL, "", [][]float32{row})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Sprintf("%d %s", resp.StatusCode, body)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	snap := mtr.Snapshot()
+	if snap.Serve == nil {
+		t.Fatal("no serve metrics recorded")
+	}
+	if snap.Serve.Predictions != reqs {
+		t.Fatalf("predictions = %d, want %d", snap.Serve.Predictions, reqs)
+	}
+	if snap.Serve.Batches >= reqs {
+		t.Fatalf("batches = %d for %d concurrent requests: no coalescing", snap.Serve.Batches, reqs)
+	}
+	if snap.Serve.Latency.Count != reqs {
+		t.Fatalf("latency count = %d, want %d", snap.Serve.Latency.Count, reqs)
+	}
+}
+
+// TestTenantRateLimit starves one tenant's bucket and demands 429s for
+// it while another tenant sails through.
+func TestTenantRateLimit(t *testing.T) {
+	st := storeWith(1, 0, 3)
+	mtr := metrics.NewComm()
+	g := New(st, Options{TenantRPS: 0.001, TenantBurst: 2, MaxDelay: time.Millisecond, Metrics: mtr})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	row := [][]float32{make([]float32, st.Features())}
+	for i := 0; i < 2; i++ {
+		if resp, body := postPredict(t, srv.URL, "greedy", row); resp.StatusCode != http.StatusOK {
+			t.Fatalf("greedy burst request %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, _ := postPredict(t, srv.URL, "greedy", row)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if resp, body := postPredict(t, srv.URL, "paced", row); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant punished for greedy's 429: %d %s", resp.StatusCode, body)
+	}
+	if got := mtr.Snapshot().Serve.RateLimited; got != 1 {
+		t.Fatalf("rate_limited = %d, want 1", got)
+	}
+}
+
+// blockingSource parks Latest until released — it holds a request
+// inside the admission gate so shedding can be tested deterministically.
+type blockingSource struct {
+	st      *snapshot.Store
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingSource) Latest() *snapshot.Model {
+	b.once.Do(func() {
+		close(b.entered)
+		<-b.release
+	})
+	return b.st.Latest()
+}
+
+// TestInFlightShed fills the single admission slot with a parked
+// request and demands the next one is shed with 503 + Retry-After.
+func TestInFlightShed(t *testing.T) {
+	src := &blockingSource{
+		st:      storeWith(1, 0, 3),
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	g := New(src, Options{MaxInFlight: 1, MaxDelay: time.Millisecond})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	row := [][]float32{make([]float32, 8)}
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := postPredict(t, srv.URL, "", row)
+		done <- resp.StatusCode
+	}()
+	<-src.entered // first request is admitted and parked
+	resp, _ := postPredict(t, srv.URL, "spill", row)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second request = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	close(src.release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("parked request = %d, want 200", code)
+	}
+}
+
+// TestDrainLifecycle: Drain flips predict and healthz to 503 while
+// /v1/model and /metrics stay readable.
+func TestDrainLifecycle(t *testing.T) {
+	st := storeWith(4, 1, 3)
+	g := New(st, Options{MaxDelay: time.Millisecond})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	if resp, err := http.Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %v %v", resp.StatusCode, err)
+	}
+	g.Drain()
+	row := [][]float32{make([]float32, st.Features())}
+	if resp, _ := postPredict(t, srv.URL, "", row); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("predict during drain = %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := http.Get(srv.URL + "/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain = %d, want 503", resp.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/v1/model")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("model during drain: %v %v", resp.StatusCode, err)
+	}
+	var mv struct {
+		Iter  int `json:"iter"`
+		Epoch int `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if mv.Iter != 4 || mv.Epoch != 1 {
+		t.Fatalf("model version = %+v, want (4, 1)", mv)
+	}
+	if resp, _ := http.Get(srv.URL + "/metrics"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics during drain = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestNoSnapshotYet: an empty source answers 503, not a panic.
+func TestNoSnapshotYet(t *testing.T) {
+	st := snapshot.NewStore(mlpBuilder, 1) // no capture
+	g := New(st, Options{MaxDelay: time.Millisecond})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	row := [][]float32{make([]float32, 8)}
+	if resp, _ := postPredict(t, srv.URL, "", row); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("predict without snapshot = %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := http.Get(srv.URL + "/v1/model"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("model without snapshot = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestBadRequests: malformed JSON and wrong feature counts are 400s.
+func TestBadRequests(t *testing.T) {
+	st := storeWith(1, 0, 3)
+	g := New(st, Options{MaxDelay: time.Millisecond})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/predict", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postPredict(t, srv.URL, "", [][]float32{{1, 2}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong feature count = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postPredict(t, srv.URL, "", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty instances = %d, want 400", resp.StatusCode)
+	}
+}
+
+// BenchmarkPredictMicroBatch measures the batched tensor path under
+// parallel callers — the serving-plane hot loop below the JSON layer.
+// It reports p99-ms (gated by bench-trend -p99-budget) and allocs/op.
+func BenchmarkPredictMicroBatch(b *testing.B) {
+	st := storeWith(1, 0, 3)
+	m := st.Latest()
+	bat := newBatcher(16, 500*time.Microsecond, nil)
+	defer bat.close()
+
+	var mu sync.Mutex
+	lats := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		probs := tensor.NewMatrix(0, 0)
+		rows := [][]float32{make([]float32, m.Features())}
+		for pb.Next() {
+			t0 := time.Now()
+			if err := bat.predict(m, rows, probs); err != nil {
+				b.Error(err)
+				return
+			}
+			d := time.Since(t0)
+			mu.Lock()
+			lats = append(lats, d)
+			mu.Unlock()
+		}
+	})
+	b.StopTimer()
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p99 := lats[len(lats)*99/100]
+	b.ReportMetric(float64(p99)/1e6, "p99-ms")
+}

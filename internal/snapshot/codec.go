@@ -1,0 +1,134 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary parameter-snapshot codec — the one format -load-params files,
+// elastic -snapshot-out barrier dumps, and serve-plane disk snapshots
+// share. Layout, all fields little-endian uint32:
+//
+//	magic          "PSN2"
+//	iter           the round barrier the replica was captured at
+//	epoch          the membership epoch (PSN2 only)
+//	tensor count
+//	per tensor:    element count, then elements as float32 bit patterns
+//
+// "PSN1" files (no epoch field) still decode, with epoch 0.
+const (
+	magicV1 = 0x314e5350 // "PSN1"
+	magicV2 = 0x324e5350 // "PSN2"
+)
+
+// encode serializes the model in PSN2 layout.
+func (m *Model) encode() []byte {
+	size := 16
+	for _, p := range m.params {
+		size += 4 + 4*len(p)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, magicV2)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.iter))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.epoch))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.params)))
+	for _, p := range m.params {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))
+		for _, v := range p {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	}
+	return buf
+}
+
+// WriteTo encodes the model onto w; it implements io.WriterTo.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(m.encode())
+	return int64(n), err
+}
+
+// WriteFile atomically persists the model (temp file + rename), so a
+// concurrent reader never observes a half-written snapshot.
+func (m *Model) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, m.encode(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Decode parses an encoded model (PSN2, or legacy PSN1 with epoch 0).
+// The result is unbound: call Bind before Predict.
+func Decode(buf []byte) (*Model, error) {
+	next := func(what string) (uint32, error) {
+		if len(buf) < 4 {
+			return 0, fmt.Errorf("snapshot: truncated at %s", what)
+		}
+		v := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		return v, nil
+	}
+	magic, err := next("magic")
+	if err != nil {
+		return nil, err
+	}
+	if magic != magicV1 && magic != magicV2 {
+		return nil, fmt.Errorf("snapshot: not a parameter snapshot (magic %#08x)", magic)
+	}
+	iter, err := next("iter")
+	if err != nil {
+		return nil, err
+	}
+	epoch := uint32(0)
+	if magic == magicV2 {
+		if epoch, err = next("epoch"); err != nil {
+			return nil, err
+		}
+	}
+	count, err := next("tensor count")
+	if err != nil {
+		return nil, err
+	}
+	params := make([][]float32, count)
+	for i := range params {
+		ln, err := next("tensor length")
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(buf)) < 4*uint64(ln) {
+			return nil, fmt.Errorf("snapshot: truncated at tensor %d", i)
+		}
+		t := make([]float32, ln)
+		for j := range t {
+			t[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		buf = buf[4*ln:]
+		params[i] = t
+	}
+	return New(int(iter), int(epoch), params), nil
+}
+
+// Read decodes a model from r.
+func Read(r io.Reader) (*Model, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}
+
+// ReadFile decodes the model stored at path.
+func ReadFile(path string) (*Model, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Decode(buf)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}

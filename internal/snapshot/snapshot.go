@@ -1,0 +1,215 @@
+// Package snapshot captures a training replica at round barriers into
+// immutable, refcounted, atomically-swapped models, and serves forward
+// passes from them while training continues.
+//
+// The contract that makes concurrent serving safe is split in two:
+//
+//   - The parameter bytes of a Model are written exactly once, during
+//     capture, and never mutated afterwards. Any goroutine holding a
+//     *Model may read Params or call Predict forever; a held snapshot
+//     stays byte-stable across view changes, reroutes, and further
+//     training.
+//   - The refcount (Retain/Release) governs only the recycling of the
+//     predictor scratch attached to a model. A missed Release costs
+//     memory and a warm-up forward pass, never correctness.
+package snapshot
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/nn/autodiff"
+	"repro/internal/tensor"
+)
+
+// predictorPoolCap bounds the warm predictors kept per model and on the
+// shared free list; beyond this, concurrent predicts build throwaway
+// replicas.
+const predictorPoolCap = 8
+
+// source builds inference replicas for one (model-builder, seed) pair
+// and recycles them across snapshot generations, so swapping in a new
+// capture costs one parameter copy, not a network construction.
+type source struct {
+	build    func(rng *rand.Rand) *autodiff.Network
+	seed     int64
+	features int
+	classes  int
+	free     chan *autodiff.Predictor
+}
+
+func newSource(build func(rng *rand.Rand) *autodiff.Network, seed int64) *source {
+	s := &source{build: build, seed: seed, free: make(chan *autodiff.Predictor, predictorPoolCap)}
+	// Probe replica: derives the input shape and seeds the free list so
+	// the first Predict pays no network construction.
+	net := build(rand.New(rand.NewSource(seed)))
+	s.features, s.classes = net.InputDims(), net.Classes
+	s.free <- autodiff.NewPredictor(net)
+	return s
+}
+
+func (s *source) get() *autodiff.Predictor {
+	select {
+	case p := <-s.free:
+		return p
+	default:
+		return autodiff.NewPredictor(s.build(rand.New(rand.NewSource(s.seed))))
+	}
+}
+
+func (s *source) put(p *autodiff.Predictor) {
+	select {
+	case s.free <- p:
+	default:
+	}
+}
+
+// Model is one immutable captured replica, versioned by the iteration
+// barrier it was taken at and the membership epoch it was taken under.
+type Model struct {
+	iter   int
+	epoch  int
+	params [][]float32 // canonical bytes; written once at capture
+
+	src  *source
+	pool chan *autodiff.Predictor // predictors currently loaded with params
+	refs atomic.Int32
+}
+
+// New wraps already-captured parameter tensors — for example a decoded
+// snapshot file — as a model. The model takes ownership of params; the
+// caller must not mutate them afterwards. Predict requires Bind.
+func New(iter, epoch int, params [][]float32) *Model {
+	m := &Model{iter: iter, epoch: epoch, params: params}
+	m.refs.Store(1)
+	return m
+}
+
+// Bind attaches the network constructor Predict builds inference
+// replicas from — what a model decoded from disk needs before it can
+// serve. It returns m for chaining.
+func (m *Model) Bind(build func(rng *rand.Rand) *autodiff.Network, seed int64) *Model {
+	m.src = newSource(build, seed)
+	m.pool = make(chan *autodiff.Predictor, predictorPoolCap)
+	return m
+}
+
+// Iter returns the iteration barrier the model was captured at.
+func (m *Model) Iter() int { return m.iter }
+
+// Epoch returns the membership epoch the model was captured under.
+func (m *Model) Epoch() int { return m.epoch }
+
+// Params returns the captured tensors in Network.Params order. The
+// slices are the model's canonical bytes — treat them as read-only.
+func (m *Model) Params() [][]float32 { return m.params }
+
+// NumValues counts the captured scalars.
+func (m *Model) NumValues() int {
+	total := 0
+	for _, p := range m.params {
+		total += len(p)
+	}
+	return total
+}
+
+// Features returns the input feature count a Predict batch must carry,
+// or -1 for an unbound model.
+func (m *Model) Features() int {
+	if m.src == nil {
+		return -1
+	}
+	return m.src.features
+}
+
+// Classes returns the output class count, or 0 for an unbound model.
+func (m *Model) Classes() int {
+	if m.src == nil {
+		return 0
+	}
+	return m.src.classes
+}
+
+// Retain adds a reference and returns m for chaining.
+func (m *Model) Retain() *Model {
+	m.refs.Add(1)
+	return m
+}
+
+// Release drops a reference; at zero the model's warm predictors return
+// to the shared free list for the next capture to reuse. The parameter
+// bytes are untouched — a released model still predicts correctly, it
+// just re-warms its scratch first.
+func (m *Model) Release() {
+	if m.refs.Add(-1) != 0 || m.src == nil {
+		return
+	}
+	for {
+		select {
+		case p := <-m.pool:
+			m.src.put(p)
+		default:
+			return
+		}
+	}
+}
+
+// predictor returns an inference replica loaded with the model's
+// parameters, owned exclusively by the caller until handed back.
+func (m *Model) predictor() (*autodiff.Predictor, error) {
+	select {
+	case p := <-m.pool:
+		return p, nil
+	default:
+	}
+	p := m.src.get()
+	live := p.Net().Params()
+	if len(live) != len(m.params) {
+		m.src.put(p)
+		return nil, fmt.Errorf("snapshot: model carries %d tensors, network wants %d", len(m.params), len(live))
+	}
+	for i, t := range live {
+		if len(t.Data) != len(m.params[i]) {
+			m.src.put(p)
+			return nil, fmt.Errorf("snapshot: tensor %d has %d values, network wants %d", i, len(m.params[i]), len(t.Data))
+		}
+		copy(t.Data, m.params[i])
+	}
+	return p, nil
+}
+
+// PredictInto runs one forward pass over the captured replica and
+// writes the logits into dst, resized to x.Rows × classes — the
+// zero-allocation serving path. Safe for concurrent use: each call
+// borrows a pooled predictor.
+func (m *Model) PredictInto(dst, x *tensor.Matrix) error {
+	if m.src == nil {
+		return fmt.Errorf("snapshot: model is not bound to a network (Bind, or capture via a Store)")
+	}
+	if f := m.src.features; f >= 0 && x.Cols != f {
+		return fmt.Errorf("snapshot: input has %d features, model wants %d", x.Cols, f)
+	}
+	p, err := m.predictor()
+	if err != nil {
+		return err
+	}
+	logits := p.Forward(x)
+	dst.Resize(logits.Rows, logits.Cols)
+	copy(dst.Data, logits.Data)
+	select {
+	case m.pool <- p:
+	default:
+		m.src.put(p)
+	}
+	return nil
+}
+
+// Predict is PredictInto with a freshly allocated result.
+func (m *Model) Predict(x *tensor.Matrix) (*tensor.Matrix, error) {
+	dst := tensor.NewMatrix(0, 0)
+	if err := m.PredictInto(dst, x); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}

@@ -1,0 +1,261 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/nn/autodiff"
+	"repro/internal/tensor"
+)
+
+func mlpBuilder(rng *rand.Rand) *autodiff.Network {
+	return autodiff.MLPNet(8, []int{16}, 3, rng)
+}
+
+func fillBatch(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	x := tensor.NewMatrix(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	return x
+}
+
+func captureFrom(t *testing.T, st *Store, iter, epoch int, seed int64) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := mlpBuilder(rng)
+	for _, p := range net.Params() {
+		for i := range p.Data {
+			p.Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	return st.Capture(iter, epoch, net.Params())
+}
+
+// TestCaptureIsImmutable mutates the source tensors after Capture and
+// demands the model's bytes and predictions stay fixed.
+func TestCaptureIsImmutable(t *testing.T) {
+	st := NewStore(mlpBuilder, 1)
+	rng := rand.New(rand.NewSource(2))
+	net := mlpBuilder(rng)
+	m := st.Capture(5, 0, net.Params())
+
+	x := fillBatch(rng, 4, st.Features())
+	before, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapBytes := m.encode()
+
+	// Training moves on: scribble over the tensors Capture copied from.
+	for _, p := range net.Params() {
+		for i := range p.Data {
+			p.Data[i] += 1
+		}
+	}
+
+	if got := m.encode(); !bytes.Equal(got, snapBytes) {
+		t.Fatal("model bytes changed after source tensors were mutated")
+	}
+	after, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(floatBytes(before.Data), floatBytes(after.Data)) {
+		t.Fatal("predictions changed after source tensors were mutated")
+	}
+	if m.Iter() != 5 || m.Epoch() != 0 {
+		t.Fatalf("version = (%d, %d), want (5, 0)", m.Iter(), m.Epoch())
+	}
+}
+
+func floatBytes(fs []float32) []byte {
+	buf := make([]byte, 0, 4*len(fs))
+	for _, f := range fs {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(f))
+	}
+	return buf
+}
+
+// TestReleasedModelStillPredicts pins the safety half of the refcount
+// contract: Release recycles scratch, never correctness.
+func TestReleasedModelStillPredicts(t *testing.T) {
+	st := NewStore(mlpBuilder, 1)
+	m := captureFrom(t, st, 1, 0, 10)
+	rng := rand.New(rand.NewSource(3))
+	x := fillBatch(rng, 2, st.Features())
+	want, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m.Release() // refcount to zero, scratch recycled
+	captureFrom(t, st, 2, 0, 11)
+	captureFrom(t, st, 3, 0, 12) // churn reuses the freed predictors
+
+	got, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range want.Data {
+		if got.Data[i] != v {
+			t.Fatalf("released model prediction[%d] = %g, want %g", i, got.Data[i], v)
+		}
+	}
+}
+
+// TestConcurrentPredictAcrossSwaps hammers Predict from many goroutines
+// while captures keep swapping the latest — the serving plane's
+// steady-state shape. Every goroutine checks its answers against a
+// prediction taken before the churn started.
+func TestConcurrentPredictAcrossSwaps(t *testing.T) {
+	st := NewStore(mlpBuilder, 1)
+	held := captureFrom(t, st, 1, 0, 20)
+	rng := rand.New(rand.NewSource(4))
+	x := fillBatch(rng, 3, st.Features())
+	want, err := held.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := tensor.NewMatrix(0, 0)
+			for i := 0; i < 200; i++ {
+				if err := held.PredictInto(out, x); err != nil {
+					t.Error(err)
+					return
+				}
+				for j, v := range want.Data {
+					if out.Data[j] != v {
+						t.Errorf("concurrent prediction[%d] = %g, want %g", j, out.Data[j], v)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		captureFrom(t, st, 2+i, 0, int64(30+i))
+	}
+	wg.Wait()
+	if st.Latest().Iter() != 51 {
+		t.Fatalf("latest iter = %d, want 51", st.Latest().Iter())
+	}
+}
+
+// TestSnapshotsChannelConflates demands a lagging subscriber sees the
+// newest captures, not a blocked barrier.
+func TestSnapshotsChannelConflates(t *testing.T) {
+	st := NewStore(mlpBuilder, 1)
+	for i := 1; i <= 3*subBuffer; i++ {
+		captureFrom(t, st, i, 0, int64(i))
+	}
+	st.Close()
+	var seen []int
+	for m := range st.Snapshots() {
+		seen = append(seen, m.Iter())
+	}
+	if len(seen) == 0 || len(seen) > subBuffer {
+		t.Fatalf("subscriber saw %d snapshots, want 1..%d", len(seen), subBuffer)
+	}
+	if last := seen[len(seen)-1]; last != 3*subBuffer {
+		t.Fatalf("last delivered iter = %d, want the newest (%d)", last, 3*subBuffer)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatalf("deliveries out of order: %v", seen)
+		}
+	}
+}
+
+// TestCodecRoundTrip proves WriteFile/ReadFile preserve every bit plus
+// the iter/epoch version, and that a rebound model predicts.
+func TestCodecRoundTrip(t *testing.T) {
+	st := NewStore(mlpBuilder, 7)
+	m := captureFrom(t, st, 12, 3, 40)
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter() != 12 || got.Epoch() != 3 {
+		t.Fatalf("decoded version (%d, %d), want (12, 3)", got.Iter(), got.Epoch())
+	}
+	if len(got.Params()) != len(m.Params()) {
+		t.Fatalf("decoded %d tensors, want %d", len(got.Params()), len(m.Params()))
+	}
+	for i, p := range m.Params() {
+		for j, v := range p {
+			if got.Params()[i][j] != v {
+				t.Fatalf("tensor %d[%d] = %g, want %g", i, j, got.Params()[i][j], v)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	x := fillBatch(rng, 2, st.Features())
+	want, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.Predict(x); err == nil {
+		t.Fatal("unbound model predicted; want an error demanding Bind")
+	}
+	got.Bind(mlpBuilder, 7)
+	out, err := got.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range want.Data {
+		if out.Data[i] != v {
+			t.Fatalf("rebound prediction[%d] = %g, want %g", i, out.Data[i], v)
+		}
+	}
+}
+
+// TestDecodeLegacyV1 keeps PSN1 files (pre-epoch format) readable.
+func TestDecodeLegacyV1(t *testing.T) {
+	m := New(9, 4, [][]float32{{1, 2}, {3}})
+	buf := m.encode()
+	// Rewrite as V1: magic "PSN1" and no epoch field.
+	v1 := append([]byte{0x50, 0x53, 0x4e, 0x31}, buf[4:8]...)
+	v1 = append(v1, buf[12:]...)
+	got, err := Decode(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter() != 9 || got.Epoch() != 0 {
+		t.Fatalf("V1 decoded as (%d, %d), want (9, 0)", got.Iter(), got.Epoch())
+	}
+	if got.Params()[0][1] != 2 || got.Params()[1][0] != 3 {
+		t.Fatalf("V1 tensor bytes corrupted: %v", got.Params())
+	}
+}
+
+// TestDecodeRejectsGarbage covers the error paths a serve-plane disk
+// read can hit.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+	if _, err := Decode([]byte("not a snapshot at all")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	m := New(1, 0, [][]float32{{1, 2, 3, 4}})
+	buf := m.encode()
+	if _, err := Decode(buf[:len(buf)-5]); err == nil {
+		t.Fatal("truncated tensor accepted")
+	}
+}

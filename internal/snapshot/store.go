@@ -1,0 +1,106 @@
+package snapshot
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/nn/autodiff"
+	"repro/internal/tensor"
+)
+
+// subBuffer is the subscriber channel depth; captures beyond it
+// conflate by dropping the oldest undelivered snapshot, so a slow
+// consumer lags but never blocks the training barrier.
+const subBuffer = 4
+
+// Store owns the atomically-swapped latest model and the capture path
+// the train loop feeds at round barriers.
+type Store struct {
+	src    *source
+	latest atomic.Pointer[Model]
+
+	subMu  sync.Mutex
+	sub    chan *Model
+	closed bool
+}
+
+// NewStore builds a store whose captures serve predictions through
+// replicas of build(seed)'s architecture.
+func NewStore(build func(rng *rand.Rand) *autodiff.Network, seed int64) *Store {
+	return &Store{src: newSource(build, seed), sub: make(chan *Model, subBuffer)}
+}
+
+// Capture copies the live replica tensors into a fresh immutable model
+// and publishes it as the latest. It is called from the training
+// compute goroutine at a round barrier — the point where the staged
+// replica has just been adopted and is synchronized across workers — so
+// the handoff is one memcpy per tensor, with no graph rebuild and no
+// stop-the-world pause. params are borrowed for the duration of the
+// call only.
+func (st *Store) Capture(iter, epoch int, params []*tensor.Matrix) *Model {
+	m := &Model{
+		iter:  iter,
+		epoch: epoch,
+		src:   st.src,
+		pool:  make(chan *autodiff.Predictor, predictorPoolCap),
+	}
+	m.refs.Store(1)
+	m.params = make([][]float32, len(params))
+	for i, p := range params {
+		buf := make([]float32, len(p.Data))
+		copy(buf, p.Data)
+		m.params[i] = buf
+	}
+	if old := st.latest.Swap(m); old != nil {
+		old.Release()
+	}
+	st.publish(m)
+	return m
+}
+
+// Latest returns the most recent capture, or nil before the first one.
+// No retain discipline is required to read or predict from it.
+func (st *Store) Latest() *Model { return st.latest.Load() }
+
+// Snapshots returns the subscription channel: every capture is
+// delivered in order, conflating to the newest when the consumer lags.
+// The channel closes when the store closes.
+func (st *Store) Snapshots() <-chan *Model { return st.sub }
+
+// Features returns the input feature count of the served architecture.
+func (st *Store) Features() int { return st.src.features }
+
+// Classes returns the output class count of the served architecture.
+func (st *Store) Classes() int { return st.src.classes }
+
+func (st *Store) publish(m *Model) {
+	st.subMu.Lock()
+	defer st.subMu.Unlock()
+	if st.closed {
+		return
+	}
+	for {
+		select {
+		case st.sub <- m:
+			return
+		default:
+		}
+		// Full: drop the oldest undelivered capture and retry.
+		select {
+		case <-st.sub:
+		default:
+		}
+	}
+}
+
+// Close ends the subscription channel. Latest stays readable; further
+// captures still swap the latest but are no longer delivered.
+func (st *Store) Close() {
+	st.subMu.Lock()
+	defer st.subMu.Unlock()
+	if !st.closed {
+		st.closed = true
+		close(st.sub)
+	}
+}

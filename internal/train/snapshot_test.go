@@ -1,0 +1,82 @@
+package train
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSnapshotHookFiresAtBarriers pins the capture contract: events
+// fire only on the SnapshotRank worker, every SnapshotEvery iterations
+// plus the final drain, and the drain capture's bytes equal the final
+// replica.
+func TestSnapshotHookFiresAtBarriers(t *testing.T) {
+	type capture struct {
+		iter, epoch int
+		params      [][]float32
+	}
+	var captures []capture
+	cfg := Config{
+		Workers: 3, Iters: 12, Batch: 4, LR: 0.05, Mode: PSOnly, Seed: 17,
+		BuildNet:      mlpBuilder(16, []int{12}, 4),
+		TrainSet:      smallData(100, 240),
+		SnapshotEvery: 4,
+		SnapshotRank:  1,
+		OnSnapshot: func(ev SnapshotEvent) {
+			c := capture{iter: ev.Iter, epoch: ev.Epoch}
+			for _, p := range ev.Params {
+				c.params = append(c.params, append([]float32(nil), p.Data...))
+			}
+			captures = append(captures, c)
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Barriers at 4 and 8, plus the drain capture at 12.
+	if len(captures) != 3 {
+		t.Fatalf("got %d captures, want 3", len(captures))
+	}
+	for i, want := range []int{4, 8, 12} {
+		if captures[i].iter != want || captures[i].epoch != 0 {
+			t.Fatalf("capture %d at (iter %d, epoch %d), want (%d, 0)", i, captures[i].iter, captures[i].epoch, want)
+		}
+	}
+	// SnapshotRank 1 captured, but Run returns worker 0's result — BSP
+	// makes their replicas identical, so the drain capture must match.
+	final := captures[2]
+	for i, p := range res.Final.Params() {
+		for j, v := range p.Data {
+			if final.params[i][j] != v {
+				t.Fatalf("drain capture tensor %d[%d] = %g, final replica has %g", i, j, final.params[i][j], v)
+			}
+		}
+	}
+}
+
+// TestStopChannelAbortsRun demands a closed Stop channel surfaces
+// ErrCanceled instead of hanging the cluster.
+func TestStopChannelAbortsRun(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	cfg := Config{
+		Workers: 2, Iters: 200, Batch: 4, LR: 0.05, Mode: PSOnly, Seed: 3,
+		BuildNet: mlpBuilder(16, []int{12}, 4),
+		TrainSet: smallData(100, 240),
+		Stop:     stop,
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("aborted run returned %v, want ErrCanceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled run did not return")
+	}
+}

@@ -13,6 +13,7 @@
 package train
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -165,6 +166,39 @@ type Config struct {
 	OnViewChange func(ViewEvent)
 	// ViewTimeout bounds each membership barrier (0 = comm default).
 	ViewTimeout time.Duration
+
+	// SnapshotEvery > 0 fires OnSnapshot every that many iterations at
+	// the round barrier — right after the synchronized replica is
+	// adopted, so the captured bytes are identical across workers — plus
+	// once more with the final replica when the run drains.
+	SnapshotEvery int
+	// OnSnapshot receives each barrier capture on the worker whose
+	// transport rank is SnapshotRank. Params are the live tensors,
+	// valid only for the duration of the call: copy what you keep.
+	OnSnapshot func(SnapshotEvent)
+	// SnapshotRank is the transport rank that feeds OnSnapshot (in a
+	// shared-Config in-process run, exactly one worker must capture).
+	SnapshotRank int
+	// Stop, when non-nil, aborts the run when it becomes receivable:
+	// the router is poisoned with ErrCanceled and the compute loop
+	// surfaces it at its next synchronization point. This is the
+	// cancellation hook Session.RunContext wires to ctx.Done().
+	Stop <-chan struct{}
+}
+
+// ErrCanceled is the error a run aborts with when Config.Stop fires.
+var ErrCanceled = errors.New("train: run canceled")
+
+// SnapshotEvent is one barrier capture of the synchronized replica.
+type SnapshotEvent struct {
+	// Iter is the round barrier the capture was taken at: the replica
+	// has folded exactly Iter iterations.
+	Iter int
+	// Epoch is the membership epoch the capture was taken under.
+	Epoch int
+	// Params are the live parameter tensors in Params() order, borrowed
+	// for the duration of the OnSnapshot call only.
+	Params []*tensor.Matrix
 }
 
 // ViewEvent describes one committed membership transition, as observed
@@ -292,10 +326,24 @@ type worker struct {
 	rank int
 	id   int
 	n    int
+	// epoch tracks the membership epoch of the view the worker is
+	// currently seated in (versioning for barrier snapshots).
+	epoch int
 
 	net    *autodiff.Network
 	router *comm.Router
 	local  *data.Dataset
+}
+
+// snapshots reports whether this worker feeds Config.OnSnapshot.
+func (w *worker) snapshots() bool {
+	return w.cfg.SnapshotEvery > 0 && w.cfg.OnSnapshot != nil && w.rank == w.cfg.SnapshotRank
+}
+
+// snapshotBarrier hands the freshly adopted replica to the snapshot
+// hook. Called only at round barriers, where params are synchronized.
+func (w *worker) snapshotBarrier(iter int, params []*tensor.Matrix) {
+	w.cfg.OnSnapshot(SnapshotEvent{Iter: iter, Epoch: w.epoch, Params: params})
 }
 
 func (w *worker) run() (*Result, error) {
@@ -328,6 +376,7 @@ func (w *worker) run() (*Result, error) {
 			view = cluster.Initial(w.mesh.N())
 		}
 		w.n = view.Size()
+		w.epoch = view.Epoch
 		if cfg.Joining {
 			// A joiner has no dense index until its first membership
 			// barrier seats it; it adopts view, routes, parameters, and
@@ -416,6 +465,21 @@ func (w *worker) run() (*Result, error) {
 	router.Start()
 	defer router.Stop()
 
+	// Cancellation: poison the router when Stop fires, so the compute
+	// loop surfaces ErrCanceled at its next WaitFor/Err instead of
+	// blocking on peers that may have stopped too.
+	if cfg.Stop != nil {
+		watcherDone := make(chan struct{})
+		defer close(watcherDone)
+		go func() {
+			select {
+			case <-cfg.Stop:
+				router.Abort(ErrCanceled)
+			case <-watcherDone:
+			}
+		}()
+	}
+
 	// Replan barriers: armed one epoch ahead so post-barrier frames from
 	// fast peers park instead of reaching pre-barrier syncers; worker 0
 	// measures, re-plans, and broadcasts the decision at each one. A
@@ -484,6 +548,9 @@ func (w *worker) run() (*Result, error) {
 		}
 		// Adopt the freshest synchronized replica, then compute.
 		router.Adopt(params)
+		if w.snapshots() && iter > cfg.StartIter && iter%cfg.SnapshotEvery == 0 {
+			w.snapshotBarrier(iter, params)
+		}
 
 		x, labels := w.local.Batch(iter*cfg.Batch, cfg.Batch)
 		w.net.ZeroGrads()
@@ -512,6 +579,10 @@ func (w *worker) run() (*Result, error) {
 		if err := router.Err(); err != nil {
 			return nil, err
 		}
+		if w.snapshots() {
+			// The drain capture: the fully synchronized final replica.
+			w.snapshotBarrier(cfg.Iters, params)
+		}
 	}
 	res.Final = w.net
 	return res, nil
@@ -526,6 +597,7 @@ func (w *worker) run() (*Result, error) {
 func (w *worker) applyView(vc comm.ViewChange, planner *poseidon.Planner, params []*tensor.Matrix) error {
 	w.id = vc.View.Index(w.rank)
 	w.n = vc.View.Size()
+	w.epoch = vc.View.Epoch
 	if w.id < 0 {
 		return fmt.Errorf("train: rank %d missing from committed view %v", w.rank, vc.View.Members)
 	}

@@ -1,6 +1,7 @@
 package poseidon
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/data"
 	"repro/internal/metrics"
+	"repro/internal/snapshot"
 	"repro/internal/train"
 	"repro/internal/transport"
 )
@@ -21,13 +23,14 @@ import (
 // any transport, so a typo'd override fails in milliseconds instead of
 // after a 30-second mesh formation.
 type Builder struct {
-	cfg     train.Config
-	tcp     *tcpSpec
-	shm     *shmSpec
-	mesh    transport.Mesh
-	collect bool
-	onView  func(MembershipEvent)
-	err     error
+	cfg       train.Config
+	tcp       *tcpSpec
+	shm       *shmSpec
+	mesh      transport.Mesh
+	collect   bool
+	snapEvery int
+	onView    func(MembershipEvent)
+	err       error
 }
 
 type tcpSpec struct {
@@ -240,6 +243,19 @@ func (b *Builder) MembershipTimeout(d time.Duration) *Builder {
 	return b
 }
 
+// SnapshotEvery captures the synchronized replica every n iterations
+// at the round barrier (plus once more when the run drains) into the
+// session's snapshot store, feeding Session.Latest and
+// Session.Snapshots. Each capture is an immutable Snapshot versioned by
+// iteration and membership epoch; 0 disables capture.
+func (b *Builder) SnapshotEvery(n int) *Builder {
+	if n < 0 {
+		return b.fail(fmt.Errorf("poseidon: negative snapshot interval %d", n))
+	}
+	b.snapEvery = n
+	return b
+}
+
 // CollectMetrics attaches a runtime metrics registry: per-parameter
 // wire traffic, sync stalls, KV rounds, replan events, membership
 // epoch. TCP sessions additionally meter frame-level wire totals.
@@ -286,6 +302,16 @@ func (b *Builder) Build() (*Session, error) {
 	}
 
 	s := &Session{cfg: cfg}
+	if b.snapEvery > 0 {
+		// The store captures off the training barrier; Latest/Snapshots
+		// read from it without touching the run.
+		st := snapshot.NewStore(cfg.BuildNet, cfg.Seed)
+		s.store = st
+		s.cfg.SnapshotEvery = b.snapEvery
+		s.cfg.OnSnapshot = func(ev train.SnapshotEvent) {
+			st.Capture(ev.Iter, ev.Epoch, ev.Params)
+		}
+	}
 	if cfg.View.Size() > 0 {
 		s.view = cfg.View.Clone()
 	} else {
@@ -311,7 +337,9 @@ func (b *Builder) Build() (*Session, error) {
 	switch {
 	case b.mesh != nil:
 		s.mesh = b.mesh
+		s.cfg.SnapshotRank = b.mesh.Self()
 	case b.tcp != nil:
+		s.cfg.SnapshotRank = b.tcp.id
 		opts := b.tcp.opts
 		if s.metrics != nil && opts.OnCopy == nil {
 			opts.OnCopy = s.metrics.Wire().CountCopied
@@ -341,6 +369,7 @@ func (b *Builder) Build() (*Session, error) {
 			s.mesh = transport.NewMeteredMesh(tcp, s.metrics.Wire())
 		}
 	case b.shm != nil:
+		s.cfg.SnapshotRank = b.shm.id
 		opts := b.shm.opts
 		if s.metrics != nil && opts.OnCopy == nil {
 			opts.OnCopy = s.metrics.Wire().CountCopied
@@ -374,15 +403,22 @@ type Session struct {
 	mesh     transport.Mesh // nil for in-process sessions
 	ownsMesh bool
 	metrics  *metrics.Comm
+	store    *snapshot.Store // nil unless SnapshotEvery was set
 
 	viewMu sync.Mutex
 	view   cluster.View
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // View returns the current membership view: the initial one before the
 // run starts, then each committed successor as membership barriers
 // resolve. Fixed-size sessions report the full mesh at epoch 0 forever.
 func (s *Session) View() View {
+	if s == nil {
+		return View{}
+	}
 	s.viewMu.Lock()
 	defer s.viewMu.Unlock()
 	return s.view.Clone()
@@ -400,15 +436,39 @@ func (s *Session) Workers() int { return s.cfg.Workers }
 // for in-process sessions). On error in a TCP session, skip Close so
 // surviving peers see the link die rather than a clean goodbye they
 // could mistake for normal shutdown.
-func (s *Session) Run() (*Result, error) {
+func (s *Session) Run() (*Result, error) { return s.RunContext(context.Background()) }
+
+// RunContext executes the session like Run but stops early — cleanly,
+// through the round barrier's abort path — when ctx is canceled, so a
+// server can keep training in a goroutine and still shut it down. A
+// canceled run returns ctx.Err(). When the run ends for any reason the
+// snapshot store stops publishing; Latest keeps serving the final
+// capture.
+func (s *Session) RunContext(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	cfg.Stop = ctx.Done()
+	res, err := s.runOne(cfg)
+	if err != nil && ctx.Err() != nil {
+		err = ctx.Err()
+	}
+	return res, err
+}
+
+func (s *Session) runOne(cfg train.Config) (*Result, error) {
+	if s.store != nil {
+		defer s.store.Close()
+	}
 	if s.mesh == nil {
-		results, err := train.RunOverAll(s.cfg, s.inProcessMeshes())
+		results, err := train.RunOverAll(cfg, s.inProcessMeshes())
 		if err != nil {
 			return nil, err
 		}
 		return results[0], nil
 	}
-	return train.RunWorker(s.cfg, s.mesh)
+	return train.RunWorker(cfg, s.mesh)
 }
 
 // inProcessMeshes builds the channel cluster an in-process session
@@ -437,30 +497,81 @@ func (s *Session) RunAll() ([]*Result, error) {
 	if s.mesh != nil {
 		return nil, fmt.Errorf("poseidon: RunAll needs an in-process session")
 	}
+	if s.store != nil {
+		defer s.store.Close()
+	}
 	return train.RunOverAll(s.cfg, s.inProcessMeshes())
+}
+
+// Latest returns the most recent snapshot the run has captured, or nil
+// before the first barrier capture (or when SnapshotEvery was never
+// set). Safe to call concurrently with the run and after it ends; no
+// retain discipline is needed to predict from the result.
+func (s *Session) Latest() *Snapshot {
+	if s == nil || s.store == nil {
+		return nil
+	}
+	return s.store.Latest()
+}
+
+// closedSnapshots serves Snapshots() on sessions that never capture:
+// ranging over it ends immediately instead of blocking forever.
+var closedSnapshots = func() chan *Snapshot {
+	ch := make(chan *Snapshot)
+	close(ch)
+	return ch
+}()
+
+// Snapshots returns the capture subscription: every barrier capture in
+// order, conflating to the newest when the consumer lags, closed when
+// the run ends. Without SnapshotEvery the channel is already closed.
+func (s *Session) Snapshots() <-chan *Snapshot {
+	if s == nil || s.store == nil {
+		return closedSnapshots
+	}
+	return s.store.Snapshots()
 }
 
 // Metrics returns the session's live metrics registry (nil unless
 // CollectMetrics was set) — SnapshotIter for progress lines, Snapshot
 // for the final report.
-func (s *Session) Metrics() *metrics.Comm { return s.metrics }
+func (s *Session) Metrics() *metrics.Comm {
+	if s == nil {
+		return nil
+	}
+	return s.metrics
+}
 
 // MetricsSnapshot freezes the runtime counters; ok is false when the
 // session collects none.
 func (s *Session) MetricsSnapshot() (metrics.CommSnapshot, bool) {
-	if s.metrics == nil {
+	if s == nil || s.metrics == nil {
 		return metrics.CommSnapshot{}, false
 	}
 	return s.metrics.Snapshot(), true
 }
 
-// Close releases the session's transport (the graceful TCP goodbye).
-// In-process sessions hold nothing. Idempotent.
+// Close releases the session's transport (the graceful TCP goodbye)
+// and ends the snapshot subscription. In-process sessions hold no
+// transport. Idempotent, and a safe no-op on a nil session — so
+//
+//	sess, err := b.Build()
+//	defer sess.Close()
+//
+// is correct even when Build failed.
 func (s *Session) Close() error {
-	if s.mesh != nil && s.ownsMesh {
-		return s.mesh.Close()
+	if s == nil {
+		return nil
 	}
-	return nil
+	s.closeOnce.Do(func() {
+		if s.store != nil {
+			s.store.Close()
+		}
+		if s.mesh != nil && s.ownsMesh {
+			s.closeErr = s.mesh.Close()
+		}
+	})
+	return s.closeErr
 }
 
 // ParseRouteOverrides parses the worker's -route flag syntax:

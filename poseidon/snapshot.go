@@ -1,0 +1,43 @@
+package poseidon
+
+import (
+	"io"
+
+	"repro/internal/snapshot"
+)
+
+// Snapshot is one immutable captured replica, versioned by the
+// iteration barrier it was taken at and the membership epoch it was
+// taken under. Sessions built with SnapshotEvery produce them at round
+// barriers; Latest and Snapshots hand them out, and any goroutine may
+// Predict from one while training continues — the parameter bytes are
+// written once at capture and never mutated.
+//
+// Snapshots persist in the repo's one parameter-snapshot format ("PSN2";
+// legacy "PSN1" files without the epoch field still decode): all fields
+// little-endian uint32 —
+//
+//	magic "PSN2", iter, epoch, tensor count,
+//	then per tensor: element count + elements as float32 bit patterns.
+//
+// Snapshot.WriteFile / Snapshot.WriteTo write it; ReadSnapshot /
+// ReadSnapshotFrom read it. The same files feed the worker's
+// -snapshot-out / -load-params flags and poseidon-serve's
+// -final-snapshot.
+type Snapshot = snapshot.Model
+
+// NewSnapshot wraps already-captured parameter tensors (row-major
+// float32, Network.Params order) as a snapshot. The snapshot takes
+// ownership of params; the caller must not mutate them afterwards.
+// Predict requires Bind with the model builder the tensors came from.
+func NewSnapshot(iter, epoch int, params [][]float32) *Snapshot {
+	return snapshot.New(iter, epoch, params)
+}
+
+// ReadSnapshot decodes the parameter snapshot stored at path. The
+// result is unbound — call Bind with the originating ModelBuilder and
+// seed before predicting from it; Iter and Params work immediately.
+func ReadSnapshot(path string) (*Snapshot, error) { return snapshot.ReadFile(path) }
+
+// ReadSnapshotFrom decodes a parameter snapshot from r.
+func ReadSnapshotFrom(r io.Reader) (*Snapshot, error) { return snapshot.Read(r) }

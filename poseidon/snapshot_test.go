@@ -1,0 +1,359 @@
+package poseidon
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// TestSessionSnapshots: a session with SnapshotEvery captures at every
+// barrier multiple plus the drain, Latest serves the final replica, and
+// the Snapshots channel closes when the run ends.
+func TestSessionSnapshots(t *testing.T) {
+	sess, err := sessionBuilder().SnapshotEvery(4).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Latest() != nil {
+		t.Fatal("Latest non-nil before the run")
+	}
+
+	var got []*Snapshot
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for m := range sess.Snapshots() {
+			got = append(got, m)
+		}
+	}()
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-collected
+
+	last := sess.Latest()
+	if last == nil || last.Iter() != 12 || last.Epoch() != 0 {
+		t.Fatalf("Latest = iter %d epoch %d, want 12, 0", last.Iter(), last.Epoch())
+	}
+	if len(got) == 0 || got[len(got)-1] != last {
+		t.Fatalf("channel delivered %d snapshots; newest must be Latest", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Iter() <= got[i-1].Iter() {
+			t.Fatalf("snapshots out of order: %d then %d", got[i-1].Iter(), got[i].Iter())
+		}
+	}
+
+	// The drain capture is the run's final replica, byte for byte.
+	final := res.Final.Params()
+	caught := last.Params()
+	if len(final) != len(caught) {
+		t.Fatalf("%d captured tensors, result has %d", len(caught), len(final))
+	}
+	for i, p := range final {
+		for j, v := range p.Data {
+			if caught[i][j] != v {
+				t.Fatalf("tensor %d value %d: captured %v, result %v", i, j, caught[i][j], v)
+			}
+		}
+	}
+
+	// And it predicts: the served architecture matches the trained one.
+	x := tensor.NewMatrix(2, last.Features())
+	probs, err := last.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs.Rows != 2 || probs.Cols != last.Classes() {
+		t.Fatalf("prediction shape %dx%d, want 2x%d", probs.Rows, probs.Cols, last.Classes())
+	}
+}
+
+// TestSessionCloseSafety is the regression for the nil-session and
+// double-Close crashes: every failure-path idiom a caller writes around
+// Build must be a safe no-op.
+func TestSessionCloseSafety(t *testing.T) {
+	// defer sess.Close() after a failed Build — sess is nil.
+	sess, err := NewSession().Build()
+	if err == nil {
+		t.Fatal("empty builder must fail Build")
+	}
+	if cerr := sess.Close(); cerr != nil {
+		t.Fatalf("Close on nil session: %v", cerr)
+	}
+	if sess.Latest() != nil || sess.Metrics() != nil {
+		t.Fatal("nil-session accessors must return zero values")
+	}
+	if v := sess.View(); v.Size() != 0 {
+		t.Fatalf("nil-session View = %+v", v)
+	}
+	if _, ok := sess.MetricsSnapshot(); ok {
+		t.Fatal("nil session claims metrics")
+	}
+	select {
+	case _, open := <-sess.Snapshots():
+		if open {
+			t.Fatal("nil-session Snapshots delivered a value")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("nil-session Snapshots must be closed, not blocking")
+	}
+
+	// Double Close on a real session.
+	real, err := sessionBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := real.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := real.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := real.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// A snapshot-less session's Snapshots channel is closed, not nil.
+	select {
+	case _, open := <-real.Snapshots():
+		if open {
+			t.Fatal("snapshot-less Snapshots delivered a value")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("snapshot-less Snapshots must be closed, not blocking")
+	}
+}
+
+// TestRunContextCancel: a canceled context stops the run cleanly at the
+// round barrier and surfaces ctx.Err, not a transport error.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	sess, err := sessionBuilder().
+		Iterations(100000).
+		OnProgress(func(p Point) {
+			if p.Iter >= 3 {
+				once.Do(cancel)
+			}
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.RunContext(ctx)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not stop after cancel")
+	}
+
+	// A pre-canceled context never starts the run.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := sess.RunContext(pre); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled run returned %v", err)
+	}
+}
+
+// snapshotBytes freezes a snapshot's full encoding for byte-stability
+// comparisons.
+func snapshotBytes(t *testing.T, m *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestHeldSnapshotStableAcrossElasticLeave: a snapshot handed out
+// before a membership change must stay byte-stable and keep predicting
+// identically while the cluster re-forms, re-shards, and trains on —
+// the serving plane's immutability contract under churn.
+func TestHeldSnapshotStableAcrossElasticLeave(t *testing.T) {
+	const n = 3
+	cl := transport.NewElasticChanCluster(n)
+	full := data.Synthetic(101, 640, 4, 1, 4, 4, 0.3)
+	trainSet, _ := full.Split(512)
+
+	mkSession := func(rank int) *Builder {
+		return NewSession().
+			Mesh(cl.Endpoint(rank)).
+			Iterations(10).Batch(2).LearningRate(0.05).Seed(14).
+			Model(mlp()).
+			Data(trainSet, nil).
+			Elastic(true)
+	}
+	sessions := make([]*Session, n)
+	for r := 0; r < n; r++ {
+		b := mkSession(r)
+		if r == 0 {
+			b.SnapshotEvery(2)
+		}
+		if r == 2 {
+			b.LeaveAt(5)
+		}
+		sess, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[r] = sess
+	}
+
+	// Hold the first capture as soon as it appears, mid-run.
+	type held struct {
+		m     *Snapshot
+		bytes []byte
+		probs *tensor.Matrix
+	}
+	x := tensor.NewMatrix(3, 16)
+	rng := rand.New(rand.NewSource(7))
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	heldCh := make(chan held, 1)
+	go func() {
+		m := <-sessions[0].Snapshots()
+		if m == nil {
+			heldCh <- held{}
+			return
+		}
+		var h held
+		h.m = m.Retain()
+		var buf bytes.Buffer
+		m.WriteTo(&buf)
+		h.bytes = buf.Bytes()
+		h.probs, _ = m.Predict(x)
+		heldCh <- h
+	}()
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[r] = sessions[r].Run()
+		}()
+	}
+	wg.Wait()
+	cl.Close()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", r, err)
+		}
+	}
+
+	h := <-heldCh
+	if h.m == nil {
+		t.Fatal("no snapshot captured before the view change")
+	}
+	if h.m.Epoch() != 0 {
+		t.Fatalf("first capture epoch %d, want 0", h.m.Epoch())
+	}
+	// The cluster re-formed behind it: the latest capture is epoch 1.
+	last := sessions[0].Latest()
+	if last.Epoch() != 1 || last.Iter() != 10 {
+		t.Fatalf("latest capture iter %d epoch %d, want 10, 1", last.Iter(), last.Epoch())
+	}
+	if bytes.Equal(h.bytes, snapshotBytes(t, last)) {
+		t.Fatal("training apparently stalled: final capture identical to the first")
+	}
+	// The held snapshot did not move: same bytes, same predictions.
+	if !bytes.Equal(h.bytes, snapshotBytes(t, h.m)) {
+		t.Fatal("held snapshot's encoding changed across the view change")
+	}
+	probs, err := h.m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range probs.Data {
+		if h.probs.Data[i] != v {
+			t.Fatalf("held snapshot prediction %d drifted: %v → %v", i, h.probs.Data[i], v)
+		}
+	}
+	h.m.Release()
+}
+
+// TestHeldSnapshotStableAcrossReplan: same contract across a
+// measured-bandwidth replan — routes flip mid-run (PR 5 protocol), the
+// held snapshot must not notice.
+func TestHeldSnapshotStableAcrossReplan(t *testing.T) {
+	sess, err := sessionBuilder().
+		Bandwidth(100e3).
+		Replan(ReplanSpec{Every: 6, Alpha: 1}).
+		SnapshotEvery(3).
+		CollectMetrics().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	x := tensor.NewMatrix(2, 16)
+	rng := rand.New(rand.NewSource(8))
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	type held struct {
+		m     *Snapshot
+		bytes []byte
+		probs *tensor.Matrix
+	}
+	heldCh := make(chan held, 1)
+	go func() {
+		m := <-sess.Snapshots() // iter 3, before the iter-6 replan
+		var h held
+		h.m = m
+		var buf bytes.Buffer
+		m.WriteTo(&buf)
+		h.bytes = buf.Bytes()
+		h.probs, _ = m.Predict(x)
+		heldCh <- h
+	}()
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := sess.MetricsSnapshot()
+	if len(snap.ReplanEvents) < 1 {
+		t.Fatal("run never replanned; the churn this test needs did not happen")
+	}
+
+	h := <-heldCh
+	if h.m.Iter() != 3 {
+		t.Fatalf("held capture iter %d, want 3 (before the replan)", h.m.Iter())
+	}
+	if !bytes.Equal(h.bytes, snapshotBytes(t, h.m)) {
+		t.Fatal("held snapshot's encoding changed across the replan")
+	}
+	probs, err := h.m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range probs.Data {
+		if h.probs.Data[i] != v {
+			t.Fatalf("held snapshot prediction %d drifted: %v → %v", i, h.probs.Data[i], v)
+		}
+	}
+}

@@ -17,7 +17,7 @@
 //	go test -bench BenchmarkWirePathAlloc -benchtime 3x ./internal/comm | tee out.txt
 //	bench-trend -go-bench out.txt -alloc-budget 'BenchmarkWirePathAlloc=16'
 //
-// Three gates compose over one -go-bench file:
+// The gates compose over one -go-bench file:
 //
 //   - -alloc-budget 'Name=N':     allocs/op at most N
 //   - -copy-budget 'Name=N':      copiedB/frame at most N (the custom
@@ -26,6 +26,9 @@
 //     writev path never copies payloads)
 //   - -mbps-ratio 'A/B>=X':       benchmark A's MB/s at least X times
 //     benchmark B's (e.g. the shm ring at least 2x loopback TCP)
+//   - -byte-ratio 'A/B<=X':       benchmark A's egressB/op at most X
+//     times benchmark B's (e.g. the ring all-reduce's measured cluster
+//     egress never above the chunked-PS baseline on the same tensor)
 //
 // A budgeted benchmark missing from the output fails too — a renamed
 // benchmark must not silently disarm its gate.
@@ -307,10 +310,65 @@ func gateRatios(measured map[string]map[string]metricReading, gates []ratioGate)
 	return bad
 }
 
+// byteRatioGate demands benchmark Num's measured egress be at most Max
+// times benchmark Den's — the collective gate: the ring benchmark's
+// egressB/op must not exceed the chunked-PS twin's on the same shape.
+type byteRatioGate struct {
+	Num, Den string
+	Max      float64
+}
+
+// parseByteRatioGates parses the -byte-ratio flag: comma-separated
+// 'A/B<=X' specs over the benchmarks' egressB/op readings.
+func parseByteRatioGates(s string) ([]byteRatioGate, error) {
+	var out []byteRatioGate
+	for _, spec := range strings.Split(s, ",") {
+		lhs, maxStr, ok := strings.Cut(strings.TrimSpace(spec), "<=")
+		if !ok {
+			return nil, fmt.Errorf("byte ratio %q is not A/B<=X", spec)
+		}
+		num, den, ok := strings.Cut(lhs, "/")
+		if !ok || num == "" || den == "" {
+			return nil, fmt.Errorf("byte ratio %q: left side is not A/B", spec)
+		}
+		maxV, err := strconv.ParseFloat(maxStr, 64)
+		if err != nil || maxV <= 0 {
+			return nil, fmt.Errorf("byte ratio %q: bad threshold %q", spec, maxStr)
+		}
+		out = append(out, byteRatioGate{Num: strings.TrimSpace(num), Den: strings.TrimSpace(den), Max: maxV})
+	}
+	return out, nil
+}
+
+// gateByteRatios checks each egress ratio against the measured
+// egressB/op, taking each side's worst case for an upper bound (the
+// numerator's largest reading over the denominator's smallest). A side
+// without the metric fails the gate.
+func gateByteRatios(measured map[string]map[string]metricReading, gates []byteRatioGate) []string {
+	var bad []string
+	for _, g := range gates {
+		numRd, numOK := measured[g.Num]["egressB/op"]
+		denRd, denOK := measured[g.Den]["egressB/op"]
+		if !numOK || !denOK {
+			for name, ok := range map[string]bool{g.Num: numOK, g.Den: denOK} {
+				if !ok {
+					bad = append(bad, fmt.Sprintf("%s: no egressB/op in bench output (renamed? metric dropped?)", name))
+				}
+			}
+			continue
+		}
+		if ratio := numRd.Max / denRd.Min; ratio > g.Max {
+			bad = append(bad, fmt.Sprintf("%s/%s = %.4f (%.0f / %.0f egressB/op), above allowed %.4f",
+				g.Num, g.Den, ratio, numRd.Max, denRd.Min, g.Max))
+		}
+	}
+	return bad
+}
+
 // runGoBenchGates applies every requested absolute gate — allocation,
-// bytes-copied, p99 latency, throughput ratio — to one `go test -bench`
-// output file.
-func runGoBenchGates(benchPath, allocSpec, copySpec, p99Spec, ratioSpec string) int {
+// bytes-copied, p99 latency, throughput ratio, egress-byte ratio — to
+// one `go test -bench` output file.
+func runGoBenchGates(benchPath, allocSpec, copySpec, p99Spec, ratioSpec, byteRatioSpec string) int {
 	f, err := os.Open(benchPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
@@ -389,8 +447,24 @@ func runGoBenchGates(benchPath, allocSpec, copySpec, p99Spec, ratioSpec string) 
 		bad = append(bad, gateRatios(metrics, ratios)...)
 		gates++
 	}
+	if byteRatioSpec != "" {
+		ratios, err := parseByteRatioGates(byteRatioSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
+			return 1
+		}
+		for _, g := range ratios {
+			if n, ok := metrics[g.Num]["egressB/op"]; ok {
+				if d, ok := metrics[g.Den]["egressB/op"]; ok {
+					fmt.Printf("bench-trend: %s/%s = %.4f (want <= %.4f)\n", g.Num, g.Den, n.Max/d.Min, g.Max)
+				}
+			}
+		}
+		bad = append(bad, gateByteRatios(metrics, ratios)...)
+		gates++
+	}
 	if gates == 0 {
-		fmt.Fprintln(os.Stderr, "bench-trend: -go-bench needs at least one of -alloc-budget, -copy-budget, -p99-budget, -mbps-ratio")
+		fmt.Fprintln(os.Stderr, "bench-trend: -go-bench needs at least one of -alloc-budget, -copy-budget, -p99-budget, -mbps-ratio, -byte-ratio")
 		return 1
 	}
 	if len(bad) > 0 {
@@ -423,10 +497,11 @@ func main() {
 	copyBudget := flag.String("copy-budget", "", "comma-separated name=N maximum copiedB/frame, used with -go-bench")
 	p99Budget := flag.String("p99-budget", "", "comma-separated name=N maximum p99 latency in milliseconds, used with -go-bench")
 	mbpsRatio := flag.String("mbps-ratio", "", "comma-separated 'A/B>=X' minimum MB/s ratios between benchmarks, used with -go-bench")
+	byteRatio := flag.String("byte-ratio", "", "comma-separated 'A/B<=X' maximum egressB/op ratios between benchmarks, used with -go-bench")
 	flag.Parse()
 
 	if *goBench != "" {
-		os.Exit(runGoBenchGates(*goBench, *allocBudget, *copyBudget, *p99Budget, *mbpsRatio))
+		os.Exit(runGoBenchGates(*goBench, *allocBudget, *copyBudget, *p99Budget, *mbpsRatio, *byteRatio))
 	}
 
 	next, err := load(*newPath)

@@ -47,6 +47,8 @@ BenchmarkSendBatchTCP-8             	       3	    500000 ns/op	    1164 MB/s	   
 BenchmarkSendBatchSHM-8             	       3	    250000 ns/op	    2910 MB/s	      4117.00 copiedB/frame	       0 allocs/op
 BenchmarkNoAllocsReported-8         	       3	    500000 ns/op
 BenchmarkPredictMicroBatch-8        	     300	   1103846 ns/op	         1.37 p99-ms	       0 allocs/op
+BenchmarkRingAllReduce-8            	      50	   5996364 ns/op	     699.47 MB/s	   7342832 egressB/op	       5 allocs/op
+BenchmarkPSFatFC-8                  	      50	   5551529 ns/op	     755.52 MB/s	   7362432 egressB/op	      95 allocs/op
 PASS
 `
 
@@ -183,6 +185,46 @@ func TestGateRatios(t *testing.T) {
 		t.Fatalf("missing numerator not flagged: %v", bad)
 	}
 	if bad := gateRatios(metrics, []ratioGate{{Num: "BenchmarkSendBatchSHM", Den: "BenchmarkNoAllocsReported", Min: 2.0}}); len(bad) != 1 {
+		t.Fatalf("missing denominator not flagged: %v", bad)
+	}
+}
+
+func TestParseByteRatioGates(t *testing.T) {
+	gates, err := parseByteRatioGates("BenchmarkRingAllReduce/BenchmarkPSFatFC<=1.0")
+	if err != nil || len(gates) != 1 {
+		t.Fatalf("parsed %v, %v", gates, err)
+	}
+	g := gates[0]
+	if g.Num != "BenchmarkRingAllReduce" || g.Den != "BenchmarkPSFatFC" || g.Max != 1.0 {
+		t.Fatalf("gate = %+v", g)
+	}
+	for _, bad := range []string{"nonsense", "a/b<=x", "ab<=2", "/b<=2", "a/<=2", "a/b<=0", "a/b>=1"} {
+		if _, err := parseByteRatioGates(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+func TestGateByteRatios(t *testing.T) {
+	metrics, err := parseGoBenchMetrics(bufio.NewScanner(strings.NewReader(sampleBenchOut)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringOverPS := func(max float64) []byteRatioGate {
+		return []byteRatioGate{{Num: "BenchmarkRingAllReduce", Den: "BenchmarkPSFatFC", Max: max}}
+	}
+	// 7342832/7362432 = 0.9973: passes <=1.0, fails <=0.99.
+	if bad := gateByteRatios(metrics, ringOverPS(1.0)); len(bad) != 0 {
+		t.Fatalf("passing ratio flagged: %v", bad)
+	}
+	if bad := gateByteRatios(metrics, ringOverPS(0.99)); len(bad) != 1 {
+		t.Fatalf("failing ratio not flagged: %v", bad)
+	}
+	// Either side missing its egressB/op reading fails the gate.
+	if bad := gateByteRatios(metrics, []byteRatioGate{{Num: "BenchmarkGone", Den: "BenchmarkPSFatFC", Max: 1.0}}); len(bad) != 1 {
+		t.Fatalf("missing numerator not flagged: %v", bad)
+	}
+	if bad := gateByteRatios(metrics, []byteRatioGate{{Num: "BenchmarkRingAllReduce", Den: "BenchmarkNoAllocsReported", Max: 1.0}}); len(bad) != 1 {
 		t.Fatalf("missing denominator not flagged: %v", bad)
 	}
 }

@@ -17,7 +17,8 @@ import (
 // the bandwidth-aware cost model the per-frame overhead then dominates
 // and the fat FC tensor starts on the PS), the cluster measures its
 // real wire rate over epoch 1 and re-plans at the iteration-6 barrier.
-// It must (a) flip ≥1 route PS→SFB, recorded in every worker's METRICS
+// It must (a) flip ≥1 route off the PS (onto SFB or ring, whichever the
+// measured rate favors), recorded in every worker's METRICS
 // JSON, (b) keep loss parity to 1e-6 against the identical run with
 // replanning disabled, (c) keep byte-identical final replicas, and
 // (d) move strictly fewer egress bytes than the static run.
@@ -30,8 +31,13 @@ func TestReplanAdaptsToMeasuredBandwidth(t *testing.T) {
 		t.Helper()
 		args := []string{
 			"-worker", filepath.Join(bin, "poseidon-worker"),
+			// Batch 4 keeps SFB's K·(M+N) factor payload under the ring
+			// collective's M·N/P segments for the fat FC, so the measured
+			// flip lands on SFB (a real wire saving — ring's dense segments
+			// tie the sharded PS on data bytes and cannot save measured
+			// egress) while the conv layers flip to ring on the slow link.
 			"-n", fmt.Sprint(workers), "-iters", fmt.Sprint(iters),
-			"-batch", "8", "-lr", "0.1", "-seed", fmt.Sprint(seed),
+			"-batch", "4", "-lr", "0.1", "-seed", fmt.Sprint(seed),
 			"-autoplan", "-metrics-dump", "-dump-losses", "-print-every", "0",
 			"-timeout", "3m",
 			// The wrong claim: 1 GB/s. With a 20 µs frame overhead the
@@ -63,8 +69,11 @@ func TestReplanAdaptsToMeasuredBandwidth(t *testing.T) {
 	staticSnaps := parseMetrics(t, staticOut, workers)
 	replanSnaps := parseMetrics(t, replanOut, workers)
 
-	// (a) ≥1 PS→SFB flip at the epoch-1 barrier, identically on every
-	// worker.
+	// (a) ≥1 flip off the mis-planned PS at the epoch-1 barrier,
+	// identically on every worker. The destination depends on the
+	// measured rate: SFB and ring both beat the PS's full-matrix push,
+	// and which of the two wins varies with the wire speed the epoch
+	// actually saw.
 	for id := 0; id < workers; id++ {
 		if len(staticSnaps[id].ReplanEvents) != 0 {
 			t.Fatalf("worker %d: static run logged replan events: %+v", id, staticSnaps[id].ReplanEvents)
@@ -76,12 +85,12 @@ func TestReplanAdaptsToMeasuredBandwidth(t *testing.T) {
 		}
 		flipped := false
 		for _, e := range events {
-			if e.From == "PS" && e.To == "SFB" && e.Iter == 6 {
+			if e.From == "PS" && (e.To == "SFB" || e.To == "ring") && e.Iter == 6 {
 				flipped = true
 			}
 		}
 		if !flipped {
-			t.Fatalf("worker %d: no PS→SFB flip at the epoch-1 barrier: %+v", id, events)
+			t.Fatalf("worker %d: no PS→SFB/ring flip at the epoch-1 barrier: %+v", id, events)
 		}
 		if fmt.Sprint(events) != fmt.Sprint(replanSnaps[0].ReplanEvents) {
 			t.Fatalf("workers disagree on replan events:\nw0: %+v\nw%d: %+v",

@@ -63,7 +63,7 @@ func RegisterCommon(fs *flag.FlagSet) *Common {
 	fs.IntVar(&c.MaxFrame, "max-frame", 0, "cap on a single frame body in bytes (0 = transport default)")
 	fs.BoolVar(&c.Autoplan, "autoplan", false, "route every tensor through the paper's cost model (Algorithm 1, overrides -mode with hybrid policy) and print one PLAN line per parameter")
 	fs.BoolVar(&c.MetricsDump, "metrics-dump", false, "after training, print a machine-readable 'METRICS <json>' snapshot of the live comm counters")
-	fs.StringVar(&c.Route, "route", "", "explicit per-parameter scheme overrides, e.g. '2=ps,5=sfb' (index=ps|sfb|1bit); trumps the planner policy")
+	fs.StringVar(&c.Route, "route", "", "explicit per-parameter scheme overrides, e.g. '2=ps,5=ring' (index=ps|sfb|1bit|ring|treering); trumps the planner policy")
 	fs.Float64Var(&c.BW, "bw", 0, "initial link-bandwidth estimate in bytes/sec; makes Algorithm 1 bandwidth-aware (0 = byte-count-only cost model)")
 	fs.IntVar(&c.ReplanEvery, "replan-every", 0, "re-measure the wire rate and re-run Algorithm 1 every this many iterations (0 = off)")
 	fs.Float64Var(&c.ReplanAlpha, "replan-alpha", 0, "EWMA weight of the newest bandwidth observation, 0<a<=1 (0 = default)")

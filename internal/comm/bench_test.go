@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 )
@@ -101,3 +102,96 @@ func BenchmarkWirePathAlloc(b *testing.B) {
 		}
 	}
 }
+
+// benchCollective measures one dense fat-FC tensor (512×256, the shape
+// where the e2e suite proves the ring's byte win) synchronized by the
+// given route on an 8-node in-process mesh. One op = one cluster-wide
+// iteration. Three numbers matter: allocs/op (the collectives recycle
+// rounds and lease payloads, so the steady state must stay O(1) like
+// the wire path), MB/s (aggregate gradient payload through the
+// cluster), and egressB/op (measured cluster egress including frame
+// headers — the quantity the bench-trend byte gate compares between
+// the ring and PS twins).
+func benchCollective(b *testing.B, route Route, chunkElems int) {
+	const n = 8
+	const rows, cols = 512, 256
+
+	meshes := transport.NewChanCluster(n)
+	routers := make([]*Router, n)
+	meters := make([]*metrics.Comm, n)
+	for node := 0; node < n; node++ {
+		meters[node] = metrics.NewComm()
+		r, err := NewRouter(Config{
+			Mesh: meshes[node],
+			Plans: []ParamPlan{
+				{Index: 0, Name: "fc.W", Rows: rows, Cols: cols, Route: route},
+			},
+			Params:     []*tensor.Matrix{tensor.NewMatrix(rows, cols)},
+			Scale:      1,
+			Overlap:    true,
+			ChunkElems: chunkElems,
+			Metrics:    meters[node],
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		routers[node] = r
+		r.Start()
+	}
+	defer func() {
+		meshes[0].Close()
+		for _, r := range routers {
+			r.Stop()
+		}
+	}()
+
+	b.ReportAllocs()
+	b.SetBytes(4 * rows * cols * n) // aggregate gradient payload per op
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for node := 0; node < n; node++ {
+		r := routers[node]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			params := []*tensor.Matrix{tensor.NewMatrix(rows, cols)}
+			grads := []*tensor.Matrix{tensor.NewMatrix(rows, cols)}
+			grads[0].Fill(1e-4)
+			for iter := 0; iter < b.N; iter++ {
+				r.WaitFor(iter)
+				r.Adopt(params)
+				if err := r.LaunchAll(iter, grads); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			r.WaitFor(b.N)
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	var egress int64
+	for _, r := range routers {
+		if err := r.Err(); err != nil {
+			b.Fatal(err)
+		}
+		egress += r.EgressBytes()
+	}
+	b.ReportMetric(float64(egress)/float64(b.N), "egressB/op")
+}
+
+// BenchmarkRingAllReduce is the collective the planner auto-selects for
+// fat dense tensors on slow links: 2(P−1) hops, (P−1)/P of the tensor
+// uploaded per worker.
+func BenchmarkRingAllReduce(b *testing.B) { benchCollective(b, RouteRing, 0) }
+
+// BenchmarkTreeRingAllReduce is the hierarchical override topology:
+// intra-group rings bridged by a leader chain.
+func BenchmarkTreeRingAllReduce(b *testing.B) { benchCollective(b, RouteTreeRing, 0) }
+
+// BenchmarkPSFatFC is the baseline the ring is gated against: the same
+// tensor through chunked KV pushes (64 chunks of 2048 values, so the
+// shards spread like a real deployment). Data bytes tie with the ring
+// by conservation; the ring's measured win is frame-header economy,
+// which is exactly what egressB/op captures.
+func BenchmarkPSFatFC(b *testing.B) { benchCollective(b, RoutePS, 2048) }

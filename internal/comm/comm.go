@@ -39,6 +39,15 @@ const (
 	// RouteOneBit pushes 1-bit quantized updates with residual feedback
 	// and double-sided quantized broadcasts (the CNTK baseline).
 	RouteOneBit
+	// RouteRing runs the bandwidth-optimal ring all-reduce: the tensor is
+	// split into P segments, each reduced along a fixed worker chain
+	// (reduce-scatter) and redistributed along the same ring
+	// (all-gather) — 2(P−1) frames per worker, perfectly balanced links.
+	RouteRing
+	// RouteTreeRing composes intra-group rings with an inter-group
+	// leader exchange — the two-level hierarchy for oversubscribed
+	// topologies where a flat ring would cross the slow fabric P times.
+	RouteTreeRing
 )
 
 // String names the route.
@@ -50,6 +59,10 @@ func (r Route) String() string {
 		return "SFB"
 	case RouteOneBit:
 		return "1bit"
+	case RouteRing:
+		return "ring"
+	case RouteTreeRing:
+		return "treering"
 	default:
 		return fmt.Sprintf("route(%d)", int(r))
 	}

@@ -345,7 +345,10 @@ func TestRouterAbortPropagatesToPeers(t *testing.T) {
 }
 
 func TestRouteString(t *testing.T) {
-	for r, want := range map[Route]string{RoutePS: "PS", RouteSFB: "SFB", RouteOneBit: "1bit"} {
+	for r, want := range map[Route]string{
+		RoutePS: "PS", RouteSFB: "SFB", RouteOneBit: "1bit",
+		RouteRing: "ring", RouteTreeRing: "treering",
+	} {
 		if r.String() != want {
 			t.Fatalf("%d → %q, want %q", int(r), r.String(), want)
 		}

@@ -388,6 +388,12 @@ func (r *Router) buildSyncer(plan ParamPlan, initial *tensor.Matrix) (Syncer, er
 		return newSFBSyncer(r, plan, r.bank)
 	case RouteOneBit:
 		return newOneBitSyncer(r, plan, initial), nil
+	case RouteRing:
+		// No server-side state to seed: the collective reduces into the
+		// staged replica directly, which already holds initial.
+		return newRingSyncer(r, plan), nil
+	case RouteTreeRing:
+		return newTreeRingSyncer(r, plan), nil
 	default:
 		return nil, fmt.Errorf("comm: param %d: unknown route %v", plan.Index, plan.Route)
 	}
@@ -396,12 +402,14 @@ func (r *Router) buildSyncer(plan ParamPlan, initial *tensor.Matrix) (Syncer, er
 // initRingSlot (re)provisions the update ring's scratch for parameter i
 // according to its route: dense PS updates need one buffer per
 // admissible in-flight iteration (encode tasks read them
-// asynchronously), the 1-bit quantizer consumes its update
-// synchronously inside Launch so one shared buffer serves every slot,
-// and SFB derives its own payload (no buffer).
+// asynchronously), the ring collectives fold chain hops against the
+// update for the whole round (so they too need one buffer per in-flight
+// iteration), the 1-bit quantizer consumes its update synchronously
+// inside Launch so one shared buffer serves every slot, and SFB derives
+// its own payload (no buffer).
 func (r *Router) initRingSlot(i int, plan ParamPlan) {
 	switch plan.Route {
-	case RoutePS:
+	case RoutePS, RouteRing, RouteTreeRing:
 		for d := range r.updRing {
 			r.updRing[d][i] = tensor.NewMatrix(plan.Rows, plan.Cols)
 		}

@@ -31,6 +31,19 @@ const (
 	// OneBitPS pushes 1-bit quantized gradients through the PS (CNTK's
 	// strategy; modeled as a baseline, never chosen by BestScheme).
 	OneBitPS
+	// Ring runs the bandwidth-optimal ring all-reduce: each worker
+	// uploads 2·M·N·(P−1)/P values across 2(P−1) hops. Admitted by the
+	// bandwidth-aware rule only — in pure byte counts it ties or beats
+	// the PS on every shape, but its 2(P−1)-deep critical path loses on
+	// fast links and small tensors, which is exactly the trade a byte
+	// count cannot see.
+	Ring
+	// TreeRing composes intra-group rings (g = ⌈√P⌉ workers per group)
+	// with an inter-group leader chain: ~4(√P−1) hops instead of
+	// 2(P−1). A topology override for oversubscribed fabrics — the flat
+	// cost model has one bandwidth number and would otherwise always
+	// prefer it at scale, so it is never auto-selected.
+	TreeRing
 )
 
 // String names the scheme as in the paper.
@@ -44,6 +57,10 @@ func (s Scheme) String() string {
 		return "Adam"
 	case OneBitPS:
 		return "1bit"
+	case Ring:
+		return "ring"
+	case TreeRing:
+		return "treering"
 	default:
 		return fmt.Sprintf("scheme(%d)", int(s))
 	}
@@ -101,6 +118,35 @@ func AdamColocatedParams(m, n int64, c ClusterShape) int64 {
 	return int64(c.Workers-1) * (m*n + k*m + k*n)
 }
 
+// RingWorkerParams returns the ring all-reduce upload cost per worker:
+// 2·M·N·(P1−1)/P1 — the reduce-scatter's P1−1 uploads of M·N/P1 values
+// each, doubled to stay on the same both-directions convention as
+// Table 1's PS terms. The all-gather plays the server-broadcast role
+// and, like the PS pull, is not charged to the worker.
+func RingWorkerParams(m, n int64, c ClusterShape) int64 {
+	p := int64(c.Workers)
+	return 2 * m * n * (p - 1) / p
+}
+
+// treeGroups returns the two-level hierarchy shape for p workers:
+// groups of capacity g = ⌈√p⌉, and m = ⌈p/g⌉ groups.
+func treeGroups(p int) (g, m int) {
+	g = 1
+	for g*g < p {
+		g++
+	}
+	return g, (p + g - 1) / g
+}
+
+// TreeRingWorkerParams returns the tree/ring upload cost per worker:
+// the intra-group ring over g members plus the inter-group leader chain
+// over m groups amortized across the group —
+// 2·M·N·((g−1)/g + (m−1)/(g·m)).
+func TreeRingWorkerParams(m, n int64, c ClusterShape) int64 {
+	g, gm := treeGroups(c.Workers)
+	return 2*m*n*int64(g-1)/int64(g) + 2*m*n*int64(gm-1)/int64(g*gm)
+}
+
 // BestScheme implements Algorithm 1: for an FC layer, SFB wins when its
 // per-worker cost does not exceed the colocated PS cost; all other
 // layers (indecomposable gradients) go through the PS.
@@ -113,6 +159,13 @@ func BestScheme(l *nn.Layer, c ClusterShape) Scheme {
 // core behind BestScheme (layer descriptors, performance plane) and
 // Planner.SchemeFor (tensor specs, functional plane), so the two planes
 // can never disagree on a routing decision.
+//
+// The ring collectives are deliberately absent: in pure byte counts the
+// ring ties or beats the PS on every shape (its real trade is frame
+// depth, not bytes), so the byte-count rule would degenerate to
+// ring-everywhere. Rings are admitted only by the bandwidth-aware
+// comparison in Planner.SchemeFor, where their 2(P−1) critical path is
+// priced.
 func bestSchemeMN(m, n int64, sfCapable bool, c ClusterShape) Scheme {
 	if !sfCapable || c.Workers <= 1 {
 		return PS
@@ -140,11 +193,22 @@ func SchemeBytes(l *nn.Layer, s Scheme, c ClusterShape) int64 {
 // flip Algorithm 1's decision: on a slow link the byte term dominates
 // (SFB's smaller payload wins fat FC layers); on a fast link the
 // per-frame overhead dominates (the PS's single push wins them back).
+// The collectives pay per hop: a ring worker serializes 2(P1−1) frames
+// (reduce-scatter plus all-gather), the tree/ring 2(g−1)+2(m−1) across
+// its two levels — the depth term that lets the fast-link regime prefer
+// the PS's single fat push over the ring's many thin ones.
 func schemeFramesMN(s Scheme, c ClusterShape) float64 {
-	if s == SFB {
+	switch s {
+	case SFB:
 		return float64(c.Workers - 1)
+	case Ring:
+		return float64(2 * (c.Workers - 1))
+	case TreeRing:
+		g, m := treeGroups(c.Workers)
+		return float64(2*(g-1) + 2*(m-1))
+	default:
+		return 1 // PS, OneBitPS, AdamSF: one push to the owning server
 	}
-	return 1 // PS, OneBitPS, AdamSF: one push to the owning server
 }
 
 // schemeBytesMN is SchemeBytes on a bare M×N gradient shape.
@@ -161,6 +225,12 @@ func schemeBytesMN(m, n int64, sfCapable bool, s Scheme, c ClusterShape) int64 {
 			return 8*words + 16
 		}
 		return 4 * m * n
+	case Ring:
+		// Upload half of the Table 1 round trip at 4 bytes/value — the
+		// same egress-only convention as the PS's 4·M·N push.
+		return 2 * RingWorkerParams(m, n, c)
+	case TreeRing:
+		return 2 * TreeRingWorkerParams(m, n, c)
 	default:
 		return 4 * m * n
 	}

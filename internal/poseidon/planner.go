@@ -81,10 +81,10 @@ func LayerSpec(index int, l *nn.Layer) TensorSpec {
 type Decision struct {
 	Spec   TensorSpec
 	Scheme Scheme
-	// PSParams and SFBParams are Table 1's per-node parameter counts
-	// for the two candidate schemes (SFBParams is 0 for tensors that
-	// cannot ride SFB).
-	PSParams, SFBParams int64
+	// PSParams, SFBParams, and RingParams are Table 1's per-node
+	// parameter counts for the candidate schemes (SFBParams is 0 for
+	// tensors that cannot ride SFB).
+	PSParams, SFBParams, RingParams int64
 	// WireBytes is the per-worker egress per iteration under the chosen
 	// scheme.
 	WireBytes int64
@@ -199,17 +199,51 @@ func (p *Planner) schemeSeconds(t TensorSpec, s Scheme) float64 {
 	return float64(bytes)/p.bandwidth() + schemeFramesMN(s, p.Cluster)*p.FrameOverhead
 }
 
+// candidates returns the schemes Algorithm 1 may choose for one tensor
+// under the hybrid policy, in tie-break order (earlier wins on equal
+// modeled time, preserving the byte-rule's SFB-on-tie behavior). The
+// ring collective is a candidate for every tensor — it needs no
+// decomposable gradient — while TreeRing is override-only: the flat
+// cost model would always prefer it at scale, but its advantage exists
+// only on oversubscribed fabrics the model cannot see.
+func (t TensorSpec) candidates() []Scheme {
+	if t.SFCapable {
+		return []Scheme{SFB, PS, Ring}
+	}
+	return []Scheme{PS, Ring}
+}
+
+// argminSeconds returns the candidate with the smallest modeled
+// per-iteration time; earlier candidates win ties.
+func (p *Planner) argminSeconds(t TensorSpec, candidates []Scheme) Scheme {
+	best, bestSec := candidates[0], p.schemeSeconds(t, candidates[0])
+	for _, s := range candidates[1:] {
+		if sec := p.schemeSeconds(t, s); sec < bestSec {
+			best, bestSec = s, sec
+		}
+	}
+	return best
+}
+
 // SchemeFor returns the scheme for one tensor: explicit override first,
-// then the policy (Algorithm 1 under PolicyHybrid). Tensors that cannot
-// ride SFB — and any tensor on a single-worker cluster — go through the
-// PS regardless of policy. A bandwidth-aware planner compares modeled
-// seconds instead of bytes, so the choice tracks the link it actually
-// has (or believes it has, until Replan corrects the estimate).
+// then the policy (Algorithm 1 under PolicyHybrid). A single-worker
+// cluster always uses the PS (nothing to collect). A bandwidth-aware
+// hybrid planner compares modeled seconds across every candidate —
+// PS/SFB/Ring for decomposable gradients, PS/Ring otherwise — so the
+// choice tracks the link it actually has (or believes it has, until
+// Replan corrects the estimate); without a bandwidth estimate the
+// byte-count rule decides PS-vs-SFB exactly as before.
 func (p *Planner) SchemeFor(t TensorSpec) Scheme {
 	if s, ok := p.Overrides[t.Index]; ok {
 		return s
 	}
-	if !t.SFCapable || p.Cluster.Workers <= 1 {
+	if p.Cluster.Workers <= 1 {
+		return PS
+	}
+	if !t.SFCapable {
+		if p.Policy == PolicyHybrid && p.bandwidthAware() {
+			return p.argminSeconds(t, t.candidates())
+		}
 		return PS
 	}
 	switch p.Policy {
@@ -219,10 +253,7 @@ func (p *Planner) SchemeFor(t TensorSpec) Scheme {
 		return OneBitPS
 	default:
 		if p.bandwidthAware() {
-			if p.schemeSeconds(t, SFB) <= p.schemeSeconds(t, PS) {
-				return SFB
-			}
-			return PS
+			return p.argminSeconds(t, t.candidates())
 		}
 		return bestSchemeMN(int64(t.Rows), int64(t.Cols), true, p.Cluster)
 	}
@@ -233,7 +264,9 @@ func (p *Planner) SchemeFor(t TensorSpec) Scheme {
 // the preview and the executable plan always agree on override
 // feasibility.
 func checkScheme(t TensorSpec, s Scheme) error {
-	if !t.SFCapable && s != PS {
+	// The ring collectives reduce dense updates, so — like the PS — they
+	// are legal for every tensor; SFB and 1-bit need the factorization.
+	if !t.SFCapable && s != PS && s != Ring && s != TreeRing {
 		return fmt.Errorf("poseidon: param %d (%s): scheme %v needs a decomposable gradient", t.Index, t.Name, s)
 	}
 	if _, err := s.Route(); err != nil {
@@ -254,6 +287,9 @@ func (p *Planner) Decide(t TensorSpec) Decision {
 	d.PSParams = PSColocatedParams(m, n, p.Cluster)
 	if t.SFCapable && p.Cluster.Workers > 1 {
 		d.SFBParams = SFBWorkerParams(m, n, p.Cluster)
+	}
+	if p.Cluster.Workers > 1 {
+		d.RingParams = RingWorkerParams(m, n, p.Cluster)
 	}
 	d.WireBytes = schemeBytesMN(m, n, t.SFCapable, d.Scheme, p.Cluster)
 	if bw := p.bandwidth(); bw > 0 {
@@ -281,6 +317,10 @@ func (s Scheme) Route() (comm.Route, error) {
 		return comm.RouteSFB, nil
 	case OneBitPS:
 		return comm.RouteOneBit, nil
+	case Ring:
+		return comm.RouteRing, nil
+	case TreeRing:
+		return comm.RouteTreeRing, nil
 	default:
 		return 0, fmt.Errorf("poseidon: scheme %v has no comm route", s)
 	}
@@ -410,19 +450,31 @@ func (p *Planner) Replan(obs BandwidthObservation) []comm.ParamPlan {
 	}
 	changed := false
 	for i, t := range p.specs {
-		if _, pinned := p.Overrides[t.Index]; pinned || !t.SFCapable || p.Cluster.Workers <= 1 {
+		if _, pinned := p.Overrides[t.Index]; pinned || p.Cluster.Workers <= 1 {
 			continue
 		}
 		cur := p.routes[i]
-		if cur != PS && cur != SFB {
+		cands := t.candidates()
+		incumbent := false
+		for _, s := range cands {
+			incumbent = incumbent || s == cur
+		}
+		if !incumbent {
 			continue // baselines reached only via overrides; never re-decided
 		}
-		alt := SFB
-		if cur == SFB {
-			alt = PS
+		// The best challenger (minimum modeled time, candidate order
+		// breaking ties) must beat the incumbent by the hysteresis margin.
+		best, bestSec := cur, -1.0
+		for _, alt := range cands {
+			if alt == cur {
+				continue
+			}
+			if sec := p.schemeSeconds(t, alt); bestSec < 0 || sec < bestSec {
+				best, bestSec = alt, sec
+			}
 		}
-		if p.schemeSeconds(t, alt) < p.schemeSeconds(t, cur)*(1-hyst) {
-			p.routes[i] = alt
+		if bestSec >= 0 && bestSec < p.schemeSeconds(t, cur)*(1-hyst) {
+			p.routes[i] = best
 			changed = true
 		}
 	}
@@ -431,8 +483,8 @@ func (p *Planner) Replan(obs BandwidthObservation) []comm.ParamPlan {
 	}
 	plans, err := p.plansFromRoutes(p.specs, p.routes)
 	if err != nil {
-		// Unreachable: flips only move SF-capable tensors between PS and
-		// SFB, both always legal for them.
+		// Unreachable: flips only move tensors among their own candidate
+		// set, every member of which is legal for them.
 		panic(fmt.Sprintf("poseidon: Replan produced an illegal plan: %v", err))
 	}
 	return plans

@@ -53,6 +53,104 @@ func TestPlannerPinsZooDecisions(t *testing.T) {
 	}
 }
 
+// zooDecisions evaluates the bandwidth-aware hybrid planner for one
+// layer across a worker-count sweep and returns the scheme sequence.
+func zooDecisions(m *nn.Model, l *nn.Layer, scales []int, bw, ovh float64) []Scheme {
+	out := make([]Scheme, len(scales))
+	for i, w := range scales {
+		p := NewPlanner(PolicyHybrid, ClusterShape{Workers: w, Servers: w, Batch: m.BatchSize})
+		p.BytesPerSec = bw
+		p.FrameOverhead = ovh
+		out[i] = p.SchemeFor(LayerSpec(0, l))
+	}
+	return out
+}
+
+// The bandwidth-aware crossover table: on a 10 MB/s link with the
+// default 1 ms frame overhead, Algorithm 1's three-way PS/SFB/ring
+// comparison produces every regime the cost model predicts as the
+// cluster grows through N ∈ {8,16,32,64,128}:
+//
+//   - Fat FC layers start on SFB (factor bytes ≪ dense bytes) and the
+//     very largest cross to the ring once SFB's K(P−1)(M+N) factor
+//     traffic outgrows the ring's near-constant 2MN(P−1)/P (vgg19 fc6
+//     at P≈110, the 21841×4096 VGG19-22K classifier likewise).
+//   - Mid-sized FC layers cross SFB→PS instead: factor traffic grows
+//     with P while the dense push is flat, and the ring's 2(P−1) frame
+//     depth prices it out before its byte saving matters.
+//   - Big conv tensors (indecomposable, SFB ineligible) start on the
+//     ring — at small P its (P−1)/P byte discount on a slow link beats
+//     the extra hop overhead — and hand back to the PS as the frame
+//     depth grows linearly while the byte saving saturates.
+//   - Small tensors never leave the PS at any scale.
+//
+// The exact crossover points are pinned so any cost-model edit that
+// moves a boundary fails loudly here rather than silently re-routing
+// the zoo.
+func TestPlannerZooCrossoverTable(t *testing.T) {
+	const bw, ovh = 1e7, DefaultFrameOverheadSec
+	scales := []int{8, 16, 32, 64, 128}
+	cases := []struct {
+		model *nn.Model
+		layer string
+		want  []Scheme
+	}{
+		// 4096×25088: the paper's fattest FC layer. SFB until the factor
+		// traffic overtakes the ring's byte floor at P≈110.
+		{nn.VGG19(), "fc6", []Scheme{SFB, SFB, SFB, SFB, Ring}},
+		// 4096×4096: square enough that SFB's M+N stays cheap longer, but
+		// the crossover at P=128 lands on PS — the ring's 254 hops cost
+		// 254 ms against the dense push's 6.7 ms byte handicap.
+		{nn.VGG19(), "fc7", []Scheme{SFB, SFB, SFB, SFB, PS}},
+		// 1000×4096: thin classifier, SFB→PS at P=32.
+		{nn.VGG19(), "fc8", []Scheme{SFB, SFB, PS, PS, PS}},
+		// 21841×4096: the VGG19-22K classifier is fat enough to ride SFB
+		// deep into the sweep and still end on the ring like fc6.
+		{nn.VGG19_22K(), "fc8", []Scheme{SFB, SFB, SFB, SFB, Ring}},
+		// 2.36M-element conv tensor: ring at 8–16 workers, PS beyond.
+		{nn.VGG19(), "conv22", []Scheme{Ring, Ring, PS, PS, PS}},
+		// 295K-element conv tensor: only the 8-worker ring is worth 14 hops.
+		{nn.VGG19(), "conv11", []Scheme{Ring, PS, PS, PS, PS}},
+		// 1000×1024 at batch 128: SFB is priced out by the huge K, and the
+		// dense tensor is just big enough for the 8-worker ring.
+		{nn.GoogLeNet(), "loss3/classifier", []Scheme{Ring, PS, PS, PS, PS}},
+		// 1000×2048 at batch 32: classic SFB→PS classifier crossover.
+		{nn.ResNet152(), "fc1000", []Scheme{SFB, SFB, PS, PS, PS}},
+		{nn.InceptionV3(), "logits", []Scheme{SFB, SFB, PS, PS, PS}},
+		// CIFAR-10-quick's ip1 is too small for anything but the PS at
+		// every scale.
+		{nn.CIFARQuick(), "ip1", []Scheme{PS, PS, PS, PS, PS}},
+	}
+	for _, tc := range cases {
+		l := tc.model.Layer(tc.layer)
+		if l == nil {
+			t.Fatalf("%s: no layer %q", tc.model.Name, tc.layer)
+		}
+		got := zooDecisions(tc.model, l, scales, bw, ovh)
+		for i := range scales {
+			if got[i] != tc.want[i] {
+				m, n := l.GradMatrixShape()
+				t.Errorf("%s/%s (%dx%d, K=%d) at %d workers: scheme %v, want %v (full sweep %v)",
+					tc.model.Name, tc.layer, m, n, tc.model.BatchSize, scales[i], got[i], tc.want[i], got)
+			}
+		}
+	}
+
+	// TreeRing is override-only: no auto-plan may pick it for any layer
+	// of any zoo model at any scale, bandwidth-aware or not.
+	for _, m := range nn.Zoo() {
+		for _, li := range m.SyncLayers() {
+			l := &m.Layers[li]
+			for i, s := range zooDecisions(m, l, scales, bw, ovh) {
+				if s == TreeRing {
+					t.Fatalf("%s/%s at %d workers: auto-plan selected override-only TreeRing",
+						m.Name, l.Name, scales[i])
+				}
+			}
+		}
+	}
+}
+
 // The seed trainer's worked threshold example (formerly pinned on the
 // deleted comm.Decide): K=2, P=4, 32×16 weights pick SFB; a huge batch
 // flips the same layer back to PS; a single worker has nothing to

@@ -78,8 +78,11 @@ func TestPlannerReplanFlipsAndHolds(t *testing.T) {
 			flips: 0,
 		},
 		{
-			name:    "recovered bandwidth flips SFB back to PS",
-			initial: 1e6, alpha: 1,
+			name: "recovered bandwidth flips SFB back to PS",
+			// 1.2 MB/s sits below fc's ~2.05 MB/s PS/SFB tie but above
+			// the conv tensor's ~1.11 MB/s PS/ring crossover, so the
+			// initial plan is the classic [PS, SFB] split.
+			initial: 1.2e6, alpha: 1,
 			obs:   []BandwidthObservation{{BytesPerSec: 40e6}},
 			want:  PS,
 			flips: 1,
@@ -171,13 +174,19 @@ func TestPlannerReplanEdges(t *testing.T) {
 		t.Fatal("PS policy replanned")
 	}
 
-	// An override survives any swing.
+	// An override survives any swing. The unpinned conv tensor is free
+	// to move — at a crawling 1 KB/s link its byte term dominates and it
+	// flips PS→ring — but the pinned FC route must hold.
 	p3, specs3 := replanPlanner(2.1e6)
 	p3.Alpha = 1
 	p3.Override(1, PS)
 	_ = routesOf(t, p3, specs3)
-	if plans := p3.Replan(BandwidthObservation{BytesPerSec: 1e3}); plans != nil {
-		t.Fatalf("replan moved a pinned override: %v", plans)
+	plans3 := p3.Replan(BandwidthObservation{BytesPerSec: 1e3})
+	if plans3 == nil || plans3[0].Route != comm.RouteRing {
+		t.Fatalf("1 KB/s link did not flip the conv tensor to ring: %v", plans3)
+	}
+	if plans3[1].Route != comm.RoutePS {
+		t.Fatalf("replan moved a pinned override: %v", plans3)
 	}
 
 	// Hysteresis is relative to the live route: after PS→SFB at 1 MB/s,

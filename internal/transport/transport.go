@@ -55,6 +55,15 @@ const (
 	// verbatim, which is what keeps replicas byte-identical across the
 	// transition.
 	MsgView
+	// MsgRingReduce carries one partially-reduced segment of a ring
+	// all-reduce to the next worker on the chain (Chunk names the
+	// segment; the tree/ring hierarchy reuses the type with a phase bit
+	// folded into Chunk for its inter-group exchange).
+	MsgRingReduce
+	// MsgRingGather redistributes a fully-reduced ring segment along the
+	// ring (the all-gather phase); receivers apply it verbatim to their
+	// staged replica.
+	MsgRingGather
 )
 
 // Synthetic local event types: injected into an endpoint's own inbox by
@@ -157,7 +166,7 @@ func decode(buf []byte) (Message, error) {
 	if len(buf) < headerLen {
 		return Message{}, fmt.Errorf("transport: short frame: %d bytes", len(buf))
 	}
-	if t := MsgType(buf[0]); (t < MsgPush || t > MsgView) && t != msgGoodbye {
+	if t := MsgType(buf[0]); (t < MsgPush || t > MsgRingGather) && t != msgGoodbye {
 		return Message{}, fmt.Errorf("transport: unknown message type %d", t)
 	}
 	return Message{

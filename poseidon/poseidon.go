@@ -58,12 +58,15 @@ type (
 	LayerPlan = ipos.LayerPlan
 )
 
-// Schemes, named as in the paper.
+// Schemes, named as in the paper (the ring collectives extend its
+// Table 1 with bandwidth-optimal all-reduce routes).
 const (
-	SchemePS     = ipos.PS
-	SchemeSFB    = ipos.SFB
-	SchemeAdam   = ipos.AdamSF
-	SchemeOneBit = ipos.OneBitPS
+	SchemePS       = ipos.PS
+	SchemeSFB      = ipos.SFB
+	SchemeAdam     = ipos.AdamSF
+	SchemeOneBit   = ipos.OneBitPS
+	SchemeRing     = ipos.Ring
+	SchemeTreeRing = ipos.TreeRing
 )
 
 // SyncMode selects what Algorithm 1 may choose for a session: Hybrid

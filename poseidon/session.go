@@ -576,13 +576,17 @@ func (s *Session) Close() error {
 
 // ParseRouteOverrides parses the worker's -route flag syntax:
 // comma-separated index=scheme pairs with schemes named as in the
-// paper (ps, sfb, 1bit). Feasibility against a concrete model is
-// Build's job; this only rejects syntax.
+// paper (ps, sfb, 1bit) plus the collective routes (ring, treering).
+// Feasibility against a concrete model is Build's job; this only
+// rejects syntax.
 func ParseRouteOverrides(s string) (map[int]Scheme, error) {
 	if s == "" {
 		return nil, nil
 	}
-	schemes := map[string]Scheme{"ps": SchemePS, "sfb": SchemeSFB, "1bit": SchemeOneBit}
+	schemes := map[string]Scheme{
+		"ps": SchemePS, "sfb": SchemeSFB, "1bit": SchemeOneBit,
+		"ring": SchemeRing, "treering": SchemeTreeRing,
+	}
 	out := make(map[int]Scheme)
 	for _, pair := range strings.Split(s, ",") {
 		idxStr, schemeStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
@@ -595,7 +599,7 @@ func ParseRouteOverrides(s string) (map[int]Scheme, error) {
 		}
 		scheme, ok := schemes[schemeStr]
 		if !ok {
-			return nil, fmt.Errorf("route override: unknown scheme %q (want ps|sfb|1bit)", schemeStr)
+			return nil, fmt.Errorf("route override: unknown scheme %q (want ps|sfb|1bit|ring|treering)", schemeStr)
 		}
 		out[idx] = scheme
 	}

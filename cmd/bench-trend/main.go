@@ -29,6 +29,9 @@
 //   - -byte-ratio 'A/B<=X':       benchmark A's egressB/op at most X
 //     times benchmark B's (e.g. the ring all-reduce's measured cluster
 //     egress never above the chunked-PS baseline on the same tensor)
+//   - -mbps-floor 'Name>=X':      benchmark Name's MB/s at least X —
+//     the absolute gate for paths with no baseline twin (e.g. the
+//     snapshot fan-out to a replica fleet)
 //
 // A budgeted benchmark missing from the output fails too — a renamed
 // benchmark must not silently disarm its gate.
@@ -310,6 +313,49 @@ func gateRatios(measured map[string]map[string]metricReading, gates []ratioGate)
 	return bad
 }
 
+// floorGate demands a benchmark's throughput be at least Min MB/s —
+// the absolute gate for paths with no natural baseline twin, like the
+// snapshot fan-out (one encode, N replica bodies over loopback HTTP).
+type floorGate struct {
+	Name string
+	Min  float64
+}
+
+// parseFloorGates parses the -mbps-floor flag: comma-separated
+// 'Name>=X' specs over the benchmarks' MB/s readings.
+func parseFloorGates(s string) ([]floorGate, error) {
+	var out []floorGate
+	for _, spec := range strings.Split(s, ",") {
+		name, minStr, ok := strings.Cut(strings.TrimSpace(spec), ">=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("throughput floor %q is not Name>=X", spec)
+		}
+		minV, err := strconv.ParseFloat(minStr, 64)
+		if err != nil || minV <= 0 {
+			return nil, fmt.Errorf("throughput floor %q: bad threshold %q", spec, minStr)
+		}
+		out = append(out, floorGate{Name: strings.TrimSpace(name), Min: minV})
+	}
+	return out, nil
+}
+
+// gateFloors checks each absolute throughput floor against the best
+// measured MB/s. A benchmark without the metric fails its gate.
+func gateFloors(measured map[string]map[string]metricReading, gates []floorGate) []string {
+	var bad []string
+	for _, g := range gates {
+		rd, ok := measured[g.Name]["MB/s"]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: no MB/s in bench output (renamed? b.SetBytes dropped?)", g.Name))
+			continue
+		}
+		if rd.Max < g.Min {
+			bad = append(bad, fmt.Sprintf("%s: %.1f MB/s below required floor %.1f", g.Name, rd.Max, g.Min))
+		}
+	}
+	return bad
+}
+
 // byteRatioGate demands benchmark Num's measured egress be at most Max
 // times benchmark Den's — the collective gate: the ring benchmark's
 // egressB/op must not exceed the chunked-PS twin's on the same shape.
@@ -368,7 +414,7 @@ func gateByteRatios(measured map[string]map[string]metricReading, gates []byteRa
 // runGoBenchGates applies every requested absolute gate — allocation,
 // bytes-copied, p99 latency, throughput ratio, egress-byte ratio — to
 // one `go test -bench` output file.
-func runGoBenchGates(benchPath, allocSpec, copySpec, p99Spec, ratioSpec, byteRatioSpec string) int {
+func runGoBenchGates(benchPath, allocSpec, copySpec, p99Spec, ratioSpec, byteRatioSpec, floorSpec string) int {
 	f, err := os.Open(benchPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
@@ -463,8 +509,22 @@ func runGoBenchGates(benchPath, allocSpec, copySpec, p99Spec, ratioSpec, byteRat
 		bad = append(bad, gateByteRatios(metrics, ratios)...)
 		gates++
 	}
+	if floorSpec != "" {
+		floors, err := parseFloorGates(floorSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-trend: %v\n", err)
+			return 1
+		}
+		for _, g := range floors {
+			if rd, ok := metrics[g.Name]["MB/s"]; ok {
+				fmt.Printf("bench-trend: %s %.1f MB/s (floor %.1f)\n", g.Name, rd.Max, g.Min)
+			}
+		}
+		bad = append(bad, gateFloors(metrics, floors)...)
+		gates++
+	}
 	if gates == 0 {
-		fmt.Fprintln(os.Stderr, "bench-trend: -go-bench needs at least one of -alloc-budget, -copy-budget, -p99-budget, -mbps-ratio, -byte-ratio")
+		fmt.Fprintln(os.Stderr, "bench-trend: -go-bench needs at least one of -alloc-budget, -copy-budget, -p99-budget, -mbps-ratio, -byte-ratio, -mbps-floor")
 		return 1
 	}
 	if len(bad) > 0 {
@@ -498,10 +558,11 @@ func main() {
 	p99Budget := flag.String("p99-budget", "", "comma-separated name=N maximum p99 latency in milliseconds, used with -go-bench")
 	mbpsRatio := flag.String("mbps-ratio", "", "comma-separated 'A/B>=X' minimum MB/s ratios between benchmarks, used with -go-bench")
 	byteRatio := flag.String("byte-ratio", "", "comma-separated 'A/B<=X' maximum egressB/op ratios between benchmarks, used with -go-bench")
+	mbpsFloor := flag.String("mbps-floor", "", "comma-separated 'Name>=X' absolute minimum MB/s per benchmark, used with -go-bench")
 	flag.Parse()
 
 	if *goBench != "" {
-		os.Exit(runGoBenchGates(*goBench, *allocBudget, *copyBudget, *p99Budget, *mbpsRatio, *byteRatio))
+		os.Exit(runGoBenchGates(*goBench, *allocBudget, *copyBudget, *p99Budget, *mbpsRatio, *byteRatio, *mbpsFloor))
 	}
 
 	next, err := load(*newPath)

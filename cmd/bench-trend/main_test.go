@@ -205,6 +205,43 @@ func TestParseByteRatioGates(t *testing.T) {
 	}
 }
 
+func TestParseFloorGates(t *testing.T) {
+	gates, err := parseFloorGates("BenchmarkSnapshotFanout>=50")
+	if err != nil || len(gates) != 1 {
+		t.Fatalf("parsed %v, %v", gates, err)
+	}
+	g := gates[0]
+	if g.Name != "BenchmarkSnapshotFanout" || g.Min != 50 {
+		t.Fatalf("gate = %+v", g)
+	}
+	for _, bad := range []string{"nonsense", "a>=x", ">=2", "a>=0", "a<=2"} {
+		if _, err := parseFloorGates(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+func TestGateFloors(t *testing.T) {
+	metrics, err := parseGoBenchMetrics(bufio.NewScanner(strings.NewReader(sampleBenchOut)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BenchmarkSendBatchSHM measured 2910 MB/s: passes >=2000, fails >=3000.
+	if bad := gateFloors(metrics, []floorGate{{Name: "BenchmarkSendBatchSHM", Min: 2000}}); len(bad) != 0 {
+		t.Fatalf("passing floor flagged: %v", bad)
+	}
+	if bad := gateFloors(metrics, []floorGate{{Name: "BenchmarkSendBatchSHM", Min: 3000}}); len(bad) != 1 {
+		t.Fatalf("failing floor not flagged: %v", bad)
+	}
+	// A gated benchmark missing its MB/s reading fails, not passes.
+	if bad := gateFloors(metrics, []floorGate{{Name: "BenchmarkNoAllocsReported", Min: 50}}); len(bad) != 1 {
+		t.Fatalf("missing metric not flagged: %v", bad)
+	}
+	if bad := gateFloors(metrics, []floorGate{{Name: "BenchmarkGone", Min: 50}}); len(bad) != 1 {
+		t.Fatalf("missing benchmark not flagged: %v", bad)
+	}
+}
+
 func TestGateByteRatios(t *testing.T) {
 	metrics, err := parseGoBenchMetrics(bufio.NewScanner(strings.NewReader(sampleBenchOut)))
 	if err != nil {

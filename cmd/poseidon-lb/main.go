@@ -1,0 +1,80 @@
+// Command poseidon-lb is the snapshot fleet's front door: a reverse
+// proxy that maps tenants (X-Tenant) to serving replicas over a
+// consistent-hash ring, so a tenant's requests — and the per-tenant
+// token-bucket state its replica holds — land on the same replica
+// across scale-out, scale-in, and replica death.
+//
+// Replicas are health-checked continuously via their /healthz (which a
+// replica fails while stale or draining, taking itself out of
+// rotation). A replica that dies mid-request is failed over within
+// that request: the balancer marks it down and retries the tenant's
+// ring sequence, and per-tenant version floors keep the model versions
+// a tenant observes monotonic even when the failover target has not
+// pulled the newest snapshot yet.
+//
+// Endpoints: /healthz (balancer + fleet health), /metrics (per-replica
+// serve blocks plus the fleet-wide aggregate, with p50/p95/p99 derived
+// from merged histograms), everything else proxied.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	listen := flag.String("listen", "127.0.0.1:0", "HTTP listen address of the front door")
+	replicas := flag.String("replicas", "", "comma-separated host:port of every serving replica (the consistent-hash ring members)")
+	checkEvery := flag.Duration("check-every", 100*time.Millisecond, "replica health-probe period")
+	floorWait := flag.Duration("floor-wait", 3*time.Second, "bound on retrying a failover target that trails a tenant's last-served snapshot version")
+	flag.Parse()
+
+	if *replicas == "" {
+		fmt.Fprintln(os.Stderr, "lb: -replicas is required")
+		return 1
+	}
+	var members []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			members = append(members, r)
+		}
+	}
+	lb, err := fleet.NewLB(members, fleet.LBOptions{
+		CheckEvery: *checkEvery,
+		FloorWait:  *floorWait,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("LB "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lb: %v\n", err)
+		return 1
+	}
+	defer lb.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lb: listen: %v\n", err)
+		return 1
+	}
+	server := &http.Server{Handler: lb.Handler()}
+	fmt.Printf("LB listening on %s fronting %d replicas\n", ln.Addr(), len(members))
+	go server.Serve(ln)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	<-sig
+	fmt.Println("LB stopped")
+	return 0
+}

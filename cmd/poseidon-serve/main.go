@@ -1,13 +1,27 @@
-// Command poseidon-serve is the serving plane in one process: it
-// trains like poseidon-worker — in-process with -local N, or as one
-// rank of a real TCP/shm mesh — while exposing an HTTP inference API
-// over the immutable snapshots the session captures at round barriers
-// (-snapshot-every).
+// Command poseidon-serve is the serving plane in one process. It runs
+// in one of two modes:
+//
+// Training gateway (default): it trains like poseidon-worker —
+// in-process with -local N, or as one rank of a real TCP/shm mesh —
+// while exposing an HTTP inference API over the immutable snapshots
+// the session captures at round barriers (-snapshot-every). The
+// gateway additionally exposes the fleet pull endpoint
+// (GET /v1/snapshot?after=iter), so serving replicas can follow the
+// run without joining the mesh.
+//
+// Replica (-replica -pull URL): no training, no mesh. The process runs
+// a fleet.Puller that polls the training gateway's pull endpoint every
+// -poll, adopts strictly newer snapshot versions only (what it serves
+// never moves backwards), and serves the same inference API. With
+// -max-lag N a replica trailing the source by more than N iterations
+// sheds with 503 — and fails /healthz, dropping out of a poseidon-lb
+// rotation — until it catches up.
 //
 // Endpoints: POST /v1/predict (micro-batched inference with per-tenant
 // rate limits and bounded in-flight admission), GET /v1/model (the
-// served snapshot's version), GET /metrics (the full METRICS JSON,
-// serving block included), GET /healthz.
+// served snapshot's version), GET /v1/snapshot (versioned PSN2 pull),
+// GET /metrics (the full METRICS JSON, serving block included),
+// GET /healthz.
 //
 // SIGTERM or SIGINT starts a graceful drain: new requests get 503 +
 // Retry-After, admitted ones — including those parked in a micro-batch
@@ -16,7 +30,8 @@
 // the poseidon.Snapshot format (readable by -load-params) before exit.
 //
 // The training flag surface is shared with poseidon-worker and
-// poseidon-cluster through internal/cliflags.
+// poseidon-cluster through internal/cliflags; the serving surface is
+// cliflags.Serve.
 package main
 
 import (
@@ -29,9 +44,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
 	"repro/internal/cliflags"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
 	"repro/internal/serve"
 )
 
@@ -39,17 +55,28 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	nf := cliflags.RegisterNode(flag.CommandLine)
-	listen := flag.String("listen", "127.0.0.1:0", "HTTP listen address of the inference API")
-	snapshotEvery := flag.Int("snapshot-every", 10, "capture a serving snapshot every this many training iterations (plus once when the run drains)")
-	maxBatch := flag.Int("max-batch", 16, "micro-batch row cap: a window executes as soon as this many rows gather")
-	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "micro-batch window: a lone request waits at most this long for company")
-	tenantRPS := flag.Float64("tenant-rps", 50, "per-tenant sustained requests/sec (X-Tenant header; negative = unlimited)")
-	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant burst size (0 = 2×rps)")
-	maxInflight := flag.Int("max-inflight", 256, "bound on concurrently admitted predict requests; beyond it requests shed with 503")
-	finalSnapshot := flag.String("final-snapshot", "", "persist the last captured snapshot to this file on shutdown (poseidon.Snapshot format)")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain of in-flight requests at shutdown")
+	sf := cliflags.RegisterServe(flag.CommandLine)
 	flag.Parse()
 
+	if sf.Replica {
+		return runReplica(nf, sf)
+	}
+	return runGateway(nf, sf)
+}
+
+// gatewayOptions is the knob mapping both modes share.
+func gatewayOptions(sf *cliflags.Serve, reg *metrics.Comm) serve.Options {
+	return serve.Options{
+		MaxBatch:    sf.MaxBatch,
+		MaxDelay:    sf.MaxDelay,
+		MaxInFlight: sf.MaxInflight,
+		TenantRPS:   sf.TenantRPS,
+		TenantBurst: sf.TenantBurst,
+		Metrics:     reg,
+	}
+}
+
+func runGateway(nf *cliflags.Node, sf *cliflags.Serve) int {
 	// The gateway's /metrics endpoint serves the session registry, so
 	// serving and training counters land in one dump.
 	nf.MetricsDump = true
@@ -58,7 +85,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		return 1
 	}
-	b.SnapshotEvery(*snapshotEvery)
+	b.SnapshotEvery(sf.SnapshotEvery)
 	sess, err := b.Build()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
@@ -66,16 +93,9 @@ func run() int {
 	}
 	defer sess.Close()
 
-	gw := serve.New(sess, serve.Options{
-		MaxBatch:    *maxBatch,
-		MaxDelay:    *maxDelay,
-		MaxInFlight: *maxInflight,
-		TenantRPS:   *tenantRPS,
-		TenantBurst: *tenantBurst,
-		Metrics:     sess.Metrics(),
-	})
+	gw := serve.New(sess, gatewayOptions(sf, sess.Metrics()))
 	server := &http.Server{Handler: gw.Handler()}
-	ln, err := net.Listen("tcp", *listen)
+	ln, err := net.Listen("tcp", sf.Listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: listen: %v\n", err)
 		return 1
@@ -114,7 +134,7 @@ func run() int {
 	// then stop the batcher — so every accepted request completes.
 	fmt.Println("SERVE draining")
 	gw.Drain()
-	shCtx, shCancel := context.WithTimeout(context.Background(), *drainTimeout)
+	shCtx, shCancel := context.WithTimeout(context.Background(), sf.DrainTimeout)
 	if err := server.Shutdown(shCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: shutdown: %v\n", err)
 	}
@@ -128,15 +148,81 @@ func run() int {
 		}
 	}
 
-	if *finalSnapshot != "" {
+	if sf.FinalSnapshot != "" {
 		if m := sess.Latest(); m != nil {
-			if err := m.WriteFile(*finalSnapshot); err != nil {
+			if err := m.WriteFile(sf.FinalSnapshot); err != nil {
 				fmt.Fprintf(os.Stderr, "serve: final snapshot: %v\n", err)
 				return 1
 			}
-			fmt.Printf("SERVE final snapshot %s iter %d epoch %d\n", *finalSnapshot, m.Iter(), m.Epoch())
+			fmt.Printf("SERVE final snapshot %s iter %d epoch %d\n", sf.FinalSnapshot, m.Iter(), m.Epoch())
 		} else {
 			fmt.Fprintln(os.Stderr, "serve: no snapshot captured; nothing to persist")
+		}
+	}
+	fmt.Println("SERVE stopped")
+	return 0
+}
+
+func runReplica(nf *cliflags.Node, sf *cliflags.Serve) int {
+	if sf.Pull == "" {
+		fmt.Fprintln(os.Stderr, "serve: -replica requires -pull (the training gateway's URL)")
+		return 1
+	}
+	reg := metrics.NewComm()
+	puller := fleet.NewPuller(sf.Pull, fleet.PullerOptions{
+		Interval: sf.Poll,
+		MaxLag:   sf.MaxLag,
+		Bind:     cliflags.ReferenceModel(),
+		Seed:     nf.Seed,
+		Stats:    reg.Serve(),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pullDone := make(chan struct{})
+	go func() { defer close(pullDone); puller.Run(ctx) }()
+
+	ln, err := net.Listen("tcp", sf.Listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: listen: %v\n", err)
+		return 1
+	}
+	opts := gatewayOptions(sf, reg)
+	opts.ReplicaID = sf.ReplicaID
+	if opts.ReplicaID == "" {
+		// The natural fleet identity is the address the balancer keys its
+		// ring on — only known once bound.
+		opts.ReplicaID = ln.Addr().String()
+	}
+	opts.Stale = puller.Status
+	gw := serve.New(puller, opts)
+	server := &http.Server{Handler: gw.Handler()}
+	fmt.Printf("SERVE listening on %s\n", ln.Addr())
+	fmt.Printf("SERVE replica %s pulling from %s every %s (max-lag %d)\n",
+		opts.ReplicaID, sf.Pull, sf.Poll, sf.MaxLag)
+	go server.Serve(ln)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	<-sig
+
+	fmt.Println("SERVE draining")
+	gw.Drain()
+	shCtx, shCancel := context.WithTimeout(context.Background(), sf.DrainTimeout)
+	if err := server.Shutdown(shCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: shutdown: %v\n", err)
+	}
+	shCancel()
+	gw.Close()
+	cancel()
+	<-pullDone
+
+	if sf.FinalSnapshot != "" {
+		if m := puller.Latest(); m != nil {
+			if err := m.WriteFile(sf.FinalSnapshot); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: final snapshot: %v\n", err)
+				return 1
+			}
+			fmt.Printf("SERVE final snapshot %s iter %d epoch %d\n", sf.FinalSnapshot, m.Iter(), m.Epoch())
 		}
 	}
 	fmt.Println("SERVE stopped")

@@ -52,9 +52,9 @@ func moduleRoot() string {
 	return filepath.Dir(filepath.Dir(file))
 }
 
-// buildBinaries compiles poseidon-worker, poseidon-cluster, and
-// poseidon-serve once per test run and returns the directory holding
-// them.
+// buildBinaries compiles poseidon-worker, poseidon-cluster,
+// poseidon-serve, and poseidon-lb once per test run and returns the
+// directory holding them.
 func buildBinaries(t *testing.T) string {
 	t.Helper()
 	buildOnce.Do(func() {
@@ -66,7 +66,7 @@ func buildBinaries(t *testing.T) string {
 		if raceEnabled {
 			args = append(args, "-race")
 		}
-		args = append(args, "-o", binDir, "./cmd/poseidon-worker", "./cmd/poseidon-cluster", "./cmd/poseidon-serve")
+		args = append(args, "-o", binDir, "./cmd/poseidon-worker", "./cmd/poseidon-cluster", "./cmd/poseidon-serve", "./cmd/poseidon-lb")
 		cmd := exec.Command("go", args...)
 		cmd.Dir = moduleRoot()
 		if out, err := cmd.CombinedOutput(); err != nil {

@@ -1,0 +1,370 @@
+// Snapshot-fleet e2e: a real 3-process TCP mesh trains with
+// poseidon-serve as rank 0, three poseidon-serve replicas follow the
+// run through the pull endpoint (never joining the mesh), and a
+// poseidon-lb front door maps two tenants onto them over the
+// consistent-hash ring. Mid-load the test SIGKILLs the replica
+// currently serving one tenant and demands the full fleet contract at
+// once: zero failed requests across the kill (failover happens inside
+// the request that discovers the death), per-tenant served versions
+// that never move backwards, and a failover landing spot that is a
+// pure function of the member set — the next replica in the tenant's
+// ring sequence, exactly what fleet.NewRing predicts.
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/tensor"
+)
+
+// fleetReply is one proxied prediction as a tenant observes it: the
+// HTTP status, which replica answered (X-Poseidon-Upstream), and the
+// snapshot version it served (X-Poseidon-Snapshot-Iter/Epoch).
+type fleetReply struct {
+	status   int
+	upstream string
+	ver      fleet.Version
+}
+
+// predictViaLB posts one prediction through the balancer under a
+// tenant and reports who served it at which version.
+func predictViaLB(client *http.Client, base, tenant string, body []byte) (fleetReply, error) {
+	req, err := http.NewRequest("POST", base+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		return fleetReply{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(fleet.HeaderTenant, tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return fleetReply{}, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	iter, err := strconv.Atoi(resp.Header.Get(fleet.HeaderIter))
+	if err != nil {
+		iter = -1
+	}
+	epoch, _ := strconv.Atoi(resp.Header.Get(fleet.HeaderEpoch))
+	return fleetReply{
+		status:   resp.StatusCode,
+		upstream: resp.Header.Get(fleet.HeaderUpstream),
+		ver:      fleet.Version{Iter: iter, Epoch: epoch},
+	}, nil
+}
+
+func TestFleetSurvivesReplicaKill(t *testing.T) {
+	bin := buildBinaries(t)
+	const workers = 3
+	const replicas = 3
+	const seed = 42
+	meshAddrs := freeAddrs(t, workers)
+	peers := strings.Join(meshAddrs, ",")
+
+	// Rank 0 is the snapshot source: it trains with the mesh and serves
+	// the pull endpoint. The run is far longer than the test so versions
+	// keep advancing the whole time; everything is reaped in cleanup.
+	trainArgs := []string{
+		"-peers", peers, "-iters", "100000",
+		"-batch", "8", "-lr", "0.1", "-mode", "ps", "-seed", fmt.Sprint(seed),
+		"-print-every", "0",
+	}
+	gwOut := &lineBuffer{}
+	gwCmd := exec.Command(filepath.Join(bin, "poseidon-serve"),
+		append([]string{
+			"-id", "0", "-listen", "127.0.0.1:0", "-snapshot-every", "5",
+			"-tenant-rps=-1",
+		}, trainArgs...)...)
+	gwCmd.Stdout = gwOut
+	gwCmd.Stderr = gwOut
+	if err := gwCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if gwCmd.Process != nil {
+			gwCmd.Process.Kill()
+			gwCmd.Wait()
+		}
+	})
+	workerCmds := make([]*exec.Cmd, 0, workers-1)
+	for id := 1; id < workers; id++ {
+		out := &lineBuffer{}
+		cmd := exec.Command(filepath.Join(bin, "poseidon-worker"),
+			append([]string{"-id", fmt.Sprint(id)}, trainArgs...)...)
+		cmd.Stdout = out
+		cmd.Stderr = out
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start worker %d: %v", id, err)
+		}
+		workerCmds = append(workerCmds, cmd)
+	}
+	t.Cleanup(func() {
+		for _, cmd := range workerCmds {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		}
+	})
+
+	listenRe := regexp.MustCompile(`SERVE listening on (\S+)`)
+	deadline := time.Now().Add(60 * time.Second)
+	var gwAddr string
+	for gwAddr == "" {
+		if m := listenRe.FindStringSubmatch(gwOut.String()); m != nil {
+			gwAddr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway never announced its address\n%s", gwOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Three replicas on pre-reserved addresses — the balancer's ring is
+	// keyed on these exact strings, so they must be known up front.
+	replicaAddrs := freeAddrs(t, replicas)
+	replicaCmds := make(map[string]*exec.Cmd, replicas)
+	replicaOuts := make(map[string]*lineBuffer, replicas)
+	for _, addr := range replicaAddrs {
+		out := &lineBuffer{}
+		cmd := exec.Command(filepath.Join(bin, "poseidon-serve"),
+			"-replica", "-pull", "http://"+gwAddr, "-poll", "50ms",
+			"-listen", addr, "-max-lag", "1000", "-tenant-rps=-1",
+			"-seed", fmt.Sprint(seed))
+		cmd.Stdout = out
+		cmd.Stderr = out
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start replica %s: %v", addr, err)
+		}
+		replicaCmds[addr] = cmd
+		replicaOuts[addr] = out
+	}
+	t.Cleanup(func() {
+		for _, cmd := range replicaCmds {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		}
+	})
+
+	// A replica fails /healthz until it has adopted its first snapshot;
+	// wait for all three so the balancer starts with a full ring.
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline = time.Now().Add(120 * time.Second)
+	for _, addr := range replicaAddrs {
+		for {
+			resp, err := client.Get("http://" + addr + "/healthz")
+			if err == nil {
+				code := resp.StatusCode
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if code == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %s never became healthy\n%s", addr, replicaOuts[addr].String())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	lbOut := &lineBuffer{}
+	lbCmd := exec.Command(filepath.Join(bin, "poseidon-lb"),
+		"-listen", "127.0.0.1:0",
+		"-replicas", strings.Join(replicaAddrs, ","),
+		"-check-every", "25ms")
+	lbCmd.Stdout = lbOut
+	lbCmd.Stderr = lbOut
+	if err := lbCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if lbCmd.Process != nil {
+			lbCmd.Process.Kill()
+			lbCmd.Wait()
+		}
+	})
+	lbRe := regexp.MustCompile(`LB listening on (\S+)`)
+	deadline = time.Now().Add(60 * time.Second)
+	var lbBase string
+	for lbBase == "" {
+		if m := lbRe.FindStringSubmatch(lbOut.String()); m != nil {
+			lbBase = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("balancer never announced its address\n%s", lbOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Build a fixed prediction body against the replicas' model shape.
+	var mv struct {
+		Features int `json:"features"`
+	}
+	resp, err := client.Get("http://" + replicaAddrs[0] + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	rng := rand.New(rand.NewSource(99))
+	x := tensor.NewMatrix(2, mv.Features)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	body, err := json.Marshal(map[string][][]float32{"instances": instanceRows(x)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The ring the balancer routes by is a pure function of the member
+	// set — recompute it here and hold the balancer to it.
+	ring := fleet.NewRing(replicaAddrs)
+	tenants := []string{"tenant-alpha", "tenant-beta"}
+	lastVer := map[string]fleet.Version{}
+	sendOne := func(phase, tenant string) fleetReply {
+		t.Helper()
+		fr, err := predictViaLB(client, lbBase, tenant, body)
+		if err != nil {
+			t.Fatalf("%s: %s predict: %v", phase, tenant, err)
+		}
+		if fr.status != http.StatusOK {
+			t.Fatalf("%s: %s predict failed with status %d (upstream %q)\nlb:\n%s",
+				phase, tenant, fr.status, fr.upstream, lbOut.String())
+		}
+		if fr.ver.Iter < 0 {
+			t.Fatalf("%s: %s response carried no snapshot version", phase, tenant)
+		}
+		if last, ok := lastVer[tenant]; ok && fr.ver.Before(last) {
+			t.Fatalf("%s: %s served version went backwards: %v after %v (upstream %s)",
+				phase, tenant, fr.ver, last, fr.upstream)
+		}
+		lastVer[tenant] = fr.ver
+		return fr
+	}
+
+	// Phase 1: steady state. Every request lands on the tenant's ring
+	// owner, on every single request.
+	for i := 0; i < 10; i++ {
+		for _, tenant := range tenants {
+			fr := sendOne("steady", tenant)
+			if want := ring.Lookup(tenant); fr.upstream != want {
+				t.Fatalf("steady: %s served by %s, ring owner is %s", tenant, fr.upstream, want)
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// SIGKILL the replica serving tenant-alpha, mid-load.
+	victim := ring.Lookup("tenant-alpha")
+	if err := replicaCmds[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	replicaCmds[victim].Wait()
+
+	// Expected post-kill owner per tenant: the first live member of the
+	// tenant's ring walk. For tenant-alpha that is Sequence[1]; a tenant
+	// whose owner survived must not move at all.
+	expected := map[string]string{}
+	for _, tenant := range tenants {
+		for _, name := range ring.Sequence(tenant) {
+			if name != victim {
+				expected[tenant] = name
+				break
+			}
+		}
+	}
+
+	// Phase 2: the kill must be invisible to clients. Zero failed
+	// requests (the request that discovers the death fails over inside
+	// itself), versions still monotonic per tenant, and every tenant on
+	// its predicted replica once the dust settles.
+	settled := map[string]int{}
+	for i := 0; i < 40; i++ {
+		for _, tenant := range tenants {
+			fr := sendOne("post-kill", tenant)
+			if fr.upstream == victim {
+				t.Fatalf("post-kill: %s answered by the killed replica %s", tenant, victim)
+			}
+			if fr.upstream == expected[tenant] {
+				settled[tenant]++
+			} else {
+				t.Fatalf("post-kill: %s served by %s, deterministic failover target is %s",
+					tenant, fr.upstream, expected[tenant])
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, tenant := range tenants {
+		if settled[tenant] != 40 {
+			t.Fatalf("%s: %d/40 post-kill requests on the predicted replica", tenant, settled[tenant])
+		}
+	}
+
+	// The balancer noticed: its own healthz drops the victim from the
+	// healthy set.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := client.Get(lbBase + "/healthz")
+		if err == nil {
+			var hb struct {
+				Healthy []string `json:"healthy"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&hb)
+			resp.Body.Close()
+			if err == nil {
+				alive := len(hb.Healthy) == replicas-1
+				for _, name := range hb.Healthy {
+					if name == victim {
+						alive = false
+					}
+				}
+				if alive {
+					break
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("balancer healthz never dropped the killed replica %s\n%s", victim, lbOut.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Fleet-wide metrics still aggregate across the survivors: the
+	// merged serve block must have seen at least this test's requests.
+	resp, err = client.Get(lbBase + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fm struct {
+		Fleet struct {
+			Requests int64 `json:"requests"`
+		} `json:"fleet"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fm); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if fm.Fleet.Requests < int64(len(tenants)*40) {
+		t.Fatalf("fleet metrics aggregate only %d requests across survivors", fm.Fleet.Requests)
+	}
+}

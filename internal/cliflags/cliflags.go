@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/nn/autodiff"
@@ -248,6 +249,49 @@ func (n *Node) Builder() (*poseidon.Builder, error) {
 		b.CollectMetrics()
 	}
 	return b, nil
+}
+
+// Serve holds the serving-plane flags poseidon-serve registers in both
+// of its modes — the training gateway and the pull-replica — so the
+// two surfaces (and the e2e harness driving them) cannot drift apart.
+type Serve struct {
+	Listen        string
+	SnapshotEvery int
+	MaxBatch      int
+	MaxDelay      time.Duration
+	TenantRPS     float64
+	TenantBurst   int
+	MaxInflight   int
+	FinalSnapshot string
+	DrainTimeout  time.Duration
+
+	// Replica mode: serve snapshots pulled from a training gateway
+	// instead of joining the mesh.
+	Replica   bool
+	Pull      string
+	Poll      time.Duration
+	MaxLag    int
+	ReplicaID string
+}
+
+// RegisterServe registers the serving-plane flags on fs.
+func RegisterServe(fs *flag.FlagSet) *Serve {
+	s := &Serve{}
+	fs.StringVar(&s.Listen, "listen", "127.0.0.1:0", "HTTP listen address of the inference API")
+	fs.IntVar(&s.SnapshotEvery, "snapshot-every", 10, "capture a serving snapshot every this many training iterations (plus once when the run drains)")
+	fs.IntVar(&s.MaxBatch, "max-batch", 16, "micro-batch row cap: a window executes as soon as this many rows gather")
+	fs.DurationVar(&s.MaxDelay, "max-delay", 2*time.Millisecond, "micro-batch window: a lone request waits at most this long for company")
+	fs.Float64Var(&s.TenantRPS, "tenant-rps", 50, "per-tenant sustained requests/sec (X-Tenant header; negative = unlimited)")
+	fs.IntVar(&s.TenantBurst, "tenant-burst", 0, "per-tenant burst size (0 = 2×rps)")
+	fs.IntVar(&s.MaxInflight, "max-inflight", 256, "bound on concurrently admitted predict requests; beyond it requests shed with 503")
+	fs.StringVar(&s.FinalSnapshot, "final-snapshot", "", "persist the last captured snapshot to this file on shutdown (poseidon.Snapshot format)")
+	fs.DurationVar(&s.DrainTimeout, "drain-timeout", 30*time.Second, "bound on the graceful drain of in-flight requests at shutdown")
+	fs.BoolVar(&s.Replica, "replica", false, "serve snapshots pulled from a training gateway (-pull) instead of training; the process never joins the mesh")
+	fs.StringVar(&s.Pull, "pull", "", "base URL (or host:port) of the training gateway this replica pulls snapshots from (replica mode)")
+	fs.DurationVar(&s.Poll, "poll", 250*time.Millisecond, "snapshot poll interval in replica mode")
+	fs.IntVar(&s.MaxLag, "max-lag", 0, "staleness bound in iterations: a replica trailing its source by more sheds with 503 until it catches up (0 = unbounded)")
+	fs.StringVar(&s.ReplicaID, "replica-id", "", "fleet-unique replica name echoed on responses and in /metrics (default: the listen address)")
+	return s
 }
 
 // ReferenceModel is the model every binary trains: the CIFAR-quick CNN

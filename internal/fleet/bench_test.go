@@ -1,0 +1,64 @@
+package fleet_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/snapshot"
+)
+
+// BenchmarkSnapshotFanout measures one training rank fanning a fresh
+// ~1MiB capture out to 4 replicas over the real pull endpoint (loopback
+// HTTP): per op, the source swaps in a new version and every puller
+// fetches and adopts it. Reported MB/s is aggregate fan-out bandwidth;
+// allocs/op is the whole path — encode cache, HTTP, decode, adoption —
+// and is gated in CI alongside the serving-path budgets.
+func BenchmarkSnapshotFanout(b *testing.B) {
+	const replicas = 4
+	params := make([][]float32, 4)
+	for i := range params {
+		params[i] = make([]float32, 64*1024)
+		for j := range params[i] {
+			params[i][j] = float32(i + j)
+		}
+	}
+	src := &swappableSource{}
+	src.set(snapshot.New(0, 1, params))
+	stats := metrics.NewComm().Serve()
+	srv := httptest.NewServer(fleet.NewSnapshotHandler(src, stats))
+	defer srv.Close()
+
+	pullers := make([]*fleet.Puller, replicas)
+	for i := range pullers {
+		pullers[i] = fleet.NewPuller(srv.URL, fleet.PullerOptions{})
+	}
+	ctx := context.Background()
+	bodyBytes := len(snapshot.New(0, 1, params).Encode())
+	b.SetBytes(int64(replicas * bodyBytes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.set(snapshot.New(i+1, 1, params))
+		var wg sync.WaitGroup
+		for _, p := range pullers {
+			wg.Add(1)
+			go func(p *fleet.Puller) {
+				defer wg.Done()
+				if err := p.PullOnce(ctx); err != nil {
+					b.Error(err)
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	snap := stats.Snapshot()
+	if snap.SnapshotServes < int64(replicas*b.N) {
+		b.Fatalf("served %d bodies, want >= %d", snap.SnapshotServes, replicas*b.N)
+	}
+	b.ReportMetric(float64(snap.SnapshotEncodes)/float64(b.N), "encodes/op")
+}

@@ -1,0 +1,51 @@
+// Package fleet is the snapshot-distribution subsystem of the serving
+// plane: it scales one training mesh out to N serving replicas.
+//
+// The topology has three roles:
+//
+//   - The source — the training mesh's gateway rank (poseidon-serve) —
+//     captures immutable PSN2 snapshots at round barriers and exposes
+//     them over a versioned pull endpoint (GET /v1/snapshot?after=iter),
+//     encoding each capture once and fanning the same buffer out to
+//     every replica.
+//   - Replicas (poseidon-serve -replica) run a Puller: they poll the
+//     source, adopt strictly newer versions only (serving is
+//     version-monotonic by construction), track how many iterations
+//     they trail the source, and shed with 503 once past the staleness
+//     bound until they catch back up.
+//   - The front door (poseidon-lb) runs an LB over a consistent-hash
+//     Ring: tenants map stably to replicas — so per-tenant token-bucket
+//     state survives scale-out, scale-in, and replica death — health is
+//     probed continuously, a dead replica fails over within the request
+//     that discovered it, and per-tenant version floors keep served
+//     versions monotonic even across a failover to a replica that has
+//     not pulled the newest capture yet.
+//
+// Everything observes the training mesh without perturbing it: the only
+// coupling is the pull endpoint reading the already-captured snapshot
+// store.
+package fleet
+
+import "fmt"
+
+// Version orders snapshots: by capture iteration first, then by
+// membership epoch (epochs bump at view-change barriers where the
+// restart iteration never moves backwards, so the pair is totally
+// ordered along any one training history).
+type Version struct {
+	Iter  int `json:"iter"`
+	Epoch int `json:"epoch"`
+}
+
+// After reports whether v is strictly newer than o.
+func (v Version) After(o Version) bool {
+	if v.Iter != o.Iter {
+		return v.Iter > o.Iter
+	}
+	return v.Epoch > o.Epoch
+}
+
+// Before reports whether v is strictly older than o.
+func (v Version) Before(o Version) bool { return o.After(v) }
+
+func (v Version) String() string { return fmt.Sprintf("iter %d epoch %d", v.Iter, v.Epoch) }

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/snapshot"
+)
+
+// The pull-endpoint wire contract, owned by the distribution subsystem
+// so the source handler, the replica puller, and the load balancer
+// cannot drift apart.
+const (
+	// SnapshotPath is the versioned pull endpoint: GET with an optional
+	// `after` (iteration) + `epoch` query naming the version the caller
+	// already holds. The response is 200 with the PSN2 body when the
+	// source holds something strictly newer, 304 when the caller is
+	// current, 503 + Retry-After before the first capture. Every
+	// response carries HeaderIter/HeaderEpoch announcing the source's
+	// newest version — the signal replicas measure their lag against.
+	SnapshotPath = "/v1/snapshot"
+	// HeaderIter / HeaderEpoch announce the newest captured version.
+	HeaderIter  = "X-Poseidon-Snapshot-Iter"
+	HeaderEpoch = "X-Poseidon-Snapshot-Epoch"
+	// HeaderReplica names the replica that actually served a response
+	// (set by the replica gateway itself).
+	HeaderReplica = "X-Poseidon-Replica"
+	// HeaderUpstream names the replica the load balancer routed to —
+	// what a client (or a test) reads to see where a tenant landed.
+	HeaderUpstream = "X-Poseidon-Upstream"
+	// HeaderTenant keys per-tenant rate limiting and the consistent-hash
+	// ring (shared with the serving gateway).
+	HeaderTenant = "X-Tenant"
+)
+
+// Source is anything that can hand out the latest immutable snapshot —
+// *poseidon.Session, *snapshot.Store, and *Puller all satisfy it.
+type Source interface {
+	Latest() *snapshot.Model
+}
+
+// SnapshotHandler serves the pull endpoint over a Source. It encodes
+// each capture once — the cache is keyed on the model pointer, so
+// fanning one capture out to N replicas costs one PSN2 encode and N
+// writes of the same buffer, never N encodes.
+type SnapshotHandler struct {
+	src   Source
+	stats *metrics.ServeStats
+	cache atomic.Pointer[encodedSnapshot]
+}
+
+type encodedSnapshot struct {
+	m   *snapshot.Model
+	buf []byte
+}
+
+// NewSnapshotHandler builds the pull endpoint over src. stats may be
+// nil; with it, serves/bytes/encodes land in the serving metrics block.
+func NewSnapshotHandler(src Source, stats *metrics.ServeStats) *SnapshotHandler {
+	return &SnapshotHandler{src: src, stats: stats}
+}
+
+func (h *SnapshotHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	m := h.src.Latest()
+	if m == nil {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "no snapshot captured yet", http.StatusServiceUnavailable)
+		return
+	}
+	cur := Version{Iter: m.Iter(), Epoch: m.Epoch()}
+	w.Header().Set(HeaderIter, strconv.Itoa(cur.Iter))
+	w.Header().Set(HeaderEpoch, strconv.Itoa(cur.Epoch))
+	have, err := versionQuery(r)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if !cur.After(have) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	buf := h.encoded(m)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.Write(buf)
+	if h.stats != nil {
+		h.stats.CountSnapshotServe(len(buf))
+	}
+}
+
+// encoded returns the PSN2 bytes of m, encoding only when m is not the
+// cached capture. A stale cache entry for a superseded capture is
+// simply overwritten; racing requests may both encode the same fresh
+// capture once, which costs a duplicate encode, never a wrong body.
+func (h *SnapshotHandler) encoded(m *snapshot.Model) []byte {
+	if c := h.cache.Load(); c != nil && c.m == m {
+		return c.buf
+	}
+	buf := m.Encode()
+	h.cache.Store(&encodedSnapshot{m: m, buf: buf})
+	if h.stats != nil {
+		h.stats.CountSnapshotEncode()
+	}
+	return buf
+}
+
+// versionQuery parses the `after` + `epoch` query into the version the
+// caller already holds; absent parameters mean "nothing" (any capture
+// is newer).
+func versionQuery(r *http.Request) (Version, error) {
+	have := Version{Iter: -1, Epoch: 0}
+	q := r.URL.Query()
+	if s := q.Get("after"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return have, fmt.Errorf("after=%q is not an iteration", s)
+		}
+		have.Iter = n
+	}
+	if s := q.Get("epoch"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return have, fmt.Errorf("epoch=%q is not an epoch", s)
+		}
+		have.Epoch = n
+	}
+	return have, nil
+}

@@ -1,0 +1,408 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// LBOptions tunes the front door; zero values take the defaults noted.
+type LBOptions struct {
+	// CheckEvery is the health-probe period (default 100ms).
+	CheckEvery time.Duration
+	// Client is the HTTP client proxied requests and probes go through
+	// (default: a client with a 10s timeout).
+	Client *http.Client
+	// MaxBodyBytes caps a buffered client request body (default 8MiB).
+	MaxBodyBytes int64
+	// FloorWait bounds how long a request retries to honor a tenant's
+	// version floor after failover lands on a replica that has not
+	// caught up yet (default 3s). Past the bound the response is served
+	// anyway — availability wins once the source has been unreachable
+	// longer than any poll interval.
+	FloorWait time.Duration
+	// TenantTTL evicts a tenant's version floor after this idle time
+	// (default 10m).
+	TenantTTL time.Duration
+	// Logf, when set, receives one line per replica health transition.
+	Logf func(format string, args ...any)
+}
+
+func (o *LBOptions) setDefaults() {
+	if o.CheckEvery <= 0 {
+		o.CheckEvery = 100 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.FloorWait <= 0 {
+		o.FloorWait = 3 * time.Second
+	}
+	if o.TenantTTL <= 0 {
+		o.TenantTTL = 10 * time.Minute
+	}
+}
+
+type replicaState struct {
+	name    string // the address as given on the command line — the ring key
+	base    string // http:// base URL
+	healthy atomic.Bool
+	lag     atomic.Int64
+}
+
+type tenantFloor struct {
+	ver      Version
+	lastSeen time.Time
+}
+
+// LB is the fleet's front door: a reverse proxy that maps tenants to
+// replicas over a consistent-hash Ring. Tenant→replica assignment is a
+// pure function of the member set, so per-tenant token-bucket state on
+// the replicas survives scale-out and scale-in, and when a replica dies
+// its tenants land on the next member of their ring walk —
+// deterministically, on every balancer instance.
+//
+// Failover happens inside the request that discovers the death: a
+// network error marks the replica down and the request moves to the
+// next replica in the tenant's Sequence without surfacing the error.
+// Per-tenant version floors keep served model versions monotonic even
+// across failover to a replica that has not pulled the newest capture
+// yet: a response older than the tenant's floor is retried (bounded by
+// FloorWait) until the replica catches up.
+type LB struct {
+	ring *Ring
+	reps map[string]*replicaState
+	opts LBOptions
+
+	mu     sync.Mutex
+	floors map[string]*tenantFloor
+
+	stopProbe chan struct{}
+	probeDone chan struct{}
+}
+
+// NewLB builds a balancer over the replica addresses (host:port or
+// full URLs) and starts its health prober. Replicas start healthy; the
+// first failed probe or proxied request marks them down.
+func NewLB(replicas []string, opts LBOptions) (*LB, error) {
+	opts.setDefaults()
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("fleet: no replicas")
+	}
+	lb := &LB{
+		ring:      NewRing(replicas),
+		reps:      make(map[string]*replicaState),
+		opts:      opts,
+		floors:    make(map[string]*tenantFloor),
+		stopProbe: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	for _, name := range lb.ring.Members() {
+		base := name
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		rs := &replicaState{name: name, base: strings.TrimRight(base, "/")}
+		rs.healthy.Store(true)
+		lb.reps[name] = rs
+	}
+	go lb.probe()
+	return lb, nil
+}
+
+// Close stops the health prober.
+func (lb *LB) Close() {
+	close(lb.stopProbe)
+	<-lb.probeDone
+}
+
+// Handler returns the balancer's route table: /healthz and /metrics
+// answered locally, everything else proxied to the tenant's replica.
+func (lb *LB) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", lb.handleHealthz)
+	mux.HandleFunc("GET /metrics", lb.handleMetrics)
+	mux.HandleFunc("/", lb.handleProxy)
+	return mux
+}
+
+// Healthy returns the currently-healthy replica names, sorted.
+func (lb *LB) Healthy() []string {
+	var out []string
+	for name, rs := range lb.reps {
+		if rs.healthy.Load() {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (lb *LB) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := lb.Healthy()
+	w.Header().Set("Content-Type", "application/json")
+	if len(healthy) == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(struct {
+		Status   string   `json:"status"`
+		Healthy  []string `json:"healthy"`
+		Replicas int      `json:"replicas"`
+	}{map[bool]string{true: "ok", false: "no healthy replicas"}[len(healthy) > 0], healthy, len(lb.reps)})
+}
+
+// handleMetrics fetches every replica's /metrics, then aggregates the
+// serve blocks into one fleet-wide view (fleet-wide p50/p95/p99 are
+// re-derived from the merged latency histograms, not averaged).
+func (lb *LB) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	type replicaMetrics struct {
+		Serve *metrics.ServeSnapshot `json:"serve"`
+	}
+	perReplica := make(map[string]metrics.ServeSnapshot)
+	var serves []metrics.ServeSnapshot
+	for name, rs := range lb.reps {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, rs.base+"/metrics", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := lb.opts.Client.Do(req)
+		if err != nil {
+			continue
+		}
+		var rm replicaMetrics
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rm)
+		resp.Body.Close()
+		if err != nil || rm.Serve == nil {
+			continue
+		}
+		perReplica[name] = *rm.Serve
+		serves = append(serves, *rm.Serve)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Fleet    metrics.ServeSnapshot            `json:"fleet"`
+		Replicas map[string]metrics.ServeSnapshot `json:"replicas"`
+		Healthy  []string                         `json:"healthy"`
+	}{metrics.MergeServe(serves...), perReplica, lb.Healthy()})
+}
+
+func (lb *LB) handleProxy(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get(HeaderTenant)
+	if tenant == "" {
+		tenant = "default"
+	}
+	var body []byte
+	if r.Body != nil {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, lb.opts.MaxBodyBytes+1))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+			return
+		}
+		if int64(len(body)) > lb.opts.MaxBodyBytes {
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+	}
+	floor, hasFloor := lb.floor(tenant)
+	deadline := time.Now().Add(lb.opts.FloorWait)
+	var lastErr error
+	for {
+		tried := 0
+		for _, name := range lb.ring.Sequence(tenant) {
+			rs := lb.reps[name]
+			if !rs.healthy.Load() {
+				continue
+			}
+			tried++
+			resp, respBody, err := lb.attempt(rs, r, body)
+			if err != nil {
+				lb.markDown(rs, err)
+				lastErr = err
+				continue
+			}
+			if v, ok := responseVersion(resp.Header); ok {
+				if hasFloor && v.Before(floor) && time.Now().Before(deadline) {
+					// Failover landed on a replica behind this tenant's
+					// floor; give it a poll interval to catch up rather
+					// than serve a version the tenant has already seen
+					// superseded.
+					lastErr = fmt.Errorf("replica %s at %v behind tenant floor %v", name, v, floor)
+					break
+				}
+				lb.raiseFloor(tenant, v)
+			}
+			relay(w, resp, respBody, name)
+			return
+		}
+		if tried == 0 {
+			// Nothing healthy: last-ditch pass over every replica, in
+			// ring order, before giving up — the prober may simply not
+			// have noticed a recovery yet.
+			for _, name := range lb.ring.Sequence(tenant) {
+				rs := lb.reps[name]
+				resp, respBody, err := lb.attempt(rs, r, body)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				rs.healthy.Store(true)
+				if v, ok := responseVersion(resp.Header); ok {
+					lb.raiseFloor(tenant, v)
+				}
+				relay(w, resp, respBody, name)
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, fmt.Sprintf("no replica available: %v", lastErr), http.StatusBadGateway)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			http.Error(w, "client gone", 499)
+			return
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// attempt proxies the buffered request to one replica and buffers the
+// response, so a mid-body network error can still fail over cleanly.
+func (lb *LB) attempt(rs *replicaState, r *http.Request, body []byte) (*http.Response, []byte, error) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, rs.base+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	for k, vs := range r.Header {
+		req.Header[k] = vs
+	}
+	resp, err := lb.opts.Client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, respBody, nil
+}
+
+func relay(w http.ResponseWriter, resp *http.Response, body []byte, upstream string) {
+	for k, vs := range resp.Header {
+		w.Header()[k] = vs
+	}
+	w.Header().Set(HeaderUpstream, upstream)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+func responseVersion(h http.Header) (Version, bool) {
+	iter, err := strconv.Atoi(h.Get(HeaderIter))
+	if err != nil {
+		return Version{}, false
+	}
+	epoch, _ := strconv.Atoi(h.Get(HeaderEpoch))
+	return Version{Iter: iter, Epoch: epoch}, true
+}
+
+// floor returns the tenant's served-version high-water mark.
+func (lb *LB) floor(tenant string) (Version, bool) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	f, ok := lb.floors[tenant]
+	if !ok {
+		return Version{}, false
+	}
+	f.lastSeen = time.Now()
+	return f.ver, true
+}
+
+// raiseFloor records that tenant has now been served ver; floors only
+// rise.
+func (lb *LB) raiseFloor(tenant string, ver Version) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	f, ok := lb.floors[tenant]
+	if !ok {
+		lb.floors[tenant] = &tenantFloor{ver: ver, lastSeen: time.Now()}
+		return
+	}
+	f.lastSeen = time.Now()
+	if ver.After(f.ver) {
+		f.ver = ver
+	}
+}
+
+func (lb *LB) markDown(rs *replicaState, err error) {
+	if rs.healthy.CompareAndSwap(true, false) && lb.opts.Logf != nil {
+		lb.opts.Logf("fleet: replica %s down: %v", rs.name, err)
+	}
+}
+
+// probe health-checks every replica each CheckEvery: a 200 from
+// /healthz (which replicas fail while stale or draining) marks it up,
+// anything else down. The probe body's lag feeds the per-replica gauge
+// shown in /metrics between scrapes.
+func (lb *LB) probe() {
+	defer close(lb.probeDone)
+	client := &http.Client{Timeout: lb.opts.CheckEvery * 5}
+	tick := time.NewTicker(lb.opts.CheckEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-lb.stopProbe:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		for _, rs := range lb.reps {
+			resp, err := client.Get(rs.base + "/healthz")
+			if err != nil {
+				lb.markDown(rs, err)
+				continue
+			}
+			var hb struct {
+				Lag int64 `json:"lag_iters"`
+			}
+			json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&hb)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				if rs.healthy.CompareAndSwap(false, true) && lb.opts.Logf != nil {
+					lb.opts.Logf("fleet: replica %s up", rs.name)
+				}
+				rs.lag.Store(hb.Lag)
+			} else {
+				lb.markDown(rs, fmt.Errorf("healthz: %s", resp.Status))
+			}
+		}
+		lb.evictFloors(now)
+	}
+}
+
+// evictFloors drops version floors of tenants idle past TenantTTL so a
+// long-lived balancer with churning tenants cannot grow without bound.
+func (lb *LB) evictFloors(now time.Time) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	for tenant, f := range lb.floors {
+		if now.Sub(f.lastSeen) > lb.opts.TenantTTL {
+			delete(lb.floors, tenant)
+		}
+	}
+}

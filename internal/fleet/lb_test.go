@@ -1,0 +1,231 @@
+package fleet_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+// fakeReplica is a minimal stand-in for a replica gateway: it answers
+// /healthz, stamps version headers on predict responses, and identifies
+// itself in the body.
+type fakeReplica struct {
+	name string
+	srv  *httptest.Server
+	iter atomic.Int64
+	hits atomic.Int64
+}
+
+func newFakeReplica(iter int) *fakeReplica {
+	fr := &fakeReplica{}
+	fr.iter.Store(int64(iter))
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok","lag_iters":0}`)
+	})
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		fr.hits.Add(1)
+		w.Header().Set(fleet.HeaderIter, strconv.FormatInt(fr.iter.Load(), 10))
+		w.Header().Set(fleet.HeaderEpoch, "1")
+		fmt.Fprint(w, fr.name)
+	})
+	fr.srv = httptest.NewServer(mux)
+	fr.name = fr.srv.Listener.Addr().String()
+	return fr
+}
+
+func lbOver(t *testing.T, replicas ...*fakeReplica) (*fleet.LB, *httptest.Server) {
+	t.Helper()
+	names := make([]string, len(replicas))
+	for i, fr := range replicas {
+		names[i] = fr.name
+	}
+	lb, err := fleet.NewLB(names, fleet.LBOptions{CheckEvery: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(lb.Handler())
+	t.Cleanup(func() { front.Close(); lb.Close() })
+	return lb, front
+}
+
+func predictVia(t *testing.T, front, tenant string) (*http.Response, string) {
+	t.Helper()
+	req, _ := http.NewRequest("POST", front+"/v1/predict", nil)
+	req.Header.Set(fleet.HeaderTenant, tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+// TestLBRoutesByRing: every tenant lands on exactly the replica the
+// consistent-hash ring names — the determinism per-tenant rate state
+// depends on — and the upstream is echoed in a response header.
+func TestLBRoutesByRing(t *testing.T) {
+	r1, r2, r3 := newFakeReplica(5), newFakeReplica(5), newFakeReplica(5)
+	_, front := lbOver(t, r1, r2, r3)
+	ring := fleet.NewRing([]string{r1.name, r2.name, r3.name})
+	for i := 0; i < 20; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		resp, body := predictVia(t, front.URL, tenant)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant %s: status %d", tenant, resp.StatusCode)
+		}
+		want := ring.Lookup(tenant)
+		if body != want {
+			t.Fatalf("tenant %s served by %s, ring says %s", tenant, body, want)
+		}
+		if got := resp.Header.Get(fleet.HeaderUpstream); got != want {
+			t.Fatalf("tenant %s upstream header %q, want %q", tenant, got, want)
+		}
+	}
+}
+
+// TestLBFailsOverWithinOneRequest kills a tenant's replica and demands
+// the very next request through the balancer succeeds — served by the
+// ring's second choice, with no error surfaced to the client.
+func TestLBFailsOverWithinOneRequest(t *testing.T) {
+	r1, r2, r3 := newFakeReplica(5), newFakeReplica(5), newFakeReplica(5)
+	_, front := lbOver(t, r1, r2, r3)
+	byName := map[string]*fakeReplica{r1.name: r1, r2.name: r2, r3.name: r3}
+	ring := fleet.NewRing([]string{r1.name, r2.name, r3.name})
+
+	tenant := "tenant-alpha"
+	seq := ring.Sequence(tenant)
+	resp, body := predictVia(t, front.URL, tenant)
+	if resp.StatusCode != http.StatusOK || body != seq[0] {
+		t.Fatalf("before kill: %d from %q, want 200 from %q", resp.StatusCode, body, seq[0])
+	}
+
+	byName[seq[0]].srv.Close()
+
+	resp, body = predictVia(t, front.URL, tenant)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request during failover: status %d", resp.StatusCode)
+	}
+	if body != seq[1] {
+		t.Fatalf("failover landed on %q, ring's second choice is %q", body, seq[1])
+	}
+}
+
+// TestLBHonorsVersionFloor: after failover to a replica that has not
+// pulled the tenant's last-served version yet, the balancer retries
+// until the replica catches up instead of serving an older model.
+func TestLBHonorsVersionFloor(t *testing.T) {
+	r1, r2, r3 := newFakeReplica(20), newFakeReplica(20), newFakeReplica(20)
+	_, front := lbOver(t, r1, r2, r3)
+	byName := map[string]*fakeReplica{r1.name: r1, r2.name: r2, r3.name: r3}
+	ring := fleet.NewRing([]string{r1.name, r2.name, r3.name})
+
+	tenant := "tenant-alpha"
+	seq := ring.Sequence(tenant)
+	second := byName[seq[1]]
+	// The failover target lags behind what the owner already served;
+	// it catches up only after being probed twice.
+	second.iter.Store(10)
+	go func() {
+		for i := 0; i < 2000 && second.hits.Load() < 2; i++ {
+			time.Sleep(5 * time.Millisecond)
+		}
+		second.iter.Store(20)
+	}()
+
+	resp, _ := predictVia(t, front.URL, tenant)
+	if got := resp.Header.Get(fleet.HeaderIter); got != "20" {
+		t.Fatalf("owner served iter %s, want 20", got)
+	}
+	byName[seq[0]].srv.Close()
+
+	resp, body := predictVia(t, front.URL, tenant)
+	if resp.StatusCode != http.StatusOK || body != seq[1] {
+		t.Fatalf("failover: %d from %q, want 200 from %q", resp.StatusCode, body, seq[1])
+	}
+	if got := resp.Header.Get(fleet.HeaderIter); got != "20" {
+		t.Fatalf("failover served iter %s, violating the tenant's floor of 20", got)
+	}
+	if second.hits.Load() < 2 {
+		t.Fatalf("floor was honored without retrying (hits=%d)", second.hits.Load())
+	}
+}
+
+// TestLBAggregatesFleetMetrics: /metrics on the balancer must merge the
+// replicas' serve blocks — counters sum, and the fleet p99 is derived
+// from merged histograms rather than averaged.
+func TestLBAggregatesFleetMetrics(t *testing.T) {
+	mkReplica := func(name string, requests int64, buckets map[string]int64, count int64, maxMS float64) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, `{"status":"ok"}`)
+		})
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			json.NewEncoder(w).Encode(map[string]any{
+				"serve": metrics.ServeSnapshot{
+					Replica:  name,
+					Requests: requests,
+					Latency: metrics.LatencySnapshot{
+						Count:   count,
+						MaxMS:   maxMS,
+						Buckets: buckets,
+					},
+				},
+			})
+		})
+		return httptest.NewServer(mux)
+	}
+	fast := mkReplica("fast", 90, map[string]int64{"<1ms": 90}, 90, 0.9)
+	slow := mkReplica("slow", 10, map[string]int64{"<500ms": 10}, 10, 400)
+	defer fast.Close()
+	defer slow.Close()
+
+	lb, err := fleet.NewLB(
+		[]string{fast.Listener.Addr().String(), slow.Listener.Addr().String()},
+		fleet.LBOptions{CheckEvery: 20 * time.Millisecond},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	front := httptest.NewServer(lb.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Fleet    metrics.ServeSnapshot            `json:"fleet"`
+		Replicas map[string]metrics.ServeSnapshot `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Fleet.Requests != 100 {
+		t.Fatalf("fleet requests = %d, want 100", out.Fleet.Requests)
+	}
+	if len(out.Replicas) != 2 {
+		t.Fatalf("per-replica blocks = %d, want 2", len(out.Replicas))
+	}
+	// 90% of requests are sub-millisecond, so the fleet p50 must sit in
+	// the fast bucket and the p99 in the slow one — an average of the
+	// two replicas' percentiles could do neither.
+	if out.Fleet.Latency.P50MS >= 1 {
+		t.Fatalf("fleet p50 = %.2fms, want <1ms", out.Fleet.Latency.P50MS)
+	}
+	if out.Fleet.Latency.P99MS < 100 {
+		t.Fatalf("fleet p99 = %.2fms, want >=100ms", out.Fleet.Latency.P99MS)
+	}
+}

@@ -1,0 +1,266 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/nn/autodiff"
+	"repro/internal/snapshot"
+)
+
+// PullerOptions tunes a replica's snapshot puller; zero values take the
+// defaults noted.
+type PullerOptions struct {
+	// Interval between polls of the source (default 250ms).
+	Interval time.Duration
+	// MaxLag is the staleness bound in iterations: once the replica
+	// trails the source's announced version by more than MaxLag, it
+	// reports Stale and the gateway sheds with 503 until it catches up.
+	// 0 means unbounded (never stale).
+	MaxLag int
+	// Bind + Seed lazily attach a network graph to adopted snapshots so
+	// they can predict (see snapshot.Model.Bind). Bind may be nil for
+	// pull-only consumers that never predict.
+	Bind func(rng *rand.Rand) *autodiff.Network
+	Seed int64
+	// Client is the HTTP client polls go through (default: a client
+	// with a 10s timeout).
+	Client *http.Client
+	// MaxBodyBytes caps a snapshot response body (default 1GiB).
+	MaxBodyBytes int64
+	// Stats, when set, receives pull counters and the lag gauge.
+	Stats *metrics.ServeStats
+}
+
+func (o *PullerOptions) setDefaults() {
+	if o.Interval <= 0 {
+		o.Interval = 250 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 30
+	}
+}
+
+// Puller keeps a serving replica's snapshot fresh by polling a source
+// gateway's pull endpoint. Adoption is strictly version-monotonic: a
+// pulled snapshot replaces the current one only when its (iter, epoch)
+// is strictly newer, so Latest() — and therefore everything the replica
+// serves — never moves backwards, no matter how responses reorder.
+//
+// The puller also tracks the source's announced newest version (carried
+// on every pull response, including 503s), which is what makes
+// staleness observable even while pulls fail: lag is announced-iter
+// minus adopted-iter.
+type Puller struct {
+	base string
+	opts PullerOptions
+
+	latest atomic.Pointer[snapshot.Model]
+	// source is the newest version the source has announced; nil until
+	// the first response carrying version headers.
+	source atomic.Pointer[Version]
+}
+
+// NewPuller builds a puller against the source gateway's base URL
+// (e.g. "http://rank0:9000"); a bare host:port gets http:// prefixed.
+func NewPuller(source string, opts PullerOptions) *Puller {
+	opts.setDefaults()
+	if !strings.Contains(source, "://") {
+		source = "http://" + source
+	}
+	return &Puller{base: strings.TrimRight(source, "/"), opts: opts}
+}
+
+// Latest returns the adopted snapshot (nil before the first successful
+// pull). It satisfies the serving gateway's Source interface; the
+// returned model stays valid for the caller because adoption releases
+// the previous model only after the swap.
+func (p *Puller) Latest() *snapshot.Model { return p.latest.Load() }
+
+// Version returns the adopted snapshot's version, ok=false before the
+// first adoption.
+func (p *Puller) Version() (Version, bool) {
+	m := p.latest.Load()
+	if m == nil {
+		return Version{}, false
+	}
+	return Version{Iter: m.Iter(), Epoch: m.Epoch()}, true
+}
+
+// SourceVersion returns the newest version the source has announced,
+// ok=false before the first response that carried version headers.
+func (p *Puller) SourceVersion() (Version, bool) {
+	v := p.source.Load()
+	if v == nil {
+		return Version{}, false
+	}
+	return *v, true
+}
+
+// Lag returns how many iterations the replica trails the source's
+// announced newest version. Before the source announces anything the
+// lag is 0 (nothing is known to be missed); after it announces but
+// before the first adoption, the lag counts from iteration -1 so a
+// replica that has never pulled anything is maximally stale.
+func (p *Puller) Lag() int {
+	src := p.source.Load()
+	if src == nil {
+		return 0
+	}
+	have := -1
+	if m := p.latest.Load(); m != nil {
+		have = m.Iter()
+	}
+	lag := src.Iter - have
+	if lag < 0 {
+		lag = 0
+	}
+	return lag
+}
+
+// Stale reports whether the replica is past its staleness bound.
+func (p *Puller) Stale() bool {
+	return p.opts.MaxLag > 0 && p.Lag() > p.opts.MaxLag
+}
+
+// Status returns (lag, shed) in the shape the serving gateway's
+// staleness gate wants.
+func (p *Puller) Status() (int, bool) { return p.Lag(), p.Stale() }
+
+// PullOnce polls the source once: it asks for anything strictly newer
+// than the adopted version, updates the announced source version from
+// the response headers (any status), and adopts the body when it is
+// strictly newer. Returns nil on 200 and 304.
+func (p *Puller) PullOnce(ctx context.Context) error {
+	url := p.base + SnapshotPath
+	if v, ok := p.Version(); ok {
+		url = fmt.Sprintf("%s?after=%d&epoch=%d", url, v.Iter, v.Epoch)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return p.pullErr(err)
+	}
+	resp, err := p.opts.Client.Do(req)
+	if err != nil {
+		return p.pullErr(err)
+	}
+	defer resp.Body.Close()
+	p.noteSourceVersion(resp.Header)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// fall through to adopt
+	case http.StatusNotModified:
+		p.countPull(0)
+		p.publishLag()
+		return nil
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		p.publishLag()
+		return p.pullErr(fmt.Errorf("pull %s: %s", url, resp.Status))
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, p.opts.MaxBodyBytes+1))
+	if err != nil {
+		return p.pullErr(fmt.Errorf("pull %s: %w", url, err))
+	}
+	if int64(len(body)) > p.opts.MaxBodyBytes {
+		return p.pullErr(fmt.Errorf("pull %s: body exceeds %d bytes", url, p.opts.MaxBodyBytes))
+	}
+	m, err := snapshot.Decode(body)
+	if err != nil {
+		return p.pullErr(fmt.Errorf("pull %s: %w", url, err))
+	}
+	if p.opts.Bind != nil {
+		m.Bind(p.opts.Bind, p.opts.Seed)
+	}
+	p.countPull(len(body))
+	p.adopt(m)
+	p.publishLag()
+	return nil
+}
+
+// Run polls until ctx is done. Errors are absorbed (counted in Stats);
+// the staleness bound is the backstop when the source stays unreachable.
+func (p *Puller) Run(ctx context.Context) {
+	tick := time.NewTicker(p.opts.Interval)
+	defer tick.Stop()
+	for {
+		p.PullOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// adopt swaps m in if it is strictly newer than the adopted snapshot,
+// releasing whichever model loses.
+func (p *Puller) adopt(m *snapshot.Model) {
+	for {
+		old := p.latest.Load()
+		if old != nil {
+			have := Version{Iter: old.Iter(), Epoch: old.Epoch()}
+			if !(Version{Iter: m.Iter(), Epoch: m.Epoch()}).After(have) {
+				m.Release()
+				return
+			}
+		}
+		if p.latest.CompareAndSwap(old, m) {
+			if old != nil {
+				old.Release()
+			}
+			return
+		}
+	}
+}
+
+// noteSourceVersion advances the announced source version from response
+// headers; it never moves backwards (a delayed response from an older
+// poll cannot shrink the lag).
+func (p *Puller) noteSourceVersion(h http.Header) {
+	iter, err := strconv.Atoi(h.Get(HeaderIter))
+	if err != nil {
+		return
+	}
+	epoch, _ := strconv.Atoi(h.Get(HeaderEpoch))
+	v := Version{Iter: iter, Epoch: epoch}
+	for {
+		old := p.source.Load()
+		if old != nil && !v.After(*old) {
+			return
+		}
+		if p.source.CompareAndSwap(old, &v) {
+			return
+		}
+	}
+}
+
+func (p *Puller) publishLag() {
+	if p.opts.Stats != nil {
+		p.opts.Stats.SetSnapshotLag(int64(p.Lag()))
+	}
+}
+
+func (p *Puller) countPull(bytes int) {
+	if p.opts.Stats != nil {
+		p.opts.Stats.CountPull(bytes)
+	}
+}
+
+func (p *Puller) pullErr(err error) error {
+	if p.opts.Stats != nil {
+		p.opts.Stats.CountPullError()
+	}
+	return err
+}

@@ -1,0 +1,179 @@
+package fleet_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/snapshot"
+)
+
+func testModel(iter, epoch int) *snapshot.Model {
+	return snapshot.New(iter, epoch, [][]float32{{1, 2, 3}, {float32(iter)}})
+}
+
+// swappableSource is a Source whose snapshot the test replaces at will.
+type swappableSource struct {
+	m atomic.Pointer[snapshot.Model]
+}
+
+func (s *swappableSource) Latest() *snapshot.Model { return s.m.Load() }
+func (s *swappableSource) set(m *snapshot.Model)   { s.m.Store(m) }
+
+// TestPullerAdoptsOnlyNewer drives a puller against a source that first
+// serves iter 10, then — misbehaving on purpose — serves an *older*
+// body with 200. The puller must keep iter 10: served versions never
+// move backwards no matter what the wire delivers.
+func TestPullerAdoptsOnlyNewer(t *testing.T) {
+	var phase atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var m *snapshot.Model
+		switch phase.Load() {
+		case 0:
+			m = testModel(10, 1)
+		default:
+			m = testModel(5, 1) // older than what the puller holds
+		}
+		w.Header().Set(fleet.HeaderIter, strconv.Itoa(m.Iter()))
+		w.Header().Set(fleet.HeaderEpoch, strconv.Itoa(m.Epoch()))
+		w.Write(m.Encode())
+	}))
+	defer srv.Close()
+
+	p := fleet.NewPuller(srv.URL, fleet.PullerOptions{})
+	ctx := context.Background()
+	if err := p.PullOnce(ctx); err != nil {
+		t.Fatalf("first pull: %v", err)
+	}
+	if v, ok := p.Version(); !ok || v.Iter != 10 || v.Epoch != 1 {
+		t.Fatalf("after first pull version = %v (%v), want iter 10 epoch 1", v, ok)
+	}
+	phase.Store(1)
+	if err := p.PullOnce(ctx); err != nil {
+		t.Fatalf("second pull: %v", err)
+	}
+	if v, _ := p.Version(); v.Iter != 10 {
+		t.Fatalf("puller regressed to iter %d after old body", v.Iter)
+	}
+}
+
+// TestPullerStalenessLifecycle walks the shed/resume cycle the fleet is
+// built around: adopt iter 10 → the source advances to iter 40 but
+// pulls start failing (503s still announce the newest version) → the
+// replica is past max-lag and reports stale → the source recovers →
+// one successful pull catches up and staleness clears.
+func TestPullerStalenessLifecycle(t *testing.T) {
+	var phase atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch phase.Load() {
+		case 0:
+			m := testModel(10, 1)
+			w.Header().Set(fleet.HeaderIter, "10")
+			w.Header().Set(fleet.HeaderEpoch, "1")
+			w.Write(m.Encode())
+		case 1:
+			// The source is alive enough to announce iter 40 but cannot
+			// serve the body.
+			w.Header().Set(fleet.HeaderIter, "40")
+			w.Header().Set(fleet.HeaderEpoch, "1")
+			http.Error(w, "snapshot store wedged", http.StatusInternalServerError)
+		default:
+			m := testModel(40, 1)
+			w.Header().Set(fleet.HeaderIter, "40")
+			w.Header().Set(fleet.HeaderEpoch, "1")
+			w.Write(m.Encode())
+		}
+	}))
+	defer srv.Close()
+
+	stats := metrics.NewComm().Serve()
+	p := fleet.NewPuller(srv.URL, fleet.PullerOptions{MaxLag: 5, Stats: stats})
+	ctx := context.Background()
+
+	if err := p.PullOnce(ctx); err != nil {
+		t.Fatalf("phase 0 pull: %v", err)
+	}
+	if lag, shed := p.Status(); lag != 0 || shed {
+		t.Fatalf("phase 0: lag %d shed %v, want fresh", lag, shed)
+	}
+
+	phase.Store(1)
+	if err := p.PullOnce(ctx); err == nil {
+		t.Fatal("phase 1 pull should fail")
+	}
+	if lag, shed := p.Status(); lag != 30 || !shed {
+		t.Fatalf("phase 1: lag %d shed %v, want 30/true", lag, shed)
+	}
+	if v, _ := p.Version(); v.Iter != 10 {
+		t.Fatalf("phase 1 kept serving iter %d, want 10", v.Iter)
+	}
+	if got := stats.Snapshot(); got.SnapshotLagIters != 30 || got.SnapshotPullErrors != 1 {
+		t.Fatalf("phase 1 stats: lag %d, pull errors %d", got.SnapshotLagIters, got.SnapshotPullErrors)
+	}
+
+	phase.Store(2)
+	if err := p.PullOnce(ctx); err != nil {
+		t.Fatalf("phase 2 pull: %v", err)
+	}
+	if lag, shed := p.Status(); lag != 0 || shed {
+		t.Fatalf("phase 2: lag %d shed %v, want recovered", lag, shed)
+	}
+	if v, _ := p.Version(); v.Iter != 40 {
+		t.Fatalf("phase 2 version = iter %d, want 40", v.Iter)
+	}
+}
+
+// TestPullerAgainstSnapshotHandler is the two ends of the wire contract
+// talking to each other: a real SnapshotHandler over a mutable source,
+// a real Puller polling it — including 304 short-circuits when nothing
+// new exists.
+func TestPullerAgainstSnapshotHandler(t *testing.T) {
+	src := &swappableSource{}
+	stats := metrics.NewComm().Serve()
+	srv := httptest.NewServer(fleet.NewSnapshotHandler(src, stats))
+	defer srv.Close()
+
+	p := fleet.NewPuller(srv.URL, fleet.PullerOptions{})
+	ctx := context.Background()
+
+	// No capture yet: the pull fails but is counted, and nothing is
+	// adopted.
+	if err := p.PullOnce(ctx); err == nil {
+		t.Fatal("pull before first capture should fail")
+	}
+	if p.Latest() != nil {
+		t.Fatal("adopted a snapshot from a 503")
+	}
+
+	src.set(testModel(3, 1))
+	if err := p.PullOnce(ctx); err != nil {
+		t.Fatalf("pull: %v", err)
+	}
+	if v, _ := p.Version(); v.Iter != 3 {
+		t.Fatalf("version = %v, want iter 3", v)
+	}
+
+	// Nothing new: the handler must answer 304 and the puller must keep
+	// its model (CountPull with zero bytes, no snapshot serve).
+	before := stats.Snapshot().SnapshotServes
+	if err := p.PullOnce(ctx); err != nil {
+		t.Fatalf("not-modified pull: %v", err)
+	}
+	if after := stats.Snapshot().SnapshotServes; after != before {
+		t.Fatalf("304 probe still served a body: %d -> %d", before, after)
+	}
+
+	// A newer capture flows through; the epoch participates in ordering.
+	src.set(testModel(3, 2))
+	if err := p.PullOnce(ctx); err != nil {
+		t.Fatalf("epoch-bump pull: %v", err)
+	}
+	if v, _ := p.Version(); v.Iter != 3 || v.Epoch != 2 {
+		t.Fatalf("version = %v, want iter 3 epoch 2", v)
+	}
+}

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVirtualNodes is how many points each member contributes to the
+// ring. More points smooth the load split between members (the expected
+// imbalance shrinks like 1/sqrt(vnodes)) at the cost of a larger sorted
+// array; 64 keeps lookups in one cache line's worth of binary search
+// for fleets of tens of replicas.
+const defaultVirtualNodes = 64
+
+// Ring is a consistent-hash map from tenant keys to members. It is
+// immutable after construction — membership changes build a new Ring —
+// which is what makes the tenant→replica map deterministic: every
+// process that builds a Ring over the same member names (in any order)
+// computes the same assignment, so a load balancer, a test, and an
+// operator's back-of-envelope all agree on where a tenant lands and
+// where its per-tenant rate state migrates when a replica dies.
+type Ring struct {
+	points  []ringPoint
+	members []string
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int // index into members
+}
+
+// NewRing builds a ring over the given member names with the default
+// virtual-node count. Order does not matter; duplicates are dropped.
+func NewRing(members []string) *Ring { return NewRingVNodes(members, defaultVirtualNodes) }
+
+// NewRingVNodes builds a ring with an explicit virtual-node count.
+func NewRingVNodes(members []string, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{}
+	for _, m := range members {
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		r.members = append(r.members, m)
+	}
+	// Sorted member order makes the vnode layout independent of the
+	// caller's slice order.
+	sort.Strings(r.members)
+	for i, m := range r.members {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", m, v)), member: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare with 64-bit FNV) break on member
+		// index so the walk order stays deterministic.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the ring's member names, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Lookup returns the member owning key — the first point at or after
+// the key's hash, walking the ring clockwise. Empty rings return "".
+func (r *Ring) Lookup(key string) string {
+	seq := r.Sequence(key)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// Sequence returns every member in the ring-walk order for key: the
+// owner first, then each distinct successor clockwise. This is the
+// failover order — when the owner is down, the key's traffic (and its
+// per-tenant state) lands on Sequence[1], deterministically, and moves
+// back when the owner returns.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.members))
+	taken := make([]bool, len(r.members))
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !taken[p.member] {
+			taken[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is a splitmix64-style finalizer. Raw FNV-1a keys most of its
+// structure off a string's first bytes, so the vnodes of one member
+// ("r1#0", "r1#1", …) cluster into one arc of the ring and a member can
+// end up owning nothing; the finalizer avalanches every input bit over
+// the whole word.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

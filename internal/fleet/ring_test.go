@@ -1,0 +1,92 @@
+package fleet_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// TestRingDeterministicAcrossOrder: the tenant→member map must be a
+// pure function of the member set — any process building a ring over
+// the same names, in any order, computes the same assignment.
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	a := fleet.NewRing([]string{"r1:9000", "r2:9000", "r3:9000"})
+	b := fleet.NewRing([]string{"r3:9000", "r1:9000", "r2:9000", "r1:9000"})
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		if got, want := b.Lookup(key), a.Lookup(key); got != want {
+			t.Fatalf("Lookup(%q) order-dependent: %q vs %q", key, got, want)
+		}
+		if !reflect.DeepEqual(a.Sequence(key), b.Sequence(key)) {
+			t.Fatalf("Sequence(%q) order-dependent", key)
+		}
+	}
+}
+
+// TestRingSequenceCoversAllMembers: the failover walk visits every
+// member exactly once, starting at the owner.
+func TestRingSequenceCoversAllMembers(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	r := fleet.NewRing(members)
+	seq := r.Sequence("tenant-alpha")
+	if len(seq) != len(members) {
+		t.Fatalf("Sequence visits %d members, want %d", len(seq), len(members))
+	}
+	if seq[0] != r.Lookup("tenant-alpha") {
+		t.Fatalf("Sequence starts at %q, owner is %q", seq[0], r.Lookup("tenant-alpha"))
+	}
+	seen := map[string]bool{}
+	for _, m := range seq {
+		if seen[m] {
+			t.Fatalf("Sequence repeats %q", m)
+		}
+		seen[m] = true
+	}
+}
+
+// TestRingFailoverMatchesMemberLoss: rebuilding the ring without the
+// owner must route a key to the full ring's second choice — the
+// property that makes the e2e kill test's landing spot predictable —
+// and removing a non-owner must not move the key at all.
+func TestRingFailoverMatchesMemberLoss(t *testing.T) {
+	members := []string{"r1:9000", "r2:9000", "r3:9000", "r4:9000"}
+	full := fleet.NewRing(members)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		seq := full.Sequence(key)
+		owner, second := seq[0], seq[1]
+		var minusOwner, minusOther []string
+		for _, m := range members {
+			if m != owner {
+				minusOwner = append(minusOwner, m)
+			}
+			if m != seq[len(seq)-1] {
+				minusOther = append(minusOther, m)
+			}
+		}
+		if got := fleet.NewRing(minusOwner).Lookup(key); got != second {
+			t.Fatalf("key %q: ring without owner routes to %q, full-ring second choice is %q", key, got, second)
+		}
+		if got := fleet.NewRing(minusOther).Lookup(key); got != owner {
+			t.Fatalf("key %q moved to %q when an unrelated member left", key, got)
+		}
+	}
+}
+
+// TestRingSpreadsKeys: with virtual nodes, no member ends up starved
+// across a modest key population.
+func TestRingSpreadsKeys(t *testing.T) {
+	members := []string{"r1", "r2", "r3"}
+	r := fleet.NewRing(members)
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		counts[r.Lookup(fmt.Sprintf("tenant-%d", i))]++
+	}
+	for _, m := range members {
+		if counts[m] < 100 {
+			t.Fatalf("member %q owns only %d/1000 keys: %v", m, counts[m], counts)
+		}
+	}
+}

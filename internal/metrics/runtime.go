@@ -488,7 +488,7 @@ func (c *Comm) Snapshot() CommSnapshot {
 	snap.MembershipEpoch = c.epoch
 	snap.ViewChanges = append([]ViewChangeEvent(nil), c.viewChanges...)
 	c.viewMu.Unlock()
-	if c.serve.requests.Load() > 0 {
+	if c.serve.active() {
 		serve := c.serve.Snapshot()
 		snap.Serve = &serve
 	}

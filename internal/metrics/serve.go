@@ -66,10 +66,16 @@ func (h *latencyHist) record(d time.Duration) {
 // bucket counts: linear interpolation between the bucket's bounds, with
 // the recorded maximum standing in for the open tail's upper edge.
 func (h *latencyHist) quantile(counts []int64, total int64, q float64) float64 {
+	return latencyQuantile(counts, total, float64(h.maxNanos.Load()), q)
+}
+
+// latencyQuantile is the interpolation core, shared with the fleet
+// aggregation path (which reconstructs bucket counts from serialized
+// snapshots rather than a live histogram).
+func latencyQuantile(counts []int64, total int64, maxNS, q float64) float64 {
 	if total == 0 {
 		return 0
 	}
-	maxNS := float64(h.maxNanos.Load())
 	rank := q * float64(total)
 	var cum int64
 	for i, n := range counts {
@@ -99,7 +105,9 @@ func (h *latencyHist) quantile(counts []int64, total int64, q float64) float64 {
 	return maxNS / 1e6
 }
 
-// ServeStats is the gateway's live serving metrics block.
+// ServeStats is the gateway's live serving metrics block. Replica-mode
+// gateways additionally record the snapshot-distribution side: pull
+// counters and the staleness gauge a fleet load balancer watches.
 type ServeStats struct {
 	requests    atomic.Int64
 	predictions atomic.Int64
@@ -113,6 +121,64 @@ type ServeStats struct {
 	batchBuckets [len(batchBucketMax) + 1]atomic.Int64
 
 	latency latencyHist
+
+	// Snapshot distribution: the source side counts fan-out serves and
+	// cache (re-)encodes; the replica side counts pulls and tracks how
+	// many iterations it trails the source.
+	snapServes  atomic.Int64
+	snapBytes   atomic.Int64
+	snapEncodes atomic.Int64
+	pulls       atomic.Int64
+	pullErrors  atomic.Int64
+	pullBytes   atomic.Int64
+	staleShed   atomic.Int64
+	snapLag     atomic.Int64
+
+	replica atomic.Pointer[string]
+}
+
+// SetReplica labels this node's serving block with a fleet-unique
+// replica identity (what poseidon-lb keys its aggregation on).
+func (s *ServeStats) SetReplica(id string) { s.replica.Store(&id) }
+
+// SetSnapshotLag records how many iterations this replica's served
+// snapshot trails the newest version its source has announced.
+func (s *ServeStats) SetSnapshotLag(iters int64) { s.snapLag.Store(iters) }
+
+// CountSnapshotServe counts one snapshot body fanned out to a replica.
+func (s *ServeStats) CountSnapshotServe(bytes int) {
+	s.snapServes.Add(1)
+	s.snapBytes.Add(int64(bytes))
+}
+
+// CountSnapshotEncode counts one PSN2 encode of a fresh capture — the
+// fan-out path encodes once per capture, so this staying far below
+// CountSnapshotServe is the cache working.
+func (s *ServeStats) CountSnapshotEncode() { s.snapEncodes.Add(1) }
+
+// CountPull counts one successful snapshot pull of the given body size
+// (0 for a not-modified probe).
+func (s *ServeStats) CountPull(bytes int) {
+	s.pulls.Add(1)
+	s.pullBytes.Add(int64(bytes))
+}
+
+// CountPullError counts one failed snapshot pull.
+func (s *ServeStats) CountPullError() { s.pullErrors.Add(1) }
+
+// CountStaleShed counts one request shed because the replica trails its
+// source past the staleness bound (also counted as a shed).
+func (s *ServeStats) CountStaleShed() {
+	s.shed.Add(1)
+	s.staleShed.Add(1)
+}
+
+// active reports whether this block carries any serving-plane signal —
+// what decides if the serve section appears in the metrics dump. A
+// replica that has pulled snapshots but served nothing yet still counts.
+func (s *ServeStats) active() bool {
+	return s.requests.Load() > 0 || s.pulls.Load() > 0 ||
+		s.pullErrors.Load() > 0 || s.snapServes.Load() > 0 || s.replica.Load() != nil
 }
 
 // CountRequest counts one /v1/predict arrival (any outcome).
@@ -157,12 +223,30 @@ type LatencySnapshot struct {
 
 // ServeSnapshot is the frozen serving block of a metrics dump.
 type ServeSnapshot struct {
-	Requests    int64 `json:"requests"`
-	Predictions int64 `json:"predictions"`
-	Batches     int64 `json:"batches"`
-	RateLimited int64 `json:"rate_limited"`
-	Shed        int64 `json:"shed"`
-	Errors      int64 `json:"errors"`
+	// Replica is the fleet identity of the node this block came from
+	// (empty on a lone gateway and on fleet-wide aggregates).
+	Replica     string `json:"replica,omitempty"`
+	Requests    int64  `json:"requests"`
+	Predictions int64  `json:"predictions"`
+	Batches     int64  `json:"batches"`
+	RateLimited int64  `json:"rate_limited"`
+	Shed        int64  `json:"shed"`
+	// StaleShed counts the sheds caused by the staleness bound: the
+	// replica's snapshot trailed its source past max-lag.
+	StaleShed int64 `json:"stale_shed"`
+	Errors    int64 `json:"errors"`
+	// SnapshotLagIters is how many iterations the served snapshot
+	// trails the newest version the source has announced (a gauge; the
+	// fleet aggregate reports the worst replica).
+	SnapshotLagIters int64 `json:"snapshot_lag_iters"`
+	// Snapshot distribution counters: serves/bytes/encodes on the
+	// source side, pulls/bytes/errors on the replica side.
+	SnapshotServes     int64 `json:"snapshot_serves,omitempty"`
+	SnapshotBytes      int64 `json:"snapshot_bytes,omitempty"`
+	SnapshotEncodes    int64 `json:"snapshot_encodes,omitempty"`
+	SnapshotPulls      int64 `json:"snapshot_pulls,omitempty"`
+	SnapshotPullBytes  int64 `json:"snapshot_pull_bytes,omitempty"`
+	SnapshotPullErrors int64 `json:"snapshot_pull_errors,omitempty"`
 	// MeanBatch/MaxBatch/BatchBuckets describe how well requests
 	// coalesced: a mean near 1 under load means the window is too short.
 	MeanBatch    float64          `json:"mean_batch"`
@@ -174,13 +258,24 @@ type ServeSnapshot struct {
 // Snapshot freezes the serving counters.
 func (s *ServeStats) Snapshot() ServeSnapshot {
 	snap := ServeSnapshot{
-		Requests:    s.requests.Load(),
-		Predictions: s.predictions.Load(),
-		Batches:     s.batches.Load(),
-		RateLimited: s.rateLimited.Load(),
-		Shed:        s.shed.Load(),
-		Errors:      s.errors.Load(),
-		MaxBatch:    s.batchMax.Load(),
+		Requests:           s.requests.Load(),
+		Predictions:        s.predictions.Load(),
+		Batches:            s.batches.Load(),
+		RateLimited:        s.rateLimited.Load(),
+		Shed:               s.shed.Load(),
+		StaleShed:          s.staleShed.Load(),
+		Errors:             s.errors.Load(),
+		SnapshotLagIters:   s.snapLag.Load(),
+		SnapshotServes:     s.snapServes.Load(),
+		SnapshotBytes:      s.snapBytes.Load(),
+		SnapshotEncodes:    s.snapEncodes.Load(),
+		SnapshotPulls:      s.pulls.Load(),
+		SnapshotPullBytes:  s.pullBytes.Load(),
+		SnapshotPullErrors: s.pullErrors.Load(),
+		MaxBatch:           s.batchMax.Load(),
+	}
+	if id := s.replica.Load(); id != nil {
+		snap.Replica = *id
 	}
 	if snap.Batches > 0 {
 		snap.MeanBatch = float64(s.batchSum.Load()) / float64(snap.Batches)
@@ -214,4 +309,88 @@ func (s *ServeStats) Snapshot() ServeSnapshot {
 		}
 	}
 	return snap
+}
+
+// MergeLatency folds per-replica latency snapshots into one fleet-wide
+// histogram: bucket counts sum (the labels are the shared fixed
+// bounds), the recorded maxima take their max, and the percentiles are
+// re-derived from the merged counts — so the fleet p99 is computed over
+// the union of requests, not averaged across replicas.
+func MergeLatency(snaps ...LatencySnapshot) LatencySnapshot {
+	var counts [len(latencyBucketLabels)]int64
+	var out LatencySnapshot
+	var sumNS float64
+	for _, s := range snaps {
+		out.Count += s.Count
+		sumNS += s.MeanMS * 1e6 * float64(s.Count)
+		if s.MaxMS > out.MaxMS {
+			out.MaxMS = s.MaxMS
+		}
+		for i, label := range latencyBucketLabels {
+			counts[i] += s.Buckets[label]
+		}
+	}
+	if out.Count == 0 {
+		return out
+	}
+	out.MeanMS = sumNS / float64(out.Count) / 1e6
+	maxNS := out.MaxMS * 1e6
+	out.P50MS = latencyQuantile(counts[:], out.Count, maxNS, 0.50)
+	out.P95MS = latencyQuantile(counts[:], out.Count, maxNS, 0.95)
+	out.P99MS = latencyQuantile(counts[:], out.Count, maxNS, 0.99)
+	out.Buckets = make(map[string]int64, len(latencyBucketLabels))
+	for i, n := range counts {
+		if n > 0 {
+			out.Buckets[latencyBucketLabels[i]] = n
+		}
+	}
+	return out
+}
+
+// MergeServe folds per-replica serving blocks into the fleet-wide
+// aggregate poseidon-lb exports: counters sum, the batch histogram
+// merges by label, the staleness gauge reports the worst replica, and
+// the latency block is MergeLatency over the members.
+func MergeServe(snaps ...ServeSnapshot) ServeSnapshot {
+	var out ServeSnapshot
+	var batchBuckets [len(batchBucketLabels)]int64
+	var batchSum float64
+	lats := make([]LatencySnapshot, 0, len(snaps))
+	for _, s := range snaps {
+		out.Requests += s.Requests
+		out.Predictions += s.Predictions
+		out.Batches += s.Batches
+		out.RateLimited += s.RateLimited
+		out.Shed += s.Shed
+		out.StaleShed += s.StaleShed
+		out.Errors += s.Errors
+		out.SnapshotServes += s.SnapshotServes
+		out.SnapshotBytes += s.SnapshotBytes
+		out.SnapshotEncodes += s.SnapshotEncodes
+		out.SnapshotPulls += s.SnapshotPulls
+		out.SnapshotPullBytes += s.SnapshotPullBytes
+		out.SnapshotPullErrors += s.SnapshotPullErrors
+		if s.SnapshotLagIters > out.SnapshotLagIters {
+			out.SnapshotLagIters = s.SnapshotLagIters
+		}
+		if s.MaxBatch > out.MaxBatch {
+			out.MaxBatch = s.MaxBatch
+		}
+		batchSum += s.MeanBatch * float64(s.Batches)
+		for i, label := range batchBucketLabels {
+			batchBuckets[i] += s.BatchBuckets[label]
+		}
+		lats = append(lats, s.Latency)
+	}
+	if out.Batches > 0 {
+		out.MeanBatch = batchSum / float64(out.Batches)
+		out.BatchBuckets = make(map[string]int64, len(batchBucketLabels))
+		for i, n := range batchBuckets {
+			if n > 0 {
+				out.BatchBuckets[batchBucketLabels[i]] = n
+			}
+		}
+	}
+	out.Latency = MergeLatency(lats...)
+	return out
 }

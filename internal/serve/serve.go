@@ -15,10 +15,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/rate"
 	"repro/internal/snapshot"
@@ -41,6 +43,16 @@ type Options struct {
 	TenantIdleTTL time.Duration // evict a tenant's limiter after this idle time (default 5m)
 	MaxBodyBytes  int64         // request body cap (default 8MiB)
 	Metrics       *metrics.Comm // registry serving /metrics (default: a private one)
+
+	// ReplicaID names this gateway in the snapshot fleet; it is echoed
+	// on responses (X-Poseidon-Replica) and in the metrics serve block.
+	// Empty outside a fleet.
+	ReplicaID string
+	// Stale, when set, gates serving on snapshot freshness: it returns
+	// the current lag in iterations and whether the gateway should shed
+	// (503 + Retry-After) until the replica catches back up. A
+	// *fleet.Puller's Status method has exactly this shape.
+	Stale func() (lagIters int, shed bool)
 }
 
 func (o *Options) setDefaults() {
@@ -108,6 +120,9 @@ func New(src Source, opts Options) *Gateway {
 		stopJanitor: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	if opts.ReplicaID != "" {
+		g.stats.SetReplica(opts.ReplicaID)
+	}
 	g.bat = newBatcher(opts.MaxBatch, opts.MaxDelay, g.stats)
 	go g.janitor()
 	return g
@@ -118,6 +133,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", g.handlePredict)
 	mux.HandleFunc("GET /v1/model", g.handleModel)
+	mux.Handle("GET "+fleet.SnapshotPath, fleet.NewSnapshotHandler(g.src, g.stats))
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	return mux
@@ -165,7 +181,15 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	name := r.Header.Get("X-Tenant")
+	if g.opts.Stale != nil {
+		if lag, shed := g.opts.Stale(); shed {
+			g.stats.CountStaleShed()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, fmt.Sprintf("snapshot is %d iterations stale", lag), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	name := r.Header.Get(fleet.HeaderTenant)
 	if name == "" {
 		name = "default"
 	}
@@ -239,6 +263,7 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	matPool.Put(probs)
 	w.Header().Set("Content-Type", "application/json")
+	g.versionHeaders(w, m)
 	json.NewEncoder(w).Encode(&resp)
 	g.stats.RecordLatency(time.Since(start))
 }
@@ -251,6 +276,7 @@ func (g *Gateway) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	g.versionHeaders(w, m)
 	json.NewEncoder(w).Encode(struct {
 		Iter     int `json:"iter"`
 		Epoch    int `json:"epoch"`
@@ -260,17 +286,55 @@ func (g *Gateway) handleModel(w http.ResponseWriter, r *http.Request) {
 	}{m.Iter(), m.Epoch(), m.Features(), m.Classes(), m.NumValues()})
 }
 
+// versionHeaders stamps the served model's version (and the replica
+// name, in a fleet) on a response, so the load balancer can enforce
+// per-tenant version monotonicity across failover.
+func (g *Gateway) versionHeaders(w http.ResponseWriter, m *snapshot.Model) {
+	w.Header().Set(fleet.HeaderIter, strconv.Itoa(m.Iter()))
+	w.Header().Set(fleet.HeaderEpoch, strconv.Itoa(m.Epoch()))
+	if g.opts.ReplicaID != "" {
+		w.Header().Set(fleet.HeaderReplica, g.opts.ReplicaID)
+	}
+}
+
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(g.opts.Metrics.Snapshot())
 }
 
+// handleHealthz reports liveness as JSON. A fleet replica (Stale set)
+// fails the check — and so drops out of the balancer's rotation —
+// while draining, while past its staleness bound, or before its first
+// pull; a training gateway only fails it while draining.
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if g.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+	status := "ok"
+	code := http.StatusOK
+	var lag int
+	if g.opts.Stale != nil {
+		var shed bool
+		lag, shed = g.opts.Stale()
+		if shed {
+			status, code = "stale", http.StatusServiceUnavailable
+		}
 	}
-	fmt.Fprintln(w, "ok")
+	iter, epoch := -1, -1
+	if m := g.src.Latest(); m != nil {
+		iter, epoch = m.Iter(), m.Epoch()
+	} else if g.opts.Stale != nil {
+		status, code = "no snapshot", http.StatusServiceUnavailable
+	}
+	if g.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Status   string `json:"status"`
+		Replica  string `json:"replica,omitempty"`
+		LagIters int    `json:"lag_iters"`
+		Iter     int    `json:"iter"`
+		Epoch    int    `json:"epoch"`
+	}{status, g.opts.ReplicaID, lag, iter, epoch})
 }
 
 // allowTenant charges one request against name's token bucket,

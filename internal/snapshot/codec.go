@@ -24,6 +24,11 @@ const (
 	magicV2 = 0x324e5350 // "PSN2"
 )
 
+// Encode serializes the model in PSN2 layout. The result is a fresh
+// buffer the caller owns; the fleet distribution path encodes once per
+// capture and fans the same buffer out to every replica.
+func (m *Model) Encode() []byte { return m.encode() }
+
 // encode serializes the model in PSN2 layout.
 func (m *Model) encode() []byte {
 	size := 16
@@ -91,6 +96,12 @@ func Decode(buf []byte) (*Model, error) {
 	count, err := next("tensor count")
 	if err != nil {
 		return nil, err
+	}
+	// Every tensor needs at least its 4-byte length field, so a count
+	// beyond len(buf)/4 cannot be satisfied — reject it before the
+	// allocation, or a 16-byte garbage frame could demand gigabytes.
+	if uint64(count) > uint64(len(buf))/4 {
+		return nil, fmt.Errorf("snapshot: tensor count %d exceeds remaining %d bytes", count, len(buf))
 	}
 	params := make([][]float32, count)
 	for i := range params {

@@ -1,0 +1,72 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeSnapshot hammers the PSN1/PSN2 decoder with arbitrary
+// frames. The contract under fuzz: Decode never panics, never allocates
+// past the input's own size class (a garbage tensor count must be
+// rejected before the allocation it implies), and every accepted frame
+// round-trips — re-encoding the decoded model and decoding again yields
+// the same version and the same parameter bytes.
+func FuzzDecodeSnapshot(f *testing.F) {
+	// Valid PSN2 with a couple of tensors.
+	valid := New(7, 2, [][]float32{{1, 2, 3}, {4}, {}}).Encode()
+	f.Add(valid)
+	// Truncations at every boundary class: mid-magic, mid-header,
+	// mid-tensor-length, mid-tensor-body.
+	f.Add(valid[:3])
+	f.Add(valid[:10])
+	f.Add(valid[:17])
+	f.Add(valid[:len(valid)-2])
+	// Legacy PSN1 (no epoch field).
+	v1 := binary.LittleEndian.AppendUint32(nil, magicV1)
+	v1 = binary.LittleEndian.AppendUint32(v1, 9) // iter
+	v1 = binary.LittleEndian.AppendUint32(v1, 1) // tensor count
+	v1 = binary.LittleEndian.AppendUint32(v1, 2) // tensor length
+	v1 = binary.LittleEndian.AppendUint32(v1, 0x3f800000)
+	v1 = binary.LittleEndian.AppendUint32(v1, 0x40000000)
+	f.Add(v1)
+	// Oversized claims: a tensor count and a tensor length the buffer
+	// cannot possibly back.
+	huge := binary.LittleEndian.AppendUint32(nil, magicV2)
+	huge = binary.LittleEndian.AppendUint32(huge, 1)
+	huge = binary.LittleEndian.AppendUint32(huge, 0)
+	huge = binary.LittleEndian.AppendUint32(huge, 0xFFFFFFFF)
+	f.Add(huge)
+	hugeLen := binary.LittleEndian.AppendUint32(nil, magicV2)
+	hugeLen = binary.LittleEndian.AppendUint32(hugeLen, 1)
+	hugeLen = binary.LittleEndian.AppendUint32(hugeLen, 0)
+	hugeLen = binary.LittleEndian.AppendUint32(hugeLen, 1)
+	hugeLen = binary.LittleEndian.AppendUint32(hugeLen, 0xFFFFFFFF)
+	f.Add(hugeLen)
+	f.Add([]byte("not a snapshot at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// An accepted frame's scalar payload is bounded by the bytes that
+		// carried it — over-allocation would show up here as a model
+		// claiming more values than the frame could encode.
+		if m.NumValues() > len(data)/4 {
+			t.Fatalf("decoded %d values from a %d-byte frame", m.NumValues(), len(data))
+		}
+		enc := m.Encode()
+		m2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if m2.Iter() != m.Iter() || m2.Epoch() != m.Epoch() {
+			t.Fatalf("version drifted through round trip: (%d,%d) -> (%d,%d)",
+				m.Iter(), m.Epoch(), m2.Iter(), m2.Epoch())
+		}
+		if !bytes.Equal(m2.Encode(), enc) {
+			t.Fatal("encode is not a fixpoint after one round trip")
+		}
+	})
+}

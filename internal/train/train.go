@@ -314,7 +314,20 @@ func RunOverAll(cfg Config, meshes []transport.Mesh) ([]*Result, error) {
 // Config.
 func RunWorker(cfg Config, mesh transport.Mesh) (*Result, error) {
 	w := &worker{cfg: cfg, mesh: mesh, rank: mesh.Self(), id: mesh.Self(), n: mesh.N()}
-	return w.run()
+	res, err := w.run()
+	if err != nil && cfg.Stop != nil && !errors.Is(err, ErrCanceled) {
+		// A fired Stop races the cluster-wide abort it triggers: a peer
+		// that observed the cancellation first aborts the mesh, and this
+		// worker can surface that peer's abort before its own stop
+		// watcher poisons the router. Once Stop is receivable, any abort
+		// is the cancellation propagating — report it as such.
+		select {
+		case <-cfg.Stop:
+			err = fmt.Errorf("%w (via cluster abort: %v)", ErrCanceled, err)
+		default:
+		}
+	}
+	return res, err
 }
 
 type worker struct {

@@ -29,6 +29,7 @@ type Builder struct {
 	mesh      transport.Mesh
 	collect   bool
 	snapEvery int
+	onSnap    func(*Snapshot)
 	onView    func(MembershipEvent)
 	err       error
 }
@@ -256,6 +257,18 @@ func (b *Builder) SnapshotEvery(n int) *Builder {
 	return b
 }
 
+// OnSnapshot streams every barrier capture as the run publishes it —
+// the push-style sibling of the Snapshots channel, with no conflation:
+// the serving plane hooks this to trigger fan-out the instant a
+// capture lands rather than on its next poll. The callback runs on the
+// worker's compute goroutine at the round barrier; keep it fast (hand
+// the snapshot to another goroutine for anything slow). Requires
+// SnapshotEvery.
+func (b *Builder) OnSnapshot(fn func(*Snapshot)) *Builder {
+	b.onSnap = fn
+	return b
+}
+
 // CollectMetrics attaches a runtime metrics registry: per-parameter
 // wire traffic, sync stalls, KV rounds, replan events, membership
 // epoch. TCP sessions additionally meter frame-level wire totals.
@@ -301,6 +314,10 @@ func (b *Builder) Build() (*Session, error) {
 		return nil, err
 	}
 
+	if b.onSnap != nil && b.snapEvery <= 0 {
+		return nil, fmt.Errorf("poseidon: OnSnapshot needs SnapshotEvery")
+	}
+
 	s := &Session{cfg: cfg}
 	if b.snapEvery > 0 {
 		// The store captures off the training barrier; Latest/Snapshots
@@ -308,8 +325,12 @@ func (b *Builder) Build() (*Session, error) {
 		st := snapshot.NewStore(cfg.BuildNet, cfg.Seed)
 		s.store = st
 		s.cfg.SnapshotEvery = b.snapEvery
+		onSnap := b.onSnap
 		s.cfg.OnSnapshot = func(ev train.SnapshotEvent) {
-			st.Capture(ev.Iter, ev.Epoch, ev.Params)
+			m := st.Capture(ev.Iter, ev.Epoch, ev.Params)
+			if onSnap != nil {
+				onSnap(m)
+			}
 		}
 	}
 	if cfg.View.Size() > 0 {

@@ -79,6 +79,87 @@ func TestSessionSnapshots(t *testing.T) {
 	}
 }
 
+// TestFinalCaptureSurvivesConflation is the regression for the
+// serving-fleet handoff: a subscriber that starts draining only after
+// the run ended — the worst possible lag, with every capture conflated
+// through a full channel and the store already closed — must still
+// observe the run's *final* capture. Conflation may drop anything
+// except the newest.
+func TestFinalCaptureSurvivesConflation(t *testing.T) {
+	// Capture at every iteration: 12 captures through a 4-deep
+	// subscription with no consumer forces drop-oldest conflation.
+	sess, err := sessionBuilder().SnapshotEvery(1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []*Snapshot
+	for m := range sess.Snapshots() {
+		got = append(got, m)
+	}
+	if len(got) == 0 {
+		t.Fatal("conflation dropped every capture")
+	}
+	last := got[len(got)-1]
+	if want := sess.Latest(); last != want {
+		t.Fatalf("late drain ends at iter %d, final capture is iter %d", last.Iter(), want.Iter())
+	}
+	if last.Iter() != 12 {
+		t.Fatalf("final drained capture at iter %d, want 12", last.Iter())
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Iter() <= got[i-1].Iter() {
+			t.Fatalf("conflated drain out of order: %d then %d", got[i-1].Iter(), got[i].Iter())
+		}
+	}
+}
+
+// TestOnSnapshotHook: the push-style capture hook sees every barrier
+// capture, in order, with no conflation — and ends on exactly the
+// model Latest serves.
+func TestOnSnapshotHook(t *testing.T) {
+	var mu sync.Mutex
+	var seen []*Snapshot
+	sess, err := sessionBuilder().
+		SnapshotEvery(1).
+		OnSnapshot(func(m *Snapshot) {
+			mu.Lock()
+			seen = append(seen, m)
+			mu.Unlock()
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 12 {
+		t.Fatalf("hook saw %d captures, want 12 (no conflation on the push path)", len(seen))
+	}
+	for i, m := range seen {
+		if m.Iter() != i+1 {
+			t.Fatalf("capture %d at iter %d, want %d", i, m.Iter(), i+1)
+		}
+	}
+	if seen[len(seen)-1] != sess.Latest() {
+		t.Fatal("hook's final capture is not Latest")
+	}
+
+	if _, err := sessionBuilder().OnSnapshot(func(*Snapshot) {}).Build(); err == nil {
+		t.Fatal("OnSnapshot without SnapshotEvery must fail Build")
+	}
+}
+
 // TestSessionCloseSafety is the regression for the nil-session and
 // double-Close crashes: every failure-path idiom a caller writes around
 // Build must be a safe no-op.
